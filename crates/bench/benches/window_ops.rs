@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the windowing substrate: `WindowBuffer` push +
+//! eviction and `RunningStats` folding — the inner loops of Smooth and
+//! Merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use esp_stream::stats::RunningStats;
+use esp_stream::WindowBuffer;
+use esp_types::{DataType, Schema, TimeDelta, Ts, Tuple, Value};
+
+fn tuple(ts: Ts, v: i64) -> Tuple {
+    let schema = Schema::builder().field("v", DataType::Int).build().unwrap();
+    Tuple::new_unchecked(schema, ts, vec![Value::Int(v)])
+}
+
+fn bench_window_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_push_advance");
+    for window_ms in [1_000u64, 5_000, 30_000] {
+        // Pre-build a stream of 10k tuples at 10ms spacing.
+        let tuples: Vec<Tuple> =
+            (0..10_000u64).map(|i| tuple(Ts::from_millis(i * 10), i as i64)).collect();
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{window_ms}ms")),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    let mut w = WindowBuffer::new(TimeDelta::from_millis(window_ms));
+                    for t in tuples {
+                        w.push(t.clone());
+                        w.advance_to(t.ts());
+                    }
+                    w.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_running_stats(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 30.0 + 20.0).collect();
+    let mut group = c.benchmark_group("running_stats");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    group.bench_function("fold_10k", |b| {
+        b.iter(|| {
+            let s = RunningStats::from_iter(xs.iter().copied());
+            (s.mean(), s.stdev())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_push, bench_running_stats);
+criterion_main!(benches);

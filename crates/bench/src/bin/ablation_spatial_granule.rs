@@ -1,0 +1,19 @@
+//! **§5.3.2 ablation**: epoch yield and error vs proximity-group size.
+//! Larger spatial granules mask more lost readings but substitute a wider
+//! band average for each mote's true local value.
+//!
+//! Usage: `cargo run --release -p esp-bench --bin ablation_spatial_granule [days] [seed]`
+
+use esp_bench::redwood::spatial_granule_report;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let report = spatial_granule_report(days, seed, &[1, 2, 4, 8]);
+    print!("{}", report.render_text());
+    report
+        .write_json(std::path::Path::new("results"), "ablation_spatial_granule")
+        .expect("write results/ablation_spatial_granule.json");
+    println!("wrote results/ablation_spatial_granule.json");
+}

@@ -1,0 +1,19 @@
+//! **§5.2.1 ablation**: Smooth-stage epoch yield and accuracy vs window
+//! width at the fixed 5-minute sampling rate — why ESP expanded the
+//! redwood window to 30 minutes.
+//!
+//! Usage: `cargo run --release -p esp-bench --bin ablation_window_expansion [days] [seed]`
+
+use esp_bench::redwood::window_expansion_report;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let report = window_expansion_report(days, seed, &[5, 10, 15, 30, 45, 60]);
+    print!("{}", report.render_text());
+    report
+        .write_json(std::path::Path::new("results"), "ablation_window_expansion")
+        .expect("write results/ablation_window_expansion.json");
+    println!("wrote results/ablation_window_expansion.json");
+}

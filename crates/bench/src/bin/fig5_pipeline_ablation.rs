@@ -1,0 +1,20 @@
+//! Regenerates **Figure 5**: average relative error of Query 1 under the
+//! five pipeline configurations (Raw, Smooth only, Arbitrate only,
+//! Arbitrate+Smooth, Smooth+Arbitrate).
+//!
+//! Usage: `cargo run --release -p esp-bench --bin fig5_pipeline_ablation [seconds] [seed]`
+
+use esp_bench::shelf::figure5;
+use esp_types::TimeDelta;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(700);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let report = figure5(TimeDelta::from_secs(secs), seed);
+    print!("{}", report.render_text());
+    report
+        .write_json(std::path::Path::new("results"), "fig5_pipeline_ablation")
+        .expect("write results/fig5_pipeline_ablation.json");
+    println!("wrote results/fig5_pipeline_ablation.json");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 6**: average relative error vs temporal-granule
+//! size for the full Smooth+Arbitrate pipeline. Small granules cannot
+//! straddle dropped-reading gaps; large granules lag the relocating items.
+//!
+//! Usage: `cargo run --release -p esp-bench --bin fig6_granule_sweep [seconds] [seed]`
+
+use esp_bench::shelf::figure6;
+use esp_metrics::ascii_plot;
+use esp_types::TimeDelta;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(700);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let granules = [0.4, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+    let report = figure6(TimeDelta::from_secs(secs), seed, &granules);
+    print!("{}", report.render_text());
+    if let Some(s) = report.series.first() {
+        print!("{}", ascii_plot(s, 64, 10));
+    }
+    report
+        .write_json(std::path::Path::new("results"), "fig6_granule_sweep")
+        .expect("write results/fig6_granule_sweep.json");
+    println!("wrote results/fig6_granule_sweep.json");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 9(a–e)**: the digital-home person detector —
+//! reality, raw per-modality traces, and the ESP output (paper: 92%
+//! accuracy).
+//!
+//! Usage: `cargo run --release -p esp-bench --bin fig9_person_detector [seconds] [seed]`
+
+use esp_bench::home::{figure9, raw_traces};
+use esp_metrics::ascii_plot;
+use esp_types::TimeDelta;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let duration = TimeDelta::from_secs(secs);
+    let raw = raw_traces(duration, seed);
+    print!("{}", raw.render_text());
+    let report = figure9(duration, seed);
+    print!("{}", report.render_text());
+    for name in ["reality", "esp"] {
+        if let Some(s) = report.series.iter().find(|s| s.name == name) {
+            print!("{}", ascii_plot(s, 72, 4));
+        }
+    }
+    raw.write_json(std::path::Path::new("results"), "fig9_raw_traces")
+        .expect("write results/fig9_raw_traces.json");
+    report
+        .write_json(std::path::Path::new("results"), "fig9_person_detector")
+        .expect("write results/fig9_person_detector.json");
+    println!("wrote results/fig9_person_detector.json and results/fig9_raw_traces.json");
+}

@@ -1,0 +1,266 @@
+//! §6 digital-home person detector (Figure 9).
+
+use esp_core::{
+    MergeStage, Pipeline, PointStage, SmoothStage, VirtualizeStage, VoteRule,
+};
+use esp_metrics::{BinaryAccuracy, Report, Series};
+use esp_receptors::office::{devices, OfficeScenario, BADGE_TAG};
+use esp_types::{ReceptorType, SpatialGranule, TimeDelta, Ts, Value};
+
+use crate::util::build_processor;
+
+/// The paper's sound threshold (Query 6: `sensors.noise > 525`).
+pub const NOISE_THRESHOLD: f64 = 525.0;
+
+/// Build the full five-stage digital-home pipeline.
+///
+/// * Point: RFID streams are filtered against the expected-tag relation
+///   (drops the errant tag antenna 1 reads).
+/// * Smooth (per receptor, by type): RFID tag counts over 5 s; sound
+///   windowed mean over 5 s; X10 ON-interpolation over 10 s.
+/// * Merge (per group, by type): RFID union-dedup by tag; sound group mean
+///   with mean±1σ outlier rejection; X10 2-of-3 voting.
+/// * Virtualize: threshold voting over the three cleaned modalities
+///   (Query 6 with threshold 2).
+pub fn home_pipeline(vote_threshold: usize) -> Pipeline {
+    Pipeline::builder()
+        .per_receptor("point", |ctx| {
+            Ok(Box::new(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => {
+                    PointStage::new("point").expected_values("tag_id", [BADGE_TAG])
+                }
+                _ => PointStage::new("point"),
+            }))
+        })
+        .per_receptor("smooth", |ctx| {
+            Ok(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => Box::new(SmoothStage::count_by_key(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "tag_id"],
+                )) as Box<dyn esp_core::Stage>,
+                Some(ReceptorType::X10Motion) => Box::new(SmoothStage::event_presence(
+                    "smooth",
+                    TimeDelta::from_secs(10),
+                    ["spatial_granule", "receptor_id"],
+                    "value",
+                    "ON",
+                    1,
+                )),
+                _ => Box::new(SmoothStage::windowed_mean(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "receptor_id"],
+                    "noise",
+                )),
+            })
+        })
+        .per_group("merge", |ctx| {
+            let granule =
+                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("office"));
+            Ok(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => Box::new(MergeStage::union_all(
+                    "merge",
+                    granule,
+                    Some("tag_id".into()),
+                )) as Box<dyn esp_core::Stage>,
+                Some(ReceptorType::X10Motion) => Box::new(MergeStage::vote_threshold(
+                    "merge",
+                    granule,
+                    TimeDelta::from_secs(10),
+                    "value",
+                    "ON",
+                    "receptor_id",
+                    2,
+                )),
+                _ => Box::new(MergeStage::outlier_filtered_mean(
+                    "merge",
+                    granule,
+                    TimeDelta::from_secs(5),
+                    "noise",
+                    1.0,
+                )),
+            })
+        })
+        .global("virtualize", move |_ctx| {
+            Ok(Box::new(
+                VirtualizeStage::voting(
+                    "virtualize",
+                    "Person-in-room",
+                    vec![
+                        VoteRule::numeric_above("sound", "noise", NOISE_THRESHOLD),
+                        VoteRule::min_tuples_with("rfid", "tag_id", 1),
+                        VoteRule::value_equals("motion", "value", "ON"),
+                    ],
+                    vote_threshold,
+                )
+                .expect("valid voting config"),
+            ))
+        })
+        .build()
+}
+
+/// Result of a digital-home run.
+pub struct HomeRun {
+    /// Per-epoch detector output (true = person reported in room).
+    pub detected: Vec<bool>,
+    /// Per-epoch ground truth.
+    pub truth: Vec<bool>,
+    /// Epoch times in seconds.
+    pub times: Vec<f64>,
+    /// Detector accuracy vs ground truth.
+    pub accuracy: BinaryAccuracy,
+}
+
+/// Run the person detector for `duration` at 1 s epochs.
+pub fn run_home(duration: TimeDelta, vote_threshold: usize, seed: u64) -> HomeRun {
+    let scenario = OfficeScenario::paper(seed);
+    let period = TimeDelta::from_secs(1);
+    let n_epochs = duration.as_millis() / period.as_millis();
+
+    let proc = build_processor(
+        &scenario.groups(),
+        &home_pipeline(vote_threshold),
+        scenario.sources(),
+    )
+    .expect("home processor builds");
+    let out = proc.run(Ts::ZERO, period, n_epochs).expect("home run");
+
+    let mut detected = Vec::with_capacity(out.trace.len());
+    let mut truth = Vec::with_capacity(out.trace.len());
+    let mut times = Vec::with_capacity(out.trace.len());
+    let mut accuracy = BinaryAccuracy::new();
+    for (ts, batch) in &out.trace {
+        let d = batch
+            .iter()
+            .any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
+        let t = scenario.occupied(*ts);
+        accuracy.record(d, t);
+        detected.push(d);
+        truth.push(t);
+        times.push(ts.as_secs_f64());
+    }
+    HomeRun { detected, truth, times, accuracy }
+}
+
+/// Raw per-modality traces for Figure 9(b–d), from an uncleaned run.
+pub fn raw_traces(duration: TimeDelta, seed: u64) -> Report {
+    let scenario = OfficeScenario::paper(seed);
+    let period = TimeDelta::from_secs(1);
+    let n_epochs = duration.as_millis() / period.as_millis();
+    let proc = build_processor(&scenario.groups(), &Pipeline::raw(), scenario.sources())
+        .expect("raw processor builds");
+    let out = proc.run(Ts::ZERO, period, n_epochs).expect("raw run");
+
+    let mut report = Report::new("Figure 9(b-d): raw receptor traces");
+    // (b) per-antenna tag counts per second.
+    for (i, reader) in devices::RFID.iter().enumerate() {
+        let mut s = Series::new(format!("rfid:antenna{i}"));
+        for (ts, batch) in &out.trace {
+            let n = batch
+                .iter()
+                .filter(|t| {
+                    t.get("receptor_id").and_then(Value::as_i64)
+                        == Some(i64::from(reader.0))
+                        && t.get("tag_id").is_some()
+                })
+                .count();
+            s.push(ts.as_secs_f64(), n as f64);
+        }
+        report.add_series(s);
+    }
+    // (c) per-mote sound readings.
+    for (i, mote) in devices::MOTES.iter().enumerate() {
+        let mut s = Series::new(format!("sound:mote{}", i + 1));
+        for (ts, batch) in &out.trace {
+            for t in batch {
+                if t.get("receptor_id").and_then(Value::as_i64) == Some(i64::from(mote.0)) {
+                    if let Some(v) = t.get("noise").and_then(Value::as_f64) {
+                        s.push(ts.as_secs_f64(), v);
+                    }
+                }
+            }
+        }
+        report.add_series(s);
+    }
+    // (d) X10 ON marks.
+    for (i, det) in devices::X10.iter().enumerate() {
+        let mut s = Series::new(format!("x10:detector{}", i + 1));
+        for (ts, batch) in &out.trace {
+            let fired = batch
+                .iter()
+                .any(|t| t.get("receptor_id").and_then(Value::as_i64) == Some(i64::from(det.0)));
+            if fired {
+                s.push(ts.as_secs_f64(), (i + 1) as f64);
+            }
+        }
+        report.add_series(s);
+    }
+    report
+}
+
+/// The Figure 9 report: truth, ESP output, and accuracy.
+pub fn figure9(duration: TimeDelta, seed: u64) -> Report {
+    let run = run_home(duration, 2, seed);
+    let mut report = Report::new("Figure 9: a person detector");
+    report.add_series(Series::from_points(
+        "reality",
+        run.times.iter().copied().zip(run.truth.iter().map(|&b| if b { 1.0 } else { 0.0 })),
+    ));
+    report.add_series(Series::from_points(
+        "esp",
+        run.times
+            .iter()
+            .copied()
+            .zip(run.detected.iter().map(|&b| if b { 1.0 } else { 0.0 })),
+    ));
+    report.scalar("accuracy", run.accuracy.accuracy());
+    report.scalar("precision", run.accuracy.precision());
+    report.scalar("recall", run.accuracy.recall());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_detector_accuracy_matches_paper_band() {
+        let run = run_home(TimeDelta::from_secs(600), 2, 17);
+        let acc = run.accuracy.accuracy();
+        assert!(acc > 0.85, "detector accuracy {acc} (paper: 92%)");
+        assert!(acc < 1.0, "perfect accuracy would mean the simulation is too easy");
+    }
+
+    #[test]
+    fn detector_flips_with_occupancy() {
+        let run = run_home(TimeDelta::from_secs(600), 2, 17);
+        // Both states must actually be reported.
+        assert!(run.detected.iter().any(|&d| d));
+        assert!(run.detected.iter().any(|&d| !d));
+        // And transitions roughly track the square wave (10 half-periods).
+        let flips = run.detected.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!((6..=40).contains(&flips), "detected {flips} flips");
+    }
+
+    #[test]
+    fn threshold_three_is_stricter_than_two() {
+        let two = run_home(TimeDelta::from_secs(300), 2, 17);
+        let three = run_home(TimeDelta::from_secs(300), 3, 17);
+        let on2 = two.detected.iter().filter(|&&d| d).count();
+        let on3 = three.detected.iter().filter(|&&d| d).count();
+        assert!(on3 <= on2, "3-of-3 voting fires less: {on3} vs {on2}");
+        // Requiring every modality hurts recall.
+        assert!(three.accuracy.recall() <= two.accuracy.recall() + 1e-9);
+    }
+
+    #[test]
+    fn raw_traces_have_expected_shape() {
+        let report = raw_traces(TimeDelta::from_secs(120), 17);
+        assert_eq!(report.series.len(), 8);
+        // Sound readings straddle the 525 threshold.
+        let sound = report.series.iter().find(|s| s.name == "sound:mote1").unwrap();
+        let (lo, hi) = sound.y_range().unwrap();
+        assert!(lo < NOISE_THRESHOLD && hi > NOISE_THRESHOLD, "range [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,208 @@
+//! §5.1 outlier detection (Figure 7).
+
+use esp_core::{MergeStage, Pipeline, PointStage};
+use esp_types::SpatialGranule;
+use esp_metrics::{Report, Series};
+use esp_receptors::lab::{LabScenario, LAB_MOTES};
+use esp_types::{ReceptorType, TimeDelta, Ts, Value};
+
+use crate::util::{build_processor, with_type};
+
+/// Merge window used for the room average.
+pub const MERGE_WINDOW: TimeDelta = TimeDelta(5 * 60 * 1000);
+
+fn lab_pipeline(with_point: bool, outlier_k: f64) -> Pipeline {
+    let mut builder = Pipeline::builder();
+    if with_point {
+        // Paper Query 4: filter fail-dirty readings above 50 °C.
+        builder = builder.per_receptor("point", |_ctx| {
+            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+        });
+    }
+    builder
+        .per_group("merge", move |ctx| {
+            let granule = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            Ok(Box::new(MergeStage::outlier_filtered_mean(
+                "merge",
+                granule,
+                MERGE_WINDOW,
+                "temp",
+                outlier_k,
+            )))
+        })
+        .build()
+}
+
+/// One epoch of the Figure 7 traces.
+pub struct LabEpoch {
+    /// Time in days.
+    pub days: f64,
+    /// Latest raw reading per mote this epoch (NaN if none arrived).
+    pub raw: [f64; 3],
+    /// Naive windowed average over all three motes (no outlier rejection).
+    pub naive_average: Option<f64>,
+    /// ESP output (Point + Merge with mean±1σ rejection).
+    pub esp: Option<f64>,
+    /// True room temperature.
+    pub truth: f64,
+}
+
+/// Run the Figure 7 experiment over `days` of simulated time.
+pub fn run_lab(days: f64, seed: u64) -> Vec<LabEpoch> {
+    let scenario = LabScenario::paper(seed);
+    let period = scenario.config().sample_period;
+    let n_epochs = ((days * 86_400.0 * 1000.0) / period.as_millis() as f64) as u64;
+
+    // ESP pipeline: Point + Merge(mean ± 1σ).
+    let esp_out = {
+        let proc = build_processor(
+            &scenario.groups(),
+            &lab_pipeline(true, 1.0),
+            with_type(scenario.sources(), ReceptorType::Mote),
+        )
+        .expect("lab processor builds");
+        proc.run(Ts::ZERO, period, n_epochs).expect("lab run")
+    };
+    // Naive average: same merge window, no Point, no outlier rejection.
+    let naive_out = {
+        let proc = build_processor(
+            &scenario.groups(),
+            &lab_pipeline(false, f64::INFINITY),
+            with_type(scenario.sources(), ReceptorType::Mote),
+        )
+        .expect("lab processor builds");
+        proc.run(Ts::ZERO, period, n_epochs).expect("lab run")
+    };
+    // Raw per-mote readings.
+    let raw_out = {
+        let proc = build_processor(
+            &scenario.groups(),
+            &Pipeline::raw(),
+            with_type(scenario.sources(), ReceptorType::Mote),
+        )
+        .expect("lab processor builds");
+        proc.run(Ts::ZERO, period, n_epochs).expect("lab run")
+    };
+
+    let scalar = |batch: &[esp_types::Tuple]| {
+        batch.first().and_then(|t| t.get("temp").and_then(Value::as_f64))
+    };
+    let mut epochs = Vec::with_capacity(esp_out.trace.len());
+    for i in 0..esp_out.trace.len() {
+        let (ts, raw_batch) = &raw_out.trace[i];
+        let mut raw = [f64::NAN; 3];
+        for t in raw_batch {
+            let Some(id) = t.get("receptor_id").and_then(Value::as_i64) else { continue };
+            if let Some(pos) = LAB_MOTES.iter().position(|m| i64::from(m.0) == id) {
+                raw[pos] = t.get("temp").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            }
+        }
+        epochs.push(LabEpoch {
+            days: ts.as_secs_f64() / 86_400.0,
+            raw,
+            naive_average: scalar(&naive_out.trace[i].1),
+            esp: scalar(&esp_out.trace[i].1),
+            truth: scenario.true_temp(*ts),
+        });
+    }
+    epochs
+}
+
+/// Build the Figure 7 report: traces plus divergence summary.
+pub fn figure7(days: f64, seed: u64) -> Report {
+    let epochs = run_lab(days, seed);
+    let scenario = LabScenario::paper(seed);
+    let mut report = Report::new("Figure 7: outlier detection using ESP");
+
+    for (m, _) in LAB_MOTES.iter().enumerate() {
+        report.add_series(Series::from_points(
+            format!("mote{}", m + 1),
+            epochs.iter().filter(|e| !e.raw[m].is_nan()).map(|e| (e.days, e.raw[m])),
+        ));
+    }
+    report.add_series(Series::from_points(
+        "average",
+        epochs.iter().filter_map(|e| e.naive_average.map(|v| (e.days, v))),
+    ));
+    report.add_series(Series::from_points(
+        "esp",
+        epochs.iter().filter_map(|e| e.esp.map(|v| (e.days, v))),
+    ));
+
+    // Summary scalars: late-trace behaviour (after the outlier saturates).
+    let late: Vec<&LabEpoch> =
+        epochs.iter().filter(|e| e.days > days * 0.75).collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let late_esp_err: Vec<f64> =
+        late.iter().filter_map(|e| e.esp.map(|v| (v - e.truth).abs())).collect();
+    let late_naive_err: Vec<f64> = late
+        .iter()
+        .filter_map(|e| e.naive_average.map(|v| (v - e.truth).abs()))
+        .collect();
+    report.scalar("late_esp_mean_abs_error", mean(&late_esp_err));
+    report.scalar("late_naive_mean_abs_error", mean(&late_naive_err));
+    report.scalar("fail_onset_days", scenario.config().fail_onset.as_secs_f64() / 86_400.0);
+    // When does ESP start excluding the outlier? First epoch after onset
+    // where ESP diverges from the naive average by > 1 °C.
+    let detect = epochs.iter().find(|e| {
+        if let (Some(esp), Some(naive)) = (e.esp, e.naive_average) {
+            (esp - naive).abs() > 1.0
+        } else {
+            false
+        }
+    });
+    report.scalar(
+        "esp_begins_eliminating_outlier_days",
+        detect.map(|e| e.days).unwrap_or(f64::NAN),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esp_tracks_truth_while_naive_average_is_dragged_up() {
+        let epochs = run_lab(1.5, 21);
+        let late: Vec<&LabEpoch> = epochs.iter().filter(|e| e.days > 1.2).collect();
+        assert!(!late.is_empty());
+        let esp_err: f64 = late
+            .iter()
+            .filter_map(|e| e.esp.map(|v| (v - e.truth).abs()))
+            .sum::<f64>()
+            / late.len() as f64;
+        let naive_err: f64 = late
+            .iter()
+            .filter_map(|e| e.naive_average.map(|v| (v - e.truth).abs()))
+            .sum::<f64>()
+            / late.len() as f64;
+        assert!(esp_err < 1.5, "ESP stays near truth: {esp_err}");
+        assert!(naive_err > 5.0, "naive average dragged up by outlier: {naive_err}");
+    }
+
+    #[test]
+    fn merge_detects_outlier_before_point_cutoff() {
+        // The paper: "although Point is the first stage in the pipeline,
+        // Merge is the first stage to eliminate the outlier" — divergence
+        // begins while the failed mote still reads below 50 °C.
+        let report = figure7(1.5, 21);
+        let detect = report.get_scalar("esp_begins_eliminating_outlier_days").unwrap();
+        let onset = report.get_scalar("fail_onset_days").unwrap();
+        assert!(detect > onset, "detection after onset");
+        // 50 °C is reached (3.7 °C/h from ~21 °C) ≈ 7.8 h after onset.
+        let cutoff_days = onset + (50.0 - 24.0) / 3.7 / 24.0;
+        assert!(
+            detect < cutoff_days,
+            "Merge should act at {detect} days, before the 50 °C cutoff at {cutoff_days}"
+        );
+    }
+
+    #[test]
+    fn raw_traces_include_dropped_epochs() {
+        let epochs = run_lab(0.2, 21);
+        let misses = epochs.iter().filter(|e| e.raw[0].is_nan()).count();
+        assert!(misses > 0, "20% loss must show up as missing raw epochs");
+        assert!(misses < epochs.len() / 2);
+    }
+}

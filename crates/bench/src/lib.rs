@@ -1,0 +1,28 @@
+//! # esp-bench
+//!
+//! The experiment harness: one module per paper deployment, each exposing
+//! functions that run a seeded simulation through an ESP pipeline and
+//! return a [`Report`](esp_metrics::Report). The `src/bin/` targets print
+//! the same rows and series the paper's tables and figures show; the
+//! Criterion benches in `benches/` measure engine and pipeline throughput.
+//!
+//! Experiment ↔ figure map (see DESIGN.md §3 for the full index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3_shelf_traces` | Figure 3(a–d) + §4 error/alert numbers |
+//! | `fig5_pipeline_ablation` | Figure 5 |
+//! | `fig6_granule_sweep` | Figure 6 |
+//! | `fig7_outlier_detection` | Figure 7 |
+//! | `redwood_epoch_yield` | §5.2 epoch-yield staircase |
+//! | `fig9_person_detector` | Figure 9(a–e) + 92% accuracy |
+//! | `ablation_spatial_granule` | §5.3.2 discussion |
+//! | `ablation_window_expansion` | §5.2.1 discussion |
+
+pub mod actuation;
+pub mod home;
+pub mod model;
+pub mod lab;
+pub mod redwood;
+pub mod shelf;
+pub mod util;

@@ -1,0 +1,387 @@
+//! §5.2 redwood epoch-yield experiments, plus the §5.2.1 window-expansion
+//! and §5.3.2 spatial-granule ablations.
+
+use std::collections::HashMap;
+
+use esp_core::{MergeStage, Pipeline, SmoothStage, TemporalGranule};
+use esp_metrics::{fraction_within, EpochYield, Report};
+use esp_receptors::redwood::{RedwoodConfig, RedwoodScenario};
+use esp_types::{ReceptorType, SpatialGranule, TimeDelta, Ts, Value};
+
+use crate::util::{build_processor, with_type};
+
+/// Cleaning level for one redwood run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedwoodStage {
+    /// Raw delivered readings.
+    Raw,
+    /// Smooth (temporal aggregation) only.
+    Smooth,
+    /// Smooth then Merge (spatial aggregation).
+    SmoothMerge,
+}
+
+/// Result of one redwood run.
+pub struct RedwoodRun {
+    /// Epoch yield (reported / requested readings).
+    pub epoch_yield: f64,
+    /// Fraction of reported readings within 1 °C of ground truth.
+    pub within_1c: f64,
+    /// Mean absolute error of reported readings.
+    pub mean_abs_error: f64,
+}
+
+fn redwood_pipeline(stage: RedwoodStage, granule: TemporalGranule) -> Pipeline {
+    let smooth = move |_ctx: &esp_core::StageCtx| {
+        Ok(Box::new(SmoothStage::windowed_mean(
+            "smooth",
+            granule,
+            ["spatial_granule", "receptor_id"],
+            "temp",
+        )) as Box<dyn esp_core::Stage>)
+    };
+    let merge = move |ctx: &esp_core::StageCtx| {
+        let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("?"));
+        Ok(Box::new(MergeStage::outlier_filtered_mean(
+            "merge",
+            g,
+            TemporalGranule::new(granule.granule()),
+            "temp",
+            1.0,
+        )) as Box<dyn esp_core::Stage>)
+    };
+    match stage {
+        RedwoodStage::Raw => Pipeline::raw(),
+        RedwoodStage::Smooth => Pipeline::builder().per_receptor("smooth", smooth).build(),
+        RedwoodStage::SmoothMerge => Pipeline::builder()
+            .per_receptor("smooth", smooth)
+            .per_group("merge", merge)
+            .build(),
+    }
+}
+
+/// Run the redwood scenario at one cleaning level.
+///
+/// Yield accounting follows §5.2: the application requests one reading per
+/// mote per 5-minute epoch. Raw/Smooth: a request is served if that mote's
+/// (possibly smoothed) stream produced a value this epoch. Merge: a
+/// request is served if the mote's *granule* produced a value (spatial
+/// interpolation masks the mote's own silence).
+pub fn run_redwood(
+    stage: RedwoodStage,
+    config: RedwoodConfig,
+    smooth_window: TimeDelta,
+    days: f64,
+    seed: u64,
+) -> RedwoodRun {
+    let scenario = RedwoodScenario::new(config, seed);
+    let period = scenario.config().sample_period;
+    let n_epochs = ((days * 86_400_000.0) / period.as_millis() as f64) as u64;
+    let granule = TemporalGranule::with_window(period, smooth_window.max(period))
+        .expect("window >= granule");
+
+    let groups = scenario.groups();
+    // mote id -> group index.
+    let group_of: HashMap<u32, usize> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.members.iter().map(move |m| (m.0, gi)))
+        .collect();
+    let granule_index: HashMap<String, usize> =
+        groups.iter().enumerate().map(|(gi, g)| (g.granule.clone(), gi)).collect();
+    let n_motes = scenario.config().n_motes;
+
+    let proc = build_processor(
+        &groups,
+        &redwood_pipeline(stage, granule),
+        with_type(scenario.sources(), ReceptorType::Mote),
+    )
+    .expect("redwood processor builds");
+    let out = proc.run(Ts::ZERO, period, n_epochs).expect("redwood run");
+
+    let mut epoch_yield = EpochYield::new();
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for (ts, batch) in &out.trace {
+        match stage {
+            RedwoodStage::Raw | RedwoodStage::Smooth => {
+                // Values per mote this epoch.
+                let mut per_mote: HashMap<i64, f64> = HashMap::new();
+                for t in batch {
+                    if let (Some(id), Some(v)) = (
+                        t.get("receptor_id").and_then(Value::as_i64),
+                        t.get("temp").and_then(Value::as_f64),
+                    ) {
+                        per_mote.insert(id, v);
+                    }
+                }
+                for m in 0..n_motes {
+                    match per_mote.get(&(m as i64)) {
+                        Some(v) => {
+                            epoch_yield.record(true);
+                            pairs.push((
+                                *v,
+                                scenario.mote_true_temp(esp_types::ReceptorId(m as u32), *ts),
+                            ));
+                        }
+                        None => epoch_yield.record(false),
+                    }
+                }
+            }
+            RedwoodStage::SmoothMerge => {
+                // Values per granule this epoch.
+                let mut per_granule: HashMap<usize, f64> = HashMap::new();
+                for t in batch {
+                    if let (Some(g), Some(v)) = (
+                        t.get("spatial_granule").and_then(Value::as_str),
+                        t.get("temp").and_then(Value::as_f64),
+                    ) {
+                        if let Some(&gi) = granule_index.get(g) {
+                            per_granule.insert(gi, v);
+                        }
+                    }
+                }
+                for m in 0..n_motes {
+                    let gi = group_of[&(m as u32)];
+                    match per_granule.get(&gi) {
+                        Some(v) => {
+                            epoch_yield.record(true);
+                            pairs.push((*v, scenario.granule_true_temp(gi, *ts)));
+                        }
+                        None => epoch_yield.record(false),
+                    }
+                }
+            }
+        }
+    }
+
+    let within_1c = fraction_within(pairs.iter().copied(), 1.0);
+    let mean_abs_error = esp_metrics::mean_absolute_error(pairs);
+    RedwoodRun { epoch_yield: epoch_yield.value(), within_1c, mean_abs_error }
+}
+
+/// The §5.2 staircase: raw → Smooth → Smooth+Merge.
+pub fn epoch_yield_report(days: f64, seed: u64) -> Report {
+    let mut report = Report::new("§5.2: redwood epoch yield by cleaning level");
+    let window = TimeDelta::from_mins(30); // the paper's expanded window
+    for (label, stage) in [
+        ("raw", RedwoodStage::Raw),
+        ("smooth", RedwoodStage::Smooth),
+        ("smooth+merge", RedwoodStage::SmoothMerge),
+    ] {
+        let run = run_redwood(stage, RedwoodConfig::default(), window, days, seed);
+        report.scalar(format!("{label}:epoch_yield"), run.epoch_yield);
+        report.scalar(format!("{label}:within_1C"), run.within_1c);
+        report.scalar(format!("{label}:mean_abs_error"), run.mean_abs_error);
+    }
+    report
+}
+
+/// §5.2.1 ablation: Smooth-stage yield/accuracy vs window width at the
+/// fixed 5-minute sampling rate.
+pub fn window_expansion_report(days: f64, seed: u64, windows_min: &[u64]) -> Report {
+    let mut report =
+        Report::new("§5.2.1 ablation: window expansion at fixed 5-minute sampling");
+    let mut yield_series = esp_metrics::Series::new("epoch_yield");
+    let mut acc_series = esp_metrics::Series::new("within_1C");
+    for &w in windows_min {
+        let run = run_redwood(
+            RedwoodStage::Smooth,
+            RedwoodConfig::default(),
+            TimeDelta::from_mins(w),
+            days,
+            seed,
+        );
+        yield_series.push(w as f64, run.epoch_yield);
+        acc_series.push(w as f64, run.within_1c);
+        report.scalar(format!("window_{w}min:epoch_yield"), run.epoch_yield);
+        report.scalar(format!("window_{w}min:within_1C"), run.within_1c);
+    }
+    report.add_series(yield_series);
+    report.add_series(acc_series);
+    report
+}
+
+/// §5.3.2 ablation: Merge yield/accuracy vs proximity-group size.
+pub fn spatial_granule_report(days: f64, seed: u64, group_sizes: &[usize]) -> Report {
+    let mut report = Report::new("§5.3.2 ablation: spatial granule (group) size");
+    for &size in group_sizes {
+        let mut config = RedwoodConfig::default();
+        // Regroup by resizing pair spacing so larger groups still span a
+        // small height band. Keep mote count divisible for clean groups.
+        config.n_motes = 32;
+        let scenario = RedwoodScenario::new(config.clone(), seed);
+        // Build custom groups of `size` consecutive motes.
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < config.n_motes {
+            let members: Vec<esp_types::ReceptorId> = (i..config.n_motes.min(i + size))
+                .map(|m| esp_types::ReceptorId(m as u32))
+                .collect();
+            groups.push(esp_receptors::GroupSpec {
+                granule: format!("band-{}", groups.len()),
+                members,
+            });
+            i += size;
+        }
+        let run = run_redwood_with_groups(&scenario, groups, days, seed);
+        report.scalar(format!("group_size_{size}:epoch_yield"), run.epoch_yield);
+        report.scalar(format!("group_size_{size}:within_1C"), run.within_1c);
+        report.scalar(format!("group_size_{size}:mean_abs_error"), run.mean_abs_error);
+    }
+    report
+}
+
+/// Smooth+Merge over explicit groups (used by the spatial ablation).
+fn run_redwood_with_groups(
+    scenario: &RedwoodScenario,
+    groups: Vec<esp_receptors::GroupSpec>,
+    days: f64,
+    _seed: u64,
+) -> RedwoodRun {
+    let period = scenario.config().sample_period;
+    let n_epochs = ((days * 86_400_000.0) / period.as_millis() as f64) as u64;
+    let granule = TemporalGranule::with_window(period, TimeDelta::from_mins(30)).unwrap();
+    let n_motes = scenario.config().n_motes;
+
+    let group_of: HashMap<u32, usize> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.members.iter().map(move |m| (m.0, gi)))
+        .collect();
+    let granule_index: HashMap<String, usize> =
+        groups.iter().enumerate().map(|(gi, g)| (g.granule.clone(), gi)).collect();
+
+    let proc = build_processor(
+        &groups,
+        &redwood_pipeline(RedwoodStage::SmoothMerge, granule),
+        with_type(scenario.sources(), ReceptorType::Mote),
+    )
+    .expect("processor builds");
+    let out = proc.run(Ts::ZERO, period, n_epochs).expect("run succeeds");
+
+    let mut epoch_yield = EpochYield::new();
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for (ts, batch) in &out.trace {
+        let mut per_granule: HashMap<usize, f64> = HashMap::new();
+        for t in batch {
+            if let (Some(g), Some(v)) = (
+                t.get("spatial_granule").and_then(Value::as_str),
+                t.get("temp").and_then(Value::as_f64),
+            ) {
+                if let Some(&gi) = granule_index.get(g) {
+                    per_granule.insert(gi, v);
+                }
+            }
+        }
+        for m in 0..n_motes {
+            let gi = group_of[&(m as u32)];
+            match per_granule.get(&gi) {
+                Some(v) => {
+                    epoch_yield.record(true);
+                    // §5.3.2 scoring: the application wants the value at
+                    // *this mote's* location; a wider granule substitutes
+                    // a band average, which is where the extra error
+                    // comes from.
+                    let truth =
+                        scenario.mote_true_temp(esp_types::ReceptorId(m as u32), *ts);
+                    pairs.push((*v, truth));
+                }
+                None => epoch_yield.record(false),
+            }
+        }
+    }
+    RedwoodRun {
+        epoch_yield: epoch_yield.value(),
+        within_1c: fraction_within(pairs.iter().copied(), 1.0),
+        mean_abs_error: esp_metrics::mean_absolute_error(pairs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAYS: f64 = 0.5; // half a simulated day keeps tests quick
+
+    #[test]
+    fn yield_staircase_raw_smooth_merge() {
+        let w = TimeDelta::from_mins(30);
+        let raw = run_redwood(RedwoodStage::Raw, RedwoodConfig::default(), w, DAYS, 3);
+        let smooth = run_redwood(RedwoodStage::Smooth, RedwoodConfig::default(), w, DAYS, 3);
+        let merged =
+            run_redwood(RedwoodStage::SmoothMerge, RedwoodConfig::default(), w, DAYS, 3);
+        assert!(
+            (raw.epoch_yield - 0.40).abs() < 0.06,
+            "raw yield ≈ 40%, got {}",
+            raw.epoch_yield
+        );
+        assert!(
+            smooth.epoch_yield > raw.epoch_yield + 0.2,
+            "smooth {} ≫ raw {}",
+            smooth.epoch_yield,
+            raw.epoch_yield
+        );
+        assert!(
+            merged.epoch_yield > smooth.epoch_yield,
+            "merge {} > smooth {}",
+            merged.epoch_yield,
+            smooth.epoch_yield
+        );
+        assert!(merged.epoch_yield > 0.85, "merged yield {}", merged.epoch_yield);
+    }
+
+    #[test]
+    fn smoothing_keeps_readings_accurate() {
+        let w = TimeDelta::from_mins(30);
+        let smooth = run_redwood(RedwoodStage::Smooth, RedwoodConfig::default(), w, DAYS, 3);
+        assert!(
+            smooth.within_1c > 0.9,
+            "smoothed readings mostly within 1 °C, got {}",
+            smooth.within_1c
+        );
+        let merged =
+            run_redwood(RedwoodStage::SmoothMerge, RedwoodConfig::default(), w, DAYS, 3);
+        assert!(
+            merged.within_1c > 0.85,
+            "merge trades a little accuracy, got {}",
+            merged.within_1c
+        );
+        // The §5.2 trade: merge yields more but is (slightly) less accurate.
+        assert!(merged.within_1c <= smooth.within_1c + 0.02);
+    }
+
+    #[test]
+    fn wider_windows_raise_yield() {
+        let narrow = run_redwood(
+            RedwoodStage::Smooth,
+            RedwoodConfig::default(),
+            TimeDelta::from_mins(5),
+            DAYS,
+            3,
+        );
+        let wide = run_redwood(
+            RedwoodStage::Smooth,
+            RedwoodConfig::default(),
+            TimeDelta::from_mins(30),
+            DAYS,
+            3,
+        );
+        assert!(
+            wide.epoch_yield > narrow.epoch_yield + 0.15,
+            "wide {} vs narrow {}",
+            wide.epoch_yield,
+            narrow.epoch_yield
+        );
+    }
+
+    #[test]
+    fn larger_groups_raise_yield_but_cost_accuracy() {
+        let report = spatial_granule_report(DAYS, 3, &[2, 8]);
+        let y2 = report.get_scalar("group_size_2:epoch_yield").unwrap();
+        let y8 = report.get_scalar("group_size_8:epoch_yield").unwrap();
+        let e2 = report.get_scalar("group_size_2:mean_abs_error").unwrap();
+        let e8 = report.get_scalar("group_size_8:mean_abs_error").unwrap();
+        assert!(y8 >= y2, "bigger groups mask more losses: {y8} vs {y2}");
+        assert!(e8 > e2, "bigger groups average over a wider band: {e8} vs {e2}");
+    }
+}

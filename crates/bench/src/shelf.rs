@@ -1,0 +1,330 @@
+//! §4 RFID shelf experiments: Figures 3, 5, 6 and the §4 headline numbers.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use esp_core::{ArbitrateStage, Pipeline, SmoothStage, TieBreak};
+use esp_metrics::{average_relative_error, AlertCounter, Report, Series};
+use esp_receptors::rfid::ShelfScenario;
+use esp_types::{ReceptorType, TimeDelta, Ts, Value};
+
+use crate::util::{build_processor, with_type};
+
+/// The five Figure 5 pipeline configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShelfPipeline {
+    /// No cleaning: the application consumes raw readings.
+    Raw,
+    /// Smooth per reader only.
+    SmoothOnly,
+    /// Arbitrate over raw readings only.
+    ArbitrateOnly,
+    /// Arbitrate first, then Smooth (the wrong order).
+    ArbitrateThenSmooth,
+    /// Smooth per reader, then Arbitrate (the paper's pipeline).
+    SmoothThenArbitrate,
+}
+
+impl ShelfPipeline {
+    /// All configurations in the order Figure 5 lists them.
+    pub const ALL: [ShelfPipeline; 5] = [
+        ShelfPipeline::Raw,
+        ShelfPipeline::SmoothOnly,
+        ShelfPipeline::ArbitrateOnly,
+        ShelfPipeline::ArbitrateThenSmooth,
+        ShelfPipeline::SmoothThenArbitrate,
+    ];
+
+    /// Display label matching the figure's x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShelfPipeline::Raw => "Raw",
+            ShelfPipeline::SmoothOnly => "Smooth Only",
+            ShelfPipeline::ArbitrateOnly => "Arbitrate Only",
+            ShelfPipeline::ArbitrateThenSmooth => "Arbitrate+Smooth",
+            ShelfPipeline::SmoothThenArbitrate => "Smooth+Arbitrate",
+        }
+    }
+}
+
+/// Result of one shelf run.
+pub struct ShelfRun {
+    /// Per-epoch reported count per shelf: `counts[shelf][epoch]`.
+    pub counts: Vec<Vec<f64>>,
+    /// Per-epoch true count per shelf.
+    pub truth: Vec<Vec<f64>>,
+    /// Epoch timestamps (seconds).
+    pub times: Vec<f64>,
+    /// Average relative error (Equation 1, across both shelves).
+    pub avg_relative_error: f64,
+    /// Restock alerts (reported count < 5) per second.
+    pub alerts_per_second: f64,
+    /// False restock alerts per second (truth was ≥ 5).
+    pub false_alerts_per_second: f64,
+}
+
+/// Build a shelf pipeline configuration.
+pub fn shelf_pipeline(cfg: ShelfPipeline, granule: TimeDelta) -> Pipeline {
+    let smooth_per_receptor = move || {
+        move |_ctx: &esp_core::StageCtx| {
+            Ok(Box::new(SmoothStage::count_by_key(
+                "smooth",
+                granule,
+                ["spatial_granule", "tag_id"],
+            )) as Box<dyn esp_core::Stage>)
+        }
+    };
+    // Paper §4.3.1: ties attributed to the weaker antenna (shelf 1).
+    let arbitrate = || {
+        |_ctx: &esp_core::StageCtx| {
+            Ok(Box::new(ArbitrateStage::new(
+                "arbitrate",
+                TieBreak::Priority(vec![Arc::from("shelf1"), Arc::from("shelf0")]),
+            )) as Box<dyn esp_core::Stage>)
+        }
+    };
+    let smooth_global = move || {
+        move |_ctx: &esp_core::StageCtx| {
+            Ok(Box::new(SmoothStage::count_by_key(
+                "smooth",
+                granule,
+                ["spatial_granule", "tag_id"],
+            )) as Box<dyn esp_core::Stage>)
+        }
+    };
+    match cfg {
+        ShelfPipeline::Raw => Pipeline::raw(),
+        ShelfPipeline::SmoothOnly => {
+            Pipeline::builder().per_receptor("smooth", smooth_per_receptor()).build()
+        }
+        ShelfPipeline::ArbitrateOnly => {
+            Pipeline::builder().global("arbitrate", arbitrate()).build()
+        }
+        ShelfPipeline::ArbitrateThenSmooth => Pipeline::builder()
+            .global("arbitrate", arbitrate())
+            .global("smooth", smooth_global())
+            .build(),
+        ShelfPipeline::SmoothThenArbitrate => Pipeline::builder()
+            .per_receptor("smooth", smooth_per_receptor())
+            .global("arbitrate", arbitrate())
+            .build(),
+    }
+}
+
+/// Run the shelf scenario through one pipeline configuration and score the
+/// application's shelf-count query (Query 1 evaluated at every reader
+/// epoch) against ground truth.
+pub fn run_shelf(
+    cfg: ShelfPipeline,
+    granule: TimeDelta,
+    duration: TimeDelta,
+    seed: u64,
+) -> ShelfRun {
+    let scenario = ShelfScenario::paper(seed);
+    let n_shelves = scenario.config().n_shelves;
+    let period = scenario.config().sample_period;
+    let n_epochs = duration.as_millis() / period.as_millis();
+
+    let pipeline = shelf_pipeline(cfg, granule);
+    let proc = build_processor(
+        &scenario.groups(),
+        &pipeline,
+        with_type(scenario.sources(), ReceptorType::Rfid),
+    )
+    .expect("shelf processor builds");
+    let output = proc.run(Ts::ZERO, period, n_epochs).expect("shelf run succeeds");
+
+    let mut counts = vec![Vec::with_capacity(output.trace.len()); n_shelves];
+    let mut truth = vec![Vec::with_capacity(output.trace.len()); n_shelves];
+    let mut times = Vec::with_capacity(output.trace.len());
+    let mut alerts = AlertCounter::new(5.0);
+    for (epoch, batch) in &output.trace {
+        times.push(epoch.as_secs_f64());
+        // Query 1 at this epoch: count distinct tags per spatial granule.
+        let mut tags_per_shelf: Vec<HashSet<&str>> = vec![HashSet::new(); n_shelves];
+        for t in batch {
+            let Some(granule) = t.get("spatial_granule").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(shelf) = granule.strip_prefix("shelf").and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            if let Some(tag) = t.get("tag_id").and_then(Value::as_str) {
+                tags_per_shelf[shelf].insert(tag);
+            }
+        }
+        for shelf in 0..n_shelves {
+            let reported = tags_per_shelf[shelf].len() as f64;
+            let actual = scenario.true_count(shelf, *epoch) as f64;
+            counts[shelf].push(reported);
+            truth[shelf].push(actual);
+            alerts.record(reported, actual);
+        }
+    }
+
+    let pairs = counts
+        .iter()
+        .zip(&truth)
+        .flat_map(|(c, t)| c.iter().copied().zip(t.iter().copied()));
+    let avg_relative_error = average_relative_error(pairs);
+    let secs = duration.as_secs_f64();
+    ShelfRun {
+        counts,
+        truth,
+        times,
+        avg_relative_error,
+        alerts_per_second: alerts.alerts_per_second(secs),
+        false_alerts_per_second: alerts.false_alerts() as f64 / secs,
+    }
+}
+
+/// Figure 3: the shelf-count traces at each processing level, plus the §4
+/// headline numbers.
+pub fn figure3(duration: TimeDelta, seed: u64) -> Report {
+    let granule = TimeDelta::from_secs(5);
+    let mut report = Report::new("Figure 3: Query 1 results at different stages of processing");
+    for (tag, cfg) in [
+        ("raw", ShelfPipeline::Raw),
+        ("smooth", ShelfPipeline::SmoothOnly),
+        ("arbitrate", ShelfPipeline::SmoothThenArbitrate),
+    ] {
+        let run = run_shelf(cfg, granule, duration, seed);
+        for shelf in 0..run.counts.len() {
+            report.add_series(Series::from_points(
+                format!("{tag}:shelf{shelf}"),
+                run.times.iter().copied().zip(run.counts[shelf].iter().copied()),
+            ));
+        }
+        report.scalar(format!("{tag}:avg_relative_error"), run.avg_relative_error);
+        report.scalar(format!("{tag}:alerts_per_second"), run.alerts_per_second);
+        report.scalar(
+            format!("{tag}:false_alerts_per_second"),
+            run.false_alerts_per_second,
+        );
+        if tag == "raw" {
+            // Ground truth trace (Figure 3(a)) from the raw run.
+            for shelf in 0..run.truth.len() {
+                report.add_series(Series::from_points(
+                    format!("reality:shelf{shelf}"),
+                    run.times.iter().copied().zip(run.truth[shelf].iter().copied()),
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Figure 5: average relative error per pipeline configuration.
+pub fn figure5(duration: TimeDelta, seed: u64) -> Report {
+    let granule = TimeDelta::from_secs(5);
+    let mut report =
+        Report::new("Figure 5: average relative error by pipeline configuration");
+    for cfg in ShelfPipeline::ALL {
+        let run = run_shelf(cfg, granule, duration, seed);
+        report.scalar(cfg.label(), run.avg_relative_error);
+    }
+    report
+}
+
+/// Figure 6: average relative error vs temporal granule size.
+pub fn figure6(duration: TimeDelta, seed: u64, granules_s: &[f64]) -> Report {
+    let mut report =
+        Report::new("Figure 6: average relative error vs temporal granule size");
+    let mut series = Series::new("avg_relative_error");
+    for &g in granules_s {
+        let granule = TimeDelta::from_millis((g * 1000.0) as u64);
+        let run = run_shelf(ShelfPipeline::SmoothThenArbitrate, granule, duration, seed);
+        series.push(g, run.avg_relative_error);
+        report.scalar(format!("granule_{g}s"), run.avg_relative_error);
+    }
+    report.add_series(series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: TimeDelta = TimeDelta(60_000); // 60 s keeps tests quick
+
+    #[test]
+    fn raw_error_is_large_and_alerts_fire_constantly() {
+        let run = run_shelf(ShelfPipeline::Raw, TimeDelta::from_secs(5), SHORT, 11);
+        assert!(
+            run.avg_relative_error > 0.25,
+            "raw error should be large, got {}",
+            run.avg_relative_error
+        );
+        assert!(
+            run.false_alerts_per_second > 0.5,
+            "raw data should fire false restock alerts continuously, got {}",
+            run.false_alerts_per_second
+        );
+    }
+
+    #[test]
+    fn full_pipeline_beats_raw_by_a_wide_margin() {
+        let raw = run_shelf(ShelfPipeline::Raw, TimeDelta::from_secs(5), SHORT, 11);
+        let cleaned =
+            run_shelf(ShelfPipeline::SmoothThenArbitrate, TimeDelta::from_secs(5), SHORT, 11);
+        assert!(
+            cleaned.avg_relative_error < raw.avg_relative_error / 3.0,
+            "cleaned {} vs raw {}",
+            cleaned.avg_relative_error,
+            raw.avg_relative_error
+        );
+        assert!(
+            cleaned.false_alerts_per_second < 0.05,
+            "cleaning should silence restock alerts, got {}",
+            cleaned.false_alerts_per_second
+        );
+    }
+
+    #[test]
+    fn smooth_alone_leaves_the_antenna_discrepancy() {
+        let smooth = run_shelf(ShelfPipeline::SmoothOnly, TimeDelta::from_secs(5), SHORT, 11);
+        let full =
+            run_shelf(ShelfPipeline::SmoothThenArbitrate, TimeDelta::from_secs(5), SHORT, 11);
+        assert!(
+            smooth.avg_relative_error > 1.5 * full.avg_relative_error,
+            "smooth-only {} should be clearly worse than smooth+arbitrate {}",
+            smooth.avg_relative_error,
+            full.avg_relative_error
+        );
+        // Shelf 0 is overcounted after Smooth alone (the paper's §4.1).
+        let shelf0_mean: f64 =
+            smooth.counts[0].iter().sum::<f64>() / smooth.counts[0].len() as f64;
+        let truth0_mean: f64 =
+            smooth.truth[0].iter().sum::<f64>() / smooth.truth[0].len() as f64;
+        assert!(
+            shelf0_mean > truth0_mean + 2.0,
+            "shelf0 smoothed mean {shelf0_mean} should overcount truth {truth0_mean}"
+        );
+    }
+
+    #[test]
+    fn arbitrate_alone_is_no_better_than_raw() {
+        let raw = run_shelf(ShelfPipeline::Raw, TimeDelta::from_secs(5), SHORT, 11);
+        let arb = run_shelf(ShelfPipeline::ArbitrateOnly, TimeDelta::from_secs(5), SHORT, 11);
+        // "Arbitrate individually provides little benefit beyond raw."
+        assert!(
+            (arb.avg_relative_error - raw.avg_relative_error).abs() < 0.15,
+            "arbitrate-only {} should be close to raw {}",
+            arb.avg_relative_error,
+            raw.avg_relative_error
+        );
+    }
+
+    #[test]
+    fn figure5_ordering_matches_paper() {
+        let duration = TimeDelta::from_secs(120);
+        let report = figure5(duration, 11);
+        let get = |l: &str| report.get_scalar(l).unwrap();
+        let raw = get("Raw");
+        let smooth = get("Smooth Only");
+        let full = get("Smooth+Arbitrate");
+        assert!(full < smooth && smooth < raw, "{full} < {smooth} < {raw} violated");
+        assert!(full < 0.12, "full pipeline error {full}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared wiring between scenario builders and the ESP processor.
+
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_receptors::GroupSpec;
+use esp_stream::Source;
+use esp_types::{ReceptorId, ReceptorType, Result};
+
+/// Register a scenario's [`GroupSpec`]s and receptors with a pipeline and
+/// build the processor.
+pub fn build_processor(
+    group_specs: &[GroupSpec],
+    pipeline: &Pipeline,
+    sources: Vec<(ReceptorId, ReceptorType, Box<dyn Source>)>,
+) -> Result<EspProcessor> {
+    let mut groups = ProximityGroups::new();
+    for spec in group_specs {
+        let rtype = sources
+            .iter()
+            .find(|(id, _, _)| spec.members.contains(id))
+            .map(|(_, t, _)| *t)
+            .unwrap_or(ReceptorType::Other("unknown"));
+        groups.add_group(rtype, spec.granule.as_str(), spec.members.iter().copied());
+    }
+    let bindings = sources
+        .into_iter()
+        .map(|(id, rtype, source)| ReceptorBinding::new(id, rtype, source))
+        .collect();
+    EspProcessor::build(groups, pipeline, bindings)
+}
+
+/// Adapt a `(ReceptorId, Box<dyn Source>)` list (single-type scenarios) to
+/// the typed form [`build_processor`] takes.
+pub fn with_type(
+    sources: Vec<(ReceptorId, Box<dyn Source>)>,
+    rtype: ReceptorType,
+) -> Vec<(ReceptorId, ReceptorType, Box<dyn Source>)> {
+    sources.into_iter().map(|(id, s)| (id, rtype, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_stream::ScriptedSource;
+    use esp_types::{TimeDelta, Ts};
+
+    #[test]
+    fn builds_processor_from_specs() {
+        let specs = vec![GroupSpec {
+            granule: "g".into(),
+            members: vec![ReceptorId(0)],
+        }];
+        let sources = with_type(
+            vec![(ReceptorId(0), Box::new(ScriptedSource::new("s", vec![])) as _)],
+            ReceptorType::Rfid,
+        );
+        let proc = build_processor(&specs, &Pipeline::raw(), sources).unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 2).unwrap();
+        assert_eq!(out.trace.len(), 2);
+    }
+}

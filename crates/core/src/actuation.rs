@@ -1,0 +1,140 @@
+//! The actuation controller (paper §5.3.1).
+//!
+//! When a receptor's delivered readings are too sparse for Smooth to fill
+//! a granule-sized window, ESP has two options: widen the window (§5.2.1,
+//! costing accuracy — see the `ablation_window_expansion` experiment) or
+//! *actuate the sensor* to sample faster. [`RateController`] implements
+//! the second: fed the per-granule reading count, it speeds the receptor
+//! up (halving the period) while the count is under target and relaxes it
+//! (doubling) once the count comfortably exceeds target, bounded by a
+//! floor and the initial period.
+
+use esp_types::{SampleRateHandle, TimeDelta};
+
+/// Multiplicative-increase/decrease controller for one receptor's sample
+/// rate.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    handle: SampleRateHandle,
+    /// Desired readings per granule window.
+    target: u64,
+    /// Fastest allowed sampling (hardware/energy floor).
+    min_period: TimeDelta,
+    /// Slowest allowed sampling (the deployment's initial period).
+    max_period: TimeDelta,
+    speedups: u64,
+    relaxations: u64,
+}
+
+impl RateController {
+    /// Create a controller over `handle`. The handle's current period
+    /// becomes the ceiling; `min_period` is the floor.
+    pub fn new(handle: SampleRateHandle, target: u64, min_period: TimeDelta) -> RateController {
+        let max_period = handle.period();
+        RateController {
+            handle,
+            target: target.max(1),
+            min_period: min_period.max(TimeDelta::from_millis(1)),
+            max_period,
+            speedups: 0,
+            relaxations: 0,
+        }
+    }
+
+    /// Report the number of readings that survived into the last granule
+    /// window; the controller adjusts the sample period.
+    pub fn observe(&mut self, readings_in_window: u64) {
+        let current = self.handle.period();
+        if readings_in_window < self.target {
+            // Halve the period (sample twice as fast), bounded below.
+            let next = TimeDelta::from_millis((current.as_millis() / 2).max(1))
+                .max(self.min_period);
+            if next < current {
+                self.handle.set_period(next);
+                self.speedups += 1;
+            }
+        } else if readings_in_window >= self.target.saturating_mul(3) {
+            // Plenty of margin: relax to save energy, bounded above.
+            let next = TimeDelta::from_millis(current.as_millis().saturating_mul(2))
+                .min(self.max_period);
+            if next > current {
+                self.handle.set_period(next);
+                self.relaxations += 1;
+            }
+        }
+    }
+
+    /// The current sample period.
+    pub fn period(&self) -> TimeDelta {
+        self.handle.period()
+    }
+
+    /// Number of speed-up adjustments issued.
+    pub fn speedups(&self) -> u64 {
+        self.speedups
+    }
+
+    /// Number of relax adjustments issued.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(initial_s: u64, target: u64, floor_s: u64) -> RateController {
+        RateController::new(
+            SampleRateHandle::new(TimeDelta::from_secs(initial_s)),
+            target,
+            TimeDelta::from_secs(floor_s),
+        )
+    }
+
+    #[test]
+    fn starved_window_speeds_sampling_up() {
+        let mut c = controller(300, 3, 30);
+        c.observe(0);
+        assert_eq!(c.period(), TimeDelta::from_secs(150));
+        c.observe(1);
+        assert_eq!(c.period(), TimeDelta::from_secs(75));
+        assert_eq!(c.speedups(), 2);
+    }
+
+    #[test]
+    fn respects_the_floor() {
+        let mut c = controller(60, 5, 30);
+        for _ in 0..10 {
+            c.observe(0);
+        }
+        assert_eq!(c.period(), TimeDelta::from_secs(30), "floored");
+        assert_eq!(c.speedups(), 1, "no-op adjustments not counted");
+    }
+
+    #[test]
+    fn abundant_readings_relax_toward_initial() {
+        let mut c = controller(300, 3, 30);
+        // Drive it down…
+        c.observe(0);
+        c.observe(0);
+        assert_eq!(c.period(), TimeDelta::from_secs(75));
+        // …then relax once readings are ≥ 3× target.
+        c.observe(9);
+        assert_eq!(c.period(), TimeDelta::from_secs(150));
+        c.observe(9);
+        assert_eq!(c.period(), TimeDelta::from_secs(300));
+        c.observe(9);
+        assert_eq!(c.period(), TimeDelta::from_secs(300), "capped at the initial period");
+        assert_eq!(c.relaxations(), 2);
+    }
+
+    #[test]
+    fn on_target_holds_steady() {
+        let mut c = controller(300, 3, 30);
+        c.observe(3);
+        c.observe(5);
+        assert_eq!(c.period(), TimeDelta::from_secs(300));
+        assert_eq!(c.speedups() + c.relaxations(), 0);
+    }
+}

@@ -1,0 +1,675 @@
+//! Declarative deployment descriptors.
+//!
+//! The paper's second design goal is that ESP be "easy to deploy and
+//! configure" (§1): "deploying a cleaning pipeline using ESP involves
+//! implementing one or more of these stages … in many cases through
+//! declarative queries" (§3.3). [`DeploymentSpec`] takes that to its
+//! conclusion: an entire deployment — temporal granule, proximity groups,
+//! and the stage cascade (including stages written as embedded CQL) — is a
+//! JSON document, so reconfiguring for a new deployment means editing a
+//! config file, not recompiling.
+//!
+//! ```json
+//! {
+//!   "temporal_granule": "5 sec",
+//!   "groups": [
+//!     { "granule": "shelf0", "receptor_type": "rfid", "members": [0] },
+//!     { "granule": "shelf1", "receptor_type": "rfid", "members": [1] }
+//!   ],
+//!   "stages": [
+//!     { "smooth": { "mode": "count_by_key", "keys": ["spatial_granule", "tag_id"] } },
+//!     { "arbitrate": { "tie_break": { "priority": ["shelf1", "shelf0"] } } }
+//!   ]
+//! }
+//! ```
+
+use std::sync::Arc;
+
+use serde::Deserialize;
+
+use esp_query::Engine;
+use esp_types::{
+    EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value,
+};
+
+use crate::pipeline::{Pipeline, PipelineBuilder, StageCtx};
+use crate::proximity::ProximityGroups;
+use crate::stage::{DeclarativeStage, Stage};
+use crate::stages::arbitrate::{ArbitrateStage, TieBreak};
+use crate::stages::merge::MergeStage;
+use crate::stages::point::PointStage;
+use crate::stages::smooth::SmoothStage;
+use crate::stages::virtualize::{VirtualizeStage, VoteRule};
+use crate::TemporalGranule;
+
+/// A complete ESP deployment described as data.
+#[derive(Debug, Clone, Deserialize)]
+pub struct DeploymentSpec {
+    /// The application's temporal granule (`"5 sec"`, `"5 min"`, …).
+    pub temporal_granule: String,
+    /// Optional expanded smoothing window (§5.2.1); defaults to the
+    /// granule.
+    #[serde(default)]
+    pub smooth_window: Option<String>,
+    /// The proximity groups.
+    pub groups: Vec<GroupSpec>,
+    /// The stage cascade, in order.
+    pub stages: Vec<StageSpec>,
+}
+
+/// One proximity group in a deployment document.
+#[derive(Debug, Clone, Deserialize)]
+pub struct GroupSpec {
+    /// Spatial granule name.
+    pub granule: String,
+    /// Receptor type: `"rfid"`, `"mote"`, or `"x10-motion"`.
+    pub receptor_type: String,
+    /// Member device ids.
+    pub members: Vec<u32>,
+}
+
+/// One stage of the cascade. Scope defaults follow the paper's pipeline
+/// (Point/Smooth per receptor, Merge per group, Arbitrate/Virtualize
+/// global); `declarative` stages choose their scope explicitly.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StageSpec {
+    /// Tuple-level filters.
+    Point(PointSpec),
+    /// Temporal-granule aggregation (per receptor).
+    Smooth(SmoothSpec),
+    /// Spatial-granule aggregation (per group).
+    Merge(MergeSpec),
+    /// Cross-granule conflict resolution (global).
+    Arbitrate(ArbitrateSpec),
+    /// Cross-type fusion (global).
+    Virtualize(VirtualizeSpec),
+    /// An arbitrary stage written as a CQL continuous query.
+    Declarative(DeclarativeSpec),
+}
+
+/// Point-stage configuration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PointSpec {
+    /// Numeric range filters: keep `min <= field <= max`.
+    #[serde(default)]
+    pub range_filters: Vec<RangeFilterSpec>,
+    /// Keep only tuples whose `field` is one of `allowed`.
+    #[serde(default)]
+    pub expected_values: Option<ExpectedValuesSpec>,
+}
+
+/// One numeric range filter.
+#[derive(Debug, Clone, Deserialize)]
+pub struct RangeFilterSpec {
+    /// Field to test.
+    pub field: String,
+    /// Lower bound (unbounded if absent).
+    #[serde(default)]
+    pub min: Option<f64>,
+    /// Upper bound (unbounded if absent).
+    #[serde(default)]
+    pub max: Option<f64>,
+}
+
+/// Expected-values filter.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ExpectedValuesSpec {
+    /// Field to test.
+    pub field: String,
+    /// The allowed values.
+    pub allowed: Vec<String>,
+}
+
+/// Smooth-stage configuration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SmoothSpec {
+    /// `count_by_key`, `windowed_mean`, `event_presence`, or `ewma`.
+    pub mode: String,
+    /// Grouping keys (e.g. `["spatial_granule", "tag_id"]`).
+    #[serde(default)]
+    pub keys: Vec<String>,
+    /// Value field for `windowed_mean` / `ewma` / `event_presence`.
+    #[serde(default)]
+    pub value_field: Option<String>,
+    /// `event_presence`: the "on" value (default `"ON"`).
+    #[serde(default)]
+    pub on_value: Option<String>,
+    /// `event_presence`: events required in the window (default 1).
+    #[serde(default)]
+    pub min_events: Option<usize>,
+    /// `ewma`: smoothing factor in `[0, 1]`.
+    #[serde(default)]
+    pub alpha: Option<f64>,
+}
+
+/// Merge-stage configuration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct MergeSpec {
+    /// `outlier_filtered_mean`, `union_all`, `vote_threshold`, or
+    /// `windowed_median`.
+    pub mode: String,
+    /// Value field for the scalar modes.
+    #[serde(default)]
+    pub value_field: Option<String>,
+    /// `outlier_filtered_mean`: rejection threshold in σ (default 1.0).
+    #[serde(default)]
+    pub k: Option<f64>,
+    /// `union_all`: optional dedup key.
+    #[serde(default)]
+    pub dedup_key: Option<String>,
+    /// `vote_threshold`: the "on" value (default `"ON"`).
+    #[serde(default)]
+    pub on_value: Option<String>,
+    /// `vote_threshold`: device field (default `"receptor_id"`).
+    #[serde(default)]
+    pub device_field: Option<String>,
+    /// `vote_threshold`: devices required (default 2).
+    #[serde(default)]
+    pub min_devices: Option<usize>,
+}
+
+/// Arbitrate-stage configuration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ArbitrateSpec {
+    /// Tie-break policy.
+    #[serde(default)]
+    pub tie_break: Option<TieBreakSpec>,
+    /// Key field (default `"tag_id"`).
+    #[serde(default)]
+    pub key_field: Option<String>,
+    /// Count field (default `"count"`).
+    #[serde(default)]
+    pub count_field: Option<String>,
+}
+
+/// Tie-break policy in a deployment document.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TieBreakSpec {
+    /// Keep the reading in every tied granule.
+    KeepAll,
+    /// Highest-priority granule wins (first in the list).
+    Priority(Vec<String>),
+}
+
+/// Virtualize-stage configuration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct VirtualizeSpec {
+    /// The event emitted on detection.
+    pub event: String,
+    /// Votes required.
+    pub threshold: usize,
+    /// Voting rules.
+    pub rules: Vec<VoteRuleSpec>,
+}
+
+/// One vote rule.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum VoteRuleSpec {
+    /// Yes when any tuple's `field` exceeds `threshold`.
+    NumericAbove {
+        /// Field to test.
+        field: String,
+        /// Threshold value.
+        threshold: f64,
+    },
+    /// Yes when any tuple's `field` equals `value`.
+    ValueEquals {
+        /// Field to test.
+        field: String,
+        /// Value to match.
+        value: String,
+    },
+    /// Yes when at least `n` tuples carry a non-null `field`.
+    MinTuplesWith {
+        /// Field to test.
+        field: String,
+        /// Required tuple count.
+        n: usize,
+    },
+}
+
+/// A stage written as CQL.
+#[derive(Debug, Clone, Deserialize)]
+pub struct DeclarativeSpec {
+    /// `per_receptor`, `per_group`, or `global`.
+    pub scope: String,
+    /// The continuous query (single input stream).
+    pub query: String,
+    /// Display label (defaults to `"declarative"`).
+    #[serde(default)]
+    pub label: Option<String>,
+}
+
+impl DeploymentSpec {
+    /// Parse a deployment document from JSON.
+    pub fn from_json(json: &str) -> Result<DeploymentSpec> {
+        serde_json::from_str(json)
+            .map_err(|e| EspError::Config(format!("invalid deployment document: {e}")))
+    }
+
+    /// The parsed temporal granule (with any window expansion).
+    pub fn granule(&self) -> Result<TemporalGranule> {
+        let g = TimeDelta::parse(&self.temporal_granule)?;
+        match &self.smooth_window {
+            Some(w) => TemporalGranule::with_window(g, TimeDelta::parse(w)?),
+            None => Ok(TemporalGranule::new(g)),
+        }
+    }
+
+    /// Build the proximity-group registry.
+    pub fn build_groups(&self) -> Result<ProximityGroups> {
+        let mut groups = ProximityGroups::new();
+        for g in &self.groups {
+            let rtype = parse_receptor_type(&g.receptor_type)?;
+            groups.add_group(
+                rtype,
+                g.granule.as_str(),
+                g.members.iter().map(|m| ReceptorId(*m)),
+            );
+        }
+        Ok(groups)
+    }
+
+    /// Build the pipeline. Declarative stages are compiled against
+    /// `engine`'s catalog (static relations, UDFs, UDAs).
+    pub fn build_pipeline(&self, engine: &Engine) -> Result<Pipeline> {
+        let granule = self.granule()?;
+        let mut builder = Pipeline::builder();
+        for stage in &self.stages {
+            builder = add_stage(builder, stage, granule, engine)?;
+        }
+        Ok(builder.build())
+    }
+}
+
+fn parse_receptor_type(s: &str) -> Result<ReceptorType> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "rfid" => ReceptorType::Rfid,
+        "mote" => ReceptorType::Mote,
+        "x10-motion" | "x10" => ReceptorType::X10Motion,
+        other => {
+            return Err(EspError::Config(format!("unknown receptor type '{other}'")))
+        }
+    })
+}
+
+fn add_stage(
+    builder: PipelineBuilder,
+    spec: &StageSpec,
+    granule: TemporalGranule,
+    engine: &Engine,
+) -> Result<PipelineBuilder> {
+    Ok(match spec {
+        StageSpec::Point(p) => {
+            let p = p.clone();
+            builder.per_receptor("point", move |_ctx: &StageCtx| {
+                let mut stage = PointStage::new("point");
+                for rf in &p.range_filters {
+                    stage = stage.range_filter(&rf.field, rf.min, rf.max);
+                }
+                if let Some(ev) = &p.expected_values {
+                    stage = stage.expected_values(&ev.field, ev.allowed.iter());
+                }
+                Ok(Box::new(stage))
+            })
+        }
+        StageSpec::Smooth(s) => {
+            let s = s.clone();
+            // Validate the mode eagerly so configuration errors surface at
+            // deploy time, not first-epoch time.
+            build_smooth(&s, granule)?;
+            builder
+                .per_receptor("smooth", move |_ctx: &StageCtx| build_smooth(&s, granule))
+        }
+        StageSpec::Merge(m) => {
+            let m = m.clone();
+            {
+                let probe = StageCtx {
+                    scope: crate::Scope::PerGroup,
+                    receptor: None,
+                    receptor_type: None,
+                    group: None,
+                    granule: Some(SpatialGranule::new("probe")),
+                };
+                build_merge(&m, granule, &probe)?;
+            }
+            builder.per_group("merge", move |ctx: &StageCtx| build_merge(&m, granule, ctx))
+        }
+        StageSpec::Arbitrate(a) => {
+            let a = a.clone();
+            builder.global("arbitrate", move |_ctx: &StageCtx| {
+                let tie = match &a.tie_break {
+                    None | Some(TieBreakSpec::KeepAll) => TieBreak::KeepAll,
+                    Some(TieBreakSpec::Priority(names)) => TieBreak::Priority(
+                        names.iter().map(|n| Arc::from(n.as_str())).collect(),
+                    ),
+                };
+                let mut stage = ArbitrateStage::new("arbitrate", tie);
+                if a.key_field.is_some() || a.count_field.is_some() {
+                    stage = stage.with_fields(
+                        a.key_field.clone().unwrap_or_else(|| "tag_id".into()),
+                        a.count_field.clone().unwrap_or_else(|| "count".into()),
+                    );
+                }
+                Ok(Box::new(stage))
+            })
+        }
+        StageSpec::Virtualize(v) => {
+            let v = v.clone();
+            build_virtualize(&v)?; // eager validation
+            builder.global("virtualize", move |_ctx: &StageCtx| build_virtualize(&v))
+        }
+        StageSpec::Declarative(d) => {
+            let label = d.label.clone().unwrap_or_else(|| "declarative".into());
+            // Compile eagerly once to validate the query text.
+            DeclarativeStage::new(label.clone(), engine.compile(&d.query)?)?;
+            let engine = engine.clone();
+            let query = d.query.clone();
+            let factory = move |_ctx: &StageCtx| -> Result<Box<dyn Stage>> {
+                Ok(Box::new(DeclarativeStage::new(
+                    label.clone(),
+                    engine.compile(&query)?,
+                )?))
+            };
+            match d.scope.as_str() {
+                "per_receptor" => builder.per_receptor("declarative", factory),
+                "per_group" => builder.per_group("declarative", factory),
+                "global" => builder.global("declarative", factory),
+                other => {
+                    return Err(EspError::Config(format!("unknown stage scope '{other}'")))
+                }
+            }
+        }
+    })
+}
+
+fn build_smooth(s: &SmoothSpec, granule: TemporalGranule) -> Result<Box<dyn Stage>> {
+    let value_field = || {
+        s.value_field
+            .clone()
+            .ok_or_else(|| EspError::Config(format!("smooth mode '{}' needs value_field", s.mode)))
+    };
+    Ok(match s.mode.as_str() {
+        "count_by_key" => {
+            Box::new(SmoothStage::count_by_key("smooth", granule, s.keys.iter().cloned()))
+        }
+        "windowed_mean" => Box::new(SmoothStage::windowed_mean(
+            "smooth",
+            granule,
+            s.keys.iter().cloned(),
+            value_field()?,
+        )),
+        "event_presence" => Box::new(SmoothStage::event_presence(
+            "smooth",
+            granule,
+            s.keys.iter().cloned(),
+            value_field()?,
+            Value::str(s.on_value.as_deref().unwrap_or("ON")),
+            s.min_events.unwrap_or(1),
+        )),
+        "ewma" => Box::new(SmoothStage::ewma(
+            "smooth",
+            granule,
+            s.keys.iter().cloned(),
+            value_field()?,
+            s.alpha.unwrap_or(0.5),
+        )?),
+        other => return Err(EspError::Config(format!("unknown smooth mode '{other}'"))),
+    })
+}
+
+fn build_merge(
+    m: &MergeSpec,
+    granule: TemporalGranule,
+    ctx: &StageCtx,
+) -> Result<Box<dyn Stage>> {
+    let spatial =
+        ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("unknown"));
+    let value_field = || {
+        m.value_field
+            .clone()
+            .ok_or_else(|| EspError::Config(format!("merge mode '{}' needs value_field", m.mode)))
+    };
+    Ok(match m.mode.as_str() {
+        "outlier_filtered_mean" => Box::new(MergeStage::outlier_filtered_mean(
+            "merge",
+            spatial,
+            granule,
+            value_field()?,
+            m.k.unwrap_or(1.0),
+        )),
+        "union_all" => Box::new(MergeStage::union_all("merge", spatial, m.dedup_key.clone())),
+        "vote_threshold" => Box::new(MergeStage::vote_threshold(
+            "merge",
+            spatial,
+            granule,
+            value_field()?,
+            Value::str(m.on_value.as_deref().unwrap_or("ON")),
+            m.device_field.clone().unwrap_or_else(|| "receptor_id".into()),
+            m.min_devices.unwrap_or(2),
+        )),
+        "windowed_median" => Box::new(MergeStage::windowed_median(
+            "merge",
+            spatial,
+            granule,
+            value_field()?,
+        )),
+        other => return Err(EspError::Config(format!("unknown merge mode '{other}'"))),
+    })
+}
+
+fn build_virtualize(v: &VirtualizeSpec) -> Result<Box<dyn Stage>> {
+    let rules: Vec<VoteRule> = v
+        .rules
+        .iter()
+        .map(|r| match r {
+            VoteRuleSpec::NumericAbove { field, threshold } => {
+                VoteRule::numeric_above(field.clone(), field.clone(), *threshold)
+            }
+            VoteRuleSpec::ValueEquals { field, value } => {
+                VoteRule::value_equals(field.clone(), field.clone(), Value::str(value))
+            }
+            VoteRuleSpec::MinTuplesWith { field, n } => {
+                VoteRule::min_tuples_with(field.clone(), field.clone(), *n)
+            }
+        })
+        .collect();
+    Ok(Box::new(VirtualizeStage::voting(
+        "virtualize",
+        Value::str(&v.event),
+        rules,
+        v.threshold,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EspProcessor, ReceptorBinding};
+    use esp_stream::ScriptedSource;
+    use esp_types::{well_known, Ts, Tuple, TupleBuilder};
+
+    const SHELF_DEPLOYMENT: &str = r#"{
+        "temporal_granule": "5 sec",
+        "groups": [
+            { "granule": "shelf0", "receptor_type": "rfid", "members": [0] },
+            { "granule": "shelf1", "receptor_type": "rfid", "members": [1] }
+        ],
+        "stages": [
+            { "smooth": { "mode": "count_by_key",
+                          "keys": ["spatial_granule", "tag_id"] } },
+            { "arbitrate": { "tie_break": { "priority": ["shelf1", "shelf0"] } } }
+        ]
+    }"#;
+
+    fn sighting(ts: Ts, reader: i64, tag: &str) -> Tuple {
+        TupleBuilder::new(&well_known::rfid_schema(), ts)
+            .set("receptor_id", reader)
+            .unwrap()
+            .set("tag_id", tag)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shelf_deployment_parses_and_runs() {
+        let spec = DeploymentSpec::from_json(SHELF_DEPLOYMENT).unwrap();
+        assert_eq!(spec.granule().unwrap().granule(), TimeDelta::from_secs(5));
+        let groups = spec.build_groups().unwrap();
+        assert_eq!(groups.len(), 2);
+        let pipeline = spec.build_pipeline(&Engine::new()).unwrap();
+        assert_eq!(pipeline.len(), 2);
+
+        // Run: reader 0 sees the tag 3×, reader 1 once → arbitrate to shelf0.
+        let r0 = ScriptedSource::new(
+            "r0",
+            vec![(
+                Ts::ZERO,
+                vec![
+                    sighting(Ts::ZERO, 0, "x"),
+                    sighting(Ts::ZERO, 0, "x"),
+                    sighting(Ts::ZERO, 0, "x"),
+                ],
+            )],
+        );
+        let r1 =
+            ScriptedSource::new("r1", vec![(Ts::ZERO, vec![sighting(Ts::ZERO, 1, "x")])]);
+        let proc = EspProcessor::build(
+            groups,
+            &pipeline,
+            vec![
+                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, Box::new(r0)),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, Box::new(r1)),
+            ],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_millis(200), 1).unwrap();
+        let batch = &out.trace[0].1;
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].get("spatial_granule"), Some(&Value::str("shelf0")));
+    }
+
+    #[test]
+    fn declarative_stage_in_json() {
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [
+                { "granule": "shelf0", "receptor_type": "rfid", "members": [0] }
+            ],
+            "stages": [
+                { "declarative": {
+                    "scope": "per_receptor",
+                    "label": "smooth(Q2)",
+                    "query": "SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id"
+                } }
+            ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let pipeline = spec.build_pipeline(&Engine::new()).unwrap();
+        let proc = EspProcessor::build(
+            spec.build_groups().unwrap(),
+            &pipeline,
+            vec![ReceptorBinding::new(
+                ReceptorId(0),
+                ReceptorType::Rfid,
+                Box::new(ScriptedSource::new(
+                    "r",
+                    vec![(Ts::ZERO, vec![sighting(Ts::ZERO, 0, "a")])],
+                )),
+            )],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 3).unwrap();
+        // The CQL smooth interpolates across all three epochs.
+        assert!(out.trace.iter().all(|(_, b)| b.len() == 1));
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_at_deploy_time() {
+        // Malformed JSON.
+        assert!(DeploymentSpec::from_json("{").is_err());
+        // Unknown smooth mode surfaces when the pipeline is built.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [ { "smooth": { "mode": "psychic" } } ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let err = spec.build_pipeline(&Engine::new()).unwrap_err();
+        assert!(err.to_string().contains("psychic"));
+        // Bad CQL in a declarative stage surfaces at build time too.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [ { "declarative": { "scope": "global", "query": "SELEC oops" } } ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        assert!(spec.build_pipeline(&Engine::new()).is_err());
+        // Unknown receptor type.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "lidar", "members": [0] }],
+            "stages": []
+        }"#;
+        assert!(DeploymentSpec::from_json(doc).unwrap().build_groups().is_err());
+        // Bad granule text.
+        let doc = r#"{
+            "temporal_granule": "sideways",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": []
+        }"#;
+        assert!(DeploymentSpec::from_json(doc).unwrap().granule().is_err());
+    }
+
+    #[test]
+    fn virtualize_and_merge_modes_from_json() {
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [
+                { "granule": "office", "receptor_type": "mote", "members": [10, 11, 12] }
+            ],
+            "stages": [
+                { "merge": { "mode": "windowed_median", "value_field": "noise" } },
+                { "virtualize": {
+                    "event": "Person-in-room",
+                    "threshold": 1,
+                    "rules": [ { "kind": "numeric_above", "field": "noise", "threshold": 525.0 } ]
+                } }
+            ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let pipeline = spec.build_pipeline(&Engine::new()).unwrap();
+        assert_eq!(pipeline.len(), 2);
+
+        let mote = |id: i64, v: f64| {
+            TupleBuilder::new(&well_known::sound_schema(), Ts::ZERO)
+                .set("receptor_id", id)
+                .unwrap()
+                .set("noise", v)
+                .unwrap()
+                .build()
+                .unwrap()
+        };
+        let proc = EspProcessor::build(
+            spec.build_groups().unwrap(),
+            &pipeline,
+            vec![ReceptorBinding::new(
+                ReceptorId(10),
+                ReceptorType::Mote,
+                Box::new(ScriptedSource::new(
+                    "m",
+                    vec![(Ts::ZERO, vec![mote(10, 700.0), mote(10, 710.0), mote(10, 400.0)])],
+                )),
+            )],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 1).unwrap();
+        // median(400,700,710) = 700 > 525 → event fires.
+        assert_eq!(out.trace[0].1.len(), 1);
+        assert_eq!(out.trace[0].1[0].get("event"), Some(&Value::str("Person-in-room")));
+    }
+}

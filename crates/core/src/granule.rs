@@ -1,0 +1,137 @@
+//! The temporal granule and window expansion.
+
+use esp_types::{EspError, Result, TimeDelta};
+
+/// The application's temporal granule plus the (possibly expanded) window
+/// ESP actually smooths with.
+///
+/// The granule is the atomic unit of time the application cares about; ESP
+/// emits output at every granule boundary. To smooth effectively the window
+/// must straddle the longest run of dropped readings (paper §4.3.2), so ESP
+/// may *expand* the smoothing window beyond the granule while still emitting
+/// at granule rate — exactly what the redwood deployment did (§5.2.1:
+/// 5-minute granule, 30-minute window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalGranule {
+    granule: TimeDelta,
+    window: TimeDelta,
+}
+
+impl TemporalGranule {
+    /// A granule whose smoothing window equals the granule itself (the
+    /// common case; the paper's RFID deployment used 5 s for both).
+    pub fn new(granule: TimeDelta) -> TemporalGranule {
+        TemporalGranule { granule, window: granule }
+    }
+
+    /// A granule with an explicitly expanded smoothing window.
+    /// Errors if the window is narrower than the granule.
+    pub fn with_window(granule: TimeDelta, window: TimeDelta) -> Result<TemporalGranule> {
+        if window < granule {
+            return Err(EspError::Config(format!(
+                "smoothing window ({window}) must be at least the temporal granule ({granule})"
+            )));
+        }
+        Ok(TemporalGranule { granule, window })
+    }
+
+    /// Expand the window to hold at least `min_samples` at the given
+    /// receptor sample period, never shrinking below the granule.
+    ///
+    /// This is the §5.2.1 situation: the redwood motes sampled at the same
+    /// 5-minute period as the granule, so a granule-sized window held a
+    /// single (often lost) sample; ESP widened it until enough readings
+    /// accumulated to smooth over the losses.
+    pub fn expanded_for(
+        granule: TimeDelta,
+        sample_period: TimeDelta,
+        min_samples: u32,
+    ) -> Result<TemporalGranule> {
+        if sample_period.is_now() {
+            return Err(EspError::Config("sample period must be positive".into()));
+        }
+        let needed = TimeDelta::from_millis(sample_period.as_millis() * u64::from(min_samples));
+        let window = needed.max(granule);
+        TemporalGranule::with_window(granule, window)
+    }
+
+    /// The application-visible granule (output period).
+    pub fn granule(&self) -> TimeDelta {
+        self.granule
+    }
+
+    /// The smoothing window width.
+    pub fn window(&self) -> TimeDelta {
+        self.window
+    }
+
+    /// True when the window was expanded beyond the granule.
+    pub fn is_expanded(&self) -> bool {
+        self.window > self.granule
+    }
+}
+
+impl From<TimeDelta> for TemporalGranule {
+    fn from(granule: TimeDelta) -> Self {
+        TemporalGranule::new(granule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_granule_window_equals_granule() {
+        let g = TemporalGranule::new(TimeDelta::from_secs(5));
+        assert_eq!(g.granule(), g.window());
+        assert!(!g.is_expanded());
+    }
+
+    #[test]
+    fn explicit_expansion_validated() {
+        let g = TemporalGranule::with_window(TimeDelta::from_mins(5), TimeDelta::from_mins(30))
+            .unwrap();
+        assert!(g.is_expanded());
+        assert!(TemporalGranule::with_window(
+            TimeDelta::from_mins(5),
+            TimeDelta::from_mins(1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expanded_for_redwood_parameters() {
+        // 5-minute samples, want ≥6 samples to ride out bursts → 30 min.
+        let g = TemporalGranule::expanded_for(
+            TimeDelta::from_mins(5),
+            TimeDelta::from_mins(5),
+            6,
+        )
+        .unwrap();
+        assert_eq!(g.window(), TimeDelta::from_mins(30));
+        assert_eq!(g.granule(), TimeDelta::from_mins(5));
+    }
+
+    #[test]
+    fn expansion_never_shrinks_below_granule() {
+        // Fast sampler: 5 samples fit easily inside the granule.
+        let g = TemporalGranule::expanded_for(
+            TimeDelta::from_secs(5),
+            TimeDelta::from_millis(200),
+            5,
+        )
+        .unwrap();
+        assert_eq!(g.window(), TimeDelta::from_secs(5));
+    }
+
+    #[test]
+    fn zero_sample_period_rejected() {
+        assert!(TemporalGranule::expanded_for(
+            TimeDelta::from_secs(5),
+            TimeDelta::ZERO,
+            5
+        )
+        .is_err());
+    }
+}

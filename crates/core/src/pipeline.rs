@@ -1,0 +1,200 @@
+//! Pipelines: ordered, scoped arrangements of stage factories.
+//!
+//! A [`Pipeline`] does not hold stages — it holds *factories*. The
+//! [`EspProcessor`](crate::EspProcessor) instantiates one stage per
+//! receptor stream for per-receptor slots, one per proximity group for
+//! per-group slots, and a single instance for global slots. This is what
+//! makes the Figure 5 ablation a configuration change: the same factories
+//! can be arranged Smooth→Arbitrate, Arbitrate→Smooth, or individually.
+
+use esp_types::{ProximityGroupId, ReceptorId, ReceptorType, Result, SpatialGranule};
+
+use crate::stage::Stage;
+
+/// Where in the fan-in topology a stage slot sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// One stage instance per receptor stream (Point, Smooth).
+    PerReceptor,
+    /// One instance per proximity group, fed by the union of the group's
+    /// streams (Merge).
+    PerGroup,
+    /// One instance fed by the union of everything (Arbitrate, Virtualize).
+    Global,
+}
+
+/// Context handed to a stage factory when the processor instantiates it.
+#[derive(Debug, Clone)]
+pub struct StageCtx {
+    /// The slot's scope.
+    pub scope: Scope,
+    /// The receptor this instance serves (per-receptor slots).
+    pub receptor: Option<ReceptorId>,
+    /// The receptor's type, when known.
+    pub receptor_type: Option<ReceptorType>,
+    /// The proximity group this instance serves (per-receptor and
+    /// per-group slots).
+    pub group: Option<ProximityGroupId>,
+    /// The spatial granule the group monitors, when known.
+    pub granule: Option<SpatialGranule>,
+}
+
+/// A stage factory: instantiates a fresh stage for one (receptor | group |
+/// global) placement.
+pub type StageFactory = Box<dyn Fn(&StageCtx) -> Result<Box<dyn Stage>> + Send + Sync>;
+
+/// One slot of a pipeline.
+pub struct StageSlot {
+    /// Display label ("smooth", "arbitrate", …).
+    pub label: String,
+    /// Fan-in scope.
+    pub scope: Scope,
+    /// Stage factory.
+    pub factory: StageFactory,
+}
+
+/// An ordered cascade of scoped stage slots.
+pub struct Pipeline {
+    slots: Vec<StageSlot>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let labels: Vec<(&str, Scope)> =
+            self.slots.iter().map(|s| (s.label.as_str(), s.scope)).collect();
+        f.debug_struct("Pipeline").field("slots", &labels).finish()
+    }
+}
+
+impl Pipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder { slots: Vec::new() }
+    }
+
+    /// An empty pipeline: raw receptor data passes straight through (the
+    /// "Raw" configuration of Figure 5).
+    pub fn raw() -> Pipeline {
+        Pipeline { slots: Vec::new() }
+    }
+
+    /// The slots in order.
+    pub fn slots(&self) -> &[StageSlot] {
+        &self.slots
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    slots: Vec<StageSlot>,
+}
+
+impl PipelineBuilder {
+    /// Append a per-receptor slot.
+    pub fn per_receptor(
+        mut self,
+        label: impl Into<String>,
+        factory: impl Fn(&StageCtx) -> Result<Box<dyn Stage>> + Send + Sync + 'static,
+    ) -> Self {
+        self.slots.push(StageSlot {
+            label: label.into(),
+            scope: Scope::PerReceptor,
+            factory: Box::new(factory),
+        });
+        self
+    }
+
+    /// Append a per-group slot.
+    pub fn per_group(
+        mut self,
+        label: impl Into<String>,
+        factory: impl Fn(&StageCtx) -> Result<Box<dyn Stage>> + Send + Sync + 'static,
+    ) -> Self {
+        self.slots.push(StageSlot {
+            label: label.into(),
+            scope: Scope::PerGroup,
+            factory: Box::new(factory),
+        });
+        self
+    }
+
+    /// Append a global slot.
+    pub fn global(
+        mut self,
+        label: impl Into<String>,
+        factory: impl Fn(&StageCtx) -> Result<Box<dyn Stage>> + Send + Sync + 'static,
+    ) -> Self {
+        self.slots.push(StageSlot {
+            label: label.into(),
+            scope: Scope::Global,
+            factory: Box::new(factory),
+        });
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Pipeline {
+        Pipeline { slots: self.slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::FnStage;
+
+    #[test]
+    fn builder_preserves_order_and_scope() {
+        let p = Pipeline::builder()
+            .per_receptor("smooth", |_| {
+                Ok(Box::new(FnStage::per_tuple("id", |t| Ok(Some(t.clone())))))
+            })
+            .per_group("merge", |_| {
+                Ok(Box::new(FnStage::per_tuple("id", |t| Ok(Some(t.clone())))))
+            })
+            .global("arbitrate", |_| {
+                Ok(Box::new(FnStage::per_tuple("id", |t| Ok(Some(t.clone())))))
+            })
+            .build();
+        let labels: Vec<&str> = p.slots().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["smooth", "merge", "arbitrate"]);
+        assert_eq!(p.slots()[0].scope, Scope::PerReceptor);
+        assert_eq!(p.slots()[1].scope, Scope::PerGroup);
+        assert_eq!(p.slots()[2].scope, Scope::Global);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn raw_pipeline_is_empty() {
+        assert!(Pipeline::raw().is_empty());
+    }
+
+    #[test]
+    fn factories_receive_context() {
+        let p = Pipeline::builder()
+            .per_receptor("probe", |ctx| {
+                assert_eq!(ctx.scope, Scope::PerReceptor);
+                Ok(Box::new(FnStage::per_tuple("id", |t| Ok(Some(t.clone())))))
+            })
+            .build();
+        let ctx = StageCtx {
+            scope: Scope::PerReceptor,
+            receptor: Some(ReceptorId(3)),
+            receptor_type: Some(ReceptorType::Rfid),
+            group: Some(ProximityGroupId(0)),
+            granule: Some(SpatialGranule::new("shelf0")),
+        };
+        let stage = (p.slots()[0].factory)(&ctx).unwrap();
+        assert_eq!(stage.name(), "id");
+    }
+}

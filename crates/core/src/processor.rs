@@ -1,0 +1,533 @@
+//! The ESP Processor: wires receptors through a pipeline and drives it.
+//!
+//! "An ESP Processor initiates data flow from the appropriate receptors and
+//! applies each stage in a Fjord-style manner as the sensor readings stream
+//! through the pipeline" (paper §3.3). Concretely, the processor builds an
+//! [`esp_stream::Dataflow`]:
+//!
+//! * one source node per receptor;
+//! * a `spatial_granule`-injection operator per (receptor, group)
+//!   membership (paper §4 fn. 2 — ESP automatically adds the attribute),
+//!   which also implements *dynamic* granule↔device remapping: the
+//!   injector consults the shared [`ProximityGroups`] registry every epoch,
+//!   so moving a receptor between groups takes effect immediately;
+//! * stage operators per the pipeline's scoped slots, with unions at each
+//!   fan-in point;
+//! * a final union + output tap.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use esp_stream::ops::{MapOp, UnionOp};
+use esp_stream::{Dataflow, EpochRunner, NodeId, Source, TapId};
+use esp_types::{
+    Batch, EspError, Field, ProximityGroupId, ReceptorId, ReceptorType, Result, Schema,
+    SpatialGranule, TimeDelta, Ts, Tuple, Value,
+};
+use esp_types::{well_known, DataType};
+
+use crate::pipeline::{Pipeline, Scope, StageCtx};
+use crate::proximity::ProximityGroups;
+use crate::stage::StageOperator;
+
+/// A receptor plugged into the processor: identity plus its data source.
+pub struct ReceptorBinding {
+    /// The device id (must match `receptor_id` values in its tuples for
+    /// group-keyed stages to work, though the processor does not enforce
+    /// this).
+    pub id: ReceptorId,
+    /// The device type.
+    pub receptor_type: ReceptorType,
+    /// The stream source (a simulator or a real driver).
+    pub source: Box<dyn Source>,
+}
+
+impl ReceptorBinding {
+    /// Convenience constructor.
+    pub fn new(
+        id: ReceptorId,
+        receptor_type: ReceptorType,
+        source: Box<dyn Source>,
+    ) -> ReceptorBinding {
+        ReceptorBinding { id, receptor_type, source }
+    }
+}
+
+/// The output of a completed run.
+pub struct RunOutput {
+    /// One `(epoch, batch)` entry per executed epoch, in order — the
+    /// cleaned output stream delivered to the application.
+    pub trace: Vec<(Ts, Batch)>,
+}
+
+impl RunOutput {
+    /// Flatten the trace into a single batch (losing epoch boundaries).
+    pub fn flattened(&self) -> Batch {
+        self.trace.iter().flat_map(|(_, b)| b.iter().cloned()).collect()
+    }
+}
+
+/// Drives receptor streams through an ESP pipeline.
+pub struct EspProcessor {
+    runner: EpochRunner,
+    tap: TapId,
+    groups: Arc<RwLock<ProximityGroups>>,
+}
+
+impl std::fmt::Debug for EspProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EspProcessor")
+            .field("epochs_run", &self.runner.epochs_run())
+            .field("groups", &self.groups.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+struct StreamHandle {
+    node: NodeId,
+    receptor: Option<ReceptorId>,
+    receptor_type: Option<ReceptorType>,
+    group: Option<ProximityGroupId>,
+    granule: Option<SpatialGranule>,
+}
+
+impl EspProcessor {
+    /// Build a processor. Every receptor must belong to at least one
+    /// proximity group; a receptor in several groups fans out to each.
+    pub fn build(
+        groups: ProximityGroups,
+        pipeline: &Pipeline,
+        receptors: Vec<ReceptorBinding>,
+    ) -> Result<EspProcessor> {
+        let (df, tap, groups) = Self::build_dataflow(groups, pipeline, receptors)?;
+        Ok(EspProcessor { runner: EpochRunner::new(df), tap, groups })
+    }
+
+    /// Build the pipeline and execute it on the multi-threaded runner
+    /// (one thread per node, crossbeam queues between them — the Fjord
+    /// queues made literal). The per-epoch output is identical to
+    /// [`EspProcessor::run`]; use this when receptor simulation or stage
+    /// work dominates and cores are available.
+    pub fn run_threaded(
+        groups: ProximityGroups,
+        pipeline: &Pipeline,
+        receptors: Vec<ReceptorBinding>,
+        start: Ts,
+        period: TimeDelta,
+        n_epochs: u64,
+    ) -> Result<RunOutput> {
+        let (df, tap, _groups) = Self::build_dataflow(groups, pipeline, receptors)?;
+        let mut traces = esp_stream::ThreadedRunner::run(df, start, period, n_epochs)?;
+        Ok(RunOutput { trace: std::mem::take(&mut traces[tap.index()]) })
+    }
+
+    fn build_dataflow(
+        groups: ProximityGroups,
+        pipeline: &Pipeline,
+        receptors: Vec<ReceptorBinding>,
+    ) -> Result<(Dataflow, TapId, Arc<RwLock<ProximityGroups>>)> {
+        let groups = Arc::new(RwLock::new(groups));
+        let mut df = Dataflow::new();
+
+        // Sources + spatial_granule injection, one branch per membership.
+        let mut streams: Vec<StreamHandle> = Vec::new();
+        for binding in receptors {
+            let memberships = groups.read().groups_of(binding.id);
+            if memberships.is_empty() {
+                return Err(EspError::Config(format!(
+                    "{} is not a member of any proximity group",
+                    binding.id
+                )));
+            }
+            let receptor = binding.id;
+            let rtype = binding.receptor_type;
+            let src = df.add_source(binding.source);
+            for group in memberships {
+                let granule = groups.read().granule(group)?.clone();
+                let inject =
+                    granule_injector(Arc::clone(&groups), receptor, group);
+                let node = df.add_operator(
+                    Box::new(MapOp::new(format!("inject:{granule}"), inject)),
+                    &[src],
+                )?;
+                streams.push(StreamHandle {
+                    node,
+                    receptor: Some(receptor),
+                    receptor_type: Some(rtype),
+                    group: Some(group),
+                    granule: Some(granule),
+                });
+            }
+        }
+
+        // Stage slots.
+        for slot in pipeline.slots() {
+            match slot.scope {
+                Scope::PerReceptor => {
+                    for s in &mut streams {
+                        let ctx = StageCtx {
+                            scope: Scope::PerReceptor,
+                            receptor: s.receptor,
+                            receptor_type: s.receptor_type,
+                            group: s.group,
+                            granule: s.granule.clone(),
+                        };
+                        let stage = (slot.factory)(&ctx)?;
+                        s.node = df
+                            .add_operator(Box::new(StageOperator::new(stage)), &[s.node])?;
+                    }
+                }
+                Scope::PerGroup => {
+                    let mut next: Vec<StreamHandle> = Vec::new();
+                    // Preserve group order of first appearance.
+                    let mut group_order: Vec<Option<ProximityGroupId>> = Vec::new();
+                    for s in &streams {
+                        if !group_order.contains(&s.group) {
+                            group_order.push(s.group);
+                        }
+                    }
+                    for group in group_order {
+                        let members: Vec<&StreamHandle> =
+                            streams.iter().filter(|s| s.group == group).collect();
+                        let granule = members
+                            .iter()
+                            .find_map(|s| s.granule.clone());
+                        let rtype = members.iter().find_map(|s| s.receptor_type);
+                        let input = if members.len() == 1 {
+                            members[0].node
+                        } else {
+                            let nodes: Vec<NodeId> =
+                                members.iter().map(|s| s.node).collect();
+                            df.add_operator(Box::new(UnionOp::new(nodes.len())), &nodes)?
+                        };
+                        let ctx = StageCtx {
+                            scope: Scope::PerGroup,
+                            receptor: None,
+                            receptor_type: rtype,
+                            group,
+                            granule: granule.clone(),
+                        };
+                        let stage = (slot.factory)(&ctx)?;
+                        let node =
+                            df.add_operator(Box::new(StageOperator::new(stage)), &[input])?;
+                        next.push(StreamHandle {
+                            node,
+                            receptor: None,
+                            receptor_type: rtype,
+                            group,
+                            granule,
+                        });
+                    }
+                    streams = next;
+                }
+                Scope::Global => {
+                    let input = if streams.len() == 1 {
+                        streams[0].node
+                    } else {
+                        let nodes: Vec<NodeId> = streams.iter().map(|s| s.node).collect();
+                        df.add_operator(Box::new(UnionOp::new(nodes.len())), &nodes)?
+                    };
+                    let ctx = StageCtx {
+                        scope: Scope::Global,
+                        receptor: None,
+                        receptor_type: None,
+                        group: None,
+                        granule: None,
+                    };
+                    let stage = (slot.factory)(&ctx)?;
+                    let node =
+                        df.add_operator(Box::new(StageOperator::new(stage)), &[input])?;
+                    streams = vec![StreamHandle {
+                        node,
+                        receptor: None,
+                        receptor_type: None,
+                        group: None,
+                        granule: None,
+                    }];
+                }
+            }
+        }
+
+        // Final fan-in and tap.
+        let out = if streams.len() == 1 {
+            streams[0].node
+        } else {
+            let nodes: Vec<NodeId> = streams.iter().map(|s| s.node).collect();
+            df.add_operator(Box::new(UnionOp::new(nodes.len())), &nodes)?
+        };
+        let tap = df.add_tap(out)?;
+        Ok((df, tap, groups))
+    }
+
+    /// Handle to the live proximity-group registry; changes (membership
+    /// moves, new members) take effect on the next epoch.
+    pub fn groups(&self) -> Arc<RwLock<ProximityGroups>> {
+        Arc::clone(&self.groups)
+    }
+
+    /// Execute one epoch.
+    pub fn step(&mut self, epoch: Ts) -> Result<()> {
+        self.runner.step(epoch)
+    }
+
+    /// Run `n_epochs` epochs from `start`, spaced `period` apart, and
+    /// return the cleaned output trace.
+    pub fn run(
+        mut self,
+        start: Ts,
+        period: TimeDelta,
+        n_epochs: u64,
+    ) -> Result<RunOutput> {
+        self.runner.run(start, period, n_epochs)?;
+        Ok(RunOutput { trace: self.runner.take_tap(self.tap) })
+    }
+
+    /// Drain the output collected so far (for step-driven use).
+    pub fn take_output(&mut self) -> Vec<(Ts, Batch)> {
+        self.runner.take_tap(self.tap)
+    }
+}
+
+/// Build the `spatial_granule` injection function for one (receptor,
+/// group) membership. Consults the registry per tuple so dynamic
+/// remapping (and granule renames) take effect immediately; tuples from a
+/// receptor that has left the group are dropped.
+fn granule_injector(
+    groups: Arc<RwLock<ProximityGroups>>,
+    receptor: ReceptorId,
+    group: ProximityGroupId,
+) -> impl Fn(&Tuple) -> Result<Option<Tuple>> + Send {
+    // Single-entry schema cache: receptors emit one schema per stream.
+    let cache: RwLock<Option<(Arc<Schema>, Arc<Schema>)>> = RwLock::new(None);
+    move |t: &Tuple| {
+        let registry = groups.read();
+        let entry = registry.group(group)?;
+        if !entry.members.contains(&receptor) {
+            return Ok(None);
+        }
+        let granule = Value::Str(Arc::clone(&entry.granule.0));
+        drop(registry);
+        let extended = {
+            let hit = cache
+                .read()
+                .as_ref()
+                .filter(|(input, _)| Arc::ptr_eq(input, t.schema()))
+                .map(|(_, out)| Arc::clone(out));
+            match hit {
+                Some(s) => s,
+                None => {
+                    let s = t
+                        .schema()
+                        .with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))?;
+                    *cache.write() = Some((Arc::clone(t.schema()), Arc::clone(&s)));
+                    s
+                }
+            }
+        };
+        Ok(Some(t.with_appended(&extended, granule)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::stage::FnStage;
+    use crate::stages::smooth::SmoothStage;
+    use esp_stream::ScriptedSource;
+    use esp_types::TupleBuilder;
+
+    fn rfid(ts: Ts, receptor: i64, tag: &str) -> Tuple {
+        TupleBuilder::new(&well_known::rfid_schema(), ts)
+            .set("receptor_id", receptor)
+            .unwrap()
+            .set("tag_id", tag)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn one_reading_source(receptor: i64, tag: &'static str) -> Box<dyn Source> {
+        Box::new(ScriptedSource::new(
+            format!("reader-{receptor}"),
+            vec![(Ts::ZERO, vec![rfid(Ts::ZERO, receptor, tag)])],
+        ))
+    }
+
+    fn two_shelf_groups() -> ProximityGroups {
+        let mut pg = ProximityGroups::new();
+        pg.add_group(ReceptorType::Rfid, "shelf0", [ReceptorId(0)]);
+        pg.add_group(ReceptorType::Rfid, "shelf1", [ReceptorId(1)]);
+        pg
+    }
+
+    #[test]
+    fn injects_spatial_granule() {
+        let proc = EspProcessor::build(
+            two_shelf_groups(),
+            &Pipeline::raw(),
+            vec![
+                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+            ],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_millis(200), 1).unwrap();
+        let batch = &out.trace[0].1;
+        assert_eq!(batch.len(), 2);
+        let granules: Vec<&str> = batch
+            .iter()
+            .map(|t| t.get("spatial_granule").unwrap().as_str().unwrap())
+            .collect();
+        assert!(granules.contains(&"shelf0") && granules.contains(&"shelf1"));
+    }
+
+    #[test]
+    fn ungrouped_receptor_rejected() {
+        let err = EspProcessor::build(
+            ProximityGroups::new(),
+            &Pipeline::raw(),
+            vec![ReceptorBinding::new(
+                ReceptorId(7),
+                ReceptorType::Rfid,
+                one_reading_source(7, "a"),
+            )],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("receptor#7"));
+    }
+
+    #[test]
+    fn per_receptor_stage_instantiated_per_stream() {
+        // A smooth stage per reader: each keeps its own window.
+        let pipeline = Pipeline::builder()
+            .per_receptor("smooth", |ctx| {
+                assert!(ctx.receptor.is_some());
+                assert!(ctx.granule.is_some());
+                Ok(Box::new(SmoothStage::count_by_key(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "tag_id"],
+                )))
+            })
+            .build();
+        let proc = EspProcessor::build(
+            two_shelf_groups(),
+            &pipeline,
+            vec![
+                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+            ],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 3).unwrap();
+        // Both tags persist through the granule on every epoch.
+        for (_, batch) in &out.trace {
+            assert_eq!(batch.len(), 2);
+        }
+    }
+
+    #[test]
+    fn per_group_stage_unions_members() {
+        let mut pg = ProximityGroups::new();
+        pg.add_group(ReceptorType::Rfid, "room", [ReceptorId(0), ReceptorId(1)]);
+        let pipeline = Pipeline::builder()
+            .per_group("count", |_| {
+                Ok(Box::new(FnStage::per_epoch("count", |epoch, input| {
+                    let schema = Schema::builder()
+                        .field("n", DataType::Int)
+                        .build()
+                        .unwrap();
+                    Ok(vec![Tuple::new_unchecked(
+                        schema,
+                        epoch,
+                        vec![Value::Int(input.len() as i64)],
+                    )])
+                })))
+            })
+            .build();
+        let proc = EspProcessor::build(
+            pg,
+            &pipeline,
+            vec![
+                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+            ],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_millis(200), 1).unwrap();
+        assert_eq!(out.trace[0].1[0].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn dynamic_remapping_takes_effect_mid_run() {
+        let mut pg = ProximityGroups::new();
+        let g0 = pg.add_group(ReceptorType::Rfid, "shelf0", [ReceptorId(0)]);
+        let _g1 = pg.add_group(ReceptorType::Rfid, "shelf1", [ReceptorId(1)]);
+        let script: Vec<(Ts, Batch)> = (0..4u64)
+            .map(|i| {
+                let ts = Ts::from_secs(i);
+                (ts, vec![rfid(ts, 0, "a")])
+            })
+            .collect();
+        let mut proc = EspProcessor::build(
+            pg,
+            &Pipeline::raw(),
+            vec![
+                ReceptorBinding::new(
+                    ReceptorId(0),
+                    ReceptorType::Rfid,
+                    Box::new(ScriptedSource::new("r0", script)),
+                ),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+            ],
+        )
+        .unwrap();
+        proc.step(Ts::ZERO).unwrap();
+        proc.step(Ts::from_secs(1)).unwrap();
+        // Receptor 0 leaves its group: its branch goes silent.
+        proc.groups().write().remove_member(g0, ReceptorId(0)).unwrap();
+        proc.step(Ts::from_secs(2)).unwrap();
+        proc.step(Ts::from_secs(3)).unwrap();
+        let trace = proc.take_output();
+        let counts: Vec<usize> = trace
+            .iter()
+            .map(|(_, b)| {
+                b.iter()
+                    .filter(|t| t.get("tag_id") == Some(&Value::str("a")))
+                    .count()
+            })
+            .collect();
+        assert_eq!(counts, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn global_stage_sees_union_of_everything() {
+        let pipeline = Pipeline::builder()
+            .global("merge-all", |ctx| {
+                assert_eq!(ctx.scope, Scope::Global);
+                Ok(Box::new(FnStage::per_epoch("merge-all", |epoch, input| {
+                    let schema =
+                        Schema::builder().field("n", DataType::Int).build().unwrap();
+                    Ok(vec![Tuple::new_unchecked(
+                        schema,
+                        epoch,
+                        vec![Value::Int(input.len() as i64)],
+                    )])
+                })))
+            })
+            .build();
+        let proc = EspProcessor::build(
+            two_shelf_groups(),
+            &pipeline,
+            vec![
+                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
+                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+            ],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_millis(200), 1).unwrap();
+        assert_eq!(out.trace[0].1[0].get("n"), Some(&Value::Int(2)));
+    }
+}

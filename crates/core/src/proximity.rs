@@ -1,0 +1,173 @@
+//! Proximity groups: the realization of the spatial granule.
+//!
+//! A proximity group is "a set of receptors of the same type that are
+//! monitoring the same spatial granule" (paper §3.1.2). Granules and
+//! devices may be related one-to-many, many-to-one, or many-to-many, and
+//! the mapping may change dynamically; ESP hides all of that from the
+//! application.
+
+use std::collections::BTreeSet;
+
+use esp_types::{
+    EspError, ProximityGroupId, ReceptorId, ReceptorType, Result, SpatialGranule,
+};
+
+/// One registered proximity group.
+#[derive(Debug, Clone)]
+pub struct GroupEntry {
+    /// The group id.
+    pub id: ProximityGroupId,
+    /// The receptor type shared by all members.
+    pub receptor_type: ReceptorType,
+    /// The spatial granule this group monitors.
+    pub granule: SpatialGranule,
+    /// The member devices.
+    pub members: BTreeSet<ReceptorId>,
+}
+
+/// The registry mapping receptors to proximity groups and spatial granules.
+#[derive(Debug, Clone, Default)]
+pub struct ProximityGroups {
+    groups: Vec<GroupEntry>,
+}
+
+impl ProximityGroups {
+    /// An empty registry.
+    pub fn new() -> ProximityGroups {
+        ProximityGroups { groups: Vec::new() }
+    }
+
+    /// Register a group of `receptor_type` devices monitoring `granule`.
+    /// Members may be added later with [`ProximityGroups::add_member`].
+    pub fn add_group(
+        &mut self,
+        receptor_type: ReceptorType,
+        granule: impl Into<SpatialGranule>,
+        members: impl IntoIterator<Item = ReceptorId>,
+    ) -> ProximityGroupId {
+        let id = ProximityGroupId(self.groups.len() as u32);
+        self.groups.push(GroupEntry {
+            id,
+            receptor_type,
+            granule: granule.into(),
+            members: members.into_iter().collect(),
+        });
+        id
+    }
+
+    /// All registered groups.
+    pub fn groups(&self) -> &[GroupEntry] {
+        &self.groups
+    }
+
+    /// The group with the given id.
+    pub fn group(&self, id: ProximityGroupId) -> Result<&GroupEntry> {
+        self.groups
+            .get(id.0 as usize)
+            .ok_or_else(|| EspError::Config(format!("unknown proximity group {id}")))
+    }
+
+    /// The spatial granule a group monitors.
+    pub fn granule(&self, id: ProximityGroupId) -> Result<&SpatialGranule> {
+        Ok(&self.group(id)?.granule)
+    }
+
+    /// Every group a receptor belongs to (many-to-many supported).
+    pub fn groups_of(&self, receptor: ReceptorId) -> Vec<ProximityGroupId> {
+        self.groups
+            .iter()
+            .filter(|g| g.members.contains(&receptor))
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Add a device to a group (dynamic remapping).
+    pub fn add_member(&mut self, group: ProximityGroupId, receptor: ReceptorId) -> Result<()> {
+        let g = self
+            .groups
+            .get_mut(group.0 as usize)
+            .ok_or_else(|| EspError::Config(format!("unknown proximity group {group}")))?;
+        g.members.insert(receptor);
+        Ok(())
+    }
+
+    /// Remove a device from a group (dynamic remapping; e.g. a mote died or
+    /// was physically relocated).
+    pub fn remove_member(
+        &mut self,
+        group: ProximityGroupId,
+        receptor: ReceptorId,
+    ) -> Result<()> {
+        let g = self
+            .groups
+            .get_mut(group.0 as usize)
+            .ok_or_else(|| EspError::Config(format!("unknown proximity group {group}")))?;
+        if !g.members.remove(&receptor) {
+            return Err(EspError::Config(format!("{receptor} is not a member of {group}")));
+        }
+        Ok(())
+    }
+
+    /// Move a device between groups atomically.
+    pub fn move_member(
+        &mut self,
+        from: ProximityGroupId,
+        to: ProximityGroupId,
+        receptor: ReceptorId,
+    ) -> Result<()> {
+        self.remove_member(from, receptor)?;
+        self.add_member(to, receptor)
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no group is registered.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_resolve_members_and_granules() {
+        let mut pg = ProximityGroups::new();
+        let shelf0 = pg.add_group(ReceptorType::Rfid, "shelf0", [ReceptorId(0)]);
+        let shelf1 = pg.add_group(ReceptorType::Rfid, "shelf1", [ReceptorId(1)]);
+        assert_eq!(pg.len(), 2);
+        assert_eq!(pg.granule(shelf0).unwrap().name(), "shelf0");
+        assert_eq!(pg.groups_of(ReceptorId(1)), vec![shelf1]);
+        assert!(pg.groups_of(ReceptorId(9)).is_empty());
+    }
+
+    #[test]
+    fn many_to_many_memberships() {
+        let mut pg = ProximityGroups::new();
+        let a = pg.add_group(ReceptorType::Mote, "room-a", [ReceptorId(0), ReceptorId(1)]);
+        let b = pg.add_group(ReceptorType::Mote, "hall", [ReceptorId(1)]);
+        assert_eq!(pg.groups_of(ReceptorId(1)), vec![a, b]);
+    }
+
+    #[test]
+    fn dynamic_remapping() {
+        let mut pg = ProximityGroups::new();
+        let a = pg.add_group(ReceptorType::Mote, "low", [ReceptorId(0)]);
+        let b = pg.add_group(ReceptorType::Mote, "high", []);
+        pg.move_member(a, b, ReceptorId(0)).unwrap();
+        assert_eq!(pg.groups_of(ReceptorId(0)), vec![b]);
+        assert!(pg.remove_member(a, ReceptorId(0)).is_err(), "already moved");
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let pg = ProximityGroups::new();
+        assert!(pg.group(ProximityGroupId(3)).is_err());
+        let mut pg2 = ProximityGroups::new();
+        assert!(pg2.add_member(ProximityGroupId(0), ReceptorId(0)).is_err());
+    }
+}

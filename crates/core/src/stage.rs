@@ -1,0 +1,223 @@
+//! The [`Stage`] trait and its three implementation styles.
+//!
+//! Paper §3.3: "Stages may be implemented in a variety of ways: declarative
+//! continuous queries; user-defined functions or aggregates; arbitrary
+//! code." [`DeclarativeStage`] covers the first, [`FnStage`] the second,
+//! and any hand-written `impl Stage` the third.
+
+use esp_query::ContinuousQuery;
+use esp_stream::Operator;
+use esp_types::{Batch, Result, Ts, Tuple};
+
+/// One processing stage of an ESP pipeline.
+///
+/// A stage receives the epoch's input tuples and emits the epoch's output;
+/// windowing (temporal or spatial aggregation) is internal stage state.
+pub trait Stage: Send {
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Process one epoch.
+    fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch>;
+}
+
+/// A stage defined by a declarative continuous query.
+///
+/// The query must read exactly one stream; the stage's input is pushed to
+/// it and the query is ticked at each epoch.
+pub struct DeclarativeStage {
+    name: String,
+    stream: String,
+    query: ContinuousQuery,
+}
+
+impl DeclarativeStage {
+    /// Wrap a compiled single-stream query as a stage.
+    pub fn new(name: impl Into<String>, query: ContinuousQuery) -> Result<DeclarativeStage> {
+        let streams = query.input_streams();
+        let [stream] = streams else {
+            return Err(esp_types::EspError::Config(format!(
+                "a declarative stage needs a single-input query; '{}' reads {} streams",
+                query.text(),
+                streams.len()
+            )));
+        };
+        let stream = stream.clone();
+        Ok(DeclarativeStage { name: name.into(), stream, query })
+    }
+}
+
+impl Stage for DeclarativeStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch> {
+        if !input.is_empty() {
+            self.query.push(&self.stream, &input)?;
+        }
+        self.query.tick(epoch)
+    }
+}
+
+/// A stage defined by user code: either a per-tuple function or a
+/// per-epoch function.
+pub struct FnStage {
+    name: String,
+    kind: FnKind,
+}
+
+enum FnKind {
+    PerTuple(Box<dyn FnMut(&Tuple) -> Result<Option<Tuple>> + Send>),
+    PerEpoch(Box<dyn FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send>),
+}
+
+impl FnStage {
+    /// A stage that maps each tuple independently (`None` drops it).
+    pub fn per_tuple(
+        name: impl Into<String>,
+        f: impl FnMut(&Tuple) -> Result<Option<Tuple>> + Send + 'static,
+    ) -> FnStage {
+        FnStage { name: name.into(), kind: FnKind::PerTuple(Box::new(f)) }
+    }
+
+    /// A stage that sees the whole epoch at once.
+    pub fn per_epoch(
+        name: impl Into<String>,
+        f: impl FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send + 'static,
+    ) -> FnStage {
+        FnStage { name: name.into(), kind: FnKind::PerEpoch(Box::new(f)) }
+    }
+}
+
+impl Stage for FnStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch> {
+        match &mut self.kind {
+            FnKind::PerTuple(f) => {
+                let mut out = Batch::with_capacity(input.len());
+                for t in &input {
+                    if let Some(mapped) = f(t)? {
+                        out.push(mapped);
+                    }
+                }
+                Ok(out)
+            }
+            FnKind::PerEpoch(f) => f(epoch, input),
+        }
+    }
+}
+
+/// Adapter running any [`Stage`] as an [`esp_stream::Operator`] so the ESP
+/// processor can place it in a dataflow.
+pub struct StageOperator {
+    stage: Box<dyn Stage>,
+    buf: Batch,
+}
+
+impl StageOperator {
+    /// Wrap a stage.
+    pub fn new(stage: Box<dyn Stage>) -> StageOperator {
+        StageOperator { stage, buf: Batch::new() }
+    }
+}
+
+impl Operator for StageOperator {
+    fn name(&self) -> &str {
+        self.stage.name()
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        self.buf.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn flush(&mut self, epoch: Ts) -> Result<Batch> {
+        self.stage.process(epoch, std::mem::take(&mut self.buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_query::Engine;
+    use esp_types::{well_known, TupleBuilder, Value};
+
+    fn rfid(ts: Ts, tag: &str) -> Tuple {
+        TupleBuilder::new(&well_known::rfid_schema(), ts)
+            .set("receptor_id", 0i64)
+            .unwrap()
+            .set("tag_id", tag)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn declarative_stage_runs_paper_query_2() {
+        let engine = Engine::new();
+        let q = engine
+            .compile(
+                "SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+            )
+            .unwrap();
+        let mut stage = DeclarativeStage::new("smooth", q).unwrap();
+        let out = stage.process(Ts::ZERO, vec![rfid(Ts::ZERO, "a")]).unwrap();
+        assert_eq!(out.len(), 1);
+        // The tag persists through the granule even with no new input.
+        let out = stage.process(Ts::from_secs(3), vec![]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("tag_id"), Some(&Value::str("a")));
+        let out = stage.process(Ts::from_secs(8), vec![]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn declarative_stage_rejects_multi_stream_queries() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT a.tag_id FROM a [Range 'NOW'], b [Range 'NOW']")
+            .unwrap();
+        assert!(DeclarativeStage::new("bad", q).is_err());
+    }
+
+    #[test]
+    fn per_tuple_stage_filters() {
+        let mut stage = FnStage::per_tuple("drop-b", |t| {
+            Ok((t.get("tag_id") != Some(&Value::str("b"))).then(|| t.clone()))
+        });
+        let out = stage
+            .process(Ts::ZERO, vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")])
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn per_epoch_stage_sees_batch() {
+        let mut stage = FnStage::per_epoch("count", |epoch, input| {
+            let schema = esp_types::Schema::builder()
+                .field("n", esp_types::DataType::Int)
+                .build()
+                .unwrap();
+            Ok(vec![Tuple::new(schema, epoch, vec![Value::Int(input.len() as i64)])?])
+        });
+        let out = stage
+            .process(Ts::from_secs(1), vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")])
+            .unwrap();
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn stage_operator_adapts() {
+        let stage = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
+        let mut op = StageOperator::new(Box::new(stage));
+        op.push(0, &[rfid(Ts::ZERO, "a")]).unwrap();
+        op.push(0, &[rfid(Ts::ZERO, "b")]).unwrap();
+        assert_eq!(op.flush(Ts::ZERO).unwrap().len(), 2);
+        assert_eq!(op.name(), "id");
+        assert!(op.flush(Ts::ZERO).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,487 @@
+//! Stage 3 — **Merge**: aggregation within the spatial granule.
+//!
+//! Merge aggregates over the receptor streams of one proximity group,
+//! filling in missed readings and eliminating non-correlated errors in
+//! individual devices (paper §3.2). Built-in modes:
+//!
+//! * [`MergeStage::outlier_filtered_mean`] — the paper's Query 5: average
+//!   the group's readings within a window, discarding readings more than
+//!   `k` standard deviations from the group mean (fail-dirty motes).
+//! * [`MergeStage::union_all`] — union the group members' streams (the
+//!   digital-home RFID merge, §6.1), optionally deduplicating per key.
+//! * [`MergeStage::vote_threshold`] — report an event when at least
+//!   `m` of the group's devices report it in the window (X10, §6.1).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use esp_stream::stats::RunningStats;
+use esp_stream::WindowBuffer;
+use esp_types::{
+    Batch, DataType, Field, Result, Schema, SpatialGranule, Ts, Tuple, Value, ValueKey,
+};
+
+use crate::granule::TemporalGranule;
+use crate::stage::Stage;
+
+enum MergeMode {
+    OutlierFilteredMean {
+        value_field: String,
+        k: f64,
+    },
+    UnionAll {
+        dedup_key: Option<String>,
+    },
+    VoteThreshold {
+        value_field: String,
+        on_value: Value,
+        device_field: String,
+        min_devices: usize,
+    },
+    WindowedMedian {
+        value_field: String,
+    },
+}
+
+/// The built-in Merge stage for one proximity group.
+pub struct MergeStage {
+    name: String,
+    granule: SpatialGranule,
+    window: WindowBuffer,
+    mode: MergeMode,
+    out_schema: Option<Arc<Schema>>,
+    /// Readings rejected by the outlier test so far.
+    outliers_dropped: u64,
+}
+
+impl MergeStage {
+    /// The paper's Query 5: windowed group mean with mean±k·stdev outlier
+    /// rejection. Emits one `(spatial_granule, value)` tuple per epoch
+    /// while the window holds data.
+    pub fn outlier_filtered_mean(
+        name: impl Into<String>,
+        granule: SpatialGranule,
+        temporal: impl Into<TemporalGranule>,
+        value_field: impl Into<String>,
+        k: f64,
+    ) -> MergeStage {
+        MergeStage {
+            name: name.into(),
+            granule,
+            window: WindowBuffer::new(temporal.into().window()),
+            mode: MergeMode::OutlierFilteredMean { value_field: value_field.into(), k },
+            out_schema: None,
+            outliers_dropped: 0,
+        }
+    }
+
+    /// Union the group's streams; with `dedup_key = Some(field)` at most
+    /// one tuple per distinct key value is emitted per epoch.
+    pub fn union_all(
+        name: impl Into<String>,
+        granule: SpatialGranule,
+        dedup_key: Option<String>,
+    ) -> MergeStage {
+        MergeStage {
+            name: name.into(),
+            granule,
+            window: WindowBuffer::new(esp_types::TimeDelta::ZERO),
+            mode: MergeMode::UnionAll { dedup_key },
+            out_schema: None,
+            outliers_dropped: 0,
+        }
+    }
+
+    /// m-of-n device voting: emit one `(spatial_granule, value)` tuple when
+    /// at least `min_devices` distinct devices (by `device_field`) reported
+    /// `on_value` in `value_field` within the window.
+    pub fn vote_threshold(
+        name: impl Into<String>,
+        granule: SpatialGranule,
+        temporal: impl Into<TemporalGranule>,
+        value_field: impl Into<String>,
+        on_value: impl Into<Value>,
+        device_field: impl Into<String>,
+        min_devices: usize,
+    ) -> MergeStage {
+        MergeStage {
+            name: name.into(),
+            granule,
+            window: WindowBuffer::new(temporal.into().window()),
+            mode: MergeMode::VoteThreshold {
+                value_field: value_field.into(),
+                on_value: on_value.into(),
+                device_field: device_field.into(),
+                min_devices,
+            },
+            out_schema: None,
+            outliers_dropped: 0,
+        }
+    }
+
+    /// Windowed median over the group's readings — a robust alternative to
+    /// the mean±k·σ filter from the anticipated "suite of ESP Operators"
+    /// (paper §7): a single fail-dirty device can never move the median of
+    /// three or more devices, with no threshold to tune.
+    pub fn windowed_median(
+        name: impl Into<String>,
+        granule: SpatialGranule,
+        temporal: impl Into<TemporalGranule>,
+        value_field: impl Into<String>,
+    ) -> MergeStage {
+        MergeStage {
+            name: name.into(),
+            granule,
+            window: WindowBuffer::new(temporal.into().window()),
+            mode: MergeMode::WindowedMedian { value_field: value_field.into() },
+            out_schema: None,
+            outliers_dropped: 0,
+        }
+    }
+
+    /// Readings rejected by the outlier test so far.
+    pub fn outliers_dropped(&self) -> u64 {
+        self.outliers_dropped
+    }
+
+    fn granule_value(&self) -> Value {
+        Value::Str(Arc::clone(&self.granule.0))
+    }
+
+    fn scalar_schema(&mut self, value_field: &str) -> Result<Arc<Schema>> {
+        if let Some(s) = &self.out_schema {
+            return Ok(Arc::clone(s));
+        }
+        let s = Schema::new(vec![
+            Field::new(esp_types::well_known::SPATIAL_GRANULE, DataType::Str),
+            Field::new(value_field, DataType::Float),
+        ])?;
+        self.out_schema = Some(Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn event_schema(&mut self, value_field: &str) -> Result<Arc<Schema>> {
+        if let Some(s) = &self.out_schema {
+            return Ok(Arc::clone(s));
+        }
+        let s = Schema::new(vec![
+            Field::new(esp_types::well_known::SPATIAL_GRANULE, DataType::Str),
+            Field::new(value_field, DataType::Any),
+        ])?;
+        self.out_schema = Some(Arc::clone(&s));
+        Ok(s)
+    }
+}
+
+impl Stage for MergeStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch> {
+        match &self.mode {
+            MergeMode::UnionAll { dedup_key } => {
+                let dedup_key = dedup_key.clone();
+                match dedup_key {
+                    None => Ok(input),
+                    Some(key) => {
+                        let mut seen: HashSet<ValueKey> = HashSet::new();
+                        Ok(input
+                            .into_iter()
+                            .filter(|t| match t.get(&key) {
+                                Some(v) => seen.insert(v.group_key()),
+                                None => true,
+                            })
+                            .collect())
+                    }
+                }
+            }
+            MergeMode::OutlierFilteredMean { value_field, k } => {
+                let (value_field, k) = (value_field.clone(), *k);
+                for t in input {
+                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    self.window.push(t);
+                }
+                self.window.advance_to(epoch);
+                // First pass: group statistics over the window.
+                let mut all = RunningStats::new();
+                for t in self.window.contents() {
+                    if let Some(x) = t.get(&value_field).and_then(Value::as_f64) {
+                        all.push(x);
+                    }
+                }
+                let Some(mean) = all.mean() else {
+                    return Ok(Batch::new());
+                };
+                // k = ∞ disables rejection entirely (plain windowed mean),
+                // including when stdev is 0 (0·∞ would be NaN).
+                let band =
+                    if k.is_infinite() { f64::INFINITY } else { all.stdev().unwrap_or(0.0) * k };
+                // Second pass: mean over inliers only (the paper's Query 5).
+                let mut inliers = RunningStats::new();
+                let mut dropped = 0;
+                for t in self.window.contents() {
+                    if let Some(x) = t.get(&value_field).and_then(Value::as_f64) {
+                        if (x - mean).abs() <= band {
+                            inliers.push(x);
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                }
+                self.outliers_dropped += dropped;
+                let Some(value) = inliers.mean() else {
+                    // Every reading was an outlier: report nothing rather
+                    // than a value known to be wrong.
+                    return Ok(Batch::new());
+                };
+                let schema = self.scalar_schema(&value_field)?;
+                Ok(vec![Tuple::new_unchecked(
+                    schema,
+                    epoch,
+                    vec![self.granule_value(), Value::Float(value)],
+                )])
+            }
+            MergeMode::WindowedMedian { value_field } => {
+                let value_field = value_field.clone();
+                for t in input {
+                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    self.window.push(t);
+                }
+                self.window.advance_to(epoch);
+                let mut xs: Vec<f64> = self
+                    .window
+                    .contents()
+                    .filter_map(|t| t.get(&value_field).and_then(Value::as_f64))
+                    .collect();
+                if xs.is_empty() {
+                    return Ok(Batch::new());
+                }
+                xs.sort_by(f64::total_cmp);
+                let median = if xs.len() % 2 == 1 {
+                    xs[xs.len() / 2]
+                } else {
+                    (xs[xs.len() / 2 - 1] + xs[xs.len() / 2]) / 2.0
+                };
+                let schema = self.scalar_schema(&value_field)?;
+                Ok(vec![Tuple::new_unchecked(
+                    schema,
+                    epoch,
+                    vec![self.granule_value(), Value::Float(median)],
+                )])
+            }
+            MergeMode::VoteThreshold { value_field, on_value, device_field, min_devices } => {
+                let (value_field, on_value, device_field, min_devices) = (
+                    value_field.clone(),
+                    on_value.clone(),
+                    device_field.clone(),
+                    *min_devices,
+                );
+                for t in input {
+                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    self.window.push(t);
+                }
+                self.window.advance_to(epoch);
+                let mut devices: HashSet<ValueKey> = HashSet::new();
+                for t in self.window.contents() {
+                    if t.get(&value_field).is_some_and(|v| v.sql_eq(&on_value)) {
+                        if let Some(d) = t.get(&device_field) {
+                            devices.insert(d.group_key());
+                        }
+                    }
+                }
+                if devices.len() < min_devices {
+                    return Ok(Batch::new());
+                }
+                let schema = self.event_schema(&value_field)?;
+                Ok(vec![Tuple::new_unchecked(
+                    schema,
+                    epoch,
+                    vec![self.granule_value(), on_value],
+                )])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::{well_known, TimeDelta, TupleBuilder};
+
+    fn temp(ts: Ts, id: i64, celsius: f64) -> Tuple {
+        TupleBuilder::new(&well_known::temp_schema(), ts)
+            .set("receptor_id", id)
+            .unwrap()
+            .set("temp", celsius)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn motion(ts: Ts, id: i64, v: &str) -> Tuple {
+        TupleBuilder::new(&well_known::motion_schema(), ts)
+            .set("receptor_id", id)
+            .unwrap()
+            .set("value", v)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn room() -> SpatialGranule {
+        SpatialGranule::new("room-42")
+    }
+
+    #[test]
+    fn outlier_mote_excluded_from_mean() {
+        // Three motes; one fails dirty at 104 °C. Query 5 semantics.
+        let mut m = MergeStage::outlier_filtered_mean(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+            1.0,
+        );
+        let out = m
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 21.0), temp(Ts::ZERO, 3, 104.0)],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let v = out[0].get("temp").unwrap().as_f64().unwrap();
+        assert!((v - 20.5).abs() < 1e-9, "outlier excluded, got {v}");
+        assert_eq!(m.outliers_dropped(), 1);
+        assert_eq!(out[0].get("spatial_granule"), Some(&Value::str("room-42")));
+    }
+
+    #[test]
+    fn agreeing_motes_all_contribute() {
+        let mut m = MergeStage::outlier_filtered_mean(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+            1.0,
+        );
+        let out = m
+            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 22.0)])
+            .unwrap();
+        let v = out[0].get("temp").unwrap().as_f64().unwrap();
+        assert!((v - 21.0).abs() < 1e-9);
+        assert_eq!(m.outliers_dropped(), 0);
+    }
+
+    #[test]
+    fn empty_window_emits_nothing() {
+        let mut m = MergeStage::outlier_filtered_mean(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+            1.0,
+        );
+        assert!(m.process(Ts::ZERO, vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_masks_lost_readings_spatially() {
+        // Mote 1 reports, mote 2 silent: the granule still gets a value.
+        let mut m = MergeStage::outlier_filtered_mean(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+            1.0,
+        );
+        let out = m.process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 19.0)]).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn union_all_passthrough_and_dedup() {
+        let mut m = MergeStage::union_all("merge", room(), None);
+        let input = vec![motion(Ts::ZERO, 1, "ON"), motion(Ts::ZERO, 1, "ON")];
+        assert_eq!(m.process(Ts::ZERO, input.clone()).unwrap().len(), 2);
+
+        let mut m = MergeStage::union_all("merge", room(), Some("receptor_id".into()));
+        assert_eq!(m.process(Ts::ZERO, input).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn vote_threshold_requires_distinct_devices() {
+        let mut m = MergeStage::vote_threshold(
+            "merge",
+            room(),
+            TimeDelta::from_secs(10),
+            "value",
+            "ON",
+            "receptor_id",
+            2,
+        );
+        // Two reports from the SAME device: not enough.
+        let out = m
+            .process(Ts::ZERO, vec![motion(Ts::ZERO, 1, "ON"), motion(Ts::ZERO, 1, "ON")])
+            .unwrap();
+        assert!(out.is_empty());
+        // A second device inside the window tips the vote.
+        let out = m
+            .process(Ts::from_secs(1), vec![motion(Ts::from_secs(1), 2, "ON")])
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("value"), Some(&Value::str("ON")));
+    }
+
+    #[test]
+    fn median_shrugs_off_a_fail_dirty_device() {
+        let mut m = MergeStage::windowed_median(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+        );
+        let out = m
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 21.0), temp(Ts::ZERO, 3, 104.0)],
+            )
+            .unwrap();
+        assert_eq!(out[0].get("temp"), Some(&Value::Float(21.0)));
+        assert_eq!(out[0].get("spatial_granule"), Some(&Value::str("room-42")));
+    }
+
+    #[test]
+    fn median_of_even_count_averages_middle_pair() {
+        let mut m = MergeStage::windowed_median(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+        );
+        let out = m
+            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 10.0), temp(Ts::ZERO, 2, 20.0)])
+            .unwrap();
+        assert_eq!(out[0].get("temp"), Some(&Value::Float(15.0)));
+        // Empty window → silence.
+        assert!(m.process(Ts::from_secs(600), vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_readings_outliers_yields_silence() {
+        // Two readings so far apart that each is outside mean±1σ… is
+        // impossible for n=2 (both are exactly 1σ away), so use k<1.
+        let mut m = MergeStage::outlier_filtered_mean(
+            "merge",
+            room(),
+            TimeDelta::from_mins(5),
+            "temp",
+            0.5,
+        );
+        let out = m
+            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 0.0), temp(Ts::ZERO, 2, 100.0)])
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.outliers_dropped(), 2);
+    }
+}

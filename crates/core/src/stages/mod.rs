@@ -1,0 +1,15 @@
+//! Built-in implementations of the five ESP stages.
+//!
+//! These form the "suite of ESP Operators" the paper's conclusion
+//! anticipates: reusable, configurable stage implementations that can be
+//! composed into cleaning pipelines without writing new code. Every one of
+//! them can be replaced by a [`DeclarativeStage`](crate::DeclarativeStage)
+//! built from a CQL query — the test suite checks built-in and declarative
+//! versions agree — but the built-ins are cheaper and easier to configure.
+
+pub mod arbitrate;
+pub mod merge;
+pub mod model;
+pub mod point;
+pub mod smooth;
+pub mod virtualize;

@@ -1,0 +1,99 @@
+//! Binary detection accuracy (§6).
+
+/// Confusion-matrix accounting for a binary detector against ground truth
+/// — used to score the digital-home person detector ("ESP is able to
+/// correctly indicate that a person is in the room 92% of the time").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryAccuracy {
+    tp: u64,
+    tn: u64,
+    fp: u64,
+    fn_: u64,
+}
+
+impl BinaryAccuracy {
+    /// Empty tracker.
+    pub fn new() -> BinaryAccuracy {
+        BinaryAccuracy::default()
+    }
+
+    /// Record one epoch: what the detector said vs the truth.
+    pub fn record(&mut self, detected: bool, truth: bool) {
+        match (detected, truth) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Fraction of epochs classified correctly; 1.0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// TP / (TP + FP); 1.0 when the detector never fired.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// TP / (TP + FN); 1.0 when the event never occurred.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// (true positives, true negatives, false positives, false negatives).
+    pub fn confusion(&self) -> (u64, u64, u64, u64) {
+        (self.tp, self.tn, self.fp, self.fn_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_accounting() {
+        let mut a = BinaryAccuracy::new();
+        a.record(true, true);
+        a.record(true, true);
+        a.record(false, false);
+        a.record(true, false);
+        a.record(false, true);
+        assert_eq!(a.confusion(), (2, 1, 1, 1));
+        assert!((a.accuracy() - 0.6).abs() < 1e-12);
+        assert!((a.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let a = BinaryAccuracy::new();
+        assert_eq!(a.accuracy(), 1.0);
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        let mut never_fired = BinaryAccuracy::new();
+        never_fired.record(false, false);
+        assert_eq!(never_fired.precision(), 1.0);
+    }
+}

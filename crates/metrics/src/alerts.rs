@@ -1,0 +1,91 @@
+//! Threshold-alert accounting (§1, §4).
+//!
+//! The paper's motivating number: using raw RFID data, a "notify me when a
+//! shelf holds fewer than 5 items" application would fire 2.3 times per
+//! second — when in reality it should never fire.
+
+/// Counts alerts fired when a reported value drops below a threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct AlertCounter {
+    threshold: f64,
+    alerts: u64,
+    false_alerts: u64,
+    observations: u64,
+}
+
+impl AlertCounter {
+    /// Alert when the reported value drops strictly below `threshold`.
+    pub fn new(threshold: f64) -> AlertCounter {
+        AlertCounter { threshold, alerts: 0, false_alerts: 0, observations: 0 }
+    }
+
+    /// Record one observation: the reported value and the true value.
+    /// An alert fires when `reported < threshold`; it is *false* when the
+    /// truth was not actually below the threshold.
+    pub fn record(&mut self, reported: f64, truth: f64) {
+        self.observations += 1;
+        if reported < self.threshold {
+            self.alerts += 1;
+            if truth >= self.threshold {
+                self.false_alerts += 1;
+            }
+        }
+    }
+
+    /// Total alerts fired.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// Alerts fired while the truth was above threshold.
+    pub fn false_alerts(&self) -> u64 {
+        self.false_alerts
+    }
+
+    /// Observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Alerts per second given the total observed duration.
+    pub fn alerts_per_second(&self, duration_secs: f64) -> f64 {
+        if duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.alerts as f64 / duration_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_alerts_below_threshold() {
+        let mut c = AlertCounter::new(5.0);
+        c.record(3.0, 10.0); // false alert
+        c.record(7.0, 10.0); // no alert
+        c.record(4.0, 4.0); // true alert
+        assert_eq!(c.alerts(), 2);
+        assert_eq!(c.false_alerts(), 1);
+        assert_eq!(c.observations(), 3);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let mut c = AlertCounter::new(5.0);
+        c.record(5.0, 10.0);
+        assert_eq!(c.alerts(), 0);
+    }
+
+    #[test]
+    fn rate_per_second() {
+        let mut c = AlertCounter::new(5.0);
+        for _ in 0..23 {
+            c.record(0.0, 10.0);
+        }
+        assert!((c.alerts_per_second(10.0) - 2.3).abs() < 1e-12);
+        assert_eq!(c.alerts_per_second(0.0), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error metrics over (reported, truth) pairs.
+
+/// Equation 1 of the paper: the average relative error
+/// `Σ |Rᵢ − Tᵢ| / Tᵢ  ÷  N` over all time steps.
+///
+/// Pairs whose truth is zero are skipped (the metric is undefined there;
+/// the paper's shelves always hold at least 10 items).
+pub fn average_relative_error(pairs: impl IntoIterator<Item = (f64, f64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for (reported, truth) in pairs {
+        if truth == 0.0 {
+            continue;
+        }
+        sum += (reported - truth).abs() / truth.abs();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Mean absolute error over (reported, truth) pairs.
+pub fn mean_absolute_error(pairs: impl IntoIterator<Item = (f64, f64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for (reported, truth) in pairs {
+        sum += (reported - truth).abs();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The fraction of readings within `tolerance` of ground truth
+/// (paper §5.2: "99% of these readings were within 1 °C of the logged
+/// data").
+pub fn fraction_within(pairs: impl IntoIterator<Item = (f64, f64)>, tolerance: f64) -> f64 {
+    let mut within = 0u64;
+    let mut n = 0u64;
+    for (reported, truth) in pairs {
+        if (reported - truth).abs() <= tolerance {
+            within += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        within as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one_textbook() {
+        // Counts off by half on average → 0.5.
+        let pairs = [(5.0, 10.0), (15.0, 10.0)];
+        assert!((average_relative_error(pairs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reporting_is_zero_error() {
+        let pairs = (0..10).map(|i| (i as f64 + 1.0, i as f64 + 1.0));
+        assert_eq!(average_relative_error(pairs), 0.0);
+    }
+
+    #[test]
+    fn zero_truth_skipped() {
+        let pairs = [(5.0, 0.0), (10.0, 10.0)];
+        assert_eq!(average_relative_error(pairs), 0.0);
+    }
+
+    #[test]
+    fn empty_input_yields_zero() {
+        assert_eq!(average_relative_error(std::iter::empty()), 0.0);
+        assert_eq!(mean_absolute_error(std::iter::empty()), 0.0);
+        assert_eq!(fraction_within(std::iter::empty(), 1.0), 1.0);
+    }
+
+    #[test]
+    fn mae_is_symmetric() {
+        let pairs = [(9.0, 10.0), (11.0, 10.0)];
+        assert!((mean_absolute_error(pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_within_tolerance_boundary_inclusive() {
+        let pairs = [(10.5, 10.0), (12.0, 10.0), (11.0, 10.0)];
+        let f = fraction_within(pairs, 1.0);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

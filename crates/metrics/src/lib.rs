@@ -1,0 +1,32 @@
+//! # esp-metrics
+//!
+//! The evaluation metrics used in the ESP paper, plus series/report
+//! helpers for the experiment harness:
+//!
+//! * [`average_relative_error`] — Equation 1 (§4): mean of `|Rᵢ−Tᵢ|/Tᵢ`
+//!   over time steps, the RFID shelf-count metric.
+//! * [`EpochYield`] — §5.2: readings reported to the application as a
+//!   fraction of readings requested.
+//! * [`fraction_within`] — §5.2: share of readings within a tolerance of
+//!   ground truth (the biologists' 1 °C requirement).
+//! * [`AlertCounter`] — §1/§4: restock-alert rate when a count drops below
+//!   a threshold (the paper's "2.3 alerts per second" motivation).
+//! * [`BinaryAccuracy`] — §6: person-detector accuracy/precision/recall.
+//! * [`Series`] / [`Report`] — recording experiment output and rendering
+//!   it as aligned text tables, ASCII plots, and JSON (so EXPERIMENTS.md
+//!   numbers are regenerable and diffable).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod accuracy;
+mod alerts;
+mod error;
+mod series;
+mod yield_;
+
+pub use accuracy::BinaryAccuracy;
+pub use alerts::AlertCounter;
+pub use error::{average_relative_error, fraction_within, mean_absolute_error};
+pub use series::{ascii_plot, Report, Series};
+pub use yield_::EpochYield;

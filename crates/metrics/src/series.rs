@@ -1,0 +1,204 @@
+//! Experiment output: named series, text rendering, and JSON reports.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// A named (x, y) series — one line of a paper figure.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Series {
+    /// Display name ("Shelf 0 raw", "ESP", …).
+    pub name: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Build from an iterator.
+    pub fn from_points(
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Series {
+        Series { name: name.into(), points: points.into_iter().collect() }
+    }
+
+    /// Minimum and maximum y, if non-empty.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|&(_, y)| y);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for y in it {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+
+    /// Mean of y values (0 when empty).
+    pub fn y_mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Render a series as a fixed-size ASCII plot (rows top-down, `*` marks),
+/// for experiment binaries that "draw" the paper's figures in a terminal.
+pub fn ascii_plot(series: &Series, width: usize, height: usize) -> String {
+    let mut out = String::new();
+    if series.points.is_empty() || width == 0 || height == 0 {
+        return out;
+    }
+    let (x_lo, x_hi) = (
+        series.points.first().expect("non-empty").0,
+        series.points.last().expect("non-empty").0,
+    );
+    let (y_lo, y_hi) = series.y_range().expect("non-empty");
+    let x_span = (x_hi - x_lo).max(f64::EPSILON);
+    let y_span = (y_hi - y_lo).max(f64::EPSILON);
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in &series.points {
+        let col = (((x - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+        let row = (((y - y_lo) / y_span) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col.min(width - 1)] = b'*';
+    }
+    let _ = writeln!(out, "{} (y: {y_lo:.2}..{y_hi:.2}, x: {x_lo:.1}..{x_hi:.1})", series.name);
+    for row in grid {
+        let _ = writeln!(out, "|{}|", String::from_utf8_lossy(&row));
+    }
+    out
+}
+
+/// A complete experiment report: scalars + series, renderable as text and
+/// serializable as JSON.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Report {
+    /// Experiment title ("Figure 5: pipeline ablation", …).
+    pub title: String,
+    /// Named scalar results (error rates, yields, accuracies).
+    pub scalars: Vec<(String, f64)>,
+    /// Figure series.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(title: impl Into<String>) -> Report {
+        Report { title: title.into(), scalars: Vec::new(), series: Vec::new() }
+    }
+
+    /// Add a scalar result.
+    pub fn scalar(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.scalars.push((name.into(), value));
+        self
+    }
+
+    /// Add a series.
+    pub fn add_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fetch a scalar by name.
+    pub fn get_scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Render as an aligned text table (scalars) plus series summaries.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let width = self.scalars.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &self.scalars {
+            let _ = writeln!(out, "  {name:<width$}  {value:>10.4}");
+        }
+        for s in &self.series {
+            let (lo, hi) = s.y_range().unwrap_or((0.0, 0.0));
+            let _ = writeln!(
+                out,
+                "  series '{}': {} points, y in [{lo:.3}, {hi:.3}], mean {:.3}",
+                s.name,
+                s.points.len(),
+                s.y_mean()
+            );
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Write the JSON form to `<dir>/<slug>.json`, creating `dir`.
+    pub fn write_json(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.json")), self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats() {
+        let s = Series::from_points("s", [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(s.y_range(), Some((1.0, 3.0)));
+        assert!((s.y_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(Series::new("e").y_range(), None);
+    }
+
+    #[test]
+    fn ascii_plot_shape() {
+        let s = Series::from_points("ramp", (0..50).map(|i| (i as f64, i as f64)));
+        let plot = ascii_plot(&s, 40, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 11, "header + 10 rows");
+        // Monotone ramp: top row marks appear to the right of bottom row's.
+        let top = lines[1].find('*').unwrap();
+        let bottom = lines[10].find('*').unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn ascii_plot_empty_is_empty() {
+        assert!(ascii_plot(&Series::new("e"), 10, 5).is_empty());
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new("Figure 5");
+        r.scalar("raw", 0.41).scalar("smooth+arbitrate", 0.04);
+        r.add_series(Series::from_points("trace", [(0.0, 1.0)]));
+        assert_eq!(r.get_scalar("raw"), Some(0.41));
+        assert_eq!(r.get_scalar("missing"), None);
+        let text = r.render_text();
+        assert!(text.contains("Figure 5") && text.contains("0.0400"));
+        let json = r.to_json();
+        assert!(json.contains("\"title\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["scalars"][0][1], 0.41);
+    }
+
+    #[test]
+    fn report_writes_json_file() {
+        let dir = std::env::temp_dir().join("esp-metrics-test");
+        let r = Report::new("t");
+        r.write_json(&dir, "unit").unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.json")).unwrap();
+        assert!(content.contains("\"t\""));
+    }
+}

@@ -1,0 +1,276 @@
+//! Aggregate functions: the built-ins used by the paper's queries
+//! (`count`, `sum`, `avg`, `stdev`, `min`, `max`) and the user-defined
+//! aggregate (UDA) extension point (paper §3.3: stages may be implemented
+//! as "user-defined functions or aggregates").
+
+use esp_stream::stats::RunningStats;
+use esp_types::{DataType, EspError, Result, Value};
+
+/// Accumulator state for one aggregate over one group.
+///
+/// The executor handles `DISTINCT` (values are deduplicated before
+/// reaching the state) and `count(*)` (the state sees `Value::Int(1)` per
+/// row); implementations only fold values.
+pub trait AggregateState: Send {
+    /// Fold one input value. NULLs are already filtered out by the
+    /// executor (SQL aggregates ignore NULLs).
+    fn update(&mut self, v: &Value) -> Result<()>;
+
+    /// Produce the aggregate result for the group.
+    fn finish(&self) -> Value;
+}
+
+/// Factory for aggregate states, registered under a function name.
+pub trait AggregateFactory: Send + Sync {
+    /// Create a fresh accumulator for a new group.
+    fn make(&self) -> Box<dyn AggregateState>;
+
+    /// Static result type, for output schema inference.
+    fn result_type(&self) -> DataType {
+        DataType::Any
+    }
+}
+
+/// `count(x)` / `count(*)` / `count(distinct x)`.
+pub struct CountFactory;
+
+struct CountState(i64);
+
+impl AggregateFactory for CountFactory {
+    fn make(&self) -> Box<dyn AggregateState> {
+        Box::new(CountState(0))
+    }
+    fn result_type(&self) -> DataType {
+        DataType::Int
+    }
+}
+
+impl AggregateState for CountState {
+    fn update(&mut self, _v: &Value) -> Result<()> {
+        self.0 += 1;
+        Ok(())
+    }
+    fn finish(&self) -> Value {
+        Value::Int(self.0)
+    }
+}
+
+/// `sum(x)`. Integer inputs stay integers; any float input promotes.
+pub struct SumFactory;
+
+struct SumState {
+    int_sum: i64,
+    float_sum: f64,
+    saw_float: bool,
+    n: u64,
+}
+
+impl AggregateFactory for SumFactory {
+    fn make(&self) -> Box<dyn AggregateState> {
+        Box::new(SumState { int_sum: 0, float_sum: 0.0, saw_float: false, n: 0 })
+    }
+    fn result_type(&self) -> DataType {
+        DataType::Any
+    }
+}
+
+impl AggregateState for SumState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match v {
+            Value::Int(i) => {
+                self.int_sum += i;
+                self.float_sum += *i as f64;
+            }
+            Value::Float(f) => {
+                self.saw_float = true;
+                self.float_sum += f;
+            }
+            other => {
+                return Err(EspError::Type(format!("sum() over non-numeric value {other}")))
+            }
+        }
+        self.n += 1;
+        Ok(())
+    }
+    fn finish(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else if self.saw_float {
+            Value::Float(self.float_sum)
+        } else {
+            Value::Int(self.int_sum)
+        }
+    }
+}
+
+/// `avg(x)`.
+pub struct AvgFactory;
+
+/// `stdev(x)` — sample standard deviation, as used by the paper's Query 5
+/// outlier test.
+pub struct StdevFactory;
+
+struct StatsState {
+    stats: RunningStats,
+    kind: StatsKind,
+}
+
+enum StatsKind {
+    Avg,
+    Stdev,
+}
+
+impl AggregateFactory for AvgFactory {
+    fn make(&self) -> Box<dyn AggregateState> {
+        Box::new(StatsState { stats: RunningStats::new(), kind: StatsKind::Avg })
+    }
+    fn result_type(&self) -> DataType {
+        DataType::Float
+    }
+}
+
+impl AggregateFactory for StdevFactory {
+    fn make(&self) -> Box<dyn AggregateState> {
+        Box::new(StatsState { stats: RunningStats::new(), kind: StatsKind::Stdev })
+    }
+    fn result_type(&self) -> DataType {
+        DataType::Float
+    }
+}
+
+impl AggregateState for StatsState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        let x = v.expect_f64("avg()/stdev()")?;
+        self.stats.push(x);
+        Ok(())
+    }
+    fn finish(&self) -> Value {
+        let r = match self.kind {
+            StatsKind::Avg => self.stats.mean(),
+            // A single observation has no sample deviation; report 0 so the
+            // outlier band collapses to the point itself rather than NULL
+            // (which would silently drop every reading in Query 5).
+            StatsKind::Stdev => self.stats.stdev().or(self.stats.mean().map(|_| 0.0)),
+        };
+        r.map(Value::Float).unwrap_or(Value::Null)
+    }
+}
+
+/// `min(x)` / `max(x)` over any SQL-comparable values.
+pub struct ExtremeFactory {
+    /// True for `max`, false for `min`.
+    pub is_max: bool,
+}
+
+struct ExtremeState {
+    is_max: bool,
+    best: Value,
+}
+
+impl AggregateFactory for ExtremeFactory {
+    fn make(&self) -> Box<dyn AggregateState> {
+        Box::new(ExtremeState { is_max: self.is_max, best: Value::Null })
+    }
+}
+
+impl AggregateState for ExtremeState {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if self.best.is_null() {
+            self.best = v.clone();
+            return Ok(());
+        }
+        let ord = v.sql_cmp(&self.best).ok_or_else(|| {
+            EspError::Type(format!(
+                "min()/max() over incomparable values {} and {}",
+                v, self.best
+            ))
+        })?;
+        let take = if self.is_max { ord.is_gt() } else { ord.is_lt() };
+        if take {
+            self.best = v.clone();
+        }
+        Ok(())
+    }
+    fn finish(&self) -> Value {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(factory: &dyn AggregateFactory, vals: &[Value]) -> Value {
+        let mut s = factory.make();
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn count_counts_updates() {
+        assert_eq!(run(&CountFactory, &[Value::Int(1), Value::Int(1)]), Value::Int(2));
+        assert_eq!(run(&CountFactory, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_preserves_int_until_float_seen() {
+        assert_eq!(run(&SumFactory, &[Value::Int(2), Value::Int(3)]), Value::Int(5));
+        assert_eq!(
+            run(&SumFactory, &[Value::Int(2), Value::Float(0.5)]),
+            Value::Float(2.5)
+        );
+        assert_eq!(run(&SumFactory, &[]), Value::Null);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut s = SumFactory.make();
+        assert!(s.update(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn avg_and_stdev() {
+        let vals: Vec<Value> =
+            [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].map(Value::Float).to_vec();
+        assert_eq!(run(&AvgFactory, &vals), Value::Float(5.0));
+        match run(&StdevFactory, &vals) {
+            Value::Float(s) => assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-9),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn stdev_of_single_value_is_zero() {
+        assert_eq!(run(&StdevFactory, &[Value::Float(3.0)]), Value::Float(0.0));
+        assert_eq!(run(&StdevFactory, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_over_numbers_and_strings() {
+        let max = ExtremeFactory { is_max: true };
+        let min = ExtremeFactory { is_max: false };
+        assert_eq!(run(&max, &[Value::Int(3), Value::Float(4.5)]), Value::Float(4.5));
+        assert_eq!(run(&min, &[Value::Int(3), Value::Float(4.5)]), Value::Int(3));
+        assert_eq!(
+            run(&max, &[Value::str("apple"), Value::str("pear")]),
+            Value::str("pear")
+        );
+        assert_eq!(run(&min, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_incomparable_errors() {
+        let mut s = ExtremeFactory { is_max: true }.make();
+        s.update(&Value::Int(1)).unwrap();
+        assert!(s.update(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn result_types_for_schema_inference() {
+        assert_eq!(CountFactory.result_type(), DataType::Int);
+        assert_eq!(AvgFactory.result_type(), DataType::Float);
+        assert_eq!(ExtremeFactory { is_max: true }.result_type(), DataType::Any);
+    }
+}

@@ -1,0 +1,387 @@
+//! Abstract syntax tree for the CQL subset, plus a pretty-printer.
+//!
+//! The pretty-printer emits text that re-parses to the same AST, a property
+//! the test-suite checks (print → parse round-trip).
+
+use std::fmt;
+
+use esp_types::{TimeDelta, Value};
+
+/// A `SELECT` statement (possibly nested as a derived table or a
+/// quantified subquery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list; empty means `SELECT *`.
+    pub select: Vec<SelectItem>,
+    /// `FROM` items, cross-joined.
+    pub from: Vec<FromItem>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions (empty = no grouping clause).
+    pub group_by: Vec<Expr>,
+    /// Optional `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+impl SelectStmt {
+    /// True when the projection is `SELECT *`.
+    pub fn is_star(&self) -> bool {
+        self.select.is_empty()
+    }
+}
+
+/// One projection item: an expression with an optional `AS` alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional output column name.
+    pub alias: Option<String>,
+}
+
+/// One `FROM` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The source: a named stream/relation or a derived table.
+    pub source: FromSource,
+    /// Optional alias (`FROM rfid_data r` / `... AS a`).
+    pub alias: Option<String>,
+    /// Optional window clause. Only meaningful for streams; a stream with
+    /// no window defaults to the now-window at execution.
+    pub window: Option<WindowSpec>,
+}
+
+impl FromItem {
+    /// The name this item binds in scope: its alias, or the bare source
+    /// name for named sources.
+    pub fn binding(&self) -> Option<&str> {
+        self.alias.as_deref().or(match &self.source {
+            FromSource::Named(n) => Some(n.as_str()),
+            FromSource::Derived(_) => None,
+        })
+    }
+}
+
+/// The source of a `FROM` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromSource {
+    /// A named stream or static relation.
+    Named(String),
+    /// A parenthesized subquery (derived table).
+    Derived(Box<SelectStmt>),
+}
+
+/// A window clause: `[Range By '5 sec']`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width; `TimeDelta::ZERO` is the `'NOW'` window.
+    pub range: TimeDelta,
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The textual form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Whether `ord` satisfies this comparison.
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Neq, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// Arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always float division)
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// The textual form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+/// Quantifier for comparison-against-subquery (`>= ALL (...)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Comparison must hold against every subquery row.
+    All,
+    /// Comparison must hold against at least one subquery row.
+    Any,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Field reference, optionally qualified: `tag_id` or `ai1.tag_id`.
+    Field {
+        /// Optional source qualifier.
+        qualifier: Option<String>,
+        /// Field name.
+        name: String,
+    },
+    /// Function call: aggregate (`count`, `avg`, …) or registered scalar UDF.
+    Call {
+        /// Function name (lower-cased).
+        name: String,
+        /// `DISTINCT` modifier (aggregates only).
+        distinct: bool,
+        /// Arguments; empty plus `star` for `count(*)`.
+        args: Vec<Expr>,
+        /// `*` argument (count only).
+        star: bool,
+    },
+    /// Binary comparison.
+    Cmp {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Comparison against a quantified subquery: `expr op ALL (select)`.
+    QuantifiedCmp {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: CmpOp,
+        /// Quantifier.
+        quantifier: Quantifier,
+        /// Single-column subquery.
+        subquery: Box<SelectStmt>,
+    },
+    /// Binary arithmetic.
+    Arith {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: ArithOp,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: an unqualified field reference.
+    pub fn field(name: impl Into<String>) -> Expr {
+        Expr::Field { qualifier: None, name: name.into() }
+    }
+
+    /// True when the expression (recursively) contains an aggregate call.
+    /// `agg_names` is the set of registered aggregate function names.
+    pub fn contains_aggregate(&self, is_aggregate: &dyn Fn(&str) -> bool) -> bool {
+        match self {
+            Expr::Literal(_) | Expr::Field { .. } => false,
+            Expr::Call { name, args, .. } => {
+                is_aggregate(name) || args.iter().any(|a| a.contains_aggregate(is_aggregate))
+            }
+            Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+                lhs.contains_aggregate(is_aggregate) || rhs.contains_aggregate(is_aggregate)
+            }
+            Expr::QuantifiedCmp { lhs, .. } => lhs.contains_aggregate(is_aggregate),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.contains_aggregate(is_aggregate) || b.contains_aggregate(is_aggregate)
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(is_aggregate),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Field { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::Field { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Call { name, distinct, args, star } => {
+                write!(f, "{name}(")?;
+                if *star {
+                    write!(f, "*")?;
+                } else {
+                    if *distinct {
+                        write!(f, "distinct ")?;
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            Expr::Cmp { lhs, op, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::QuantifiedCmp { lhs, op, quantifier, subquery } => {
+                let q = match quantifier {
+                    Quantifier::All => "ALL",
+                    Quantifier::Any => "ANY",
+                };
+                write!(f, "({lhs} {} {q}({subquery}))", op.symbol())
+            }
+            Expr::Arith { lhs, op, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.is_star() {
+            write!(f, "*")?;
+        } else {
+            for (i, item) in self.select.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", item.expr)?;
+                if let Some(a) = &item.alias {
+                    write!(f, " AS {a}")?;
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &item.source {
+                FromSource::Named(n) => write!(f, "{n}")?,
+                FromSource::Derived(s) => write!(f, "({s})")?,
+            }
+            if let Some(a) = &item.alias {
+                write!(f, " {a}")?;
+            }
+            if let Some(w) = &item.window {
+                write!(f, " [Range By '{}']", w.range)?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_matches_orderings() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Ge.matches(Equal));
+        assert!(CmpOp::Ge.matches(Greater));
+        assert!(!CmpOp::Ge.matches(Less));
+        assert!(CmpOp::Neq.matches(Less));
+        assert!(!CmpOp::Neq.matches(Equal));
+        assert!(CmpOp::Lt.matches(Less));
+        assert!(!CmpOp::Lt.matches(Equal));
+    }
+
+    #[test]
+    fn display_nests_parens() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                lhs: Box::new(Expr::field("temp")),
+                op: CmpOp::Lt,
+                rhs: Box::new(Expr::Literal(Value::Int(50))),
+            }),
+            Box::new(Expr::Not(Box::new(Expr::field("failed")))),
+        );
+        assert_eq!(e.to_string(), "((temp < 50) AND (NOT failed))");
+    }
+
+    #[test]
+    fn contains_aggregate_recurses() {
+        let is_agg = |n: &str| n == "count";
+        let e = Expr::Cmp {
+            lhs: Box::new(Expr::Call {
+                name: "count".into(),
+                distinct: false,
+                args: vec![],
+                star: true,
+            }),
+            op: CmpOp::Ge,
+            rhs: Box::new(Expr::Literal(Value::Int(1))),
+        };
+        assert!(e.contains_aggregate(&is_agg));
+        assert!(!Expr::field("x").contains_aggregate(&is_agg));
+    }
+}

@@ -1,0 +1,164 @@
+//! The catalog: static relations, scalar UDFs, and aggregate UDAs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use esp_types::{Batch, EspError, Result, Value};
+
+use crate::aggregate::{
+    AggregateFactory, AvgFactory, CountFactory, ExtremeFactory, StdevFactory, SumFactory,
+};
+
+/// Signature of a scalar user-defined function.
+pub type ScalarFn = dyn Fn(&[Value]) -> Result<Value> + Send + Sync;
+
+/// Named registries shared by every query compiled from one
+/// [`Engine`](crate::Engine):
+///
+/// * **static relations** — finite tables joinable against streams. The
+///   paper uses these for inventory lookups and for the digital-home Point
+///   stage's "join with a static relation containing expected tag IDs".
+/// * **scalar UDFs** — e.g. calibration functions inserted into a pipeline
+///   (paper §4.3.1).
+/// * **aggregates (UDAs)** — `count`/`sum`/`avg`/`stdev`/`min`/`max` are
+///   pre-registered; deployments may add their own.
+#[derive(Clone)]
+pub struct Catalog {
+    relations: HashMap<String, Arc<Batch>>,
+    scalars: HashMap<String, Arc<ScalarFn>>,
+    aggregates: HashMap<String, Arc<dyn AggregateFactory>>,
+}
+
+impl Catalog {
+    /// A catalog with the built-in aggregates and scalar functions
+    /// (`abs`, `coalesce`) registered.
+    pub fn new() -> Catalog {
+        let mut c = Catalog {
+            relations: HashMap::new(),
+            scalars: HashMap::new(),
+            aggregates: HashMap::new(),
+        };
+        c.register_aggregate("count", Arc::new(CountFactory));
+        c.register_aggregate("sum", Arc::new(SumFactory));
+        c.register_aggregate("avg", Arc::new(AvgFactory));
+        c.register_aggregate("stdev", Arc::new(StdevFactory));
+        c.register_aggregate("min", Arc::new(ExtremeFactory { is_max: false }));
+        c.register_aggregate("max", Arc::new(ExtremeFactory { is_max: true }));
+        c.register_scalar("abs", |args| {
+            let [v] = args else {
+                return Err(EspError::Type("abs() takes one argument".into()));
+            };
+            Ok(match v {
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(EspError::Type(format!("abs() of non-number {other}")))
+                }
+            })
+        });
+        c.register_scalar("coalesce", |args| {
+            Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+        });
+        c
+    }
+
+    /// Register (or replace) a static relation.
+    pub fn register_relation(&mut self, name: impl Into<String>, rows: Batch) {
+        self.relations.insert(name.into(), Arc::new(rows));
+    }
+
+    /// Look up a static relation.
+    pub fn relation(&self, name: &str) -> Option<&Arc<Batch>> {
+        self.relations.get(name)
+    }
+
+    /// Register (or replace) a scalar UDF under `name` (lower-cased).
+    pub fn register_scalar(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.scalars.insert(name.into().to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Look up a scalar UDF.
+    pub fn scalar(&self, name: &str) -> Option<&Arc<ScalarFn>> {
+        self.scalars.get(name)
+    }
+
+    /// Register (or replace) an aggregate under `name` (lower-cased).
+    pub fn register_aggregate(
+        &mut self,
+        name: impl Into<String>,
+        factory: Arc<dyn AggregateFactory>,
+    ) {
+        self.aggregates.insert(name.into().to_ascii_lowercase(), factory);
+    }
+
+    /// Look up an aggregate factory.
+    pub fn aggregate(&self, name: &str) -> Option<&Arc<dyn AggregateFactory>> {
+        self.aggregates.get(name)
+    }
+
+    /// True when `name` is a registered aggregate function.
+    pub fn is_aggregate(&self, name: &str) -> bool {
+        self.aggregates.contains_key(name)
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::{DataType, Schema, Ts, Tuple};
+
+    #[test]
+    fn builtins_present() {
+        let c = Catalog::new();
+        for agg in ["count", "sum", "avg", "stdev", "min", "max"] {
+            assert!(c.is_aggregate(agg), "{agg} missing");
+        }
+        assert!(c.scalar("abs").is_some());
+        assert!(!c.is_aggregate("abs"));
+    }
+
+    #[test]
+    fn scalar_abs_and_coalesce() {
+        let c = Catalog::new();
+        let abs = c.scalar("abs").unwrap();
+        assert_eq!(abs(&[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(abs(&[Value::Float(-2.5)]).unwrap(), Value::Float(2.5));
+        assert!(abs(&[Value::str("x")]).is_err());
+        assert!(abs(&[]).is_err());
+        let coalesce = c.scalar("coalesce").unwrap();
+        assert_eq!(
+            coalesce(&[Value::Null, Value::Int(7), Value::Int(9)]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(coalesce(&[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn relations_round_trip() {
+        let mut c = Catalog::new();
+        let schema = Schema::builder().field("tag_id", DataType::Str).build().unwrap();
+        let rows =
+            vec![Tuple::new(schema, Ts::ZERO, vec![Value::str("expected-1")]).unwrap()];
+        c.register_relation("expected_tags", rows);
+        assert_eq!(c.relation("expected_tags").unwrap().len(), 1);
+        assert!(c.relation("nope").is_none());
+    }
+
+    #[test]
+    fn uda_registration_is_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register_aggregate("MyAgg", Arc::new(CountFactory));
+        assert!(c.is_aggregate("myagg"));
+    }
+}

@@ -1,0 +1,354 @@
+//! The engine: compiles query text and drives per-epoch execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use esp_stream::Operator;
+use esp_types::{Batch, EspError, Result, Ts, Tuple, Value};
+
+use crate::aggregate::AggregateFactory;
+use crate::catalog::Catalog;
+use crate::compile::{compile, CompiledSelect};
+use crate::exec::{eval_select, ExecCtx};
+use crate::parser::parse;
+
+/// Compiles CQL text into [`ContinuousQuery`] objects and hosts the shared
+/// [`Catalog`] (static relations, scalar UDFs, aggregate UDAs).
+///
+/// ```
+/// use esp_query::Engine;
+/// use esp_types::{Ts, TupleBuilder, Value, well_known};
+///
+/// let engine = Engine::new();
+/// let mut q = engine
+///     .compile("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
+///     .unwrap();
+/// let schema = well_known::rfid_schema();
+/// let t = TupleBuilder::new(&schema, Ts::from_secs(1))
+///     .set("receptor_id", 0i64).unwrap()
+///     .set("tag_id", "tag-1").unwrap()
+///     .build()
+///     .unwrap();
+/// q.push("s", &[t]).unwrap();
+/// let out = q.tick(Ts::from_secs(1)).unwrap();
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].get("count"), Some(&Value::Int(1)));
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    catalog: Arc<Catalog>,
+}
+
+impl Engine {
+    /// An engine with the built-in functions registered.
+    pub fn new() -> Engine {
+        Engine { catalog: Arc::new(Catalog::new()) }
+    }
+
+    /// Register a static relation available to every subsequently compiled
+    /// query (e.g. an inventory list or expected-tag table).
+    pub fn register_relation(&mut self, name: impl Into<String>, rows: Batch) {
+        Arc::make_mut(&mut self.catalog).register_relation(name, rows);
+    }
+
+    /// Register a scalar UDF.
+    pub fn register_scalar(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        Arc::make_mut(&mut self.catalog).register_scalar(name, f);
+    }
+
+    /// Register a user-defined aggregate.
+    pub fn register_aggregate(
+        &mut self,
+        name: impl Into<String>,
+        factory: Arc<dyn AggregateFactory>,
+    ) {
+        Arc::make_mut(&mut self.catalog).register_aggregate(name, factory);
+    }
+
+    /// Access the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parse and compile `sql` into a continuous query.
+    pub fn compile(&self, sql: &str) -> Result<ContinuousQuery> {
+        let stmt = parse(sql)?;
+        let mut root = compile(&stmt, &self.catalog)?;
+        let streams = root.stream_names();
+        Ok(ContinuousQuery {
+            root,
+            catalog: Arc::clone(&self.catalog),
+            pending: HashMap::new(),
+            streams,
+            text: sql.to_string(),
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// A compiled continuous query with its window state.
+///
+/// Usage per epoch: [`push`](ContinuousQuery::push) each input stream's
+/// batch, then [`tick`](ContinuousQuery::tick) to advance the windows to
+/// the epoch and emit the epoch's result rows (CQL `RSTREAM` semantics:
+/// the full windowed result at each epoch, stamped with the epoch).
+pub struct ContinuousQuery {
+    root: CompiledSelect,
+    catalog: Arc<Catalog>,
+    pending: HashMap<String, Batch>,
+    streams: Vec<String>,
+    text: String,
+}
+
+impl ContinuousQuery {
+    /// The distinct stream names this query reads.
+    pub fn input_streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Stage a batch for `stream`, to be absorbed at the next tick.
+    /// Unknown stream names are rejected.
+    pub fn push(&mut self, stream: &str, batch: &[Tuple]) -> Result<()> {
+        if !self.streams.iter().any(|s| s == stream) {
+            return Err(EspError::UnknownSource(format!(
+                "stream '{stream}' is not read by this query"
+            )));
+        }
+        self.pending.entry(stream.to_string()).or_default().extend_from_slice(batch);
+        Ok(())
+    }
+
+    /// Absorb staged batches, slide every window to `epoch`, evaluate, and
+    /// return the result rows stamped at `epoch`.
+    pub fn tick(&mut self, epoch: Ts) -> Result<Batch> {
+        let pending = std::mem::take(&mut self.pending);
+        self.root.for_each_window(&mut |name, w| {
+            if let Some(batch) = pending.get(name) {
+                // Tuples enter the window stamped at the epoch so that
+                // now-windows ([Range By 'NOW']) retain exactly this
+                // epoch's arrivals.
+                for t in batch {
+                    let t = if t.ts() == epoch { t.clone() } else { t.restamped(epoch) };
+                    w.push(t);
+                }
+            }
+            w.advance_to(epoch);
+        });
+        let ctx = ExecCtx { catalog: &self.catalog, epoch };
+        let result = eval_select(&self.root, None, &ctx)?;
+        Ok(result
+            .rows
+            .into_iter()
+            .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), epoch, vals))
+            .collect())
+    }
+}
+
+/// Adapter placing a [`ContinuousQuery`] into an
+/// [`esp_stream::Dataflow`](esp_stream::Dataflow): input port `i` feeds the
+/// stream named `ports[i]`; `flush` ticks the query at the epoch.
+pub struct QueryOperator {
+    name: String,
+    query: ContinuousQuery,
+    ports: Vec<String>,
+}
+
+impl QueryOperator {
+    /// Wrap `query`, mapping input port `i` to stream name `ports[i]`.
+    /// Every stream the query reads must appear in `ports`.
+    pub fn new(
+        name: impl Into<String>,
+        query: ContinuousQuery,
+        ports: Vec<String>,
+    ) -> Result<QueryOperator> {
+        for s in query.input_streams() {
+            if !ports.contains(s) {
+                return Err(EspError::Config(format!(
+                    "query reads stream '{s}' but no input port supplies it"
+                )));
+            }
+        }
+        Ok(QueryOperator { name: name.into(), query, ports })
+    }
+
+    /// Single-input convenience: port 0 feeds the query's only stream.
+    pub fn single_input(name: impl Into<String>, query: ContinuousQuery) -> Result<QueryOperator> {
+        let streams = query.input_streams().to_vec();
+        let [stream] = streams.as_slice() else {
+            return Err(EspError::Config(format!(
+                "single_input requires a one-stream query, found {}",
+                streams.len()
+            )));
+        };
+        let stream = stream.clone();
+        QueryOperator::new(name, query, vec![stream])
+    }
+}
+
+impl Operator for QueryOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn push(&mut self, port: usize, batch: &[Tuple]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let stream = self.ports.get(port).ok_or_else(|| {
+            EspError::Config(format!("no stream mapped to input port {port}"))
+        })?;
+        // Clone the name to appease the borrow checker cheaply.
+        let stream = stream.clone();
+        self.query.push(&stream, batch)
+    }
+
+    fn flush(&mut self, epoch: Ts) -> Result<Batch> {
+        self.query.tick(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::{well_known, TimeDelta, TupleBuilder};
+
+    fn rfid(ts: Ts, tag: &str) -> Tuple {
+        TupleBuilder::new(&well_known::rfid_schema(), ts)
+            .set("receptor_id", 0i64)
+            .unwrap()
+            .set("tag_id", tag)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sliding_window_retains_across_ticks() {
+        let engine = Engine::new();
+        let mut q = engine
+            .compile("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
+            .unwrap();
+        // Tag seen at t=0 only; it should still be counted at t=4 but not t=6.
+        q.push("s", &[rfid(Ts::ZERO, "a")]).unwrap();
+        let out = q.tick(Ts::ZERO).unwrap();
+        assert_eq!(out.len(), 1);
+        for t in 1..=4u64 {
+            let out = q.tick(Ts::from_secs(t)).unwrap();
+            assert_eq!(out.len(), 1, "still in window at t={t}");
+            assert_eq!(out[0].get("count"), Some(&Value::Int(1)));
+            assert_eq!(out[0].ts(), Ts::from_secs(t), "restamped at epoch");
+        }
+        let out = q.tick(Ts::from_secs(6)).unwrap();
+        assert!(out.is_empty(), "evicted after the granule passes");
+    }
+
+    #[test]
+    fn now_window_sees_only_current_epoch() {
+        let engine = Engine::new();
+        let mut q = engine
+            .compile("SELECT tag_id FROM s [Range By 'NOW']")
+            .unwrap();
+        q.push("s", &[rfid(Ts::ZERO, "a")]).unwrap();
+        assert_eq!(q.tick(Ts::ZERO).unwrap().len(), 1);
+        assert!(q.tick(Ts::from_millis(200)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_to_unknown_stream_rejected() {
+        let engine = Engine::new();
+        let mut q = engine.compile("SELECT tag_id FROM s [Range By 'NOW']").unwrap();
+        assert!(q.push("other", &[]).is_err());
+        assert_eq!(q.input_streams(), &["s".to_string()]);
+    }
+
+    #[test]
+    fn query_operator_round_trip() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
+            .unwrap();
+        let mut op = QueryOperator::single_input("smooth", q).unwrap();
+        assert_eq!(op.n_inputs(), 1);
+        op.push(0, &[rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "a")]).unwrap();
+        let out = op.flush(Ts::ZERO).unwrap();
+        assert_eq!(out[0].get("count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn query_operator_validates_ports() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT a.tag_id FROM a [Range 'NOW'], b [Range 'NOW']")
+            .unwrap();
+        assert!(QueryOperator::single_input("x", q).is_err());
+        let q = engine
+            .compile("SELECT a.tag_id FROM a [Range 'NOW'], b [Range 'NOW']")
+            .unwrap();
+        assert!(QueryOperator::new("x", q, vec!["a".into()]).is_err());
+        let q = engine
+            .compile("SELECT a.tag_id FROM a [Range 'NOW'], b [Range 'NOW']")
+            .unwrap();
+        assert!(QueryOperator::new("x", q, vec!["a".into(), "b".into()]).is_ok());
+    }
+
+    #[test]
+    fn late_tuples_are_restamped_into_the_epoch() {
+        let engine = Engine::new();
+        let mut q = engine.compile("SELECT count(*) FROM s [Range By 'NOW']").unwrap();
+        // Tuple stamped in the past still lands in the current now-window.
+        q.push("s", &[rfid(Ts::ZERO, "a")]).unwrap();
+        let out = q.tick(Ts::from_secs(10)).unwrap();
+        assert_eq!(out[0].get("count"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn window_expansion_via_wider_range() {
+        // The redwood scenario: samples every 5 minutes, Smooth window of
+        // 30 minutes still emits every 5 minutes.
+        let engine = Engine::new();
+        let mut q = engine
+            .compile("SELECT avg(temp) FROM s [Range By '30 min'] GROUP BY receptor_id")
+            .unwrap();
+        let schema = well_known::temp_schema();
+        let mut epoch = Ts::ZERO;
+        let mut yields = 0;
+        for i in 0..12u64 {
+            // Mote reports only every other epoch (50% loss).
+            if i % 2 == 0 {
+                let t = TupleBuilder::new(&schema, epoch)
+                    .set("receptor_id", 7i64)
+                    .unwrap()
+                    .set("temp", 20.0 + i as f64)
+                    .unwrap()
+                    .build()
+                    .unwrap();
+                q.push("s", &[t]).unwrap();
+            }
+            let out = q.tick(epoch).unwrap();
+            if !out.is_empty() {
+                yields += 1;
+            }
+            epoch += TimeDelta::from_mins(5);
+        }
+        // The expanded window masks every dropout after the first report.
+        assert_eq!(yields, 12);
+    }
+}

@@ -1,0 +1,640 @@
+//! Per-epoch evaluation of a [`CompiledSelect`] over window contents.
+//!
+//! Each tick, the engine evaluates the compiled statement as a one-shot
+//! relational query over the current contents of every window (CQL's
+//! "relation at time t" semantics; the emitted rows are the `RSTREAM` of
+//! the windowed query at the epoch). Joins are nested-loop cross products
+//! filtered by `WHERE`; grouped queries fold the paper's aggregates per
+//! group; `HAVING` may contain correlated quantified subqueries
+//! (paper Query 3), which re-evaluate the subquery once per group with the
+//! group's representative row bound as the outer scope.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use esp_types::{
+    EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey,
+};
+
+use crate::ast::{ArithOp, Quantifier};
+use crate::catalog::Catalog;
+use crate::compile::{AggCall, CExpr, CFromItem, CSource, CompiledSelect};
+
+/// Evaluation context shared by a whole tick.
+pub struct ExecCtx<'a> {
+    /// The catalog (static relations, UDFs).
+    pub catalog: &'a Catalog,
+    /// The epoch being evaluated; derived-table tuples are stamped with it.
+    pub epoch: Ts,
+}
+
+/// Lexical environment for one candidate row, with a chain to outer query
+/// scopes for correlated subqueries.
+pub struct RowEnv<'a> {
+    /// Binding name of each FROM item (aligned with `row`).
+    bindings: &'a [Option<String>],
+    /// One tuple per FROM item. Empty for the global group of an empty
+    /// aggregate input (field references then evaluate to NULL).
+    row: &'a [&'a Tuple],
+    /// Aggregate values for the enclosing group, aligned with the
+    /// select's `agg_calls`.
+    aggs: Option<&'a [Value]>,
+    /// Enclosing query scope, for correlated references.
+    outer: Option<&'a RowEnv<'a>>,
+}
+
+/// The result of evaluating a select: output schema plus rows.
+#[derive(Debug)]
+pub struct SelectResult {
+    /// Schema of the produced rows.
+    pub schema: Arc<Schema>,
+    /// Row values (aligned with `schema`).
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Evaluate `cs` over its current window contents.
+pub fn eval_select(
+    cs: &CompiledSelect,
+    outer: Option<&RowEnv<'_>>,
+    ctx: &ExecCtx<'_>,
+) -> Result<SelectResult> {
+    // 1. Materialize each FROM item.
+    let mut inputs: Vec<Vec<Tuple>> = Vec::with_capacity(cs.from.len());
+    for item in &cs.from {
+        inputs.push(materialize_from(item, outer, ctx)?);
+    }
+    let bindings: Vec<Option<String>> =
+        cs.from.iter().map(|f| f.binding.clone()).collect();
+
+    // 2. Cross product + WHERE.
+    let mut surviving: Vec<Vec<&Tuple>> = Vec::new();
+    let mut odometer = vec![0usize; inputs.len()];
+    let any_empty = inputs.iter().any(Vec::is_empty);
+    if !any_empty && !inputs.is_empty() {
+        'outer: loop {
+            let row: Vec<&Tuple> =
+                odometer.iter().enumerate().map(|(i, &j)| &inputs[i][j]).collect();
+            let env = RowEnv { bindings: &bindings, row: &row, aggs: None, outer };
+            let keep = match &cs.where_clause {
+                Some(w) => eval_expr(w, &env, ctx)?.truthy(),
+                None => true,
+            };
+            if keep {
+                surviving.push(row);
+            }
+            // Advance odometer.
+            for i in (0..odometer.len()).rev() {
+                odometer[i] += 1;
+                if odometer[i] < inputs[i].len() {
+                    continue 'outer;
+                }
+                odometer[i] = 0;
+                if i == 0 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // 3. Project.
+    if cs.is_aggregate {
+        eval_grouped(cs, &bindings, &surviving, outer, ctx)
+    } else if cs.select.is_empty() {
+        eval_star(cs, &bindings, &surviving)
+    } else {
+        let schema = cs.output_schema.clone().expect("explicit projection has schema");
+        let mut rows = Vec::with_capacity(surviving.len());
+        for row in &surviving {
+            let env = RowEnv { bindings: &bindings, row, aggs: None, outer };
+            let mut out = Vec::with_capacity(cs.select.len());
+            for item in &cs.select {
+                out.push(eval_expr(&item.expr, &env, ctx)?);
+            }
+            rows.push(out);
+        }
+        Ok(SelectResult { schema, rows })
+    }
+}
+
+/// `SELECT *`: concatenate the fields of every FROM item.
+fn eval_star(
+    cs: &CompiledSelect,
+    bindings: &[Option<String>],
+    rows: &[Vec<&Tuple>],
+) -> Result<SelectResult> {
+    let Some(first) = rows.first() else {
+        // No rows this epoch: emit an empty result with a best-effort
+        // empty schema (consumers see no tuples either way).
+        return Ok(SelectResult { schema: Schema::new(vec![])?, rows: vec![] });
+    };
+    // Join the schemas of the first row, prefixing duplicates by binding.
+    let mut schema: Arc<Schema> = Arc::clone(first[0].schema());
+    for (i, t) in first.iter().enumerate().skip(1) {
+        let prefix = bindings[i].as_deref().unwrap_or("right");
+        schema = schema.join(t.schema(), Some(prefix))?;
+    }
+    let _ = cs;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut vals =
+            Vec::with_capacity(row.iter().map(|t| t.values().len()).sum::<usize>());
+        for t in row {
+            vals.extend_from_slice(t.values());
+        }
+        if vals.len() != schema.len() {
+            return Err(EspError::SchemaMismatch(
+                "heterogeneous tuple shapes within one stream in SELECT *".into(),
+            ));
+        }
+        out.push(vals);
+    }
+    Ok(SelectResult { schema, rows: out })
+}
+
+/// Grouped / aggregate evaluation.
+fn eval_grouped(
+    cs: &CompiledSelect,
+    bindings: &[Option<String>],
+    rows: &[Vec<&Tuple>],
+    outer: Option<&RowEnv<'_>>,
+    ctx: &ExecCtx<'_>,
+) -> Result<SelectResult> {
+    // Group rows.
+    struct Group<'a> {
+        rep: Option<Vec<&'a Tuple>>,
+        members: Vec<usize>,
+    }
+    let mut order: Vec<Vec<ValueKey>> = Vec::new();
+    let mut groups: HashMap<Vec<ValueKey>, Group<'_>> = HashMap::new();
+    if cs.group_by.is_empty() {
+        // Global group, present even over empty input (SQL semantics:
+        // `SELECT count(*) FROM empty` yields one row).
+        let g = Group { rep: rows.first().cloned(), members: (0..rows.len()).collect() };
+        order.push(Vec::new());
+        groups.insert(Vec::new(), g);
+    } else {
+        for (ri, row) in rows.iter().enumerate() {
+            let env = RowEnv { bindings, row, aggs: None, outer };
+            let mut key = Vec::with_capacity(cs.group_by.len());
+            for g in &cs.group_by {
+                key.push(eval_expr(g, &env, ctx)?.group_key());
+            }
+            match groups.entry(key.clone()) {
+                Entry::Occupied(mut e) => e.get_mut().members.push(ri),
+                Entry::Vacant(e) => {
+                    e.insert(Group { rep: Some(row.clone()), members: vec![ri] });
+                    order.push(key);
+                }
+            }
+        }
+    }
+
+    let schema = cs.output_schema.clone().expect("aggregate select is never *");
+    let mut out_rows = Vec::with_capacity(order.len());
+    for key in &order {
+        let group = &groups[key];
+        // Fold every aggregate over the group's members.
+        let mut agg_values = Vec::with_capacity(cs.agg_calls.len());
+        for call in &cs.agg_calls {
+            agg_values.push(fold_aggregate(call, bindings, rows, &group.members, outer, ctx)?);
+        }
+        let empty_row: Vec<&Tuple> = Vec::new();
+        let rep = group.rep.as_ref().unwrap_or(&empty_row);
+        let env = RowEnv { bindings, row: rep, aggs: Some(&agg_values), outer };
+        if let Some(h) = &cs.having {
+            if !eval_expr(h, &env, ctx)?.truthy() {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(cs.select.len());
+        for item in &cs.select {
+            out.push(eval_expr(&item.expr, &env, ctx)?);
+        }
+        out_rows.push(out);
+    }
+    Ok(SelectResult { schema, rows: out_rows })
+}
+
+fn fold_aggregate(
+    call: &AggCall,
+    bindings: &[Option<String>],
+    rows: &[Vec<&Tuple>],
+    members: &[usize],
+    outer: Option<&RowEnv<'_>>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Value> {
+    let mut state = call.factory.make();
+    let mut distinct_seen: HashSet<ValueKey> = HashSet::new();
+    for &ri in members {
+        let row = &rows[ri];
+        let v = match &call.arg {
+            None => Value::Int(1), // count(*)
+            Some(arg) => {
+                let env = RowEnv { bindings, row, aggs: None, outer };
+                eval_expr(arg, &env, ctx)?
+            }
+        };
+        if call.arg.is_some() && v.is_null() {
+            continue; // SQL aggregates ignore NULLs.
+        }
+        if call.distinct && !distinct_seen.insert(v.group_key()) {
+            continue;
+        }
+        state.update(&v)?;
+    }
+    Ok(state.finish())
+}
+
+/// Materialize the rows of one FROM item.
+fn materialize_from(
+    item: &CFromItem,
+    outer: Option<&RowEnv<'_>>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Tuple>> {
+    match &item.source {
+        CSource::Stream { window, .. } => Ok(window.to_vec()),
+        CSource::Relation { name } => ctx
+            .catalog
+            .relation(name)
+            .map(|r| r.as_ref().clone())
+            .ok_or_else(|| EspError::UnknownSource(name.clone())),
+        CSource::Derived(sub) => {
+            let result = eval_select(sub, outer, ctx)?;
+            Ok(result
+                .rows
+                .into_iter()
+                .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), ctx.epoch, vals))
+                .collect())
+        }
+    }
+}
+
+/// Evaluate one expression against a row environment.
+pub fn eval_expr(e: &CExpr, env: &RowEnv<'_>, ctx: &ExecCtx<'_>) -> Result<Value> {
+    match e {
+        CExpr::Literal(v) => Ok(v.clone()),
+        CExpr::Field { qualifier, name } => resolve_field(qualifier.as_deref(), name, env),
+        CExpr::Agg { idx, key } => match env.aggs {
+            Some(aggs) => Ok(aggs[*idx].clone()),
+            None => Err(EspError::Plan(format!(
+                "aggregate {key} referenced outside a grouped context"
+            ))),
+        },
+        CExpr::Scalar { func, args, .. } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env, ctx)?);
+            }
+            func(&vals)
+        }
+        CExpr::Cmp { lhs, op, rhs } => {
+            let l = eval_expr(lhs, env, ctx)?;
+            let r = eval_expr(rhs, env, ctx)?;
+            Ok(Value::Bool(l.sql_cmp(&r).map(|o| op.matches(o)).unwrap_or(false)))
+        }
+        CExpr::Quantified { lhs, op, quantifier, subquery } => {
+            let l = eval_expr(lhs, env, ctx)?;
+            let result = eval_select(subquery, Some(env), ctx)?;
+            let mut all = true;
+            let mut any = false;
+            for row in &result.rows {
+                let matched =
+                    l.sql_cmp(&row[0]).map(|o| op.matches(o)).unwrap_or(false);
+                all &= matched;
+                any |= matched;
+            }
+            Ok(Value::Bool(match quantifier {
+                Quantifier::All => all,  // vacuously true over empty results
+                Quantifier::Any => any, // vacuously false over empty results
+            }))
+        }
+        CExpr::Arith { lhs, op, rhs } => {
+            let l = eval_expr(lhs, env, ctx)?;
+            let r = eval_expr(rhs, env, ctx)?;
+            eval_arith(&l, *op, &r)
+        }
+        CExpr::And(a, b) => {
+            if !eval_expr(a, env, ctx)?.truthy() {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(eval_expr(b, env, ctx)?.truthy()))
+        }
+        CExpr::Or(a, b) => {
+            if eval_expr(a, env, ctx)?.truthy() {
+                return Ok(Value::Bool(true));
+            }
+            Ok(Value::Bool(eval_expr(b, env, ctx)?.truthy()))
+        }
+        CExpr::Not(x) => Ok(Value::Bool(!eval_expr(x, env, ctx)?.truthy())),
+        CExpr::Neg(x) => match eval_expr(x, env, ctx)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Null => Ok(Value::Null),
+            other => Err(EspError::Type(format!("cannot negate {other}"))),
+        },
+    }
+}
+
+fn eval_arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer-preserving for +,-,*,% over two ints; `/` is always float.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        match op {
+            ArithOp::Add => return Ok(Value::Int(a + b)),
+            ArithOp::Sub => return Ok(Value::Int(a - b)),
+            ArithOp::Mul => return Ok(Value::Int(a * b)),
+            ArithOp::Mod => {
+                if *b == 0 {
+                    return Ok(Value::Null);
+                }
+                return Ok(Value::Int(a % b));
+            }
+            ArithOp::Div => {}
+        }
+    }
+    let (a, b) = (
+        l.expect_f64(&format!("left operand of {}", op.symbol()))?,
+        r.expect_f64(&format!("right operand of {}", op.symbol()))?,
+    );
+    let v = match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a / b
+        }
+        ArithOp::Mod => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a % b
+        }
+    };
+    Ok(Value::Float(v))
+}
+
+/// Resolve a (possibly qualified) field reference: current scope first,
+/// then enclosing scopes (correlation).
+fn resolve_field(qualifier: Option<&str>, name: &str, env: &RowEnv<'_>) -> Result<Value> {
+    let mut scope: Option<&RowEnv<'_>> = Some(env);
+    while let Some(s) = scope {
+        match lookup_in_scope(qualifier, name, s)? {
+            Some(v) => return Ok(v),
+            None => scope = s.outer,
+        }
+    }
+    // Special case: the representative row of an empty global group — all
+    // field references are NULL (e.g. `SELECT tag_id, count(*) FROM empty`).
+    if env.row.is_empty() && env.aggs.is_some() {
+        return Ok(Value::Null);
+    }
+    match qualifier {
+        Some(q) => Err(EspError::UnknownField(format!("{q}.{name}"))),
+        None => Err(EspError::UnknownField(name.to_string())),
+    }
+}
+
+fn lookup_in_scope(
+    qualifier: Option<&str>,
+    name: &str,
+    s: &RowEnv<'_>,
+) -> Result<Option<Value>> {
+    let mut found: Option<&Value> = None;
+    for (i, t) in s.row.iter().enumerate() {
+        if let Some(q) = qualifier {
+            if s.bindings[i].as_deref() != Some(q) {
+                continue;
+            }
+        }
+        if let Some(v) = t.get(name) {
+            if found.is_some() && qualifier.is_none() {
+                return Err(EspError::Plan(format!(
+                    "ambiguous field reference '{name}' (qualify it)"
+                )));
+            }
+            found = Some(v);
+            if qualifier.is_some() {
+                break;
+            }
+        }
+    }
+    Ok(found.cloned())
+}
+
+/// Helper used by schema inference in tests: the runtime schema of a star
+/// select over `example` input schemas.
+pub fn star_schema(schemas: &[(Option<&str>, Arc<Schema>)]) -> Result<Arc<Schema>> {
+    let mut fields: Vec<Field> = Vec::new();
+    let mut joined: Option<Arc<Schema>> = None;
+    for (binding, schema) in schemas {
+        joined = Some(match joined {
+            None => Arc::clone(schema),
+            Some(j) => j.join(schema, Some(binding.unwrap_or("right")))?,
+        });
+    }
+    match joined {
+        Some(j) => Ok(j),
+        None => Schema::new(fields.drain(..).collect()),
+    }
+}
+
+/// Compare two values for ORDER-like uses elsewhere in the workspace.
+pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    a.sql_cmp(b).unwrap_or_else(|| a.group_key().cmp(&b.group_key()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+    use esp_types::{DataType, TupleBuilder};
+
+    fn ctx(catalog: &Catalog) -> ExecCtx<'_> {
+        ExecCtx { catalog, epoch: Ts::from_secs(1) }
+    }
+
+    fn push_all(cs: &mut CompiledSelect, stream: &str, batch: &[Tuple]) {
+        cs.for_each_window(&mut |name, w| {
+            if name == stream {
+                w.push_batch(batch);
+            }
+        });
+        cs.for_each_window(&mut |_, w| w.advance_to(Ts::from_secs(1)));
+    }
+
+    fn reading(schema: &Arc<Schema>, tag: &str) -> Tuple {
+        TupleBuilder::new(schema, Ts::from_secs(1))
+            .set("tag_id", tag)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn tag_schema() -> Arc<Schema> {
+        Schema::builder().field("tag_id", DataType::Str).build().unwrap()
+    }
+
+    #[test]
+    fn filter_projects_rows() {
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT tag_id FROM s [Range By '5 sec'] WHERE tag_id != 'b'").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(&mut cs, "s", &[reading(&schema, "a"), reading(&schema, "b")]);
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::str("a")]]);
+        assert_eq!(r.schema.fields()[0].name, "tag_id");
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
+                .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(
+            &mut cs,
+            "s",
+            &[reading(&schema, "a"), reading(&schema, "b"), reading(&schema, "a")],
+        );
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(1)]
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_emits_one_row() {
+        let catalog = Catalog::new();
+        let cs = compile(
+            &parse("SELECT count(*) FROM s [Range By '5 sec']").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn having_filters_global_group() {
+        let catalog = Catalog::new();
+        let cs = compile(
+            &parse("SELECT 1 AS cnt FROM s [Range By 'NOW'] HAVING count(distinct tag_id) > 1")
+                .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert!(r.rows.is_empty(), "count 0 fails HAVING");
+    }
+
+    #[test]
+    fn field_reference_on_empty_global_group_is_null() {
+        let catalog = Catalog::new();
+        let cs = compile(
+            &parse("SELECT tag_id, count(*) FROM s [Range By 'NOW']").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Null, Value::Int(0)]]);
+    }
+
+    #[test]
+    fn cross_join_with_static_relation() {
+        let mut catalog = Catalog::new();
+        let schema = tag_schema();
+        catalog.register_relation(
+            "expected",
+            vec![reading(&schema, "a"), reading(&schema, "c")],
+        );
+        let mut cs = compile(
+            &parse(
+                "SELECT s.tag_id FROM s [Range By '5 sec'], expected e \
+                 WHERE s.tag_id = e.tag_id",
+            )
+            .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        push_all(&mut cs, "s", &[reading(&schema, "a"), reading(&schema, "b")]);
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::str("a")]]);
+    }
+
+    #[test]
+    fn arith_semantics() {
+        // int preservation and float division
+        assert_eq!(
+            eval_arith(&Value::Int(7), ArithOp::Add, &Value::Int(3)).unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            eval_arith(&Value::Int(7), ArithOp::Div, &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            eval_arith(&Value::Int(7), ArithOp::Mod, &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_arith(&Value::Float(1.0), ArithOp::Div, &Value::Float(0.0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_arith(&Value::Null, ArithOp::Add, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert!(eval_arith(&Value::str("x"), ArithOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn ambiguous_unqualified_reference_errors() {
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT tag_id FROM a [Range '5 sec'], b [Range '5 sec']").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(&mut cs, "a", &[reading(&schema, "x")]);
+        push_all(&mut cs, "b", &[reading(&schema, "y")]);
+        let err = eval_select(&cs, None, &ctx(&catalog)).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_field_reported() {
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT bogus FROM s [Range '5 sec']").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(&mut cs, "s", &[reading(&schema, "x")]);
+        assert!(matches!(
+            eval_select(&cs, None, &ctx(&catalog)),
+            Err(EspError::UnknownField(_))
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! Tokenizer for the CQL subset.
+
+use esp_types::{EspError, Result};
+
+/// A lexical token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (keywords are recognized by the parser;
+    /// identifiers are case-preserved, keywords matched case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("'{s}'"),
+            TokenKind::Int(i) => format!("{i}"),
+            TokenKind::Float(f) => format!("{f}"),
+            TokenKind::Str(s) => format!("'{s}'"),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::Percent => "%".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Neq => "!=".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::Eof => "end of query".into(),
+        }
+    }
+}
+
+/// Tokenize `src` into a vector ending with [`TokenKind::Eof`].
+///
+/// Comments (`-- to end of line`) and all ASCII whitespace are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => push_sym(&mut out, TokenKind::Comma, &mut i),
+            b'.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                push_sym(&mut out, TokenKind::Dot, &mut i)
+            }
+            b'(' => push_sym(&mut out, TokenKind::LParen, &mut i),
+            b')' => push_sym(&mut out, TokenKind::RParen, &mut i),
+            b'[' => push_sym(&mut out, TokenKind::LBracket, &mut i),
+            b']' => push_sym(&mut out, TokenKind::RBracket, &mut i),
+            b'*' => push_sym(&mut out, TokenKind::Star, &mut i),
+            b'+' => push_sym(&mut out, TokenKind::Plus, &mut i),
+            b'-' => push_sym(&mut out, TokenKind::Minus, &mut i),
+            b'/' => push_sym(&mut out, TokenKind::Slash, &mut i),
+            b'%' => push_sym(&mut out, TokenKind::Percent, &mut i),
+            b'=' => push_sym(&mut out, TokenKind::Eq, &mut i),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Neq, offset: i });
+                i += 2;
+            }
+            b'<' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Neq, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                out.push(Token { kind, offset: i });
+                i += len;
+            }
+            b'>' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                out.push(Token { kind, offset: i });
+                i += len;
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            // Strings are ASCII in practice; preserve UTF-8
+                            // by pushing raw bytes through char boundaries.
+                            let ch_len = utf8_len(b);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    EspError::parse_at("invalid UTF-8 in string", i)
+                                })?,
+                            );
+                            i += ch_len;
+                        }
+                        None => {
+                            return Err(EspError::parse_at("unterminated string literal", start))
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    if bytes[i] == b'.' {
+                        if is_float {
+                            return Err(EspError::parse_at("malformed number", start));
+                        }
+                        // A dot not followed by a digit terminates the number
+                        // (e.g. `1.foo` is `1` `.` `foo`).
+                        if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        EspError::parse_at(format!("malformed float '{text}'"), start)
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        EspError::parse_at(format!("malformed integer '{text}'"), start)
+                    })?)
+                };
+                out.push(Token { kind, offset: start });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(EspError::parse_at(
+                    format!("unexpected character '{}'", other as char),
+                    i,
+                ))
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    out.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query_1() {
+        let toks = kinds(
+            "SELECT shelf, count(distinct tag_id)\n FROM rfid_data [Range By '5 sec']\n GROUP BY shelf",
+        );
+        assert!(toks.contains(&TokenKind::Ident("SELECT".into())));
+        assert!(toks.contains(&TokenKind::Str("5 sec".into())));
+        assert!(toks.contains(&TokenKind::LBracket));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a >= b <= c <> d != e = f < g > h"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Ident("c".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("f".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("h".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 3.25 50"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Int(50),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_field_reference_vs_float() {
+        assert_eq!(
+            kinds("ai1.tag_id"),
+            vec![
+                TokenKind::Ident("ai1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("tag_id".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_doubled_quote() {
+        assert_eq!(
+            kinds("'it''s ON'"),
+            vec![TokenKind::Str("it's ON".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_at_start() {
+        let err = lex("WHERE x = 'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the whole row\n *"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Star, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reported() {
+        assert!(lex("SELECT ^").is_err());
+    }
+
+    #[test]
+    fn malformed_number_rejected() {
+        assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = lex("a = 'x'").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 2);
+        assert_eq!(toks[2].offset, 4);
+    }
+}

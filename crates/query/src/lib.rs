@@ -1,0 +1,43 @@
+//! # esp-query
+//!
+//! A continuous-query engine for the CQL subset used by the ESP paper's
+//! cleaning stages (Arasu et al.'s CQL as cited by Jeffery et al., ICDE
+//! 2006). ESP deploys its Point/Smooth/Merge/Arbitrate/Virtualize stages
+//! primarily as declarative queries; this crate makes that claim concrete:
+//! all six queries printed in the paper parse and execute here.
+//!
+//! Supported surface:
+//!
+//! * `SELECT` with expressions, aliases, and `*`;
+//! * `FROM` streams with window clauses (`[Range By '5 sec']`,
+//!   `[Range By 'NOW']`), static relations, derived tables, cross joins;
+//! * `WHERE`, `GROUP BY`, `HAVING` (including correlated
+//!   `HAVING agg >= ALL(subquery)` as in the paper's Query 3);
+//! * aggregates `count(*)`, `count(x)`, `count(distinct x)`, `sum`, `avg`,
+//!   `stdev`, `min`, `max`, plus user-defined aggregates;
+//! * scalar functions (`abs`, `coalesce`, plus user-defined).
+//!
+//! Execution model: a [`ContinuousQuery`] holds one [`WindowBuffer`]
+//! (from `esp-stream`) per syntactic stream reference. Each epoch the
+//! caller pushes input batches and calls [`ContinuousQuery::tick`]; the
+//! engine slides the windows and emits the windowed result (CQL `RSTREAM`
+//! per epoch). [`QueryOperator`] drops a query into an `esp-stream`
+//! dataflow.
+//!
+//! [`WindowBuffer`]: esp_stream::WindowBuffer
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod ast;
+pub mod catalog;
+pub mod compile;
+pub mod exec;
+mod engine;
+mod lexer;
+mod parser;
+
+pub use catalog::Catalog;
+pub use engine::{ContinuousQuery, Engine, QueryOperator};
+pub use parser::parse;

@@ -1,0 +1,680 @@
+//! Recursive-descent parser for the CQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query       := select EOF
+//! select      := SELECT select_list FROM from_list
+//!                (WHERE expr)? (GROUP BY expr_list)? (HAVING expr)?
+//! select_list := '*' | select_item (',' select_item)*
+//! select_item := expr ((AS)? ident)?
+//! from_list   := from_item (',' from_item)*
+//! from_item   := (ident | '(' select ')') ((AS)? ident)? window?
+//! window      := '[' RANGE (BY)? string ']'
+//! expr        := or
+//! or          := and (OR and)*
+//! and         := not (AND not)*
+//! not         := NOT not | cmp
+//! cmp         := add (cmp_op (add | (ALL|ANY) '(' select ')'))?
+//! add         := mul (('+'|'-') mul)*
+//! mul         := unary (('*'|'/'|'%') unary)*
+//! unary       := '-' unary | primary
+//! primary     := literal | call | field | '(' expr ')'
+//! call        := ident '(' ('*' | (DISTINCT)? expr (',' expr)*)? ')'
+//! field       := ident ('.' ident)?
+//! ```
+
+use esp_types::{EspError, Result, TimeDelta, Value};
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse one `SELECT` statement from `src`.
+pub fn parse(src: &str) -> Result<SelectStmt> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Reserved words that terminate an expression or name position.
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "group", "by", "having", "as", "and", "or", "not", "all",
+    "any", "in", "range", "distinct", "true", "false", "null", "union",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek2_kw(&self, kw: &str) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw)
+        )
+    }
+
+    /// Consume an identifier if it equals `kw` case-insensitively.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(EspError::parse_at(
+                format!("expected {}, found {}", kw.to_uppercase(), self.peek().describe()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(EspError::parse_at(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(EspError::parse_at(
+                format!("unexpected trailing input: {}", self.peek().describe()),
+                self.offset(),
+            ))
+        }
+    }
+
+    /// A non-keyword identifier.
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(s) if !KEYWORDS.contains(&s.to_ascii_lowercase().as_str()) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(EspError::parse_at(
+                format!("expected an identifier, found {}", other.describe()),
+                self.offset(),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let select = if self.eat(&TokenKind::Star) {
+            Vec::new()
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat(&TokenKind::Comma) {
+                items.push(self.select_item()?);
+            }
+            items
+        };
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.from_item()?);
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            let mut exprs = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                exprs.push(self.expr()?);
+            }
+            exprs
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        Ok(SelectStmt { select, from, where_clause, group_by, having })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem { expr, alias })
+    }
+
+    /// `(AS)? ident` — but only if the next token is a non-keyword ident.
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        if let TokenKind::Ident(s) = self.peek() {
+            if !KEYWORDS.contains(&s.to_ascii_lowercase().as_str()) {
+                return Ok(Some(self.ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    fn from_item(&mut self) -> Result<FromItem> {
+        let source = if self.eat(&TokenKind::LParen) {
+            let sub = self.select()?;
+            self.expect(TokenKind::RParen)?;
+            FromSource::Derived(Box::new(sub))
+        } else {
+            FromSource::Named(self.ident()?)
+        };
+        let alias = self.optional_alias()?;
+        let window = if self.eat(&TokenKind::LBracket) {
+            self.expect_kw("range")?;
+            let _ = self.eat_kw("by");
+            let spec = match self.bump() {
+                TokenKind::Str(s) => TimeDelta::parse(&s)?,
+                other => {
+                    return Err(EspError::parse_at(
+                        format!("expected a duration string, found {}", other.describe()),
+                        self.offset(),
+                    ))
+                }
+            };
+            self.expect(TokenKind::RBracket)?;
+            Some(WindowSpec { range: spec })
+        } else {
+            None
+        };
+        // Tolerate `stream [window] alias` ordering as well.
+        let alias = match alias {
+            Some(a) => Some(a),
+            None if window.is_some() => self.optional_alias()?,
+            None => None,
+        };
+        Ok(FromItem { source, alias, window })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        // `x IN (SELECT …)` is sugar for `x = ANY(SELECT …)`, and
+        // `x NOT IN (…)` for its negation (pretty-printing normalizes to
+        // the ANY form).
+        let negated = if self.peek_kw("not") && self.peek2_kw("in") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(TokenKind::LParen)?;
+            let sub = self.select()?;
+            self.expect(TokenKind::RParen)?;
+            let membership = Expr::QuantifiedCmp {
+                lhs: Box::new(lhs),
+                op: CmpOp::Eq,
+                quantifier: Quantifier::Any,
+                subquery: Box::new(sub),
+            };
+            return Ok(if negated { Expr::Not(Box::new(membership)) } else { membership });
+        }
+        if negated {
+            return Err(EspError::parse_at("expected IN after NOT", self.offset()));
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        for (kw, quantifier) in [("all", Quantifier::All), ("any", Quantifier::Any)] {
+            if self.eat_kw(kw) {
+                self.expect(TokenKind::LParen)?;
+                let sub = self.select()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Expr::QuantifiedCmp {
+                    lhs: Box::new(lhs),
+                    op,
+                    quantifier,
+                    subquery: Box::new(sub),
+                });
+            }
+        }
+        let rhs = self.add_expr()?;
+        Ok(Expr::Cmp { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                TokenKind::Percent => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => {
+                let lower = word.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    "null" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    _ => {}
+                }
+                if KEYWORDS.contains(&lower.as_str()) {
+                    return Err(EspError::parse_at(
+                        format!("unexpected keyword '{word}' in expression"),
+                        self.offset(),
+                    ));
+                }
+                self.bump();
+                // Function call?
+                if self.eat(&TokenKind::LParen) {
+                    return self.call_tail(lower);
+                }
+                // Qualified field?
+                if self.eat(&TokenKind::Dot) {
+                    let field = self.ident()?;
+                    return Ok(Expr::Field { qualifier: Some(word), name: field });
+                }
+                Ok(Expr::Field { qualifier: None, name: word })
+            }
+            other => Err(EspError::parse_at(
+                format!("expected an expression, found {}", other.describe()),
+                self.offset(),
+            )),
+        }
+    }
+
+    /// Parse the remainder of `name(` — arguments and closing paren.
+    fn call_tail(&mut self, name: String) -> Result<Expr> {
+        if self.eat(&TokenKind::Star) {
+            self.expect(TokenKind::RParen)?;
+            return Ok(Expr::Call { name, distinct: false, args: vec![], star: true });
+        }
+        let distinct = self.eat_kw("distinct");
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(Expr::Call { name, distinct, args, star: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_1() {
+        let q = parse(
+            "SELECT shelf, count(distinct tag_id)
+             FROM rfid_data [Range By '5 sec']
+             GROUP BY shelf",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].window, Some(WindowSpec { range: TimeDelta::from_secs(5) }));
+        assert_eq!(q.group_by, vec![Expr::field("shelf")]);
+        match &q.select[1].expr {
+            Expr::Call { name, distinct, args, .. } => {
+                assert_eq!(name, "count");
+                assert!(*distinct);
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_query_2() {
+        let q = parse(
+            "SELECT tag_id, count(*)
+             FROM smooth_input [Range By '5 sec']
+             GROUP BY tag_id",
+        )
+        .unwrap();
+        assert!(matches!(&q.select[1].expr, Expr::Call { star: true, .. }));
+    }
+
+    #[test]
+    fn parses_paper_query_3_with_all_subquery() {
+        let q = parse(
+            "SELECT spatial_granule, tag_id
+             FROM arbitrate_input ai1 [Range By 'NOW']
+             GROUP BY spatial_granule, tag_id
+             HAVING count(*) >= ALL(SELECT count(*)
+                                    FROM arbitrate_input ai2 [Range By 'NOW']
+                                    WHERE ai1.tag_id = ai2.tag_id
+                                    GROUP BY spatial_granule)",
+        )
+        .unwrap();
+        assert_eq!(q.from[0].alias.as_deref(), Some("ai1"));
+        assert_eq!(q.from[0].window.unwrap().range, TimeDelta::ZERO);
+        let having = q.having.as_ref().unwrap();
+        match having {
+            Expr::QuantifiedCmp { op, quantifier, subquery, .. } => {
+                assert_eq!(*op, CmpOp::Ge);
+                assert_eq!(*quantifier, Quantifier::All);
+                assert_eq!(subquery.from[0].alias.as_deref(), Some("ai2"));
+                // Correlated predicate survives.
+                let w = subquery.where_clause.as_ref().unwrap();
+                assert!(w.to_string().contains("ai1.tag_id"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_query_4() {
+        let q = parse("SELECT * FROM point_input WHERE temp < 50").unwrap();
+        assert!(q.is_star());
+        assert!(q.from[0].window.is_none());
+        assert_eq!(
+            q.where_clause.as_ref().unwrap().to_string(),
+            "(temp < 50)"
+        );
+    }
+
+    #[test]
+    fn parses_query_5_style_derived_table_join() {
+        let q = parse(
+            "SELECT s.spatial_granule, avg(s.temp)
+             FROM merge_input s [Range By '5 min'],
+                  (SELECT spatial_granule, avg(temp) AS avg_t, stdev(temp) AS stdev_t
+                   FROM merge_input [Range By '5 min']
+                   GROUP BY spatial_granule) AS a
+             WHERE a.spatial_granule = s.spatial_granule AND
+                   s.temp <= a.avg_t + a.stdev_t AND
+                   s.temp >= a.avg_t - a.stdev_t
+             GROUP BY s.spatial_granule",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert!(matches!(&q.from[1].source, FromSource::Derived(_)));
+        assert_eq!(q.from[1].alias.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn parses_query_6_style_voting() {
+        // Practical form of the paper's Query 6 person-detector.
+        let q = parse(
+            "SELECT 'Person-in-room' FROM votes [Range By 'NOW'] HAVING sum(vote) >= 2",
+        )
+        .unwrap();
+        assert_eq!(q.select[0].expr, Expr::Literal(Value::str("Person-in-room")));
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn parses_paper_query_6_verbatim_shape() {
+        // The paper's multi-derived-table Query 6 (with its trailing comma
+        // after the last derived table removed — a typo in the original).
+        let q = parse(
+            "SELECT 'Person-in-room'
+             FROM (SELECT 1 as cnt
+                   FROM sensors_input [Range By 'NOW']
+                   WHERE noise > 525) as sensor_count,
+                  (SELECT 1 as cnt
+                   FROM rfid_input [Range By 'NOW']
+                   HAVING count(distinct tag_id) > 1) as rfid_count,
+                  (SELECT 1 as cnt
+                   FROM motion_input [Range By 'NOW']
+                   WHERE value = 'ON') as motion_count
+             WHERE sensor_count.cnt + rfid_count.cnt + motion_count.cnt >= 2",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert!(q.from.iter().all(|f| matches!(f.source, FromSource::Derived(_))));
+    }
+
+    #[test]
+    fn in_subquery_desugars_to_eq_any() {
+        let q = parse(
+            "SELECT tag_id FROM s [Range By 'NOW'] \
+             WHERE tag_id IN (SELECT tag_id FROM expected)",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Expr::QuantifiedCmp { op, quantifier, .. } => {
+                assert_eq!(op, CmpOp::Eq);
+                assert_eq!(quantifier, Quantifier::Any);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_subquery_negates() {
+        let q = parse(
+            "SELECT tag_id FROM s [Range By 'NOW'] \
+             WHERE tag_id NOT IN (SELECT tag_id FROM banned)",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::Not(_)));
+        // A dangling NOT without IN is still the prefix operator.
+        assert!(parse("SELECT x FROM s WHERE NOT x").is_ok());
+        // NOT followed by IN-less garbage errors cleanly.
+        assert!(parse("SELECT x FROM s WHERE x NOT 5").is_err());
+    }
+
+    #[test]
+    fn alias_forms() {
+        // AS alias, bare alias, alias-after-window.
+        for src in [
+            "SELECT * FROM s AS x [Range By '1 sec']",
+            "SELECT * FROM s x [Range By '1 sec']",
+            "SELECT * FROM s [Range By '1 sec'] x",
+        ] {
+            let q = parse(src).unwrap();
+            assert_eq!(q.from[0].alias.as_deref(), Some("x"), "{src}");
+            assert!(q.from[0].window.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn range_without_by_accepted() {
+        let q = parse("SELECT * FROM s [Range '2 sec']").unwrap();
+        assert_eq!(q.from[0].window.unwrap().range, TimeDelta::from_secs(2));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse("SELECT * FROM s WHERE a + b * 2 >= c AND d OR NOT e").unwrap();
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "((((a + (b * 2)) >= c) AND d) OR (NOT e))"
+        );
+    }
+
+    #[test]
+    fn unary_minus_binds_tightly() {
+        let q = parse("SELECT -a + 1 FROM s").unwrap();
+        assert_eq!(q.select[0].expr.to_string(), "((-a) + 1)");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT * FROM s extra ,").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        let err = parse("SELECT a, b").unwrap_err();
+        assert!(err.to_string().to_lowercase().contains("from"));
+    }
+
+    #[test]
+    fn rejects_keyword_as_identifier() {
+        assert!(parse("SELECT * FROM select").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_window_duration() {
+        assert!(parse("SELECT * FROM s [Range By 'sideways']").is_err());
+        assert!(parse("SELECT * FROM s [Range By 5]").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse("SELECT * FROM s WHERE >").unwrap_err();
+        match err {
+            EspError::Parse { offset: Some(o), .. } => assert_eq!(o, 22),
+            other => panic!("expected offset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let sources = [
+            "SELECT shelf, count(distinct tag_id) FROM rfid_data [Range By '5 sec'] GROUP BY shelf",
+            "SELECT * FROM point_input WHERE temp < 50",
+            "SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
+            "SELECT spatial_granule, tag_id FROM arbitrate_input ai1 [Range By 'NOW'] \
+             GROUP BY spatial_granule, tag_id \
+             HAVING count(*) >= ALL(SELECT count(*) FROM arbitrate_input ai2 [Range By 'NOW'] \
+             WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)",
+            "SELECT a + b * -c AS x FROM s, (SELECT * FROM t) AS d WHERE NOT a = 1 OR b != 2",
+        ];
+        for src in sources {
+            let ast = parse(src).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+            assert_eq!(ast, reparsed, "round-trip mismatch for {src}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of engine execution invariants.
+
+use proptest::prelude::*;
+
+use esp_query::Engine;
+use esp_types::{DataType, Schema, Ts, Tuple, Value};
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Str)
+        .field("v", DataType::Float)
+        .build()
+        .unwrap()
+}
+
+fn batch_from(rows: &[(u8, f64)], ts: Ts) -> Vec<Tuple> {
+    let s = schema();
+    rows.iter()
+        .map(|(g, v)| {
+            Tuple::new_unchecked(
+                s.clone(),
+                ts,
+                vec![Value::str(format!("g{g}")), Value::Float(*v)],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// count(*) over the whole window equals the sum of per-group counts.
+    #[test]
+    fn group_counts_partition_the_total(
+        rows in proptest::collection::vec((0u8..5, -100.0f64..100.0), 0..60),
+    ) {
+        let engine = Engine::new();
+        let mut total_q = engine
+            .compile("SELECT count(*) AS n FROM t [Range By 'NOW']")
+            .unwrap();
+        let mut group_q = engine
+            .compile("SELECT g, count(*) AS n FROM t [Range By 'NOW'] GROUP BY g")
+            .unwrap();
+        let batch = batch_from(&rows, Ts::ZERO);
+        total_q.push("t", &batch).unwrap();
+        group_q.push("t", &batch).unwrap();
+        let total = total_q.tick(Ts::ZERO).unwrap()[0]
+            .get("n")
+            .and_then(Value::as_i64)
+            .unwrap();
+        let group_sum: i64 = group_q
+            .tick(Ts::ZERO)
+            .unwrap()
+            .iter()
+            .map(|t| t.get("n").and_then(Value::as_i64).unwrap())
+            .sum();
+        prop_assert_eq!(total, group_sum);
+        prop_assert_eq!(total, rows.len() as i64);
+    }
+
+    /// Per group: min ≤ avg ≤ max, and stdev ≥ 0.
+    #[test]
+    fn aggregate_sandwich(
+        rows in proptest::collection::vec((0u8..3, -1e3f64..1e3), 1..60),
+    ) {
+        let engine = Engine::new();
+        let mut q = engine
+            .compile(
+                "SELECT g, min(v) AS lo, avg(v) AS mid, max(v) AS hi, stdev(v) AS sd \
+                 FROM t [Range By 'NOW'] GROUP BY g",
+            )
+            .unwrap();
+        q.push("t", &batch_from(&rows, Ts::ZERO)).unwrap();
+        for row in q.tick(Ts::ZERO).unwrap() {
+            let lo = row.get("lo").and_then(Value::as_f64).unwrap();
+            let mid = row.get("mid").and_then(Value::as_f64).unwrap();
+            let hi = row.get("hi").and_then(Value::as_f64).unwrap();
+            let sd = row.get("sd").and_then(Value::as_f64).unwrap();
+            prop_assert!(lo <= mid + 1e-9 && mid <= hi + 1e-9);
+            prop_assert!(sd >= 0.0);
+        }
+    }
+
+    /// A WHERE filter never increases cardinality, and the surviving rows
+    /// all satisfy the predicate.
+    #[test]
+    fn filter_is_a_subset(
+        rows in proptest::collection::vec((0u8..5, -100.0f64..100.0), 0..60),
+        threshold in -50.0f64..50.0,
+    ) {
+        let engine = Engine::new();
+        let mut all_q = engine.compile("SELECT v FROM t [Range By 'NOW']").unwrap();
+        let sql = format!("SELECT v FROM t [Range By 'NOW'] WHERE v > {threshold}");
+        let mut filt_q = engine.compile(&sql).unwrap();
+        let batch = batch_from(&rows, Ts::ZERO);
+        all_q.push("t", &batch).unwrap();
+        filt_q.push("t", &batch).unwrap();
+        let all = all_q.tick(Ts::ZERO).unwrap();
+        let filtered = filt_q.tick(Ts::ZERO).unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        for t in &filtered {
+            prop_assert!(t.get("v").and_then(Value::as_f64).unwrap() > threshold);
+        }
+        let expected = rows.iter().filter(|(_, v)| *v > threshold).count();
+        prop_assert_eq!(filtered.len(), expected);
+    }
+
+    /// Sliding-window counts: after pushing one tuple per epoch, the count
+    /// at epoch e equals min(e+1, window_epochs+1) — windows never leak or
+    /// lose tuples.
+    #[test]
+    fn window_count_formula(window_s in 1u64..10, n_epochs in 1u64..30) {
+        let engine = Engine::new();
+        let sql = format!("SELECT count(*) AS n FROM t [Range By '{window_s} sec']");
+        let mut q = engine.compile(&sql).unwrap();
+        let s = schema();
+        for e in 0..n_epochs {
+            let ts = Ts::from_secs(e);
+            let batch = vec![Tuple::new_unchecked(
+                s.clone(),
+                ts,
+                vec![Value::str("g"), Value::Float(e as f64)],
+            )];
+            q.push("t", &batch).unwrap();
+            let out = q.tick(ts).unwrap();
+            let n = out[0].get("n").and_then(Value::as_i64).unwrap() as u64;
+            prop_assert_eq!(n, (e + 1).min(window_s + 1), "epoch {}", e);
+        }
+    }
+
+    /// Ticking without input is idempotent for NOW windows: always empty
+    /// groups / zero counts, never stale data.
+    #[test]
+    fn now_window_never_retains(extra_ticks in 1u64..10) {
+        let engine = Engine::new();
+        let mut q = engine
+            .compile("SELECT count(*) AS n FROM t [Range By 'NOW']")
+            .unwrap();
+        q.push("t", &batch_from(&[(0, 1.0), (1, 2.0)], Ts::ZERO)).unwrap();
+        let first = q.tick(Ts::ZERO).unwrap();
+        prop_assert_eq!(first[0].get("n"), Some(&Value::Int(2)));
+        for k in 1..=extra_ticks {
+            let out = q.tick(Ts::from_millis(k * 250)).unwrap();
+            prop_assert_eq!(out[0].get("n"), Some(&Value::Int(0)), "tick {}", k);
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! SQL-semantics tests for the continuous-query engine: the behaviours a
+//! CQL user would rely on beyond the paper's six queries.
+
+use esp_query::Engine;
+use esp_types::{DataType, Schema, Ts, Tuple, TupleBuilder, Value};
+
+fn schema(fields: &[(&str, DataType)]) -> std::sync::Arc<Schema> {
+    let mut b = Schema::builder();
+    for (n, t) in fields {
+        b = b.field(*n, *t);
+    }
+    b.build().unwrap()
+}
+
+fn row(schema: &std::sync::Arc<Schema>, vals: &[(&str, Value)]) -> Tuple {
+    let mut b = TupleBuilder::new(schema, Ts::ZERO);
+    for (n, v) in vals {
+        b = b.set(n, v.clone()).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn run_one(sql: &str, stream: &str, batch: Vec<Tuple>) -> Vec<Tuple> {
+    let engine = Engine::new();
+    let mut q = engine.compile(sql).unwrap();
+    q.push(stream, &batch).unwrap();
+    q.tick(Ts::ZERO).unwrap()
+}
+
+#[test]
+fn any_quantifier_needs_one_match() {
+    let s = schema(&[("g", DataType::Str), ("v", DataType::Int)]);
+    let batch = vec![
+        row(&s, &[("g", Value::str("a")), ("v", Value::Int(1))]),
+        row(&s, &[("g", Value::str("a")), ("v", Value::Int(1))]),
+        row(&s, &[("g", Value::str("b")), ("v", Value::Int(1))]),
+    ];
+    // Group "a" (count 2) is > ANY(counts {2, 1}) because 2 > 1;
+    // group "b" (count 1) is not > any count.
+    let out = run_one(
+        "SELECT g FROM t x [Range By 'NOW'] GROUP BY g \
+         HAVING count(*) > ANY(SELECT count(*) FROM t y [Range By 'NOW'] GROUP BY g)",
+        "t",
+        batch,
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get("g"), Some(&Value::str("a")));
+}
+
+#[test]
+fn all_quantifier_vacuous_truth_on_empty_subquery() {
+    let s = schema(&[("g", DataType::Str)]);
+    let batch = vec![row(&s, &[("g", Value::str("a"))])];
+    // Subquery over a *different* (empty) stream: ALL over ∅ is true.
+    let engine = Engine::new();
+    let mut q = engine
+        .compile(
+            "SELECT g FROM t [Range By 'NOW'] GROUP BY g \
+             HAVING count(*) >= ALL(SELECT count(*) FROM other [Range By 'NOW'] GROUP BY g)",
+        )
+        .unwrap();
+    q.push("t", &batch).unwrap();
+    let out = q.tick(Ts::ZERO).unwrap();
+    assert_eq!(out.len(), 1, "vacuously true over an empty subquery");
+}
+
+#[test]
+fn cross_join_cardinality() {
+    let engine = Engine::new();
+    let mut q = engine
+        .compile("SELECT a.v, b.v FROM a [Range By 'NOW'], b [Range By 'NOW']")
+        .unwrap();
+    let s = schema(&[("v", DataType::Int)]);
+    q.push("a", &[row(&s, &[("v", Value::Int(1))]), row(&s, &[("v", Value::Int(2))])])
+        .unwrap();
+    q.push(
+        "b",
+        &[
+            row(&s, &[("v", Value::Int(10))]),
+            row(&s, &[("v", Value::Int(20))]),
+            row(&s, &[("v", Value::Int(30))]),
+        ],
+    )
+    .unwrap();
+    let out = q.tick(Ts::ZERO).unwrap();
+    assert_eq!(out.len(), 6, "2 × 3 cross product");
+    // Output columns are deduplicated: v, v_2.
+    assert!(out[0].get("v").is_some() && out[0].get("v_2").is_some());
+}
+
+#[test]
+fn empty_side_annihilates_the_join() {
+    let engine = Engine::new();
+    let mut q = engine
+        .compile("SELECT a.v FROM a [Range By 'NOW'], b [Range By 'NOW']")
+        .unwrap();
+    let s = schema(&[("v", DataType::Int)]);
+    q.push("a", &[row(&s, &[("v", Value::Int(1))])]).unwrap();
+    // b never receives anything.
+    assert!(q.tick(Ts::ZERO).unwrap().is_empty());
+}
+
+#[test]
+fn nested_derived_tables_two_deep() {
+    let out = run_one(
+        "SELECT doubled FROM \
+           (SELECT total * 2 AS doubled FROM \
+              (SELECT count(*) AS total FROM t [Range By 'NOW']) inner1) outer1",
+        "t",
+        {
+            let s = schema(&[("v", DataType::Int)]);
+            vec![
+                row(&s, &[("v", Value::Int(1))]),
+                row(&s, &[("v", Value::Int(2))]),
+                row(&s, &[("v", Value::Int(3))]),
+            ]
+        },
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get("doubled"), Some(&Value::Int(6)));
+}
+
+#[test]
+fn group_by_computed_expression() {
+    let s = schema(&[("v", DataType::Int)]);
+    let batch: Vec<Tuple> =
+        (0..10).map(|i| row(&s, &[("v", Value::Int(i))])).collect();
+    let out = run_one(
+        "SELECT v % 3 AS bucket, count(*) FROM t [Range By 'NOW'] GROUP BY v % 3",
+        "t",
+        batch,
+    );
+    assert_eq!(out.len(), 3);
+    let counts: Vec<i64> =
+        out.iter().map(|t| t.get("count").unwrap().as_i64().unwrap()).collect();
+    // 0,3,6,9 → 4; 1,4,7 → 3; 2,5,8 → 3.
+    assert_eq!(counts.iter().sum::<i64>(), 10);
+    assert!(counts.contains(&4));
+}
+
+#[test]
+fn count_distinct_ignores_nulls_and_duplicates() {
+    let s = schema(&[("v", DataType::Int)]);
+    let batch = vec![
+        row(&s, &[("v", Value::Int(1))]),
+        row(&s, &[("v", Value::Int(1))]),
+        row(&s, &[("v", Value::Null)]),
+        row(&s, &[("v", Value::Int(2))]),
+        row(&s, &[("v", Value::Null)]),
+    ];
+    let out = run_one(
+        "SELECT count(distinct v) AS d, count(v) AS nn, count(*) AS all_rows \
+         FROM t [Range By 'NOW']",
+        "t",
+        batch,
+    );
+    assert_eq!(out[0].get("d"), Some(&Value::Int(2)), "distinct non-null");
+    assert_eq!(out[0].get("nn"), Some(&Value::Int(3)), "non-null");
+    assert_eq!(out[0].get("all_rows"), Some(&Value::Int(5)), "count(*) counts rows");
+}
+
+#[test]
+fn null_propagates_through_arithmetic_but_groups_together() {
+    let s = schema(&[("g", DataType::Str), ("v", DataType::Int)]);
+    let batch = vec![
+        row(&s, &[("g", Value::Null), ("v", Value::Int(1))]),
+        row(&s, &[("g", Value::Null), ("v", Value::Int(2))]),
+        row(&s, &[("g", Value::str("x")), ("v", Value::Int(3))]),
+    ];
+    let out = run_one(
+        "SELECT g, sum(v) AS s, sum(v) + NULL AS poisoned \
+         FROM t [Range By 'NOW'] GROUP BY g",
+        "t",
+        batch,
+    );
+    assert_eq!(out.len(), 2, "NULLs form one group");
+    let null_group = out
+        .iter()
+        .find(|t| t.get("g") == Some(&Value::Null))
+        .expect("null group present");
+    assert_eq!(null_group.get("s"), Some(&Value::Int(3)));
+    assert_eq!(null_group.get("poisoned"), Some(&Value::Null));
+}
+
+#[test]
+fn scalar_functions_in_projection_and_where() {
+    let s = schema(&[("v", DataType::Float)]);
+    let batch = vec![
+        row(&s, &[("v", Value::Float(-5.0))]),
+        row(&s, &[("v", Value::Float(2.0))]),
+        row(&s, &[("v", Value::Float(-0.5))]),
+    ];
+    let out = run_one(
+        "SELECT abs(v) AS m FROM t [Range By 'NOW'] WHERE abs(v) >= 1",
+        "t",
+        batch,
+    );
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].get("m"), Some(&Value::Float(5.0)));
+}
+
+#[test]
+fn coalesce_picks_first_non_null() {
+    let s = schema(&[("a", DataType::Int), ("b", DataType::Int)]);
+    let batch = vec![
+        row(&s, &[("a", Value::Null), ("b", Value::Int(7))]),
+        row(&s, &[("a", Value::Int(3)), ("b", Value::Int(9))]),
+    ];
+    let out = run_one("SELECT coalesce(a, b) AS c FROM t [Range By 'NOW']", "t", batch);
+    assert_eq!(out[0].get("c"), Some(&Value::Int(7)));
+    assert_eq!(out[1].get("c"), Some(&Value::Int(3)));
+}
+
+#[test]
+fn min_max_over_strings() {
+    let s = schema(&[("name", DataType::Str)]);
+    let batch = vec![
+        row(&s, &[("name", Value::str("pear"))]),
+        row(&s, &[("name", Value::str("apple"))]),
+        row(&s, &[("name", Value::str("mango"))]),
+    ];
+    let out = run_one(
+        "SELECT min(name) AS lo, max(name) AS hi FROM t [Range By 'NOW']",
+        "t",
+        batch,
+    );
+    assert_eq!(out[0].get("lo"), Some(&Value::str("apple")));
+    assert_eq!(out[0].get("hi"), Some(&Value::str("pear")));
+}
+
+#[test]
+fn sum_promotes_to_float_only_when_needed() {
+    let s = schema(&[("v", DataType::Float)]);
+    let ints = vec![
+        row(&s, &[("v", Value::Int(1))]),
+        row(&s, &[("v", Value::Int(2))]),
+    ];
+    let out = run_one("SELECT sum(v) AS s FROM t [Range By 'NOW']", "t", ints);
+    assert_eq!(out[0].get("s"), Some(&Value::Int(3)), "all-int sum stays int");
+    let mixed = vec![
+        row(&s, &[("v", Value::Int(1))]),
+        row(&s, &[("v", Value::Float(0.5))]),
+    ];
+    let out = run_one("SELECT sum(v) AS s FROM t [Range By 'NOW']", "t", mixed);
+    assert_eq!(out[0].get("s"), Some(&Value::Float(1.5)));
+}
+
+#[test]
+fn two_windows_of_different_widths_on_one_stream() {
+    // The same stream feeds a NOW window and a 10 s window in one query.
+    let engine = Engine::new();
+    let mut q = engine
+        .compile(
+            "SELECT recent.total AS now_count, hist.total AS window_count FROM \
+               (SELECT count(*) AS total FROM t [Range By 'NOW']) recent, \
+               (SELECT count(*) AS total FROM t [Range By '10 sec']) hist",
+        )
+        .unwrap();
+    let s = schema(&[("v", DataType::Int)]);
+    for sec in 0..5u64 {
+        let batch = vec![Tuple::new_unchecked(
+            s.clone(),
+            Ts::from_secs(sec),
+            vec![Value::Int(sec as i64)],
+        )];
+        q.push("t", &batch).unwrap();
+        let out = q.tick(Ts::from_secs(sec)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("now_count"), Some(&Value::Int(1)));
+        assert_eq!(
+            out[0].get("window_count"),
+            Some(&Value::Int(sec as i64 + 1)),
+            "history accumulates"
+        );
+    }
+}
+
+#[test]
+fn qualified_references_disambiguate_shared_field_names() {
+    let engine = Engine::new();
+    let mut q = engine
+        .compile(
+            "SELECT l.v AS left_v, r.v AS right_v \
+             FROM t l [Range By 'NOW'], t r [Range By 'NOW'] \
+             WHERE l.v < r.v",
+        )
+        .unwrap();
+    let s = schema(&[("v", DataType::Int)]);
+    q.push("t", &[row(&s, &[("v", Value::Int(1))]), row(&s, &[("v", Value::Int(2))])])
+        .unwrap();
+    let out = q.tick(Ts::ZERO).unwrap();
+    // Self-join: pairs (1,2) only.
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get("left_v"), Some(&Value::Int(1)));
+    assert_eq!(out[0].get("right_v"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn having_without_group_by_filters_the_global_row() {
+    let s = schema(&[("v", DataType::Int)]);
+    let small: Vec<Tuple> = (0..3).map(|i| row(&s, &[("v", Value::Int(i))])).collect();
+    let out = run_one(
+        "SELECT count(*) AS n FROM t [Range By 'NOW'] HAVING count(*) >= 5",
+        "t",
+        small,
+    );
+    assert!(out.is_empty());
+    let big: Vec<Tuple> = (0..6).map(|i| row(&s, &[("v", Value::Int(i))])).collect();
+    let out = run_one(
+        "SELECT count(*) AS n FROM t [Range By 'NOW'] HAVING count(*) >= 5",
+        "t",
+        big,
+    );
+    assert_eq!(out[0].get("n"), Some(&Value::Int(6)));
+}
+
+#[test]
+fn boolean_literals_and_not_in_where() {
+    let s = schema(&[("flag", DataType::Bool), ("v", DataType::Int)]);
+    let batch = vec![
+        row(&s, &[("flag", Value::Bool(true)), ("v", Value::Int(1))]),
+        row(&s, &[("flag", Value::Bool(false)), ("v", Value::Int(2))]),
+        row(&s, &[("flag", Value::Null), ("v", Value::Int(3))]),
+    ];
+    let out = run_one("SELECT v FROM t [Range By 'NOW'] WHERE NOT flag", "t", batch);
+    // NOT false → true; NOT NULL → true under collapsed ternary logic
+    // (NULL is not truthy).
+    let vs: Vec<i64> = out.iter().map(|t| t.get("v").unwrap().as_i64().unwrap()).collect();
+    assert_eq!(vs, vec![2, 3]);
+}
+
+#[test]
+fn stdev_matches_sample_definition_in_query() {
+    let s = schema(&[("v", DataType::Float)]);
+    let batch: Vec<Tuple> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        .iter()
+        .map(|v| row(&s, &[("v", Value::Float(*v))]))
+        .collect();
+    let out = run_one("SELECT stdev(v) AS sd FROM t [Range By 'NOW']", "t", batch);
+    let sd = out[0].get("sd").unwrap().as_f64().unwrap();
+    assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+}
+
+#[test]
+fn division_by_zero_yields_null_not_panic() {
+    let s = schema(&[("v", DataType::Int)]);
+    let batch = vec![row(&s, &[("v", Value::Int(5))])];
+    let out = run_one("SELECT v / 0 AS q, v % 0 AS m FROM t [Range By 'NOW']", "t", batch);
+    assert_eq!(out[0].get("q"), Some(&Value::Null));
+    assert_eq!(out[0].get("m"), Some(&Value::Null));
+}
+
+#[test]
+fn in_subquery_filters_membership() {
+    let engine = {
+        let mut e = Engine::new();
+        let s = schema(&[("tag_id", DataType::Str)]);
+        e.register_relation(
+            "expected",
+            vec![
+                row(&s, &[("tag_id", Value::str("badge-1"))]),
+                row(&s, &[("tag_id", Value::str("badge-2"))]),
+            ],
+        );
+        e
+    };
+    let mut q = engine
+        .compile(
+            "SELECT tag_id FROM t [Range By 'NOW'] \
+             WHERE tag_id IN (SELECT tag_id FROM expected)",
+        )
+        .unwrap();
+    let s = schema(&[("tag_id", DataType::Str)]);
+    q.push(
+        "t",
+        &[
+            row(&s, &[("tag_id", Value::str("badge-1"))]),
+            row(&s, &[("tag_id", Value::str("errant-9"))]),
+        ],
+    )
+    .unwrap();
+    let out = q.tick(Ts::ZERO).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get("tag_id"), Some(&Value::str("badge-1")));
+
+    // NOT IN keeps the complement.
+    let mut q = engine
+        .compile(
+            "SELECT tag_id FROM t [Range By 'NOW'] \
+             WHERE tag_id NOT IN (SELECT tag_id FROM expected)",
+        )
+        .unwrap();
+    q.push(
+        "t",
+        &[
+            row(&s, &[("tag_id", Value::str("badge-1"))]),
+            row(&s, &[("tag_id", Value::str("errant-9"))]),
+        ],
+    )
+    .unwrap();
+    let out = q.tick(Ts::ZERO).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get("tag_id"), Some(&Value::str("errant-9")));
+}
+
+#[test]
+fn where_false_still_emits_global_aggregate_row() {
+    let s = schema(&[("v", DataType::Int)]);
+    let batch = vec![row(&s, &[("v", Value::Int(5))])];
+    let out = run_one(
+        "SELECT count(*) AS n FROM t [Range By 'NOW'] WHERE v > 100",
+        "t",
+        batch,
+    );
+    assert_eq!(out[0].get("n"), Some(&Value::Int(0)), "SQL: aggregates over ∅ emit a row");
+}

@@ -1,0 +1,40 @@
+//! # esp-stream
+//!
+//! The Fjord-style streaming substrate underneath ESP (Extensible receptor
+//! Stream Processing). The ESP paper executes its cleaning stages "in a
+//! Fjord-style manner" (Madden & Franklin, ICDE 2002): push-based operators
+//! connected by queues, driven as sensor readings stream through the
+//! pipeline. This crate is that execution fabric, independent of any query
+//! language or cleaning semantics:
+//!
+//! * [`WindowBuffer`] — time-based sliding-window buffers with eviction,
+//!   the mechanism behind the paper's *temporal granule* (`[Range By …]`).
+//! * [`Operator`] / [`Source`] — the push-based operator protocol. An
+//!   operator receives batches on input ports during an epoch and emits its
+//!   output when the epoch is flushed (punctuation).
+//! * [`Dataflow`] — a DAG of sources and operators with output taps.
+//! * [`EpochRunner`] — the deterministic single-threaded scheduler used by
+//!   experiments: advances logical time epoch by epoch.
+//! * [`ThreadedRunner`] — a multi-threaded runner (one thread per node,
+//!   crossbeam channels as inter-operator queues) that produces the same
+//!   per-epoch outputs; useful when receptor simulation is expensive.
+//! * [`ops`] — generic building-block operators (filter, map, union, …).
+//! * [`stats`] — streaming mean/variance used by windowed aggregates and
+//!   the Merge stage's outlier test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod ops;
+pub mod stats;
+mod epoch;
+mod operator;
+mod threaded;
+mod window;
+
+pub use epoch::EpochRunner;
+pub use graph::{Dataflow, NodeId, TapId};
+pub use operator::{Operator, ScriptedSource, Source};
+pub use threaded::ThreadedRunner;
+pub use window::WindowBuffer;

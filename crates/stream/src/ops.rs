@@ -1,0 +1,241 @@
+//! Generic building-block operators.
+//!
+//! These are language-agnostic dataflow pieces; the query engine and the ESP
+//! stages compose or specialize them.
+
+use esp_types::{Batch, Result, Ts, Tuple};
+
+use crate::operator::Operator;
+
+/// Forwards its input unchanged. Useful as a named junction point and in
+/// tests.
+pub struct PassThrough {
+    buf: Batch,
+}
+
+impl PassThrough {
+    /// Create a pass-through operator.
+    pub fn new() -> PassThrough {
+        PassThrough { buf: Batch::new() }
+    }
+}
+
+impl Default for PassThrough {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Operator for PassThrough {
+    fn name(&self) -> &str {
+        "pass-through"
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        self.buf.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
+        Ok(std::mem::take(&mut self.buf))
+    }
+}
+
+/// Per-tuple filter driven by a predicate closure.
+pub struct FilterOp<F> {
+    name: String,
+    pred: F,
+    buf: Batch,
+}
+
+impl<F: Fn(&Tuple) -> bool + Send> FilterOp<F> {
+    /// Create a filter retaining tuples for which `pred` returns true.
+    pub fn new(name: impl Into<String>, pred: F) -> FilterOp<F> {
+        FilterOp { name: name.into(), pred, buf: Batch::new() }
+    }
+}
+
+impl<F: Fn(&Tuple) -> bool + Send> Operator for FilterOp<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        self.buf.extend(batch.iter().filter(|t| (self.pred)(t)).cloned());
+        Ok(())
+    }
+
+    fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
+        Ok(std::mem::take(&mut self.buf))
+    }
+}
+
+/// Per-tuple transform driven by a closure. Returning `None` drops the
+/// tuple (filter-map semantics); returning an error aborts the epoch.
+pub struct MapOp<F> {
+    name: String,
+    f: F,
+    buf: Batch,
+}
+
+impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> MapOp<F> {
+    /// Create a map/transform operator.
+    pub fn new(name: impl Into<String>, f: F) -> MapOp<F> {
+        MapOp { name: name.into(), f, buf: Batch::new() }
+    }
+}
+
+impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> Operator for MapOp<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        for t in batch {
+            if let Some(out) = (self.f)(t)? {
+                self.buf.push(out);
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
+        Ok(std::mem::take(&mut self.buf))
+    }
+}
+
+/// N-way stream union. The paper's Arbitrate stage runs over "the union of
+/// the streams produced by Query 2" — this is that union.
+pub struct UnionOp {
+    n_inputs: usize,
+    buf: Batch,
+}
+
+impl UnionOp {
+    /// Create a union over `n_inputs` streams.
+    pub fn new(n_inputs: usize) -> UnionOp {
+        UnionOp { n_inputs, buf: Batch::new() }
+    }
+}
+
+impl Operator for UnionOp {
+    fn name(&self) -> &str {
+        "union"
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        self.buf.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
+        Ok(std::mem::take(&mut self.buf))
+    }
+}
+
+/// Wraps an arbitrary epoch function: buffers the epoch's input, then emits
+/// `f(epoch, input)`. This is the adapter ESP uses for stages implemented
+/// as "arbitrary code" (paper §3.3).
+pub struct EpochFnOp<F> {
+    name: String,
+    f: F,
+    buf: Batch,
+}
+
+impl<F: FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send> EpochFnOp<F> {
+    /// Create an operator from an epoch-level function.
+    pub fn new(name: impl Into<String>, f: F) -> EpochFnOp<F> {
+        EpochFnOp { name: name.into(), f, buf: Batch::new() }
+    }
+}
+
+impl<F: FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send> Operator for EpochFnOp<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
+        self.buf.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn flush(&mut self, epoch: Ts) -> Result<Batch> {
+        (self.f)(epoch, std::mem::take(&mut self.buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::{DataType, Schema, Value};
+
+    fn tup(v: i64) -> Tuple {
+        let schema = Schema::builder().field("v", DataType::Int).build().unwrap();
+        Tuple::new(schema, Ts::ZERO, vec![Value::Int(v)]).unwrap()
+    }
+
+    #[test]
+    fn filter_drops_non_matching() {
+        let mut f = FilterOp::new("evens", |t: &Tuple| t.value(0).as_i64().unwrap() % 2 == 0);
+        f.push(0, &[tup(1), tup(2), tup(3), tup(4)]).unwrap();
+        let out = f.flush(Ts::ZERO).unwrap();
+        assert_eq!(out.len(), 2);
+        // Flush drains: second flush is empty.
+        assert!(f.flush(Ts::ZERO).unwrap().is_empty());
+    }
+
+    #[test]
+    fn map_transforms_and_drops() {
+        let mut m = MapOp::new("halve-evens", |t: &Tuple| {
+            let v = t.value(0).as_i64().unwrap();
+            if v % 2 == 0 {
+                Ok(Some(Tuple::new_unchecked(
+                    t.schema().clone(),
+                    t.ts(),
+                    vec![Value::Int(v / 2)],
+                )))
+            } else {
+                Ok(None)
+            }
+        });
+        m.push(0, &[tup(4), tup(3)]).unwrap();
+        let out = m.flush(Ts::ZERO).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn map_propagates_errors() {
+        let mut m = MapOp::new("boom", |_t: &Tuple| {
+            Err(esp_types::EspError::Stage("boom".into()))
+        });
+        assert!(m.push(0, &[tup(1)]).is_err());
+    }
+
+    #[test]
+    fn union_merges_ports() {
+        let mut u = UnionOp::new(3);
+        assert_eq!(u.n_inputs(), 3);
+        u.push(0, &[tup(1)]).unwrap();
+        u.push(2, &[tup(2), tup(3)]).unwrap();
+        u.push(1, &[]).unwrap();
+        assert_eq!(u.flush(Ts::ZERO).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn epoch_fn_sees_whole_epoch() {
+        let mut op = EpochFnOp::new("count", |epoch: Ts, input: Vec<Tuple>| {
+            let schema = Schema::builder().field("n", DataType::Int).build().unwrap();
+            Ok(vec![Tuple::new(schema, epoch, vec![Value::Int(input.len() as i64)]).unwrap()])
+        });
+        op.push(0, &[tup(1), tup(2)]).unwrap();
+        op.push(0, &[tup(3)]).unwrap();
+        let out = op.flush(Ts::from_secs(1)).unwrap();
+        assert_eq!(out[0].value(0), &Value::Int(3));
+        assert_eq!(out[0].ts(), Ts::from_secs(1));
+    }
+}

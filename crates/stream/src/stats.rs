@@ -1,0 +1,212 @@
+//! Streaming summary statistics.
+//!
+//! Windowed aggregates (`avg`, `stdev`) and the Merge stage's outlier test
+//! (paper Query 5: discard readings outside `mean ± stdev`) need numerically
+//! stable mean/variance over window contents. [`RunningStats`] implements
+//! Welford's online algorithm: one pass, no catastrophic cancellation.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> RunningStats {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Accumulate one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build from an iterator of observations.
+    pub fn from_iter(xs: impl IntoIterator<Item = f64>) -> RunningStats {
+        let mut s = RunningStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1 denominator, SQL `STDDEV` convention);
+    /// `None` with fewer than two observations.
+    pub fn variance_sample(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population variance (n denominator); `None` when empty.
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample standard deviation; `None` with fewer than two observations.
+    pub fn stdev(&self) -> Option<f64> {
+        self.variance_sample().map(f64::sqrt)
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.n as f64
+    }
+
+    /// Merge another accumulator into this one (parallel Welford;
+    /// Chan et al. update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.stdev(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = RunningStats::from_iter([5.0]);
+        assert!(close(s.mean().unwrap(), 5.0));
+        assert_eq!(s.stdev(), None, "sample stdev undefined for n=1");
+        assert!(close(s.variance_population().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Values 2,4,4,4,5,5,7,9: mean 5, population stdev 2, sample var 32/7.
+        let s = RunningStats::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(close(s.mean().unwrap(), 5.0));
+        assert!(close(s.variance_population().unwrap(), 4.0));
+        assert!(close(s.variance_sample().unwrap(), 32.0 / 7.0));
+        assert!(close(s.min().unwrap(), 2.0));
+        assert!(close(s.max().unwrap(), 9.0));
+        assert!(close(s.sum(), 40.0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 50.0 + 20.0).collect();
+        let whole = RunningStats::from_iter(xs.iter().copied());
+        let mut merged = RunningStats::from_iter(xs[..37].iter().copied());
+        merged.merge(&RunningStats::from_iter(xs[37..].iter().copied()));
+        assert!(close(whole.mean().unwrap(), merged.mean().unwrap()));
+        assert!(close(whole.variance_sample().unwrap(), merged.variance_sample().unwrap()));
+        assert_eq!(whole.count(), merged.count());
+        assert!(close(whole.min().unwrap(), merged.min().unwrap()));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::from_iter([1.0, 2.0]);
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert!(close(s.mean().unwrap(), before.mean().unwrap()));
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert!(close(e.mean().unwrap(), before.mean().unwrap()));
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Naive sum-of-squares cancels catastrophically here; Welford must not.
+        let base = 1e9;
+        let s = RunningStats::from_iter([base + 4.0, base + 7.0, base + 13.0, base + 16.0]);
+        assert!(close(s.mean().unwrap(), base + 10.0));
+        assert!(close(s.variance_sample().unwrap(), 30.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+                let s = RunningStats::from_iter(xs.iter().copied());
+                let m = s.mean().unwrap();
+                prop_assert!(m >= s.min().unwrap() - 1e-6);
+                prop_assert!(m <= s.max().unwrap() + 1e-6);
+            }
+
+            #[test]
+            fn variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+                let s = RunningStats::from_iter(xs.iter().copied());
+                prop_assert!(s.variance_sample().unwrap() >= 0.0);
+                prop_assert!(s.variance_population().unwrap() >= 0.0);
+            }
+
+            #[test]
+            fn merge_associates(
+                a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+                b in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            ) {
+                let mut left = RunningStats::from_iter(a.iter().copied());
+                left.merge(&RunningStats::from_iter(b.iter().copied()));
+                let whole = RunningStats::from_iter(a.iter().chain(b.iter()).copied());
+                prop_assert_eq!(left.count(), whole.count());
+                if whole.count() > 0 {
+                    prop_assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Multi-threaded dataflow execution.
+//!
+//! One thread per node; crossbeam channels are the inter-operator queues
+//! (the Fjord architecture's queues made literal). Epoch alignment uses
+//! punctuation messages: an operator flushes epoch `t` only after every
+//! input edge has delivered its `Punct(t)`. Batches are buffered per
+//! `(epoch, port)` and delivered to the wrapped operator in port order, so
+//! the per-epoch output of every node is **identical** to what the
+//! single-threaded [`EpochRunner`](crate::EpochRunner) produces — a property
+//! the test suite asserts.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use esp_types::{Batch, EspError, Result, TimeDelta, Ts};
+
+use crate::graph::{Dataflow, NodeKind};
+
+/// Message on an inter-node edge.
+enum Msg {
+    /// A batch produced for `epoch`, destined for input port `port`.
+    Batch { port: usize, epoch: Ts, batch: Batch },
+    /// All data for `epoch` on this edge has been sent.
+    Punct(Ts),
+}
+
+/// Channel capacity per edge. Bounded so a slow consumer exerts
+/// back-pressure instead of ballooning memory.
+const EDGE_CAPACITY: usize = 64;
+
+/// Runs a [`Dataflow`] with one thread per node.
+pub struct ThreadedRunner;
+
+impl ThreadedRunner {
+    /// Execute `n_epochs` epochs starting at `start`, spaced `period`
+    /// apart. Consumes the dataflow (operators move onto their threads) and
+    /// returns one `(epoch, batch)` trace per registered tap, in tap order.
+    pub fn run(
+        df: Dataflow,
+        start: Ts,
+        period: TimeDelta,
+        n_epochs: u64,
+    ) -> Result<Vec<Vec<(Ts, Batch)>>> {
+        let n_nodes = df.nodes.len();
+        let consumers = df.consumers();
+        let taps = df.taps.clone();
+
+        // One inbound channel per node. Sources receive ticks from the
+        // driver on the same channel (as Punct messages with empty data).
+        let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
+        let mut rxs: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = bounded::<Msg>(EDGE_CAPACITY);
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        // Tap collection channel.
+        let (tap_tx, tap_rx) = bounded::<(usize, Ts, Batch)>(EDGE_CAPACITY);
+
+        let mut handles = Vec::with_capacity(n_nodes);
+        for (i, node) in df.nodes.into_iter().enumerate() {
+            let rx = rxs[i].take().expect("each node receiver taken once");
+            let downstream: Vec<(Sender<Msg>, usize)> = consumers[i]
+                .iter()
+                .map(|(consumer, port)| (txs[consumer.0].clone(), *port))
+                .collect();
+            let my_taps: Vec<usize> = taps
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.0 == i)
+                .map(|(tap_idx, _)| tap_idx)
+                .collect();
+            let tap_tx = (!my_taps.is_empty()).then(|| tap_tx.clone());
+
+            let handle = match node.kind {
+                NodeKind::Source(mut src) => thread::spawn(move || -> Result<()> {
+                    // Driver sends Punct(ts) as the epoch tick.
+                    for msg in rx {
+                        let Msg::Punct(epoch) = msg else {
+                            return Err(EspError::Stage(
+                                "source received a data batch".into(),
+                            ));
+                        };
+                        let out = src.poll(epoch)?;
+                        deliver(&downstream, &tap_tx, &my_taps, epoch, out)?;
+                    }
+                    Ok(())
+                }),
+                NodeKind::Operator { mut op, inputs } => {
+                    let n_edges = inputs.len();
+                    thread::spawn(move || -> Result<()> {
+                        // Per-epoch staging: batches per port + punct count.
+                        let mut staged: BTreeMap<Ts, (Vec<Batch>, usize)> = BTreeMap::new();
+                        for msg in rx {
+                            match msg {
+                                Msg::Batch { port, epoch, batch } => {
+                                    let entry = staged
+                                        .entry(epoch)
+                                        .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
+                                    entry.0[port].extend(batch);
+                                }
+                                Msg::Punct(epoch) => {
+                                    let entry = staged
+                                        .entry(epoch)
+                                        .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
+                                    entry.1 += 1;
+                                    if entry.1 == n_edges {
+                                        let (ports, _) = staged
+                                            .remove(&epoch)
+                                            .expect("entry just updated");
+                                        // Deliver in port order for
+                                        // determinism, then flush once.
+                                        for (port, batch) in ports.into_iter().enumerate() {
+                                            op.push(port, &batch)?;
+                                        }
+                                        let out = op.flush(epoch)?;
+                                        deliver(&downstream, &tap_tx, &my_taps, epoch, out)?;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(())
+                    })
+                }
+            };
+            handles.push(handle);
+        }
+        // The runner's own clones of the inbound senders: retain only the
+        // source ticks; dropping the rest closes operator channels once
+        // their upstreams finish.
+        drop(tap_tx);
+        let source_txs: Vec<Option<Sender<Msg>>> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, tx)| consumers.get(i).map(|_| tx))
+            .collect();
+        // Identify sources: nodes with no inbound edges from other nodes.
+        // (Only sources are ticked; operator channels are fed by upstreams.)
+        let mut is_source = vec![true; n_nodes];
+        for cons in &consumers {
+            for (c, _) in cons {
+                is_source[c.0] = false;
+            }
+        }
+
+        // Drive the ticks. Collect taps concurrently to avoid deadlock on
+        // the bounded tap channel.
+        let collector = thread::spawn(move || {
+            let mut collected: Vec<Vec<(Ts, Batch)>> = vec![Vec::new(); taps.len()];
+            for (tap_idx, epoch, batch) in tap_rx {
+                collected[tap_idx].push((epoch, batch));
+            }
+            // Tap messages may interleave across taps; order within a tap
+            // is already monotone because each node emits epochs in order.
+            collected
+        });
+
+        let mut t = start;
+        for _ in 0..n_epochs {
+            for (i, tx) in source_txs.iter().enumerate() {
+                if is_source[i] {
+                    if let Some(tx) = tx {
+                        if tx.send(Msg::Punct(t)).is_err() {
+                            // A worker failed; fall through to join for the error.
+                            break;
+                        }
+                    }
+                }
+            }
+            t += period;
+        }
+        drop(source_txs);
+
+        let mut first_err = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or(Some(EspError::Stage("worker thread panicked".into())))
+                }
+            }
+        }
+        let collected = collector
+            .join()
+            .map_err(|_| EspError::Stage("tap collector panicked".into()))?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(collected),
+        }
+    }
+}
+
+/// Send `out` downstream (batch + punctuation per edge) and to taps.
+fn deliver(
+    downstream: &[(Sender<Msg>, usize)],
+    tap_tx: &Option<Sender<(usize, Ts, Batch)>>,
+    my_taps: &[usize],
+    epoch: Ts,
+    out: Batch,
+) -> Result<()> {
+    if let Some(tap_tx) = tap_tx {
+        for &tap_idx in my_taps {
+            tap_tx
+                .send((tap_idx, epoch, out.clone()))
+                .map_err(|_| EspError::Stage("tap collector hung up".into()))?;
+        }
+    }
+    for (tx, port) in downstream {
+        // Empty batches are elided; the punct alone closes the epoch.
+        if !out.is_empty() {
+            tx.send(Msg::Batch { port: *port, epoch, batch: out.clone() })
+                .map_err(|_| EspError::Stage("downstream hung up".into()))?;
+        }
+        tx.send(Msg::Punct(epoch))
+            .map_err(|_| EspError::Stage("downstream hung up".into()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dataflow;
+    use crate::operator::ScriptedSource;
+    use crate::ops::{FilterOp, UnionOp};
+    use crate::EpochRunner;
+    use esp_types::{DataType, Schema, Tuple, Value};
+
+    fn tup(ts: Ts, v: i64) -> Tuple {
+        let schema = Schema::builder().field("v", DataType::Int).build().unwrap();
+        Tuple::new(schema, ts, vec![Value::Int(v)]).unwrap()
+    }
+
+    /// Build the same diamond dataflow twice (dataflows are not Clone since
+    /// they own operators).
+    fn diamond() -> (Dataflow, crate::TapId) {
+        let mut df = Dataflow::new();
+        let script: Vec<(Ts, Batch)> = (0..20u64)
+            .map(|i| {
+                let ts = Ts::from_millis(i * 100);
+                (ts, vec![tup(ts, i as i64), tup(ts, (i * 7 % 5) as i64)])
+            })
+            .collect();
+        let src = df.add_source(Box::new(ScriptedSource::new("s", script)));
+        let small = df
+            .add_operator(
+                Box::new(FilterOp::new("small", |t: &Tuple| {
+                    t.value(0).as_i64().unwrap() < 5
+                })),
+                &[src],
+            )
+            .unwrap();
+        let big = df
+            .add_operator(
+                Box::new(FilterOp::new("big", |t: &Tuple| {
+                    t.value(0).as_i64().unwrap() >= 5
+                })),
+                &[src],
+            )
+            .unwrap();
+        let u = df.add_operator(Box::new(UnionOp::new(2)), &[small, big]).unwrap();
+        let tap = df.add_tap(u).unwrap();
+        (df, tap)
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let (df1, tap1) = diamond();
+        let mut single = EpochRunner::new(df1);
+        single.run(Ts::ZERO, TimeDelta::from_millis(100), 20).unwrap();
+        let expected = single.take_tap(tap1);
+
+        let (df2, tap2) = diamond();
+        let traces =
+            ThreadedRunner::run(df2, Ts::ZERO, TimeDelta::from_millis(100), 20).unwrap();
+        let got = &traces[tap2.0];
+        assert_eq!(got.len(), expected.len());
+        for ((te, be), (tg, bg)) in expected.iter().zip(got.iter()) {
+            assert_eq!(te, tg);
+            assert_eq!(be, bg, "epoch {te} outputs diverge");
+        }
+    }
+
+    #[test]
+    fn worker_error_propagates() {
+        let mut df = Dataflow::new();
+        let src = df.add_source(Box::new(ScriptedSource::new(
+            "s",
+            vec![(Ts::ZERO, vec![tup(Ts::ZERO, 1)])],
+        )));
+        struct Failing;
+        impl crate::Operator for Failing {
+            fn push(&mut self, _p: usize, _b: &[Tuple]) -> Result<()> {
+                Err(EspError::Stage("injected failure".into()))
+            }
+            fn flush(&mut self, _e: Ts) -> Result<Batch> {
+                Ok(Batch::new())
+            }
+        }
+        df.add_operator(Box::new(Failing), &[src]).unwrap();
+        let err = ThreadedRunner::run(df, Ts::ZERO, TimeDelta::from_millis(100), 3)
+            .expect_err("failure must propagate");
+        assert!(err.to_string().contains("injected failure") || matches!(err, EspError::Stage(_)));
+    }
+
+    #[test]
+    fn empty_dataflow_runs() {
+        let df = Dataflow::new();
+        let traces = ThreadedRunner::run(df, Ts::ZERO, TimeDelta::from_secs(1), 5).unwrap();
+        assert!(traces.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property test: on randomly generated dataflow DAGs, the multi-threaded
+//! runner produces byte-identical per-epoch output to the deterministic
+//! single-threaded scheduler.
+
+use proptest::prelude::*;
+
+use esp_stream::ops::{FilterOp, PassThrough, UnionOp};
+use esp_stream::{Dataflow, EpochRunner, NodeId, ScriptedSource, TapId, ThreadedRunner};
+use esp_types::{Batch, DataType, Schema, TimeDelta, Ts, Tuple, Value};
+
+/// A reproducible description of a dataflow, buildable twice (operators
+/// are not Clone, so we rebuild from the description for each runner).
+#[derive(Debug, Clone)]
+struct DagSpec {
+    /// Per-source scripts: values per epoch.
+    sources: Vec<Vec<Vec<i64>>>,
+    /// Operator layer: each entry wires a new node.
+    ops: Vec<OpSpec>,
+    n_epochs: u64,
+}
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    /// Keep values with `v % modulus == residue`, fed by `input` (index
+    /// into the combined node list: sources first, then ops in order).
+    Filter { input: usize, modulus: i64, residue: i64 },
+    /// Union of 2–3 existing nodes.
+    Union { inputs: Vec<usize> },
+    /// Pass-through of one node.
+    Pass { input: usize },
+}
+
+fn tuple(ts: Ts, v: i64) -> Tuple {
+    let schema = Schema::builder().field("v", DataType::Int).build().unwrap();
+    Tuple::new_unchecked(schema, ts, vec![Value::Int(v)])
+}
+
+fn build(spec: &DagSpec) -> (Dataflow, Vec<TapId>) {
+    let mut df = Dataflow::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for (si, script) in spec.sources.iter().enumerate() {
+        let batches: Vec<(Ts, Batch)> = script
+            .iter()
+            .enumerate()
+            .map(|(e, vals)| {
+                let ts = Ts::from_millis(e as u64 * 100);
+                (ts, vals.iter().map(|v| tuple(ts, *v)).collect())
+            })
+            .collect();
+        nodes.push(df.add_source(Box::new(ScriptedSource::new(format!("s{si}"), batches))));
+    }
+    for op in &spec.ops {
+        let node = match op {
+            OpSpec::Filter { input, modulus, residue } => {
+                let (m, r) = (*modulus, *residue);
+                df.add_operator(
+                    Box::new(FilterOp::new("f", move |t: &Tuple| {
+                        t.value(0).as_i64().unwrap().rem_euclid(m) == r
+                    })),
+                    &[nodes[input % nodes.len()]],
+                )
+                .unwrap()
+            }
+            OpSpec::Union { inputs } => {
+                let ins: Vec<NodeId> =
+                    inputs.iter().map(|i| nodes[i % nodes.len()]).collect();
+                df.add_operator(Box::new(UnionOp::new(ins.len())), &ins).unwrap()
+            }
+            OpSpec::Pass { input } => df
+                .add_operator(Box::new(PassThrough::new()), &[nodes[input % nodes.len()]])
+                .unwrap(),
+        };
+        nodes.push(node);
+    }
+    // Tap every node so any divergence anywhere is caught.
+    let taps: Vec<TapId> = nodes.iter().map(|n| df.add_tap(*n).unwrap()).collect();
+    (df, taps)
+}
+
+fn dag_spec() -> impl Strategy<Value = DagSpec> {
+    let script = proptest::collection::vec(
+        proptest::collection::vec(-20i64..20, 0..4),
+        1..8,
+    );
+    let sources = proptest::collection::vec(script, 1..4);
+    let ops = proptest::collection::vec(
+        prop_oneof![
+            (any::<usize>(), 1i64..5, 0i64..5).prop_map(|(input, m, r)| OpSpec::Filter {
+                input,
+                modulus: m,
+                residue: r % m,
+            }),
+            proptest::collection::vec(any::<usize>(), 2..4)
+                .prop_map(|inputs| OpSpec::Union { inputs }),
+            any::<usize>().prop_map(|input| OpSpec::Pass { input }),
+        ],
+        0..8,
+    );
+    (sources, ops).prop_map(|(sources, ops)| {
+        let n_epochs = sources.iter().map(Vec::len).max().unwrap_or(1) as u64 + 2;
+        DagSpec { sources, ops, n_epochs }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threaded_equals_single_threaded_on_random_dags(spec in dag_spec()) {
+        let (df, taps) = build(&spec);
+        let mut single = EpochRunner::new(df);
+        single.run(Ts::ZERO, TimeDelta::from_millis(100), spec.n_epochs).unwrap();
+        let expected: Vec<Vec<(Ts, Batch)>> =
+            taps.iter().map(|t| single.take_tap(*t)).collect();
+
+        let (df, taps) = build(&spec);
+        let traces =
+            ThreadedRunner::run(df, Ts::ZERO, TimeDelta::from_millis(100), spec.n_epochs)
+                .unwrap();
+        for (tap, want) in taps.iter().zip(&expected) {
+            let got = &traces[tap.index()];
+            prop_assert_eq!(got.len(), want.len());
+            for ((ta, ba), (tb, bb)) in want.iter().zip(got.iter()) {
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(ba, bb, "divergence at tap {} epoch {}", tap.index(), ta);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Receptor actuation (paper §5.3.1).
+//!
+//! The redwood deployment's fixed 5-minute sampling forced ESP to expand
+//! its smoothing window (trading accuracy); the paper concludes that
+//! "ideally, ESP should be able to actuate the sensors to increase the
+//! number of readings within a temporal granule such that it can
+//! effectively smooth with a window the same size as the temporal
+//! granule". [`SampleRateHandle`] is the control surface that makes this
+//! possible: a receptor polls it for its current sample period, and a
+//! controller upstack adjusts it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::TimeDelta;
+
+/// A shared, lock-free handle to a receptor's sample period.
+///
+/// Cloning shares the underlying cell; the receptor reads it on every
+/// sampling decision, so changes take effect at the next sample.
+#[derive(Debug, Clone)]
+pub struct SampleRateHandle {
+    period_ms: Arc<AtomicU64>,
+}
+
+impl SampleRateHandle {
+    /// Create a handle with an initial period.
+    pub fn new(period: TimeDelta) -> SampleRateHandle {
+        SampleRateHandle { period_ms: Arc::new(AtomicU64::new(period.as_millis().max(1))) }
+    }
+
+    /// The current sample period.
+    pub fn period(&self) -> TimeDelta {
+        TimeDelta::from_millis(self.period_ms.load(Ordering::Relaxed))
+    }
+
+    /// Set the sample period (floored at 1 ms).
+    pub fn set_period(&self, period: TimeDelta) {
+        self.period_ms.store(period.as_millis().max(1), Ordering::Relaxed);
+    }
+
+    /// True when two handles share the same cell.
+    pub fn shares_with(&self, other: &SampleRateHandle) -> bool {
+        Arc::ptr_eq(&self.period_ms, &other.period_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_shares_state_across_clones() {
+        let h = SampleRateHandle::new(TimeDelta::from_secs(300));
+        let h2 = h.clone();
+        assert!(h.shares_with(&h2));
+        h2.set_period(TimeDelta::from_secs(30));
+        assert_eq!(h.period(), TimeDelta::from_secs(30));
+    }
+
+    #[test]
+    fn period_is_floored_at_one_millisecond() {
+        let h = SampleRateHandle::new(TimeDelta::ZERO);
+        assert_eq!(h.period(), TimeDelta::from_millis(1));
+        h.set_period(TimeDelta::ZERO);
+        assert_eq!(h.period(), TimeDelta::from_millis(1));
+    }
+
+    #[test]
+    fn independent_handles_do_not_share() {
+        let a = SampleRateHandle::new(TimeDelta::from_secs(1));
+        let b = SampleRateHandle::new(TimeDelta::from_secs(1));
+        assert!(!a.shares_with(&b));
+        a.set_period(TimeDelta::from_secs(9));
+        assert_eq!(b.period(), TimeDelta::from_secs(1));
+    }
+}

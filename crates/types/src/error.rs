@@ -1,0 +1,115 @@
+//! The shared error type for the ESP workspace.
+
+use std::fmt;
+
+/// Convenience alias for results with an [`EspError`].
+pub type Result<T> = std::result::Result<T, EspError>;
+
+/// Errors produced anywhere in the ESP stack.
+///
+/// A single enum (rather than per-crate error types) keeps pipeline plumbing
+/// simple: stages implemented as declarative queries, UDFs, and arbitrary
+/// code all surface failures uniformly to the [`EspProcessor`] driving them.
+///
+/// [`EspProcessor`]: https://docs.rs/esp-core
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EspError {
+    /// A query string failed to lex or parse. Carries position and message.
+    Parse {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset into the query text, if known.
+        offset: Option<usize>,
+    },
+    /// A parsed query could not be compiled into an executable plan.
+    Plan(String),
+    /// A type error during expression evaluation (e.g. `'abc' + 1`).
+    Type(String),
+    /// A referenced field does not exist in the input schema.
+    UnknownField(String),
+    /// A referenced stream, relation, or receptor is not registered.
+    UnknownSource(String),
+    /// A tuple did not match the schema it was constructed against.
+    SchemaMismatch(String),
+    /// Invalid configuration of a pipeline, stage, granule, or simulator.
+    Config(String),
+    /// Failure raised by user-defined stage code.
+    Stage(String),
+    /// Malformed bytes on the simulated receptor wire transport.
+    Wire(String),
+}
+
+impl EspError {
+    /// Construct a parse error with no position information.
+    pub fn parse(message: impl Into<String>) -> Self {
+        EspError::Parse { message: message.into(), offset: None }
+    }
+
+    /// Construct a parse error anchored at a byte offset in the query text.
+    pub fn parse_at(message: impl Into<String>, offset: usize) -> Self {
+        EspError::Parse { message: message.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for EspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EspError::Parse { message, offset: Some(off) } => {
+                write!(f, "parse error at byte {off}: {message}")
+            }
+            EspError::Parse { message, offset: None } => write!(f, "parse error: {message}"),
+            EspError::Plan(m) => write!(f, "planning error: {m}"),
+            EspError::Type(m) => write!(f, "type error: {m}"),
+            EspError::UnknownField(name) => write!(f, "unknown field: {name}"),
+            EspError::UnknownSource(name) => write!(f, "unknown source: {name}"),
+            EspError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            EspError::Config(m) => write!(f, "configuration error: {m}"),
+            EspError::Stage(m) => write!(f, "stage error: {m}"),
+            EspError::Wire(m) => write!(f, "wire format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_when_present() {
+        let e = EspError::parse_at("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+
+    #[test]
+    fn display_without_offset() {
+        let e = EspError::parse("eof");
+        assert_eq!(e.to_string(), "parse error: eof");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(EspError::Plan("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn variants_display_distinctly() {
+        let msgs: Vec<String> = [
+            EspError::Plan("x".into()),
+            EspError::Type("x".into()),
+            EspError::UnknownField("x".into()),
+            EspError::UnknownSource("x".into()),
+            EspError::SchemaMismatch("x".into()),
+            EspError::Config("x".into()),
+            EspError::Stage("x".into()),
+            EspError::Wire("x".into()),
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        let unique: std::collections::HashSet<_> = msgs.iter().collect();
+        assert_eq!(unique.len(), msgs.len());
+    }
+}

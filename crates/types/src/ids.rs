@@ -1,0 +1,121 @@
+//! Identifier newtypes for receptors, granules, and proximity groups.
+//!
+//! The paper's spatial model (§3.1.2): applications operate on *spatial
+//! granules* (a shelf, a room); receptors of the same type watching the same
+//! granule form a *proximity group*. Granules and devices can be related
+//! one-to-many, many-to-one, or many-to-many, and the mapping may change
+//! dynamically — ESP hides this from the application.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one physical receptor device (an RFID reader, a sensor mote,
+/// an X10 motion detector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReceptorId(pub u32);
+
+impl fmt::Display for ReceptorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receptor#{}", self.0)
+    }
+}
+
+/// The kind of receptor, used by the Virtualize stage to combine readings
+/// across device types (paper §3.2, stage 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReceptorType {
+    /// RFID reader reporting tag sightings.
+    Rfid,
+    /// Wireless sensor mote reporting scalar samples (temperature, sound, …).
+    Mote,
+    /// X10 motion detector reporting "ON" events.
+    X10Motion,
+    /// Any other device type, named.
+    Other(&'static str),
+}
+
+impl fmt::Display for ReceptorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReceptorType::Rfid => f.write_str("rfid"),
+            ReceptorType::Mote => f.write_str("mote"),
+            ReceptorType::X10Motion => f.write_str("x10-motion"),
+            ReceptorType::Other(name) => f.write_str(name),
+        }
+    }
+}
+
+/// An application-level spatial granule: the smallest spatial unit the
+/// application operates on (a shelf, a room, an altitude band of a tree).
+///
+/// Carried by name so it can appear directly as the `spatial_granule`
+/// attribute ESP injects into streams.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpatialGranule(pub Arc<str>);
+
+impl SpatialGranule {
+    /// Construct a granule by name.
+    pub fn new(name: impl AsRef<str>) -> SpatialGranule {
+        SpatialGranule(Arc::from(name.as_ref()))
+    }
+
+    /// The granule's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SpatialGranule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SpatialGranule {
+    fn from(s: &str) -> SpatialGranule {
+        SpatialGranule::new(s)
+    }
+}
+
+impl From<String> for SpatialGranule {
+    fn from(s: String) -> SpatialGranule {
+        SpatialGranule::new(s)
+    }
+}
+
+/// Identifies a proximity group: a set of same-type receptors monitoring
+/// the same spatial granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProximityGroupId(pub u32);
+
+impl fmt::Display for ProximityGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReceptorId(3).to_string(), "receptor#3");
+        assert_eq!(ProximityGroupId(1).to_string(), "group#1");
+        assert_eq!(SpatialGranule::new("shelf0").to_string(), "shelf0");
+        assert_eq!(ReceptorType::Rfid.to_string(), "rfid");
+        assert_eq!(ReceptorType::Other("pressure").to_string(), "pressure");
+    }
+
+    #[test]
+    fn granules_compare_by_name() {
+        assert_eq!(SpatialGranule::new("room"), SpatialGranule::from("room"));
+        assert_ne!(SpatialGranule::new("room"), SpatialGranule::new("shelf"));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ReceptorId(1) < ReceptorId(2));
+        assert!(ProximityGroupId(0) < ProximityGroupId(9));
+    }
+}

@@ -1,0 +1,41 @@
+//! # esp-types
+//!
+//! Core data model for **ESP** (Extensible receptor Stream Processing), the
+//! pipelined framework for online cleaning of sensor data streams described
+//! in Jeffery et al., *"A Pipelined Framework for Online Cleaning of Sensor
+//! Data Streams"* (ICDE 2006).
+//!
+//! This crate defines the vocabulary every other ESP crate speaks:
+//!
+//! * [`Value`] — the dynamically-typed scalar carried in stream tuples.
+//! * [`Schema`] / [`Field`] / [`DataType`] — named, typed tuple layouts.
+//! * [`Tuple`] — a timestamped record flowing through a pipeline.
+//! * [`Ts`] / [`TimeDelta`] — discrete logical time and durations, including
+//!   the textual duration grammar (`'5 sec'`, `'5 min'`, `'NOW'`) used by
+//!   the paper's CQL window clauses.
+//! * Identifier newtypes: [`ReceptorId`], [`SpatialGranule`],
+//!   [`ProximityGroupId`], and [`ReceptorType`].
+//! * [`EspError`] — the shared error type.
+//!
+//! The crate is dependency-light by design; everything heavier (windows,
+//! operators, query compilation) lives upstack.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod actuation;
+mod error;
+mod ids;
+mod schema;
+mod time;
+mod tuple;
+mod value;
+pub mod well_known;
+
+pub use actuation::SampleRateHandle;
+pub use error::{EspError, Result};
+pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
+pub use schema::{DataType, Field, Schema, SchemaBuilder};
+pub use time::{Ts, TimeDelta};
+pub use tuple::{Batch, Tuple, TupleBuilder};
+pub use value::{Value, ValueKey};

@@ -1,0 +1,270 @@
+//! Named, typed tuple layouts.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{EspError, Result, Value};
+
+/// The static type of a tuple field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String.
+    Str,
+    /// Logical timestamp.
+    Ts,
+    /// Any type — used for fields whose type is deployment-specific.
+    Any,
+}
+
+impl DataType {
+    /// Whether a runtime [`Value`] inhabits this type. `Null` inhabits every
+    /// type; `Any` admits every value.
+    pub fn admits(self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) | (DataType::Any, _) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            // Ints are acceptable where floats are expected (numeric widening).
+            (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (DataType::Str, Value::Str(_)) => true,
+            (DataType::Ts, Value::Ts(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Ts => "TS",
+            DataType::Any => "ANY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, typed field of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (case-sensitive; ESP convention is `snake_case`).
+    pub name: String,
+    /// Static type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An immutable, `Arc`-shared tuple layout.
+///
+/// Schemas are created once per stream/operator and shared by every tuple,
+/// so per-tuple cost is one `Arc` bump.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Field names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Arc<Schema>> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(EspError::SchemaMismatch(format!(
+                    "duplicate field name '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Arc::new(Schema { fields }))
+    }
+
+    /// Builder-style construction.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { fields: Vec::new() }
+    }
+
+    /// The ordered fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Index of `name`, or an [`EspError::UnknownField`].
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| EspError::UnknownField(name.to_string()))
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// True when `name` is a field of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// A new schema with `field` appended (errors on duplicate name).
+    ///
+    /// Used by the ESP processor to inject the `spatial_granule` attribute
+    /// into receptor streams (paper §4, footnote 2).
+    pub fn with_field(&self, field: Field) -> Result<Arc<Schema>> {
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas (for joins). Duplicate names from the right
+    /// side are prefixed with `right_prefix` when provided.
+    pub fn join(&self, right: &Schema, right_prefix: Option<&str>) -> Result<Arc<Schema>> {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.contains(&f.name) {
+                match right_prefix {
+                    Some(p) => format!("{p}.{}", f.name),
+                    None => {
+                        return Err(EspError::SchemaMismatch(format!(
+                            "ambiguous field '{}' in join",
+                            f.name
+                        )))
+                    }
+                }
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental [`Schema`] construction.
+pub struct SchemaBuilder {
+    fields: Vec<Field>,
+}
+
+impl SchemaBuilder {
+    /// Append a field.
+    pub fn field(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.fields.push(Field::new(name, data_type));
+        self
+    }
+
+    /// Finish, validating name uniqueness.
+    pub fn build(self) -> Result<Arc<Schema>> {
+        Schema::new(self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Arc<Schema> {
+        Schema::builder()
+            .field("tag_id", DataType::Str)
+            .field("rssi", DataType::Float)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::builder()
+            .field("x", DataType::Int)
+            .field("x", DataType::Int)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EspError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = demo();
+        assert_eq!(s.index_of("tag_id"), Some(0));
+        assert_eq!(s.index_of("rssi"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(matches!(s.require("nope"), Err(EspError::UnknownField(_))));
+        assert_eq!(s.field("rssi").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn with_field_appends_and_rejects_duplicates() {
+        let s = demo();
+        let s2 = s.with_field(Field::new("spatial_granule", DataType::Str)).unwrap();
+        assert_eq!(s2.len(), 3);
+        assert_eq!(s2.index_of("spatial_granule"), Some(2));
+        assert!(s.with_field(Field::new("tag_id", DataType::Str)).is_err());
+    }
+
+    #[test]
+    fn join_prefixes_duplicates() {
+        let left = demo();
+        let right = Schema::builder()
+            .field("tag_id", DataType::Str)
+            .field("shelf", DataType::Int)
+            .build()
+            .unwrap();
+        assert!(left.join(&right, None).is_err());
+        let joined = left.join(&right, Some("r")).unwrap();
+        assert_eq!(
+            joined.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["tag_id", "rssi", "r.tag_id", "shelf"]
+        );
+    }
+
+    #[test]
+    fn datatype_admits_numeric_widening_and_null() {
+        assert!(DataType::Float.admits(&Value::Int(3)));
+        assert!(!DataType::Int.admits(&Value::Float(3.0)));
+        assert!(DataType::Str.admits(&Value::Null));
+        assert!(DataType::Any.admits(&Value::Bool(true)));
+        assert!(!DataType::Bool.admits(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(demo().to_string(), "(tag_id: STR, rssi: FLOAT)");
+    }
+}

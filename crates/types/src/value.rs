@@ -1,0 +1,321 @@
+//! The dynamically-typed scalar carried in ESP tuples.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::Ts;
+use crate::{EspError, Result};
+
+/// A scalar value in a stream tuple.
+///
+/// Receptor streams are heterogeneous (RFID tag IDs, temperatures, sound
+/// levels, motion events), so tuples carry dynamically-typed values. The
+/// enum is kept small and cheap to clone: strings are `Arc<str>` so tag IDs
+/// shared across windows don't reallocate.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// Absent / unknown value (SQL NULL semantics in comparisons).
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+    /// Logical timestamp.
+    Ts(Ts),
+}
+
+impl Value {
+    /// Build a string value (interned).
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as boolean. `Null` is `false` in filter position
+    /// (SQL ternary logic collapses UNKNOWN to reject).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            _ => false,
+        }
+    }
+
+    /// Numeric view as `f64`, if this value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Ts(t) => Some(t.as_millis() as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if this value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view, if this value is a timestamp.
+    pub fn as_ts(&self) -> Option<Ts> {
+        match self {
+            Value::Ts(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, or a type error naming `context`.
+    pub fn expect_f64(&self, context: &str) -> Result<f64> {
+        self.as_f64()
+            .ok_or_else(|| EspError::Type(format!("{context}: expected a number, got {self}")))
+    }
+
+    /// SQL-style three-valued comparison. `None` when either side is NULL or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Ts(a), Value::Ts(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (returns `false`, not UNKNOWN —
+    /// callers in filter position want the collapsed form).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// Grouping equality: unlike [`Value::sql_eq`], NULLs group together
+    /// (SQL `GROUP BY` semantics).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_eq(other),
+        }
+    }
+
+    /// A hashable, totally-ordered key form of this value for use in group
+    /// maps and DISTINCT sets. Floats are keyed by bit pattern (NaNs group
+    /// together; -0.0 and 0.0 are normalized to the same key).
+    pub fn group_key(&self) -> ValueKey {
+        match self {
+            Value::Null => ValueKey::Null,
+            Value::Bool(b) => ValueKey::Bool(*b),
+            Value::Int(i) => ValueKey::Int(*i),
+            Value::Float(f) => {
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                let f = if f.is_nan() { f64::NAN } else { f };
+                ValueKey::Float(f.to_bits())
+            }
+            Value::Str(s) => ValueKey::Str(Arc::clone(s)),
+            Value::Ts(t) => ValueKey::Ts(*t),
+        }
+    }
+
+    /// Name of this value's runtime type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Ts(_) => "timestamp",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality (NULL == NULL) — used by tests and group maps.
+        self.group_key() == other.group_key()
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<Ts> for Value {
+    fn from(t: Ts) -> Value {
+        Value::Ts(t)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            // Whole floats keep a decimal point so `10779.0` does not
+            // re-lex as an integer (print/parse round-trip fidelity).
+            Value::Float(v) if v.is_finite() && v.fract() == 0.0 => write!(f, "{v:.1}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Ts(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// Hashable, `Eq` key form of a [`Value`] for group-by maps and DISTINCT
+/// sets. Obtained via [`Value::group_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// NULL key — NULLs group together.
+    Null,
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key.
+    Int(i64),
+    /// Float key by normalized bit pattern.
+    Float(u64),
+    /// String key.
+    Str(Arc<str>),
+    /// Timestamp key.
+    Ts(Ts),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_not_sql_equal_to_anything() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(0)));
+        assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert_eq!(Value::Null.group_key(), Value::Null.group_key());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_coerces() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(2.5).sql_cmp(&Value::Int(3)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_types_yield_none() {
+        assert!(Value::str("a").sql_cmp(&Value::Int(1)).is_none());
+        assert!(Value::Bool(true).sql_cmp(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Int(7).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::str("true").truthy());
+    }
+
+    #[test]
+    fn float_group_keys_normalize_zero_and_nan() {
+        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
+        assert_eq!(Value::Float(f64::NAN).group_key(), Value::Float(-f64::NAN).group_key());
+        assert_ne!(Value::Float(1.0).group_key(), Value::Float(2.0).group_key());
+    }
+
+    #[test]
+    fn string_interning_shares_storage() {
+        let v = Value::str("tag-42");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0", "whole floats keep the point");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn expect_f64_reports_context() {
+        let err = Value::str("oops").expect_f64("Smooth stage").unwrap_err();
+        assert!(err.to_string().contains("Smooth stage"));
+    }
+
+    #[test]
+    fn ts_values_compare() {
+        let a = Value::Ts(Ts::from_secs(1));
+        let b = Value::Ts(Ts::from_secs(2));
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+    }
+}

@@ -1,0 +1,103 @@
+//! Well-known stream schemas shared by the ESP stages, the receptor
+//! simulators, and the paper's six queries.
+//!
+//! Field-name constants live here so stages, simulators, and queries agree
+//! on spelling; each `*_schema()` function returns a fresh `Arc<Schema>` the
+//! caller is expected to cache per stream.
+
+use std::sync::Arc;
+
+use crate::{DataType, Schema};
+
+/// The receptor device id field injected by the ESP processor.
+pub const RECEPTOR_ID: &str = "receptor_id";
+/// The spatial-granule attribute automatically added by ESP (paper §4 fn. 2).
+pub const SPATIAL_GRANULE: &str = "spatial_granule";
+/// RFID tag identifier field.
+pub const TAG_ID: &str = "tag_id";
+/// Scalar temperature field (degrees Celsius).
+pub const TEMP: &str = "temp";
+/// Scalar sound-level field (ADC units, as in Figure 9(c)).
+pub const NOISE: &str = "noise";
+/// X10 event value field (the string `"ON"`).
+pub const VALUE: &str = "value";
+/// Generic aggregate-count output field.
+pub const COUNT: &str = "count";
+/// Battery/supply voltage field (volts) — correlates with temperature via
+/// battery chemistry, which model-based cleaning (BBQ-style, paper §6.3.1)
+/// exploits for cross-sensor outlier detection.
+pub const VOLTAGE: &str = "voltage";
+
+/// Raw RFID sighting: `(receptor_id, tag_id)`.
+///
+/// One tuple per tag observed in one poll cycle of one reader.
+pub fn rfid_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field(RECEPTOR_ID, DataType::Int)
+        .field(TAG_ID, DataType::Str)
+        .build()
+        .expect("static schema")
+}
+
+/// Raw mote temperature sample: `(receptor_id, temp)`.
+pub fn temp_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field(RECEPTOR_ID, DataType::Int)
+        .field(TEMP, DataType::Float)
+        .build()
+        .expect("static schema")
+}
+
+/// Mote temperature sample with battery voltage:
+/// `(receptor_id, temp, voltage)`.
+pub fn temp_voltage_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field(RECEPTOR_ID, DataType::Int)
+        .field(TEMP, DataType::Float)
+        .field(VOLTAGE, DataType::Float)
+        .build()
+        .expect("static schema")
+}
+
+/// Raw mote sound sample: `(receptor_id, noise)`.
+pub fn sound_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field(RECEPTOR_ID, DataType::Int)
+        .field(NOISE, DataType::Float)
+        .build()
+        .expect("static schema")
+}
+
+/// Raw X10 motion event: `(receptor_id, value)` where `value = 'ON'`.
+pub fn motion_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field(RECEPTOR_ID, DataType::Int)
+        .field(VALUE, DataType::Str)
+        .build()
+        .expect("static schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_expected_fields() {
+        assert!(rfid_schema().contains(TAG_ID));
+        assert!(rfid_schema().contains(RECEPTOR_ID));
+        assert!(temp_schema().contains(TEMP));
+        assert!(sound_schema().contains(NOISE));
+        assert!(motion_schema().contains(VALUE));
+        assert!(temp_voltage_schema().contains(VOLTAGE));
+        assert!(temp_voltage_schema().contains(TEMP));
+    }
+
+    #[test]
+    fn spatial_granule_not_in_raw_schemas() {
+        // The spatial_granule attribute is injected by the ESP processor,
+        // not produced by receptors.
+        for s in [rfid_schema(), temp_schema(), sound_schema(), motion_schema(), temp_voltage_schema()] {
+            assert!(!s.contains(SPATIAL_GRANULE));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The paper's §5.2 environmental-monitoring scenario: 33 motes on a
+//! redwood trunk reporting over a network that loses 60% of messages, in
+//! bursts. Smooth (with an expanded 30-minute window, §5.2.1) and Merge
+//! (2-node proximity groups per altitude band) recover most of the data.
+//!
+//! Run: `cargo run --release -p esp-examples --bin redwood_monitoring`
+
+use std::collections::HashMap;
+
+use esp_core::{
+    EspProcessor, MergeStage, Pipeline, ProximityGroups, ReceptorBinding, SmoothStage,
+    TemporalGranule,
+};
+use esp_metrics::{fraction_within, EpochYield};
+use esp_receptors::redwood::RedwoodScenario;
+use esp_types::{ReceptorType, SpatialGranule, Ts, Value};
+
+fn main() {
+    let scenario = RedwoodScenario::paper(11);
+    let period = scenario.config().sample_period; // 5 minutes
+    let days = 2.0;
+    let n_epochs = (days * 86_400_000.0 / period.as_millis() as f64) as u64;
+
+    // 5-minute granule, window expanded to 30 minutes (§5.2.1).
+    let granule = TemporalGranule::expanded_for(period, period, 6).expect("valid expansion");
+    println!(
+        "temporal granule {} expanded to a {} smoothing window",
+        granule.granule(),
+        granule.window()
+    );
+
+    let mut groups = ProximityGroups::new();
+    let specs = scenario.groups();
+    for spec in &specs {
+        groups.add_group(ReceptorType::Mote, spec.granule.as_str(), spec.members.clone());
+    }
+
+    let pipeline = Pipeline::builder()
+        .per_receptor("smooth", move |_ctx| {
+            Ok(Box::new(SmoothStage::windowed_mean(
+                "smooth",
+                granule,
+                ["spatial_granule", "receptor_id"],
+                "temp",
+            )))
+        })
+        .per_group("merge", move |ctx| {
+            let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("band"));
+            Ok(Box::new(MergeStage::outlier_filtered_mean(
+                "merge",
+                g,
+                TemporalGranule::new(granule.granule()),
+                "temp",
+                1.0,
+            )))
+        })
+        .build();
+
+    let receptors = scenario
+        .sources()
+        .into_iter()
+        .map(|(id, src)| ReceptorBinding::new(id, ReceptorType::Mote, src))
+        .collect();
+    let processor = EspProcessor::build(groups, &pipeline, receptors).expect("deployment");
+    let output = processor.run(Ts::ZERO, period, n_epochs).expect("pipeline runs");
+
+    // Score: yield per granule-epoch + accuracy vs the micro-climate model.
+    let granule_index: HashMap<&str, usize> =
+        specs.iter().enumerate().map(|(i, s)| (s.granule.as_str(), i)).collect();
+    let mut epoch_yield = EpochYield::new();
+    let mut pairs = Vec::new();
+    for (ts, batch) in &output.trace {
+        let mut seen = vec![false; specs.len()];
+        for t in batch {
+            if let (Some(g), Some(v)) = (
+                t.get("spatial_granule").and_then(Value::as_str),
+                t.get("temp").and_then(Value::as_f64),
+            ) {
+                if let Some(&gi) = granule_index.get(g) {
+                    seen[gi] = true;
+                    pairs.push((v, scenario.granule_true_temp(gi, *ts)));
+                }
+            }
+        }
+        for s in seen {
+            epoch_yield.record(s);
+        }
+    }
+    println!(
+        "granule-epoch yield: {:.1}% (raw trace delivered ~40% of readings)",
+        epoch_yield.value() * 100.0
+    );
+    println!(
+        "readings within 1 °C of the micro-climate model: {:.1}%",
+        fraction_within(pairs.iter().copied(), 1.0) * 100.0
+    );
+    println!(
+        "mean absolute error: {:.3} °C over {} reported granule-epochs",
+        esp_metrics::mean_absolute_error(pairs.iter().copied()),
+        pairs.len()
+    );
+}

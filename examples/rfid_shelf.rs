@@ -1,0 +1,100 @@
+//! The paper's §4 retail scenario, built on the public API with the
+//! Smooth stage expressed **declaratively** (the paper's Query 2) and
+//! Arbitrate as a built-in stage.
+//!
+//! Two shelves × one reader each; 10 static tags per shelf; 5 items
+//! relocated between the shelves every 40 s. Reader 0's antenna is
+//! stronger and overhears shelf 1, so Smooth alone leaves shelf 0
+//! overcounted — Arbitrate attributes each tag to the granule that read it
+//! most (ties to the weaker antenna, §4.3.1).
+//!
+//! Run: `cargo run --release -p esp-examples --bin rfid_shelf`
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use esp_core::{
+    ArbitrateStage, DeclarativeStage, EspProcessor, Pipeline, ProximityGroups,
+    ReceptorBinding, TieBreak,
+};
+use esp_metrics::average_relative_error;
+use esp_query::Engine;
+use esp_receptors::rfid::ShelfScenario;
+use esp_types::{ReceptorType, Ts, Value};
+
+fn main() {
+    let scenario = ShelfScenario::paper(7);
+    let duration_s = 200u64;
+    let period = scenario.config().sample_period;
+
+    // Proximity groups: each reader is its own group; granule = shelf.
+    let mut groups = ProximityGroups::new();
+    for spec in scenario.groups() {
+        groups.add_group(ReceptorType::Rfid, spec.granule.as_str(), spec.members);
+    }
+
+    // Smooth as a declarative continuous query — the paper's Query 2,
+    // extended with the spatial_granule attribute ESP injects.
+    let engine = Engine::new();
+    let pipeline = Pipeline::builder()
+        .per_receptor("smooth", move |_ctx| {
+            let q = engine
+                .compile(
+                    "SELECT spatial_granule, tag_id, count(*) \
+                     FROM smooth_input [Range By '5 sec'] \
+                     GROUP BY spatial_granule, tag_id",
+                )
+                .expect("Query 2 compiles");
+            Ok(Box::new(DeclarativeStage::new("smooth(Q2)", q)?))
+        })
+        .global("arbitrate", |_ctx| {
+            Ok(Box::new(ArbitrateStage::new(
+                "arbitrate",
+                TieBreak::Priority(vec![Arc::from("shelf1"), Arc::from("shelf0")]),
+            )))
+        })
+        .build();
+
+    let receptors = scenario
+        .sources()
+        .into_iter()
+        .map(|(id, src)| ReceptorBinding::new(id, ReceptorType::Rfid, src))
+        .collect();
+    let processor = EspProcessor::build(groups, &pipeline, receptors).expect("deployment");
+    let output = processor
+        .run(Ts::ZERO, period, duration_s * 1000 / period.as_millis())
+        .expect("pipeline runs");
+
+    // Application query (Query 1): count of items per shelf, scored
+    // against ground truth.
+    let mut pairs = Vec::new();
+    println!("time   shelf0 (truth)   shelf1 (truth)");
+    for (epoch, batch) in &output.trace {
+        let mut counts = [0usize; 2];
+        for shelf in 0..2 {
+            let tags: HashSet<&str> = batch
+                .iter()
+                .filter(|t| {
+                    t.get("spatial_granule").and_then(Value::as_str)
+                        == Some(&format!("shelf{shelf}"))
+                })
+                .filter_map(|t| t.get("tag_id").and_then(Value::as_str))
+                .collect();
+            counts[shelf] = tags.len();
+            pairs.push((tags.len() as f64, scenario.true_count(shelf, *epoch) as f64));
+        }
+        if epoch.as_millis() % 10_000 == 0 {
+            println!(
+                "{epoch:>6}  {:>4}   ({:>2})      {:>4}   ({:>2})",
+                counts[0],
+                scenario.true_count(0, *epoch),
+                counts[1],
+                scenario.true_count(1, *epoch),
+            );
+        }
+    }
+    println!(
+        "\naverage relative error after Smooth(Q2)+Arbitrate: {:.4} (paper: 0.04)",
+        average_relative_error(pairs)
+    );
+}

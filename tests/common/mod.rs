@@ -1,0 +1,36 @@
+//! Shared helpers for ESP integration tests.
+
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_receptors::GroupSpec;
+use esp_stream::Source;
+use esp_types::{ReceptorId, ReceptorType, Result};
+
+/// Wire scenario group specs + typed sources into a processor.
+pub fn build_processor(
+    group_specs: &[GroupSpec],
+    pipeline: &Pipeline,
+    sources: Vec<(ReceptorId, ReceptorType, Box<dyn Source>)>,
+) -> Result<EspProcessor> {
+    let mut groups = ProximityGroups::new();
+    for spec in group_specs {
+        let rtype = sources
+            .iter()
+            .find(|(id, _, _)| spec.members.contains(id))
+            .map(|(_, t, _)| *t)
+            .unwrap_or(ReceptorType::Other("unknown"));
+        groups.add_group(rtype, spec.granule.as_str(), spec.members.iter().copied());
+    }
+    let bindings = sources
+        .into_iter()
+        .map(|(id, rtype, source)| ReceptorBinding::new(id, rtype, source))
+        .collect();
+    EspProcessor::build(groups, pipeline, bindings)
+}
+
+/// Tag single-type sources.
+pub fn with_type(
+    sources: Vec<(ReceptorId, Box<dyn Source>)>,
+    rtype: ReceptorType,
+) -> Vec<(ReceptorId, ReceptorType, Box<dyn Source>)> {
+    sources.into_iter().map(|(id, s)| (id, rtype, s)).collect()
+}

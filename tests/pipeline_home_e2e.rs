@@ -1,0 +1,153 @@
+//! End-to-end §6 digital-home pipeline: all five stages over three
+//! receptor types, scored as a person detector.
+
+use esp_core::{
+    MergeStage, Pipeline, PointStage, SmoothStage, VirtualizeStage, VoteRule,
+};
+use esp_integration_tests::build_processor;
+use esp_metrics::BinaryAccuracy;
+use esp_receptors::office::{OfficeScenario, BADGE_TAG, ERRANT_TAG};
+use esp_types::{ReceptorType, SpatialGranule, TimeDelta, Ts, Value};
+
+fn five_stage_pipeline(threshold: usize) -> Pipeline {
+    Pipeline::builder()
+        .per_receptor("point", |ctx| {
+            Ok(Box::new(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => {
+                    PointStage::new("point").expected_values("tag_id", [BADGE_TAG])
+                }
+                _ => PointStage::new("point"),
+            }))
+        })
+        .per_receptor("smooth", |ctx| {
+            Ok(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => Box::new(SmoothStage::count_by_key(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "tag_id"],
+                )) as Box<dyn esp_core::Stage>,
+                Some(ReceptorType::X10Motion) => Box::new(SmoothStage::event_presence(
+                    "smooth",
+                    TimeDelta::from_secs(10),
+                    ["spatial_granule", "receptor_id"],
+                    "value",
+                    "ON",
+                    1,
+                )),
+                _ => Box::new(SmoothStage::windowed_mean(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "receptor_id"],
+                    "noise",
+                )),
+            })
+        })
+        .per_group("merge", |ctx| {
+            let granule =
+                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("office"));
+            Ok(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => {
+                    Box::new(MergeStage::union_all("merge", granule, Some("tag_id".into())))
+                        as Box<dyn esp_core::Stage>
+                }
+                Some(ReceptorType::X10Motion) => Box::new(MergeStage::vote_threshold(
+                    "merge",
+                    granule,
+                    TimeDelta::from_secs(10),
+                    "value",
+                    "ON",
+                    "receptor_id",
+                    2,
+                )),
+                _ => Box::new(MergeStage::outlier_filtered_mean(
+                    "merge",
+                    granule,
+                    TimeDelta::from_secs(5),
+                    "noise",
+                    1.0,
+                )),
+            })
+        })
+        .global("virtualize", move |_| {
+            Ok(Box::new(
+                VirtualizeStage::voting(
+                    "virtualize",
+                    "Person-in-room",
+                    vec![
+                        VoteRule::numeric_above("sound", "noise", 525.0),
+                        VoteRule::min_tuples_with("rfid", "tag_id", 1),
+                        VoteRule::value_equals("motion", "value", "ON"),
+                    ],
+                    threshold,
+                )
+                .unwrap(),
+            ))
+        })
+        .build()
+}
+
+fn run(threshold: usize, seed: u64, secs: u64) -> (BinaryAccuracy, OfficeScenario) {
+    let scenario = OfficeScenario::paper(seed);
+    let proc =
+        build_processor(&scenario.groups(), &five_stage_pipeline(threshold), scenario.sources())
+            .unwrap();
+    let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), secs).unwrap();
+    let mut acc = BinaryAccuracy::new();
+    for (ts, batch) in &out.trace {
+        let detected =
+            batch.iter().any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
+        acc.record(detected, scenario.occupied(*ts));
+    }
+    (acc, scenario)
+}
+
+#[test]
+fn person_detector_hits_paper_accuracy_band() {
+    let (acc, _) = run(2, 3, 600);
+    assert!(acc.accuracy() > 0.85, "accuracy {}", acc.accuracy());
+    assert!(acc.recall() > 0.9, "recall {}", acc.recall());
+}
+
+#[test]
+fn detector_works_across_seeds() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let (acc, _) = run(2, seed, 360);
+        assert!(acc.accuracy() > 0.8, "seed {seed}: accuracy {}", acc.accuracy());
+    }
+}
+
+#[test]
+fn errant_tags_are_filtered_by_point() {
+    // Run only Point and check the errant tag never survives.
+    let scenario = OfficeScenario::paper(8);
+    let pipeline = Pipeline::builder()
+        .per_receptor("point", |ctx| {
+            Ok(Box::new(match ctx.receptor_type {
+                Some(ReceptorType::Rfid) => {
+                    PointStage::new("point").expected_values("tag_id", [BADGE_TAG])
+                }
+                _ => PointStage::new("point"),
+            }))
+        })
+        .build();
+    let proc = build_processor(&scenario.groups(), &pipeline, scenario.sources()).unwrap();
+    let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 300).unwrap();
+    let mut saw_badge = false;
+    for (_, batch) in &out.trace {
+        for t in batch {
+            if let Some(tag) = t.get("tag_id").and_then(Value::as_str) {
+                assert_ne!(tag, ERRANT_TAG, "errant tag must be filtered");
+                saw_badge |= tag == BADGE_TAG;
+            }
+        }
+    }
+    assert!(saw_badge, "the real badge must pass the filter");
+}
+
+#[test]
+fn unanimous_voting_trades_recall_for_precision() {
+    let (two, _) = run(2, 3, 600);
+    let (three, _) = run(3, 3, 600);
+    assert!(three.recall() <= two.recall());
+    assert!(three.precision() >= two.precision() - 0.02);
+}

@@ -1,0 +1,163 @@
+//! End-to-end §5 environmental-monitoring pipelines: the lab outlier
+//! scenario and the redwood yield-recovery scenario.
+
+use std::collections::HashMap;
+
+use esp_core::{MergeStage, Pipeline, PointStage, SmoothStage, TemporalGranule};
+use esp_integration_tests::{build_processor, with_type};
+use esp_metrics::EpochYield;
+use esp_receptors::lab::LabScenario;
+use esp_receptors::redwood::RedwoodScenario;
+use esp_types::{ReceptorType, SpatialGranule, TimeDelta, Ts, Value};
+
+fn lab_pipeline(outlier_k: f64) -> Pipeline {
+    Pipeline::builder()
+        .per_receptor("point", |_| {
+            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+        })
+        .per_group("merge", move |ctx| {
+            let granule =
+                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            Ok(Box::new(MergeStage::outlier_filtered_mean(
+                "merge",
+                granule,
+                TimeDelta::from_mins(5),
+                "temp",
+                outlier_k,
+            )))
+        })
+        .build()
+}
+
+#[test]
+fn lab_pipeline_never_reports_fail_dirty_temperatures() {
+    let scenario = LabScenario::paper(4);
+    let period = scenario.config().sample_period;
+    let n_epochs = 2 * 86_400 / period.as_millis() * 1000 / 1000;
+    let proc = build_processor(
+        &scenario.groups(),
+        &lab_pipeline(1.0),
+        with_type(scenario.sources(), ReceptorType::Mote),
+    )
+    .unwrap();
+    let out = proc.run(Ts::ZERO, period, n_epochs).unwrap();
+    let mut reported = 0;
+    for (ts, batch) in &out.trace {
+        for t in batch {
+            let v = t.get("temp").and_then(Value::as_f64).unwrap();
+            let truth = scenario.true_temp(*ts);
+            assert!(
+                (v - truth).abs() < 3.0,
+                "ESP output {v} strays from truth {truth} at {ts}"
+            );
+            reported += 1;
+        }
+    }
+    assert!(reported > n_epochs as usize / 2, "pipeline mostly reports ({reported})");
+}
+
+#[test]
+fn point_stage_alone_caps_but_does_not_fix_the_outlier() {
+    // Point filters > 50 °C, but a mote drifting at 49 °C still pollutes a
+    // plain average; Merge's deviation test is what tracks the group.
+    let scenario = LabScenario::paper(4);
+    let period = scenario.config().sample_period;
+    let n_epochs = (86_400.0 * 1.0 / period.as_secs_f64()) as u64;
+    // Point + unbounded merge (no outlier rejection).
+    let pipeline = Pipeline::builder()
+        .per_receptor("point", |_| {
+            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+        })
+        .per_group("merge", |ctx| {
+            let granule =
+                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            Ok(Box::new(MergeStage::outlier_filtered_mean(
+                "merge",
+                granule,
+                TimeDelta::from_mins(5),
+                "temp",
+                f64::INFINITY,
+            )))
+        })
+        .build();
+    let proc = build_processor(
+        &scenario.groups(),
+        &pipeline,
+        with_type(scenario.sources(), ReceptorType::Mote),
+    )
+    .unwrap();
+    let out = proc.run(Ts::ZERO, period, n_epochs).unwrap();
+    // In the window between fail onset and the 50 °C cutoff, the average
+    // is noticeably polluted.
+    let onset = scenario.config().fail_onset;
+    let polluted = out
+        .trace
+        .iter()
+        .filter(|(ts, _)| *ts > onset)
+        .filter_map(|(ts, batch)| {
+            batch
+                .first()
+                .and_then(|t| t.get("temp").and_then(Value::as_f64))
+                .map(|v| (v - scenario.true_temp(*ts)).abs())
+        })
+        .fold(0.0f64, f64::max);
+    assert!(polluted > 3.0, "point-only pipeline should still be polluted ({polluted})");
+}
+
+#[test]
+fn redwood_merge_recovers_most_granule_epochs() {
+    let scenario = RedwoodScenario::paper(6);
+    let period = scenario.config().sample_period;
+    let granule = TemporalGranule::with_window(period, TimeDelta::from_mins(30)).unwrap();
+    let n_epochs = (0.5 * 86_400.0 / period.as_secs_f64()) as u64;
+    let pipeline = Pipeline::builder()
+        .per_receptor("smooth", move |_| {
+            Ok(Box::new(SmoothStage::windowed_mean(
+                "smooth",
+                granule,
+                ["spatial_granule", "receptor_id"],
+                "temp",
+            )))
+        })
+        .per_group("merge", move |ctx| {
+            let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("band"));
+            Ok(Box::new(MergeStage::outlier_filtered_mean(
+                "merge",
+                g,
+                TemporalGranule::new(period),
+                "temp",
+                1.0,
+            )))
+        })
+        .build();
+    let specs = scenario.groups();
+    let granule_index: HashMap<&str, usize> =
+        specs.iter().enumerate().map(|(i, s)| (s.granule.as_str(), i)).collect();
+    let proc = build_processor(
+        &specs,
+        &pipeline,
+        with_type(scenario.sources(), ReceptorType::Mote),
+    )
+    .unwrap();
+    let out = proc.run(Ts::ZERO, period, n_epochs).unwrap();
+
+    let mut y = EpochYield::new();
+    for (ts, batch) in &out.trace {
+        let mut seen = vec![false; specs.len()];
+        for t in batch {
+            if let Some(g) = t.get("spatial_granule").and_then(Value::as_str) {
+                seen[granule_index[g]] = true;
+            }
+            // Accuracy spot check on every reported value.
+            let v = t.get("temp").and_then(Value::as_f64).unwrap();
+            let gi = granule_index
+                [t.get("spatial_granule").and_then(Value::as_str).unwrap()];
+            let truth = scenario.granule_true_temp(gi, *ts);
+            assert!((v - truth).abs() < 5.0, "merge output {v} far from truth {truth}");
+        }
+        for s in seen {
+            y.record(s);
+        }
+    }
+    assert!(y.value() > 0.85, "granule-epoch yield {}", y.value());
+}
