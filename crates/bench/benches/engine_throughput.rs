@@ -105,8 +105,7 @@ fn bench_arbitrate_query3(c: &mut Criterion) {
             let mut q = engine.compile(sql).unwrap();
             let mut epoch = Ts::ZERO;
             b.iter(|| {
-                let restamped: Vec<Tuple> =
-                    batch.iter().map(|t| t.restamped(epoch)).collect();
+                let restamped: Vec<Tuple> = batch.iter().map(|t| t.restamped(epoch)).collect();
                 q.push("arbitrate_input", &restamped).unwrap();
                 let out = q.tick(epoch).unwrap();
                 epoch += TimeDelta::from_millis(200);

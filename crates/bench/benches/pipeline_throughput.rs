@@ -15,8 +15,11 @@ fn bench_shelf_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/shelf");
     const EPOCHS: u64 = 250; // 50 simulated seconds at 5 Hz
     group.throughput(Throughput::Elements(EPOCHS));
-    for cfg in [ShelfPipeline::Raw, ShelfPipeline::SmoothOnly, ShelfPipeline::SmoothThenArbitrate]
-    {
+    for cfg in [
+        ShelfPipeline::Raw,
+        ShelfPipeline::SmoothOnly,
+        ShelfPipeline::SmoothThenArbitrate,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(cfg.label().replace(' ', "_")),
             &cfg,
@@ -29,8 +32,9 @@ fn bench_shelf_pipeline(c: &mut Criterion) {
                         with_type(scenario.sources(), ReceptorType::Rfid),
                     )
                     .unwrap();
-                    let out =
-                        proc.run(Ts::ZERO, TimeDelta::from_millis(200), EPOCHS).unwrap();
+                    let out = proc
+                        .run(Ts::ZERO, TimeDelta::from_millis(200), EPOCHS)
+                        .unwrap();
                     out.trace.len()
                 })
             },
@@ -43,18 +47,20 @@ fn bench_home_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/digital_home");
     const EPOCHS: u64 = 120;
     group.throughput(Throughput::Elements(EPOCHS));
-    for (label, pipeline) in
-        [("raw", Pipeline::raw()), ("five_stage", home_pipeline(2))]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &pipeline, |b, pipeline| {
-            b.iter(|| {
-                let scenario = OfficeScenario::paper(1);
-                let proc =
-                    build_processor(&scenario.groups(), pipeline, scenario.sources()).unwrap();
-                let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), EPOCHS).unwrap();
-                out.trace.len()
-            })
-        });
+    for (label, pipeline) in [("raw", Pipeline::raw()), ("five_stage", home_pipeline(2))] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &pipeline,
+            |b, pipeline| {
+                b.iter(|| {
+                    let scenario = OfficeScenario::paper(1);
+                    let proc =
+                        build_processor(&scenario.groups(), pipeline, scenario.sources()).unwrap();
+                    let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), EPOCHS).unwrap();
+                    out.trace.len()
+                })
+            },
+        );
     }
     group.finish();
 }

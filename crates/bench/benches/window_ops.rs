@@ -16,8 +16,9 @@ fn bench_window_push(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_push_advance");
     for window_ms in [1_000u64, 5_000, 30_000] {
         // Pre-build a stream of 10k tuples at 10ms spacing.
-        let tuples: Vec<Tuple> =
-            (0..10_000u64).map(|i| tuple(Ts::from_millis(i * 10), i as i64)).collect();
+        let tuples: Vec<Tuple> = (0..10_000u64)
+            .map(|i| tuple(Ts::from_millis(i * 10), i as i64))
+            .collect();
         group.throughput(Throughput::Elements(tuples.len() as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{window_ms}ms")),
@@ -38,7 +39,9 @@ fn bench_window_push(c: &mut Criterion) {
 }
 
 fn bench_running_stats(c: &mut Criterion) {
-    let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 30.0 + 20.0).collect();
+    let xs: Vec<f64> = (0..10_000)
+        .map(|i| (i as f64).sin() * 30.0 + 20.0)
+        .collect();
     let mut group = c.benchmark_group("running_stats");
     group.throughput(Throughput::Elements(xs.len() as u64));
     group.bench_function("fold_10k", |b| {

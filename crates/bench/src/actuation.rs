@@ -10,16 +10,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use esp_core::{
-    EspProcessor, Pipeline, ProximityGroups, RateController, ReceptorBinding,
-};
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, RateController, ReceptorBinding};
 use esp_metrics::{fraction_within, EpochYield, Report};
 use esp_receptors::channel::GilbertElliottChannel;
 use esp_receptors::mote::{EnvModel, MoteConfig, MoteSource};
 use esp_receptors::redwood::{RedwoodConfig, RedwoodWorld};
-use esp_types::{
-    well_known, ReceptorId, ReceptorType, SampleRateHandle, TimeDelta, Ts, Value,
-};
+use esp_types::{well_known, ReceptorId, ReceptorType, SampleRateHandle, TimeDelta, Ts, Value};
 
 /// Result of one actuation run.
 pub struct ActuationRun {
@@ -64,7 +60,11 @@ pub fn run_actuation(n_motes: usize, days: f64, actuate: bool, seed: u64) -> Act
             )),
         );
         handles.push(source.actuation_handle());
-        bindings.push(ReceptorBinding::new(id, ReceptorType::Mote, Box::new(source)));
+        bindings.push(ReceptorBinding::new(
+            id,
+            ReceptorType::Mote,
+            Box::new(source),
+        ));
     }
 
     let mut controllers: Vec<RateController> = handles
@@ -123,8 +123,7 @@ pub fn run_actuation(n_motes: usize, days: f64, actuate: bool, seed: u64) -> Act
 /// Paper-§5.3.1 comparison: fixed 5-minute sampling vs actuated sampling,
 /// both with a granule-sized smoothing window.
 pub fn actuation_report(days: f64, seed: u64) -> Report {
-    let mut report =
-        Report::new("§5.3.1 ablation: receptor actuation (granule-sized window)");
+    let mut report = Report::new("§5.3.1 ablation: receptor actuation (granule-sized window)");
     for (label, actuate) in [("fixed_rate", false), ("actuated", true)] {
         let run = run_actuation(8, days, actuate, seed);
         report.scalar(format!("{label}:epoch_yield"), run.epoch_yield);
@@ -195,6 +194,9 @@ mod tests {
         for n in [1u64, 2, 2, 2, 2, 2] {
             controller.observe(n);
         }
-        assert!(handle.period() >= TimeDelta::from_secs(150), "stays near initial");
+        assert!(
+            handle.period() >= TimeDelta::from_secs(150),
+            "stays near initial"
+        );
     }
 }

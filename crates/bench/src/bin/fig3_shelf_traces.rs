@@ -15,7 +15,12 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
     let report = figure3(TimeDelta::from_secs(secs), seed);
     print!("{}", report.render_text());
-    for name in ["reality:shelf0", "raw:shelf0", "smooth:shelf0", "arbitrate:shelf0"] {
+    for name in [
+        "reality:shelf0",
+        "raw:shelf0",
+        "smooth:shelf0",
+        "arbitrate:shelf0",
+    ] {
         if let Some(s) = report.series.iter().find(|s| s.name == name) {
             print!("{}", ascii_plot(s, 72, 8));
         }

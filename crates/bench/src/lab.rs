@@ -1,9 +1,9 @@
 //! §5.1 outlier detection (Figure 7).
 
 use esp_core::{MergeStage, Pipeline, PointStage};
-use esp_types::SpatialGranule;
 use esp_metrics::{Report, Series};
 use esp_receptors::lab::{LabScenario, LAB_MOTES};
+use esp_types::SpatialGranule;
 use esp_types::{ReceptorType, TimeDelta, Ts, Value};
 
 use crate::util::{build_processor, with_type};
@@ -16,12 +16,19 @@ fn lab_pipeline(with_point: bool, outlier_k: f64) -> Pipeline {
     if with_point {
         // Paper Query 4: filter fail-dirty readings above 50 °C.
         builder = builder.per_receptor("point", |_ctx| {
-            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+            Ok(Box::new(PointStage::new("point").range_filter(
+                "temp",
+                None,
+                Some(50.0),
+            )))
         });
     }
     builder
         .per_group("merge", move |ctx| {
-            let granule = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            let granule = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("lab-room"));
             Ok(Box::new(MergeStage::outlier_filtered_mean(
                 "merge",
                 granule,
@@ -85,14 +92,18 @@ pub fn run_lab(days: f64, seed: u64) -> Vec<LabEpoch> {
     };
 
     let scalar = |batch: &[esp_types::Tuple]| {
-        batch.first().and_then(|t| t.get("temp").and_then(Value::as_f64))
+        batch
+            .first()
+            .and_then(|t| t.get("temp").and_then(Value::as_f64))
     };
     let mut epochs = Vec::with_capacity(esp_out.trace.len());
     for i in 0..esp_out.trace.len() {
         let (ts, raw_batch) = &raw_out.trace[i];
         let mut raw = [f64::NAN; 3];
         for t in raw_batch {
-            let Some(id) = t.get("receptor_id").and_then(Value::as_i64) else { continue };
+            let Some(id) = t.get("receptor_id").and_then(Value::as_i64) else {
+                continue;
+            };
             if let Some(pos) = LAB_MOTES.iter().position(|m| i64::from(m.0) == id) {
                 raw[pos] = t.get("temp").and_then(Value::as_f64).unwrap_or(f64::NAN);
             }
@@ -117,12 +128,17 @@ pub fn figure7(days: f64, seed: u64) -> Report {
     for (m, _) in LAB_MOTES.iter().enumerate() {
         report.add_series(Series::from_points(
             format!("mote{}", m + 1),
-            epochs.iter().filter(|e| !e.raw[m].is_nan()).map(|e| (e.days, e.raw[m])),
+            epochs
+                .iter()
+                .filter(|e| !e.raw[m].is_nan())
+                .map(|e| (e.days, e.raw[m])),
         ));
     }
     report.add_series(Series::from_points(
         "average",
-        epochs.iter().filter_map(|e| e.naive_average.map(|v| (e.days, v))),
+        epochs
+            .iter()
+            .filter_map(|e| e.naive_average.map(|v| (e.days, v))),
     ));
     report.add_series(Series::from_points(
         "esp",
@@ -130,18 +146,22 @@ pub fn figure7(days: f64, seed: u64) -> Report {
     ));
 
     // Summary scalars: late-trace behaviour (after the outlier saturates).
-    let late: Vec<&LabEpoch> =
-        epochs.iter().filter(|e| e.days > days * 0.75).collect();
+    let late: Vec<&LabEpoch> = epochs.iter().filter(|e| e.days > days * 0.75).collect();
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-    let late_esp_err: Vec<f64> =
-        late.iter().filter_map(|e| e.esp.map(|v| (v - e.truth).abs())).collect();
+    let late_esp_err: Vec<f64> = late
+        .iter()
+        .filter_map(|e| e.esp.map(|v| (v - e.truth).abs()))
+        .collect();
     let late_naive_err: Vec<f64> = late
         .iter()
         .filter_map(|e| e.naive_average.map(|v| (v - e.truth).abs()))
         .collect();
     report.scalar("late_esp_mean_abs_error", mean(&late_esp_err));
     report.scalar("late_naive_mean_abs_error", mean(&late_naive_err));
-    report.scalar("fail_onset_days", scenario.config().fail_onset.as_secs_f64() / 86_400.0);
+    report.scalar(
+        "fail_onset_days",
+        scenario.config().fail_onset.as_secs_f64() / 86_400.0,
+    );
     // When does ESP start excluding the outlier? First epoch after onset
     // where ESP diverges from the naive average by > 1 °C.
     let detect = epochs.iter().find(|e| {
@@ -178,7 +198,10 @@ mod tests {
             .sum::<f64>()
             / late.len() as f64;
         assert!(esp_err < 1.5, "ESP stays near truth: {esp_err}");
-        assert!(naive_err > 5.0, "naive average dragged up by outlier: {naive_err}");
+        assert!(
+            naive_err > 5.0,
+            "naive average dragged up by outlier: {naive_err}"
+        );
     }
 
     #[test]
@@ -187,7 +210,9 @@ mod tests {
         // Merge is the first stage to eliminate the outlier" — divergence
         // begins while the failed mote still reads below 50 °C.
         let report = figure7(1.5, 21);
-        let detect = report.get_scalar("esp_begins_eliminating_outlier_days").unwrap();
+        let detect = report
+            .get_scalar("esp_begins_eliminating_outlier_days")
+            .unwrap();
         let onset = report.get_scalar("fail_onset_days").unwrap();
         assert!(detect > onset, "detection after onset");
         // 50 °C is reached (3.7 °C/h from ~21 °C) ≈ 7.8 h after onset.

@@ -21,8 +21,8 @@
 
 pub mod actuation;
 pub mod home;
-pub mod model;
 pub mod lab;
+pub mod model;
 pub mod redwood;
 pub mod shelf;
 pub mod util;

@@ -10,9 +10,7 @@
 
 use std::sync::Arc;
 
-use esp_core::{
-    EspProcessor, ModelAction, ModelStage, Pipeline, ProximityGroups, ReceptorBinding,
-};
+use esp_core::{EspProcessor, ModelAction, ModelStage, Pipeline, ProximityGroups, ReceptorBinding};
 use esp_metrics::{Report, Series};
 use esp_receptors::channel::BernoulliChannel;
 use esp_receptors::lab::LabRoomModel;
@@ -42,7 +40,11 @@ pub fn run_model(days: f64, action: Option<ModelAction>, seed: u64) -> ModelRun 
             id,
             sample_period,
             noise_sd: 0.2,
-            fail: Some(FailDirty { onset, drift_per_hour: 3.7, ceiling: 135.0 }),
+            fail: Some(FailDirty {
+                onset,
+                drift_per_hour: 3.7,
+                ceiling: 135.0,
+            }),
             seed,
             field: well_known::TEMP,
             voltage: Some(VoltageModel::default()),
@@ -72,11 +74,17 @@ pub fn run_model(days: f64, action: Option<ModelAction>, seed: u64) -> ModelRun 
     let proc = EspProcessor::build(
         groups,
         &pipeline,
-        vec![ReceptorBinding::new(id, ReceptorType::Mote, Box::new(source))],
+        vec![ReceptorBinding::new(
+            id,
+            ReceptorType::Mote,
+            Box::new(source),
+        )],
     )
     .expect("processor builds");
     let n_epochs = (days * 86_400.0 / sample_period.as_secs_f64()) as u64;
-    let out = proc.run(Ts::ZERO, sample_period, n_epochs).expect("run succeeds");
+    let out = proc
+        .run(Ts::ZERO, sample_period, n_epochs)
+        .expect("run succeeds");
 
     let truth = |ts: Ts| LabRoomModel.value(id, ts);
     let mut reported = Vec::new();
@@ -112,21 +120,27 @@ pub fn run_model(days: f64, action: Option<ModelAction>, seed: u64) -> ModelRun 
     } else {
         post_err.iter().sum::<f64>() / post_err.len() as f64
     };
-    ModelRun { reported, post_onset_error, detection_days }
+    ModelRun {
+        reported,
+        post_onset_error,
+        detection_days,
+    }
 }
 
 /// Compare raw vs model-drop vs model-correct on the single-mote
 /// fail-dirty scenario.
 pub fn model_report(days: f64, seed: u64) -> Report {
-    let mut report =
-        Report::new("§6.3.1 ablation: BBQ-style model-based cleaning (single mote)");
+    let mut report = Report::new("§6.3.1 ablation: BBQ-style model-based cleaning (single mote)");
     for (label, action) in [
         ("raw", None),
         ("model_drop", Some(ModelAction::Drop)),
         ("model_correct", Some(ModelAction::Correct)),
     ] {
         let run = run_model(days, action, seed);
-        report.scalar(format!("{label}:post_onset_mean_abs_error"), run.post_onset_error);
+        report.scalar(
+            format!("{label}:post_onset_mean_abs_error"),
+            run.post_onset_error,
+        );
         report.scalar(format!("{label}:n_reported"), run.reported.len() as f64);
         if action.is_some() {
             report.scalar(format!("{label}:detection_days"), run.detection_days);
@@ -146,7 +160,11 @@ mod tests {
         // detects the same failure from one device via the voltage channel.
         let raw = run_model(1.5, None, 9);
         let dropped = run_model(1.5, Some(ModelAction::Drop), 9);
-        assert!(raw.post_onset_error > 20.0, "raw error {}", raw.post_onset_error);
+        assert!(
+            raw.post_onset_error > 20.0,
+            "raw error {}",
+            raw.post_onset_error
+        );
         assert!(
             dropped.post_onset_error < 1.5,
             "model-dropped error {}",

@@ -41,7 +41,10 @@ fn redwood_pipeline(stage: RedwoodStage, granule: TemporalGranule) -> Pipeline {
         )) as Box<dyn esp_core::Stage>)
     };
     let merge = move |ctx: &esp_core::StageCtx| {
-        let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("?"));
+        let g = ctx
+            .granule
+            .clone()
+            .unwrap_or_else(|| SpatialGranule::new("?"));
         Ok(Box::new(MergeStage::outlier_filtered_mean(
             "merge",
             g,
@@ -77,8 +80,8 @@ pub fn run_redwood(
     let scenario = RedwoodScenario::new(config, seed);
     let period = scenario.config().sample_period;
     let n_epochs = ((days * 86_400_000.0) / period.as_millis() as f64) as u64;
-    let granule = TemporalGranule::with_window(period, smooth_window.max(period))
-        .expect("window >= granule");
+    let granule =
+        TemporalGranule::with_window(period, smooth_window.max(period)).expect("window >= granule");
 
     let groups = scenario.groups();
     // mote id -> group index.
@@ -87,8 +90,11 @@ pub fn run_redwood(
         .enumerate()
         .flat_map(|(gi, g)| g.members.iter().map(move |m| (m.0, gi)))
         .collect();
-    let granule_index: HashMap<String, usize> =
-        groups.iter().enumerate().map(|(gi, g)| (g.granule.clone(), gi)).collect();
+    let granule_index: HashMap<String, usize> = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| (g.granule.clone(), gi))
+        .collect();
     let n_motes = scenario.config().n_motes;
 
     let proc = build_processor(
@@ -156,7 +162,11 @@ pub fn run_redwood(
 
     let within_1c = fraction_within(pairs.iter().copied(), 1.0);
     let mean_abs_error = esp_metrics::mean_absolute_error(pairs);
-    RedwoodRun { epoch_yield: epoch_yield.value(), within_1c, mean_abs_error }
+    RedwoodRun {
+        epoch_yield: epoch_yield.value(),
+        within_1c,
+        mean_abs_error,
+    }
 }
 
 /// The §5.2 staircase: raw → Smooth → Smooth+Merge.
@@ -179,8 +189,7 @@ pub fn epoch_yield_report(days: f64, seed: u64) -> Report {
 /// §5.2.1 ablation: Smooth-stage yield/accuracy vs window width at the
 /// fixed 5-minute sampling rate.
 pub fn window_expansion_report(days: f64, seed: u64, windows_min: &[u64]) -> Report {
-    let mut report =
-        Report::new("§5.2.1 ablation: window expansion at fixed 5-minute sampling");
+    let mut report = Report::new("§5.2.1 ablation: window expansion at fixed 5-minute sampling");
     let mut yield_series = esp_metrics::Series::new("epoch_yield");
     let mut acc_series = esp_metrics::Series::new("within_1C");
     for &w in windows_min {
@@ -205,10 +214,12 @@ pub fn window_expansion_report(days: f64, seed: u64, windows_min: &[u64]) -> Rep
 pub fn spatial_granule_report(days: f64, seed: u64, group_sizes: &[usize]) -> Report {
     let mut report = Report::new("§5.3.2 ablation: spatial granule (group) size");
     for &size in group_sizes {
-        let mut config = RedwoodConfig::default();
         // Regroup by resizing pair spacing so larger groups still span a
         // small height band. Keep mote count divisible for clean groups.
-        config.n_motes = 32;
+        let config = RedwoodConfig {
+            n_motes: 32,
+            ..Default::default()
+        };
         let scenario = RedwoodScenario::new(config.clone(), seed);
         // Build custom groups of `size` consecutive motes.
         let mut groups = Vec::new();
@@ -226,7 +237,10 @@ pub fn spatial_granule_report(days: f64, seed: u64, group_sizes: &[usize]) -> Re
         let run = run_redwood_with_groups(&scenario, groups, days, seed);
         report.scalar(format!("group_size_{size}:epoch_yield"), run.epoch_yield);
         report.scalar(format!("group_size_{size}:within_1C"), run.within_1c);
-        report.scalar(format!("group_size_{size}:mean_abs_error"), run.mean_abs_error);
+        report.scalar(
+            format!("group_size_{size}:mean_abs_error"),
+            run.mean_abs_error,
+        );
     }
     report
 }
@@ -248,8 +262,11 @@ fn run_redwood_with_groups(
         .enumerate()
         .flat_map(|(gi, g)| g.members.iter().map(move |m| (m.0, gi)))
         .collect();
-    let granule_index: HashMap<String, usize> =
-        groups.iter().enumerate().map(|(gi, g)| (g.granule.clone(), gi)).collect();
+    let granule_index: HashMap<String, usize> = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| (g.granule.clone(), gi))
+        .collect();
 
     let proc = build_processor(
         &groups,
@@ -282,8 +299,7 @@ fn run_redwood_with_groups(
                     // *this mote's* location; a wider granule substitutes
                     // a band average, which is where the extra error
                     // comes from.
-                    let truth =
-                        scenario.mote_true_temp(esp_types::ReceptorId(m as u32), *ts);
+                    let truth = scenario.mote_true_temp(esp_types::ReceptorId(m as u32), *ts);
                     pairs.push((*v, truth));
                 }
                 None => epoch_yield.record(false),
@@ -308,8 +324,13 @@ mod tests {
         let w = TimeDelta::from_mins(30);
         let raw = run_redwood(RedwoodStage::Raw, RedwoodConfig::default(), w, DAYS, 3);
         let smooth = run_redwood(RedwoodStage::Smooth, RedwoodConfig::default(), w, DAYS, 3);
-        let merged =
-            run_redwood(RedwoodStage::SmoothMerge, RedwoodConfig::default(), w, DAYS, 3);
+        let merged = run_redwood(
+            RedwoodStage::SmoothMerge,
+            RedwoodConfig::default(),
+            w,
+            DAYS,
+            3,
+        );
         assert!(
             (raw.epoch_yield - 0.40).abs() < 0.06,
             "raw yield ≈ 40%, got {}",
@@ -327,7 +348,11 @@ mod tests {
             merged.epoch_yield,
             smooth.epoch_yield
         );
-        assert!(merged.epoch_yield > 0.85, "merged yield {}", merged.epoch_yield);
+        assert!(
+            merged.epoch_yield > 0.85,
+            "merged yield {}",
+            merged.epoch_yield
+        );
     }
 
     #[test]
@@ -339,8 +364,13 @@ mod tests {
             "smoothed readings mostly within 1 °C, got {}",
             smooth.within_1c
         );
-        let merged =
-            run_redwood(RedwoodStage::SmoothMerge, RedwoodConfig::default(), w, DAYS, 3);
+        let merged = run_redwood(
+            RedwoodStage::SmoothMerge,
+            RedwoodConfig::default(),
+            w,
+            DAYS,
+            3,
+        );
         assert!(
             merged.within_1c > 0.85,
             "merge trades a little accuracy, got {}",
@@ -382,6 +412,9 @@ mod tests {
         let e2 = report.get_scalar("group_size_2:mean_abs_error").unwrap();
         let e8 = report.get_scalar("group_size_8:mean_abs_error").unwrap();
         assert!(y8 >= y2, "bigger groups mask more losses: {y8} vs {y2}");
-        assert!(e8 > e2, "bigger groups average over a wider band: {e8} vs {e2}");
+        assert!(
+            e8 > e2,
+            "bigger groups average over a wider band: {e8} vs {e2}"
+        );
     }
 }

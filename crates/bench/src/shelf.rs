@@ -94,9 +94,9 @@ pub fn shelf_pipeline(cfg: ShelfPipeline, granule: TimeDelta) -> Pipeline {
     };
     match cfg {
         ShelfPipeline::Raw => Pipeline::raw(),
-        ShelfPipeline::SmoothOnly => {
-            Pipeline::builder().per_receptor("smooth", smooth_per_receptor()).build()
-        }
+        ShelfPipeline::SmoothOnly => Pipeline::builder()
+            .per_receptor("smooth", smooth_per_receptor())
+            .build(),
         ShelfPipeline::ArbitrateOnly => {
             Pipeline::builder().global("arbitrate", arbitrate()).build()
         }
@@ -132,7 +132,9 @@ pub fn run_shelf(
         with_type(scenario.sources(), ReceptorType::Rfid),
     )
     .expect("shelf processor builds");
-    let output = proc.run(Ts::ZERO, period, n_epochs).expect("shelf run succeeds");
+    let output = proc
+        .run(Ts::ZERO, period, n_epochs)
+        .expect("shelf run succeeds");
 
     let mut counts = vec![Vec::with_capacity(output.trace.len()); n_shelves];
     let mut truth = vec![Vec::with_capacity(output.trace.len()); n_shelves];
@@ -146,7 +148,9 @@ pub fn run_shelf(
             let Some(granule) = t.get("spatial_granule").and_then(Value::as_str) else {
                 continue;
             };
-            let Some(shelf) = granule.strip_prefix("shelf").and_then(|s| s.parse::<usize>().ok())
+            let Some(shelf) = granule
+                .strip_prefix("shelf")
+                .and_then(|s| s.parse::<usize>().ok())
             else {
                 continue;
             };
@@ -193,7 +197,10 @@ pub fn figure3(duration: TimeDelta, seed: u64) -> Report {
         for shelf in 0..run.counts.len() {
             report.add_series(Series::from_points(
                 format!("{tag}:shelf{shelf}"),
-                run.times.iter().copied().zip(run.counts[shelf].iter().copied()),
+                run.times
+                    .iter()
+                    .copied()
+                    .zip(run.counts[shelf].iter().copied()),
             ));
         }
         report.scalar(format!("{tag}:avg_relative_error"), run.avg_relative_error);
@@ -207,7 +214,10 @@ pub fn figure3(duration: TimeDelta, seed: u64) -> Report {
             for shelf in 0..run.truth.len() {
                 report.add_series(Series::from_points(
                     format!("reality:shelf{shelf}"),
-                    run.times.iter().copied().zip(run.truth[shelf].iter().copied()),
+                    run.times
+                        .iter()
+                        .copied()
+                        .zip(run.truth[shelf].iter().copied()),
                 ));
             }
         }
@@ -218,8 +228,7 @@ pub fn figure3(duration: TimeDelta, seed: u64) -> Report {
 /// Figure 5: average relative error per pipeline configuration.
 pub fn figure5(duration: TimeDelta, seed: u64) -> Report {
     let granule = TimeDelta::from_secs(5);
-    let mut report =
-        Report::new("Figure 5: average relative error by pipeline configuration");
+    let mut report = Report::new("Figure 5: average relative error by pipeline configuration");
     for cfg in ShelfPipeline::ALL {
         let run = run_shelf(cfg, granule, duration, seed);
         report.scalar(cfg.label(), run.avg_relative_error);
@@ -229,8 +238,7 @@ pub fn figure5(duration: TimeDelta, seed: u64) -> Report {
 
 /// Figure 6: average relative error vs temporal granule size.
 pub fn figure6(duration: TimeDelta, seed: u64, granules_s: &[f64]) -> Report {
-    let mut report =
-        Report::new("Figure 6: average relative error vs temporal granule size");
+    let mut report = Report::new("Figure 6: average relative error vs temporal granule size");
     let mut series = Series::new("avg_relative_error");
     for &g in granules_s {
         let granule = TimeDelta::from_millis((g * 1000.0) as u64);
@@ -266,8 +274,12 @@ mod tests {
     #[test]
     fn full_pipeline_beats_raw_by_a_wide_margin() {
         let raw = run_shelf(ShelfPipeline::Raw, TimeDelta::from_secs(5), SHORT, 11);
-        let cleaned =
-            run_shelf(ShelfPipeline::SmoothThenArbitrate, TimeDelta::from_secs(5), SHORT, 11);
+        let cleaned = run_shelf(
+            ShelfPipeline::SmoothThenArbitrate,
+            TimeDelta::from_secs(5),
+            SHORT,
+            11,
+        );
         assert!(
             cleaned.avg_relative_error < raw.avg_relative_error / 3.0,
             "cleaned {} vs raw {}",
@@ -283,9 +295,18 @@ mod tests {
 
     #[test]
     fn smooth_alone_leaves_the_antenna_discrepancy() {
-        let smooth = run_shelf(ShelfPipeline::SmoothOnly, TimeDelta::from_secs(5), SHORT, 11);
-        let full =
-            run_shelf(ShelfPipeline::SmoothThenArbitrate, TimeDelta::from_secs(5), SHORT, 11);
+        let smooth = run_shelf(
+            ShelfPipeline::SmoothOnly,
+            TimeDelta::from_secs(5),
+            SHORT,
+            11,
+        );
+        let full = run_shelf(
+            ShelfPipeline::SmoothThenArbitrate,
+            TimeDelta::from_secs(5),
+            SHORT,
+            11,
+        );
         assert!(
             smooth.avg_relative_error > 1.5 * full.avg_relative_error,
             "smooth-only {} should be clearly worse than smooth+arbitrate {}",
@@ -293,10 +314,8 @@ mod tests {
             full.avg_relative_error
         );
         // Shelf 0 is overcounted after Smooth alone (the paper's §4.1).
-        let shelf0_mean: f64 =
-            smooth.counts[0].iter().sum::<f64>() / smooth.counts[0].len() as f64;
-        let truth0_mean: f64 =
-            smooth.truth[0].iter().sum::<f64>() / smooth.truth[0].len() as f64;
+        let shelf0_mean: f64 = smooth.counts[0].iter().sum::<f64>() / smooth.counts[0].len() as f64;
+        let truth0_mean: f64 = smooth.truth[0].iter().sum::<f64>() / smooth.truth[0].len() as f64;
         assert!(
             shelf0_mean > truth0_mean + 2.0,
             "shelf0 smoothed mean {shelf0_mean} should overcount truth {truth0_mean}"
@@ -306,7 +325,12 @@ mod tests {
     #[test]
     fn arbitrate_alone_is_no_better_than_raw() {
         let raw = run_shelf(ShelfPipeline::Raw, TimeDelta::from_secs(5), SHORT, 11);
-        let arb = run_shelf(ShelfPipeline::ArbitrateOnly, TimeDelta::from_secs(5), SHORT, 11);
+        let arb = run_shelf(
+            ShelfPipeline::ArbitrateOnly,
+            TimeDelta::from_secs(5),
+            SHORT,
+            11,
+        );
         // "Arbitrate individually provides little benefit beyond raw."
         assert!(
             (arb.avg_relative_error - raw.avg_relative_error).abs() < 0.15,
@@ -324,7 +348,10 @@ mod tests {
         let raw = get("Raw");
         let smooth = get("Smooth Only");
         let full = get("Smooth+Arbitrate");
-        assert!(full < smooth && smooth < raw, "{full} < {smooth} < {raw} violated");
+        assert!(
+            full < smooth && smooth < raw,
+            "{full} < {smooth} < {raw} violated"
+        );
         assert!(full < 0.12, "full pipeline error {full}");
     }
 }

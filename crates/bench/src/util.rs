@@ -50,7 +50,10 @@ mod tests {
             members: vec![ReceptorId(0)],
         }];
         let sources = with_type(
-            vec![(ReceptorId(0), Box::new(ScriptedSource::new("s", vec![])) as _)],
+            vec![(
+                ReceptorId(0),
+                Box::new(ScriptedSource::new("s", vec![])) as _,
+            )],
             ReceptorType::Rfid,
         );
         let proc = build_processor(&specs, &Pipeline::raw(), sources).unwrap();

@@ -47,16 +47,16 @@ impl RateController {
         let current = self.handle.period();
         if readings_in_window < self.target {
             // Halve the period (sample twice as fast), bounded below.
-            let next = TimeDelta::from_millis((current.as_millis() / 2).max(1))
-                .max(self.min_period);
+            let next =
+                TimeDelta::from_millis((current.as_millis() / 2).max(1)).max(self.min_period);
             if next < current {
                 self.handle.set_period(next);
                 self.speedups += 1;
             }
         } else if readings_in_window >= self.target.saturating_mul(3) {
             // Plenty of margin: relax to save energy, bounded above.
-            let next = TimeDelta::from_millis(current.as_millis().saturating_mul(2))
-                .min(self.max_period);
+            let next =
+                TimeDelta::from_millis(current.as_millis().saturating_mul(2)).min(self.max_period);
             if next > current {
                 self.handle.set_period(next);
                 self.relaxations += 1;
@@ -125,7 +125,11 @@ mod tests {
         c.observe(9);
         assert_eq!(c.period(), TimeDelta::from_secs(300));
         c.observe(9);
-        assert_eq!(c.period(), TimeDelta::from_secs(300), "capped at the initial period");
+        assert_eq!(
+            c.period(),
+            TimeDelta::from_secs(300),
+            "capped at the initial period"
+        );
         assert_eq!(c.relaxations(), 2);
     }
 

@@ -25,12 +25,10 @@
 
 use std::sync::Arc;
 
-use serde::Deserialize;
+use serde::{value::Value as Json, DeError, Deserialize};
 
 use esp_query::Engine;
-use esp_types::{
-    EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value,
-};
+use esp_types::{EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value};
 
 use crate::pipeline::{Pipeline, PipelineBuilder, StageCtx};
 use crate::proximity::ProximityGroups;
@@ -43,13 +41,12 @@ use crate::stages::virtualize::{VirtualizeStage, VoteRule};
 use crate::TemporalGranule;
 
 /// A complete ESP deployment described as data.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeploymentSpec {
     /// The application's temporal granule (`"5 sec"`, `"5 min"`, …).
     pub temporal_granule: String,
     /// Optional expanded smoothing window (§5.2.1); defaults to the
     /// granule.
-    #[serde(default)]
     pub smooth_window: Option<String>,
     /// The proximity groups.
     pub groups: Vec<GroupSpec>,
@@ -58,7 +55,7 @@ pub struct DeploymentSpec {
 }
 
 /// One proximity group in a deployment document.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupSpec {
     /// Spatial granule name.
     pub granule: String,
@@ -71,8 +68,7 @@ pub struct GroupSpec {
 /// One stage of the cascade. Scope defaults follow the paper's pipeline
 /// (Point/Smooth per receptor, Merge per group, Arbitrate/Virtualize
 /// global); `declarative` stages choose their scope explicitly.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum StageSpec {
     /// Tuple-level filters.
     Point(PointSpec),
@@ -89,31 +85,27 @@ pub enum StageSpec {
 }
 
 /// Point-stage configuration.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PointSpec {
     /// Numeric range filters: keep `min <= field <= max`.
-    #[serde(default)]
     pub range_filters: Vec<RangeFilterSpec>,
     /// Keep only tuples whose `field` is one of `allowed`.
-    #[serde(default)]
     pub expected_values: Option<ExpectedValuesSpec>,
 }
 
 /// One numeric range filter.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RangeFilterSpec {
     /// Field to test.
     pub field: String,
     /// Lower bound (unbounded if absent).
-    #[serde(default)]
     pub min: Option<f64>,
     /// Upper bound (unbounded if absent).
-    #[serde(default)]
     pub max: Option<f64>,
 }
 
 /// Expected-values filter.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExpectedValuesSpec {
     /// Field to test.
     pub field: String,
@@ -122,70 +114,55 @@ pub struct ExpectedValuesSpec {
 }
 
 /// Smooth-stage configuration.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SmoothSpec {
     /// `count_by_key`, `windowed_mean`, `event_presence`, or `ewma`.
     pub mode: String,
     /// Grouping keys (e.g. `["spatial_granule", "tag_id"]`).
-    #[serde(default)]
     pub keys: Vec<String>,
     /// Value field for `windowed_mean` / `ewma` / `event_presence`.
-    #[serde(default)]
     pub value_field: Option<String>,
     /// `event_presence`: the "on" value (default `"ON"`).
-    #[serde(default)]
     pub on_value: Option<String>,
     /// `event_presence`: events required in the window (default 1).
-    #[serde(default)]
     pub min_events: Option<usize>,
     /// `ewma`: smoothing factor in `[0, 1]`.
-    #[serde(default)]
     pub alpha: Option<f64>,
 }
 
 /// Merge-stage configuration.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MergeSpec {
     /// `outlier_filtered_mean`, `union_all`, `vote_threshold`, or
     /// `windowed_median`.
     pub mode: String,
     /// Value field for the scalar modes.
-    #[serde(default)]
     pub value_field: Option<String>,
     /// `outlier_filtered_mean`: rejection threshold in σ (default 1.0).
-    #[serde(default)]
     pub k: Option<f64>,
     /// `union_all`: optional dedup key.
-    #[serde(default)]
     pub dedup_key: Option<String>,
     /// `vote_threshold`: the "on" value (default `"ON"`).
-    #[serde(default)]
     pub on_value: Option<String>,
     /// `vote_threshold`: device field (default `"receptor_id"`).
-    #[serde(default)]
     pub device_field: Option<String>,
     /// `vote_threshold`: devices required (default 2).
-    #[serde(default)]
     pub min_devices: Option<usize>,
 }
 
 /// Arbitrate-stage configuration.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ArbitrateSpec {
     /// Tie-break policy.
-    #[serde(default)]
     pub tie_break: Option<TieBreakSpec>,
     /// Key field (default `"tag_id"`).
-    #[serde(default)]
     pub key_field: Option<String>,
     /// Count field (default `"count"`).
-    #[serde(default)]
     pub count_field: Option<String>,
 }
 
 /// Tie-break policy in a deployment document.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum TieBreakSpec {
     /// Keep the reading in every tied granule.
     KeepAll,
@@ -194,7 +171,7 @@ pub enum TieBreakSpec {
 }
 
 /// Virtualize-stage configuration.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VirtualizeSpec {
     /// The event emitted on detection.
     pub event: String,
@@ -205,8 +182,7 @@ pub struct VirtualizeSpec {
 }
 
 /// One vote rule.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(rename_all = "snake_case", tag = "kind")]
+#[derive(Debug, Clone)]
 pub enum VoteRuleSpec {
     /// Yes when any tuple's `field` exceeds `threshold`.
     NumericAbove {
@@ -232,15 +208,204 @@ pub enum VoteRuleSpec {
 }
 
 /// A stage written as CQL.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeclarativeSpec {
     /// `per_receptor`, `per_group`, or `global`.
     pub scope: String,
     /// The continuous query (single input stream).
     pub query: String,
     /// Display label (defaults to `"declarative"`).
-    #[serde(default)]
     pub label: Option<String>,
+}
+
+/// Required field lookup for the hand-written `Deserialize` impls below
+/// (the vendored serde has no derive; see `vendor/serde`).
+fn req<T: Deserialize>(v: &Json, key: &str) -> std::result::Result<T, DeError> {
+    match v.get(key) {
+        Some(x) => T::from_value(x).map_err(|e| DeError::msg(format!("{key}: {e}"))),
+        None => Err(DeError::msg(format!("missing field '{key}'"))),
+    }
+}
+
+/// Optional field lookup: absent and `null` both mean `None`.
+fn opt<T: Deserialize>(v: &Json, key: &str) -> std::result::Result<Option<T>, DeError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) if x.is_null() => Ok(None),
+        Some(x) => T::from_value(x)
+            .map(Some)
+            .map_err(|e| DeError::msg(format!("{key}: {e}"))),
+    }
+}
+
+impl Deserialize for DeploymentSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(DeploymentSpec {
+            temporal_granule: req(v, "temporal_granule")?,
+            smooth_window: opt(v, "smooth_window")?,
+            groups: req(v, "groups")?,
+            stages: req(v, "stages")?,
+        })
+    }
+}
+
+impl Deserialize for GroupSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(GroupSpec {
+            granule: req(v, "granule")?,
+            receptor_type: req(v, "receptor_type")?,
+            members: req(v, "members")?,
+        })
+    }
+}
+
+impl Deserialize for StageSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| DeError::msg(format!("stage must be an object, got {}", v.kind())))?;
+        if o.len() != 1 {
+            return Err(DeError::msg("stage object must have exactly one key"));
+        }
+        let (kind, body) = &o[0];
+        Ok(match kind.as_str() {
+            "point" => StageSpec::Point(PointSpec::from_value(body)?),
+            "smooth" => StageSpec::Smooth(SmoothSpec::from_value(body)?),
+            "merge" => StageSpec::Merge(MergeSpec::from_value(body)?),
+            "arbitrate" => StageSpec::Arbitrate(ArbitrateSpec::from_value(body)?),
+            "virtualize" => StageSpec::Virtualize(VirtualizeSpec::from_value(body)?),
+            "declarative" => StageSpec::Declarative(DeclarativeSpec::from_value(body)?),
+            other => return Err(DeError::msg(format!("unknown stage kind '{other}'"))),
+        })
+    }
+}
+
+impl Deserialize for PointSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(PointSpec {
+            range_filters: opt(v, "range_filters")?.unwrap_or_default(),
+            expected_values: opt(v, "expected_values")?,
+        })
+    }
+}
+
+impl Deserialize for RangeFilterSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(RangeFilterSpec {
+            field: req(v, "field")?,
+            min: opt(v, "min")?,
+            max: opt(v, "max")?,
+        })
+    }
+}
+
+impl Deserialize for ExpectedValuesSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(ExpectedValuesSpec {
+            field: req(v, "field")?,
+            allowed: req(v, "allowed")?,
+        })
+    }
+}
+
+impl Deserialize for SmoothSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(SmoothSpec {
+            mode: req(v, "mode")?,
+            keys: opt(v, "keys")?.unwrap_or_default(),
+            value_field: opt(v, "value_field")?,
+            on_value: opt(v, "on_value")?,
+            min_events: opt(v, "min_events")?,
+            alpha: opt(v, "alpha")?,
+        })
+    }
+}
+
+impl Deserialize for MergeSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(MergeSpec {
+            mode: req(v, "mode")?,
+            value_field: opt(v, "value_field")?,
+            k: opt(v, "k")?,
+            dedup_key: opt(v, "dedup_key")?,
+            on_value: opt(v, "on_value")?,
+            device_field: opt(v, "device_field")?,
+            min_devices: opt(v, "min_devices")?,
+        })
+    }
+}
+
+impl Deserialize for ArbitrateSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(ArbitrateSpec {
+            tie_break: opt(v, "tie_break")?,
+            key_field: opt(v, "key_field")?,
+            count_field: opt(v, "count_field")?,
+        })
+    }
+}
+
+impl Deserialize for TieBreakSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        // Unit variant as a bare string, data variant externally tagged.
+        if let Some(s) = v.as_str() {
+            return match s {
+                "keep_all" => Ok(TieBreakSpec::KeepAll),
+                other => Err(DeError::msg(format!("unknown tie_break '{other}'"))),
+            };
+        }
+        let o = v
+            .as_object()
+            .filter(|o| o.len() == 1)
+            .ok_or_else(|| DeError::msg("tie_break must be a string or one-key object"))?;
+        let (kind, body) = &o[0];
+        match kind.as_str() {
+            "keep_all" => Ok(TieBreakSpec::KeepAll),
+            "priority" => Ok(TieBreakSpec::Priority(Vec::<String>::from_value(body)?)),
+            other => Err(DeError::msg(format!("unknown tie_break '{other}'"))),
+        }
+    }
+}
+
+impl Deserialize for VirtualizeSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(VirtualizeSpec {
+            event: req(v, "event")?,
+            threshold: req(v, "threshold")?,
+            rules: req(v, "rules")?,
+        })
+    }
+}
+
+impl Deserialize for VoteRuleSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        let kind: String = req(v, "kind")?;
+        Ok(match kind.as_str() {
+            "numeric_above" => VoteRuleSpec::NumericAbove {
+                field: req(v, "field")?,
+                threshold: req(v, "threshold")?,
+            },
+            "value_equals" => VoteRuleSpec::ValueEquals {
+                field: req(v, "field")?,
+                value: req(v, "value")?,
+            },
+            "min_tuples_with" => VoteRuleSpec::MinTuplesWith {
+                field: req(v, "field")?,
+                n: req(v, "n")?,
+            },
+            other => return Err(DeError::msg(format!("unknown vote rule kind '{other}'"))),
+        })
+    }
+}
+
+impl Deserialize for DeclarativeSpec {
+    fn from_value(v: &Json) -> std::result::Result<Self, DeError> {
+        Ok(DeclarativeSpec {
+            scope: req(v, "scope")?,
+            query: req(v, "query")?,
+            label: opt(v, "label")?,
+        })
+    }
 }
 
 impl DeploymentSpec {
@@ -290,9 +455,7 @@ fn parse_receptor_type(s: &str) -> Result<ReceptorType> {
         "rfid" => ReceptorType::Rfid,
         "mote" => ReceptorType::Mote,
         "x10-motion" | "x10" => ReceptorType::X10Motion,
-        other => {
-            return Err(EspError::Config(format!("unknown receptor type '{other}'")))
-        }
+        other => return Err(EspError::Config(format!("unknown receptor type '{other}'"))),
     })
 }
 
@@ -321,8 +484,7 @@ fn add_stage(
             // Validate the mode eagerly so configuration errors surface at
             // deploy time, not first-epoch time.
             build_smooth(&s, granule)?;
-            builder
-                .per_receptor("smooth", move |_ctx: &StageCtx| build_smooth(&s, granule))
+            builder.per_receptor("smooth", move |_ctx: &StageCtx| build_smooth(&s, granule))
         }
         StageSpec::Merge(m) => {
             let m = m.clone();
@@ -343,9 +505,9 @@ fn add_stage(
             builder.global("arbitrate", move |_ctx: &StageCtx| {
                 let tie = match &a.tie_break {
                     None | Some(TieBreakSpec::KeepAll) => TieBreak::KeepAll,
-                    Some(TieBreakSpec::Priority(names)) => TieBreak::Priority(
-                        names.iter().map(|n| Arc::from(n.as_str())).collect(),
-                    ),
+                    Some(TieBreakSpec::Priority(names)) => {
+                        TieBreak::Priority(names.iter().map(|n| Arc::from(n.as_str())).collect())
+                    }
                 };
                 let mut stage = ArbitrateStage::new("arbitrate", tie);
                 if a.key_field.is_some() || a.count_field.is_some() {
@@ -378,9 +540,7 @@ fn add_stage(
                 "per_receptor" => builder.per_receptor("declarative", factory),
                 "per_group" => builder.per_group("declarative", factory),
                 "global" => builder.global("declarative", factory),
-                other => {
-                    return Err(EspError::Config(format!("unknown stage scope '{other}'")))
-                }
+                other => return Err(EspError::Config(format!("unknown stage scope '{other}'"))),
             }
         }
     })
@@ -393,9 +553,11 @@ fn build_smooth(s: &SmoothSpec, granule: TemporalGranule) -> Result<Box<dyn Stag
             .ok_or_else(|| EspError::Config(format!("smooth mode '{}' needs value_field", s.mode)))
     };
     Ok(match s.mode.as_str() {
-        "count_by_key" => {
-            Box::new(SmoothStage::count_by_key("smooth", granule, s.keys.iter().cloned()))
-        }
+        "count_by_key" => Box::new(SmoothStage::count_by_key(
+            "smooth",
+            granule,
+            s.keys.iter().cloned(),
+        )),
         "windowed_mean" => Box::new(SmoothStage::windowed_mean(
             "smooth",
             granule,
@@ -421,13 +583,11 @@ fn build_smooth(s: &SmoothSpec, granule: TemporalGranule) -> Result<Box<dyn Stag
     })
 }
 
-fn build_merge(
-    m: &MergeSpec,
-    granule: TemporalGranule,
-    ctx: &StageCtx,
-) -> Result<Box<dyn Stage>> {
-    let spatial =
-        ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("unknown"));
+fn build_merge(m: &MergeSpec, granule: TemporalGranule, ctx: &StageCtx) -> Result<Box<dyn Stage>> {
+    let spatial = ctx
+        .granule
+        .clone()
+        .unwrap_or_else(|| SpatialGranule::new("unknown"));
     let value_field = || {
         m.value_field
             .clone()
@@ -448,7 +608,9 @@ fn build_merge(
             granule,
             value_field()?,
             Value::str(m.on_value.as_deref().unwrap_or("ON")),
-            m.device_field.clone().unwrap_or_else(|| "receptor_id".into()),
+            m.device_field
+                .clone()
+                .unwrap_or_else(|| "receptor_id".into()),
             m.min_devices.unwrap_or(2),
         )),
         "windowed_median" => Box::new(MergeStage::windowed_median(
@@ -536,8 +698,7 @@ mod tests {
                 ],
             )],
         );
-        let r1 =
-            ScriptedSource::new("r1", vec![(Ts::ZERO, vec![sighting(Ts::ZERO, 1, "x")])]);
+        let r1 = ScriptedSource::new("r1", vec![(Ts::ZERO, vec![sighting(Ts::ZERO, 1, "x")])]);
         let proc = EspProcessor::build(
             groups,
             &pipeline,
@@ -615,7 +776,10 @@ mod tests {
             "groups": [{ "granule": "g", "receptor_type": "lidar", "members": [0] }],
             "stages": []
         }"#;
-        assert!(DeploymentSpec::from_json(doc).unwrap().build_groups().is_err());
+        assert!(DeploymentSpec::from_json(doc)
+            .unwrap()
+            .build_groups()
+            .is_err());
         // Bad granule text.
         let doc = r#"{
             "temporal_granule": "sideways",
@@ -662,7 +826,10 @@ mod tests {
                 ReceptorType::Mote,
                 Box::new(ScriptedSource::new(
                     "m",
-                    vec![(Ts::ZERO, vec![mote(10, 700.0), mote(10, 710.0), mote(10, 400.0)])],
+                    vec![(
+                        Ts::ZERO,
+                        vec![mote(10, 700.0), mote(10, 710.0), mote(10, 400.0)],
+                    )],
                 )),
             )],
         )
@@ -670,6 +837,9 @@ mod tests {
         let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 1).unwrap();
         // median(400,700,710) = 700 > 525 → event fires.
         assert_eq!(out.trace[0].1.len(), 1);
-        assert_eq!(out.trace[0].1[0].get("event"), Some(&Value::str("Person-in-room")));
+        assert_eq!(
+            out.trace[0].1[0].get("event"),
+            Some(&Value::str("Person-in-room"))
+        );
     }
 }

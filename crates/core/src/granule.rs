@@ -21,7 +21,10 @@ impl TemporalGranule {
     /// A granule whose smoothing window equals the granule itself (the
     /// common case; the paper's RFID deployment used 5 s for both).
     pub fn new(granule: TimeDelta) -> TemporalGranule {
-        TemporalGranule { granule, window: granule }
+        TemporalGranule {
+            granule,
+            window: granule,
+        }
     }
 
     /// A granule with an explicitly expanded smoothing window.
@@ -93,22 +96,16 @@ mod tests {
         let g = TemporalGranule::with_window(TimeDelta::from_mins(5), TimeDelta::from_mins(30))
             .unwrap();
         assert!(g.is_expanded());
-        assert!(TemporalGranule::with_window(
-            TimeDelta::from_mins(5),
-            TimeDelta::from_mins(1)
-        )
-        .is_err());
+        assert!(
+            TemporalGranule::with_window(TimeDelta::from_mins(5), TimeDelta::from_mins(1)).is_err()
+        );
     }
 
     #[test]
     fn expanded_for_redwood_parameters() {
         // 5-minute samples, want ≥6 samples to ride out bursts → 30 min.
-        let g = TemporalGranule::expanded_for(
-            TimeDelta::from_mins(5),
-            TimeDelta::from_mins(5),
-            6,
-        )
-        .unwrap();
+        let g = TemporalGranule::expanded_for(TimeDelta::from_mins(5), TimeDelta::from_mins(5), 6)
+            .unwrap();
         assert_eq!(g.window(), TimeDelta::from_mins(30));
         assert_eq!(g.granule(), TimeDelta::from_mins(5));
     }
@@ -116,22 +113,16 @@ mod tests {
     #[test]
     fn expansion_never_shrinks_below_granule() {
         // Fast sampler: 5 samples fit easily inside the granule.
-        let g = TemporalGranule::expanded_for(
-            TimeDelta::from_secs(5),
-            TimeDelta::from_millis(200),
-            5,
-        )
-        .unwrap();
+        let g =
+            TemporalGranule::expanded_for(TimeDelta::from_secs(5), TimeDelta::from_millis(200), 5)
+                .unwrap();
         assert_eq!(g.window(), TimeDelta::from_secs(5));
     }
 
     #[test]
     fn zero_sample_period_rejected() {
-        assert!(TemporalGranule::expanded_for(
-            TimeDelta::from_secs(5),
-            TimeDelta::ZERO,
-            5
-        )
-        .is_err());
+        assert!(
+            TemporalGranule::expanded_for(TimeDelta::from_secs(5), TimeDelta::ZERO, 5).is_err()
+        );
     }
 }

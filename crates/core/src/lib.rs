@@ -86,10 +86,10 @@ pub use granule::TemporalGranule;
 pub use pipeline::{Pipeline, PipelineBuilder, Scope, StageCtx};
 pub use processor::{EspProcessor, ReceptorBinding, RunOutput};
 pub use proximity::ProximityGroups;
-pub use stage::{DeclarativeStage, FnStage, Stage, StageOperator};
+pub use stage::{DeclarativeStage, FnStage, Stage, StageOperator, TupleMapFn};
 pub use stages::arbitrate::{ArbitrateStage, TieBreak};
 pub use stages::merge::MergeStage;
 pub use stages::model::{ModelAction, ModelStage};
 pub use stages::point::PointStage;
 pub use stages::smooth::SmoothStage;
-pub use stages::virtualize::{VirtualizeStage, VoteRule};
+pub use stages::virtualize::{VirtualizeStage, VoteFn, VoteRule};

@@ -60,8 +60,11 @@ pub struct Pipeline {
 
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let labels: Vec<(&str, Scope)> =
-            self.slots.iter().map(|s| (s.label.as_str(), s.scope)).collect();
+        let labels: Vec<(&str, Scope)> = self
+            .slots
+            .iter()
+            .map(|s| (s.label.as_str(), s.scope))
+            .collect();
         f.debug_struct("Pipeline").field("slots", &labels).finish()
     }
 }

@@ -21,11 +21,11 @@ use parking_lot::RwLock;
 
 use esp_stream::ops::{MapOp, UnionOp};
 use esp_stream::{Dataflow, EpochRunner, NodeId, Source, TapId};
+use esp_types::{well_known, DataType};
 use esp_types::{
     Batch, EspError, Field, ProximityGroupId, ReceptorId, ReceptorType, Result, Schema,
     SpatialGranule, TimeDelta, Ts, Tuple, Value,
 };
-use esp_types::{well_known, DataType};
 
 use crate::pipeline::{Pipeline, Scope, StageCtx};
 use crate::proximity::ProximityGroups;
@@ -50,7 +50,11 @@ impl ReceptorBinding {
         receptor_type: ReceptorType,
         source: Box<dyn Source>,
     ) -> ReceptorBinding {
-        ReceptorBinding { id, receptor_type, source }
+        ReceptorBinding {
+            id,
+            receptor_type,
+            source,
+        }
     }
 }
 
@@ -64,7 +68,10 @@ pub struct RunOutput {
 impl RunOutput {
     /// Flatten the trace into a single batch (losing epoch boundaries).
     pub fn flattened(&self) -> Batch {
-        self.trace.iter().flat_map(|(_, b)| b.iter().cloned()).collect()
+        self.trace
+            .iter()
+            .flat_map(|(_, b)| b.iter().cloned())
+            .collect()
     }
 }
 
@@ -101,7 +108,11 @@ impl EspProcessor {
         receptors: Vec<ReceptorBinding>,
     ) -> Result<EspProcessor> {
         let (df, tap, groups) = Self::build_dataflow(groups, pipeline, receptors)?;
-        Ok(EspProcessor { runner: EpochRunner::new(df), tap, groups })
+        Ok(EspProcessor {
+            runner: EpochRunner::new(df),
+            tap,
+            groups,
+        })
     }
 
     /// Build the pipeline and execute it on the multi-threaded runner
@@ -119,7 +130,9 @@ impl EspProcessor {
     ) -> Result<RunOutput> {
         let (df, tap, _groups) = Self::build_dataflow(groups, pipeline, receptors)?;
         let mut traces = esp_stream::ThreadedRunner::run(df, start, period, n_epochs)?;
-        Ok(RunOutput { trace: std::mem::take(&mut traces[tap.index()]) })
+        Ok(RunOutput {
+            trace: std::mem::take(&mut traces[tap.index()]),
+        })
     }
 
     fn build_dataflow(
@@ -145,8 +158,7 @@ impl EspProcessor {
             let src = df.add_source(binding.source);
             for group in memberships {
                 let granule = groups.read().granule(group)?.clone();
-                let inject =
-                    granule_injector(Arc::clone(&groups), receptor, group);
+                let inject = granule_injector(Arc::clone(&groups), receptor, group);
                 let node = df.add_operator(
                     Box::new(MapOp::new(format!("inject:{granule}"), inject)),
                     &[src],
@@ -174,8 +186,7 @@ impl EspProcessor {
                             granule: s.granule.clone(),
                         };
                         let stage = (slot.factory)(&ctx)?;
-                        s.node = df
-                            .add_operator(Box::new(StageOperator::new(stage)), &[s.node])?;
+                        s.node = df.add_operator(Box::new(StageOperator::new(stage)), &[s.node])?;
                     }
                 }
                 Scope::PerGroup => {
@@ -190,15 +201,12 @@ impl EspProcessor {
                     for group in group_order {
                         let members: Vec<&StreamHandle> =
                             streams.iter().filter(|s| s.group == group).collect();
-                        let granule = members
-                            .iter()
-                            .find_map(|s| s.granule.clone());
+                        let granule = members.iter().find_map(|s| s.granule.clone());
                         let rtype = members.iter().find_map(|s| s.receptor_type);
                         let input = if members.len() == 1 {
                             members[0].node
                         } else {
-                            let nodes: Vec<NodeId> =
-                                members.iter().map(|s| s.node).collect();
+                            let nodes: Vec<NodeId> = members.iter().map(|s| s.node).collect();
                             df.add_operator(Box::new(UnionOp::new(nodes.len())), &nodes)?
                         };
                         let ctx = StageCtx {
@@ -236,8 +244,7 @@ impl EspProcessor {
                         granule: None,
                     };
                     let stage = (slot.factory)(&ctx)?;
-                    let node =
-                        df.add_operator(Box::new(StageOperator::new(stage)), &[input])?;
+                    let node = df.add_operator(Box::new(StageOperator::new(stage)), &[input])?;
                     streams = vec![StreamHandle {
                         node,
                         receptor: None,
@@ -273,14 +280,11 @@ impl EspProcessor {
 
     /// Run `n_epochs` epochs from `start`, spaced `period` apart, and
     /// return the cleaned output trace.
-    pub fn run(
-        mut self,
-        start: Ts,
-        period: TimeDelta,
-        n_epochs: u64,
-    ) -> Result<RunOutput> {
+    pub fn run(mut self, start: Ts, period: TimeDelta, n_epochs: u64) -> Result<RunOutput> {
         self.runner.run(start, period, n_epochs)?;
-        Ok(RunOutput { trace: self.runner.take_tap(self.tap) })
+        Ok(RunOutput {
+            trace: self.runner.take_tap(self.tap),
+        })
     }
 
     /// Drain the output collected so far (for step-driven use).
@@ -368,8 +372,16 @@ mod tests {
             two_shelf_groups(),
             &Pipeline::raw(),
             vec![
-                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
-                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+                ReceptorBinding::new(
+                    ReceptorId(0),
+                    ReceptorType::Rfid,
+                    one_reading_source(0, "a"),
+                ),
+                ReceptorBinding::new(
+                    ReceptorId(1),
+                    ReceptorType::Rfid,
+                    one_reading_source(1, "b"),
+                ),
             ],
         )
         .unwrap();
@@ -416,8 +428,16 @@ mod tests {
             two_shelf_groups(),
             &pipeline,
             vec![
-                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
-                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+                ReceptorBinding::new(
+                    ReceptorId(0),
+                    ReceptorType::Rfid,
+                    one_reading_source(0, "a"),
+                ),
+                ReceptorBinding::new(
+                    ReceptorId(1),
+                    ReceptorType::Rfid,
+                    one_reading_source(1, "b"),
+                ),
             ],
         )
         .unwrap();
@@ -435,10 +455,7 @@ mod tests {
         let pipeline = Pipeline::builder()
             .per_group("count", |_| {
                 Ok(Box::new(FnStage::per_epoch("count", |epoch, input| {
-                    let schema = Schema::builder()
-                        .field("n", DataType::Int)
-                        .build()
-                        .unwrap();
+                    let schema = Schema::builder().field("n", DataType::Int).build().unwrap();
                     Ok(vec![Tuple::new_unchecked(
                         schema,
                         epoch,
@@ -451,8 +468,16 @@ mod tests {
             pg,
             &pipeline,
             vec![
-                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
-                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+                ReceptorBinding::new(
+                    ReceptorId(0),
+                    ReceptorType::Rfid,
+                    one_reading_source(0, "a"),
+                ),
+                ReceptorBinding::new(
+                    ReceptorId(1),
+                    ReceptorType::Rfid,
+                    one_reading_source(1, "b"),
+                ),
             ],
         )
         .unwrap();
@@ -480,14 +505,21 @@ mod tests {
                     ReceptorType::Rfid,
                     Box::new(ScriptedSource::new("r0", script)),
                 ),
-                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+                ReceptorBinding::new(
+                    ReceptorId(1),
+                    ReceptorType::Rfid,
+                    one_reading_source(1, "b"),
+                ),
             ],
         )
         .unwrap();
         proc.step(Ts::ZERO).unwrap();
         proc.step(Ts::from_secs(1)).unwrap();
         // Receptor 0 leaves its group: its branch goes silent.
-        proc.groups().write().remove_member(g0, ReceptorId(0)).unwrap();
+        proc.groups()
+            .write()
+            .remove_member(g0, ReceptorId(0))
+            .unwrap();
         proc.step(Ts::from_secs(2)).unwrap();
         proc.step(Ts::from_secs(3)).unwrap();
         let trace = proc.take_output();
@@ -508,8 +540,7 @@ mod tests {
             .global("merge-all", |ctx| {
                 assert_eq!(ctx.scope, Scope::Global);
                 Ok(Box::new(FnStage::per_epoch("merge-all", |epoch, input| {
-                    let schema =
-                        Schema::builder().field("n", DataType::Int).build().unwrap();
+                    let schema = Schema::builder().field("n", DataType::Int).build().unwrap();
                     Ok(vec![Tuple::new_unchecked(
                         schema,
                         epoch,
@@ -522,8 +553,16 @@ mod tests {
             two_shelf_groups(),
             &pipeline,
             vec![
-                ReceptorBinding::new(ReceptorId(0), ReceptorType::Rfid, one_reading_source(0, "a")),
-                ReceptorBinding::new(ReceptorId(1), ReceptorType::Rfid, one_reading_source(1, "b")),
+                ReceptorBinding::new(
+                    ReceptorId(0),
+                    ReceptorType::Rfid,
+                    one_reading_source(0, "a"),
+                ),
+                ReceptorBinding::new(
+                    ReceptorId(1),
+                    ReceptorType::Rfid,
+                    one_reading_source(1, "b"),
+                ),
             ],
         )
         .unwrap();

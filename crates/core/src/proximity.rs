@@ -8,9 +8,7 @@
 
 use std::collections::BTreeSet;
 
-use esp_types::{
-    EspError, ProximityGroupId, ReceptorId, ReceptorType, Result, SpatialGranule,
-};
+use esp_types::{EspError, ProximityGroupId, ReceptorId, ReceptorType, Result, SpatialGranule};
 
 /// One registered proximity group.
 #[derive(Debug, Clone)]
@@ -93,17 +91,15 @@ impl ProximityGroups {
 
     /// Remove a device from a group (dynamic remapping; e.g. a mote died or
     /// was physically relocated).
-    pub fn remove_member(
-        &mut self,
-        group: ProximityGroupId,
-        receptor: ReceptorId,
-    ) -> Result<()> {
+    pub fn remove_member(&mut self, group: ProximityGroupId, receptor: ReceptorId) -> Result<()> {
         let g = self
             .groups
             .get_mut(group.0 as usize)
             .ok_or_else(|| EspError::Config(format!("unknown proximity group {group}")))?;
         if !g.members.remove(&receptor) {
-            return Err(EspError::Config(format!("{receptor} is not a member of {group}")));
+            return Err(EspError::Config(format!(
+                "{receptor} is not a member of {group}"
+            )));
         }
         Ok(())
     }

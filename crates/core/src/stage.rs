@@ -43,7 +43,11 @@ impl DeclarativeStage {
             )));
         };
         let stream = stream.clone();
-        Ok(DeclarativeStage { name: name.into(), stream, query })
+        Ok(DeclarativeStage {
+            name: name.into(),
+            stream,
+            query,
+        })
     }
 }
 
@@ -60,6 +64,10 @@ impl Stage for DeclarativeStage {
     }
 }
 
+/// A boxed per-tuple transform: maps a tuple to a replacement (`None`
+/// drops it). Shared by [`FnStage::per_tuple`] and `PointOp::Map`.
+pub type TupleMapFn = Box<dyn FnMut(&Tuple) -> Result<Option<Tuple>> + Send>;
+
 /// A stage defined by user code: either a per-tuple function or a
 /// per-epoch function.
 pub struct FnStage {
@@ -68,7 +76,7 @@ pub struct FnStage {
 }
 
 enum FnKind {
-    PerTuple(Box<dyn FnMut(&Tuple) -> Result<Option<Tuple>> + Send>),
+    PerTuple(TupleMapFn),
     PerEpoch(Box<dyn FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send>),
 }
 
@@ -78,7 +86,10 @@ impl FnStage {
         name: impl Into<String>,
         f: impl FnMut(&Tuple) -> Result<Option<Tuple>> + Send + 'static,
     ) -> FnStage {
-        FnStage { name: name.into(), kind: FnKind::PerTuple(Box::new(f)) }
+        FnStage {
+            name: name.into(),
+            kind: FnKind::PerTuple(Box::new(f)),
+        }
     }
 
     /// A stage that sees the whole epoch at once.
@@ -86,7 +97,10 @@ impl FnStage {
         name: impl Into<String>,
         f: impl FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send + 'static,
     ) -> FnStage {
-        FnStage { name: name.into(), kind: FnKind::PerEpoch(Box::new(f)) }
+        FnStage {
+            name: name.into(),
+            kind: FnKind::PerEpoch(Box::new(f)),
+        }
     }
 }
 
@@ -121,7 +135,10 @@ pub struct StageOperator {
 impl StageOperator {
     /// Wrap a stage.
     pub fn new(stage: Box<dyn Stage>) -> StageOperator {
-        StageOperator { stage, buf: Batch::new() }
+        StageOperator {
+            stage,
+            buf: Batch::new(),
+        }
     }
 }
 
@@ -160,9 +177,7 @@ mod tests {
     fn declarative_stage_runs_paper_query_2() {
         let engine = Engine::new();
         let q = engine
-            .compile(
-                "SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id",
-            )
+            .compile("SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id")
             .unwrap();
         let mut stage = DeclarativeStage::new("smooth", q).unwrap();
         let out = stage.process(Ts::ZERO, vec![rfid(Ts::ZERO, "a")]).unwrap();
@@ -202,10 +217,17 @@ mod tests {
                 .field("n", esp_types::DataType::Int)
                 .build()
                 .unwrap();
-            Ok(vec![Tuple::new(schema, epoch, vec![Value::Int(input.len() as i64)])?])
+            Ok(vec![Tuple::new(
+                schema,
+                epoch,
+                vec![Value::Int(input.len() as i64)],
+            )?])
         });
         let out = stage
-            .process(Ts::from_secs(1), vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")])
+            .process(
+                Ts::from_secs(1),
+                vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")],
+            )
             .unwrap();
         assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
     }

@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use esp_types::{
-    Batch, DataType, Field, Result, Schema, Ts, Tuple, Value, ValueKey,
-};
+use esp_types::{Batch, DataType, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
 
 use crate::stage::Stage;
 
@@ -119,7 +117,10 @@ impl Stage for ArbitrateStage {
             let k = key_value.group_key();
             let entry = per_key.entry(k.clone()).or_insert_with(|| {
                 order.push(k);
-                PerKey { key_value, granules: Vec::new() }
+                PerKey {
+                    key_value,
+                    granules: Vec::new(),
+                }
             });
             match entry
                 .granules
@@ -185,7 +186,13 @@ mod tests {
     fn granules_for(out: &Batch, tag: &str) -> Vec<String> {
         out.iter()
             .filter(|t| t.get("tag_id") == Some(&Value::str(tag)))
-            .map(|t| t.get("spatial_granule").unwrap().as_str().unwrap().to_string())
+            .map(|t| {
+                t.get("spatial_granule")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
             .collect()
     }
 
@@ -275,7 +282,10 @@ mod tests {
 
     #[test]
     fn missing_spatial_granule_errors() {
-        let schema = Schema::builder().field("tag_id", DataType::Str).build().unwrap();
+        let schema = Schema::builder()
+            .field("tag_id", DataType::Str)
+            .build()
+            .unwrap();
         let t = TupleBuilder::new(&schema, Ts::ZERO)
             .set("tag_id", "x")
             .unwrap()

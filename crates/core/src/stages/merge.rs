@@ -69,7 +69,10 @@ impl MergeStage {
             name: name.into(),
             granule,
             window: WindowBuffer::new(temporal.into().window()),
-            mode: MergeMode::OutlierFilteredMean { value_field: value_field.into(), k },
+            mode: MergeMode::OutlierFilteredMean {
+                value_field: value_field.into(),
+                k,
+            },
             out_schema: None,
             outliers_dropped: 0,
         }
@@ -133,7 +136,9 @@ impl MergeStage {
             name: name.into(),
             granule,
             window: WindowBuffer::new(temporal.into().window()),
-            mode: MergeMode::WindowedMedian { value_field: value_field.into() },
+            mode: MergeMode::WindowedMedian {
+                value_field: value_field.into(),
+            },
             out_schema: None,
             outliers_dropped: 0,
         }
@@ -199,7 +204,11 @@ impl Stage for MergeStage {
             MergeMode::OutlierFilteredMean { value_field, k } => {
                 let (value_field, k) = (value_field.clone(), *k);
                 for t in input {
-                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    let t = if t.ts() == epoch {
+                        t
+                    } else {
+                        t.restamped(epoch)
+                    };
                     self.window.push(t);
                 }
                 self.window.advance_to(epoch);
@@ -215,8 +224,11 @@ impl Stage for MergeStage {
                 };
                 // k = ∞ disables rejection entirely (plain windowed mean),
                 // including when stdev is 0 (0·∞ would be NaN).
-                let band =
-                    if k.is_infinite() { f64::INFINITY } else { all.stdev().unwrap_or(0.0) * k };
+                let band = if k.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    all.stdev().unwrap_or(0.0) * k
+                };
                 // Second pass: mean over inliers only (the paper's Query 5).
                 let mut inliers = RunningStats::new();
                 let mut dropped = 0;
@@ -245,7 +257,11 @@ impl Stage for MergeStage {
             MergeMode::WindowedMedian { value_field } => {
                 let value_field = value_field.clone();
                 for t in input {
-                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    let t = if t.ts() == epoch {
+                        t
+                    } else {
+                        t.restamped(epoch)
+                    };
                     self.window.push(t);
                 }
                 self.window.advance_to(epoch);
@@ -270,7 +286,12 @@ impl Stage for MergeStage {
                     vec![self.granule_value(), Value::Float(median)],
                 )])
             }
-            MergeMode::VoteThreshold { value_field, on_value, device_field, min_devices } => {
+            MergeMode::VoteThreshold {
+                value_field,
+                on_value,
+                device_field,
+                min_devices,
+            } => {
                 let (value_field, on_value, device_field, min_devices) = (
                     value_field.clone(),
                     on_value.clone(),
@@ -278,7 +299,11 @@ impl Stage for MergeStage {
                     *min_devices,
                 );
                 for t in input {
-                    let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+                    let t = if t.ts() == epoch {
+                        t
+                    } else {
+                        t.restamped(epoch)
+                    };
                     self.window.push(t);
                 }
                 self.window.advance_to(epoch);
@@ -346,7 +371,11 @@ mod tests {
         let out = m
             .process(
                 Ts::ZERO,
-                vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 21.0), temp(Ts::ZERO, 3, 104.0)],
+                vec![
+                    temp(Ts::ZERO, 1, 20.0),
+                    temp(Ts::ZERO, 2, 21.0),
+                    temp(Ts::ZERO, 3, 104.0),
+                ],
             )
             .unwrap();
         assert_eq!(out.len(), 1);
@@ -366,7 +395,10 @@ mod tests {
             1.0,
         );
         let out = m
-            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 22.0)])
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 22.0)],
+            )
             .unwrap();
         let v = out[0].get("temp").unwrap().as_f64().unwrap();
         assert!((v - 21.0).abs() < 1e-9);
@@ -422,7 +454,10 @@ mod tests {
         );
         // Two reports from the SAME device: not enough.
         let out = m
-            .process(Ts::ZERO, vec![motion(Ts::ZERO, 1, "ON"), motion(Ts::ZERO, 1, "ON")])
+            .process(
+                Ts::ZERO,
+                vec![motion(Ts::ZERO, 1, "ON"), motion(Ts::ZERO, 1, "ON")],
+            )
             .unwrap();
         assert!(out.is_empty());
         // A second device inside the window tips the vote.
@@ -435,16 +470,15 @@ mod tests {
 
     #[test]
     fn median_shrugs_off_a_fail_dirty_device() {
-        let mut m = MergeStage::windowed_median(
-            "merge",
-            room(),
-            TimeDelta::from_mins(5),
-            "temp",
-        );
+        let mut m = MergeStage::windowed_median("merge", room(), TimeDelta::from_mins(5), "temp");
         let out = m
             .process(
                 Ts::ZERO,
-                vec![temp(Ts::ZERO, 1, 20.0), temp(Ts::ZERO, 2, 21.0), temp(Ts::ZERO, 3, 104.0)],
+                vec![
+                    temp(Ts::ZERO, 1, 20.0),
+                    temp(Ts::ZERO, 2, 21.0),
+                    temp(Ts::ZERO, 3, 104.0),
+                ],
             )
             .unwrap();
         assert_eq!(out[0].get("temp"), Some(&Value::Float(21.0)));
@@ -453,14 +487,12 @@ mod tests {
 
     #[test]
     fn median_of_even_count_averages_middle_pair() {
-        let mut m = MergeStage::windowed_median(
-            "merge",
-            room(),
-            TimeDelta::from_mins(5),
-            "temp",
-        );
+        let mut m = MergeStage::windowed_median("merge", room(), TimeDelta::from_mins(5), "temp");
         let out = m
-            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 10.0), temp(Ts::ZERO, 2, 20.0)])
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 10.0), temp(Ts::ZERO, 2, 20.0)],
+            )
             .unwrap();
         assert_eq!(out[0].get("temp"), Some(&Value::Float(15.0)));
         // Empty window → silence.
@@ -479,7 +511,10 @@ mod tests {
             0.5,
         );
         let out = m
-            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 0.0), temp(Ts::ZERO, 2, 100.0)])
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 0.0), temp(Ts::ZERO, 2, 100.0)],
+            )
             .unwrap();
         assert!(out.is_empty());
         assert_eq!(m.outliers_dropped(), 2);

@@ -120,7 +120,9 @@ impl ModelStage {
             return Err(EspError::Config("model threshold must be positive".into()));
         }
         if min_samples < 2 {
-            return Err(EspError::Config("model warm-up needs at least 2 samples".into()));
+            return Err(EspError::Config(
+                "model warm-up needs at least 2 samples".into(),
+            ));
         }
         Ok(ModelStage {
             name: name.into(),
@@ -250,8 +252,12 @@ mod tests {
         let mut s = stage(ModelAction::Drop);
         for i in 0..50 {
             let temp = 18.0 + (i % 7) as f64;
-            let batch =
-                s.process(Ts::from_secs(i), vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))]).unwrap();
+            let batch = s
+                .process(
+                    Ts::from_secs(i),
+                    vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))],
+                )
+                .unwrap();
             assert_eq!(batch.len(), 1, "healthy reading {i} must pass");
         }
         assert_eq!(s.flagged(), 0);
@@ -263,8 +269,11 @@ mod tests {
         // Warm up on a healthy sensor.
         for i in 0..30u64 {
             let temp = 18.0 + (i % 7) as f64;
-            s.process(Ts::from_secs(i), vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))])
-                .unwrap();
+            s.process(
+                Ts::from_secs(i),
+                vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))],
+            )
+            .unwrap();
         }
         // Sensor fails: temperature drifts up, voltage keeps tracking the
         // true ~20 °C environment.
@@ -274,12 +283,20 @@ mod tests {
             let out = s
                 .process(
                     Ts::from_secs(100 + i),
-                    vec![reading(Ts::from_secs(100 + i), 1, reported, volts_for(20.0))],
+                    vec![reading(
+                        Ts::from_secs(100 + i),
+                        1,
+                        reported,
+                        volts_for(20.0),
+                    )],
                 )
                 .unwrap();
             dropped += usize::from(out.is_empty());
         }
-        assert!(dropped >= 18, "almost all fail-dirty readings dropped, got {dropped}");
+        assert!(
+            dropped >= 18,
+            "almost all fail-dirty readings dropped, got {dropped}"
+        );
         assert!(s.flagged() >= 18);
     }
 
@@ -288,12 +305,18 @@ mod tests {
         let mut s = stage(ModelAction::Correct);
         for i in 0..30u64 {
             let temp = 15.0 + (i % 10) as f64;
-            s.process(Ts::from_secs(i), vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))])
-                .unwrap();
+            s.process(
+                Ts::from_secs(i),
+                vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))],
+            )
+            .unwrap();
         }
         // A wild reading with a healthy voltage for 20 °C.
         let out = s
-            .process(Ts::from_secs(99), vec![reading(Ts::from_secs(99), 1, 120.0, volts_for(20.0))])
+            .process(
+                Ts::from_secs(99),
+                vec![reading(Ts::from_secs(99), 1, 120.0, volts_for(20.0))],
+            )
             .unwrap();
         assert_eq!(out.len(), 1, "corrected, not dropped");
         let corrected = out[0].get("temp").unwrap().as_f64().unwrap();
@@ -325,7 +348,10 @@ mod tests {
         // A device-2 reading judged by device-1's model would pass; by its
         // own model it fails.
         let out = s
-            .process(Ts::from_secs(99), vec![reading(Ts::from_secs(99), 2, 50.0, 3.0 - 0.02 * 12.0)])
+            .process(
+                Ts::from_secs(99),
+                vec![reading(Ts::from_secs(99), 2, 50.0, 3.0 - 0.02 * 12.0)],
+            )
             .unwrap();
         assert!(out.is_empty(), "inconsistent with device 2's own model");
     }
@@ -335,8 +361,11 @@ mod tests {
         let mut s = stage(ModelAction::Drop);
         for i in 0..30u64 {
             let temp = 18.0 + (i % 7) as f64;
-            s.process(Ts::from_secs(i), vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))])
-                .unwrap();
+            s.process(
+                Ts::from_secs(i),
+                vec![reading(Ts::from_secs(i), 1, temp, volts_for(temp))],
+            )
+            .unwrap();
         }
         // A long run of fail-dirty readings…
         for i in 0..100u64 {
@@ -348,7 +377,10 @@ mod tests {
         }
         // …after which a healthy reading still passes (model not dragged).
         let out = s
-            .process(Ts::from_secs(999), vec![reading(Ts::from_secs(999), 1, 21.0, volts_for(21.0))])
+            .process(
+                Ts::from_secs(999),
+                vec![reading(Ts::from_secs(999), 1, 21.0, volts_for(21.0))],
+            )
             .unwrap();
         assert_eq!(out.len(), 1, "healthy reading accepted after failure run");
     }

@@ -11,18 +11,25 @@ use std::sync::Arc;
 
 use esp_types::{Batch, Result, Ts, Tuple, Value};
 
-use crate::stage::Stage;
+use crate::stage::{Stage, TupleMapFn};
 
 enum PointOp {
     /// Keep tuples whose `field` lies inside `[min, max]` (missing bound =
     /// unbounded). Non-numeric and NULL values are dropped.
-    RangeFilter { field: String, min: Option<f64>, max: Option<f64> },
+    RangeFilter {
+        field: String,
+        min: Option<f64>,
+        max: Option<f64>,
+    },
     /// Keep tuples whose `field` is one of the allowed values — the
     /// digital-home "join with a static relation containing expected tag
     /// IDs" (paper §6.1).
-    ExpectedValues { field: String, allowed: HashSet<Arc<str>> },
+    ExpectedValues {
+        field: String,
+        allowed: HashSet<Arc<str>>,
+    },
     /// Arbitrary per-tuple transform; `None` drops the tuple.
-    Map(Box<dyn FnMut(&Tuple) -> Result<Option<Tuple>> + Send>),
+    Map(TupleMapFn),
 }
 
 /// The built-in Point stage: an ordered chain of tuple-level operations.
@@ -35,7 +42,11 @@ pub struct PointStage {
 impl PointStage {
     /// An empty Point stage (pass-through until ops are added).
     pub fn new(name: impl Into<String>) -> PointStage {
-        PointStage { name: name.into(), ops: Vec::new(), dropped: 0 }
+        PointStage {
+            name: name.into(),
+            ops: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Append a numeric range filter: keep tuples with
@@ -48,7 +59,11 @@ impl PointStage {
         min: Option<f64>,
         max: Option<f64>,
     ) -> PointStage {
-        self.ops.push(PointOp::RangeFilter { field: field.into(), min, max });
+        self.ops.push(PointOp::RangeFilter {
+            field: field.into(),
+            min,
+            max,
+        });
         self
     }
 
@@ -161,7 +176,11 @@ mod tests {
         let out = stage
             .process(
                 Ts::ZERO,
-                vec![temp(Ts::ZERO, 1, 22.5), temp(Ts::ZERO, 2, 104.0), temp(Ts::ZERO, 3, 50.0)],
+                vec![
+                    temp(Ts::ZERO, 1, 22.5),
+                    temp(Ts::ZERO, 2, 104.0),
+                    temp(Ts::ZERO, 3, 50.0),
+                ],
             )
             .unwrap();
         assert_eq!(out.len(), 2);
@@ -184,10 +203,12 @@ mod tests {
     #[test]
     fn expected_tags_filter() {
         // Digital home §6.1: antenna 1 occasionally reads an errant tag.
-        let mut stage =
-            PointStage::new("point").expected_values("tag_id", ["badge-1", "badge-2"]);
+        let mut stage = PointStage::new("point").expected_values("tag_id", ["badge-1", "badge-2"]);
         let out = stage
-            .process(Ts::ZERO, vec![rfid(Ts::ZERO, "badge-1"), rfid(Ts::ZERO, "errant-99")])
+            .process(
+                Ts::ZERO,
+                vec![rfid(Ts::ZERO, "badge-1"), rfid(Ts::ZERO, "errant-99")],
+            )
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get("tag_id"), Some(&Value::str("badge-1")));
@@ -207,7 +228,9 @@ mod tests {
                     vec![t.value(0).clone(), Value::Float(c * 9.0 / 5.0 + 32.0)],
                 )))
             });
-        let out = stage.process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 20.0)]).unwrap();
+        let out = stage
+            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 20.0)])
+            .unwrap();
         assert_eq!(out[0].get("temp"), Some(&Value::Float(68.0)));
     }
 

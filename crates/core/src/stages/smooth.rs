@@ -19,9 +19,7 @@ use std::sync::Arc;
 
 use esp_stream::stats::RunningStats;
 use esp_stream::WindowBuffer;
-use esp_types::{
-    Batch, DataType, EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey,
-};
+use esp_types::{Batch, DataType, EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
 
 use crate::granule::TemporalGranule;
 use crate::stage::Stage;
@@ -141,7 +139,9 @@ impl SmoothStage {
         alpha: f64,
     ) -> Result<SmoothStage> {
         if !(0.0..=1.0).contains(&alpha) {
-            return Err(EspError::Config(format!("EWMA alpha {alpha} must be in [0, 1]")));
+            return Err(EspError::Config(format!(
+                "EWMA alpha {alpha} must be in [0, 1]"
+            )));
         }
         let granule = granule.into();
         Ok(SmoothStage {
@@ -165,7 +165,10 @@ impl SmoothStage {
     }
 
     fn key_of(key_fields: &[String], t: &Tuple) -> Result<Vec<ValueKey>> {
-        key_fields.iter().map(|f| Ok(t.require(f)?.group_key())).collect()
+        key_fields
+            .iter()
+            .map(|f| Ok(t.require(f)?.group_key()))
+            .collect()
     }
 
     fn output_schema(
@@ -180,9 +183,10 @@ impl SmoothStage {
         }
         let mut fields = Vec::with_capacity(key_fields.len() + 1);
         for k in key_fields {
-            let f = sample.schema().field(k).ok_or_else(|| {
-                EspError::UnknownField(format!("smooth key field '{k}'"))
-            })?;
+            let f = sample
+                .schema()
+                .field(k)
+                .ok_or_else(|| EspError::UnknownField(format!("smooth key field '{k}'")))?;
             fields.push(f.clone());
         }
         fields.push(Field::new(value_name, value_type));
@@ -203,7 +207,11 @@ impl Stage for SmoothStage {
         }
         for t in input {
             // Restamp at the epoch so window eviction tracks arrival time.
-            let t = if t.ts() == epoch { t } else { t.restamped(epoch) };
+            let t = if t.ts() == epoch {
+                t
+            } else {
+                t.restamped(epoch)
+            };
             self.window.push(t);
         }
         self.window.advance_to(epoch);
@@ -232,8 +240,7 @@ impl Stage for SmoothStage {
                     }
                 }
                 let sample = self.window.contents().next().expect("non-empty").clone();
-                let schema =
-                    self.output_schema(&sample, &key_fields, "count", DataType::Int)?;
+                let schema = self.output_schema(&sample, &key_fields, "count", DataType::Int)?;
                 Ok(order
                     .into_iter()
                     .map(|k| {
@@ -243,10 +250,12 @@ impl Stage for SmoothStage {
                     })
                     .collect())
             }
-            SmoothMode::WindowedMean { key_fields, value_field } => {
+            SmoothMode::WindowedMean {
+                key_fields,
+                value_field,
+            } => {
                 let (key_fields, value_field) = (key_fields.clone(), value_field.clone());
-                let mut stats: HashMap<Vec<ValueKey>, (Vec<Value>, RunningStats)> =
-                    HashMap::new();
+                let mut stats: HashMap<Vec<ValueKey>, (Vec<Value>, RunningStats)> = HashMap::new();
                 let mut order: Vec<Vec<ValueKey>> = Vec::new();
                 for t in self.window.to_vec() {
                     let Some(x) = t.get(&value_field).and_then(Value::as_f64) else {
@@ -282,7 +291,12 @@ impl Stage for SmoothStage {
                     })
                     .collect())
             }
-            SmoothMode::EventPresence { key_fields, value_field, on_value, min_events } => {
+            SmoothMode::EventPresence {
+                key_fields,
+                value_field,
+                on_value,
+                min_events,
+            } => {
                 let matching: Vec<&Tuple> = self
                     .window
                     .contents()
@@ -291,7 +305,11 @@ impl Stage for SmoothStage {
                 if matching.len() < *min_events {
                     return Ok(Batch::new());
                 }
-                let last = matching.last().expect("min_events >= checked").to_owned().clone();
+                let last = matching
+                    .last()
+                    .expect("min_events >= checked")
+                    .to_owned()
+                    .clone();
                 let (key_fields, value_field, on) =
                     (key_fields.clone(), value_field.clone(), on_value.clone());
                 let schema = self.output_schema(&last, &key_fields, &value_field, DataType::Any)?;
@@ -313,17 +331,24 @@ impl SmoothStage {
         if self.out_schema.is_none() {
             if let Some(sample) = input.first() {
                 let (key_fields, value_field) = match &self.mode {
-                    SmoothMode::Ewma { key_fields, value_field, .. } => {
-                        (key_fields.clone(), value_field.clone())
-                    }
+                    SmoothMode::Ewma {
+                        key_fields,
+                        value_field,
+                        ..
+                    } => (key_fields.clone(), value_field.clone()),
                     _ => unreachable!("process_ewma only for Ewma mode"),
                 };
                 let sample = sample.clone();
                 self.output_schema(&sample, &key_fields, &value_field, DataType::Float)?;
             }
         }
-        let SmoothMode::Ewma { key_fields, value_field, alpha, state, order } =
-            &mut self.mode
+        let SmoothMode::Ewma {
+            key_fields,
+            value_field,
+            alpha,
+            state,
+            order,
+        } = &mut self.mode
         else {
             unreachable!("process_ewma only for Ewma mode")
         };
@@ -331,8 +356,10 @@ impl SmoothStage {
             let Some(x) = t.get(value_field).and_then(Value::as_f64) else {
                 continue;
             };
-            let key: Vec<ValueKey> =
-                key_fields.iter().map(|f| Ok(t.require(f)?.group_key())).collect::<Result<_>>()?;
+            let key: Vec<ValueKey> = key_fields
+                .iter()
+                .map(|f| Ok(t.require(f)?.group_key()))
+                .collect::<Result<_>>()?;
             match state.get_mut(&key) {
                 Some((_, est, last)) => {
                     *est = *alpha * x + (1.0 - *alpha) * *est;
@@ -364,7 +391,9 @@ impl SmoothStage {
         let Some(schema) = self.out_schema.clone() else {
             return Ok(Batch::new());
         };
-        let SmoothMode::Ewma { state, order, .. } = &self.mode else { unreachable!() };
+        let SmoothMode::Ewma { state, order, .. } = &self.mode else {
+            unreachable!()
+        };
         Ok(order
             .iter()
             .map(|k| {
@@ -432,7 +461,11 @@ mod tests {
         let out = s
             .process(
                 Ts::ZERO,
-                vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")],
+                vec![
+                    rfid(Ts::ZERO, "a"),
+                    rfid(Ts::ZERO, "a"),
+                    rfid(Ts::ZERO, "b"),
+                ],
             )
             .unwrap();
         assert_eq!(out.len(), 2);
@@ -443,11 +476,8 @@ mod tests {
 
     #[test]
     fn windowed_mean_masks_lost_samples() {
-        let g = TemporalGranule::with_window(
-            TimeDelta::from_mins(5),
-            TimeDelta::from_mins(30),
-        )
-        .unwrap();
+        let g = TemporalGranule::with_window(TimeDelta::from_mins(5), TimeDelta::from_mins(30))
+            .unwrap();
         let mut s = SmoothStage::windowed_mean("smooth", g, ["receptor_id"], "temp");
         let mut t = Ts::ZERO;
         // One sample, then five empty epochs: the mean persists.
@@ -469,12 +499,8 @@ mod tests {
 
     #[test]
     fn windowed_mean_averages_within_window() {
-        let mut s = SmoothStage::windowed_mean(
-            "smooth",
-            TimeDelta::from_secs(10),
-            ["receptor_id"],
-            "temp",
-        );
+        let mut s =
+            SmoothStage::windowed_mean("smooth", TimeDelta::from_secs(10), ["receptor_id"], "temp");
         s.process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 10.0)]).unwrap();
         let out = s
             .process(Ts::from_secs(1), vec![temp(Ts::from_secs(1), 1, 20.0)])
@@ -484,14 +510,13 @@ mod tests {
 
     #[test]
     fn windowed_mean_separates_keys() {
-        let mut s = SmoothStage::windowed_mean(
-            "smooth",
-            TimeDelta::from_secs(10),
-            ["receptor_id"],
-            "temp",
-        );
+        let mut s =
+            SmoothStage::windowed_mean("smooth", TimeDelta::from_secs(10), ["receptor_id"], "temp");
         let out = s
-            .process(Ts::ZERO, vec![temp(Ts::ZERO, 1, 10.0), temp(Ts::ZERO, 2, 30.0)])
+            .process(
+                Ts::ZERO,
+                vec![temp(Ts::ZERO, 1, 10.0), temp(Ts::ZERO, 2, 30.0)],
+            )
             .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].get("temp"), Some(&Value::Float(10.0)));
@@ -500,12 +525,8 @@ mod tests {
 
     #[test]
     fn windowed_mean_skips_null_values() {
-        let mut s = SmoothStage::windowed_mean(
-            "smooth",
-            TimeDelta::from_secs(10),
-            ["receptor_id"],
-            "temp",
-        );
+        let mut s =
+            SmoothStage::windowed_mean("smooth", TimeDelta::from_secs(10), ["receptor_id"], "temp");
         let null_temp = TupleBuilder::new(&well_known::temp_schema(), Ts::ZERO)
             .set("receptor_id", 1i64)
             .unwrap()
@@ -524,7 +545,10 @@ mod tests {
             "ON",
             2,
         );
-        assert!(s.process(Ts::ZERO, vec![motion(Ts::ZERO, "ON")]).unwrap().is_empty());
+        assert!(s
+            .process(Ts::ZERO, vec![motion(Ts::ZERO, "ON")])
+            .unwrap()
+            .is_empty());
         let out = s
             .process(Ts::from_secs(1), vec![motion(Ts::from_secs(1), "ON")])
             .unwrap();
@@ -562,8 +586,7 @@ mod tests {
     #[test]
     fn ewma_tracks_level_shift_faster_than_windowed_mean() {
         let g = TimeDelta::from_secs(60);
-        let mut ewma =
-            SmoothStage::ewma("e", g, ["receptor_id"], "temp", 0.5).unwrap();
+        let mut ewma = SmoothStage::ewma("e", g, ["receptor_id"], "temp", 0.5).unwrap();
         let mut mean = SmoothStage::windowed_mean("m", g, ["receptor_id"], "temp");
         // 30 samples at 10 °C, then a step to 30 °C.
         let mut t = Ts::ZERO;

@@ -13,13 +13,17 @@ use esp_types::{Batch, DataType, Field, Result, Schema, Ts, Tuple, Value};
 
 use crate::stage::Stage;
 
+/// A boxed vote predicate: given the epoch's input tuples, does this
+/// modality vote "present"?
+pub type VoteFn = Box<dyn FnMut(&[Tuple]) -> bool + Send>;
+
 /// One modality's vote: a named predicate over the epoch's input tuples.
 pub struct VoteRule {
     /// Modality label (diagnostics).
     pub label: String,
     /// Returns true when this modality votes "present" given the epoch's
     /// tuples.
-    pub vote: Box<dyn FnMut(&[Tuple]) -> bool + Send>,
+    pub vote: VoteFn,
 }
 
 impl VoteRule {
@@ -28,7 +32,10 @@ impl VoteRule {
         label: impl Into<String>,
         vote: impl FnMut(&[Tuple]) -> bool + Send + 'static,
     ) -> VoteRule {
-        VoteRule { label: label.into(), vote: Box::new(vote) }
+        VoteRule {
+            label: label.into(),
+            vote: Box::new(vote),
+        }
     }
 
     /// Votes yes when any tuple has `field` ≥ `threshold` (numeric) — e.g.
@@ -40,9 +47,11 @@ impl VoteRule {
     ) -> VoteRule {
         let field = field.into();
         VoteRule::new(label, move |tuples| {
-            tuples
-                .iter()
-                .any(|t| t.get(&field).and_then(Value::as_f64).is_some_and(|x| x > threshold))
+            tuples.iter().any(|t| {
+                t.get(&field)
+                    .and_then(Value::as_f64)
+                    .is_some_and(|x| x > threshold)
+            })
         })
     }
 
@@ -56,7 +65,9 @@ impl VoteRule {
         let field = field.into();
         let value = value.into();
         VoteRule::new(label, move |tuples| {
-            tuples.iter().any(|t| t.get(&field).is_some_and(|v| v.sql_eq(&value)))
+            tuples
+                .iter()
+                .any(|t| t.get(&field).is_some_and(|v| v.sql_eq(&value)))
         })
     }
 
@@ -70,7 +81,11 @@ impl VoteRule {
     ) -> VoteRule {
         let field = field.into();
         VoteRule::new(label, move |tuples| {
-            tuples.iter().filter(|t| t.get(&field).is_some_and(|v| !v.is_null())).count() >= n
+            tuples
+                .iter()
+                .filter(|t| t.get(&field).is_some_and(|v| !v.is_null()))
+                .count()
+                >= n
         })
     }
 }
@@ -197,7 +212,10 @@ mod tests {
     fn two_of_three_votes_detects() {
         let mut v = person_detector(2);
         let out = v
-            .process(Ts::ZERO, vec![sound(Ts::ZERO, 700.0), rfid(Ts::ZERO, "badge-1")])
+            .process(
+                Ts::ZERO,
+                vec![sound(Ts::ZERO, 700.0), rfid(Ts::ZERO, "badge-1")],
+            )
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get("event"), Some(&Value::str("Person-in-room")));
@@ -216,7 +234,10 @@ mod tests {
         let mut v = person_detector(2);
         // Sound below threshold + motion OFF: zero votes.
         let out = v
-            .process(Ts::ZERO, vec![sound(Ts::ZERO, 400.0), motion(Ts::ZERO, "OFF")])
+            .process(
+                Ts::ZERO,
+                vec![sound(Ts::ZERO, 400.0), motion(Ts::ZERO, "OFF")],
+            )
             .unwrap();
         assert!(out.is_empty());
     }
@@ -227,7 +248,11 @@ mod tests {
         let out = v
             .process(
                 Ts::ZERO,
-                vec![sound(Ts::ZERO, 600.0), rfid(Ts::ZERO, "badge-1"), motion(Ts::ZERO, "ON")],
+                vec![
+                    sound(Ts::ZERO, 600.0),
+                    rfid(Ts::ZERO, "badge-1"),
+                    motion(Ts::ZERO, "ON"),
+                ],
             )
             .unwrap();
         assert_eq!(out[0].get("votes"), Some(&Value::Int(3)));

@@ -1,0 +1,70 @@
+//! The receptor side of the gateway protocol: connect, handshake, stream
+//! frames. Used by simulated receptors, the load generator, and tests.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use esp_receptors::framing::FrameWriter;
+use esp_receptors::wire::Reading;
+use esp_types::TimeDelta;
+
+use crate::server::{ACK_OK, HELLO_MAGIC, PROTOCOL_VERSION};
+
+/// A connected receptor uplink.
+///
+/// The handshake carries the connection's **bounded-lateness promise**:
+/// after sending a reading stamped `t`, the client will never send one
+/// stamped earlier than `t − lateness`. The gateway turns that promise
+/// into a per-connection watermark; a client that breaks it may have its
+/// late readings attributed to a later epoch than a single-process run
+/// would have used.
+#[derive(Debug)]
+pub struct GatewayClient {
+    writer: FrameWriter<BufWriter<TcpStream>>,
+}
+
+impl GatewayClient {
+    /// Connect and perform the hello/ack handshake.
+    pub fn connect(addr: impl ToSocketAddrs, lateness: TimeDelta) -> io::Result<GatewayClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut hello = [0u8; 14];
+        hello[0..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
+        hello[4..6].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        hello[6..14].copy_from_slice(&lateness.as_millis().to_be_bytes());
+        stream.write_all(&hello)?;
+        let mut ack = [0u8; 1];
+        stream.read_exact(&mut ack)?;
+        if ack[0] != ACK_OK {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("gateway rejected handshake (ack {:#04x})", ack[0]),
+            ));
+        }
+        Ok(GatewayClient {
+            writer: FrameWriter::new(BufWriter::with_capacity(64 * 1024, stream)),
+        })
+    }
+
+    /// Encode and send one reading.
+    pub fn send(&mut self, reading: &Reading) -> io::Result<()> {
+        self.writer.write_reading(reading)
+    }
+
+    /// Send pre-encoded (possibly deliberately corrupted) frame bytes —
+    /// the load generator's lossy-channel path.
+    pub fn send_raw(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.writer.write_raw(frame)
+    }
+
+    /// Push buffered frames onto the wire without closing.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Flush and close the connection (the gateway treats the EOF as this
+    /// connection's final punctuation).
+    pub fn finish(mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}

@@ -1,0 +1,78 @@
+//! # esp-gateway
+//!
+//! Networked ingestion for ESP pipelines: a TCP **receptor gateway** that
+//! accepts many concurrent receptor connections speaking the simulated
+//! radio wire format ([`esp_receptors::wire`] frames, length-delimited by
+//! [`esp_receptors::framing`]), verifies checksums at the edge (corrupt
+//! frames are counted and dropped — the paper's out-of-the-box Point
+//! functionality), and shards decoded readings across *N* worker
+//! pipelines, one full ESP cleaning cascade per shard.
+//!
+//! ## Sharding
+//!
+//! The unit of placement is the **spatial granule**. Every cleaning stage
+//! that looks across receptors (Smooth's reinforcement counts, Merge's
+//! outlier test, Arbitrate's de-duplication) is scoped to a proximity
+//! group, and every proximity group names exactly one granule — so hashing
+//! the granule name ([`shard::shard_of_granule`], FNV-1a) keeps each group
+//! intact on a single worker while spreading granules across workers. A
+//! receptor belonging to groups on several shards fans out to each.
+//!
+//! ## Epoch punctuation and watermarks
+//!
+//! Workers must flush epochs deterministically even though readings arrive
+//! over asynchronous sockets. Each connection declares a **bounded
+//! lateness** in its handshake: a promise that after sending a reading
+//! stamped `t`, it will never send one stamped earlier than `t − lateness`.
+//! The gateway tracks a per-connection watermark (`max ts seen − lateness`;
+//! closed connections report `∞`) and a coordinator flushes epoch `e` to
+//! every shard once the *global* watermark (minimum over connections)
+//! passes `e` — see [`watermark`]. Because a reader enqueues a reading into
+//! the shard queues before advancing its watermark, a flush message can
+//! never overtake the readings it covers.
+//!
+//! ## Backpressure
+//!
+//! Shard queues are bounded crossbeam channels (capacity
+//! [`ThreadedRunner::DEFAULT_EDGE_CAPACITY`](esp_stream::ThreadedRunner)
+//! by default, configurable like the threaded runner's edges). When a
+//! worker falls behind, reader threads block on the full queue, TCP flow
+//! control propagates to the sender, and the stall is recorded in a shared
+//! [`esp_stream::QueueStats`].
+//!
+//! ```no_run
+//! use esp_core::Pipeline;
+//! use esp_gateway::{Gateway, GatewayConfig, GatewayGroup};
+//! use esp_receptors::wire::Reading;
+//! use esp_types::{ReceptorId, ReceptorType, TimeDelta, Ts};
+//!
+//! let config = GatewayConfig::new(vec![GatewayGroup {
+//!     receptor_type: ReceptorType::Rfid,
+//!     granule: "shelf0".into(),
+//!     members: vec![ReceptorId(0)],
+//! }]);
+//! let gateway = Gateway::spawn(config, |_shard| Pipeline::raw()).unwrap();
+//! let mut client =
+//!     esp_gateway::GatewayClient::connect(gateway.local_addr(), TimeDelta::ZERO).unwrap();
+//! client.send(&Reading::Tag { receptor: ReceptorId(0), ts: Ts::ZERO, tag_id: "t1".into() }).unwrap();
+//! client.finish().unwrap();
+//! let output = gateway.finish().unwrap();
+//! assert_eq!(output.stats.readings, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+pub mod convert;
+mod server;
+pub mod shard;
+pub mod stats;
+pub mod watermark;
+mod worker;
+
+pub use client::GatewayClient;
+pub use convert::ReadingSchemas;
+pub use server::{canonical_sort, EpochTrace, Gateway, GatewayConfig, GatewayGroup, GatewayOutput};
+pub use shard::{shard_of_granule, ShardRouter};
+pub use stats::{GatewaySnapshot, GatewayStats};

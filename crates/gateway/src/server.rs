@@ -1,0 +1,544 @@
+//! The TCP gateway: accept loop, per-connection readers, the epoch
+//! coordinator, and graceful shutdown.
+//!
+//! Thread layout (all plain `std::net` + crossbeam channels — no async
+//! runtime):
+//!
+//! ```text
+//! accept thread ──spawns──> reader thread per connection
+//!                              │ decode frames, drop corrupt,
+//!                              │ route by granule hash
+//!                              ▼
+//!                    bounded shard queues  <── Flush(e) ── coordinator
+//!                              │                            (watermark)
+//!                              ▼
+//!                    worker thread per shard (EspProcessor cascade)
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_receptors::framing::FrameReader;
+use esp_receptors::wire;
+use esp_stream::{QueueStats, ThreadedRunner};
+use esp_types::{Batch, EspError, ReceptorId, ReceptorType, Result, TimeDelta, Ts};
+
+use crate::shard::{shard_of_granule, ShardRouter};
+use crate::stats::{GatewaySnapshot, GatewayStats};
+use crate::watermark::WatermarkClock;
+use crate::worker::{spawn_worker, QueueSource, ReadingBuffer, ShardMsg};
+
+/// Handshake magic: `"ESPG"` big-endian.
+pub(crate) const HELLO_MAGIC: u32 = 0x4553_5047;
+/// Wire-protocol version carried in the hello.
+pub(crate) const PROTOCOL_VERSION: u16 = 1;
+/// Server's accept byte, sent after a valid hello.
+pub(crate) const ACK_OK: u8 = 0x01;
+
+/// One proximity group as the gateway needs it: type, granule, members.
+/// (Mirrors `esp_receptors::GroupSpec` plus the receptor type that
+/// `ProximityGroups::add_group` requires.)
+#[derive(Debug, Clone)]
+pub struct GatewayGroup {
+    /// Device type shared by the group's members.
+    pub receptor_type: ReceptorType,
+    /// Spatial granule name — the shard-placement key.
+    pub granule: String,
+    /// Member devices.
+    pub members: Vec<ReceptorId>,
+}
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of worker pipelines to shard granules across.
+    pub n_shards: usize,
+    /// Capacity of each bounded shard queue — the same knob as
+    /// [`ThreadedRunner::edge_capacity`]; a full queue blocks the reader
+    /// and lets TCP flow control push back on the sender.
+    pub edge_capacity: usize,
+    /// First epoch boundary.
+    pub start: Ts,
+    /// Epoch spacing.
+    pub period: TimeDelta,
+    /// Don't flush any epoch until this many connections have completed
+    /// their handshake (cumulative, closed connections count). Lets a
+    /// deployment with a known receptor fleet hold punctuation until
+    /// everyone is on the air.
+    pub min_connections: usize,
+    /// The proximity groups (and through them, the routable receptors).
+    pub groups: Vec<GatewayGroup>,
+}
+
+impl GatewayConfig {
+    /// Config with defaults: ephemeral localhost port, 4 shards, the
+    /// threaded runner's default edge capacity, 200 ms epochs, no
+    /// connection-count gating.
+    pub fn new(groups: Vec<GatewayGroup>) -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            n_shards: 4,
+            edge_capacity: ThreadedRunner::DEFAULT_EDGE_CAPACITY,
+            start: Ts::ZERO,
+            period: TimeDelta::from_millis(200),
+            min_connections: 1,
+            groups,
+        }
+    }
+}
+
+/// One pipeline's output, epoch by epoch: the flushed batch at each
+/// epoch boundary, in flush order.
+pub type EpochTrace = Vec<(Ts, Batch)>;
+
+/// A running gateway. Drop order does not matter; call
+/// [`Gateway::finish`] for an orderly drain.
+pub struct Gateway {
+    local_addr: SocketAddr,
+    stop_accept: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    coordinator: JoinHandle<Result<()>>,
+    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<Result<EpochTrace>>>,
+    stats: GatewayStats,
+    queue_stats: QueueStats,
+}
+
+/// Everything a drained gateway produced.
+#[derive(Debug)]
+pub struct GatewayOutput {
+    /// Per-shard output traces, indexed by shard id. Shards hosting no
+    /// granule have empty traces.
+    pub shard_traces: Vec<EpochTrace>,
+    /// Final counter snapshot.
+    pub stats: GatewaySnapshot,
+}
+
+impl GatewayOutput {
+    /// Union the shard traces into one per-epoch trace, canonically
+    /// sorted within each epoch so it can be compared against a
+    /// single-process [`EspProcessor`] run.
+    pub fn merged_trace(&self) -> EpochTrace {
+        let mut by_epoch: BTreeMap<u64, Batch> = BTreeMap::new();
+        for trace in &self.shard_traces {
+            for (ts, batch) in trace {
+                by_epoch
+                    .entry(ts.as_millis())
+                    .or_default()
+                    .extend(batch.iter().cloned());
+            }
+        }
+        by_epoch
+            .into_iter()
+            .map(|(ms, mut batch)| {
+                canonical_sort(&mut batch);
+                (Ts::from_millis(ms), batch)
+            })
+            .collect()
+    }
+
+    /// Total tuples across every shard and epoch.
+    pub fn total_tuples(&self) -> usize {
+        self.shard_traces
+            .iter()
+            .flatten()
+            .map(|(_, b)| b.len())
+            .sum()
+    }
+}
+
+/// Sort a batch into a canonical order (timestamp, then the debug
+/// rendering of the values). Sharding changes only the interleaving of
+/// tuples within an epoch; after this sort, a sharded epoch equals its
+/// single-process counterpart.
+pub fn canonical_sort(batch: &mut Batch) {
+    batch.sort_by_key(|t| (t.ts(), format!("{:?}", t.values())));
+}
+
+impl Gateway {
+    /// Bind, build one `EspProcessor` per non-empty shard, and start all
+    /// threads. `pipeline_factory(shard)` builds each shard's cleaning
+    /// cascade (pipelines are not clonable; stages carry state).
+    pub fn spawn(
+        config: GatewayConfig,
+        mut pipeline_factory: impl FnMut(usize) -> Pipeline,
+    ) -> Result<Gateway> {
+        if config.n_shards == 0 {
+            return Err(EspError::Config("gateway needs at least one shard".into()));
+        }
+        if config.edge_capacity == 0 {
+            return Err(EspError::Config("edge capacity must be positive".into()));
+        }
+        if config.groups.is_empty() {
+            return Err(EspError::Config(
+                "gateway needs at least one proximity group".into(),
+            ));
+        }
+        if config.period == TimeDelta::ZERO {
+            return Err(EspError::Config("epoch period must be positive".into()));
+        }
+
+        let router = Arc::new(ShardRouter::new(&config.groups, config.n_shards));
+        let stats = GatewayStats::new(config.n_shards);
+        let queue_stats = QueueStats::new();
+        let clock = WatermarkClock::new();
+
+        // Shard queues + workers.
+        let mut txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(config.n_shards);
+        let mut workers = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            let (tx, rx) = bounded(config.edge_capacity);
+            txs.push(tx);
+            let shard_groups: Vec<&GatewayGroup> = config
+                .groups
+                .iter()
+                .filter(|g| shard_of_granule(&g.granule, config.n_shards) == shard)
+                .collect();
+            if shard_groups.is_empty() {
+                // No granule hashed here: a sink that still acknowledges
+                // punctuation so flush-latency accounting stays exact.
+                let stats = stats.clone();
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("esp-gateway-shard-{shard}"))
+                        .spawn(move || {
+                            loop {
+                                match rx.recv() {
+                                    Ok(ShardMsg::Flush(e)) => stats.note_flush_done(e.as_millis()),
+                                    Ok(ShardMsg::Reading(_)) => {}
+                                    Ok(ShardMsg::Shutdown) | Err(_) => break,
+                                }
+                            }
+                            Ok(Vec::new())
+                        })
+                        .expect("spawn shard sink thread"),
+                );
+                continue;
+            }
+
+            let mut pg = ProximityGroups::new();
+            let mut rtype_of: HashMap<ReceptorId, ReceptorType> = HashMap::new();
+            for g in &shard_groups {
+                pg.add_group(
+                    g.receptor_type,
+                    g.granule.clone(),
+                    g.members.iter().copied(),
+                );
+                for &m in &g.members {
+                    rtype_of.entry(m).or_insert(g.receptor_type);
+                }
+            }
+            let mut members: Vec<ReceptorId> = rtype_of.keys().copied().collect();
+            members.sort_by_key(|r| r.0);
+
+            let mut buffers: HashMap<ReceptorId, ReadingBuffer> = HashMap::new();
+            let mut bindings = Vec::with_capacity(members.len());
+            for id in members {
+                let buf: ReadingBuffer = Arc::new(Mutex::new(Vec::new()));
+                buffers.insert(id, Arc::clone(&buf));
+                bindings.push(ReceptorBinding::new(
+                    id,
+                    rtype_of[&id],
+                    Box::new(QueueSource::new(id, buf)),
+                ));
+            }
+            let pipeline = pipeline_factory(shard);
+            let processor = EspProcessor::build(pg, &pipeline, bindings)?;
+            workers.push(spawn_worker(shard, rx, processor, buffers, stats.clone()));
+        }
+
+        // Listener + accept loop.
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| EspError::Config(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| EspError::Config(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| EspError::Config(format!("set_nonblocking: {e}")))?;
+
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let stop = Arc::clone(&stop_accept);
+            let handles = Arc::clone(&reader_handles);
+            let router = Arc::clone(&router);
+            let txs = txs.clone();
+            let stats = stats.clone();
+            let queue_stats = queue_stats.clone();
+            let clock = clock.clone();
+            thread::Builder::new()
+                .name("esp-gateway-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let router = Arc::clone(&router);
+                                let txs = txs.clone();
+                                let stats = stats.clone();
+                                let queue_stats = queue_stats.clone();
+                                let clock = clock.clone();
+                                let h = thread::Builder::new()
+                                    .name("esp-gateway-conn".into())
+                                    .spawn(move || {
+                                        serve_connection(
+                                            stream,
+                                            &router,
+                                            &txs,
+                                            &clock,
+                                            &stats,
+                                            &queue_stats,
+                                        )
+                                    })
+                                    .expect("spawn connection thread");
+                                handles.lock().push(h);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => {
+                                stats.note_io_error();
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        // Epoch coordinator.
+        let drain = Arc::new(AtomicBool::new(false));
+        let coordinator = {
+            let drain = Arc::clone(&drain);
+            let stats = stats.clone();
+            let txs = txs.clone();
+            let clock = clock.clone();
+            let (start, period, min_conns) = (config.start, config.period, config.min_connections);
+            thread::Builder::new()
+                .name("esp-gateway-coordinator".into())
+                .spawn(move || coordinate(&clock, &stats, &txs, &drain, start, period, min_conns))
+                .expect("spawn coordinator thread")
+        };
+
+        Ok(Gateway {
+            local_addr,
+            stop_accept,
+            drain,
+            accept_handle,
+            coordinator,
+            reader_handles,
+            workers,
+            stats,
+            queue_stats,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters (snapshot; safe to call while running).
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        self.stats.snapshot(&self.queue_stats)
+    }
+
+    /// Graceful shutdown: stop accepting, wait for every open connection
+    /// to finish (clients must close their sockets), flush the final
+    /// epochs, join all workers, and return the collected output.
+    pub fn finish(self) -> Result<GatewayOutput> {
+        self.stop_accept.store(true, Ordering::Release);
+        self.accept_handle
+            .join()
+            .map_err(|_| EspError::Config("gateway accept thread panicked".into()))?;
+        let readers = std::mem::take(&mut *self.reader_handles.lock());
+        for h in readers {
+            h.join()
+                .map_err(|_| EspError::Config("gateway reader thread panicked".into()))?;
+        }
+        // Every reading that will ever arrive is now in the shard queues;
+        // tell the coordinator to flush through the end of the data.
+        self.drain.store(true, Ordering::Release);
+        self.coordinator
+            .join()
+            .map_err(|_| EspError::Config("gateway coordinator panicked".into()))??;
+        let mut shard_traces = Vec::with_capacity(self.workers.len());
+        for w in self.workers {
+            let trace = w
+                .join()
+                .map_err(|_| EspError::Config("gateway worker panicked".into()))??;
+            shard_traces.push(trace);
+        }
+        let stats = self.stats.snapshot(&self.queue_stats);
+        Ok(GatewayOutput {
+            shard_traces,
+            stats,
+        })
+    }
+}
+
+/// The coordinator loop: poll the watermark, broadcast due epochs, and on
+/// drain flush everything up to the last reading before shutting workers
+/// down.
+fn coordinate(
+    clock: &WatermarkClock,
+    stats: &GatewayStats,
+    txs: &[Sender<ShardMsg>],
+    drain: &AtomicBool,
+    start: Ts,
+    period: TimeDelta,
+    min_connections: usize,
+) -> Result<()> {
+    let mut next = start;
+    let mut last_flushed: Option<Ts> = None;
+    loop {
+        let draining = drain.load(Ordering::Acquire);
+        // Once draining, every reader has exited: all data is enqueued and
+        // the watermark argument is moot — flush everything.
+        let watermark = if draining {
+            Some(u64::MAX)
+        } else if clock.registered() >= min_connections {
+            clock.global()
+        } else {
+            None
+        };
+        if let Some(wm) = watermark {
+            let max_ts = stats.max_ts_ms();
+            // Flush while the watermark certifies the epoch AND some data
+            // is not yet covered by a flushed epoch (the second condition
+            // stops an all-closed watermark of ∞ from spinning forever).
+            while next.as_millis() < wm && last_flushed.is_none_or(|e| e.as_millis() < max_ts) {
+                stats.note_flush_issued(next.as_millis());
+                for tx in txs {
+                    tx.send(ShardMsg::Flush(next))
+                        .map_err(|_| EspError::Config("gateway shard worker hung up".into()))?;
+                }
+                last_flushed = Some(next);
+                next += period;
+            }
+        }
+        if draining {
+            for tx in txs {
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
+            return Ok(());
+        }
+        thread::sleep(Duration::from_micros(500));
+    }
+}
+
+/// One connection: handshake, then a frame-decode-route loop until EOF.
+fn serve_connection(
+    mut stream: TcpStream,
+    router: &ShardRouter,
+    txs: &[Sender<ShardMsg>],
+    clock: &WatermarkClock,
+    stats: &GatewayStats,
+    queue_stats: &QueueStats,
+) {
+    let lateness_ms = match handshake(&mut stream) {
+        Ok(l) => l,
+        Err(_) => {
+            stats.note_io_error();
+            return;
+        }
+    };
+    stats.note_connection();
+    let conn = clock.register();
+    if let Err(_e) = read_frames(stream, lateness_ms, router, txs, &conn, stats, queue_stats) {
+        stats.note_io_error();
+    }
+    // Whatever happened, release the watermark so one dead connection
+    // cannot stall every pipeline forever.
+    conn.close();
+}
+
+/// Validate the client hello and return its bounded-lateness promise (ms).
+fn handshake(stream: &mut TcpStream) -> std::io::Result<u64> {
+    use std::io::{Error, ErrorKind};
+    let mut hello = [0u8; 14];
+    stream.read_exact(&mut hello)?;
+    let magic = u32::from_be_bytes(hello[0..4].try_into().expect("4 bytes"));
+    let version = u16::from_be_bytes(hello[4..6].try_into().expect("2 bytes"));
+    if magic != HELLO_MAGIC {
+        return Err(Error::new(ErrorKind::InvalidData, "bad hello magic"));
+    }
+    if version != PROTOCOL_VERSION {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let lateness_ms = u64::from_be_bytes(hello[6..14].try_into().expect("8 bytes"));
+    stream.write_all(&[ACK_OK])?;
+    Ok(lateness_ms)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_frames(
+    stream: TcpStream,
+    lateness_ms: u64,
+    router: &ShardRouter,
+    txs: &[Sender<ShardMsg>],
+    conn: &crate::watermark::ConnClock,
+    stats: &GatewayStats,
+    queue_stats: &QueueStats,
+) -> Result<()> {
+    let mut reader = FrameReader::new(BufReader::with_capacity(64 * 1024, stream));
+    while let Some(frame) = reader
+        .read_frame()
+        .map_err(|e| EspError::Wire(format!("frame read: {e}")))?
+    {
+        stats.note_frame();
+        let Ok(reading) = wire::decode(&frame) else {
+            // Paper §4: Point functionality out of the box — checksum
+            // failures are dropped at the edge, counted, never forwarded.
+            stats.note_corrupt();
+            continue;
+        };
+        let Some(dests) = router.shards_of(reading.receptor()) else {
+            stats.note_unroutable();
+            continue;
+        };
+        let ts_ms = reading.ts().as_millis();
+        for &shard in dests {
+            send_counted(&txs[shard], ShardMsg::Reading(reading.clone()), queue_stats)?;
+        }
+        stats.note_reading(ts_ms, dests);
+        // Advance AFTER enqueuing: the flush this advance may trigger
+        // must sit behind the reading in every shard queue.
+        conn.advance(ts_ms.saturating_sub(lateness_ms));
+    }
+    Ok(())
+}
+
+/// Send on a bounded shard queue, recording whether it was full (the
+/// blocking path is the backpressure that ultimately stalls the socket).
+fn send_counted(tx: &Sender<ShardMsg>, msg: ShardMsg, stats: &QueueStats) -> Result<()> {
+    match tx.try_send(msg) {
+        Ok(()) => {
+            stats.record_send();
+            Ok(())
+        }
+        Err(TrySendError::Full(msg)) => {
+            stats.record_blocked();
+            tx.send(msg)
+                .map_err(|_| EspError::Config("gateway shard worker hung up".into()))
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            Err(EspError::Config("gateway shard worker hung up".into()))
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Granule-hash shard placement.
+//!
+//! The gateway splits work by *spatial granule*, never by receptor: every
+//! group-scoped cleaning stage (Smooth reinforcement, Merge outlier tests,
+//! Arbitrate de-duplication) sees all members of its proximity group on one
+//! worker, so a sharded run cleans exactly like a single-process run.
+
+use std::collections::HashMap;
+
+use esp_types::ReceptorId;
+
+use crate::server::GatewayGroup;
+
+/// FNV-1a over the granule name, reduced modulo the shard count. Stable
+/// across runs and processes, so a deployment can be restarted without
+/// re-homing granules.
+pub fn shard_of_granule(granule: &str, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard count must be positive");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in granule.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n_shards as u64) as usize
+}
+
+/// Maps each receptor to the shard(s) hosting its proximity groups.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    n_shards: usize,
+    routes: HashMap<ReceptorId, Vec<usize>>,
+}
+
+impl ShardRouter {
+    /// Build the routing table from the gateway's group specifications.
+    pub fn new(groups: &[GatewayGroup], n_shards: usize) -> ShardRouter {
+        let mut routes: HashMap<ReceptorId, Vec<usize>> = HashMap::new();
+        for g in groups {
+            let shard = shard_of_granule(&g.granule, n_shards);
+            for &member in &g.members {
+                let shards = routes.entry(member).or_default();
+                if !shards.contains(&shard) {
+                    shards.push(shard);
+                }
+            }
+        }
+        for shards in routes.values_mut() {
+            shards.sort_unstable();
+        }
+        ShardRouter { n_shards, routes }
+    }
+
+    /// The shards a receptor's readings must reach; `None` when the
+    /// receptor belongs to no registered group (the reading is
+    /// unroutable and gets dropped with a counter bump).
+    pub fn shards_of(&self, receptor: ReceptorId) -> Option<&[usize]> {
+        self.routes.get(&receptor).map(Vec::as_slice)
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// All receptors with at least one route.
+    pub fn receptors(&self) -> impl Iterator<Item = ReceptorId> + '_ {
+        self.routes.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::ReceptorType;
+
+    fn group(granule: &str, members: &[u32]) -> GatewayGroup {
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: granule.into(),
+            members: members.iter().map(|&m| ReceptorId(m)).collect(),
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        for n in 1..=8 {
+            for g in ["shelf0", "shelf1", "room", "height-3"] {
+                let s = shard_of_granule(g, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of_granule(g, n), "stable across calls");
+            }
+        }
+    }
+
+    #[test]
+    fn granules_spread_across_shards() {
+        // With enough granules, more than one shard must be used.
+        let shards: std::collections::HashSet<usize> = (0..32)
+            .map(|i| shard_of_granule(&format!("granule-{i}"), 4))
+            .collect();
+        assert!(shards.len() > 1, "all granules landed on one shard");
+    }
+
+    #[test]
+    fn router_sends_group_members_to_group_shard() {
+        let groups = vec![group("shelf0", &[0, 1]), group("shelf1", &[2])];
+        let router = ShardRouter::new(&groups, 4);
+        let s0 = shard_of_granule("shelf0", 4);
+        let s1 = shard_of_granule("shelf1", 4);
+        assert_eq!(router.shards_of(ReceptorId(0)), Some(&[s0][..]));
+        assert_eq!(router.shards_of(ReceptorId(1)), Some(&[s0][..]));
+        assert_eq!(router.shards_of(ReceptorId(2)), Some(&[s1][..]));
+        assert_eq!(router.shards_of(ReceptorId(9)), None);
+    }
+
+    #[test]
+    fn multi_group_receptor_fans_out() {
+        // Find two granules on different shards, put one receptor in both.
+        let mut names = (0..).map(|i| format!("g{i}"));
+        let a = names.next().unwrap();
+        let b = names
+            .find(|n| shard_of_granule(n, 4) != shard_of_granule(&a, 4))
+            .unwrap();
+        let groups = vec![group(&a, &[7]), group(&b, &[7])];
+        let router = ShardRouter::new(&groups, 4);
+        let shards = router.shards_of(ReceptorId(7)).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert!(shards[0] < shards[1], "sorted and deduplicated");
+    }
+}

@@ -1,0 +1,268 @@
+//! Gateway counters: per-connection ingest totals, per-shard routing
+//! totals, and epoch flush latency (coordinator issues a flush → the last
+//! shard finishes stepping it).
+//!
+//! Shard-queue backpressure is tracked separately through the shared
+//! [`esp_stream::QueueStats`] the gateway reuses from the threaded runner.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use esp_metrics::Report;
+use esp_stream::QueueStats;
+
+#[derive(Debug, Default)]
+struct Inner {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    corrupt_frames: AtomicU64,
+    readings: AtomicU64,
+    unroutable: AtomicU64,
+    io_errors: AtomicU64,
+    max_ts_ms: AtomicU64,
+    shard_readings: Vec<AtomicU64>,
+    flush: Mutex<FlushTracker>,
+}
+
+#[derive(Debug, Default)]
+struct FlushTracker {
+    n_shards: usize,
+    /// Epochs issued but not yet stepped by every shard.
+    pending: HashMap<u64, (Instant, usize)>,
+    latencies_us: Vec<u64>,
+}
+
+/// Cheap-to-clone handle over the gateway's shared counters.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayStats {
+    inner: Arc<Inner>,
+}
+
+impl GatewayStats {
+    /// Counters at zero, sized for `n_shards` workers.
+    pub fn new(n_shards: usize) -> GatewayStats {
+        let inner = Inner {
+            shard_readings: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            flush: Mutex::new(FlushTracker {
+                n_shards,
+                ..FlushTracker::default()
+            }),
+            ..Inner::default()
+        };
+        GatewayStats {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// A connection completed its handshake.
+    pub fn note_connection(&self) {
+        self.inner.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame arrived (whether or not it decodes).
+    pub fn note_frame(&self) {
+        self.inner.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame failed checksum/decoding and was dropped at the edge.
+    pub fn note_corrupt(&self) {
+        self.inner.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A decoded reading was accepted and routed; `shards` are its
+    /// destinations.
+    pub fn note_reading(&self, ts_ms: u64, shards: &[usize]) {
+        self.inner.readings.fetch_add(1, Ordering::Relaxed);
+        self.inner.max_ts_ms.fetch_max(ts_ms, Ordering::Relaxed);
+        for &s in shards {
+            if let Some(c) = self.inner.shard_readings.get(s) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A decoded reading named a receptor outside every registered group.
+    pub fn note_unroutable(&self) {
+        self.inner.unroutable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection died with a transport error (counted, not fatal).
+    pub fn note_io_error(&self) {
+        self.inner.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Largest reading timestamp accepted so far (ms).
+    pub fn max_ts_ms(&self) -> u64 {
+        self.inner.max_ts_ms.load(Ordering::Relaxed)
+    }
+
+    /// Coordinator is about to broadcast a flush for `epoch_ms`.
+    pub fn note_flush_issued(&self, epoch_ms: u64) {
+        let mut f = self.inner.flush.lock();
+        let n = f.n_shards;
+        f.pending.insert(epoch_ms, (Instant::now(), n));
+    }
+
+    /// One shard finished stepping `epoch_ms`; the last one closes the
+    /// latency measurement.
+    pub fn note_flush_done(&self, epoch_ms: u64) {
+        let mut f = self.inner.flush.lock();
+        if let Some((issued, remaining)) = f.pending.get_mut(&epoch_ms) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                let us = issued.elapsed().as_micros() as u64;
+                f.pending.remove(&epoch_ms);
+                f.latencies_us.push(us);
+            }
+        }
+    }
+
+    /// Snapshot every counter. `queue` is the shard-queue backpressure
+    /// tracker the snapshot folds in.
+    pub fn snapshot(&self, queue: &QueueStats) -> GatewaySnapshot {
+        let f = self.inner.flush.lock();
+        let lat = &f.latencies_us;
+        let (mean_ms, max_ms) = if lat.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let sum: u64 = lat.iter().sum();
+            let max = *lat.iter().max().expect("non-empty");
+            (sum as f64 / lat.len() as f64 / 1000.0, max as f64 / 1000.0)
+        };
+        GatewaySnapshot {
+            connections: self.inner.connections.load(Ordering::Relaxed),
+            frames: self.inner.frames.load(Ordering::Relaxed),
+            corrupt_frames: self.inner.corrupt_frames.load(Ordering::Relaxed),
+            readings: self.inner.readings.load(Ordering::Relaxed),
+            unroutable: self.inner.unroutable.load(Ordering::Relaxed),
+            io_errors: self.inner.io_errors.load(Ordering::Relaxed),
+            shard_readings: self
+                .inner
+                .shard_readings
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            epochs_flushed: lat.len() as u64,
+            flush_latency_mean_ms: mean_ms,
+            flush_latency_max_ms: max_ms,
+            queue_sends: queue.sends(),
+            queue_blocked: queue.blocked(),
+        }
+    }
+}
+
+/// Point-in-time copy of the gateway counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewaySnapshot {
+    /// Connections that completed the handshake.
+    pub connections: u64,
+    /// Frames received (including corrupt ones).
+    pub frames: u64,
+    /// Frames dropped at the edge for failing checksum/decoding.
+    pub corrupt_frames: u64,
+    /// Readings decoded and routed.
+    pub readings: u64,
+    /// Readings naming a receptor outside every registered group.
+    pub unroutable: u64,
+    /// Connections that died with a transport error.
+    pub io_errors: u64,
+    /// Readings enqueued per shard (a fan-out reading counts on each).
+    pub shard_readings: Vec<u64>,
+    /// Epochs fully stepped by every shard.
+    pub epochs_flushed: u64,
+    /// Mean flush broadcast → last shard done, milliseconds.
+    pub flush_latency_mean_ms: f64,
+    /// Worst-case flush latency, milliseconds.
+    pub flush_latency_max_ms: f64,
+    /// Total shard-queue sends.
+    pub queue_sends: u64,
+    /// Shard-queue sends that found the queue full (backpressure).
+    pub queue_blocked: u64,
+}
+
+impl GatewaySnapshot {
+    /// Fraction of shard-queue sends that hit backpressure.
+    pub fn blocked_fraction(&self) -> f64 {
+        if self.queue_sends == 0 {
+            0.0
+        } else {
+            self.queue_blocked as f64 / self.queue_sends as f64
+        }
+    }
+
+    /// Render the snapshot as an `esp-metrics` report (one scalar per
+    /// counter, one per-shard scalar for routing skew).
+    pub fn report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(title);
+        r.scalar("connections", self.connections as f64)
+            .scalar("frames", self.frames as f64)
+            .scalar("corrupt_frames", self.corrupt_frames as f64)
+            .scalar("readings", self.readings as f64)
+            .scalar("unroutable", self.unroutable as f64)
+            .scalar("io_errors", self.io_errors as f64)
+            .scalar("epochs_flushed", self.epochs_flushed as f64)
+            .scalar("flush_latency_mean_ms", self.flush_latency_mean_ms)
+            .scalar("flush_latency_max_ms", self.flush_latency_max_ms)
+            .scalar("queue_sends", self.queue_sends as f64)
+            .scalar("queue_blocked", self.queue_blocked as f64)
+            .scalar("queue_blocked_fraction", self.blocked_fraction());
+        for (i, n) in self.shard_readings.iter().enumerate() {
+            r.scalar(format!("shard{i}_readings"), *n as f64);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = GatewayStats::new(2);
+        s.note_connection();
+        s.note_frame();
+        s.note_frame();
+        s.note_corrupt();
+        s.note_reading(500, &[1]);
+        s.note_unroutable();
+        let q = QueueStats::new();
+        q.record_send();
+        let snap = s.snapshot(&q);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.frames, 2);
+        assert_eq!(snap.corrupt_frames, 1);
+        assert_eq!(snap.readings, 1);
+        assert_eq!(snap.unroutable, 1);
+        assert_eq!(snap.shard_readings, vec![0, 1]);
+        assert_eq!(s.max_ts_ms(), 500);
+        assert_eq!(snap.queue_sends, 1);
+    }
+
+    #[test]
+    fn flush_latency_closes_when_all_shards_report() {
+        let s = GatewayStats::new(2);
+        s.note_flush_issued(100);
+        s.note_flush_done(100);
+        let q = QueueStats::new();
+        assert_eq!(s.snapshot(&q).epochs_flushed, 0, "one shard still pending");
+        s.note_flush_done(100);
+        let snap = s.snapshot(&q);
+        assert_eq!(snap.epochs_flushed, 1);
+        assert!(snap.flush_latency_max_ms >= snap.flush_latency_mean_ms);
+    }
+
+    #[test]
+    fn report_carries_all_scalars() {
+        let s = GatewayStats::new(1);
+        s.note_reading(10, &[0]);
+        let r = s.snapshot(&QueueStats::new()).report("gw");
+        assert_eq!(r.get_scalar("readings"), Some(1.0));
+        assert_eq!(r.get_scalar("shard0_readings"), Some(1.0));
+        assert_eq!(r.get_scalar("queue_blocked_fraction"), Some(0.0));
+    }
+}

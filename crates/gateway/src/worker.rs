@@ -1,0 +1,114 @@
+//! Per-shard pipeline workers.
+//!
+//! Each shard owns a full [`EspProcessor`] cleaning cascade over the
+//! proximity groups hashed to it. Readings and epoch punctuation arrive on
+//! one bounded FIFO channel per shard; because the coordinator only sends
+//! `Flush(e)` after the watermark certifies `e`, every reading with
+//! `ts <= e` is already ahead of the flush in the queue, and the step is
+//! deterministic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+
+use esp_core::EspProcessor;
+use esp_receptors::wire::Reading;
+use esp_stream::Source;
+use esp_types::{Batch, ReceptorId, Result, Ts, Tuple};
+
+use crate::convert::ReadingSchemas;
+use crate::server::EpochTrace;
+use crate::stats::GatewayStats;
+
+/// Message on a shard's ingest queue.
+pub(crate) enum ShardMsg {
+    /// A decoded reading routed to this shard.
+    Reading(Reading),
+    /// Punctuation: all readings with `ts <= epoch` are upstream of this
+    /// message — step the pipeline.
+    Flush(Ts),
+    /// Drain and exit; the worker returns its output trace.
+    Shutdown,
+}
+
+/// Shared mailbox between a shard worker (producer) and one of its
+/// processor's sources (consumer). Both run on the worker thread, so the
+/// mutex is uncontended.
+pub(crate) type ReadingBuffer = Arc<Mutex<Vec<Tuple>>>;
+
+/// A [`Source`] that drains a [`ReadingBuffer`]: `poll(epoch)` releases
+/// exactly the tuples stamped `<= epoch`, preserving arrival order, and
+/// keeps later tuples for the next epoch.
+pub(crate) struct QueueSource {
+    name: String,
+    buf: ReadingBuffer,
+}
+
+impl QueueSource {
+    pub(crate) fn new(receptor: ReceptorId, buf: ReadingBuffer) -> QueueSource {
+        QueueSource {
+            name: format!("gateway-{receptor}"),
+            buf,
+        }
+    }
+}
+
+impl Source for QueueSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, epoch: Ts) -> Result<Batch> {
+        let mut buf = self.buf.lock();
+        let mut out = Batch::new();
+        let mut keep = Vec::new();
+        for t in buf.drain(..) {
+            if t.ts() <= epoch {
+                out.push(t);
+            } else {
+                keep.push(t);
+            }
+        }
+        *buf = keep;
+        Ok(out)
+    }
+}
+
+/// Spawn one shard worker. It owns the processor; on `Shutdown` (or a
+/// disconnected channel) it returns the accumulated output trace.
+pub(crate) fn spawn_worker(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    mut processor: EspProcessor,
+    buffers: HashMap<ReceptorId, ReadingBuffer>,
+    stats: GatewayStats,
+) -> JoinHandle<Result<EpochTrace>> {
+    let schemas = ReadingSchemas::new();
+    thread::Builder::new()
+        .name(format!("esp-gateway-shard-{shard}"))
+        .spawn(move || {
+            loop {
+                match rx.recv() {
+                    Ok(ShardMsg::Reading(reading)) => {
+                        // Router guarantees membership, but a dynamic
+                        // group edit could race a reading in flight;
+                        // dropping here matches the processor, which
+                        // drops tuples from departed members.
+                        if let Some(buf) = buffers.get(&reading.receptor()) {
+                            buf.lock().push(schemas.to_tuple(&reading));
+                        }
+                    }
+                    Ok(ShardMsg::Flush(epoch)) => {
+                        processor.step(epoch)?;
+                        stats.note_flush_done(epoch.as_millis());
+                    }
+                    Ok(ShardMsg::Shutdown) | Err(_) => break,
+                }
+            }
+            Ok(processor.take_output())
+        })
+        .expect("spawn shard worker thread")
+}

@@ -16,7 +16,12 @@ pub struct AlertCounter {
 impl AlertCounter {
     /// Alert when the reported value drops strictly below `threshold`.
     pub fn new(threshold: f64) -> AlertCounter {
-        AlertCounter { threshold, alerts: 0, false_alerts: 0, observations: 0 }
+        AlertCounter {
+            threshold,
+            alerts: 0,
+            false_alerts: 0,
+            observations: 0,
+        }
     }
 
     /// Record one observation: the reported value and the true value.

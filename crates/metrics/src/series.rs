@@ -2,10 +2,10 @@
 
 use std::fmt::Write as _;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// A named (x, y) series — one line of a paper figure.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Display name ("Shelf 0 raw", "ESP", …).
     pub name: String,
@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// An empty series.
     pub fn new(name: impl Into<String>) -> Series {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append one point.
@@ -29,7 +32,10 @@ impl Series {
         name: impl Into<String>,
         points: impl IntoIterator<Item = (f64, f64)>,
     ) -> Series {
-        Series { name: name.into(), points: points.into_iter().collect() }
+        Series {
+            name: name.into(),
+            points: points.into_iter().collect(),
+        }
     }
 
     /// Minimum and maximum y, if non-empty.
@@ -74,16 +80,29 @@ pub fn ascii_plot(series: &Series, width: usize, height: usize) -> String {
         let row = (((y - y_lo) / y_span) * (height - 1) as f64).round() as usize;
         grid[height - 1 - row][col.min(width - 1)] = b'*';
     }
-    let _ = writeln!(out, "{} (y: {y_lo:.2}..{y_hi:.2}, x: {x_lo:.1}..{x_hi:.1})", series.name);
+    let _ = writeln!(
+        out,
+        "{} (y: {y_lo:.2}..{y_hi:.2}, x: {x_lo:.1}..{x_hi:.1})",
+        series.name
+    );
     for row in grid {
         let _ = writeln!(out, "|{}|", String::from_utf8_lossy(&row));
     }
     out
 }
 
+impl Serialize for Series {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("points".to_string(), self.points.to_value()),
+        ])
+    }
+}
+
 /// A complete experiment report: scalars + series, renderable as text and
 /// serializable as JSON.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Experiment title ("Figure 5: pipeline ablation", …).
     pub title: String,
@@ -93,10 +112,24 @@ pub struct Report {
     pub series: Vec<Series>,
 }
 
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("title".to_string(), self.title.to_value()),
+            ("scalars".to_string(), self.scalars.to_value()),
+            ("series".to_string(), self.series.to_value()),
+        ])
+    }
+}
+
 impl Report {
     /// An empty report.
     pub fn new(title: impl Into<String>) -> Report {
-        Report { title: title.into(), scalars: Vec::new(), series: Vec::new() }
+        Report {
+            title: title.into(),
+            scalars: Vec::new(),
+            series: Vec::new(),
+        }
     }
 
     /// Add a scalar result.
@@ -113,7 +146,10 @@ impl Report {
 
     /// Fetch a scalar by name.
     pub fn get_scalar(&self, name: &str) -> Option<f64> {
-        self.scalars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Render as an aligned text table (scalars) plus series summaries.

@@ -67,7 +67,12 @@ struct SumState {
 
 impl AggregateFactory for SumFactory {
     fn make(&self) -> Box<dyn AggregateState> {
-        Box::new(SumState { int_sum: 0, float_sum: 0.0, saw_float: false, n: 0 })
+        Box::new(SumState {
+            int_sum: 0,
+            float_sum: 0.0,
+            saw_float: false,
+            n: 0,
+        })
     }
     fn result_type(&self) -> DataType {
         DataType::Any
@@ -86,7 +91,9 @@ impl AggregateState for SumState {
                 self.float_sum += f;
             }
             other => {
-                return Err(EspError::Type(format!("sum() over non-numeric value {other}")))
+                return Err(EspError::Type(format!(
+                    "sum() over non-numeric value {other}"
+                )))
             }
         }
         self.n += 1;
@@ -122,7 +129,10 @@ enum StatsKind {
 
 impl AggregateFactory for AvgFactory {
     fn make(&self) -> Box<dyn AggregateState> {
-        Box::new(StatsState { stats: RunningStats::new(), kind: StatsKind::Avg })
+        Box::new(StatsState {
+            stats: RunningStats::new(),
+            kind: StatsKind::Avg,
+        })
     }
     fn result_type(&self) -> DataType {
         DataType::Float
@@ -131,7 +141,10 @@ impl AggregateFactory for AvgFactory {
 
 impl AggregateFactory for StdevFactory {
     fn make(&self) -> Box<dyn AggregateState> {
-        Box::new(StatsState { stats: RunningStats::new(), kind: StatsKind::Stdev })
+        Box::new(StatsState {
+            stats: RunningStats::new(),
+            kind: StatsKind::Stdev,
+        })
     }
     fn result_type(&self) -> DataType {
         DataType::Float
@@ -169,7 +182,10 @@ struct ExtremeState {
 
 impl AggregateFactory for ExtremeFactory {
     fn make(&self) -> Box<dyn AggregateState> {
-        Box::new(ExtremeState { is_max: self.is_max, best: Value::Null })
+        Box::new(ExtremeState {
+            is_max: self.is_max,
+            best: Value::Null,
+        })
     }
 }
 
@@ -185,7 +201,11 @@ impl AggregateState for ExtremeState {
                 v, self.best
             ))
         })?;
-        let take = if self.is_max { ord.is_gt() } else { ord.is_lt() };
+        let take = if self.is_max {
+            ord.is_gt()
+        } else {
+            ord.is_lt()
+        };
         if take {
             self.best = v.clone();
         }
@@ -210,13 +230,19 @@ mod tests {
 
     #[test]
     fn count_counts_updates() {
-        assert_eq!(run(&CountFactory, &[Value::Int(1), Value::Int(1)]), Value::Int(2));
+        assert_eq!(
+            run(&CountFactory, &[Value::Int(1), Value::Int(1)]),
+            Value::Int(2)
+        );
         assert_eq!(run(&CountFactory, &[]), Value::Int(0));
     }
 
     #[test]
     fn sum_preserves_int_until_float_seen() {
-        assert_eq!(run(&SumFactory, &[Value::Int(2), Value::Int(3)]), Value::Int(5));
+        assert_eq!(
+            run(&SumFactory, &[Value::Int(2), Value::Int(3)]),
+            Value::Int(5)
+        );
         assert_eq!(
             run(&SumFactory, &[Value::Int(2), Value::Float(0.5)]),
             Value::Float(2.5)
@@ -232,8 +258,9 @@ mod tests {
 
     #[test]
     fn avg_and_stdev() {
-        let vals: Vec<Value> =
-            [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].map(Value::Float).to_vec();
+        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .map(Value::Float)
+            .to_vec();
         assert_eq!(run(&AvgFactory, &vals), Value::Float(5.0));
         match run(&StdevFactory, &vals) {
             Value::Float(s) => assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-9),
@@ -251,8 +278,14 @@ mod tests {
     fn min_max_over_numbers_and_strings() {
         let max = ExtremeFactory { is_max: true };
         let min = ExtremeFactory { is_max: false };
-        assert_eq!(run(&max, &[Value::Int(3), Value::Float(4.5)]), Value::Float(4.5));
-        assert_eq!(run(&min, &[Value::Int(3), Value::Float(4.5)]), Value::Int(3));
+        assert_eq!(
+            run(&max, &[Value::Int(3), Value::Float(4.5)]),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            run(&min, &[Value::Int(3), Value::Float(4.5)]),
+            Value::Int(3)
+        );
         assert_eq!(
             run(&max, &[Value::str("apple"), Value::str("pear")]),
             Value::str("pear")

@@ -225,7 +225,10 @@ pub enum Expr {
 impl Expr {
     /// Convenience: an unqualified field reference.
     pub fn field(name: impl Into<String>) -> Expr {
-        Expr::Field { qualifier: None, name: name.into() }
+        Expr::Field {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// True when the expression (recursively) contains an aggregate call.
@@ -252,9 +255,20 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(v) => write!(f, "{v}"),
-            Expr::Field { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Field { qualifier: None, name } => write!(f, "{name}"),
-            Expr::Call { name, distinct, args, star } => {
+            Expr::Field {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Field {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
+            Expr::Call {
+                name,
+                distinct,
+                args,
+                star,
+            } => {
                 write!(f, "{name}(")?;
                 if *star {
                     write!(f, "*")?;
@@ -272,7 +286,12 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Cmp { lhs, op, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
-            Expr::QuantifiedCmp { lhs, op, quantifier, subquery } => {
+            Expr::QuantifiedCmp {
+                lhs,
+                op,
+                quantifier,
+                subquery,
+            } => {
                 let q = match quantifier {
                     Quantifier::All => "ALL",
                     Quantifier::Any => "ANY",

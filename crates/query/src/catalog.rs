@@ -52,13 +52,15 @@ impl Catalog {
                 Value::Int(i) => Value::Int(i.abs()),
                 Value::Float(f) => Value::Float(f.abs()),
                 Value::Null => Value::Null,
-                other => {
-                    return Err(EspError::Type(format!("abs() of non-number {other}")))
-                }
+                other => return Err(EspError::Type(format!("abs() of non-number {other}"))),
             })
         });
         c.register_scalar("coalesce", |args| {
-            Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+            Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null))
         });
         c
     }
@@ -79,7 +81,8 @@ impl Catalog {
         name: impl Into<String>,
         f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
     ) {
-        self.scalars.insert(name.into().to_ascii_lowercase(), Arc::new(f));
+        self.scalars
+            .insert(name.into().to_ascii_lowercase(), Arc::new(f));
     }
 
     /// Look up a scalar UDF.
@@ -93,7 +96,8 @@ impl Catalog {
         name: impl Into<String>,
         factory: Arc<dyn AggregateFactory>,
     ) {
-        self.aggregates.insert(name.into().to_ascii_lowercase(), factory);
+        self.aggregates
+            .insert(name.into().to_ascii_lowercase(), factory);
     }
 
     /// Look up an aggregate factory.
@@ -147,9 +151,11 @@ mod tests {
     #[test]
     fn relations_round_trip() {
         let mut c = Catalog::new();
-        let schema = Schema::builder().field("tag_id", DataType::Str).build().unwrap();
-        let rows =
-            vec![Tuple::new(schema, Ts::ZERO, vec![Value::str("expected-1")]).unwrap()];
+        let schema = Schema::builder()
+            .field("tag_id", DataType::Str)
+            .build()
+            .unwrap();
+        let rows = vec![Tuple::new(schema, Ts::ZERO, vec![Value::str("expected-1")]).unwrap()];
         c.register_relation("expected_tags", rows);
         assert_eq!(c.relation("expected_tags").unwrap().len(), 1);
         assert!(c.relation("nope").is_none());

@@ -17,9 +17,7 @@ use esp_stream::WindowBuffer;
 use esp_types::{DataType, EspError, Field, Result, Schema, TimeDelta, Value};
 
 use crate::aggregate::AggregateFactory;
-use crate::ast::{
-    ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt,
-};
+use crate::ast::{ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt};
 use crate::catalog::{Catalog, ScalarFn};
 
 /// An executable (but stateful: windows) form of one `SELECT`.
@@ -161,8 +159,14 @@ impl fmt::Display for CExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CExpr::Literal(v) => write!(f, "{v}"),
-            CExpr::Field { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            CExpr::Field { qualifier: None, name } => write!(f, "{name}"),
+            CExpr::Field {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            CExpr::Field {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             CExpr::Agg { key, .. } => write!(f, "{key}"),
             CExpr::Scalar { name, args, .. } => {
                 write!(f, "{name}(")?;
@@ -175,7 +179,12 @@ impl fmt::Display for CExpr {
                 write!(f, ")")
             }
             CExpr::Cmp { lhs, op, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
-            CExpr::Quantified { lhs, op, quantifier, .. } => {
+            CExpr::Quantified {
+                lhs,
+                op,
+                quantifier,
+                ..
+            } => {
                 let q = match quantifier {
                     Quantifier::All => "ALL",
                     Quantifier::Any => "ANY",
@@ -214,7 +223,8 @@ impl CompiledSelect {
             }
         }
         for item in &mut self.select {
-            item.expr.for_each_subquery(&mut |sub| sub.for_each_window(f));
+            item.expr
+                .for_each_subquery(&mut |sub| sub.for_each_window(f));
         }
         if let Some(w) = &mut self.where_clause {
             w.for_each_subquery(&mut |sub| sub.for_each_window(f));
@@ -281,11 +291,19 @@ pub fn compile(stmt: &SelectStmt, catalog: &Catalog) -> Result<CompiledSelect> {
 
     let is_agg_name = |n: &str| catalog.is_aggregate(n);
     let is_aggregate = !stmt.group_by.is_empty()
-        || stmt.select.iter().any(|s| s.expr.contains_aggregate(&is_agg_name))
-        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate(&is_agg_name));
+        || stmt
+            .select
+            .iter()
+            .any(|s| s.expr.contains_aggregate(&is_agg_name))
+        || stmt
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate(&is_agg_name));
 
     if stmt.is_star() && is_aggregate {
-        return Err(EspError::Plan("SELECT * cannot be combined with aggregation".into()));
+        return Err(EspError::Plan(
+            "SELECT * cannot be combined with aggregation".into(),
+        ));
     }
     if let Some(w) = &stmt.where_clause {
         if w.contains_aggregate(&is_agg_name) {
@@ -298,7 +316,11 @@ pub fn compile(stmt: &SelectStmt, catalog: &Catalog) -> Result<CompiledSelect> {
     let mut agg_calls: Vec<AggCall> = Vec::new();
 
     let compile_in = |e: &Expr, allow_aggs: bool, agg_calls: &mut Vec<AggCall>| {
-        let mut cx = ExprCompiler { catalog, agg_calls, allow_aggs };
+        let mut cx = ExprCompiler {
+            catalog,
+            agg_calls,
+            allow_aggs,
+        };
         cx.compile(e)
     };
 
@@ -362,7 +384,10 @@ fn compile_from(item: &FromItem, catalog: &Catalog) -> Result<CFromItem> {
                 CSource::Relation { name: name.clone() }
             } else {
                 let width = item.window.map(|w| w.range).unwrap_or(TimeDelta::ZERO);
-                CSource::Stream { name: name.clone(), window: WindowBuffer::new(width) }
+                CSource::Stream {
+                    name: name.clone(),
+                    window: WindowBuffer::new(width),
+                }
             }
         }
         FromSource::Derived(sub) => {
@@ -387,18 +412,27 @@ impl ExprCompiler<'_> {
     fn compile(&mut self, e: &Expr) -> Result<CExpr> {
         Ok(match e {
             Expr::Literal(v) => CExpr::Literal(v.clone()),
-            Expr::Field { qualifier, name } => {
-                CExpr::Field { qualifier: qualifier.clone(), name: name.clone() }
-            }
-            Expr::Call { name, distinct, args, star } => {
-                return self.compile_call(name, *distinct, args, *star)
-            }
+            Expr::Field { qualifier, name } => CExpr::Field {
+                qualifier: qualifier.clone(),
+                name: name.clone(),
+            },
+            Expr::Call {
+                name,
+                distinct,
+                args,
+                star,
+            } => return self.compile_call(name, *distinct, args, *star),
             Expr::Cmp { lhs, op, rhs } => CExpr::Cmp {
                 lhs: Box::new(self.compile(lhs)?),
                 op: *op,
                 rhs: Box::new(self.compile(rhs)?),
             },
-            Expr::QuantifiedCmp { lhs, op, quantifier, subquery } => {
+            Expr::QuantifiedCmp {
+                lhs,
+                op,
+                quantifier,
+                subquery,
+            } => {
                 let sub = compile(subquery, self.catalog)?;
                 if sub.select.len() != 1 {
                     return Err(EspError::Plan(
@@ -417,12 +451,8 @@ impl ExprCompiler<'_> {
                 op: *op,
                 rhs: Box::new(self.compile(rhs)?),
             },
-            Expr::And(a, b) => {
-                CExpr::And(Box::new(self.compile(a)?), Box::new(self.compile(b)?))
-            }
-            Expr::Or(a, b) => {
-                CExpr::Or(Box::new(self.compile(a)?), Box::new(self.compile(b)?))
-            }
+            Expr::And(a, b) => CExpr::And(Box::new(self.compile(a)?), Box::new(self.compile(b)?)),
+            Expr::Or(a, b) => CExpr::Or(Box::new(self.compile(a)?), Box::new(self.compile(b)?)),
             Expr::Not(x) => CExpr::Not(Box::new(self.compile(x)?)),
             Expr::Neg(x) => CExpr::Neg(Box::new(self.compile(x)?)),
         })
@@ -491,7 +521,11 @@ impl ExprCompiler<'_> {
             for a in args {
                 cargs.push(self.compile(a)?);
             }
-            return Ok(CExpr::Scalar { name: lname, func: Arc::clone(func), args: cargs });
+            return Ok(CExpr::Scalar {
+                name: lname,
+                func: Arc::clone(func),
+                args: cargs,
+            });
         }
         Err(EspError::Plan(format!("unknown function '{lname}'")))
     }
@@ -539,9 +573,14 @@ fn infer_type(e: &CExpr, agg_calls: &[AggCall]) -> DataType {
             Value::Ts(_) => DataType::Ts,
         },
         CExpr::Agg { idx, .. } => agg_calls[*idx].factory.result_type(),
-        CExpr::Cmp { .. } | CExpr::Quantified { .. } | CExpr::And(..) | CExpr::Or(..)
+        CExpr::Cmp { .. }
+        | CExpr::Quantified { .. }
+        | CExpr::And(..)
+        | CExpr::Or(..)
         | CExpr::Not(_) => DataType::Bool,
-        CExpr::Arith { op: ArithOp::Div, .. } => DataType::Float,
+        CExpr::Arith {
+            op: ArithOp::Div, ..
+        } => DataType::Float,
         _ => DataType::Any,
     }
 }
@@ -557,27 +596,36 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        assert!(compile_src("SELECT count(*) FROM s [Range 'NOW']").unwrap().is_aggregate);
-        assert!(compile_src("SELECT x FROM s [Range 'NOW'] GROUP BY x").unwrap().is_aggregate);
-        assert!(!compile_src("SELECT x FROM s [Range 'NOW']").unwrap().is_aggregate);
+        assert!(
+            compile_src("SELECT count(*) FROM s [Range 'NOW']")
+                .unwrap()
+                .is_aggregate
+        );
+        assert!(
+            compile_src("SELECT x FROM s [Range 'NOW'] GROUP BY x")
+                .unwrap()
+                .is_aggregate
+        );
+        assert!(
+            !compile_src("SELECT x FROM s [Range 'NOW']")
+                .unwrap()
+                .is_aggregate
+        );
     }
 
     #[test]
     fn agg_calls_deduplicated() {
-        let c = compile_src(
-            "SELECT count(*), count(*) + 1 FROM s [Range 'NOW'] HAVING count(*) > 1",
-        )
-        .unwrap();
+        let c =
+            compile_src("SELECT count(*), count(*) + 1 FROM s [Range 'NOW'] HAVING count(*) > 1")
+                .unwrap();
         assert_eq!(c.agg_calls.len(), 1);
         assert_eq!(c.agg_calls[0].key, "count(*)");
     }
 
     #[test]
     fn distinct_and_plain_are_separate_calls() {
-        let c = compile_src(
-            "SELECT count(tag_id), count(distinct tag_id) FROM s [Range 'NOW']",
-        )
-        .unwrap();
+        let c = compile_src("SELECT count(tag_id), count(distinct tag_id) FROM s [Range 'NOW']")
+            .unwrap();
         assert_eq!(c.agg_calls.len(), 2);
     }
 

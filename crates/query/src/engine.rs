@@ -42,7 +42,9 @@ pub struct Engine {
 impl Engine {
     /// An engine with the built-in functions registered.
     pub fn new() -> Engine {
-        Engine { catalog: Arc::new(Catalog::new()) }
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+        }
     }
 
     /// Register a static relation available to every subsequently compiled
@@ -128,7 +130,10 @@ impl ContinuousQuery {
                 "stream '{stream}' is not read by this query"
             )));
         }
-        self.pending.entry(stream.to_string()).or_default().extend_from_slice(batch);
+        self.pending
+            .entry(stream.to_string())
+            .or_default()
+            .extend_from_slice(batch);
         Ok(())
     }
 
@@ -142,13 +147,20 @@ impl ContinuousQuery {
                 // now-windows ([Range By 'NOW']) retain exactly this
                 // epoch's arrivals.
                 for t in batch {
-                    let t = if t.ts() == epoch { t.clone() } else { t.restamped(epoch) };
+                    let t = if t.ts() == epoch {
+                        t.clone()
+                    } else {
+                        t.restamped(epoch)
+                    };
                     w.push(t);
                 }
             }
             w.advance_to(epoch);
         });
-        let ctx = ExecCtx { catalog: &self.catalog, epoch };
+        let ctx = ExecCtx {
+            catalog: &self.catalog,
+            epoch,
+        };
         let result = eval_select(&self.root, None, &ctx)?;
         Ok(result
             .rows
@@ -182,7 +194,11 @@ impl QueryOperator {
                 )));
             }
         }
-        Ok(QueryOperator { name: name.into(), query, ports })
+        Ok(QueryOperator {
+            name: name.into(),
+            query,
+            ports,
+        })
     }
 
     /// Single-input convenience: port 0 feeds the query's only stream.
@@ -212,9 +228,10 @@ impl Operator for QueryOperator {
         if batch.is_empty() {
             return Ok(());
         }
-        let stream = self.ports.get(port).ok_or_else(|| {
-            EspError::Config(format!("no stream mapped to input port {port}"))
-        })?;
+        let stream = self
+            .ports
+            .get(port)
+            .ok_or_else(|| EspError::Config(format!("no stream mapped to input port {port}")))?;
         // Clone the name to appease the borrow checker cheaply.
         let stream = stream.clone();
         self.query.push(&stream, batch)
@@ -274,7 +291,9 @@ mod tests {
     #[test]
     fn push_to_unknown_stream_rejected() {
         let engine = Engine::new();
-        let mut q = engine.compile("SELECT tag_id FROM s [Range By 'NOW']").unwrap();
+        let mut q = engine
+            .compile("SELECT tag_id FROM s [Range By 'NOW']")
+            .unwrap();
         assert!(q.push("other", &[]).is_err());
         assert_eq!(q.input_streams(), &["s".to_string()]);
     }
@@ -287,7 +306,8 @@ mod tests {
             .unwrap();
         let mut op = QueryOperator::single_input("smooth", q).unwrap();
         assert_eq!(op.n_inputs(), 1);
-        op.push(0, &[rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "a")]).unwrap();
+        op.push(0, &[rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "a")])
+            .unwrap();
         let out = op.flush(Ts::ZERO).unwrap();
         assert_eq!(out[0].get("count"), Some(&Value::Int(2)));
     }
@@ -312,7 +332,9 @@ mod tests {
     #[test]
     fn late_tuples_are_restamped_into_the_epoch() {
         let engine = Engine::new();
-        let mut q = engine.compile("SELECT count(*) FROM s [Range By 'NOW']").unwrap();
+        let mut q = engine
+            .compile("SELECT count(*) FROM s [Range By 'NOW']")
+            .unwrap();
         // Tuple stamped in the past still lands in the current now-window.
         q.push("s", &[rfid(Ts::ZERO, "a")]).unwrap();
         let out = q.tick(Ts::from_secs(10)).unwrap();

@@ -14,9 +14,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use esp_types::{
-    EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey,
-};
+use esp_types::{EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
 
 use crate::ast::{ArithOp, Quantifier};
 use crate::catalog::Catalog;
@@ -65,8 +63,7 @@ pub fn eval_select(
     for item in &cs.from {
         inputs.push(materialize_from(item, outer, ctx)?);
     }
-    let bindings: Vec<Option<String>> =
-        cs.from.iter().map(|f| f.binding.clone()).collect();
+    let bindings: Vec<Option<String>> = cs.from.iter().map(|f| f.binding.clone()).collect();
 
     // 2. Cross product + WHERE.
     let mut surviving: Vec<Vec<&Tuple>> = Vec::new();
@@ -74,9 +71,17 @@ pub fn eval_select(
     let any_empty = inputs.iter().any(Vec::is_empty);
     if !any_empty && !inputs.is_empty() {
         'outer: loop {
-            let row: Vec<&Tuple> =
-                odometer.iter().enumerate().map(|(i, &j)| &inputs[i][j]).collect();
-            let env = RowEnv { bindings: &bindings, row: &row, aggs: None, outer };
+            let row: Vec<&Tuple> = odometer
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| &inputs[i][j])
+                .collect();
+            let env = RowEnv {
+                bindings: &bindings,
+                row: &row,
+                aggs: None,
+                outer,
+            };
             let keep = match &cs.where_clause {
                 Some(w) => eval_expr(w, &env, ctx)?.truthy(),
                 None => true,
@@ -104,10 +109,18 @@ pub fn eval_select(
     } else if cs.select.is_empty() {
         eval_star(cs, &bindings, &surviving)
     } else {
-        let schema = cs.output_schema.clone().expect("explicit projection has schema");
+        let schema = cs
+            .output_schema
+            .clone()
+            .expect("explicit projection has schema");
         let mut rows = Vec::with_capacity(surviving.len());
         for row in &surviving {
-            let env = RowEnv { bindings: &bindings, row, aggs: None, outer };
+            let env = RowEnv {
+                bindings: &bindings,
+                row,
+                aggs: None,
+                outer,
+            };
             let mut out = Vec::with_capacity(cs.select.len());
             for item in &cs.select {
                 out.push(eval_expr(&item.expr, &env, ctx)?);
@@ -127,7 +140,10 @@ fn eval_star(
     let Some(first) = rows.first() else {
         // No rows this epoch: emit an empty result with a best-effort
         // empty schema (consumers see no tuples either way).
-        return Ok(SelectResult { schema: Schema::new(vec![])?, rows: vec![] });
+        return Ok(SelectResult {
+            schema: Schema::new(vec![])?,
+            rows: vec![],
+        });
     };
     // Join the schemas of the first row, prefixing duplicates by binding.
     let mut schema: Arc<Schema> = Arc::clone(first[0].schema());
@@ -138,8 +154,7 @@ fn eval_star(
     let _ = cs;
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
-        let mut vals =
-            Vec::with_capacity(row.iter().map(|t| t.values().len()).sum::<usize>());
+        let mut vals = Vec::with_capacity(row.iter().map(|t| t.values().len()).sum::<usize>());
         for t in row {
             vals.extend_from_slice(t.values());
         }
@@ -171,12 +186,20 @@ fn eval_grouped(
     if cs.group_by.is_empty() {
         // Global group, present even over empty input (SQL semantics:
         // `SELECT count(*) FROM empty` yields one row).
-        let g = Group { rep: rows.first().cloned(), members: (0..rows.len()).collect() };
+        let g = Group {
+            rep: rows.first().cloned(),
+            members: (0..rows.len()).collect(),
+        };
         order.push(Vec::new());
         groups.insert(Vec::new(), g);
     } else {
         for (ri, row) in rows.iter().enumerate() {
-            let env = RowEnv { bindings, row, aggs: None, outer };
+            let env = RowEnv {
+                bindings,
+                row,
+                aggs: None,
+                outer,
+            };
             let mut key = Vec::with_capacity(cs.group_by.len());
             for g in &cs.group_by {
                 key.push(eval_expr(g, &env, ctx)?.group_key());
@@ -184,25 +207,43 @@ fn eval_grouped(
             match groups.entry(key.clone()) {
                 Entry::Occupied(mut e) => e.get_mut().members.push(ri),
                 Entry::Vacant(e) => {
-                    e.insert(Group { rep: Some(row.clone()), members: vec![ri] });
+                    e.insert(Group {
+                        rep: Some(row.clone()),
+                        members: vec![ri],
+                    });
                     order.push(key);
                 }
             }
         }
     }
 
-    let schema = cs.output_schema.clone().expect("aggregate select is never *");
+    let schema = cs
+        .output_schema
+        .clone()
+        .expect("aggregate select is never *");
     let mut out_rows = Vec::with_capacity(order.len());
     for key in &order {
         let group = &groups[key];
         // Fold every aggregate over the group's members.
         let mut agg_values = Vec::with_capacity(cs.agg_calls.len());
         for call in &cs.agg_calls {
-            agg_values.push(fold_aggregate(call, bindings, rows, &group.members, outer, ctx)?);
+            agg_values.push(fold_aggregate(
+                call,
+                bindings,
+                rows,
+                &group.members,
+                outer,
+                ctx,
+            )?);
         }
         let empty_row: Vec<&Tuple> = Vec::new();
         let rep = group.rep.as_ref().unwrap_or(&empty_row);
-        let env = RowEnv { bindings, row: rep, aggs: Some(&agg_values), outer };
+        let env = RowEnv {
+            bindings,
+            row: rep,
+            aggs: Some(&agg_values),
+            outer,
+        };
         if let Some(h) = &cs.having {
             if !eval_expr(h, &env, ctx)?.truthy() {
                 continue;
@@ -214,7 +255,10 @@ fn eval_grouped(
         }
         out_rows.push(out);
     }
-    Ok(SelectResult { schema, rows: out_rows })
+    Ok(SelectResult {
+        schema,
+        rows: out_rows,
+    })
 }
 
 fn fold_aggregate(
@@ -232,7 +276,12 @@ fn fold_aggregate(
         let v = match &call.arg {
             None => Value::Int(1), // count(*)
             Some(arg) => {
-                let env = RowEnv { bindings, row, aggs: None, outer };
+                let env = RowEnv {
+                    bindings,
+                    row,
+                    aggs: None,
+                    outer,
+                };
                 eval_expr(arg, &env, ctx)?
             }
         };
@@ -292,21 +341,27 @@ pub fn eval_expr(e: &CExpr, env: &RowEnv<'_>, ctx: &ExecCtx<'_>) -> Result<Value
         CExpr::Cmp { lhs, op, rhs } => {
             let l = eval_expr(lhs, env, ctx)?;
             let r = eval_expr(rhs, env, ctx)?;
-            Ok(Value::Bool(l.sql_cmp(&r).map(|o| op.matches(o)).unwrap_or(false)))
+            Ok(Value::Bool(
+                l.sql_cmp(&r).map(|o| op.matches(o)).unwrap_or(false),
+            ))
         }
-        CExpr::Quantified { lhs, op, quantifier, subquery } => {
+        CExpr::Quantified {
+            lhs,
+            op,
+            quantifier,
+            subquery,
+        } => {
             let l = eval_expr(lhs, env, ctx)?;
             let result = eval_select(subquery, Some(env), ctx)?;
             let mut all = true;
             let mut any = false;
             for row in &result.rows {
-                let matched =
-                    l.sql_cmp(&row[0]).map(|o| op.matches(o)).unwrap_or(false);
+                let matched = l.sql_cmp(&row[0]).map(|o| op.matches(o)).unwrap_or(false);
                 all &= matched;
                 any |= matched;
             }
             Ok(Value::Bool(match quantifier {
-                Quantifier::All => all,  // vacuously true over empty results
+                Quantifier::All => all, // vacuously true over empty results
                 Quantifier::Any => any, // vacuously false over empty results
             }))
         }
@@ -401,11 +456,7 @@ fn resolve_field(qualifier: Option<&str>, name: &str, env: &RowEnv<'_>) -> Resul
     }
 }
 
-fn lookup_in_scope(
-    qualifier: Option<&str>,
-    name: &str,
-    s: &RowEnv<'_>,
-) -> Result<Option<Value>> {
+fn lookup_in_scope(qualifier: Option<&str>, name: &str, s: &RowEnv<'_>) -> Result<Option<Value>> {
     let mut found: Option<&Value> = None;
     for (i, t) in s.row.iter().enumerate() {
         if let Some(q) = qualifier {
@@ -441,13 +492,14 @@ pub fn star_schema(schemas: &[(Option<&str>, Arc<Schema>)]) -> Result<Arc<Schema
     }
     match joined {
         Some(j) => Ok(j),
-        None => Schema::new(fields.drain(..).collect()),
+        None => Schema::new(std::mem::take(&mut fields)),
     }
 }
 
 /// Compare two values for ORDER-like uses elsewhere in the workspace.
 pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
-    a.sql_cmp(b).unwrap_or_else(|| a.group_key().cmp(&b.group_key()))
+    a.sql_cmp(b)
+        .unwrap_or_else(|| a.group_key().cmp(&b.group_key()))
 }
 
 #[cfg(test)]
@@ -458,7 +510,10 @@ mod tests {
     use esp_types::{DataType, TupleBuilder};
 
     fn ctx(catalog: &Catalog) -> ExecCtx<'_> {
-        ExecCtx { catalog, epoch: Ts::from_secs(1) }
+        ExecCtx {
+            catalog,
+            epoch: Ts::from_secs(1),
+        }
     }
 
     fn push_all(cs: &mut CompiledSelect, stream: &str, batch: &[Tuple]) {
@@ -479,7 +534,10 @@ mod tests {
     }
 
     fn tag_schema() -> Arc<Schema> {
-        Schema::builder().field("tag_id", DataType::Str).build().unwrap()
+        Schema::builder()
+            .field("tag_id", DataType::Str)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -491,7 +549,11 @@ mod tests {
         )
         .unwrap();
         let schema = tag_schema();
-        push_all(&mut cs, "s", &[reading(&schema, "a"), reading(&schema, "b")]);
+        push_all(
+            &mut cs,
+            "s",
+            &[reading(&schema, "a"), reading(&schema, "b")],
+        );
         let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
         assert_eq!(r.rows, vec![vec![Value::str("a")]]);
         assert_eq!(r.schema.fields()[0].name, "tag_id");
@@ -501,8 +563,7 @@ mod tests {
     fn group_by_counts() {
         let catalog = Catalog::new();
         let mut cs = compile(
-            &parse("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
-                .unwrap(),
+            &parse("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id").unwrap(),
             &catalog,
         )
         .unwrap();
@@ -510,7 +571,11 @@ mod tests {
         push_all(
             &mut cs,
             "s",
-            &[reading(&schema, "a"), reading(&schema, "b"), reading(&schema, "a")],
+            &[
+                reading(&schema, "a"),
+                reading(&schema, "b"),
+                reading(&schema, "a"),
+            ],
         );
         let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
         assert_eq!(
@@ -576,7 +641,11 @@ mod tests {
             &catalog,
         )
         .unwrap();
-        push_all(&mut cs, "s", &[reading(&schema, "a"), reading(&schema, "b")]);
+        push_all(
+            &mut cs,
+            "s",
+            &[reading(&schema, "a"), reading(&schema, "b")],
+        );
         let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
         assert_eq!(r.rows, vec![vec![Value::str("a")]]);
     }

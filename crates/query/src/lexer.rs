@@ -124,7 +124,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             b'%' => push_sym(&mut out, TokenKind::Percent, &mut i),
             b'=' => push_sym(&mut out, TokenKind::Eq, &mut i),
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token { kind: TokenKind::Neq, offset: i });
+                out.push(Token {
+                    kind: TokenKind::Neq,
+                    offset: i,
+                });
                 i += 2;
             }
             b'<' => {
@@ -174,7 +177,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -203,13 +209,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         EspError::parse_at(format!("malformed integer '{text}'"), start)
                     })?)
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -225,7 +232,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -332,7 +342,11 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("SELECT -- the whole row\n *"),
-            vec![TokenKind::Ident("SELECT".into()), TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -33,8 +33,8 @@ pub mod aggregate;
 pub mod ast;
 pub mod catalog;
 pub mod compile;
-pub mod exec;
 mod engine;
+pub mod exec;
 mod lexer;
 mod parser;
 

@@ -40,8 +40,8 @@ pub fn parse(src: &str) -> Result<SelectStmt> {
 
 /// Reserved words that terminate an expression or name position.
 const KEYWORDS: &[&str] = &[
-    "select", "from", "where", "group", "by", "having", "as", "and", "or", "not", "all",
-    "any", "in", "range", "distinct", "true", "false", "null", "union",
+    "select", "from", "where", "group", "by", "having", "as", "and", "or", "not", "all", "any",
+    "in", "range", "distinct", "true", "false", "null", "union",
 ];
 
 struct Parser {
@@ -93,7 +93,11 @@ impl Parser {
             Ok(())
         } else {
             Err(EspError::parse_at(
-                format!("expected {}, found {}", kw.to_uppercase(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kw.to_uppercase(),
+                    self.peek().describe()
+                ),
                 self.offset(),
             ))
         }
@@ -113,7 +117,11 @@ impl Parser {
             Ok(())
         } else {
             Err(EspError::parse_at(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.offset(),
             ))
         }
@@ -161,7 +169,11 @@ impl Parser {
         while self.eat(&TokenKind::Comma) {
             from.push(self.from_item()?);
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let group_by = if self.eat_kw("group") {
             self.expect_kw("by")?;
             let mut exprs = vec![self.expr()?];
@@ -172,8 +184,18 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
-        Ok(SelectStmt { select, from, where_clause, group_by, having })
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -195,6 +217,7 @@ impl Parser {
         Ok(None)
     }
 
+    #[allow(clippy::wrong_self_convention)] // named for the grammar production it parses
     fn from_item(&mut self) -> Result<FromItem> {
         let source = if self.eat(&TokenKind::LParen) {
             let sub = self.select()?;
@@ -227,7 +250,11 @@ impl Parser {
             None if window.is_some() => self.optional_alias()?,
             None => None,
         };
-        Ok(FromItem { source, alias, window })
+        Ok(FromItem {
+            source,
+            alias,
+            window,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr> {
@@ -281,7 +308,11 @@ impl Parser {
                 quantifier: Quantifier::Any,
                 subquery: Box::new(sub),
             };
-            return Ok(if negated { Expr::Not(Box::new(membership)) } else { membership });
+            return Ok(if negated {
+                Expr::Not(Box::new(membership))
+            } else {
+                membership
+            });
         }
         if negated {
             return Err(EspError::parse_at("expected IN after NOT", self.offset()));
@@ -310,7 +341,11 @@ impl Parser {
             }
         }
         let rhs = self.add_expr()?;
-        Ok(Expr::Cmp { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
+        Ok(Expr::Cmp {
+            lhs: Box::new(lhs),
+            op,
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr> {
@@ -323,7 +358,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+            lhs = Expr::Arith {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -339,7 +378,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+            lhs = Expr::Arith {
+                lhs: Box::new(lhs),
+                op,
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -403,9 +446,15 @@ impl Parser {
                 // Qualified field?
                 if self.eat(&TokenKind::Dot) {
                     let field = self.ident()?;
-                    return Ok(Expr::Field { qualifier: Some(word), name: field });
+                    return Ok(Expr::Field {
+                        qualifier: Some(word),
+                        name: field,
+                    });
                 }
-                Ok(Expr::Field { qualifier: None, name: word })
+                Ok(Expr::Field {
+                    qualifier: None,
+                    name: word,
+                })
             }
             other => Err(EspError::parse_at(
                 format!("expected an expression, found {}", other.describe()),
@@ -418,7 +467,12 @@ impl Parser {
     fn call_tail(&mut self, name: String) -> Result<Expr> {
         if self.eat(&TokenKind::Star) {
             self.expect(TokenKind::RParen)?;
-            return Ok(Expr::Call { name, distinct: false, args: vec![], star: true });
+            return Ok(Expr::Call {
+                name,
+                distinct: false,
+                args: vec![],
+                star: true,
+            });
         }
         let distinct = self.eat_kw("distinct");
         let mut args = Vec::new();
@@ -429,7 +483,12 @@ impl Parser {
             }
             self.expect(TokenKind::RParen)?;
         }
-        Ok(Expr::Call { name, distinct, args, star: false })
+        Ok(Expr::Call {
+            name,
+            distinct,
+            args,
+            star: false,
+        })
     }
 }
 
@@ -447,10 +506,20 @@ mod tests {
         .unwrap();
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.from.len(), 1);
-        assert_eq!(q.from[0].window, Some(WindowSpec { range: TimeDelta::from_secs(5) }));
+        assert_eq!(
+            q.from[0].window,
+            Some(WindowSpec {
+                range: TimeDelta::from_secs(5)
+            })
+        );
         assert_eq!(q.group_by, vec![Expr::field("shelf")]);
         match &q.select[1].expr {
-            Expr::Call { name, distinct, args, .. } => {
+            Expr::Call {
+                name,
+                distinct,
+                args,
+                ..
+            } => {
                 assert_eq!(name, "count");
                 assert!(*distinct);
                 assert_eq!(args.len(), 1);
@@ -486,7 +555,12 @@ mod tests {
         assert_eq!(q.from[0].window.unwrap().range, TimeDelta::ZERO);
         let having = q.having.as_ref().unwrap();
         match having {
-            Expr::QuantifiedCmp { op, quantifier, subquery, .. } => {
+            Expr::QuantifiedCmp {
+                op,
+                quantifier,
+                subquery,
+                ..
+            } => {
                 assert_eq!(*op, CmpOp::Ge);
                 assert_eq!(*quantifier, Quantifier::All);
                 assert_eq!(subquery.from[0].alias.as_deref(), Some("ai2"));
@@ -503,10 +577,7 @@ mod tests {
         let q = parse("SELECT * FROM point_input WHERE temp < 50").unwrap();
         assert!(q.is_star());
         assert!(q.from[0].window.is_none());
-        assert_eq!(
-            q.where_clause.as_ref().unwrap().to_string(),
-            "(temp < 50)"
-        );
+        assert_eq!(q.where_clause.as_ref().unwrap().to_string(), "(temp < 50)");
     }
 
     #[test]
@@ -531,11 +602,12 @@ mod tests {
     #[test]
     fn parses_query_6_style_voting() {
         // Practical form of the paper's Query 6 person-detector.
-        let q = parse(
-            "SELECT 'Person-in-room' FROM votes [Range By 'NOW'] HAVING sum(vote) >= 2",
-        )
-        .unwrap();
-        assert_eq!(q.select[0].expr, Expr::Literal(Value::str("Person-in-room")));
+        let q = parse("SELECT 'Person-in-room' FROM votes [Range By 'NOW'] HAVING sum(vote) >= 2")
+            .unwrap();
+        assert_eq!(
+            q.select[0].expr,
+            Expr::Literal(Value::str("Person-in-room"))
+        );
         assert!(q.having.is_some());
     }
 
@@ -558,7 +630,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.from.len(), 3);
-        assert!(q.from.iter().all(|f| matches!(f.source, FromSource::Derived(_))));
+        assert!(q
+            .from
+            .iter()
+            .all(|f| matches!(f.source, FromSource::Derived(_))));
     }
 
     #[test]
@@ -652,7 +727,9 @@ mod tests {
     fn error_carries_offset() {
         let err = parse("SELECT * FROM s WHERE >").unwrap_err();
         match err {
-            EspError::Parse { offset: Some(o), .. } => assert_eq!(o, 22),
+            EspError::Parse {
+                offset: Some(o), ..
+            } => assert_eq!(o, 22),
             other => panic!("expected offset, got {other:?}"),
         }
     }
@@ -672,8 +749,8 @@ mod tests {
         for src in sources {
             let ast = parse(src).unwrap();
             let printed = ast.to_string();
-            let reparsed = parse(&printed)
-                .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+            let reparsed =
+                parse(&printed).unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
             assert_eq!(ast, reparsed, "round-trip mismatch for {src}");
         }
     }

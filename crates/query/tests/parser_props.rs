@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use esp_query::ast::{
-    ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt,
-    WindowSpec,
+    ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt, WindowSpec,
 };
 use esp_query::parse;
 use esp_types::{TimeDelta, Value};
@@ -57,15 +56,22 @@ fn expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         literal(),
         ident().prop_map(Expr::field),
-        (ident(), ident())
-            .prop_map(|(q, n)| Expr::Field { qualifier: Some(q), name: n }),
+        (ident(), ident()).prop_map(|(q, n)| Expr::Field {
+            qualifier: Some(q),
+            name: n
+        }),
         (ident(), proptest::bool::ANY).prop_map(|(f, distinct)| Expr::Call {
             name: "count".into(),
             distinct,
             args: vec![Expr::field(f)],
             star: false,
         }),
-        Just(Expr::Call { name: "count".into(), distinct: false, args: vec![], star: true }),
+        Just(Expr::Call {
+            name: "count".into(),
+            distinct: false,
+            args: vec![],
+            star: true
+        }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
@@ -78,7 +84,11 @@ fn expr() -> impl Strategy<Value = Expr> {
                     4 => CmpOp::Gt,
                     _ => CmpOp::Ge,
                 };
-                Expr::Cmp { lhs: Box::new(a), op, rhs: Box::new(b) }
+                Expr::Cmp {
+                    lhs: Box::new(a),
+                    op,
+                    rhs: Box::new(b),
+                }
             }),
             (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(a, b, op)| {
                 let op = match op % 5 {
@@ -88,12 +98,14 @@ fn expr() -> impl Strategy<Value = Expr> {
                     3 => ArithOp::Div,
                     _ => ArithOp::Mod,
                 };
-                Expr::Arith { lhs: Box::new(a), op, rhs: Box::new(b) }
+                Expr::Arith {
+                    lhs: Box::new(a),
+                    op,
+                    rhs: Box::new(b),
+                }
             }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.prop_map(|e| Expr::Neg(Box::new(e))),
         ]
@@ -103,9 +115,15 @@ fn expr() -> impl Strategy<Value = Expr> {
 fn window() -> impl Strategy<Value = Option<WindowSpec>> {
     prop_oneof![
         Just(None),
-        Just(Some(WindowSpec { range: TimeDelta::ZERO })),
-        (1u64..600).prop_map(|s| Some(WindowSpec { range: TimeDelta::from_secs(s) })),
-        (1u64..120).prop_map(|m| Some(WindowSpec { range: TimeDelta::from_mins(m) })),
+        Just(Some(WindowSpec {
+            range: TimeDelta::ZERO
+        })),
+        (1u64..600).prop_map(|s| Some(WindowSpec {
+            range: TimeDelta::from_secs(s)
+        })),
+        (1u64..120).prop_map(|m| Some(WindowSpec {
+            range: TimeDelta::from_mins(m)
+        })),
     ]
 }
 
@@ -132,7 +150,11 @@ fn select_stmt(depth: u32) -> BoxedStrategy<SelectStmt> {
             |(source, alias, window)| {
                 // A derived table with no alias cannot be referenced but is
                 // legal; keep it as generated.
-                FromItem { source, alias, window }
+                FromItem {
+                    source,
+                    alias,
+                    window,
+                }
             },
         ),
         1..3,
@@ -158,7 +180,13 @@ fn select_stmt(depth: u32) -> BoxedStrategy<SelectStmt> {
                     f
                 })
                 .collect();
-            SelectStmt { select, from, where_clause, group_by, having }
+            SelectStmt {
+                select,
+                from,
+                where_clause,
+                group_by,
+                having,
+            }
         })
         .boxed()
 }

@@ -71,8 +71,14 @@ fn cross_join_cardinality() {
         .compile("SELECT a.v, b.v FROM a [Range By 'NOW'], b [Range By 'NOW']")
         .unwrap();
     let s = schema(&[("v", DataType::Int)]);
-    q.push("a", &[row(&s, &[("v", Value::Int(1))]), row(&s, &[("v", Value::Int(2))])])
-        .unwrap();
+    q.push(
+        "a",
+        &[
+            row(&s, &[("v", Value::Int(1))]),
+            row(&s, &[("v", Value::Int(2))]),
+        ],
+    )
+    .unwrap();
     q.push(
         "b",
         &[
@@ -123,16 +129,17 @@ fn nested_derived_tables_two_deep() {
 #[test]
 fn group_by_computed_expression() {
     let s = schema(&[("v", DataType::Int)]);
-    let batch: Vec<Tuple> =
-        (0..10).map(|i| row(&s, &[("v", Value::Int(i))])).collect();
+    let batch: Vec<Tuple> = (0..10).map(|i| row(&s, &[("v", Value::Int(i))])).collect();
     let out = run_one(
         "SELECT v % 3 AS bucket, count(*) FROM t [Range By 'NOW'] GROUP BY v % 3",
         "t",
         batch,
     );
     assert_eq!(out.len(), 3);
-    let counts: Vec<i64> =
-        out.iter().map(|t| t.get("count").unwrap().as_i64().unwrap()).collect();
+    let counts: Vec<i64> = out
+        .iter()
+        .map(|t| t.get("count").unwrap().as_i64().unwrap())
+        .collect();
     // 0,3,6,9 → 4; 1,4,7 → 3; 2,5,8 → 3.
     assert_eq!(counts.iter().sum::<i64>(), 10);
     assert!(counts.contains(&4));
@@ -156,7 +163,11 @@ fn count_distinct_ignores_nulls_and_duplicates() {
     );
     assert_eq!(out[0].get("d"), Some(&Value::Int(2)), "distinct non-null");
     assert_eq!(out[0].get("nn"), Some(&Value::Int(3)), "non-null");
-    assert_eq!(out[0].get("all_rows"), Some(&Value::Int(5)), "count(*) counts rows");
+    assert_eq!(
+        out[0].get("all_rows"),
+        Some(&Value::Int(5)),
+        "count(*) counts rows"
+    );
 }
 
 #[test]
@@ -206,7 +217,11 @@ fn coalesce_picks_first_non_null() {
         row(&s, &[("a", Value::Null), ("b", Value::Int(7))]),
         row(&s, &[("a", Value::Int(3)), ("b", Value::Int(9))]),
     ];
-    let out = run_one("SELECT coalesce(a, b) AS c FROM t [Range By 'NOW']", "t", batch);
+    let out = run_one(
+        "SELECT coalesce(a, b) AS c FROM t [Range By 'NOW']",
+        "t",
+        batch,
+    );
     assert_eq!(out[0].get("c"), Some(&Value::Int(7)));
     assert_eq!(out[1].get("c"), Some(&Value::Int(3)));
 }
@@ -236,7 +251,11 @@ fn sum_promotes_to_float_only_when_needed() {
         row(&s, &[("v", Value::Int(2))]),
     ];
     let out = run_one("SELECT sum(v) AS s FROM t [Range By 'NOW']", "t", ints);
-    assert_eq!(out[0].get("s"), Some(&Value::Int(3)), "all-int sum stays int");
+    assert_eq!(
+        out[0].get("s"),
+        Some(&Value::Int(3)),
+        "all-int sum stays int"
+    );
     let mixed = vec![
         row(&s, &[("v", Value::Int(1))]),
         row(&s, &[("v", Value::Float(0.5))]),
@@ -286,8 +305,14 @@ fn qualified_references_disambiguate_shared_field_names() {
         )
         .unwrap();
     let s = schema(&[("v", DataType::Int)]);
-    q.push("t", &[row(&s, &[("v", Value::Int(1))]), row(&s, &[("v", Value::Int(2))])])
-        .unwrap();
+    q.push(
+        "t",
+        &[
+            row(&s, &[("v", Value::Int(1))]),
+            row(&s, &[("v", Value::Int(2))]),
+        ],
+    )
+    .unwrap();
     let out = q.tick(Ts::ZERO).unwrap();
     // Self-join: pairs (1,2) only.
     assert_eq!(out.len(), 1);
@@ -322,10 +347,17 @@ fn boolean_literals_and_not_in_where() {
         row(&s, &[("flag", Value::Bool(false)), ("v", Value::Int(2))]),
         row(&s, &[("flag", Value::Null), ("v", Value::Int(3))]),
     ];
-    let out = run_one("SELECT v FROM t [Range By 'NOW'] WHERE NOT flag", "t", batch);
+    let out = run_one(
+        "SELECT v FROM t [Range By 'NOW'] WHERE NOT flag",
+        "t",
+        batch,
+    );
     // NOT false → true; NOT NULL → true under collapsed ternary logic
     // (NULL is not truthy).
-    let vs: Vec<i64> = out.iter().map(|t| t.get("v").unwrap().as_i64().unwrap()).collect();
+    let vs: Vec<i64> = out
+        .iter()
+        .map(|t| t.get("v").unwrap().as_i64().unwrap())
+        .collect();
     assert_eq!(vs, vec![2, 3]);
 }
 
@@ -345,7 +377,11 @@ fn stdev_matches_sample_definition_in_query() {
 fn division_by_zero_yields_null_not_panic() {
     let s = schema(&[("v", DataType::Int)]);
     let batch = vec![row(&s, &[("v", Value::Int(5))])];
-    let out = run_one("SELECT v / 0 AS q, v % 0 AS m FROM t [Range By 'NOW']", "t", batch);
+    let out = run_one(
+        "SELECT v / 0 AS q, v % 0 AS m FROM t [Range By 'NOW']",
+        "t",
+        batch,
+    );
     assert_eq!(out[0].get("q"), Some(&Value::Null));
     assert_eq!(out[0].get("m"), Some(&Value::Null));
 }
@@ -412,5 +448,9 @@ fn where_false_still_emits_global_aggregate_row() {
         "t",
         batch,
     );
-    assert_eq!(out[0].get("n"), Some(&Value::Int(0)), "SQL: aggregates over ∅ emit a row");
+    assert_eq!(
+        out[0].get("n"),
+        Some(&Value::Int(0)),
+        "SQL: aggregates over ∅ emit a row"
+    );
 }

@@ -52,7 +52,11 @@ impl BernoulliChannel {
     /// Lose each message independently with probability `p_loss`; corrupt
     /// surviving messages with probability `p_corrupt`.
     pub fn new(seed: u64, p_loss: f64, p_corrupt: f64) -> BernoulliChannel {
-        BernoulliChannel { rng: StdRng::seed_from_u64(seed), p_loss, p_corrupt }
+        BernoulliChannel {
+            rng: StdRng::seed_from_u64(seed),
+            p_loss,
+            p_corrupt,
+        }
     }
 }
 
@@ -133,7 +137,11 @@ impl Channel for GilbertElliottChannel {
         if self.rng.gen_bool(flip) {
             self.in_bad = !self.in_bad;
         }
-        let p = if self.in_bad { self.p_deliver_bad } else { self.p_deliver_good };
+        let p = if self.in_bad {
+            self.p_deliver_bad
+        } else {
+            self.p_deliver_good
+        };
         if p >= 1.0 || (p > 0.0 && self.rng.gen_bool(p)) {
             Delivery::Delivered
         } else {
@@ -155,7 +163,9 @@ mod tests {
     #[test]
     fn bernoulli_rate_close_to_nominal() {
         let mut c = BernoulliChannel::new(42, 0.3, 0.0);
-        let delivered = (0..20_000).filter(|_| c.transmit() == Delivery::Delivered).count();
+        let delivered = (0..20_000)
+            .filter(|_| c.transmit() == Delivery::Delivered)
+            .count();
         let rate = delivered as f64 / 20_000.0;
         assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
     }
@@ -173,7 +183,9 @@ mod tests {
         for target in [0.4, 0.42, 0.8] {
             let mut c = GilbertElliottChannel::with_yield(99, target, 5.0);
             let n = 100_000;
-            let delivered = (0..n).filter(|_| c.transmit() == Delivery::Delivered).count();
+            let delivered = (0..n)
+                .filter(|_| c.transmit() == Delivery::Delivered)
+                .count();
             let rate = delivered as f64 / n as f64;
             assert!((rate - target).abs() < 0.02, "target {target}, got {rate}");
         }
@@ -184,14 +196,16 @@ mod tests {
         // With mean burst 10, consecutive-loss runs should be far longer
         // than a Bernoulli channel of the same rate would produce.
         let mut ge = GilbertElliottChannel::with_yield(1, 0.6, 10.0);
-        let outcomes: Vec<bool> =
-            (0..50_000).map(|_| ge.transmit() == Delivery::Delivered).collect();
+        let outcomes: Vec<bool> = (0..50_000)
+            .map(|_| ge.transmit() == Delivery::Delivered)
+            .collect();
         let mean_burst = mean_loss_run(&outcomes);
         assert!(mean_burst > 4.0, "bursts too short: {mean_burst}");
 
         let mut be = BernoulliChannel::new(1, 0.4, 0.0);
-        let outcomes: Vec<bool> =
-            (0..50_000).map(|_| be.transmit() == Delivery::Delivered).collect();
+        let outcomes: Vec<bool> = (0..50_000)
+            .map(|_| be.transmit() == Delivery::Delivered)
+            .collect();
         let bernoulli_burst = mean_loss_run(&outcomes);
         assert!(
             mean_burst > 2.0 * bernoulli_burst,

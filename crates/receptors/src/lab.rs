@@ -91,7 +91,10 @@ impl LabScenario {
 
     /// One proximity group containing all three motes.
     pub fn groups(&self) -> Vec<GroupSpec> {
-        vec![GroupSpec { granule: "lab-room".into(), members: LAB_MOTES.to_vec() }]
+        vec![GroupSpec {
+            granule: "lab-room".into(),
+            members: LAB_MOTES.to_vec(),
+        }]
     }
 
     /// True room temperature at `ts`.
@@ -154,10 +157,28 @@ mod tests {
         let two_days = Ts::from_secs(2 * 86_400);
         let healthy = sources[0].1.poll(two_days).unwrap();
         let failing = sources[2].1.poll(two_days).unwrap();
-        let last_healthy = healthy.last().unwrap().get("temp").unwrap().as_f64().unwrap();
-        let last_failing = failing.last().unwrap().get("temp").unwrap().as_f64().unwrap();
-        assert!(last_healthy < 30.0, "healthy mote stays in range: {last_healthy}");
-        assert!(last_failing > 100.0, "failed mote rose past 100: {last_failing}");
+        let last_healthy = healthy
+            .last()
+            .unwrap()
+            .get("temp")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let last_failing = failing
+            .last()
+            .unwrap()
+            .get("temp")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(
+            last_healthy < 30.0,
+            "healthy mote stays in range: {last_healthy}"
+        );
+        assert!(
+            last_failing > 100.0,
+            "failed mote rose past 100: {last_failing}"
+        );
         // Before onset, the failing mote was healthy.
         let early = failing
             .iter()
@@ -196,6 +217,8 @@ mod tests {
         let s = LabScenario::paper(5);
         let mut sources = s.sources();
         let batch = sources[1].1.poll(Ts::from_secs(100)).unwrap();
-        assert!(batch.iter().all(|t| t.get("receptor_id") == Some(&Value::Int(2))));
+        assert!(batch
+            .iter()
+            .all(|t| t.get("receptor_id") == Some(&Value::Int(2))));
     }
 }

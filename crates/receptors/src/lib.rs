@@ -27,6 +27,9 @@
 //!   to bytes with a checksum and pushed through loss/corruption channels
 //!   (Gilbert–Elliott bursts), so "dropped message" and "failed checksum"
 //!   are real code paths, not flags.
+//! * [`framing`] — length-delimited frame streaming over any
+//!   `Read`/`Write` pair, the transport layer used by the `esp-gateway`
+//!   TCP ingestion server and its clients.
 //!
 //! Every simulator is seeded ([`rand::rngs::StdRng`]) and therefore fully
 //! deterministic; experiments and tests can assert on exact outcomes.
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod channel;
+pub mod framing;
 pub mod lab;
 pub mod mote;
 pub mod office;

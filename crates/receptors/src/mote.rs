@@ -13,8 +13,7 @@ use std::sync::Arc;
 
 use esp_stream::Source;
 use esp_types::{
-    well_known, Batch, ReceptorId, Result, SampleRateHandle, Schema, TimeDelta, Ts, Tuple,
-    Value,
+    well_known, Batch, ReceptorId, Result, SampleRateHandle, Schema, TimeDelta, Ts, Tuple, Value,
 };
 
 use crate::channel::{Channel, Delivery};
@@ -71,7 +70,11 @@ pub struct VoltageModel {
 
 impl Default for VoltageModel {
     fn default() -> VoltageModel {
-        VoltageModel { base_v: 2.70, v_per_c: 0.008, noise_sd: 0.002 }
+        VoltageModel {
+            base_v: 2.70,
+            v_per_c: 0.008,
+            noise_sd: 0.002,
+        }
     }
 }
 
@@ -220,7 +223,11 @@ impl Source for MoteSource {
                     a: value,
                     b: self.sample_voltage(ts, vm),
                 },
-                None => Reading::Scalar { receptor: self.config.id, ts, value },
+                None => Reading::Scalar {
+                    receptor: self.config.id,
+                    ts,
+                    value,
+                },
             };
             let frame = wire::encode(&reading);
             self.sent += 1;
@@ -240,7 +247,11 @@ impl Source for MoteSource {
                 continue;
             };
             match decoded {
-                Reading::Scalar { receptor, ts, value } => {
+                Reading::Scalar {
+                    receptor,
+                    ts,
+                    value,
+                } => {
                     self.delivered += 1;
                     out.push(Tuple::new_unchecked(
                         Arc::clone(&self.schema),
@@ -313,13 +324,19 @@ mod tests {
         cfg.sample_period = TimeDelta::from_mins(30);
         let mut m = MoteSource::new(cfg, flat_world(), Box::new(PerfectChannel));
         let batch = m.poll(Ts::from_secs(6 * 3600)).unwrap();
-        let temps: Vec<f64> =
-            batch.iter().map(|t| t.get("temp").unwrap().as_f64().unwrap()).collect();
+        let temps: Vec<f64> = batch
+            .iter()
+            .map(|t| t.get("temp").unwrap().as_f64().unwrap())
+            .collect();
         // Healthy before onset.
         assert_eq!(temps[0], 20.0);
         assert_eq!(temps[2], 20.0); // t = 1h = onset boundary
-        // Ramping after onset: +40 °C/h.
-        assert!((temps[4] - 60.0).abs() < 1e-9, "t=2h → 20+40 = 60, got {}", temps[4]);
+                                    // Ramping after onset: +40 °C/h.
+        assert!(
+            (temps[4] - 60.0).abs() < 1e-9,
+            "t=2h → 20+40 = 60, got {}",
+            temps[4]
+        );
         // Saturated at the ceiling by t=6h (20 + 40*5 = 220 > 120).
         assert_eq!(*temps.last().unwrap(), 120.0);
     }
@@ -361,7 +378,9 @@ mod tests {
         let b: Vec<Tuple> = build().poll(Ts::from_secs(50)).unwrap();
         assert_eq!(a, b);
         // And the noise actually perturbs values.
-        assert!(a.iter().any(|t| t.get("temp").unwrap().as_f64().unwrap() != 20.0));
+        assert!(a
+            .iter()
+            .any(|t| t.get("temp").unwrap().as_f64().unwrap() != 20.0));
     }
 
     #[test]
@@ -372,7 +391,11 @@ mod tests {
             ceiling: 200.0,
         };
         let mut cfg = config(9, Some(fail));
-        cfg.voltage = Some(VoltageModel { base_v: 2.7, v_per_c: 0.01, noise_sd: 0.0 });
+        cfg.voltage = Some(VoltageModel {
+            base_v: 2.7,
+            v_per_c: 0.01,
+            noise_sd: 0.0,
+        });
         let mut m = MoteSource::new(cfg, flat_world(), Box::new(PerfectChannel));
         let batch = m.poll(Ts::from_secs(300)).unwrap();
         let last = batch.last().unwrap();
@@ -403,7 +426,11 @@ mod tests {
     fn sound_field_uses_sound_schema() {
         let mut cfg = config(6, None);
         cfg.field = well_known::NOISE;
-        let mut m = MoteSource::new(cfg, Arc::new(|_: ReceptorId, _: Ts| 500.0), Box::new(PerfectChannel));
+        let mut m = MoteSource::new(
+            cfg,
+            Arc::new(|_: ReceptorId, _: Ts| 500.0),
+            Box::new(PerfectChannel),
+        );
         let batch = m.poll(Ts::ZERO).unwrap();
         assert_eq!(batch[0].get("noise"), Some(&Value::Float(500.0)));
     }

@@ -21,9 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use esp_stream::Source;
-use esp_types::{
-    well_known, Batch, ReceptorId, ReceptorType, Result, TimeDelta, Ts, Tuple, Value,
-};
+use esp_types::{well_known, Batch, ReceptorId, ReceptorType, Result, TimeDelta, Ts, Tuple, Value};
 
 use crate::channel::BernoulliChannel;
 use crate::mote::{MoteConfig, MoteSource};
@@ -128,22 +126,31 @@ impl OfficeScenario {
     /// Ground truth: is the person in the office at `ts`?
     pub fn occupied(&self, ts: Ts) -> bool {
         let half = self.config.occupancy_half_period.as_millis().max(1);
-        (ts.as_millis() / half) % 2 == 0
+        (ts.as_millis() / half).is_multiple_of(2)
     }
 
     /// The occupancy signal as a shareable closure.
     pub fn occupancy_fn(&self) -> Occupancy {
         let half = self.config.occupancy_half_period.as_millis().max(1);
-        Arc::new(move |ts: Ts| (ts.as_millis() / half) % 2 == 0)
+        Arc::new(move |ts: Ts| (ts.as_millis() / half).is_multiple_of(2))
     }
 
     /// The three proximity groups (same spatial granule, three receptor
     /// types).
     pub fn groups(&self) -> Vec<GroupSpec> {
         vec![
-            GroupSpec { granule: "office".into(), members: devices::RFID.to_vec() },
-            GroupSpec { granule: "office".into(), members: devices::MOTES.to_vec() },
-            GroupSpec { granule: "office".into(), members: devices::X10.to_vec() },
+            GroupSpec {
+                granule: "office".into(),
+                members: devices::RFID.to_vec(),
+            },
+            GroupSpec {
+                granule: "office".into(),
+                members: devices::MOTES.to_vec(),
+            },
+            GroupSpec {
+                granule: "office".into(),
+                members: devices::X10.to_vec(),
+            },
         ]
     }
 
@@ -310,7 +317,10 @@ mod tests {
                 }
             }
         }
-        assert!(present > 20 * absent.max(1), "present {present} vs absent {absent}");
+        assert!(
+            present > 20 * absent.max(1),
+            "present {present} vs absent {absent}"
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl RedwoodScenario {
 
     /// Explicit parameters.
     pub fn new(config: RedwoodConfig, seed: u64) -> RedwoodScenario {
-        RedwoodScenario { world: RedwoodWorld { config }, seed }
+        RedwoodScenario {
+            world: RedwoodWorld { config },
+            seed,
+        }
     }
 
     /// The configuration.
@@ -131,7 +134,8 @@ impl RedwoodScenario {
         let mut groups = Vec::with_capacity(n.div_ceil(2));
         let mut i = 0;
         while i < n {
-            let members: Vec<ReceptorId> = (i..n.min(i + 2)).map(|m| ReceptorId(m as u32)).collect();
+            let members: Vec<ReceptorId> =
+                (i..n.min(i + 2)).map(|m| ReceptorId(m as u32)).collect();
             groups.push(GroupSpec {
                 granule: format!("height-{}", groups.len()),
                 members,
@@ -198,7 +202,10 @@ mod tests {
         assert!(groups[..16].iter().all(|g| g.members.len() == 2));
         assert_eq!(groups[16].members.len(), 1);
         // Non-overlapping.
-        let mut all: Vec<u32> = groups.iter().flat_map(|g| g.members.iter().map(|m| m.0)).collect();
+        let mut all: Vec<u32> = groups
+            .iter()
+            .flat_map(|g| g.members.iter().map(|m| m.0))
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..33).collect::<Vec<_>>());
     }
@@ -249,9 +256,8 @@ mod tests {
     fn granule_truth_is_member_mean() {
         let s = RedwoodScenario::paper(1);
         let ts = Ts::from_secs(3600);
-        let expected = (s.mote_true_temp(ReceptorId(0), ts)
-            + s.mote_true_temp(ReceptorId(1), ts))
-            / 2.0;
+        let expected =
+            (s.mote_true_temp(ReceptorId(0), ts) + s.mote_true_temp(ReceptorId(1), ts)) / 2.0;
         assert!((s.granule_true_temp(0, ts) - expected).abs() < 1e-12);
     }
 }

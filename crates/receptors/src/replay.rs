@@ -13,9 +13,7 @@ use std::sync::{Arc, Mutex};
 use serde_json::{json, Value as Json};
 
 use esp_stream::{ScriptedSource, Source};
-use esp_types::{
-    Batch, DataType, EspError, Field, Result, Schema, Ts, Tuple, Value,
-};
+use esp_types::{Batch, DataType, EspError, Field, Result, Schema, Ts, Tuple, Value};
 
 /// A captured source trace: one entry per poll, with the poll epoch and
 /// the batch it returned.
@@ -98,7 +96,10 @@ impl Recorder {
 
     /// Wrap `source`; everything it emits is recorded here.
     pub fn wrap(&self, source: Box<dyn Source>) -> Box<dyn Source> {
-        Box::new(RecordingSource { inner: source, trace: Arc::clone(&self.trace) })
+        Box::new(RecordingSource {
+            inner: source,
+            trace: Arc::clone(&self.trace),
+        })
     }
 
     /// Snapshot the trace recorded so far.
@@ -119,7 +120,11 @@ impl Source for RecordingSource {
 
     fn poll(&mut self, epoch: Ts) -> Result<Batch> {
         let batch = self.inner.poll(epoch)?;
-        self.trace.lock().expect("recorder lock").entries.push((epoch, batch.clone()));
+        self.trace
+            .lock()
+            .expect("recorder lock")
+            .entries
+            .push((epoch, batch.clone()));
         Ok(batch)
     }
 }
@@ -136,21 +141,31 @@ fn value_to_json(v: &Value) -> Json {
 }
 
 fn value_from_json(j: &Json) -> Result<Value> {
-    let t = j["t"].as_str().ok_or_else(|| EspError::Config("value missing tag".into()))?;
+    let t = j["t"]
+        .as_str()
+        .ok_or_else(|| EspError::Config("value missing tag".into()))?;
     Ok(match t {
         "null" => Value::Null,
         "bool" => Value::Bool(j["v"].as_bool().unwrap_or(false)),
         "int" => Value::Int(
-            j["v"].as_i64().ok_or_else(|| EspError::Config("bad int value".into()))?,
+            j["v"]
+                .as_i64()
+                .ok_or_else(|| EspError::Config("bad int value".into()))?,
         ),
         "float" => Value::Float(
-            j["v"].as_f64().ok_or_else(|| EspError::Config("bad float value".into()))?,
+            j["v"]
+                .as_f64()
+                .ok_or_else(|| EspError::Config("bad float value".into()))?,
         ),
         "str" => Value::str(
-            j["v"].as_str().ok_or_else(|| EspError::Config("bad str value".into()))?,
+            j["v"]
+                .as_str()
+                .ok_or_else(|| EspError::Config("bad str value".into()))?,
         ),
         "ts" => Value::Ts(Ts::from_millis(
-            j["v"].as_u64().ok_or_else(|| EspError::Config("bad ts value".into()))?,
+            j["v"]
+                .as_u64()
+                .ok_or_else(|| EspError::Config("bad ts value".into()))?,
         )),
         other => return Err(EspError::Config(format!("unknown value tag '{other}'"))),
     })
@@ -198,7 +213,9 @@ fn tuple_to_json(t: &Tuple) -> Json {
 
 fn tuple_from_json(j: &Json) -> Result<Tuple> {
     let ts = Ts::from_millis(
-        j["ts_ms"].as_u64().ok_or_else(|| EspError::Config("tuple missing ts_ms".into()))?,
+        j["ts_ms"]
+            .as_u64()
+            .ok_or_else(|| EspError::Config("tuple missing ts_ms".into()))?,
     );
     let fields = j["fields"]
         .as_array()
@@ -210,7 +227,9 @@ fn tuple_from_json(j: &Json) -> Result<Tuple> {
             .as_str()
             .ok_or_else(|| EspError::Config("field missing name".into()))?;
         let dt = datatype_from_name(
-            f["type"].as_str().ok_or_else(|| EspError::Config("field missing type".into()))?,
+            f["type"]
+                .as_str()
+                .ok_or_else(|| EspError::Config("field missing type".into()))?,
         )?;
         schema_fields.push(Field::new(name, dt));
         values.push(value_from_json(&f["value"])?);
@@ -289,7 +308,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let trace = RecordedTrace { entries: vec![(Ts::from_millis(123), vec![tuple])] };
+        let trace = RecordedTrace {
+            entries: vec![(Ts::from_millis(123), vec![tuple])],
+        };
         let parsed = RecordedTrace::from_json(&trace.to_json()).unwrap();
         assert_eq!(parsed, trace);
     }

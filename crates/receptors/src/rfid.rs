@@ -159,8 +159,11 @@ impl ShelfScenario {
 
     /// Ground truth: number of items physically on `shelf` at `ts`.
     pub fn true_count(&self, shelf: usize, ts: Ts) -> usize {
-        let mobiles =
-            if self.mobile_shelf(ts) == shelf { self.config.mobile_tags } else { 0 };
+        let mobiles = if self.mobile_shelf(ts) == shelf {
+            self.config.mobile_tags
+        } else {
+            0
+        };
         self.config.static_tags_per_shelf + mobiles
     }
 
@@ -210,12 +213,18 @@ impl RfidReaderSource {
             (true, TagPosition::Near) => self.config.p_near,
             (true, TagPosition::Far) => self.config.p_far,
             (true, TagPosition::Mobile) => self.config.p_mobile_own,
-            (false, TagPosition::Mobile) => {
-                self.config.overhear_mobile.get(self.reader).copied().unwrap_or(0.0)
-            }
-            (false, _) => {
-                self.config.overhear_static.get(self.reader).copied().unwrap_or(0.0)
-            }
+            (false, TagPosition::Mobile) => self
+                .config
+                .overhear_mobile
+                .get(self.reader)
+                .copied()
+                .unwrap_or(0.0),
+            (false, _) => self
+                .config
+                .overhear_static
+                .get(self.reader)
+                .copied()
+                .unwrap_or(0.0),
         }
     }
 
@@ -223,8 +232,7 @@ impl RfidReaderSource {
         let period = self.config.relocate_every.as_millis().max(1);
         let mobile_shelf = ((ts.as_millis() / period) as usize) % self.config.n_shelves;
         // Whole-cycle blackout (interference): scale every probability.
-        let scale = if self.config.p_blackout > 0.0 && self.rng.gen_bool(self.config.p_blackout)
-        {
+        let scale = if self.config.p_blackout > 0.0 && self.rng.gen_bool(self.config.p_blackout) {
             self.config.blackout_factor
         } else {
             1.0
@@ -329,7 +337,10 @@ mod tests {
     #[test]
     fn read_rates_match_configuration() {
         let s = ShelfScenario::new(
-            ShelfConfig { p_blackout: 0.0, ..ShelfConfig::default() },
+            ShelfConfig {
+                p_blackout: 0.0,
+                ..ShelfConfig::default()
+            },
             7,
         );
         let mut sources = s.sources();
@@ -351,7 +362,10 @@ mod tests {
         assert!((far_rate - 0.6).abs() < 0.05, "far rate {far_rate}");
         // Overheard tag from shelf 1 ≈ 0.025 for the strong reader.
         let overhear = *per_tag.get("tag-1-0").unwrap_or(&0) as f64 / polls as f64;
-        assert!(overhear > 0.005 && overhear < 0.06, "overhear rate {overhear}");
+        assert!(
+            overhear > 0.005 && overhear < 0.06,
+            "overhear rate {overhear}"
+        );
     }
 
     #[test]
@@ -363,7 +377,13 @@ mod tests {
         let batch1 = sources[1].1.poll(horizon).unwrap();
         let foreign = batch1
             .iter()
-            .filter(|t| t.get("tag_id").unwrap().as_str().unwrap().starts_with("tag-0-"))
+            .filter(|t| {
+                t.get("tag_id")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .starts_with("tag-0-")
+            })
             .count();
         let rate = foreign as f64 / (polls as f64 * 10.0);
         assert!(rate < 0.01, "weak reader overhear rate {rate}");
@@ -407,7 +427,10 @@ mod tests {
         let batch = sources[0].1.poll(horizon).unwrap();
         let mean_count = batch.len() as f64 / polls as f64;
         // True count on shelf 0 averages ≈ 12.5; raw per-poll ≈ 7–9.
-        assert!(mean_count < 10.0, "raw mean count {mean_count} should undercount");
+        assert!(
+            mean_count < 10.0,
+            "raw mean count {mean_count} should undercount"
+        );
         assert!(mean_count > 4.0);
     }
 }

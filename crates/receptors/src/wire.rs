@@ -103,20 +103,32 @@ pub fn encode(reading: &Reading) -> Bytes {
     let mut buf = BytesMut::with_capacity(32);
     buf.put_u16(MAGIC);
     match reading {
-        Reading::Scalar { receptor, ts, value } => {
+        Reading::Scalar {
+            receptor,
+            ts,
+            value,
+        } => {
             buf.put_u8(0);
             buf.put_u32(receptor.0);
             buf.put_u64(ts.as_millis());
             buf.put_f64(*value);
         }
-        Reading::Tag { receptor, ts, tag_id } => {
+        Reading::Tag {
+            receptor,
+            ts,
+            tag_id,
+        } => {
             buf.put_u8(1);
             buf.put_u32(receptor.0);
             buf.put_u64(ts.as_millis());
             buf.put_u16(tag_id.len() as u16);
             buf.put_slice(tag_id.as_bytes());
         }
-        Reading::Event { receptor, ts, value } => {
+        Reading::Event {
+            receptor,
+            ts,
+            value,
+        } => {
             buf.put_u8(2);
             buf.put_u32(receptor.0);
             buf.put_u64(ts.as_millis());
@@ -139,7 +151,10 @@ pub fn encode(reading: &Reading) -> Bytes {
 /// Decode one frame, verifying magic and checksum.
 pub fn decode(frame: &Bytes) -> Result<Reading> {
     if frame.len() < 4 + 2 + 1 + 4 + 8 {
-        return Err(EspError::Wire(format!("frame too short ({} bytes)", frame.len())));
+        return Err(EspError::Wire(format!(
+            "frame too short ({} bytes)",
+            frame.len()
+        )));
     }
     let (body, check) = frame.split_at(frame.len() - 4);
     let mut check = check;
@@ -157,9 +172,15 @@ pub fn decode(frame: &Bytes) -> Result<Reading> {
     match kind {
         0 => {
             if body.remaining() != 8 {
-                return Err(EspError::Wire("scalar frame with wrong payload size".into()));
+                return Err(EspError::Wire(
+                    "scalar frame with wrong payload size".into(),
+                ));
             }
-            Ok(Reading::Scalar { receptor, ts, value: body.get_f64() })
+            Ok(Reading::Scalar {
+                receptor,
+                ts,
+                value: body.get_f64(),
+            })
         }
         1 | 2 => {
             if body.remaining() < 2 {
@@ -173,9 +194,17 @@ pub fn decode(frame: &Bytes) -> Result<Reading> {
                 .map_err(|_| EspError::Wire("invalid utf-8 payload".into()))?
                 .to_string();
             if kind == 1 {
-                Ok(Reading::Tag { receptor, ts, tag_id: s })
+                Ok(Reading::Tag {
+                    receptor,
+                    ts,
+                    tag_id: s,
+                })
             } else {
-                Ok(Reading::Event { receptor, ts, value: s })
+                Ok(Reading::Event {
+                    receptor,
+                    ts,
+                    value: s,
+                })
             }
         }
         3 => {
@@ -196,13 +225,21 @@ mod tests {
 
     fn samples() -> Vec<Reading> {
         vec![
-            Reading::Scalar { receptor: ReceptorId(3), ts: Ts::from_millis(1500), value: 21.25 },
+            Reading::Scalar {
+                receptor: ReceptorId(3),
+                ts: Ts::from_millis(1500),
+                value: 21.25,
+            },
             Reading::Tag {
                 receptor: ReceptorId(0),
                 ts: Ts::from_secs(40),
                 tag_id: "tag-1-7".into(),
             },
-            Reading::Event { receptor: ReceptorId(9), ts: Ts::ZERO, value: "ON".into() },
+            Reading::Event {
+                receptor: ReceptorId(9),
+                ts: Ts::ZERO,
+                value: "ON".into(),
+            },
             Reading::Dual {
                 receptor: ReceptorId(4),
                 ts: Ts::from_secs(2),
@@ -247,7 +284,11 @@ mod tests {
 
     #[test]
     fn empty_tag_id_round_trips() {
-        let r = Reading::Tag { receptor: ReceptorId(1), ts: Ts::ZERO, tag_id: String::new() };
+        let r = Reading::Tag {
+            receptor: ReceptorId(1),
+            ts: Ts::ZERO,
+            tag_id: String::new(),
+        };
         assert_eq!(decode(&encode(&r)).unwrap(), r);
     }
 
@@ -281,6 +322,54 @@ mod tests {
                     tag_id: tag,
                 };
                 prop_assert_eq!(decode(&encode(&r)).unwrap(), r);
+            }
+
+            #[test]
+            fn event_round_trip(id in 0u32..1000, ms in 0u64..10_000_000, value in "[A-Z]{1,16}") {
+                let r = Reading::Event {
+                    receptor: ReceptorId(id),
+                    ts: Ts::from_millis(ms),
+                    value,
+                };
+                prop_assert_eq!(decode(&encode(&r)).unwrap(), r);
+            }
+
+            #[test]
+            fn dual_round_trip(
+                id in 0u32..1000,
+                ms in 0u64..10_000_000,
+                a in -1e9f64..1e9,
+                b in -1e9f64..1e9,
+            ) {
+                let r = Reading::Dual { receptor: ReceptorId(id), ts: Ts::from_millis(ms), a, b };
+                prop_assert_eq!(decode(&encode(&r)).unwrap(), r);
+            }
+
+            #[test]
+            fn single_bit_flip_rejected(
+                kind in 0u8..4,
+                id in 0u32..1000,
+                ms in 0u64..10_000_000,
+                v in -1e6f64..1e6,
+                s in "[a-z0-9-]{0,12}",
+                pos in any::<u16>(),
+                bit in 0u8..8,
+            ) {
+                let r = match kind {
+                    0 => Reading::Scalar { receptor: ReceptorId(id), ts: Ts::from_millis(ms), value: v },
+                    1 => Reading::Tag { receptor: ReceptorId(id), ts: Ts::from_millis(ms), tag_id: s },
+                    2 => Reading::Event { receptor: ReceptorId(id), ts: Ts::from_millis(ms), value: s },
+                    _ => Reading::Dual { receptor: ReceptorId(id), ts: Ts::from_millis(ms), a: v, b: -v },
+                };
+                let frame = encode(&r);
+                let idx = pos as usize % frame.len();
+                let mut bad = frame.to_vec();
+                bad[idx] ^= 1 << bit;
+                let bad = Bytes::from(bad);
+                prop_assert!(
+                    decode(&bad).is_err(),
+                    "bit {} of byte {} flipped in {:?} went undetected", bit, idx, r
+                );
             }
 
             #[test]

@@ -67,7 +67,11 @@ impl Source for X10MotionSource {
         while self.next_sample <= epoch {
             let ts = self.next_sample;
             self.next_sample += self.config.sample_period;
-            let p = if (self.occupancy)(ts) { self.config.p_detect } else { self.config.p_false };
+            let p = if (self.occupancy)(ts) {
+                self.config.p_detect
+            } else {
+                self.config.p_false
+            };
             if p > 0.0 && self.rng.gen_bool(p) {
                 out.push(Tuple::new_unchecked(
                     Arc::clone(&self.schema),
@@ -104,7 +108,9 @@ mod tests {
         let events = d.poll(Ts::from_secs(9_999)).unwrap();
         let rate = events.len() as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
-        assert!(events.iter().all(|t| t.get("value") == Some(&Value::str("ON"))));
+        assert!(events
+            .iter()
+            .all(|t| t.get("value") == Some(&Value::str("ON"))));
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl EpochRunner {
     /// Wrap a dataflow for execution.
     pub fn new(df: Dataflow) -> EpochRunner {
         let n_taps = df.taps.len();
-        EpochRunner { df, collected: vec![Vec::new(); n_taps], epochs_run: 0 }
+        EpochRunner {
+            df,
+            collected: vec![Vec::new(); n_taps],
+            epochs_run: 0,
+        }
     }
 
     /// Execute one epoch at logical time `epoch`.
@@ -53,7 +57,10 @@ impl EpochRunner {
             outputs[i] = Some(out);
         }
         for (tap_idx, node) in self.df.taps.iter().enumerate() {
-            let batch = outputs[node.0].as_ref().expect("all nodes computed").clone();
+            let batch = outputs[node.0]
+                .as_ref()
+                .expect("all nodes computed")
+                .clone();
             self.collected[tap_idx].push((epoch, batch));
         }
         self.epochs_run += 1;
@@ -104,7 +111,9 @@ mod tests {
         let mut df = Dataflow::new();
         let src = df.add_source(Box::new(ScriptedSource::new(
             "s",
-            (0..5u64).map(|i| (Ts::from_secs(i), vec![tup(Ts::from_secs(i), i as i64)])).collect(),
+            (0..5u64)
+                .map(|i| (Ts::from_secs(i), vec![tup(Ts::from_secs(i), i as i64)]))
+                .collect(),
         )));
         let f = df
             .add_operator(
@@ -137,17 +146,23 @@ mod tests {
         )));
         let left = df
             .add_operator(
-                Box::new(FilterOp::new("=1", |t: &Tuple| t.value(0).as_i64() == Some(1))),
+                Box::new(FilterOp::new("=1", |t: &Tuple| {
+                    t.value(0).as_i64() == Some(1)
+                })),
                 &[src],
             )
             .unwrap();
         let right = df
             .add_operator(
-                Box::new(FilterOp::new("=2", |t: &Tuple| t.value(0).as_i64() == Some(2))),
+                Box::new(FilterOp::new("=2", |t: &Tuple| {
+                    t.value(0).as_i64() == Some(2)
+                })),
                 &[src],
             )
             .unwrap();
-        let u = df.add_operator(Box::new(UnionOp::new(2)), &[left, right]).unwrap();
+        let u = df
+            .add_operator(Box::new(UnionOp::new(2)), &[left, right])
+            .unwrap();
         let tap = df.add_tap(u).unwrap();
         let mut runner = EpochRunner::new(df);
         runner.step(Ts::ZERO).unwrap();
@@ -184,15 +199,17 @@ mod tests {
         // Counts flushes by emitting exactly one tuple per flush.
         let counter = df
             .add_operator(
-                Box::new(EpochFnOp::new("flush-counter", |epoch: Ts, input: Vec<Tuple>| {
-                    let schema =
-                        Schema::builder().field("n", DataType::Int).build().unwrap();
-                    Ok(vec![Tuple::new(
-                        schema,
-                        epoch,
-                        vec![Value::Int(input.len() as i64)],
-                    )?])
-                })),
+                Box::new(EpochFnOp::new(
+                    "flush-counter",
+                    |epoch: Ts, input: Vec<Tuple>| {
+                        let schema = Schema::builder().field("n", DataType::Int).build().unwrap();
+                        Ok(vec![Tuple::new(
+                            schema,
+                            epoch,
+                            vec![Value::Int(input.len() as i64)],
+                        )?])
+                    },
+                )),
                 &[u],
             )
             .unwrap();
@@ -201,6 +218,10 @@ mod tests {
         runner.step(Ts::ZERO).unwrap();
         let trace = runner.take_tap(tap);
         assert_eq!(trace[0].1.len(), 1, "exactly one flush");
-        assert_eq!(trace[0].1[0].value(0), &Value::Int(2), "union delivered both inputs");
+        assert_eq!(
+            trace[0].1[0].value(0),
+            &Value::Int(2),
+            "union delivered both inputs"
+        );
     }
 }

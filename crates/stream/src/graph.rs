@@ -48,13 +48,18 @@ pub struct Dataflow {
 impl Dataflow {
     /// Create an empty dataflow.
     pub fn new() -> Dataflow {
-        Dataflow { nodes: Vec::new(), taps: Vec::new() }
+        Dataflow {
+            nodes: Vec::new(),
+            taps: Vec::new(),
+        }
     }
 
     /// Add a source node.
     pub fn add_source(&mut self, src: Box<dyn Source>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { kind: NodeKind::Source(src) });
+        self.nodes.push(Node {
+            kind: NodeKind::Source(src),
+        });
         id
     }
 
@@ -63,11 +68,7 @@ impl Dataflow {
     /// Errors if any input id is unknown (including forward references,
     /// which would create a cycle) or the port count does not match
     /// [`Operator::n_inputs`].
-    pub fn add_operator(
-        &mut self,
-        op: Box<dyn Operator>,
-        inputs: &[NodeId],
-    ) -> Result<NodeId> {
+    pub fn add_operator(&mut self, op: Box<dyn Operator>, inputs: &[NodeId]) -> Result<NodeId> {
         let id = NodeId(self.nodes.len());
         for input in inputs {
             if input.0 >= id.0 {
@@ -86,7 +87,12 @@ impl Dataflow {
                 inputs.len()
             )));
         }
-        self.nodes.push(Node { kind: NodeKind::Operator { op, inputs: inputs.to_vec() } });
+        self.nodes.push(Node {
+            kind: NodeKind::Operator {
+                op,
+                inputs: inputs.to_vec(),
+            },
+        });
         Ok(id)
     }
 
@@ -94,7 +100,10 @@ impl Dataflow {
     /// per-epoch output batches under the returned [`TapId`].
     pub fn add_tap(&mut self, node: NodeId) -> Result<TapId> {
         if node.0 >= self.nodes.len() {
-            return Err(EspError::Config(format!("tap references unknown node {}", node.0)));
+            return Err(EspError::Config(format!(
+                "tap references unknown node {}",
+                node.0
+            )));
         }
         let id = TapId(self.taps.len());
         self.taps.push(node);
@@ -150,7 +159,9 @@ mod tests {
         let mut df = Dataflow::new();
         let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
         // PassThrough has one input; wiring two is a config error.
-        let err = df.add_operator(Box::new(PassThrough::new()), &[s, s]).unwrap_err();
+        let err = df
+            .add_operator(Box::new(PassThrough::new()), &[s, s])
+            .unwrap_err();
         assert!(matches!(err, EspError::Config(_)));
     }
 
@@ -159,7 +170,9 @@ mod tests {
         let mut df = Dataflow::new();
         let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
         let bogus = NodeId(7);
-        assert!(df.add_operator(Box::new(PassThrough::new()), &[bogus]).is_err());
+        assert!(df
+            .add_operator(Box::new(PassThrough::new()), &[bogus])
+            .is_err());
         assert!(df.add_operator(Box::new(PassThrough::new()), &[s]).is_ok());
     }
 

@@ -25,16 +25,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod epoch;
 pub mod graph;
+mod operator;
 pub mod ops;
 pub mod stats;
-mod epoch;
-mod operator;
 mod threaded;
 mod window;
 
 pub use epoch::EpochRunner;
 pub use graph::{Dataflow, NodeId, TapId};
 pub use operator::{Operator, ScriptedSource, Source};
+pub use stats::QueueStats;
 pub use threaded::ThreadedRunner;
 pub use window::WindowBuffer;

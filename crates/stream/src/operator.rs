@@ -59,7 +59,10 @@ impl ScriptedSource {
     /// `>= batches[i].0`. Batches must be in timestamp order.
     pub fn new(name: impl Into<String>, batches: Vec<(Ts, Batch)>) -> ScriptedSource {
         debug_assert!(batches.windows(2).all(|w| w[0].0 <= w[1].0));
-        ScriptedSource { name: name.into(), batches: batches.into() }
+        ScriptedSource {
+            name: name.into(),
+            batches: batches.into(),
+        }
     }
 }
 

@@ -51,7 +51,11 @@ pub struct FilterOp<F> {
 impl<F: Fn(&Tuple) -> bool + Send> FilterOp<F> {
     /// Create a filter retaining tuples for which `pred` returns true.
     pub fn new(name: impl Into<String>, pred: F) -> FilterOp<F> {
-        FilterOp { name: name.into(), pred, buf: Batch::new() }
+        FilterOp {
+            name: name.into(),
+            pred,
+            buf: Batch::new(),
+        }
     }
 }
 
@@ -61,7 +65,8 @@ impl<F: Fn(&Tuple) -> bool + Send> Operator for FilterOp<F> {
     }
 
     fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
-        self.buf.extend(batch.iter().filter(|t| (self.pred)(t)).cloned());
+        self.buf
+            .extend(batch.iter().filter(|t| (self.pred)(t)).cloned());
         Ok(())
     }
 
@@ -81,7 +86,11 @@ pub struct MapOp<F> {
 impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> MapOp<F> {
     /// Create a map/transform operator.
     pub fn new(name: impl Into<String>, f: F) -> MapOp<F> {
-        MapOp { name: name.into(), f, buf: Batch::new() }
+        MapOp {
+            name: name.into(),
+            f,
+            buf: Batch::new(),
+        }
     }
 }
 
@@ -114,7 +123,10 @@ pub struct UnionOp {
 impl UnionOp {
     /// Create a union over `n_inputs` streams.
     pub fn new(n_inputs: usize) -> UnionOp {
-        UnionOp { n_inputs, buf: Batch::new() }
+        UnionOp {
+            n_inputs,
+            buf: Batch::new(),
+        }
     }
 }
 
@@ -149,7 +161,11 @@ pub struct EpochFnOp<F> {
 impl<F: FnMut(Ts, Vec<Tuple>) -> Result<Batch> + Send> EpochFnOp<F> {
     /// Create an operator from an epoch-level function.
     pub fn new(name: impl Into<String>, f: F) -> EpochFnOp<F> {
-        EpochFnOp { name: name.into(), f, buf: Batch::new() }
+        EpochFnOp {
+            name: name.into(),
+            f,
+            buf: Batch::new(),
+        }
     }
 }
 
@@ -230,7 +246,12 @@ mod tests {
     fn epoch_fn_sees_whole_epoch() {
         let mut op = EpochFnOp::new("count", |epoch: Ts, input: Vec<Tuple>| {
             let schema = Schema::builder().field("n", DataType::Int).build().unwrap();
-            Ok(vec![Tuple::new(schema, epoch, vec![Value::Int(input.len() as i64)]).unwrap()])
+            Ok(vec![Tuple::new(
+                schema,
+                epoch,
+                vec![Value::Int(input.len() as i64)],
+            )
+            .unwrap()])
         });
         op.push(0, &[tup(1), tup(2)]).unwrap();
         op.push(0, &[tup(3)]).unwrap();

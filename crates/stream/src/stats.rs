@@ -5,6 +5,58 @@
 //! stable mean/variance over window contents. [`RunningStats`] implements
 //! Welford's online algorithm: one pass, no catastrophic cancellation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for a set of bounded queues: total sends and how many
+/// of them found the queue full (back-pressure events). Handles are cheap
+/// clones over shared atomics, so producers on many threads can feed one
+/// counter and a supervisor can read it live.
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    sends: Arc<AtomicU64>,
+    blocked: Arc<AtomicU64>,
+}
+
+impl QueueStats {
+    /// Fresh counters at zero.
+    pub fn new() -> QueueStats {
+        QueueStats::default()
+    }
+
+    /// Record a send that found queue space immediately.
+    pub fn record_send(&self) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a send that found the queue full and had to block.
+    /// (Counts as a send too — callers record exactly one of the two.)
+    pub fn record_blocked(&self) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.blocked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sends observed.
+    pub fn sends(&self) -> u64 {
+        self.sends.load(Ordering::Relaxed)
+    }
+
+    /// Sends that hit a full queue.
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of sends that hit a full queue (0 when idle).
+    pub fn blocked_fraction(&self) -> f64 {
+        let sends = self.sends();
+        if sends == 0 {
+            0.0
+        } else {
+            self.blocked() as f64 / sends as f64
+        }
+    }
+}
+
 /// Welford online mean/variance accumulator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunningStats {
@@ -18,7 +70,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// An empty accumulator.
     pub fn new() -> RunningStats {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Accumulate one observation.
@@ -29,15 +87,6 @@ impl RunningStats {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
-    }
-
-    /// Build from an iterator of observations.
-    pub fn from_iter(xs: impl IntoIterator<Item = f64>) -> RunningStats {
-        let mut s = RunningStats::new();
-        for x in xs {
-            s.push(x);
-        }
-        s
     }
 
     /// Number of observations.
@@ -103,12 +152,61 @@ impl RunningStats {
     }
 }
 
+impl FromIterator<f64> for RunningStats {
+    /// Build from an iterator of observations.
+    fn from_iter<I: IntoIterator<Item = f64>>(xs: I) -> RunningStats {
+        let mut s = RunningStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn queue_stats_counts_and_fraction() {
+        let q = QueueStats::new();
+        assert_eq!(q.sends(), 0);
+        assert_eq!(q.blocked_fraction(), 0.0);
+        q.record_send();
+        q.record_send();
+        q.record_blocked();
+        assert_eq!(q.sends(), 3);
+        assert_eq!(q.blocked(), 1);
+        assert!((q.blocked_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // Clones share the same counters.
+        let clone = q.clone();
+        clone.record_send();
+        assert_eq!(q.sends(), 4);
+    }
+
+    #[test]
+    fn queue_stats_shared_across_threads() {
+        let q = QueueStats::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        q.record_send();
+                    }
+                    q.record_blocked();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.sends(), 4 * 1001);
+        assert_eq!(q.blocked(), 4);
     }
 
     #[test]
@@ -149,7 +247,10 @@ mod tests {
         let mut merged = RunningStats::from_iter(xs[..37].iter().copied());
         merged.merge(&RunningStats::from_iter(xs[37..].iter().copied()));
         assert!(close(whole.mean().unwrap(), merged.mean().unwrap()));
-        assert!(close(whole.variance_sample().unwrap(), merged.variance_sample().unwrap()));
+        assert!(close(
+            whole.variance_sample().unwrap(),
+            merged.variance_sample().unwrap()
+        ));
         assert_eq!(whole.count(), merged.count());
         assert!(close(whole.min().unwrap(), merged.min().unwrap()));
     }

@@ -16,32 +16,87 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use esp_types::{Batch, EspError, Result, TimeDelta, Ts};
 
 use crate::graph::{Dataflow, NodeKind};
+use crate::stats::QueueStats;
 
 /// Message on an inter-node edge.
 enum Msg {
     /// A batch produced for `epoch`, destined for input port `port`.
-    Batch { port: usize, epoch: Ts, batch: Batch },
+    Batch {
+        port: usize,
+        epoch: Ts,
+        batch: Batch,
+    },
     /// All data for `epoch` on this edge has been sent.
     Punct(Ts),
 }
 
-/// Channel capacity per edge. Bounded so a slow consumer exerts
-/// back-pressure instead of ballooning memory.
-const EDGE_CAPACITY: usize = 64;
-
 /// Runs a [`Dataflow`] with one thread per node.
-pub struct ThreadedRunner;
+///
+/// The inter-operator queues are bounded so a slow consumer exerts
+/// back-pressure instead of ballooning memory; the bound is configurable
+/// via [`ThreadedRunner::edge_capacity`], and back-pressure events are
+/// observable through [`ThreadedRunner::queue_stats`].
+pub struct ThreadedRunner {
+    edge_capacity: usize,
+    queue_stats: QueueStats,
+}
+
+impl Default for ThreadedRunner {
+    fn default() -> ThreadedRunner {
+        ThreadedRunner::new()
+    }
+}
 
 impl ThreadedRunner {
-    /// Execute `n_epochs` epochs starting at `start`, spaced `period`
-    /// apart. Consumes the dataflow (operators move onto their threads) and
-    /// returns one `(epoch, batch)` trace per registered tap, in tap order.
+    /// Default channel capacity per edge.
+    pub const DEFAULT_EDGE_CAPACITY: usize = 64;
+
+    /// A runner with the default edge capacity.
+    pub fn new() -> ThreadedRunner {
+        ThreadedRunner {
+            edge_capacity: Self::DEFAULT_EDGE_CAPACITY,
+            queue_stats: QueueStats::new(),
+        }
+    }
+
+    /// Set the per-edge queue capacity (must be nonzero). Smaller values
+    /// tighten back-pressure; larger values smooth bursts at the cost of
+    /// memory and pipeline slack.
+    pub fn edge_capacity(mut self, capacity: usize) -> ThreadedRunner {
+        assert!(capacity > 0, "edge capacity must be nonzero");
+        self.edge_capacity = capacity;
+        self
+    }
+
+    /// A handle onto the runner's queue counters. Clone it before
+    /// [`execute`](Self::execute) to watch back-pressure live, or read it
+    /// afterwards for totals.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue_stats.clone()
+    }
+
+    /// Execute with default configuration (compatibility shorthand for
+    /// `ThreadedRunner::new().execute(...)`).
     pub fn run(
         df: Dataflow,
         start: Ts,
         period: TimeDelta,
         n_epochs: u64,
     ) -> Result<Vec<Vec<(Ts, Batch)>>> {
+        ThreadedRunner::new().execute(df, start, period, n_epochs)
+    }
+
+    /// Execute `n_epochs` epochs starting at `start`, spaced `period`
+    /// apart. Consumes the dataflow (operators move onto their threads) and
+    /// returns one `(epoch, batch)` trace per registered tap, in tap order.
+    pub fn execute(
+        &self,
+        df: Dataflow,
+        start: Ts,
+        period: TimeDelta,
+        n_epochs: u64,
+    ) -> Result<Vec<Vec<(Ts, Batch)>>> {
+        let edge_capacity = self.edge_capacity;
         let n_nodes = df.nodes.len();
         let consumers = df.consumers();
         let taps = df.taps.clone();
@@ -51,12 +106,12 @@ impl ThreadedRunner {
         let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
         let mut rxs: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
-            let (tx, rx) = bounded::<Msg>(EDGE_CAPACITY);
+            let (tx, rx) = bounded::<Msg>(edge_capacity);
             txs.push(tx);
             rxs.push(Some(rx));
         }
         // Tap collection channel.
-        let (tap_tx, tap_rx) = bounded::<(usize, Ts, Batch)>(EDGE_CAPACITY);
+        let (tap_tx, tap_rx) = bounded::<(usize, Ts, Batch)>(edge_capacity);
 
         let mut handles = Vec::with_capacity(n_nodes);
         for (i, node) in df.nodes.into_iter().enumerate() {
@@ -72,18 +127,17 @@ impl ThreadedRunner {
                 .map(|(tap_idx, _)| tap_idx)
                 .collect();
             let tap_tx = (!my_taps.is_empty()).then(|| tap_tx.clone());
+            let stats = self.queue_stats.clone();
 
             let handle = match node.kind {
                 NodeKind::Source(mut src) => thread::spawn(move || -> Result<()> {
                     // Driver sends Punct(ts) as the epoch tick.
                     for msg in rx {
                         let Msg::Punct(epoch) = msg else {
-                            return Err(EspError::Stage(
-                                "source received a data batch".into(),
-                            ));
+                            return Err(EspError::Stage("source received a data batch".into()));
                         };
                         let out = src.poll(epoch)?;
-                        deliver(&downstream, &tap_tx, &my_taps, epoch, out)?;
+                        deliver(&downstream, &tap_tx, &my_taps, epoch, out, &stats)?;
                     }
                     Ok(())
                 }),
@@ -106,16 +160,22 @@ impl ThreadedRunner {
                                         .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
                                     entry.1 += 1;
                                     if entry.1 == n_edges {
-                                        let (ports, _) = staged
-                                            .remove(&epoch)
-                                            .expect("entry just updated");
+                                        let (ports, _) =
+                                            staged.remove(&epoch).expect("entry just updated");
                                         // Deliver in port order for
                                         // determinism, then flush once.
                                         for (port, batch) in ports.into_iter().enumerate() {
                                             op.push(port, &batch)?;
                                         }
                                         let out = op.flush(epoch)?;
-                                        deliver(&downstream, &tap_tx, &my_taps, epoch, out)?;
+                                        deliver(
+                                            &downstream,
+                                            &tap_tx,
+                                            &my_taps,
+                                            epoch,
+                                            out,
+                                            &stats,
+                                        )?;
                                     }
                                 }
                             }
@@ -178,8 +238,7 @@ impl ThreadedRunner {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => first_err = first_err.or(Some(e)),
                 Err(_) => {
-                    first_err =
-                        first_err.or(Some(EspError::Stage("worker thread panicked".into())))
+                    first_err = first_err.or(Some(EspError::Stage("worker thread panicked".into())))
                 }
             }
         }
@@ -193,13 +252,15 @@ impl ThreadedRunner {
     }
 }
 
-/// Send `out` downstream (batch + punctuation per edge) and to taps.
+/// Send `out` downstream (batch + punctuation per edge) and to taps,
+/// counting queue-full (back-pressure) events.
 fn deliver(
     downstream: &[(Sender<Msg>, usize)],
     tap_tx: &Option<Sender<(usize, Ts, Batch)>>,
     my_taps: &[usize],
     epoch: Ts,
     out: Batch,
+    stats: &QueueStats,
 ) -> Result<()> {
     if let Some(tap_tx) = tap_tx {
         for &tap_idx in my_taps {
@@ -211,13 +272,36 @@ fn deliver(
     for (tx, port) in downstream {
         // Empty batches are elided; the punct alone closes the epoch.
         if !out.is_empty() {
-            tx.send(Msg::Batch { port: *port, epoch, batch: out.clone() })
-                .map_err(|_| EspError::Stage("downstream hung up".into()))?;
+            send_counted(
+                tx,
+                Msg::Batch {
+                    port: *port,
+                    epoch,
+                    batch: out.clone(),
+                },
+                stats,
+            )?;
         }
-        tx.send(Msg::Punct(epoch))
-            .map_err(|_| EspError::Stage("downstream hung up".into()))?;
+        send_counted(tx, Msg::Punct(epoch), stats)?;
     }
     Ok(())
+}
+
+/// Send on a bounded edge, recording whether the queue was full.
+fn send_counted(tx: &Sender<Msg>, msg: Msg, stats: &QueueStats) -> Result<()> {
+    use crossbeam::channel::TrySendError;
+    match tx.try_send(msg) {
+        Ok(()) => {
+            stats.record_send();
+            Ok(())
+        }
+        Err(TrySendError::Full(msg)) => {
+            stats.record_blocked();
+            tx.send(msg)
+                .map_err(|_| EspError::Stage("downstream hung up".into()))
+        }
+        Err(TrySendError::Disconnected(_)) => Err(EspError::Stage("downstream hung up".into())),
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +345,9 @@ mod tests {
                 &[src],
             )
             .unwrap();
-        let u = df.add_operator(Box::new(UnionOp::new(2)), &[small, big]).unwrap();
+        let u = df
+            .add_operator(Box::new(UnionOp::new(2)), &[small, big])
+            .unwrap();
         let tap = df.add_tap(u).unwrap();
         (df, tap)
     }
@@ -270,18 +356,47 @@ mod tests {
     fn threaded_matches_single_threaded() {
         let (df1, tap1) = diamond();
         let mut single = EpochRunner::new(df1);
-        single.run(Ts::ZERO, TimeDelta::from_millis(100), 20).unwrap();
+        single
+            .run(Ts::ZERO, TimeDelta::from_millis(100), 20)
+            .unwrap();
         let expected = single.take_tap(tap1);
 
         let (df2, tap2) = diamond();
-        let traces =
-            ThreadedRunner::run(df2, Ts::ZERO, TimeDelta::from_millis(100), 20).unwrap();
+        let traces = ThreadedRunner::run(df2, Ts::ZERO, TimeDelta::from_millis(100), 20).unwrap();
         let got = &traces[tap2.0];
         assert_eq!(got.len(), expected.len());
         for ((te, be), (tg, bg)) in expected.iter().zip(got.iter()) {
             assert_eq!(te, tg);
             assert_eq!(be, bg, "epoch {te} outputs diverge");
         }
+    }
+
+    #[test]
+    fn tiny_edge_capacity_matches_and_reports_backpressure() {
+        let (df1, tap1) = diamond();
+        let mut single = EpochRunner::new(df1);
+        single
+            .run(Ts::ZERO, TimeDelta::from_millis(100), 20)
+            .unwrap();
+        let expected = single.take_tap(tap1);
+
+        // Capacity 1 forces the producers to block constantly; the output
+        // must still be byte-identical, and the stats must show sends.
+        let (df2, tap2) = diamond();
+        let runner = ThreadedRunner::new().edge_capacity(1);
+        let stats = runner.queue_stats();
+        let traces = runner
+            .execute(df2, Ts::ZERO, TimeDelta::from_millis(100), 20)
+            .unwrap();
+        assert_eq!(&traces[tap2.0], &expected);
+        assert!(stats.sends() > 0, "counted no sends");
+        assert!(stats.blocked() <= stats.sends());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge capacity must be nonzero")]
+    fn zero_edge_capacity_rejected() {
+        let _ = ThreadedRunner::new().edge_capacity(0);
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl WindowBuffer {
     /// Create a buffer of the given temporal width. `TimeDelta::ZERO`
     /// creates a now-window.
     pub fn new(width: TimeDelta) -> WindowBuffer {
-        WindowBuffer { width, buf: VecDeque::new(), hwm: Ts::ZERO }
+        WindowBuffer {
+            width,
+            buf: VecDeque::new(),
+            hwm: Ts::ZERO,
+        }
     }
 
     /// The configured window width.

@@ -23,7 +23,11 @@ struct DagSpec {
 enum OpSpec {
     /// Keep values with `v % modulus == residue`, fed by `input` (index
     /// into the combined node list: sources first, then ops in order).
-    Filter { input: usize, modulus: i64, residue: i64 },
+    Filter {
+        input: usize,
+        modulus: i64,
+        residue: i64,
+    },
     /// Union of 2–3 existing nodes.
     Union { inputs: Vec<usize> },
     /// Pass-through of one node.
@@ -51,7 +55,11 @@ fn build(spec: &DagSpec) -> (Dataflow, Vec<TapId>) {
     }
     for op in &spec.ops {
         let node = match op {
-            OpSpec::Filter { input, modulus, residue } => {
+            OpSpec::Filter {
+                input,
+                modulus,
+                residue,
+            } => {
                 let (m, r) = (*modulus, *residue);
                 df.add_operator(
                     Box::new(FilterOp::new("f", move |t: &Tuple| {
@@ -62,9 +70,9 @@ fn build(spec: &DagSpec) -> (Dataflow, Vec<TapId>) {
                 .unwrap()
             }
             OpSpec::Union { inputs } => {
-                let ins: Vec<NodeId> =
-                    inputs.iter().map(|i| nodes[i % nodes.len()]).collect();
-                df.add_operator(Box::new(UnionOp::new(ins.len())), &ins).unwrap()
+                let ins: Vec<NodeId> = inputs.iter().map(|i| nodes[i % nodes.len()]).collect();
+                df.add_operator(Box::new(UnionOp::new(ins.len())), &ins)
+                    .unwrap()
             }
             OpSpec::Pass { input } => df
                 .add_operator(Box::new(PassThrough::new()), &[nodes[input % nodes.len()]])
@@ -78,10 +86,7 @@ fn build(spec: &DagSpec) -> (Dataflow, Vec<TapId>) {
 }
 
 fn dag_spec() -> impl Strategy<Value = DagSpec> {
-    let script = proptest::collection::vec(
-        proptest::collection::vec(-20i64..20, 0..4),
-        1..8,
-    );
+    let script = proptest::collection::vec(proptest::collection::vec(-20i64..20, 0..4), 1..8);
     let sources = proptest::collection::vec(script, 1..4);
     let ops = proptest::collection::vec(
         prop_oneof![
@@ -98,7 +103,11 @@ fn dag_spec() -> impl Strategy<Value = DagSpec> {
     );
     (sources, ops).prop_map(|(sources, ops)| {
         let n_epochs = sources.iter().map(Vec::len).max().unwrap_or(1) as u64 + 2;
-        DagSpec { sources, ops, n_epochs }
+        DagSpec {
+            sources,
+            ops,
+            n_epochs,
+        }
     })
 }
 

@@ -26,7 +26,9 @@ pub struct SampleRateHandle {
 impl SampleRateHandle {
     /// Create a handle with an initial period.
     pub fn new(period: TimeDelta) -> SampleRateHandle {
-        SampleRateHandle { period_ms: Arc::new(AtomicU64::new(period.as_millis().max(1))) }
+        SampleRateHandle {
+            period_ms: Arc::new(AtomicU64::new(period.as_millis().max(1))),
+        }
     }
 
     /// The current sample period.
@@ -36,7 +38,8 @@ impl SampleRateHandle {
 
     /// Set the sample period (floored at 1 ms).
     pub fn set_period(&self, period: TimeDelta) {
-        self.period_ms.store(period.as_millis().max(1), Ordering::Relaxed);
+        self.period_ms
+            .store(period.as_millis().max(1), Ordering::Relaxed);
     }
 
     /// True when two handles share the same cell.

@@ -42,22 +42,34 @@ pub enum EspError {
 impl EspError {
     /// Construct a parse error with no position information.
     pub fn parse(message: impl Into<String>) -> Self {
-        EspError::Parse { message: message.into(), offset: None }
+        EspError::Parse {
+            message: message.into(),
+            offset: None,
+        }
     }
 
     /// Construct a parse error anchored at a byte offset in the query text.
     pub fn parse_at(message: impl Into<String>, offset: usize) -> Self {
-        EspError::Parse { message: message.into(), offset: Some(offset) }
+        EspError::Parse {
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
 }
 
 impl fmt::Display for EspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EspError::Parse { message, offset: Some(off) } => {
+            EspError::Parse {
+                message,
+                offset: Some(off),
+            } => {
                 write!(f, "parse error at byte {off}: {message}")
             }
-            EspError::Parse { message, offset: None } => write!(f, "parse error: {message}"),
+            EspError::Parse {
+                message,
+                offset: None,
+            } => write!(f, "parse error: {message}"),
             EspError::Plan(m) => write!(f, "planning error: {m}"),
             EspError::Type(m) => write!(f, "type error: {m}"),
             EspError::UnknownField(name) => write!(f, "unknown field: {name}"),

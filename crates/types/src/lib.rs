@@ -36,6 +36,6 @@ pub use actuation::SampleRateHandle;
 pub use error::{EspError, Result};
 pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
 pub use schema::{DataType, Field, Schema, SchemaBuilder};
-pub use time::{Ts, TimeDelta};
+pub use time::{TimeDelta, Ts};
 pub use tuple::{Batch, Tuple, TupleBuilder};
 pub use value::{Value, ValueKey};

@@ -65,7 +65,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -119,7 +122,8 @@ impl Schema {
 
     /// Index of `name`, or an [`EspError::UnknownField`].
     pub fn require(&self, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| EspError::UnknownField(name.to_string()))
+        self.index_of(name)
+            .ok_or_else(|| EspError::UnknownField(name.to_string()))
     }
 
     /// The field called `name`.
@@ -232,7 +236,9 @@ mod tests {
     #[test]
     fn with_field_appends_and_rejects_duplicates() {
         let s = demo();
-        let s2 = s.with_field(Field::new("spatial_granule", DataType::Str)).unwrap();
+        let s2 = s
+            .with_field(Field::new("spatial_granule", DataType::Str))
+            .unwrap();
         assert_eq!(s2.len(), 3);
         assert_eq!(s2.index_of("spatial_granule"), Some(2));
         assert!(s.with_field(Field::new("tag_id", DataType::Str)).is_err());
@@ -249,7 +255,11 @@ mod tests {
         assert!(left.join(&right, None).is_err());
         let joined = left.join(&right, Some("r")).unwrap();
         assert_eq!(
-            joined.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            joined
+                .fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["tag_id", "rssi", "r.tag_id", "shelf"]
         );
     }

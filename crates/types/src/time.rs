@@ -158,7 +158,9 @@ impl TimeDelta {
             .parse()
             .map_err(|_| EspError::parse(format!("invalid duration magnitude in '{t}'")))?;
         if num < 0.0 || !num.is_finite() {
-            return Err(EspError::parse(format!("duration magnitude must be finite and >= 0 in '{t}'")));
+            return Err(EspError::parse(format!(
+                "duration magnitude must be finite and >= 0 in '{t}'"
+            )));
         }
         let unit = unit.trim().to_ascii_lowercase();
         let per_unit_ms: f64 = match unit.as_str() {
@@ -168,7 +170,9 @@ impl TimeDelta {
             "h" | "hr" | "hrs" | "hour" | "hours" => 3_600_000.0,
             "day" | "days" => 86_400_000.0,
             other => {
-                return Err(EspError::parse(format!("unknown duration unit '{other}' in '{t}'")))
+                return Err(EspError::parse(format!(
+                    "unknown duration unit '{other}' in '{t}'"
+                )))
             }
         };
         Ok(TimeDelta((num * per_unit_ms).round() as u64))
@@ -186,9 +190,9 @@ impl fmt::Display for TimeDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_now() {
             write!(f, "NOW")
-        } else if self.0 % 60_000 == 0 {
+        } else if self.0.is_multiple_of(60_000) {
             write!(f, "{} min", self.0 / 60_000)
-        } else if self.0 % 1_000 == 0 {
+        } else if self.0.is_multiple_of(1_000) {
             write!(f, "{} sec", self.0 / 1_000)
         } else {
             write!(f, "{} ms", self.0)
@@ -210,15 +214,27 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive_and_trims() {
-        assert_eq!(TimeDelta::parse("  10 SEC ").unwrap(), TimeDelta::from_secs(10));
+        assert_eq!(
+            TimeDelta::parse("  10 SEC ").unwrap(),
+            TimeDelta::from_secs(10)
+        );
         assert_eq!(TimeDelta::parse("now").unwrap(), TimeDelta::ZERO);
-        assert_eq!(TimeDelta::parse("2 Hours").unwrap(), TimeDelta::from_mins(120));
+        assert_eq!(
+            TimeDelta::parse("2 Hours").unwrap(),
+            TimeDelta::from_mins(120)
+        );
     }
 
     #[test]
     fn parse_fractional_durations() {
-        assert_eq!(TimeDelta::parse("0.5 sec").unwrap(), TimeDelta::from_millis(500));
-        assert_eq!(TimeDelta::parse("1.5 min").unwrap(), TimeDelta::from_secs(90));
+        assert_eq!(
+            TimeDelta::parse("0.5 sec").unwrap(),
+            TimeDelta::from_millis(500)
+        );
+        assert_eq!(
+            TimeDelta::parse("1.5 min").unwrap(),
+            TimeDelta::from_secs(90)
+        );
     }
 
     #[test]

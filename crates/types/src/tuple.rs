@@ -43,14 +43,22 @@ impl Tuple {
                 )));
             }
         }
-        Ok(Tuple { schema, values: values.into(), ts })
+        Ok(Tuple {
+            schema,
+            values: values.into(),
+            ts,
+        })
     }
 
     /// Construct without validation. For operator internals that produce
     /// values already known to match (projections, aggregates).
     pub fn new_unchecked(schema: Arc<Schema>, ts: Ts, values: Vec<Value>) -> Tuple {
         debug_assert_eq!(values.len(), schema.len());
-        Tuple { schema, values: values.into(), ts }
+        Tuple {
+            schema,
+            values: values.into(),
+            ts,
+        }
     }
 
     /// The tuple's schema.
@@ -80,23 +88,24 @@ impl Tuple {
 
     /// Value of the field called `name`, or an error.
     pub fn require(&self, name: &str) -> Result<&Value> {
-        self.get(name).ok_or_else(|| EspError::UnknownField(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| EspError::UnknownField(name.to_string()))
     }
 
     /// A copy of this tuple restamped at `ts` (used when an aggregate emits
     /// its result at the epoch boundary rather than at input time).
     pub fn restamped(&self, ts: Ts) -> Tuple {
-        Tuple { schema: Arc::clone(&self.schema), values: Arc::clone(&self.values), ts }
+        Tuple {
+            schema: Arc::clone(&self.schema),
+            values: Arc::clone(&self.values),
+            ts,
+        }
     }
 
     /// A new tuple with `field_name = value` appended. The schema is
     /// extended (or `extended_schema` reused when supplied, avoiding
     /// per-tuple schema allocation on hot paths).
-    pub fn with_appended(
-        &self,
-        extended_schema: &Arc<Schema>,
-        value: Value,
-    ) -> Result<Tuple> {
+    pub fn with_appended(&self, extended_schema: &Arc<Schema>, value: Value) -> Result<Tuple> {
         if extended_schema.len() != self.schema.len() + 1 {
             return Err(EspError::SchemaMismatch(format!(
                 "extended schema {extended_schema} does not extend {} by one field",
@@ -106,14 +115,24 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.values.len() + 1);
         values.extend_from_slice(&self.values);
         values.push(value);
-        Ok(Tuple { schema: Arc::clone(extended_schema), values: values.into(), ts: self.ts })
+        Ok(Tuple {
+            schema: Arc::clone(extended_schema),
+            values: values.into(),
+            ts: self.ts,
+        })
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "@{} {{", self.ts)?;
-        for (i, (fld, v)) in self.schema.fields().iter().zip(self.values.iter()).enumerate() {
+        for (i, (fld, v)) in self
+            .schema
+            .fields()
+            .iter()
+            .zip(self.values.iter())
+            .enumerate()
+        {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -190,8 +209,7 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected_with_field_name() {
-        let err =
-            Tuple::new(schema(), Ts::ZERO, vec![Value::Int(1), Value::Int(1)]).unwrap_err();
+        let err = Tuple::new(schema(), Ts::ZERO, vec![Value::Int(1), Value::Int(1)]).unwrap_err();
         assert!(err.to_string().contains("tag_id"));
     }
 
@@ -203,8 +221,12 @@ mod tests {
 
     #[test]
     fn get_and_require() {
-        let t = Tuple::new(schema(), Ts::from_secs(2), vec![Value::str("a"), Value::Int(3)])
-            .unwrap();
+        let t = Tuple::new(
+            schema(),
+            Ts::from_secs(2),
+            vec![Value::str("a"), Value::Int(3)],
+        )
+        .unwrap();
         assert_eq!(t.get("count"), Some(&Value::Int(3)));
         assert!(t.get("missing").is_none());
         assert!(t.require("missing").is_err());
@@ -223,7 +245,9 @@ mod tests {
     #[test]
     fn with_appended_extends() {
         let t = Tuple::new(schema(), Ts::ZERO, vec![Value::str("a"), Value::Int(3)]).unwrap();
-        let ext = schema().with_field(Field::new("spatial_granule", DataType::Str)).unwrap();
+        let ext = schema()
+            .with_field(Field::new("spatial_granule", DataType::Str))
+            .unwrap();
         let t2 = t.with_appended(&ext, Value::str("shelf0")).unwrap();
         assert_eq!(t2.get("spatial_granule"), Some(&Value::str("shelf0")));
         assert_eq!(t2.ts(), t.ts());
@@ -239,13 +263,19 @@ mod tests {
 
     #[test]
     fn builder_unknown_field_errors() {
-        assert!(TupleBuilder::new(&schema(), Ts::ZERO).set("bogus", 1i64).is_err());
+        assert!(TupleBuilder::new(&schema(), Ts::ZERO)
+            .set("bogus", 1i64)
+            .is_err());
     }
 
     #[test]
     fn display_shows_fields() {
-        let t = Tuple::new(schema(), Ts::from_secs(1), vec![Value::str("a"), Value::Int(3)])
-            .unwrap();
+        let t = Tuple::new(
+            schema(),
+            Ts::from_secs(1),
+            vec![Value::str("a"), Value::Int(3)],
+        )
+        .unwrap();
         let s = t.to_string();
         assert!(s.contains("tag_id: 'a'") && s.contains("count: 3"));
     }

@@ -259,8 +259,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison_coerces() {
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(2.5).sql_cmp(&Value::Int(3)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -281,8 +287,14 @@ mod tests {
 
     #[test]
     fn float_group_keys_normalize_zero_and_nan() {
-        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
-        assert_eq!(Value::Float(f64::NAN).group_key(), Value::Float(-f64::NAN).group_key());
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).group_key(),
+            Value::Float(-f64::NAN).group_key()
+        );
         assert_ne!(Value::Float(1.0).group_key(), Value::Float(2.0).group_key());
     }
 
@@ -302,7 +314,11 @@ mod tests {
         assert_eq!(Value::Int(5).to_string(), "5");
         assert_eq!(Value::str("x").to_string(), "'x'");
         assert_eq!(Value::Bool(true).to_string(), "true");
-        assert_eq!(Value::Float(2.0).to_string(), "2.0", "whole floats keep the point");
+        assert_eq!(
+            Value::Float(2.0).to_string(),
+            "2.0",
+            "whole floats keep the point"
+        );
         assert_eq!(Value::Float(2.5).to_string(), "2.5");
     }
 

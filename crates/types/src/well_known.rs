@@ -96,7 +96,13 @@ mod tests {
     fn spatial_granule_not_in_raw_schemas() {
         // The spatial_granule attribute is injected by the ESP processor,
         // not produced by receptors.
-        for s in [rfid_schema(), temp_schema(), sound_schema(), motion_schema(), temp_voltage_schema()] {
+        for s in [
+            rfid_schema(),
+            temp_schema(),
+            sound_schema(),
+            motion_schema(),
+            temp_voltage_schema(),
+        ] {
             assert!(!s.contains(SPATIAL_GRANULE));
         }
     }

@@ -6,8 +6,8 @@
 //! Run: `cargo run --release -p esp-examples --bin digital_home`
 
 use esp_core::{
-    EspProcessor, MergeStage, Pipeline, PointStage, ProximityGroups, ReceptorBinding,
-    SmoothStage, VirtualizeStage, VoteRule,
+    EspProcessor, MergeStage, Pipeline, PointStage, ProximityGroups, ReceptorBinding, SmoothStage,
+    VirtualizeStage, VoteRule,
 };
 use esp_metrics::BinaryAccuracy;
 use esp_receptors::office::{OfficeScenario, BADGE_TAG};
@@ -64,13 +64,16 @@ fn main() {
             })
         })
         .per_group("merge", |ctx| {
-            let granule =
-                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("office"));
+            let granule = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("office"));
             Ok(match ctx.receptor_type {
-                Some(ReceptorType::Rfid) => {
-                    Box::new(MergeStage::union_all("merge", granule, Some("tag_id".into())))
-                        as Box<dyn esp_core::Stage>
-                }
+                Some(ReceptorType::Rfid) => Box::new(MergeStage::union_all(
+                    "merge",
+                    granule,
+                    Some("tag_id".into()),
+                )) as Box<dyn esp_core::Stage>,
                 Some(ReceptorType::X10Motion) => Box::new(MergeStage::vote_threshold(
                     "merge",
                     granule,
@@ -113,14 +116,19 @@ fn main() {
         .collect();
     let processor = EspProcessor::build(groups, &pipeline, receptors).expect("deployment");
     let output = processor
-        .run(Ts::ZERO, TimeDelta::from_secs(1), duration.as_millis() / 1000)
+        .run(
+            Ts::ZERO,
+            TimeDelta::from_secs(1),
+            duration.as_millis() / 1000,
+        )
         .expect("pipeline runs");
 
     let mut accuracy = BinaryAccuracy::new();
     let mut strip = String::new();
     for (ts, batch) in &output.trace {
-        let detected =
-            batch.iter().any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
+        let detected = batch
+            .iter()
+            .any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
         accuracy.record(detected, scenario.occupied(*ts));
         if ts.as_millis() % 10_000 == 0 {
             strip.push(if detected { '#' } else { '.' });

@@ -32,7 +32,11 @@ fn main() {
     // The cleaning pipeline: a single Smooth stage per receptor stream.
     let pipeline = Pipeline::builder()
         .per_receptor("smooth", move |_ctx| {
-            Ok(Box::new(SmoothStage::count_by_key("smooth", granule, ["tag_id"])))
+            Ok(Box::new(SmoothStage::count_by_key(
+                "smooth",
+                granule,
+                ["tag_id"],
+            )))
         })
         .build();
 
@@ -54,8 +58,10 @@ fn main() {
         if epoch.as_millis() % 5_000 != 0 {
             continue;
         }
-        let tags: std::collections::HashSet<&str> =
-            batch.iter().filter_map(|t| t.get("tag_id").and_then(Value::as_str)).collect();
+        let tags: std::collections::HashSet<&str> = batch
+            .iter()
+            .filter_map(|t| t.get("tag_id").and_then(Value::as_str))
+            .collect();
         println!("{epoch:>6}  {:>13}", tags.len());
     }
 }

@@ -32,7 +32,11 @@ fn main() {
     let mut groups = ProximityGroups::new();
     let specs = scenario.groups();
     for spec in &specs {
-        groups.add_group(ReceptorType::Mote, spec.granule.as_str(), spec.members.clone());
+        groups.add_group(
+            ReceptorType::Mote,
+            spec.granule.as_str(),
+            spec.members.clone(),
+        );
     }
 
     let pipeline = Pipeline::builder()
@@ -45,7 +49,10 @@ fn main() {
             )))
         })
         .per_group("merge", move |ctx| {
-            let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("band"));
+            let g = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("band"));
             Ok(Box::new(MergeStage::outlier_filtered_mean(
                 "merge",
                 g,
@@ -62,11 +69,16 @@ fn main() {
         .map(|(id, src)| ReceptorBinding::new(id, ReceptorType::Mote, src))
         .collect();
     let processor = EspProcessor::build(groups, &pipeline, receptors).expect("deployment");
-    let output = processor.run(Ts::ZERO, period, n_epochs).expect("pipeline runs");
+    let output = processor
+        .run(Ts::ZERO, period, n_epochs)
+        .expect("pipeline runs");
 
     // Score: yield per granule-epoch + accuracy vs the micro-climate model.
-    let granule_index: HashMap<&str, usize> =
-        specs.iter().enumerate().map(|(i, s)| (s.granule.as_str(), i)).collect();
+    let granule_index: HashMap<&str, usize> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.granule.as_str(), i))
+        .collect();
     let mut epoch_yield = EpochYield::new();
     let mut pairs = Vec::new();
     for (ts, batch) in &output.trace {

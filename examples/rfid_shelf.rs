@@ -14,8 +14,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use esp_core::{
-    ArbitrateStage, DeclarativeStage, EspProcessor, Pipeline, ProximityGroups,
-    ReceptorBinding, TieBreak,
+    ArbitrateStage, DeclarativeStage, EspProcessor, Pipeline, ProximityGroups, ReceptorBinding,
+    TieBreak,
 };
 use esp_metrics::average_relative_error;
 use esp_query::Engine;
@@ -71,7 +71,7 @@ fn main() {
     println!("time   shelf0 (truth)   shelf1 (truth)");
     for (epoch, batch) in &output.trace {
         let mut counts = [0usize; 2];
-        for shelf in 0..2 {
+        for (shelf, count) in counts.iter_mut().enumerate() {
             let tags: HashSet<&str> = batch
                 .iter()
                 .filter(|t| {
@@ -80,7 +80,7 @@ fn main() {
                 })
                 .filter_map(|t| t.get("tag_id").and_then(Value::as_str))
                 .collect();
-            counts[shelf] = tags.len();
+            *count = tags.len();
             pairs.push((tags.len() as f64, scenario.true_count(shelf, *epoch) as f64));
         }
         if epoch.as_millis() % 10_000 == 0 {

@@ -18,8 +18,7 @@
 use std::sync::Arc;
 
 use esp_core::{
-    ArbitrateStage, EspProcessor, Pipeline, ProximityGroups, ReceptorBinding, SmoothStage,
-    TieBreak,
+    ArbitrateStage, EspProcessor, Pipeline, ProximityGroups, ReceptorBinding, SmoothStage, TieBreak,
 };
 use esp_query::Engine;
 use esp_receptors::rfid::ShelfScenario;
@@ -56,7 +55,9 @@ fn main() {
         .map(|(id, src)| ReceptorBinding::new(id, ReceptorType::Rfid, src))
         .collect();
     let edge = EspProcessor::build(groups, &pipeline, receptors).expect("edge deployment");
-    let cleaned = edge.run(Ts::ZERO, period, 120 * 1000 / period.as_millis()).expect("edge run");
+    let cleaned = edge
+        .run(Ts::ZERO, period, 120 * 1000 / period.as_millis())
+        .expect("edge run");
 
     // ----- Interior node: application-level query over the clean stream. -----
     let engine = Engine::new();

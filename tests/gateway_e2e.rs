@@ -1,0 +1,305 @@
+//! Gateway end-to-end: simulated receptors stream checksummed frames over
+//! real TCP sockets into the sharded gateway, and the union of the shard
+//! outputs must equal a single-process `EspProcessor` run over the same
+//! readings — the determinism contract that makes the gateway a drop-in
+//! scale-out of the paper's pipeline.
+
+use std::thread;
+
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding, SmoothStage};
+use esp_gateway::{
+    canonical_sort, Gateway, GatewayClient, GatewayConfig, GatewayGroup, ReadingSchemas,
+};
+use esp_receptors::wire::{self, Reading};
+use esp_stream::ScriptedSource;
+use esp_types::{Batch, ReceptorId, ReceptorType, TimeDelta, Ts};
+
+/// Deterministic synthetic streams: two RFID readers on two shelves and
+/// one mote in a room, 100 ms sample period over 2 s, with adjacent pairs
+/// swapped on the wire to exercise the bounded-lateness watermark.
+fn receptor_readings(receptor: u32) -> Vec<Reading> {
+    let mut out = Vec::new();
+    for i in 0..20u64 {
+        let ts = Ts::from_millis(i * 100);
+        let r = match receptor {
+            0 | 1 => Reading::Tag {
+                receptor: ReceptorId(receptor),
+                ts,
+                tag_id: format!("tag-{receptor}-{}", i % 3),
+            },
+            _ => Reading::Scalar {
+                receptor: ReceptorId(receptor),
+                ts,
+                value: 20.0 + (i as f64) * 0.25,
+            },
+        };
+        out.push(r);
+    }
+    // Swap each (odd, even) pair: the stream arrives 100 ms out of order,
+    // within the declared lateness bound.
+    for p in out.chunks_mut(2) {
+        p.swap(0, 1);
+    }
+    out
+}
+
+fn groups() -> Vec<GatewayGroup> {
+    vec![
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: "shelf0".into(),
+            members: vec![ReceptorId(0)],
+        },
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: "shelf1".into(),
+            members: vec![ReceptorId(1)],
+        },
+        GatewayGroup {
+            receptor_type: ReceptorType::Mote,
+            granule: "room".into(),
+            members: vec![ReceptorId(2)],
+        },
+    ]
+}
+
+/// Run the same readings through a single-process processor: one
+/// `ScriptedSource` per receptor (timestamp order), identical pipeline,
+/// identical epoch schedule.
+fn single_process_trace(
+    pipeline: &Pipeline,
+    receptors: &[u32],
+    start: Ts,
+    period: TimeDelta,
+    n_epochs: u64,
+) -> Vec<(Ts, Batch)> {
+    let schemas = ReadingSchemas::new();
+    let mut pg = ProximityGroups::new();
+    for g in groups() {
+        pg.add_group(
+            g.receptor_type,
+            g.granule.clone(),
+            g.members.iter().copied(),
+        );
+    }
+    let bindings = receptors
+        .iter()
+        .map(|&r| {
+            let mut readings = receptor_readings(r);
+            readings.sort_by_key(|x| x.ts());
+            let script: Vec<(Ts, Batch)> = readings
+                .iter()
+                .map(|x| (x.ts(), vec![schemas.to_tuple(x)]))
+                .collect();
+            ReceptorBinding::new(
+                ReceptorId(r),
+                if r < 2 {
+                    ReceptorType::Rfid
+                } else {
+                    ReceptorType::Mote
+                },
+                Box::new(ScriptedSource::new(format!("gateway-receptor#{r}"), script)) as _,
+            )
+        })
+        .collect();
+    let proc = EspProcessor::build(pg, pipeline, bindings).unwrap();
+    let mut trace = proc.run(start, period, n_epochs).unwrap().trace;
+    for (_, batch) in &mut trace {
+        canonical_sort(batch);
+    }
+    trace
+}
+
+/// Render a trace as comparable data (schema arcs differ between runs, so
+/// compare timestamps and values).
+fn rendered(trace: &[(Ts, Batch)]) -> Vec<(u64, Vec<String>)> {
+    trace
+        .iter()
+        .map(|(ts, b)| {
+            (
+                ts.as_millis(),
+                b.iter()
+                    .map(|t| format!("{:?} {:?}", t.ts(), t.values()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn run_gateway_clients(gateway: &Gateway, receptors: &[u32], lateness: TimeDelta) {
+    let addr = gateway.local_addr();
+    let handles: Vec<_> = receptors
+        .iter()
+        .map(|&r| {
+            thread::spawn(move || {
+                let mut client = GatewayClient::connect(addr, lateness).unwrap();
+                for reading in receptor_readings(r) {
+                    client.send(&reading).unwrap();
+                }
+                client.finish().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn sharded_gateway_output_matches_single_process_run() {
+    let receptors = [0u32, 1, 2];
+    let start = Ts::ZERO;
+    let period = TimeDelta::from_millis(500);
+    let lateness = TimeDelta::from_millis(100);
+
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 4;
+    config.period = period;
+    config.start = start;
+    config.min_connections = receptors.len();
+
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+    run_gateway_clients(&gateway, &receptors, lateness);
+    let output = gateway.finish().unwrap();
+
+    assert_eq!(output.stats.connections, 3);
+    assert_eq!(output.stats.readings, 60);
+    assert_eq!(output.stats.corrupt_frames, 0);
+    assert_eq!(output.stats.unroutable, 0);
+
+    let merged = output.merged_trace();
+    // Epochs: 0, 500, …, first boundary covering max ts (1900 ms) ⇒ 5.
+    let expected = single_process_trace(&Pipeline::raw(), &receptors, start, period, 5);
+    assert_eq!(rendered(&merged), rendered(&expected));
+    assert_eq!(merged.iter().map(|(_, b)| b.len()).sum::<usize>(), 60);
+}
+
+#[test]
+fn stateful_pipeline_shards_deterministically() {
+    // Smooth over a 5 s count window keyed by (granule, tag): window state
+    // lives on whichever shard owns the granule, so the sharded result
+    // must still equal the single-process result.
+    let pipeline_factory = || {
+        Pipeline::builder()
+            .per_receptor("smooth", |_| {
+                Ok(Box::new(SmoothStage::count_by_key(
+                    "smooth",
+                    TimeDelta::from_secs(5),
+                    ["spatial_granule", "tag_id"],
+                )))
+            })
+            .build()
+    };
+    let receptors = [0u32, 1];
+    let period = TimeDelta::from_millis(500);
+
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 2;
+    config.period = period;
+    config.min_connections = receptors.len();
+
+    let gateway = Gateway::spawn(config, |_| pipeline_factory()).unwrap();
+    run_gateway_clients(&gateway, &receptors, TimeDelta::from_millis(100));
+    let output = gateway.finish().unwrap();
+
+    let merged = output.merged_trace();
+    let expected = single_process_trace(&pipeline_factory(), &receptors, Ts::ZERO, period, 5);
+    assert_eq!(rendered(&merged), rendered(&expected));
+    assert!(
+        merged.iter().map(|(_, b)| b.len()).sum::<usize>() > 0,
+        "smooth produced output"
+    );
+}
+
+#[test]
+fn corrupt_frames_are_counted_and_dropped_at_the_edge() {
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 2;
+    config.min_connections = 1;
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+
+    let mut client = GatewayClient::connect(gateway.local_addr(), TimeDelta::ZERO).unwrap();
+    let mut sent_good = 0u64;
+    for i in 0..30u64 {
+        let reading = Reading::Tag {
+            receptor: ReceptorId(0),
+            ts: Ts::from_millis(i * 10),
+            tag_id: format!("t{i}"),
+        };
+        if i % 3 == 0 {
+            // Damage the frame in flight; the framing layer delivers it,
+            // the checksum rejects it.
+            let mut bad = wire::encode(&reading).to_vec();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0xff;
+            client.send_raw(&bad).unwrap();
+        } else {
+            client.send(&reading).unwrap();
+            sent_good += 1;
+        }
+    }
+    client.finish().unwrap();
+    let output = gateway.finish().unwrap();
+
+    assert_eq!(output.stats.frames, 30);
+    assert_eq!(output.stats.corrupt_frames, 10);
+    assert_eq!(output.stats.readings, sent_good);
+    assert_eq!(output.total_tuples() as u64, sent_good);
+}
+
+#[test]
+fn tiny_shard_queues_backpressure_without_losing_data() {
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 2;
+    config.edge_capacity = 1;
+    config.min_connections = 1;
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+
+    let mut client = GatewayClient::connect(gateway.local_addr(), TimeDelta::ZERO).unwrap();
+    let n = 500u64;
+    for i in 0..n {
+        client
+            .send(&Reading::Scalar {
+                receptor: ReceptorId(2),
+                ts: Ts::from_millis(i),
+                value: i as f64,
+            })
+            .unwrap();
+    }
+    client.finish().unwrap();
+    let output = gateway.finish().unwrap();
+
+    assert_eq!(output.stats.readings, n);
+    assert_eq!(output.total_tuples() as u64, n);
+    // Every routed reading went through the counted send path.
+    assert_eq!(output.stats.queue_sends, n);
+}
+
+#[test]
+fn unroutable_receptors_are_counted_not_fatal() {
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 2;
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+
+    let mut client = GatewayClient::connect(gateway.local_addr(), TimeDelta::ZERO).unwrap();
+    client
+        .send(&Reading::Scalar {
+            receptor: ReceptorId(99),
+            ts: Ts::from_millis(5),
+            value: 1.0,
+        })
+        .unwrap();
+    client
+        .send(&Reading::Scalar {
+            receptor: ReceptorId(2),
+            ts: Ts::from_millis(10),
+            value: 2.0,
+        })
+        .unwrap();
+    client.finish().unwrap();
+    let output = gateway.finish().unwrap();
+
+    assert_eq!(output.stats.unroutable, 1);
+    assert_eq!(output.stats.readings, 1);
+    assert_eq!(output.total_tuples(), 1);
+}

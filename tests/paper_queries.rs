@@ -55,7 +55,11 @@ fn query_1_counts_distinct_tags_per_shelf() {
             .unwrap()
     };
     // Duplicate sightings of tag a on shelf 0 count once (distinct).
-    q.push("rfid_data", &[mk(0, "a"), mk(0, "a"), mk(0, "b"), mk(1, "c")]).unwrap();
+    q.push(
+        "rfid_data",
+        &[mk(0, "a"), mk(0, "a"), mk(0, "b"), mk(1, "c")],
+    )
+    .unwrap();
     let out = q.tick(Ts::ZERO).unwrap();
     assert_eq!(out.len(), 2);
     assert_eq!(out[0].get("count"), Some(&Value::Int(2)));
@@ -111,13 +115,20 @@ fn query_3_attributes_tag_to_majority_granule() {
         .iter()
         .map(|t| {
             (
-                t.get("spatial_granule").unwrap().as_str().unwrap().to_string(),
+                t.get("spatial_granule")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string(),
                 t.get("tag_id").unwrap().as_str().unwrap().to_string(),
             )
         })
         .collect();
     assert!(rows.contains(&("shelf0".into(), "x".into())));
-    assert!(!rows.contains(&("shelf1".into(), "x".into())), "loser granule dropped");
+    assert!(
+        !rows.contains(&("shelf1".into(), "x".into())),
+        "loser granule dropped"
+    );
     assert!(rows.contains(&("shelf1".into(), "y".into())));
 }
 
@@ -148,7 +159,9 @@ fn query_3_tie_keeps_both_granules() {
 #[test]
 fn query_4_filters_fail_dirty_readings() {
     let engine = Engine::new();
-    let mut q = engine.compile("SELECT * FROM point_input WHERE temp < 50").unwrap();
+    let mut q = engine
+        .compile("SELECT * FROM point_input WHERE temp < 50")
+        .unwrap();
     let schema = well_known::temp_schema();
     let mk = |v: f64| {
         TupleBuilder::new(&schema, Ts::ZERO)
@@ -159,7 +172,8 @@ fn query_4_filters_fail_dirty_readings() {
             .build()
             .unwrap()
     };
-    q.push("point_input", &[mk(22.0), mk(104.0), mk(49.9)]).unwrap();
+    q.push("point_input", &[mk(22.0), mk(104.0), mk(49.9)])
+        .unwrap();
     let out = q.tick(Ts::ZERO).unwrap();
     assert_eq!(out.len(), 2);
     assert!(out
@@ -201,7 +215,8 @@ fn query_5_outlier_rejection_via_derived_table() {
             .unwrap()
     };
     // Two healthy motes at ~20 °C, one fail-dirty at 104 °C.
-    q.push("merge_input", &[mk(20.0), mk(21.0), mk(104.0)]).unwrap();
+    q.push("merge_input", &[mk(20.0), mk(21.0), mk(104.0)])
+        .unwrap();
     let out = q.tick(Ts::ZERO).unwrap();
     assert_eq!(out.len(), 1);
     let avg = out[0].get("avg").and_then(Value::as_f64).unwrap();
@@ -231,11 +246,20 @@ fn query_6_parses_verbatim_and_votes_in_practical_form() {
     // Practical executable form: votes normalized upstream, summed here.
     let engine = Engine::new();
     let mut q = engine
-        .compile("SELECT 'Person-in-room' AS event FROM votes [Range By 'NOW'] HAVING sum(vote) >= 2")
+        .compile(
+            "SELECT 'Person-in-room' AS event FROM votes [Range By 'NOW'] HAVING sum(vote) >= 2",
+        )
         .unwrap();
-    let schema = Schema::builder().field("vote", DataType::Int).build().unwrap();
+    let schema = Schema::builder()
+        .field("vote", DataType::Int)
+        .build()
+        .unwrap();
     let vote = |v: i64| {
-        TupleBuilder::new(&schema, Ts::ZERO).set("vote", v).unwrap().build().unwrap()
+        TupleBuilder::new(&schema, Ts::ZERO)
+            .set("vote", v)
+            .unwrap()
+            .build()
+            .unwrap()
     };
     q.push("votes", &[vote(1), vote(0), vote(1)]).unwrap();
     let out = q.tick(Ts::ZERO).unwrap();

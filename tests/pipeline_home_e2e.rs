@@ -1,9 +1,7 @@
 //! End-to-end §6 digital-home pipeline: all five stages over three
 //! receptor types, scored as a person detector.
 
-use esp_core::{
-    MergeStage, Pipeline, PointStage, SmoothStage, VirtualizeStage, VoteRule,
-};
+use esp_core::{MergeStage, Pipeline, PointStage, SmoothStage, VirtualizeStage, VoteRule};
 use esp_integration_tests::build_processor;
 use esp_metrics::BinaryAccuracy;
 use esp_receptors::office::{OfficeScenario, BADGE_TAG, ERRANT_TAG};
@@ -43,13 +41,16 @@ fn five_stage_pipeline(threshold: usize) -> Pipeline {
             })
         })
         .per_group("merge", |ctx| {
-            let granule =
-                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("office"));
+            let granule = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("office"));
             Ok(match ctx.receptor_type {
-                Some(ReceptorType::Rfid) => {
-                    Box::new(MergeStage::union_all("merge", granule, Some("tag_id".into())))
-                        as Box<dyn esp_core::Stage>
-                }
+                Some(ReceptorType::Rfid) => Box::new(MergeStage::union_all(
+                    "merge",
+                    granule,
+                    Some("tag_id".into()),
+                )) as Box<dyn esp_core::Stage>,
                 Some(ReceptorType::X10Motion) => Box::new(MergeStage::vote_threshold(
                     "merge",
                     granule,
@@ -88,14 +89,18 @@ fn five_stage_pipeline(threshold: usize) -> Pipeline {
 
 fn run(threshold: usize, seed: u64, secs: u64) -> (BinaryAccuracy, OfficeScenario) {
     let scenario = OfficeScenario::paper(seed);
-    let proc =
-        build_processor(&scenario.groups(), &five_stage_pipeline(threshold), scenario.sources())
-            .unwrap();
+    let proc = build_processor(
+        &scenario.groups(),
+        &five_stage_pipeline(threshold),
+        scenario.sources(),
+    )
+    .unwrap();
     let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), secs).unwrap();
     let mut acc = BinaryAccuracy::new();
     for (ts, batch) in &out.trace {
-        let detected =
-            batch.iter().any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
+        let detected = batch
+            .iter()
+            .any(|t| t.get("event") == Some(&Value::str("Person-in-room")));
         acc.record(detected, scenario.occupied(*ts));
     }
     (acc, scenario)
@@ -112,7 +117,11 @@ fn person_detector_hits_paper_accuracy_band() {
 fn detector_works_across_seeds() {
     for seed in [1u64, 2, 3, 4, 5] {
         let (acc, _) = run(2, seed, 360);
-        assert!(acc.accuracy() > 0.8, "seed {seed}: accuracy {}", acc.accuracy());
+        assert!(
+            acc.accuracy() > 0.8,
+            "seed {seed}: accuracy {}",
+            acc.accuracy()
+        );
     }
 }
 

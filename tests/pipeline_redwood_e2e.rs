@@ -13,11 +13,17 @@ use esp_types::{ReceptorType, SpatialGranule, TimeDelta, Ts, Value};
 fn lab_pipeline(outlier_k: f64) -> Pipeline {
     Pipeline::builder()
         .per_receptor("point", |_| {
-            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+            Ok(Box::new(PointStage::new("point").range_filter(
+                "temp",
+                None,
+                Some(50.0),
+            )))
         })
         .per_group("merge", move |ctx| {
-            let granule =
-                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            let granule = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("lab-room"));
             Ok(Box::new(MergeStage::outlier_filtered_mean(
                 "merge",
                 granule,
@@ -53,7 +59,10 @@ fn lab_pipeline_never_reports_fail_dirty_temperatures() {
             reported += 1;
         }
     }
-    assert!(reported > n_epochs as usize / 2, "pipeline mostly reports ({reported})");
+    assert!(
+        reported > n_epochs as usize / 2,
+        "pipeline mostly reports ({reported})"
+    );
 }
 
 #[test]
@@ -66,11 +75,17 @@ fn point_stage_alone_caps_but_does_not_fix_the_outlier() {
     // Point + unbounded merge (no outlier rejection).
     let pipeline = Pipeline::builder()
         .per_receptor("point", |_| {
-            Ok(Box::new(PointStage::new("point").range_filter("temp", None, Some(50.0))))
+            Ok(Box::new(PointStage::new("point").range_filter(
+                "temp",
+                None,
+                Some(50.0),
+            )))
         })
         .per_group("merge", |ctx| {
-            let granule =
-                ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("lab-room"));
+            let granule = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("lab-room"));
             Ok(Box::new(MergeStage::outlier_filtered_mean(
                 "merge",
                 granule,
@@ -101,7 +116,10 @@ fn point_stage_alone_caps_but_does_not_fix_the_outlier() {
                 .map(|v| (v - scenario.true_temp(*ts)).abs())
         })
         .fold(0.0f64, f64::max);
-    assert!(polluted > 3.0, "point-only pipeline should still be polluted ({polluted})");
+    assert!(
+        polluted > 3.0,
+        "point-only pipeline should still be polluted ({polluted})"
+    );
 }
 
 #[test]
@@ -120,7 +138,10 @@ fn redwood_merge_recovers_most_granule_epochs() {
             )))
         })
         .per_group("merge", move |ctx| {
-            let g = ctx.granule.clone().unwrap_or_else(|| SpatialGranule::new("band"));
+            let g = ctx
+                .granule
+                .clone()
+                .unwrap_or_else(|| SpatialGranule::new("band"));
             Ok(Box::new(MergeStage::outlier_filtered_mean(
                 "merge",
                 g,
@@ -131,8 +152,11 @@ fn redwood_merge_recovers_most_granule_epochs() {
         })
         .build();
     let specs = scenario.groups();
-    let granule_index: HashMap<&str, usize> =
-        specs.iter().enumerate().map(|(i, s)| (s.granule.as_str(), i)).collect();
+    let granule_index: HashMap<&str, usize> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.granule.as_str(), i))
+        .collect();
     let proc = build_processor(
         &specs,
         &pipeline,
@@ -150,10 +174,12 @@ fn redwood_merge_recovers_most_granule_epochs() {
             }
             // Accuracy spot check on every reported value.
             let v = t.get("temp").and_then(Value::as_f64).unwrap();
-            let gi = granule_index
-                [t.get("spatial_granule").and_then(Value::as_str).unwrap()];
+            let gi = granule_index[t.get("spatial_granule").and_then(Value::as_str).unwrap()];
             let truth = scenario.granule_true_temp(gi, *ts);
-            assert!((v - truth).abs() < 5.0, "merge output {v} far from truth {truth}");
+            assert!(
+                (v - truth).abs() < 5.0,
+                "merge output {v} far from truth {truth}"
+            );
         }
         for s in seen {
             y.record(s);

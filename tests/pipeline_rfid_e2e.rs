@@ -37,7 +37,9 @@ fn shelf_error(pipeline: &Pipeline, seed: u64, secs: u64) -> f64 {
         with_type(scenario.sources(), ReceptorType::Rfid),
     )
     .unwrap();
-    let out = proc.run(Ts::ZERO, period, secs * 1000 / period.as_millis()).unwrap();
+    let out = proc
+        .run(Ts::ZERO, period, secs * 1000 / period.as_millis())
+        .unwrap();
     let mut pairs = Vec::new();
     for (epoch, batch) in &out.trace {
         for shelf in 0..2 {
@@ -79,7 +81,10 @@ fn tiny_granule_cannot_straddle_gaps() {
     // floor, so error increases vs the 5 s granule.
     let tiny = shelf_error(&paper_pipeline(TimeDelta::from_millis(400)), 5, 120);
     let right = shelf_error(&paper_pipeline(TimeDelta::from_secs(5)), 5, 120);
-    assert!(tiny > right, "tiny-granule error {tiny} should exceed {right}");
+    assert!(
+        tiny > right,
+        "tiny-granule error {tiny} should exceed {right}"
+    );
 }
 
 #[test]
@@ -87,7 +92,10 @@ fn huge_granule_lags_relocations() {
     // Figure 6's right side: a 30 s window straddles relocation events.
     let huge = shelf_error(&paper_pipeline(TimeDelta::from_secs(30)), 5, 200);
     let right = shelf_error(&paper_pipeline(TimeDelta::from_secs(5)), 5, 200);
-    assert!(huge > right, "huge-granule error {huge} should exceed {right}");
+    assert!(
+        huge > right,
+        "huge-granule error {huge} should exceed {right}"
+    );
 }
 
 #[test]

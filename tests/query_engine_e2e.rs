@@ -7,8 +7,8 @@ use esp_query::aggregate::{AggregateFactory, AggregateState};
 use esp_query::{Engine, QueryOperator};
 use esp_stream::{Dataflow, EpochRunner, ScriptedSource};
 use esp_types::{
-    well_known, Batch, DataType, EspError, Result, Schema, TimeDelta, Ts, Tuple,
-    TupleBuilder, Value,
+    well_known, Batch, DataType, EspError, Result, Schema, TimeDelta, Ts, Tuple, TupleBuilder,
+    Value,
 };
 
 fn rfid(ts: Ts, reader: i64, tag: &str) -> Tuple {
@@ -49,17 +49,27 @@ fn query_operator_runs_inside_a_dataflow() {
         .map(|(_, b)| b[0].get("count").and_then(Value::as_i64).unwrap())
         .collect();
     assert_eq!(counts[0], 1);
-    assert!(counts[3..].iter().all(|&c| c == 3), "steady-state counts {counts:?}");
+    assert!(
+        counts[3..].iter().all(|&c| c == 3),
+        "steady-state counts {counts:?}"
+    );
 }
 
 #[test]
 fn static_relation_join_filters_expected_tags() {
     let mut engine = Engine::new();
-    let schema = Schema::builder().field("tag_id", DataType::Str).build().unwrap();
+    let schema = Schema::builder()
+        .field("tag_id", DataType::Str)
+        .build()
+        .unwrap();
     let expected = ["badge-1", "badge-2"]
         .iter()
         .map(|t| {
-            TupleBuilder::new(&schema, Ts::ZERO).set("tag_id", *t).unwrap().build().unwrap()
+            TupleBuilder::new(&schema, Ts::ZERO)
+                .set("tag_id", *t)
+                .unwrap()
+                .build()
+                .unwrap()
         })
         .collect();
     engine.register_relation("expected_tags", expected);
@@ -69,7 +79,11 @@ fn static_relation_join_filters_expected_tags() {
              WHERE s.tag_id = e.tag_id",
         )
         .unwrap();
-    q.push("s", &[rfid(Ts::ZERO, 0, "badge-1"), rfid(Ts::ZERO, 0, "errant-9")]).unwrap();
+    q.push(
+        "s",
+        &[rfid(Ts::ZERO, 0, "badge-1"), rfid(Ts::ZERO, 0, "errant-9")],
+    )
+    .unwrap();
     let out = q.tick(Ts::ZERO).unwrap();
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].get("tag_id"), Some(&Value::str("badge-1")));
@@ -213,12 +227,13 @@ fn union_of_smoothed_streams_feeds_arbitrate_query() {
             &[s1],
         )
         .unwrap();
-    let union = df.add_operator(Box::new(esp_stream::ops::UnionOp::new(2)), &[q0, q1]).unwrap();
+    let union = df
+        .add_operator(Box::new(esp_stream::ops::UnionOp::new(2)), &[q0, q1])
+        .unwrap();
     let arb = df
         .add_operator(
             Box::new(
-                QueryOperator::single_input("arbitrate", engine.compile(arb_sql).unwrap())
-                    .unwrap(),
+                QueryOperator::single_input("arbitrate", engine.compile(arb_sql).unwrap()).unwrap(),
             ),
             &[union],
         )
@@ -240,15 +255,22 @@ fn union_of_smoothed_streams_feeds_arbitrate_query() {
 #[test]
 fn engine_error_paths() {
     let engine = Engine::new();
-    assert!(matches!(engine.compile("SELEC nope"), Err(EspError::Parse { .. })));
+    assert!(matches!(
+        engine.compile("SELEC nope"),
+        Err(EspError::Parse { .. })
+    ));
     assert!(engine.compile("SELECT unknown_fn(x) FROM s").is_err());
-    let mut q = engine.compile("SELECT tag_id FROM s [Range By 'NOW']").unwrap();
+    let mut q = engine
+        .compile("SELECT tag_id FROM s [Range By 'NOW']")
+        .unwrap();
     assert!(matches!(
         q.push("not_a_stream", &[]),
         Err(EspError::UnknownSource(_))
     ));
     // Unknown field surfaces at tick time, not push time.
-    let mut q = engine.compile("SELECT missing_field FROM s [Range By 'NOW']").unwrap();
+    let mut q = engine
+        .compile("SELECT missing_field FROM s [Range By 'NOW']")
+        .unwrap();
     q.push("s", &[rfid(Ts::ZERO, 0, "a")]).unwrap();
     assert!(matches!(q.tick(Ts::ZERO), Err(EspError::UnknownField(_))));
 }

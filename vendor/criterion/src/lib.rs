@@ -1,0 +1,252 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal timed-loop harness with the same source-level API the
+//! workspace benches use (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, throughput annotation, parameterized inputs).
+//! There is no statistical analysis: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a short
+//! measurement window, and the mean time per iteration (plus derived
+//! element throughput) is printed.
+//!
+//! Running with `--test` (as `cargo test --benches` does) executes each
+//! benchmark body once and skips timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// computation whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Identify a benchmark by function name + parameter value.
+    pub fn new<P: Display>(name: &str, p: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// The timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it as many times as fit the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.measured = Some(Duration::ZERO);
+            self.iters = 1;
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that fills
+        // roughly the measurement window.
+        let calib_start = Instant::now();
+        black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(50));
+        let window = Duration::from_millis(300);
+        let n = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.measured = Some(start.elapsed());
+        self.iters = n;
+    }
+}
+
+/// One named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.criterion.filter {
+            if !self.name.contains(filter.as_str()) && !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            measured: None,
+            iters: 0,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        match b.measured {
+            None => println!("{full:<50} (no measurement: bencher.iter not called)"),
+            Some(d) if self.criterion.test_mode => {
+                let _ = d;
+                println!("{full:<50} ok (test mode)");
+            }
+            Some(total) => {
+                let per_iter = total.as_secs_f64() / b.iters as f64;
+                let mut line = format!("{full:<50} {:>12.3} µs/iter", per_iter * 1e6);
+                if let Some(Throughput::Elements(n)) = self.throughput {
+                    line.push_str(&format!("  {:>12.0} elem/s", n as f64 / per_iter));
+                }
+                if let Some(Throughput::Bytes(n)) = self.throughput {
+                    line.push_str(&format!(
+                        "  {:>9.1} MiB/s",
+                        n as f64 / per_iter / (1024.0 * 1024.0)
+                    ));
+                }
+                println!("{line}");
+            }
+        }
+    }
+
+    /// End the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test --benches` passes --test; `cargo bench -- <filter>`
+        // passes the filter as a free argument. --bench is noise from
+        // the harness invocation itself.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+        };
+        g.bench_function(id, f);
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_loop() {
+        let mut b = Bencher {
+            test_mode: false,
+            measured: None,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(black_box(1));
+        });
+        assert!(b.iters >= 1);
+        assert!(b.measured.unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("push", "2ms").id, "push/2ms");
+    }
+}

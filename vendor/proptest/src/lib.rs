@@ -1,0 +1,529 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive` / `boxed`, range and
+//! regex-literal strategies, `collection::vec`, `option::of`,
+//! `bool::ANY`, [`any`], [`Just`], weighted `prop_oneof!`, and the
+//! `proptest!` test macro. Generation is deterministic (seeded per test
+//! name + case index) and there is **no shrinking** — a failing case
+//! reports the raw generated inputs via the panic message.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::TestRng;
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Types with a canonical "anything goes" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning several magnitudes.
+        let mag = (rng.next_u64() % 1_000_000_000) as f64 / 1e3;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Strategy for any value of `T` (`any::<u8>()`, `any::<usize>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+/// String-literal strategies: a small regex subset — a sequence of
+/// `[...]` character classes (ranges and literals, `-` last is literal)
+/// or literal characters, each optionally quantified `{n}` / `{n,m}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    set.extend((lo..=hi).filter(char::is_ascii));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else if chars[i] == '\\' {
+            // Class escapes: \PC (printable), \d, \w, \s.
+            let class = chars.get(i + 1).copied();
+            match class {
+                Some('P') if chars.get(i + 2) == Some(&'C') => {
+                    i += 3;
+                    (' '..='~').collect()
+                }
+                Some('d') => {
+                    i += 2;
+                    ('0'..='9').collect()
+                }
+                Some('w') => {
+                    i += 2;
+                    ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect()
+                }
+                Some('s') => {
+                    i += 2;
+                    vec![' ', '\t']
+                }
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            }
+        } else {
+            let c = chars[i];
+            assert!(
+                !"(){}|*+?.^$".contains(c),
+                "unsupported regex feature {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = body.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = min + (rng.next_u64() as usize) % (max - min + 1);
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        for _ in 0..n {
+            out.push(alphabet[(rng.next_u64() as usize) % alphabet.len()]);
+        }
+    }
+    out
+}
+
+/// `proptest::collection` — sized collections of generated elements.
+pub mod collection {
+    use super::*;
+
+    /// Number-of-elements bound for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_exclusive - self.size.min;
+            let n = self.size.min + (rng.next_u64() as usize) % span.max(1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — optional values.
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<T>`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use super::*;
+
+    /// Strategy yielding `true` / `false` with equal probability.
+    #[derive(Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = std::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> std::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Weighted union used by `prop_oneof!`. Public so the macro can name it.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty() && arms.iter().any(|(w, _)| *w > 0));
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.next_u64() % total;
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Choose between strategies (all producing the same value type), with
+/// optional `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($arm)) ),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($arm)) ),+
+        ])
+    };
+}
+
+/// Like `assert!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            let seed_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..cfg.cases {
+                let mut prop_rng = $crate::TestRng::for_case(seed_name, case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-20i64..20).generate(&mut rng);
+            assert!((-20..20).contains(&i));
+        }
+    }
+
+    #[test]
+    fn pattern_subset_shapes() {
+        let mut rng = TestRng::for_case("patterns", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = "[a-z0-9-]{0,40}".generate(&mut rng);
+            assert!(t.len() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn oneof_union_and_combinators() {
+        let strat = prop_oneof![
+            1 => Just(0i64),
+            1 => (10i64..20).prop_map(|v| v * 2),
+            3 => Just(99i64),
+        ];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut saw_99 = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 0 || v == 99 || (20..40).contains(&v));
+            saw_99 |= v == 99;
+        }
+        assert!(saw_99);
+    }
+
+    #[test]
+    fn filter_and_recursive() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(v % 2 == 0, "filter admitted odd leaf {v}");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..100)
+            .prop_filter("even only", |v| v % 2 == 0)
+            .prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(3, 24, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_case("recursive", 0);
+        for _ in 0..100 {
+            let t = tree.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_runs(
+            xs in collection::vec(0u8..10, 1..20),
+            flag in crate::bool::ANY,
+            name in "[a-z]{1,5}",
+            opt in option::of(0i64..5),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            let _ = flag;
+            prop_assert!(!name.is_empty());
+            if let Some(v) = opt {
+                prop_assert!((0..5).contains(&v));
+            }
+        }
+    }
+}
