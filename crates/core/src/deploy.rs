@@ -28,7 +28,9 @@ use std::sync::Arc;
 use serde::{value::Value as Json, DeError, Deserialize};
 
 use esp_query::Engine;
-use esp_types::{EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value};
+use esp_types::{
+    Diagnostic, EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value,
+};
 
 use crate::pipeline::{Pipeline, PipelineBuilder, StageCtx};
 use crate::proximity::ProximityGroups;
@@ -438,6 +440,124 @@ impl DeploymentSpec {
         Ok(groups)
     }
 
+    /// Statically validate this deployment document, returning every
+    /// finding without building anything.
+    ///
+    /// Checks performed (see `esp-lint` for the full catalog):
+    ///
+    /// * `E0204` — a time span (`temporal_granule`, `smooth_window`) that
+    ///   does not parse.
+    /// * `E0201` — a smoothing window narrower than the temporal granule.
+    /// * `E0203` — a smoothing window that is not a whole multiple of the
+    ///   granule, so window eviction never aligns with granule boundaries.
+    /// * `E0302` — a proximity group with no members.
+    /// * `E0303` — two groups sharing one spatial-granule name.
+    /// * `E0304` — an unknown receptor type.
+    ///
+    /// [`EspProcessor::deploy`](crate::EspProcessor::deploy) runs this (plus
+    /// receptor-coverage checks) and refuses to build when any
+    /// error-severity diagnostic fires.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let granule = match TimeDelta::parse(&self.temporal_granule) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error(
+                        "E0204",
+                        format!(
+                            "temporal granule '{}' is not a valid time span",
+                            self.temporal_granule
+                        ),
+                    )
+                    .with_note(e.to_string()),
+                );
+                None
+            }
+        };
+        let window = self
+            .smooth_window
+            .as_ref()
+            .and_then(|w| match TimeDelta::parse(w) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    diags.push(
+                        Diagnostic::error(
+                            "E0204",
+                            format!("smooth window '{w}' is not a valid time span"),
+                        )
+                        .with_note(e.to_string()),
+                    );
+                    None
+                }
+            });
+        if let (Some(g), Some(w)) = (granule, window) {
+            if w < g {
+                diags.push(
+                    Diagnostic::error(
+                        "E0201",
+                        format!(
+                            "smoothing window ({w}) is narrower than the temporal granule ({g})"
+                        ),
+                    )
+                    .with_note("the window must cover at least one full granule (paper §4.3.2)"),
+                );
+            } else if g.as_millis() > 0 && w.as_millis() % g.as_millis() != 0 {
+                diags.push(
+                    Diagnostic::error(
+                        "E0203",
+                        format!(
+                            "smoothing window ({w}) is not a whole multiple of the temporal \
+                             granule ({g})"
+                        ),
+                    )
+                    .with_note(
+                        "output is emitted at granule boundaries; a fractional window \
+                         mis-aligns eviction with emission",
+                    ),
+                );
+            }
+        }
+        let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.members.is_empty() {
+                diags.push(
+                    Diagnostic::error(
+                        "E0302",
+                        format!("proximity group '{}' has no members", g.granule),
+                    )
+                    .with_note("Merge over an empty group can never produce output"),
+                );
+            }
+            if let Some(prev) = seen.insert(g.granule.as_str(), i) {
+                diags.push(
+                    Diagnostic::error(
+                        "E0303",
+                        format!(
+                            "spatial granule '{}' is declared by two groups (#{prev} and #{i})",
+                            g.granule
+                        ),
+                    )
+                    .with_note(
+                        "granule names identify groups downstream; duplicates make \
+                         Arbitrate tie-breaks ambiguous",
+                    ),
+                );
+            }
+            if parse_receptor_type(&g.receptor_type).is_err() {
+                diags.push(Diagnostic::error(
+                    "E0304",
+                    format!(
+                        "group '{}' names unknown receptor type '{}'",
+                        g.granule, g.receptor_type
+                    ),
+                ));
+            }
+        }
+        esp_types::diag::sort_diagnostics(&mut diags);
+        diags
+    }
+
     /// Build the pipeline. Declarative stages are compiled against
     /// `engine`'s catalog (static relations, UDFs, UDAs).
     pub fn build_pipeline(&self, engine: &Engine) -> Result<Pipeline> {
@@ -787,6 +907,115 @@ mod tests {
             "stages": []
         }"#;
         assert!(DeploymentSpec::from_json(doc).unwrap().granule().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_shipped_deployment() {
+        let spec = DeploymentSpec::from_json(SHELF_DEPLOYMENT).unwrap();
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_temporal_and_spatial_defects() {
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "smooth_window": "12 sec",
+            "groups": [
+                { "granule": "a", "receptor_type": "rfid", "members": [] },
+                { "granule": "a", "receptor_type": "lidar", "members": [1] }
+            ],
+            "stages": []
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let diags = spec.validate();
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"E0203"), "{codes:?}"); // 12 s not multiple of 5 s
+        assert!(codes.contains(&"E0302"), "{codes:?}"); // empty group
+        assert!(codes.contains(&"E0303"), "{codes:?}"); // duplicate granule 'a'
+        assert!(codes.contains(&"E0304"), "{codes:?}"); // unknown receptor type
+        assert!(diags.iter().all(|d| d.is_error()));
+    }
+
+    #[test]
+    fn validate_catches_narrow_window_and_bad_spans() {
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "smooth_window": "1 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": []
+        }"#;
+        let diags = DeploymentSpec::from_json(doc).unwrap().validate();
+        assert!(diags.iter().any(|d| d.code == "E0201"), "{diags:?}");
+
+        let doc = r#"{
+            "temporal_granule": "sideways",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": []
+        }"#;
+        let diags = DeploymentSpec::from_json(doc).unwrap().validate();
+        assert!(diags.iter().any(|d| d.code == "E0204"), "{diags:?}");
+    }
+
+    #[test]
+    fn deploy_rejects_invalid_spec_with_diagnostics() {
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "rfid", "members": [] }],
+            "stages": []
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let err = EspProcessor::deploy(&spec, &Engine::new(), vec![]).unwrap_err();
+        match err {
+            EspError::Invalid(diags) => {
+                assert!(diags.iter().any(|d| d.code == "E0302"), "{diags:?}");
+            }
+            other => panic!("expected Invalid, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deploy_rejects_ungrouped_receptor() {
+        let spec = DeploymentSpec::from_json(SHELF_DEPLOYMENT).unwrap();
+        let err = EspProcessor::deploy(
+            &spec,
+            &Engine::new(),
+            vec![ReceptorBinding::new(
+                ReceptorId(9),
+                ReceptorType::Rfid,
+                Box::new(ScriptedSource::new("r9", vec![])),
+            )],
+        )
+        .unwrap_err();
+        match err {
+            EspError::Invalid(diags) => {
+                assert!(diags.iter().any(|d| d.code == "E0301"), "{diags:?}");
+            }
+            other => panic!("expected Invalid, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deploy_builds_and_runs_valid_spec() {
+        let spec = DeploymentSpec::from_json(SHELF_DEPLOYMENT).unwrap();
+        let r0 = ScriptedSource::new(
+            "r0",
+            vec![(
+                Ts::ZERO,
+                vec![sighting(Ts::ZERO, 0, "x"), sighting(Ts::ZERO, 0, "x")],
+            )],
+        );
+        let proc = EspProcessor::deploy(
+            &spec,
+            &Engine::new(),
+            vec![ReceptorBinding::new(
+                ReceptorId(0),
+                ReceptorType::Rfid,
+                Box::new(r0),
+            )],
+        )
+        .unwrap();
+        let out = proc.run(Ts::ZERO, TimeDelta::from_millis(200), 1).unwrap();
+        assert_eq!(out.trace[0].1.len(), 1);
     }
 
     #[test]

@@ -100,6 +100,51 @@ struct StreamHandle {
 }
 
 impl EspProcessor {
+    /// Validate a deployment document statically, then build a processor
+    /// from it.
+    ///
+    /// Runs [`DeploymentSpec::validate`](crate::DeploymentSpec::validate)
+    /// plus a receptor-coverage check (`E0301`: every wired receptor must
+    /// appear in at least one proximity group) *before* any stage is
+    /// instantiated. If any error-severity diagnostic fires, the spec is
+    /// rejected with [`EspError::Invalid`] carrying the full list — no
+    /// tuple ever flows through a misconfigured pipeline.
+    pub fn deploy(
+        spec: &crate::DeploymentSpec,
+        engine: &esp_query::Engine,
+        receptors: Vec<ReceptorBinding>,
+    ) -> Result<EspProcessor> {
+        let mut diags = spec.validate();
+        for binding in &receptors {
+            let covered = spec
+                .groups
+                .iter()
+                .any(|g| g.members.contains(&binding.id.0));
+            if !covered {
+                diags.push(
+                    esp_types::Diagnostic::error(
+                        "E0301",
+                        format!(
+                            "{} is wired to the processor but belongs to no proximity group",
+                            binding.id
+                        ),
+                    )
+                    .with_note(
+                        "Merge and Arbitrate operate on proximity groups; an ungrouped \
+                         receptor's readings would be silently dropped",
+                    ),
+                );
+            }
+        }
+        let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
+        if !errors.is_empty() {
+            return Err(EspError::Invalid(errors));
+        }
+        let groups = spec.build_groups()?;
+        let pipeline = spec.build_pipeline(engine)?;
+        EspProcessor::build(groups, &pipeline, receptors)
+    }
+
     /// Build a processor. Every receptor must belong to at least one
     /// proximity group; a receptor in several groups fans out to each.
     pub fn build(

@@ -62,6 +62,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface failures as typed errors, never panic while
+// serving connections; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod client;
 pub mod convert;

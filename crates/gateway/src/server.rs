@@ -26,11 +26,11 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding, Scope};
 use esp_receptors::framing::FrameReader;
 use esp_receptors::wire;
 use esp_stream::{QueueStats, ThreadedRunner};
-use esp_types::{Batch, EspError, ReceptorId, ReceptorType, Result, TimeDelta, Ts};
+use esp_types::{Batch, Diagnostic, EspError, ReceptorId, ReceptorType, Result, TimeDelta, Ts};
 
 use crate::shard::{shard_of_granule, ShardRouter};
 use crate::stats::{GatewaySnapshot, GatewayStats};
@@ -77,6 +77,11 @@ pub struct GatewayConfig {
     /// deployment with a known receptor fleet hold punctuation until
     /// everyone is on the air.
     pub min_connections: usize,
+    /// Upper bound accepted for the bounded-lateness promise a client
+    /// declares in its handshake; connections declaring more are refused.
+    /// Also the value static validation compares against downstream
+    /// window extents (`E0501`). `None` accepts any declared lateness.
+    pub max_lateness: Option<TimeDelta>,
     /// The proximity groups (and through them, the routable receptors).
     pub groups: Vec<GatewayGroup>,
 }
@@ -93,8 +98,94 @@ impl GatewayConfig {
             start: Ts::ZERO,
             period: TimeDelta::from_millis(200),
             min_connections: 1,
+            max_lateness: None,
             groups,
         }
+    }
+
+    /// Statically validate this configuration before any socket is bound.
+    ///
+    /// `smooth_window` is the narrowest smoothing-window extent of the
+    /// downstream cascade, when the caller knows it (the pipeline factory
+    /// is opaque to the gateway, so it cannot discover this itself).
+    ///
+    /// Checks performed (see `esp-lint` for the full catalog):
+    ///
+    /// * `E0501` — `max_lateness` at or above the downstream window: a
+    ///   maximally late reading postpones every flush past the entire
+    ///   window that was supposed to smooth it.
+    /// * `E0302` — a proximity group with no members (unroutable).
+    /// * `E0303` — two groups sharing one spatial-granule name.
+    /// * `E0503` — degenerate resources: zero shards, zero queue
+    ///   capacity, a zero epoch period, or no groups at all.
+    ///
+    /// [`Gateway::spawn`] runs this (with `smooth_window = None`) plus a
+    /// pipeline-scope check (`E0502`) and refuses to start when any
+    /// error-severity diagnostic fires.
+    pub fn validate(&self, smooth_window: Option<TimeDelta>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.n_shards == 0 {
+            diags.push(Diagnostic::error(
+                "E0503",
+                "gateway needs at least one shard",
+            ));
+        }
+        if self.edge_capacity == 0 {
+            diags.push(Diagnostic::error(
+                "E0503",
+                "shard queue capacity must be positive",
+            ));
+        }
+        if self.period == TimeDelta::ZERO {
+            diags.push(Diagnostic::error("E0503", "epoch period must be positive"));
+        }
+        if self.groups.is_empty() {
+            diags.push(
+                Diagnostic::error("E0503", "gateway has no proximity groups")
+                    .with_note("without groups no receptor is routable to a shard"),
+            );
+        }
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.members.is_empty() {
+                diags.push(
+                    Diagnostic::error(
+                        "E0302",
+                        format!("proximity group '{}' has no members", g.granule),
+                    )
+                    .with_note("its shard would idle and Merge over it can never fire"),
+                );
+            }
+            if let Some(prev) = seen.insert(g.granule.as_str(), i) {
+                diags.push(Diagnostic::error(
+                    "E0303",
+                    format!(
+                        "spatial granule '{}' is declared by two groups (#{prev} and #{i})",
+                        g.granule
+                    ),
+                ));
+            }
+        }
+        if let (Some(late), Some(window)) = (self.max_lateness, smooth_window) {
+            if late >= window {
+                diags.push(
+                    Diagnostic::error(
+                        "E0501",
+                        format!(
+                            "accepted connection lateness bound ({late}) is at least the \
+                             downstream smoothing window ({window})"
+                        ),
+                    )
+                    .with_note(
+                        "the watermark holds every flush until the lateness bound passes, \
+                         so each epoch would stall for longer than the window that is \
+                         supposed to smooth it",
+                    ),
+                );
+            }
+        }
+        esp_types::diag::sort_diagnostics(&mut diags);
+        diags
     }
 }
 
@@ -175,22 +266,26 @@ impl Gateway {
         config: GatewayConfig,
         mut pipeline_factory: impl FnMut(usize) -> Pipeline,
     ) -> Result<Gateway> {
-        if config.n_shards == 0 {
-            return Err(EspError::Config("gateway needs at least one shard".into()));
-        }
-        if config.edge_capacity == 0 {
-            return Err(EspError::Config("edge capacity must be positive".into()));
-        }
-        if config.groups.is_empty() {
-            return Err(EspError::Config(
-                "gateway needs at least one proximity group".into(),
-            ));
-        }
-        if config.period == TimeDelta::ZERO {
-            return Err(EspError::Config("epoch period must be positive".into()));
+        let errors: Vec<_> = config
+            .validate(None)
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        if !errors.is_empty() {
+            return Err(EspError::Invalid(errors));
         }
 
         let router = Arc::new(ShardRouter::new(&config.groups, config.n_shards));
+        let live_shards = {
+            let mut shards: Vec<usize> = config
+                .groups
+                .iter()
+                .map(|g| shard_of_granule(&g.granule, config.n_shards))
+                .collect();
+            shards.sort_unstable();
+            shards.dedup();
+            shards.len()
+        };
         let stats = GatewayStats::new(config.n_shards);
         let queue_stats = QueueStats::new();
         let clock = WatermarkClock::new();
@@ -223,7 +318,7 @@ impl Gateway {
                             }
                             Ok(Vec::new())
                         })
-                        .expect("spawn shard sink thread"),
+                        .map_err(|e| EspError::Config(format!("spawn shard sink thread: {e}")))?,
                 );
                 continue;
             }
@@ -255,8 +350,24 @@ impl Gateway {
                 ));
             }
             let pipeline = pipeline_factory(shard);
+            if live_shards > 1 {
+                if let Some(slot) = pipeline.slots().iter().find(|s| s.scope == Scope::Global) {
+                    return Err(EspError::Invalid(vec![Diagnostic::error(
+                        "E0502",
+                        format!(
+                            "global-scope stage '{}' in a gateway sharded across \
+                             {live_shards} live shards",
+                            slot.label
+                        ),
+                    )
+                    .with_note(
+                        "each shard runs its own cascade, so a global stage would only \
+                         see its shard's granules; use one shard or a per-group stage",
+                    )]));
+                }
+            }
             let processor = EspProcessor::build(pg, &pipeline, bindings)?;
-            workers.push(spawn_worker(shard, rx, processor, buffers, stats.clone()));
+            workers.push(spawn_worker(shard, rx, processor, buffers, stats.clone())?);
         }
 
         // Listener + accept loop.
@@ -271,6 +382,7 @@ impl Gateway {
 
         let stop_accept = Arc::new(AtomicBool::new(false));
         let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let max_lateness = config.max_lateness;
         let accept_handle = {
             let stop = Arc::clone(&stop_accept);
             let handles = Arc::clone(&reader_handles);
@@ -287,23 +399,26 @@ impl Gateway {
                             Ok((stream, _peer)) => {
                                 let router = Arc::clone(&router);
                                 let txs = txs.clone();
-                                let stats = stats.clone();
+                                let conn_stats = stats.clone();
                                 let queue_stats = queue_stats.clone();
                                 let clock = clock.clone();
-                                let h = thread::Builder::new()
+                                let spawned = thread::Builder::new()
                                     .name("esp-gateway-conn".into())
                                     .spawn(move || {
                                         serve_connection(
                                             stream,
+                                            max_lateness,
                                             &router,
                                             &txs,
                                             &clock,
-                                            &stats,
+                                            &conn_stats,
                                             &queue_stats,
                                         )
-                                    })
-                                    .expect("spawn connection thread");
-                                handles.lock().push(h);
+                                    });
+                                match spawned {
+                                    Ok(h) => handles.lock().push(h),
+                                    Err(_) => stats.note_io_error(),
+                                }
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 thread::sleep(Duration::from_millis(1));
@@ -315,7 +430,7 @@ impl Gateway {
                         }
                     }
                 })
-                .expect("spawn accept thread")
+                .map_err(|e| EspError::Config(format!("spawn accept thread: {e}")))?
         };
 
         // Epoch coordinator.
@@ -329,7 +444,7 @@ impl Gateway {
             thread::Builder::new()
                 .name("esp-gateway-coordinator".into())
                 .spawn(move || coordinate(&clock, &stats, &txs, &drain, start, period, min_conns))
-                .expect("spawn coordinator thread")
+                .map_err(|e| EspError::Config(format!("spawn coordinator thread: {e}")))?
         };
 
         Ok(Gateway {
@@ -442,13 +557,14 @@ fn coordinate(
 /// One connection: handshake, then a frame-decode-route loop until EOF.
 fn serve_connection(
     mut stream: TcpStream,
+    max_lateness: Option<TimeDelta>,
     router: &ShardRouter,
     txs: &[Sender<ShardMsg>],
     clock: &WatermarkClock,
     stats: &GatewayStats,
     queue_stats: &QueueStats,
 ) {
-    let lateness_ms = match handshake(&mut stream) {
+    let lateness_ms = match handshake(&mut stream, max_lateness) {
         Ok(l) => l,
         Err(_) => {
             stats.note_io_error();
@@ -466,12 +582,14 @@ fn serve_connection(
 }
 
 /// Validate the client hello and return its bounded-lateness promise (ms).
-fn handshake(stream: &mut TcpStream) -> std::io::Result<u64> {
+/// A promise above `max_lateness` (when set) refuses the connection: the
+/// socket closes without an ack.
+fn handshake(stream: &mut TcpStream, max_lateness: Option<TimeDelta>) -> std::io::Result<u64> {
     use std::io::{Error, ErrorKind};
     let mut hello = [0u8; 14];
     stream.read_exact(&mut hello)?;
-    let magic = u32::from_be_bytes(hello[0..4].try_into().expect("4 bytes"));
-    let version = u16::from_be_bytes(hello[4..6].try_into().expect("2 bytes"));
+    let magic = u32::from_be_bytes([hello[0], hello[1], hello[2], hello[3]]);
+    let version = u16::from_be_bytes([hello[4], hello[5]]);
     if magic != HELLO_MAGIC {
         return Err(Error::new(ErrorKind::InvalidData, "bad hello magic"));
     }
@@ -481,7 +599,17 @@ fn handshake(stream: &mut TcpStream) -> std::io::Result<u64> {
             format!("unsupported version {version}"),
         ));
     }
-    let lateness_ms = u64::from_be_bytes(hello[6..14].try_into().expect("8 bytes"));
+    let lateness_ms = u64::from_be_bytes([
+        hello[6], hello[7], hello[8], hello[9], hello[10], hello[11], hello[12], hello[13],
+    ]);
+    if let Some(max) = max_lateness {
+        if lateness_ms > max.as_millis() {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("declared lateness {lateness_ms} ms exceeds the gateway bound {max}"),
+            ));
+        }
+    }
     stream.write_all(&[ACK_OK])?;
     Ok(lateness_ms)
 }
@@ -540,5 +668,123 @@ fn send_counted(tx: &Sender<ShardMsg>, msg: ShardMsg, stats: &QueueStats) -> Res
         Err(TrySendError::Disconnected(_)) => {
             Err(EspError::Config("gateway shard worker hung up".into()))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(granule: &str, members: &[u32]) -> GatewayGroup {
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: granule.into(),
+            members: members.iter().map(|&m| ReceptorId(m)).collect(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_default_config() {
+        let config = GatewayConfig::new(vec![group("shelf0", &[0])]);
+        assert!(config.validate(None).is_empty());
+        assert!(config.validate(Some(TimeDelta::from_secs(5))).is_empty());
+    }
+
+    #[test]
+    fn validate_flags_degenerate_resources() {
+        let mut config = GatewayConfig::new(vec![]);
+        config.n_shards = 0;
+        config.edge_capacity = 0;
+        config.period = TimeDelta::ZERO;
+        let diags = config.validate(None);
+        assert_eq!(
+            diags.iter().filter(|d| d.code == "E0503").count(),
+            4,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn validate_flags_group_defects() {
+        let config = GatewayConfig::new(vec![group("a", &[]), group("a", &[1])]);
+        let diags = config.validate(None);
+        assert!(diags.iter().any(|d| d.code == "E0302"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "E0303"), "{diags:?}");
+    }
+
+    #[test]
+    fn validate_flags_lateness_at_or_above_window() {
+        let mut config = GatewayConfig::new(vec![group("shelf0", &[0])]);
+        config.max_lateness = Some(TimeDelta::from_secs(5));
+        let diags = config.validate(Some(TimeDelta::from_secs(5)));
+        assert!(
+            diags.iter().any(|d| d.code == "E0501" && d.is_error()),
+            "{diags:?}"
+        );
+        // Strictly below the window is fine.
+        assert!(config.validate(Some(TimeDelta::from_secs(6))).is_empty());
+        // Unknown window: nothing to compare against.
+        assert!(config.validate(None).is_empty());
+    }
+
+    #[test]
+    fn spawn_rejects_invalid_config_with_diagnostics() {
+        let mut config = GatewayConfig::new(vec![group("g", &[0])]);
+        config.n_shards = 0;
+        match Gateway::spawn(config, |_| Pipeline::raw()) {
+            Err(EspError::Invalid(diags)) => {
+                assert!(diags.iter().any(|d| d.code == "E0503"), "{diags:?}")
+            }
+            Err(other) => panic!("expected Invalid, got {other}"),
+            Ok(_) => panic!("expected Invalid, got a running gateway"),
+        }
+    }
+
+    #[test]
+    fn spawn_rejects_global_stage_across_live_shards() {
+        // Two granules that hash to different shards.
+        let mut names = (0..).map(|i| format!("g{i}"));
+        let a = names.next().unwrap();
+        let b = names
+            .find(|n| shard_of_granule(n, 4) != shard_of_granule(&a, 4))
+            .unwrap();
+        let config = GatewayConfig::new(vec![group(&a, &[0]), group(&b, &[1])]);
+        let result = Gateway::spawn(config, |_| {
+            esp_core::Pipeline::builder()
+                .global("arbitrate", |_| {
+                    Ok(Box::new(esp_core::FnStage::per_epoch(
+                        "arbitrate",
+                        |_, input| Ok(input),
+                    )))
+                })
+                .build()
+        });
+        match result {
+            Err(EspError::Invalid(diags)) => {
+                assert!(
+                    diags.iter().any(|d| d.code == "E0502" && d.is_error()),
+                    "{diags:?}"
+                )
+            }
+            Err(other) => panic!("expected Invalid, got {other}"),
+            Ok(_) => panic!("expected Invalid, got a running gateway"),
+        }
+    }
+
+    #[test]
+    fn spawn_allows_global_stage_on_single_live_shard() {
+        let config = GatewayConfig::new(vec![group("only", &[0])]);
+        let gateway = Gateway::spawn(config, |_| {
+            esp_core::Pipeline::builder()
+                .global("arbitrate", |_| {
+                    Ok(Box::new(esp_core::FnStage::per_epoch(
+                        "arbitrate",
+                        |_, input| Ok(input),
+                    )))
+                })
+                .build()
+        })
+        .unwrap();
+        gateway.finish().unwrap();
     }
 }

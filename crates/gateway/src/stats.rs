@@ -130,7 +130,7 @@ impl GatewayStats {
             (0.0, 0.0)
         } else {
             let sum: u64 = lat.iter().sum();
-            let max = *lat.iter().max().expect("non-empty");
+            let max = lat.iter().max().copied().unwrap_or(0);
             (sum as f64 / lat.len() as f64 / 1000.0, max as f64 / 1000.0)
         };
         GatewaySnapshot {

@@ -85,7 +85,7 @@ pub(crate) fn spawn_worker(
     mut processor: EspProcessor,
     buffers: HashMap<ReceptorId, ReadingBuffer>,
     stats: GatewayStats,
-) -> JoinHandle<Result<EpochTrace>> {
+) -> Result<JoinHandle<Result<EpochTrace>>> {
     let schemas = ReadingSchemas::new();
     thread::Builder::new()
         .name(format!("esp-gateway-shard-{shard}"))
@@ -110,5 +110,5 @@ pub(crate) fn spawn_worker(
             }
             Ok(processor.take_output())
         })
-        .expect("spawn shard worker thread")
+        .map_err(|e| esp_types::EspError::Config(format!("spawn shard worker thread: {e}")))
 }

@@ -1,0 +1,188 @@
+//! # esp-lint
+//!
+//! Static analysis for ESP pipelines — every check runs **before any
+//! tuple flows**, so a misconfigured deployment is rejected at the desk,
+//! not discovered as silently wrong output in production.
+//!
+//! The paper's framework is configuration-heavy: CQL stage queries,
+//! temporal granules, proximity groups, operator wiring, gateway
+//! sharding. Each knob has failure modes that type-check fine in Rust
+//! and only bite at runtime (an aggregate over a string column, a window
+//! eviction that cuts through an epoch, a receptor no Merge group
+//! covers, a global-scope stage split across gateway shards). This crate
+//! collects those checks under stable diagnostic codes:
+//!
+//! | range | area | examples |
+//! |-------|------|----------|
+//! | E00xx | input itself | `E0001` syntax error, `E0002` bad lint directive |
+//! | E01xx | schema / types | `E0101` unknown field, `E0103` aggregate arg type |
+//! | E02xx | temporal granules | `E0201` window below epoch, `E0202` not a multiple |
+//! | E03xx | spatial granules | `E0301` ungrouped receptor, `E0303` duplicate granule |
+//! | E04xx | graph structure | `E0401` cycle, `E0405` fan-in mismatch |
+//! | E05xx | gateway | `E0501` lateness ≥ window, `E0502` global stage sharded |
+//!
+//! Three surfaces expose the checks:
+//!
+//! - **library**: [`lint_cql`], [`lint_deployment`], [`lint_gateway`],
+//!   and [`GraphSpec::validate`]. The same validators gate the runtime
+//!   entry points — `EspProcessor::deploy` and `Gateway::spawn` refuse
+//!   to start on any error, returning the diagnostics in
+//!   `EspError::Invalid`.
+//! - **CLI**: the `esp-lint` binary lints `.cql` and deployment `.json`
+//!   files with rustc-style rendering and spans into the original text.
+//! - **CI**: the `lint-pipelines` job runs the CLI over every shipped
+//!   example and fixture; any diagnostic fails the build.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// The linter must never panic on the inputs it exists to criticize.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cql;
+pub mod graphspec;
+
+pub use cql::lint_cql;
+pub use graphspec::{GraphEdge, GraphNode, GraphSpec, NodeKind};
+
+use esp_core::DeploymentSpec;
+use esp_gateway::GatewayConfig;
+use esp_types::{Diagnostic, TimeDelta};
+
+/// Lint a JSON deployment document (the [`DeploymentSpec`] wire form).
+///
+/// A document that does not deserialize yields a single `E0001`; one
+/// that does is checked for temporal-granule consistency (E0201/E0203/
+/// E0204) and spatial-group defects (E0302/E0303/E0304).
+pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
+    match DeploymentSpec::from_json(json) {
+        Ok(spec) => spec.validate(),
+        Err(e) => vec![Diagnostic::error(
+            "E0001",
+            format!("deployment document does not parse: {e}"),
+        )],
+    }
+}
+
+/// Lint a gateway configuration against the smoothing window of the
+/// pipeline it will feed (`None` when the window is unknown — the
+/// lateness-vs-window check E0501 is then skipped).
+///
+/// Thin re-export of [`GatewayConfig::validate`] so callers holding only
+/// this crate see the whole check surface in one place.
+pub fn lint_gateway(config: &GatewayConfig, smooth_window: Option<TimeDelta>) -> Vec<Diagnostic> {
+    config.validate(smooth_window)
+}
+
+/// What kind of artifact an embedded example is, which decides the
+/// linter that runs over it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExampleKind {
+    /// CQL query text with `-- lint:` directives.
+    Cql,
+    /// JSON deployment document.
+    Deployment,
+}
+
+/// A named, embedded example pipeline the CLI can lint without touching
+/// the filesystem (`esp-lint --example <name>`).
+#[derive(Debug, Clone, Copy)]
+pub struct Example {
+    /// Name accepted by `--example`.
+    pub name: &'static str,
+    /// Which linter applies.
+    pub kind: ExampleKind,
+    /// The artifact text.
+    pub source: &'static str,
+}
+
+/// The shipped example pipelines: the paper's queries 1–6 and the §4
+/// shelf deployment, all of which must lint clean (the zero-false-
+/// positive bar the test suite enforces).
+pub const EXAMPLES: &[Example] = &[
+    Example {
+        name: "q1-shelf-count",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q1_shelf_count.cql"),
+    },
+    Example {
+        name: "q2-smooth",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q2_smooth.cql"),
+    },
+    Example {
+        name: "q3-arbitrate",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q3_arbitrate.cql"),
+    },
+    Example {
+        name: "q4-point-filter",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q4_point_filter.cql"),
+    },
+    Example {
+        name: "q5-merge-outlier",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q5_merge_outlier.cql"),
+    },
+    Example {
+        name: "q6-person-detector",
+        kind: ExampleKind::Cql,
+        source: include_str!("../fixtures/clean/q6_person_detector.cql"),
+    },
+    Example {
+        name: "rfid-shelf-deployment",
+        kind: ExampleKind::Deployment,
+        source: include_str!("../fixtures/clean/rfid_shelf_deployment.json"),
+    },
+];
+
+/// Lint one embedded example by name; `None` for an unknown name.
+pub fn lint_example(name: &str) -> Option<Vec<Diagnostic>> {
+    let ex = EXAMPLES.iter().find(|e| e.name == name)?;
+    Some(match ex.kind {
+        ExampleKind::Cql => lint_cql(ex.source),
+        ExampleKind::Deployment => lint_deployment(ex.source),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_embedded_example_lints_clean() {
+        for ex in EXAMPLES {
+            let diags = lint_example(ex.name).unwrap();
+            assert!(
+                diags.is_empty(),
+                "example '{}' should lint clean, got: {:#?}",
+                ex.name,
+                diags
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_example_is_none() {
+        assert!(lint_example("no-such-pipeline").is_none());
+    }
+
+    #[test]
+    fn undeserializable_deployment_is_e0001() {
+        let diags = lint_deployment("{ not json");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E0001");
+    }
+
+    #[test]
+    fn gateway_wrapper_matches_config_validate() {
+        let config = GatewayConfig::new(vec![]);
+        let direct = config.validate(None);
+        let wrapped = lint_gateway(&config, None);
+        assert_eq!(
+            direct.iter().map(|d| d.code).collect::<Vec<_>>(),
+            wrapped.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+        assert!(wrapped.iter().any(|d| d.code == "E0503"));
+    }
+}

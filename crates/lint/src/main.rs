@@ -1,0 +1,119 @@
+//! `esp-lint` — lint CQL queries and JSON deployment documents from the
+//! command line, before anything runs.
+//!
+//! ```text
+//! esp-lint <file.cql|file.json>...   lint files (kind chosen by extension)
+//! esp-lint --example <name>          lint one embedded example pipeline
+//! esp-lint --all-examples            lint every embedded example
+//! esp-lint --list-examples           print the embedded example names
+//! ```
+//!
+//! Exit status is 0 when every input linted clean, 1 when any diagnostic
+//! (error *or* warning) was produced, 2 on usage or I/O errors — so CI
+//! can gate on "no findings at all" while scripts can still distinguish
+//! "dirty pipeline" from "couldn't read the file".
+
+use std::process::ExitCode;
+
+use esp_lint::{lint_cql, lint_deployment, ExampleKind, EXAMPLES};
+use esp_types::Diagnostic;
+
+const USAGE: &str = "\
+usage: esp-lint <file.cql|file.json>...
+       esp-lint --example <name>
+       esp-lint --all-examples
+       esp-lint --list-examples
+
+Lints CQL query text (.cql) and JSON deployment documents (.json)
+statically. Exit 0: clean; 1: findings; 2: usage/I-O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut findings = 0usize;
+    let mut inputs = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-examples" => {
+                for ex in EXAMPLES {
+                    println!("{}", ex.name);
+                }
+            }
+            "--all-examples" => {
+                for ex in EXAMPLES {
+                    inputs += 1;
+                    findings += report(&lint_embedded(ex), &format!("example:{}", ex.name), ex);
+                }
+            }
+            "--example" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("error: --example needs a name (try --list-examples)");
+                    return ExitCode::from(2);
+                };
+                let Some(ex) = EXAMPLES.iter().find(|e| e.name == name.as_str()) else {
+                    eprintln!("error: unknown example '{name}' (try --list-examples)");
+                    return ExitCode::from(2);
+                };
+                inputs += 1;
+                findings += report(&lint_embedded(ex), &format!("example:{}", ex.name), ex);
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                let source = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let diags = if path.ends_with(".json") {
+                    lint_deployment(&source)
+                } else if path.ends_with(".cql") || path.ends_with(".sql") {
+                    lint_cql(&source)
+                } else {
+                    eprintln!("error: {path}: expected a .cql or .json file");
+                    return ExitCode::from(2);
+                };
+                inputs += 1;
+                for d in &diags {
+                    eprintln!("{}", d.render(path, Some(&source)));
+                }
+                findings += diags.len();
+            }
+        }
+    }
+
+    if findings == 0 {
+        println!("esp-lint: {inputs} input(s), no findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("esp-lint: {findings} finding(s) across {inputs} input(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_embedded(ex: &esp_lint::Example) -> Vec<Diagnostic> {
+    match ex.kind {
+        ExampleKind::Cql => lint_cql(ex.source),
+        ExampleKind::Deployment => lint_deployment(ex.source),
+    }
+}
+
+fn report(diags: &[Diagnostic], origin: &str, ex: &esp_lint::Example) -> usize {
+    for d in diags {
+        eprintln!("{}", d.render(origin, Some(ex.source)));
+    }
+    diags.len()
+}

@@ -1,0 +1,148 @@
+//! Fixture contract for the diagnostic catalog.
+//!
+//! Every file under `fixtures/fail/` is named `<code>_<slug>.<ext>`; the
+//! linter must emit exactly that code against it, and when the file
+//! carries an `-- expect: <text>` line the reported span must cover
+//! exactly that slice of the source. Every file under `fixtures/clean/`
+//! (the shipped example pipelines) must produce zero findings — the
+//! false-positive bar.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use esp_lint::{lint_cql, lint_deployment};
+use esp_types::Diagnostic;
+
+fn fixtures_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+fn lint_file(path: &Path, source: &str) -> Vec<Diagnostic> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("cql") => lint_cql(source),
+        Some("json") => lint_deployment(source),
+        other => panic!(
+            "unexpected fixture extension {other:?} for {}",
+            path.display()
+        ),
+    }
+}
+
+/// `e0101_unknown_field.cql` → `E0101`.
+fn expected_code(path: &Path) -> String {
+    let stem = path.file_stem().unwrap().to_str().unwrap();
+    stem.split('_').next().unwrap().to_ascii_uppercase()
+}
+
+/// The `-- expect: <text>` annotation, when present.
+fn expected_slice(source: &str) -> Option<&str> {
+    source
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("-- expect: "))
+}
+
+fn fail_fixtures() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir("fail"))
+        .expect("fixtures/fail exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn each_fail_fixture_trips_exactly_its_code() {
+    let fixtures = fail_fixtures();
+    // Satellite bar: at least 8 distinct defect classes demonstrated.
+    let distinct: std::collections::BTreeSet<String> =
+        fixtures.iter().map(|p| expected_code(p)).collect();
+    assert!(
+        distinct.len() >= 8,
+        "need fixtures for >= 8 distinct codes, have {distinct:?}"
+    );
+
+    for path in fixtures {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let code = expected_code(&path);
+        let diags = lint_file(&path, &source);
+        assert!(
+            !diags.is_empty(),
+            "{}: expected {code}, got no findings",
+            path.display()
+        );
+        assert!(
+            diags.iter().any(|d| d.code == code),
+            "{}: expected {code}, got {:?}",
+            path.display(),
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+        // No collateral noise: a fixture demonstrates one defect class.
+        assert!(
+            diags.iter().all(|d| d.code == code),
+            "{}: stray findings besides {code}: {diags:#?}",
+            path.display()
+        );
+        if let Some(want) = expected_slice(&source) {
+            let d = diags.iter().find(|d| d.code == code).unwrap();
+            let span = d
+                .span
+                .unwrap_or_else(|| panic!("{}: {code} carries no span", path.display()));
+            let got = &source[span.start..span.end];
+            assert_eq!(
+                got,
+                want,
+                "{}: span points at the wrong source slice",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn syntax_error_fixture_has_a_span_into_the_source() {
+    let path = fixtures_dir("fail").join("e0001_syntax_error.cql");
+    let source = fs::read_to_string(&path).unwrap();
+    let diags = lint_cql(&source);
+    assert_eq!(diags[0].code, "E0001");
+    let span = diags[0].span.expect("parse errors carry an offset span");
+    assert!(span.end <= source.len());
+}
+
+#[test]
+fn clean_fixtures_and_examples_produce_zero_findings() {
+    let mut checked = 0;
+    for entry in fs::read_dir(fixtures_dir("clean")).expect("fixtures/clean exists") {
+        let path = entry.expect("readable entry").path();
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let diags = lint_file(&path, &source);
+        assert!(
+            diags.is_empty(),
+            "{} should lint clean, got {diags:#?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 7,
+        "expected the paper-query fixture set, found {checked}"
+    );
+    for ex in esp_lint::EXAMPLES {
+        let diags = esp_lint::lint_example(ex.name).unwrap();
+        assert!(diags.is_empty(), "embedded '{}': {diags:#?}", ex.name);
+    }
+}
+
+/// The diagnostics render in rustc style with a caret line locating the
+/// span in the original CQL.
+#[test]
+fn rendering_points_into_the_original_source() {
+    let path = fixtures_dir("fail").join("e0103_sum_over_string.cql");
+    let source = fs::read_to_string(&path).unwrap();
+    let diags = lint_cql(&source);
+    let rendered = diags[0].render("e0103_sum_over_string.cql", Some(&source));
+    assert!(rendered.contains("E0103"), "{rendered}");
+    assert!(rendered.contains("sum(tag_id)"), "{rendered}");
+    assert!(rendered.contains('^'), "no caret line:\n{rendered}");
+}

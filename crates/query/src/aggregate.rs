@@ -20,6 +20,31 @@ pub trait AggregateState: Send {
     fn finish(&self) -> Value;
 }
 
+/// Static requirement an aggregate places on its argument type, used by
+/// the linter to reject e.g. `sum(tag_id)` over a `STR` column before any
+/// tuple flows (the runtime would only fail on the first non-numeric row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgRequirement {
+    /// Any value is accepted (`count`, `min`, `max`).
+    Any,
+    /// Only `Int`/`Float` (and `Any`/`Null`) inputs are valid
+    /// (`sum`, `avg`, `stdev`).
+    Numeric,
+}
+
+impl ArgRequirement {
+    /// Whether a column of static type `dt` satisfies this requirement.
+    pub fn admits(self, dt: DataType) -> bool {
+        match self {
+            ArgRequirement::Any => true,
+            ArgRequirement::Numeric => matches!(
+                dt,
+                DataType::Int | DataType::Float | DataType::Any | DataType::Ts
+            ),
+        }
+    }
+}
+
 /// Factory for aggregate states, registered under a function name.
 pub trait AggregateFactory: Send + Sync {
     /// Create a fresh accumulator for a new group.
@@ -28,6 +53,12 @@ pub trait AggregateFactory: Send + Sync {
     /// Static result type, for output schema inference.
     fn result_type(&self) -> DataType {
         DataType::Any
+    }
+
+    /// Static argument-type requirement, for pre-deployment linting.
+    /// Defaults to [`ArgRequirement::Any`] so UDAs stay unaffected.
+    fn arg_requirement(&self) -> ArgRequirement {
+        ArgRequirement::Any
     }
 }
 
@@ -76,6 +107,9 @@ impl AggregateFactory for SumFactory {
     }
     fn result_type(&self) -> DataType {
         DataType::Any
+    }
+    fn arg_requirement(&self) -> ArgRequirement {
+        ArgRequirement::Numeric
     }
 }
 
@@ -137,6 +171,9 @@ impl AggregateFactory for AvgFactory {
     fn result_type(&self) -> DataType {
         DataType::Float
     }
+    fn arg_requirement(&self) -> ArgRequirement {
+        ArgRequirement::Numeric
+    }
 }
 
 impl AggregateFactory for StdevFactory {
@@ -148,6 +185,9 @@ impl AggregateFactory for StdevFactory {
     }
     fn result_type(&self) -> DataType {
         DataType::Float
+    }
+    fn arg_requirement(&self) -> ArgRequirement {
+        ArgRequirement::Numeric
     }
 }
 
@@ -305,5 +345,20 @@ mod tests {
         assert_eq!(CountFactory.result_type(), DataType::Int);
         assert_eq!(AvgFactory.result_type(), DataType::Float);
         assert_eq!(ExtremeFactory { is_max: true }.result_type(), DataType::Any);
+    }
+
+    #[test]
+    fn arg_requirements_for_lint() {
+        assert_eq!(SumFactory.arg_requirement(), ArgRequirement::Numeric);
+        assert_eq!(AvgFactory.arg_requirement(), ArgRequirement::Numeric);
+        assert_eq!(StdevFactory.arg_requirement(), ArgRequirement::Numeric);
+        assert_eq!(CountFactory.arg_requirement(), ArgRequirement::Any);
+        assert_eq!(
+            ExtremeFactory { is_max: false }.arg_requirement(),
+            ArgRequirement::Any
+        );
+        assert!(!ArgRequirement::Numeric.admits(DataType::Str));
+        assert!(ArgRequirement::Numeric.admits(DataType::Int));
+        assert!(ArgRequirement::Any.admits(DataType::Str));
     }
 }

@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use esp_types::{TimeDelta, Value};
+use esp_types::{Span, TimeDelta, Value};
 
 /// A `SELECT` statement (possibly nested as a derived table or a
 /// quantified subquery).
@@ -49,6 +49,9 @@ pub struct FromItem {
     /// Optional window clause. Only meaningful for streams; a stream with
     /// no window defaults to the now-window at execution.
     pub window: Option<WindowSpec>,
+    /// Source span of the item's name in the original query text (dummy
+    /// for synthesized ASTs; never affects equality).
+    pub span: Span,
 }
 
 impl FromItem {
@@ -76,6 +79,9 @@ pub enum FromSource {
 pub struct WindowSpec {
     /// Window width; `TimeDelta::ZERO` is the `'NOW'` window.
     pub range: TimeDelta,
+    /// Source span of the whole `[...]` clause (dummy when synthesized;
+    /// never affects equality).
+    pub span: Span,
 }
 
 /// Comparison operator.
@@ -171,6 +177,9 @@ pub enum Expr {
         qualifier: Option<String>,
         /// Field name.
         name: String,
+        /// Source span of the whole (possibly qualified) reference (dummy
+        /// when synthesized; never affects equality).
+        span: Span,
     },
     /// Function call: aggregate (`count`, `avg`, …) or registered scalar UDF.
     Call {
@@ -182,6 +191,9 @@ pub enum Expr {
         args: Vec<Expr>,
         /// `*` argument (count only).
         star: bool,
+        /// Source span from the function name through the closing paren
+        /// (dummy when synthesized; never affects equality).
+        span: Span,
     },
     /// Binary comparison.
     Cmp {
@@ -228,6 +240,22 @@ impl Expr {
         Expr::Field {
             qualifier: None,
             name: name.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Best-effort source span: the node's own span for fields and calls,
+    /// the join of operand spans for composites, dummy for literals.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Literal(_) => Span::DUMMY,
+            Expr::Field { span, .. } | Expr::Call { span, .. } => *span,
+            Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+                lhs.span().join(rhs.span())
+            }
+            Expr::QuantifiedCmp { lhs, .. } => lhs.span(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.span().join(b.span()),
+            Expr::Not(e) | Expr::Neg(e) => e.span(),
         }
     }
 
@@ -258,16 +286,19 @@ impl fmt::Display for Expr {
             Expr::Field {
                 qualifier: Some(q),
                 name,
+                ..
             } => write!(f, "{q}.{name}"),
             Expr::Field {
                 qualifier: None,
                 name,
+                ..
             } => write!(f, "{name}"),
             Expr::Call {
                 name,
                 distinct,
                 args,
                 star,
+                ..
             } => {
                 write!(f, "{name}(")?;
                 if *star {
@@ -396,6 +427,7 @@ mod tests {
                 distinct: false,
                 args: vec![],
                 star: true,
+                span: Span::DUMMY,
             }),
             op: CmpOp::Ge,
             rhs: Box::new(Expr::Literal(Value::Int(1))),

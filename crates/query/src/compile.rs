@@ -412,7 +412,9 @@ impl ExprCompiler<'_> {
     fn compile(&mut self, e: &Expr) -> Result<CExpr> {
         Ok(match e {
             Expr::Literal(v) => CExpr::Literal(v.clone()),
-            Expr::Field { qualifier, name } => CExpr::Field {
+            Expr::Field {
+                qualifier, name, ..
+            } => CExpr::Field {
                 qualifier: qualifier.clone(),
                 name: name.clone(),
             },
@@ -421,6 +423,7 @@ impl ExprCompiler<'_> {
                 distinct,
                 args,
                 star,
+                ..
             } => return self.compile_call(name, *distinct, args, *star),
             Expr::Cmp { lhs, op, rhs } => CExpr::Cmp {
                 lhs: Box::new(self.compile(lhs)?),

@@ -1,14 +1,23 @@
 //! Tokenizer for the CQL subset.
 
-use esp_types::{EspError, Result};
+use esp_types::{EspError, Result, Span};
 
-/// A lexical token with its byte offset in the source text.
+/// A lexical token with its byte range in the source text.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// Byte offset of the token's first character.
     pub offset: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's byte range as a [`Span`].
+    pub fn span(&self) -> Span {
+        Span::new(self.offset, self.end)
+    }
 }
 
 /// Token kinds.
@@ -127,6 +136,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Neq,
                     offset: i,
+                    end: i + 2,
                 });
                 i += 2;
             }
@@ -136,7 +146,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     Some(b'>') => (TokenKind::Neq, 2),
                     _ => (TokenKind::Lt, 1),
                 };
-                out.push(Token { kind, offset: i });
+                out.push(Token {
+                    kind,
+                    offset: i,
+                    end: i + len,
+                });
                 i += len;
             }
             b'>' => {
@@ -144,7 +158,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     Some(b'=') => (TokenKind::Ge, 2),
                     _ => (TokenKind::Gt, 1),
                 };
-                out.push(Token { kind, offset: i });
+                out.push(Token {
+                    kind,
+                    offset: i,
+                    end: i + len,
+                });
                 i += len;
             }
             b'\'' => {
@@ -164,12 +182,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         Some(&b) => {
                             // Strings are ASCII in practice; preserve UTF-8
                             // by pushing raw bytes through char boundaries.
+                            // `get` (not slicing) keeps a truncated multi-byte
+                            // sequence an Err rather than a panic.
                             let ch_len = utf8_len(b);
-                            s.push_str(
-                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
-                                    EspError::parse_at("invalid UTF-8 in string", i)
-                                })?,
-                            );
+                            let chunk = bytes
+                                .get(i..i + ch_len)
+                                .and_then(|w| std::str::from_utf8(w).ok())
+                                .ok_or_else(|| EspError::parse_at("invalid UTF-8 in string", i))?;
+                            s.push_str(chunk);
                             i += ch_len;
                         }
                         None => {
@@ -180,6 +200,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Str(s),
                     offset: start,
+                    end: i,
                 });
             }
             b'0'..=b'9' => {
@@ -212,6 +233,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind,
                     offset: start,
+                    end: i,
                 });
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
@@ -222,6 +244,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Ident(src[start..i].to_string()),
                     offset: start,
+                    end: i,
                 });
             }
             other => {
@@ -235,12 +258,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     out.push(Token {
         kind: TokenKind::Eof,
         offset: src.len(),
+        end: src.len(),
     });
     Ok(out)
 }
 
 fn push_sym(out: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
-    out.push(Token { kind, offset: *i });
+    out.push(Token {
+        kind,
+        offset: *i,
+        end: *i + 1,
+    });
     *i += 1;
 }
 
@@ -366,5 +394,15 @@ mod tests {
         assert_eq!(toks[0].offset, 0);
         assert_eq!(toks[1].offset, 2);
         assert_eq!(toks[2].offset, 4);
+    }
+
+    #[test]
+    fn token_spans_cover_source_text() {
+        let toks = lex("abc >= 'xy'").unwrap();
+        assert_eq!((toks[0].offset, toks[0].end), (0, 3));
+        assert_eq!((toks[1].offset, toks[1].end), (4, 6));
+        assert_eq!((toks[2].offset, toks[2].end), (7, 11));
+        let eof = toks.last().unwrap();
+        assert_eq!((eof.offset, eof.end), (11, 11));
     }
 }

@@ -24,7 +24,7 @@
 //! field       := ident ('.' ident)?
 //! ```
 
-use esp_types::{EspError, Result, TimeDelta, Value};
+use esp_types::{EspError, Result, Span, TimeDelta, Value};
 
 use crate::ast::*;
 use crate::lexer::{lex, Token, TokenKind};
@@ -32,11 +32,20 @@ use crate::lexer::{lex, Token, TokenKind};
 /// Parse one `SELECT` statement from `src`.
 pub fn parse(src: &str) -> Result<SelectStmt> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = p.select()?;
     p.expect_eof()?;
     Ok(stmt)
 }
+
+/// Maximum nesting depth (parens, unary operators, subqueries). The parser
+/// is recursive-descent, so unbounded nesting would overflow the thread
+/// stack — an abort, not an `Err`. 128 levels is far beyond any real query.
+const MAX_DEPTH: usize = 128;
 
 /// Reserved words that terminate an expression or name position.
 const KEYWORDS: &[&str] = &[
@@ -47,6 +56,7 @@ const KEYWORDS: &[&str] = &[
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -56,6 +66,25 @@ impl Parser {
 
     fn offset(&self) -> usize {
         self.tokens[self.pos].offset
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens[self.pos - 1].end
+        }
+    }
+
+    /// Guard a recursion point; paired with a `self.depth -= 1` on the
+    /// success path (an error aborts the whole parse, so no unwind needed).
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(EspError::parse_at("query nesting too deep", self.offset()));
+        }
+        Ok(())
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -154,6 +183,7 @@ impl Parser {
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
+        self.enter()?;
         self.expect_kw("select")?;
         let select = if self.eat(&TokenKind::Star) {
             Vec::new()
@@ -189,6 +219,7 @@ impl Parser {
         } else {
             None
         };
+        self.depth -= 1;
         Ok(SelectStmt {
             select,
             from,
@@ -219,6 +250,7 @@ impl Parser {
 
     #[allow(clippy::wrong_self_convention)] // named for the grammar production it parses
     fn from_item(&mut self) -> Result<FromItem> {
+        let start = self.offset();
         let source = if self.eat(&TokenKind::LParen) {
             let sub = self.select()?;
             self.expect(TokenKind::RParen)?;
@@ -226,7 +258,9 @@ impl Parser {
         } else {
             FromSource::Named(self.ident()?)
         };
+        let span = Span::new(start, self.prev_end());
         let alias = self.optional_alias()?;
+        let wstart = self.offset();
         let window = if self.eat(&TokenKind::LBracket) {
             self.expect_kw("range")?;
             let _ = self.eat_kw("by");
@@ -240,7 +274,10 @@ impl Parser {
                 }
             };
             self.expect(TokenKind::RBracket)?;
-            Some(WindowSpec { range: spec })
+            Some(WindowSpec {
+                range: spec,
+                span: Span::new(wstart, self.prev_end()),
+            })
         } else {
             None
         };
@@ -254,6 +291,7 @@ impl Parser {
             source,
             alias,
             window,
+            span,
         })
     }
 
@@ -281,7 +319,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            self.enter()?;
+            let e = self.not_expr()?;
+            self.depth -= 1;
+            Ok(Expr::Not(Box::new(e)))
         } else {
             self.cmp_expr()
         }
@@ -389,13 +430,17 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
-            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            self.enter()?;
+            let e = self.unary_expr()?;
+            self.depth -= 1;
+            Ok(Expr::Neg(Box::new(e)))
         } else {
             self.primary()
         }
     }
 
     fn primary(&mut self) -> Result<Expr> {
+        let tok_span = self.tokens[self.pos].span();
         match self.peek().clone() {
             TokenKind::Int(i) => {
                 self.bump();
@@ -410,9 +455,11 @@ impl Parser {
                 Ok(Expr::Literal(Value::str(s)))
             }
             TokenKind::LParen => {
+                self.enter()?;
                 self.bump();
                 let e = self.expr()?;
                 self.expect(TokenKind::RParen)?;
+                self.depth -= 1;
                 Ok(e)
             }
             TokenKind::Ident(word) => {
@@ -441,7 +488,7 @@ impl Parser {
                 self.bump();
                 // Function call?
                 if self.eat(&TokenKind::LParen) {
-                    return self.call_tail(lower);
+                    return self.call_tail(lower, tok_span.start);
                 }
                 // Qualified field?
                 if self.eat(&TokenKind::Dot) {
@@ -449,11 +496,13 @@ impl Parser {
                     return Ok(Expr::Field {
                         qualifier: Some(word),
                         name: field,
+                        span: Span::new(tok_span.start, self.prev_end()),
                     });
                 }
                 Ok(Expr::Field {
                     qualifier: None,
                     name: word,
+                    span: tok_span,
                 })
             }
             other => Err(EspError::parse_at(
@@ -464,7 +513,8 @@ impl Parser {
     }
 
     /// Parse the remainder of `name(` — arguments and closing paren.
-    fn call_tail(&mut self, name: String) -> Result<Expr> {
+    /// `start` is the byte offset of the function name.
+    fn call_tail(&mut self, name: String, start: usize) -> Result<Expr> {
         if self.eat(&TokenKind::Star) {
             self.expect(TokenKind::RParen)?;
             return Ok(Expr::Call {
@@ -472,6 +522,7 @@ impl Parser {
                 distinct: false,
                 args: vec![],
                 star: true,
+                span: Span::new(start, self.prev_end()),
             });
         }
         let distinct = self.eat_kw("distinct");
@@ -488,6 +539,7 @@ impl Parser {
             distinct,
             args,
             star: false,
+            span: Span::new(start, self.prev_end()),
         })
     }
 }
@@ -509,7 +561,8 @@ mod tests {
         assert_eq!(
             q.from[0].window,
             Some(WindowSpec {
-                range: TimeDelta::from_secs(5)
+                range: TimeDelta::from_secs(5),
+                span: Span::DUMMY,
             })
         );
         assert_eq!(q.group_by, vec![Expr::field("shelf")]);
@@ -732,6 +785,45 @@ mod tests {
             } => assert_eq!(o, 22),
             other => panic!("expected offset, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "SELECT sum(temp) FROM motes [Range '5 sec']";
+        let q = parse(src).unwrap();
+        match &q.select[0].expr {
+            Expr::Call { span, .. } => {
+                assert_eq!(&src[span.start..span.end], "sum(temp)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(&src[q.from[0].span.start..q.from[0].span.end], "motes");
+        let w = q.from[0].window.unwrap();
+        assert_eq!(&src[w.span.start..w.span.end], "[Range '5 sec']");
+    }
+
+    #[test]
+    fn qualified_field_span_covers_both_parts() {
+        let src = "SELECT a.tag_id FROM s a";
+        let q = parse(src).unwrap();
+        match &q.select[0].expr {
+            Expr::Field { span, .. } => {
+                assert_eq!(&src[span.start..span.end], "a.tag_id");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let src = format!("SELECT {}x{} FROM s", "(".repeat(4000), ")".repeat(4000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+        // Deep unary chains are likewise bounded.
+        let src = format!("SELECT {}x FROM s", "-".repeat(4000));
+        assert!(parse(&src).is_err());
+        let src = format!("SELECT x FROM s WHERE {}x", "NOT ".repeat(4000));
+        assert!(parse(&src).is_err());
     }
 
     #[test]

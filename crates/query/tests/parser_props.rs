@@ -6,7 +6,7 @@ use esp_query::ast::{
     ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt, WindowSpec,
 };
 use esp_query::parse;
-use esp_types::{TimeDelta, Value};
+use esp_types::{Span, TimeDelta, Value};
 
 /// Strategy for identifiers that are never keywords.
 fn ident() -> impl Strategy<Value = String> {
@@ -58,19 +58,22 @@ fn expr() -> impl Strategy<Value = Expr> {
         ident().prop_map(Expr::field),
         (ident(), ident()).prop_map(|(q, n)| Expr::Field {
             qualifier: Some(q),
-            name: n
+            name: n,
+            span: Span::DUMMY,
         }),
         (ident(), proptest::bool::ANY).prop_map(|(f, distinct)| Expr::Call {
             name: "count".into(),
             distinct,
             args: vec![Expr::field(f)],
             star: false,
+            span: Span::DUMMY,
         }),
         Just(Expr::Call {
             name: "count".into(),
             distinct: false,
             args: vec![],
-            star: true
+            star: true,
+            span: Span::DUMMY,
         }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
@@ -116,13 +119,16 @@ fn window() -> impl Strategy<Value = Option<WindowSpec>> {
     prop_oneof![
         Just(None),
         Just(Some(WindowSpec {
-            range: TimeDelta::ZERO
+            range: TimeDelta::ZERO,
+            span: Span::DUMMY,
         })),
         (1u64..600).prop_map(|s| Some(WindowSpec {
-            range: TimeDelta::from_secs(s)
+            range: TimeDelta::from_secs(s),
+            span: Span::DUMMY,
         })),
         (1u64..120).prop_map(|m| Some(WindowSpec {
-            range: TimeDelta::from_mins(m)
+            range: TimeDelta::from_mins(m),
+            span: Span::DUMMY,
         })),
     ]
 }
@@ -154,6 +160,7 @@ fn select_stmt(depth: u32) -> BoxedStrategy<SelectStmt> {
                     source,
                     alias,
                     window,
+                    span: Span::DUMMY,
                 }
             },
         ),
@@ -198,6 +205,19 @@ proptest! {
     #[test]
     fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
         let _ = parse(&s);
+    }
+
+    /// Arbitrary *bytes* (lossily decoded — `&str` is the narrowest type
+    /// the API accepts) either parse or return an `Err` whose offset is a
+    /// valid position in the input; they never panic.
+    #[test]
+    fn parser_rejects_arbitrary_bytes_with_valid_offset(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let s = String::from_utf8_lossy(&bytes);
+        if let Err(esp_types::EspError::Parse { offset: Some(off), .. }) = parse(&s) {
+            prop_assert!(off <= s.len(), "offset {off} past end {}", s.len());
+        }
     }
 
     /// Nor on inputs built from SQL-ish fragments (more likely to reach
@@ -250,7 +270,8 @@ proptest! {
             from: vec![FromItem {
                 source: FromSource::Named("s".into()),
                 alias: None,
-                window: Some(WindowSpec { range: TimeDelta::ZERO }),
+                window: Some(WindowSpec { range: TimeDelta::ZERO, span: Span::DUMMY }),
+                span: Span::DUMMY,
             }],
             where_clause: None,
             group_by: vec![Expr::field("x")],

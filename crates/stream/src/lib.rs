@@ -24,6 +24,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface failures as typed errors, never panic mid-
+// pipeline; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod epoch;
 pub mod graph;

@@ -73,12 +73,9 @@ impl Source for ScriptedSource {
 
     fn poll(&mut self, epoch: Ts) -> Result<Batch> {
         let mut out = Batch::new();
-        while let Some((ts, _)) = self.batches.front() {
-            if *ts <= epoch {
-                let (_, batch) = self.batches.pop_front().expect("front checked");
+        while self.batches.front().is_some_and(|(ts, _)| *ts <= epoch) {
+            if let Some((_, batch)) = self.batches.pop_front() {
                 out.extend(batch);
-            } else {
-                break;
             }
         }
         Ok(out)

@@ -89,6 +89,11 @@ impl ThreadedRunner {
     /// Execute `n_epochs` epochs starting at `start`, spaced `period`
     /// apart. Consumes the dataflow (operators move onto their threads) and
     /// returns one `(epoch, batch)` trace per registered tap, in tap order.
+    ///
+    /// The graph is statically validated first
+    /// ([`Dataflow::validate`]); error-severity diagnostics (e.g. a
+    /// zero-input operator, which this runner could never flush) reject
+    /// the execution with [`EspError::Invalid`] before any thread spawns.
     pub fn execute(
         &self,
         df: Dataflow,
@@ -96,6 +101,10 @@ impl ThreadedRunner {
         period: TimeDelta,
         n_epochs: u64,
     ) -> Result<Vec<Vec<(Ts, Batch)>>> {
+        let errors: Vec<_> = df.validate().into_iter().filter(|d| d.is_error()).collect();
+        if !errors.is_empty() {
+            return Err(EspError::Invalid(errors));
+        }
         let edge_capacity = self.edge_capacity;
         let n_nodes = df.nodes.len();
         let consumers = df.consumers();
@@ -104,18 +113,17 @@ impl ThreadedRunner {
         // One inbound channel per node. Sources receive ticks from the
         // driver on the same channel (as Punct messages with empty data).
         let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
-        let mut rxs: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_nodes);
+        let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
             let (tx, rx) = bounded::<Msg>(edge_capacity);
             txs.push(tx);
-            rxs.push(Some(rx));
+            rxs.push(rx);
         }
         // Tap collection channel.
         let (tap_tx, tap_rx) = bounded::<(usize, Ts, Batch)>(edge_capacity);
 
         let mut handles = Vec::with_capacity(n_nodes);
-        for (i, node) in df.nodes.into_iter().enumerate() {
-            let rx = rxs[i].take().expect("each node receiver taken once");
+        for ((i, node), rx) in df.nodes.into_iter().enumerate().zip(rxs) {
             let downstream: Vec<(Sender<Msg>, usize)> = consumers[i]
                 .iter()
                 .map(|(consumer, port)| (txs[consumer.0].clone(), *port))
@@ -160,22 +168,24 @@ impl ThreadedRunner {
                                         .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
                                     entry.1 += 1;
                                     if entry.1 == n_edges {
-                                        let (ports, _) =
-                                            staged.remove(&epoch).expect("entry just updated");
-                                        // Deliver in port order for
-                                        // determinism, then flush once.
-                                        for (port, batch) in ports.into_iter().enumerate() {
-                                            op.push(port, &batch)?;
+                                        // The entry was inserted just above,
+                                        // so remove always yields it.
+                                        if let Some((ports, _)) = staged.remove(&epoch) {
+                                            // Deliver in port order for
+                                            // determinism, then flush once.
+                                            for (port, batch) in ports.into_iter().enumerate() {
+                                                op.push(port, &batch)?;
+                                            }
+                                            let out = op.flush(epoch)?;
+                                            deliver(
+                                                &downstream,
+                                                &tap_tx,
+                                                &my_taps,
+                                                epoch,
+                                                out,
+                                                &stats,
+                                            )?;
                                         }
-                                        let out = op.flush(epoch)?;
-                                        deliver(
-                                            &downstream,
-                                            &tap_tx,
-                                            &my_taps,
-                                            epoch,
-                                            out,
-                                            &stats,
-                                        )?;
                                     }
                                 }
                             }
@@ -419,6 +429,21 @@ mod tests {
         let err = ThreadedRunner::run(df, Ts::ZERO, TimeDelta::from_millis(100), 3)
             .expect_err("failure must propagate");
         assert!(err.to_string().contains("injected failure") || matches!(err, EspError::Stage(_)));
+    }
+
+    #[test]
+    fn zero_input_operator_rejected_before_execution() {
+        let mut df = Dataflow::new();
+        let z = df.add_operator(Box::new(UnionOp::new(0)), &[]).unwrap();
+        df.add_tap(z).unwrap();
+        let err = ThreadedRunner::run(df, Ts::ZERO, TimeDelta::from_secs(1), 3)
+            .expect_err("invalid graph must be rejected");
+        match err {
+            EspError::Invalid(diags) => {
+                assert!(diags.iter().any(|d| d.code == "E0404"), "{diags:?}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

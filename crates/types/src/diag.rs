@@ -1,0 +1,304 @@
+//! Structured diagnostics for static pipeline validation.
+//!
+//! ESP's pitch is *declarative* cleaning — which means a misdeclared
+//! pipeline (a schema mismatch between stages, a window smaller than the
+//! scheduler epoch, a lateness bound that outlives the smoothing window)
+//! can be caught *before* any tuple flows. The `esp-lint` crate implements
+//! the checks; this module defines the vocabulary they speak so that
+//! every layer (stream graphs, the query compiler, the processor, the
+//! gateway) can report problems without depending on the linter.
+//!
+//! A [`Diagnostic`] carries a stable error code (`E0101`, `E0201`, …), a
+//! severity, a message, optional notes, and — when the problem maps back
+//! to CQL text — a byte [`Span`] into the original source. Diagnostics
+//! render rustc-style via [`Diagnostic::render`].
+
+use std::fmt;
+
+/// A byte range into a source text (typically CQL query text).
+///
+/// # Equality
+///
+/// Spans are *positional metadata*, not semantic content: two ASTs that
+/// differ only in where their nodes were written are the same query. To
+/// keep that property (and the pretty-print → reparse round-trip tests
+/// that rely on it), `Span` compares equal to every other `Span` and
+/// hashes to nothing. Compare `start`/`end` directly when a test needs
+/// the actual position.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// The dummy span used for synthesized AST nodes with no source text.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Construct a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Whether this is the synthesized [`Span::DUMMY`] position.
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`. Dummy spans are
+    /// ignored (joining with a dummy returns the other span unchanged).
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            }
+        }
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable — reported, never fatal.
+    Warning,
+    /// The pipeline/plan is invalid; deployment must be rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One static-analysis finding with a stable code.
+///
+/// Codes are grouped by subsystem: `E01xx` schema/type, `E02xx` temporal
+/// granules, `E03xx` spatial granules, `E04xx` graph structure, `E05xx`
+/// gateway configuration. The catalog lives in `esp-lint` and DESIGN.md.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable error code, e.g. `"E0101"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable, single-line description of the problem.
+    pub message: String,
+    /// Byte span into the originating CQL text, when the finding maps to
+    /// source; `None` for findings about programmatic graph construction.
+    pub span: Option<Span>,
+    /// Additional context lines rendered as `= note: …`.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attach a source span (non-dummy spans only; a dummy span is treated
+    /// as "no position").
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        if !span.is_dummy() {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    /// Append a `= note:` line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Whether this diagnostic is fatal.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render rustc-style, underlining the span in `source` when both a
+    /// span and the source text are available:
+    ///
+    /// ```text
+    /// error[E0103]: sum() requires a numeric argument, but `tag_id` is STR
+    ///   --> shelf.cql:2:12
+    ///    |
+    ///  2 |     SELECT sum(tag_id) FROM rfid [Range '5 sec']
+    ///    |            ^^^^^^^^^^^
+    ///    = note: declared in stream `rfid`
+    /// ```
+    ///
+    /// `origin` names the source (a file path, or e.g. `<deployment>`);
+    /// pass `None` for `source` when no text is available.
+    pub fn render(&self, origin: &str, source: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        match (self.span, source) {
+            (Some(span), Some(src)) => {
+                let (line_no, col, line_text) = locate(src, span.start);
+                out.push_str(&format!("  --> {origin}:{line_no}:{col}\n"));
+                let gutter = line_no.to_string().len();
+                out.push_str(&format!("{:width$} |\n", "", width = gutter));
+                out.push_str(&format!("{line_no} | {line_text}\n"));
+                let span_len = span.end.saturating_sub(span.start).max(1);
+                let underline_len = span_len.min(line_text.len().saturating_sub(col - 1).max(1));
+                out.push_str(&format!(
+                    "{:gutter$} | {:pad$}{}\n",
+                    "",
+                    "",
+                    "^".repeat(underline_len),
+                    pad = col - 1,
+                ));
+            }
+            (Some(span), None) => {
+                out.push_str(&format!("  --> {origin}:@{}\n", span.start));
+            }
+            (None, _) => {
+                out.push_str(&format!("  --> {origin}\n"));
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("   = note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// 1-based line number, 1-based column (in bytes), and the line's text for
+/// a byte offset into `src`. Offsets past the end clamp to the last line.
+fn locate(src: &str, offset: usize) -> (usize, usize, &str) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line_no = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(src.len());
+    (line_no, offset - line_start + 1, &src[line_start..line_end])
+}
+
+/// Sort diagnostics for stable presentation: errors before warnings, then
+/// by code, then by span start.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| {
+                let sa = a.span.map(|s| s.start).unwrap_or(usize::MAX);
+                let sb = b.span.map(|s| s.start).unwrap_or(usize::MAX);
+                sa.cmp(&sb)
+            })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_compare_equal_regardless_of_position() {
+        assert_eq!(Span::new(3, 9), Span::new(100, 200));
+        assert_eq!(Span::DUMMY, Span::new(5, 6));
+    }
+
+    #[test]
+    fn join_ignores_dummy() {
+        let s = Span::new(4, 10).join(Span::DUMMY);
+        assert_eq!((s.start, s.end), (4, 10));
+        let s = Span::DUMMY.join(Span::new(7, 9));
+        assert_eq!((s.start, s.end), (7, 9));
+        let s = Span::new(4, 6).join(Span::new(10, 12));
+        assert_eq!((s.start, s.end), (4, 12));
+    }
+
+    #[test]
+    fn render_underlines_span() {
+        let src = "SELECT sum(tag_id)\nFROM rfid";
+        let d = Diagnostic::error("E0103", "sum() over STR column `tag_id`")
+            .with_span(Span::new(7, 18))
+            .with_note("declared in stream `rfid`");
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("error[E0103]"), "{rendered}");
+        assert!(rendered.contains("--> q.cql:1:8"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^^^"), "{rendered}");
+        assert!(rendered.contains("= note: declared in stream `rfid`"));
+    }
+
+    #[test]
+    fn render_second_line_location() {
+        let src = "SELECT *\nFROM nowhere";
+        let d = Diagnostic::error("E0106", "unknown stream `nowhere`").with_span(Span::new(14, 21));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("--> q.cql:2:6"), "{rendered}");
+        assert!(rendered.contains("2 | FROM nowhere"), "{rendered}");
+    }
+
+    #[test]
+    fn dummy_span_is_dropped() {
+        let d = Diagnostic::warning("E0402", "dangling output").with_span(Span::DUMMY);
+        assert!(d.span.is_none());
+        assert!(!d.is_error());
+    }
+
+    #[test]
+    fn sort_orders_errors_first() {
+        let mut diags = vec![
+            Diagnostic::warning("E0402", "w"),
+            Diagnostic::error("E0201", "e2").with_span(Span::new(9, 10)),
+            Diagnostic::error("E0101", "e1"),
+        ];
+        sort_diagnostics(&mut diags);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E0101", "E0201", "E0402"]);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::diag::Diagnostic;
+
 /// Convenience alias for results with an [`EspError`].
 pub type Result<T> = std::result::Result<T, EspError>;
 
@@ -37,6 +39,10 @@ pub enum EspError {
     Stage(String),
     /// Malformed bytes on the simulated receptor wire transport.
     Wire(String),
+    /// Static validation rejected a pipeline, graph, or plan before any
+    /// tuple flowed. Carries the full diagnostic list so callers can render
+    /// every finding, not just the first.
+    Invalid(Vec<Diagnostic>),
 }
 
 impl EspError {
@@ -54,6 +60,11 @@ impl EspError {
             message: message.into(),
             offset: Some(offset),
         }
+    }
+
+    /// Construct a validation-rejection error from a diagnostic list.
+    pub fn invalid(diagnostics: Vec<Diagnostic>) -> Self {
+        EspError::Invalid(diagnostics)
     }
 }
 
@@ -78,6 +89,18 @@ impl fmt::Display for EspError {
             EspError::Config(m) => write!(f, "configuration error: {m}"),
             EspError::Stage(m) => write!(f, "stage error: {m}"),
             EspError::Wire(m) => write!(f, "wire format error: {m}"),
+            EspError::Invalid(diags) => {
+                let errors = diags.iter().filter(|d| d.is_error()).count();
+                write!(
+                    f,
+                    "validation failed with {errors} error(s), {} warning(s)",
+                    diags.len() - errors
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

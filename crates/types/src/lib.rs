@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod actuation;
+pub mod diag;
 mod error;
 mod ids;
 mod schema;
@@ -33,6 +34,7 @@ mod value;
 pub mod well_known;
 
 pub use actuation::SampleRateHandle;
+pub use diag::{Diagnostic, Severity, Span};
 pub use error::{EspError, Result};
 pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
 pub use schema::{DataType, Field, Schema, SchemaBuilder};
