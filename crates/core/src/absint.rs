@@ -1,0 +1,572 @@
+//! Cascade-level semantic analysis (`E06xx`) over deployment documents.
+//!
+//! [`DeploymentSpec::validate`] checks *shapes* — granule math, group
+//! structure, receptor types. [`DeploymentSpec::analyze`] goes one level
+//! deeper and abstractly interprets what the cascade will *do* to the
+//! readings the declared receptors produce:
+//!
+//! * `E0601` — a Point stage whose filters can never pass: an empty or
+//!   mutually-exclusive range, or an expected-values list that allows
+//!   nothing. The stage drops every reading, so everything downstream
+//!   is dead.
+//! * `E0604` — producer/consumer schema drift: a per-receptor stage
+//!   reads a field that no declared receptor type produces (or produces
+//!   with an incompatible type). The runtime treats a missing field as
+//!   "drop the tuple", so drift is silent data loss, not an error.
+//! * `E0605` — a granule-unit mismatch surviving the Merge/Arbitrate
+//!   boundary: a per-group or global declarative stage windows over a
+//!   span that is not a whole multiple of the temporal granule. Tuples
+//!   past that boundary arrive granule-aligned; a fractional window
+//!   drifts against the alignment and double- or under-counts.
+//!
+//! The interval propagation reuses [`esp_query::range::Interval`] — the
+//! same abstract domain the CQL linter's predicate analysis runs on —
+//! so both halves of the analyzer agree on arithmetic. Everything the
+//! analysis cannot prove stays silent: the zero-false-positive bar from
+//! `esp-lint` applies here too.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use esp_query::ast::{Expr, FromSource, SelectStmt};
+use esp_query::range::Interval;
+use esp_types::{well_known, DataType, Diagnostic, ReceptorType, Schema, TimeDelta};
+
+use crate::deploy::{parse_receptor_type, DeploymentSpec, PointSpec, StageSpec};
+
+/// The schemas a receptor type can emit. `None` means open-ended
+/// (`Other`): drift checks stay silent for deployments using it.
+fn receptor_schemas(rt: ReceptorType) -> Option<Vec<Arc<Schema>>> {
+    match rt {
+        ReceptorType::Rfid => Some(vec![well_known::rfid_schema()]),
+        // A mote reports scalar samples: temperature, temperature with
+        // battery voltage, or sound — the union of those schemas.
+        ReceptorType::Mote => Some(vec![
+            well_known::temp_schema(),
+            well_known::temp_voltage_schema(),
+            well_known::sound_schema(),
+        ]),
+        ReceptorType::X10Motion => Some(vec![well_known::motion_schema()]),
+        ReceptorType::Other(_) => None,
+    }
+}
+
+/// What the declared receptor fleet can say about one field name.
+#[derive(Clone, Copy, PartialEq)]
+enum FieldFact {
+    /// No declared receptor type produces the field.
+    Absent,
+    /// Produced somewhere, but never with a numeric type.
+    NonNumeric,
+    /// Produced somewhere with a numeric type (`Int`/`Float`/`Ts`).
+    Numeric,
+}
+
+/// Everything the analysis knows about the raw-reading schemas feeding
+/// the per-receptor stages. `None` when any group's receptor type is
+/// open-ended or unknown — drift checks then stay silent (`E0304`
+/// already flags unknown types).
+struct FleetSchemas {
+    schemas: Vec<Arc<Schema>>,
+    types: Vec<String>,
+}
+
+impl FleetSchemas {
+    fn gather(spec: &DeploymentSpec) -> Option<FleetSchemas> {
+        if spec.groups.is_empty() {
+            return None;
+        }
+        let mut schemas = Vec::new();
+        let mut types = Vec::new();
+        for g in &spec.groups {
+            let rt = parse_receptor_type(&g.receptor_type).ok()?;
+            schemas.extend(receptor_schemas(rt)?);
+            if !types.contains(&g.receptor_type) {
+                types.push(g.receptor_type.clone());
+            }
+        }
+        Some(FleetSchemas { schemas, types })
+    }
+
+    fn fact(&self, field: &str) -> FieldFact {
+        let mut fact = FieldFact::Absent;
+        for s in &self.schemas {
+            if let Some(f) = s.field(field) {
+                match f.data_type {
+                    DataType::Int | DataType::Float | DataType::Ts | DataType::Any => {
+                        return FieldFact::Numeric;
+                    }
+                    DataType::Str | DataType::Bool => fact = FieldFact::NonNumeric,
+                }
+            }
+        }
+        fact
+    }
+
+    fn types(&self) -> String {
+        self.types.join(", ")
+    }
+}
+
+impl DeploymentSpec {
+    /// Abstractly interpret the cascade this document describes,
+    /// returning every `E06xx` finding without building anything.
+    ///
+    /// Complements [`DeploymentSpec::validate`]; both run (and both
+    /// gate) in [`EspProcessor::deploy`](crate::EspProcessor::deploy).
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let fleet = FleetSchemas::gather(self);
+        let granule = TimeDelta::parse(&self.temporal_granule).ok();
+        for stage in &self.stages {
+            match stage {
+                StageSpec::Point(p) => analyze_point(p, fleet.as_ref(), &mut diags),
+                StageSpec::Smooth(s) => {
+                    if let Some(field) = &s.value_field {
+                        check_numeric_field(
+                            fleet.as_ref(),
+                            field,
+                            "the Smooth stage's value_field",
+                            &mut diags,
+                        );
+                    }
+                }
+                StageSpec::Declarative(d) => {
+                    // Per-receptor stages see raw readings at arbitrary
+                    // timestamps; only past the Merge/Arbitrate boundary
+                    // do tuples arrive granule-aligned.
+                    if matches!(d.scope.as_str(), "per_group" | "global") {
+                        if let (Some(g), Ok(stmt)) = (granule, esp_query::parse(&d.query)) {
+                            let label = d.label.as_deref().unwrap_or("declarative");
+                            check_windows(&stmt, g, label, &mut diags);
+                        }
+                    }
+                }
+                StageSpec::Merge(_) | StageSpec::Arbitrate(_) | StageSpec::Virtualize(_) => {
+                    // These consume smoothed/merged tuples whose schema
+                    // the builder synthesizes; raw-schema drift checks
+                    // do not apply.
+                }
+            }
+        }
+        esp_types::diag::sort_diagnostics(&mut diags);
+        diags
+    }
+}
+
+fn analyze_point(p: &PointSpec, fleet: Option<&FleetSchemas>, diags: &mut Vec<Diagnostic>) {
+    // Interval propagation: successive range filters on one field
+    // intersect. An empty single filter or an empty intersection means
+    // the stage can never pass a reading.
+    let mut kept: HashMap<&str, Interval> = HashMap::new();
+    for rf in &p.range_filters {
+        let lo = rf.min.unwrap_or(f64::NEG_INFINITY);
+        let hi = rf.max.unwrap_or(f64::INFINITY);
+        let Some(iv) = Interval::new(lo, hi) else {
+            diags.push(
+                Diagnostic::error(
+                    "E0601",
+                    format!(
+                        "Point range filter on '{}' keeps nothing ({lo} > {hi})",
+                        rf.field
+                    ),
+                )
+                .with_note(
+                    "no reading can satisfy an empty range — the stage is dead and every \
+                     stage downstream of it sees no input",
+                ),
+            );
+            continue;
+        };
+        match kept.get(rf.field.as_str()) {
+            None => {
+                kept.insert(&rf.field, iv);
+            }
+            Some(prev) => match prev.intersect(&iv) {
+                Some(narrowed) => {
+                    kept.insert(&rf.field, narrowed);
+                }
+                None => {
+                    diags.push(
+                        Diagnostic::error(
+                            "E0601",
+                            format!(
+                                "Point range filters on '{}' are mutually exclusive \
+                                 ([{}, {}] ∩ [{lo}, {hi}] = ∅)",
+                                rf.field,
+                                prev.lo(),
+                                prev.hi(),
+                            ),
+                        )
+                        .with_note(
+                            "every reading fails one of the two filters — the stage is dead",
+                        ),
+                    );
+                }
+            },
+        }
+        check_numeric_field(fleet, &rf.field, "the Point range filter", diags);
+    }
+    if let Some(ev) = &p.expected_values {
+        if ev.allowed.is_empty() {
+            diags.push(
+                Diagnostic::error(
+                    "E0601",
+                    format!(
+                        "Point expected-values filter on '{}' allows no values",
+                        ev.field
+                    ),
+                )
+                .with_note("an empty allow-list drops every reading — the stage is dead"),
+            );
+        }
+        if let Some(fleet) = fleet {
+            match fleet.fact(&ev.field) {
+                FieldFact::Absent => diags.push(drift_absent(
+                    &ev.field,
+                    "the Point expected-values filter",
+                    fleet,
+                )),
+                FieldFact::Numeric => diags.push(
+                    Diagnostic::error(
+                        "E0604",
+                        format!(
+                            "Point expected-values filter on '{}' can never match: the \
+                             declared receptor types ({}) produce it as a number, but the \
+                             filter matches only string values",
+                            ev.field,
+                            fleet.types(),
+                        ),
+                    )
+                    .with_note(
+                        "a non-string value always fails the filter — every reading is dropped",
+                    ),
+                ),
+                FieldFact::NonNumeric => {}
+            }
+        }
+    }
+}
+
+/// Flag a per-receptor numeric read (range filter, smooth value) whose
+/// field no declared receptor type produces as a number.
+fn check_numeric_field(
+    fleet: Option<&FleetSchemas>,
+    field: &str,
+    what: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(fleet) = fleet else { return };
+    match fleet.fact(field) {
+        FieldFact::Numeric => {}
+        FieldFact::Absent => diags.push(drift_absent(field, what, fleet)),
+        FieldFact::NonNumeric => diags.push(
+            Diagnostic::error(
+                "E0604",
+                format!(
+                    "{what} reads '{field}' as a number, but the declared receptor \
+                     types ({}) never produce it as one",
+                    fleet.types(),
+                ),
+            )
+            .with_note(
+                "a non-numeric field reads as NULL at this stage, and the stage drops \
+                 tuples where its field is missing — silent data loss",
+            ),
+        ),
+    }
+}
+
+fn drift_absent(field: &str, what: &str, fleet: &FleetSchemas) -> Diagnostic {
+    Diagnostic::error(
+        "E0604",
+        format!(
+            "{what} reads '{field}', but no declared receptor type ({}) produces \
+             that field",
+            fleet.types(),
+        ),
+    )
+    .with_note(
+        "the runtime drops tuples where a filtered field is missing, so this stage \
+         silently discards every reading — fix the field name or the receptor types",
+    )
+}
+
+/// Walk a query (including derived tables and quantified subqueries)
+/// flagging windows that do not divide evenly into the granule.
+fn check_windows(stmt: &SelectStmt, granule: TimeDelta, label: &str, diags: &mut Vec<Diagnostic>) {
+    for item in &stmt.from {
+        if let Some(w) = &item.window {
+            let (wms, gms) = (w.range.as_millis(), granule.as_millis());
+            if wms > 0 && gms > 0 && wms % gms != 0 {
+                diags.push(
+                    Diagnostic::error(
+                        "E0605",
+                        format!(
+                            "declarative stage '{label}' windows over {} — not a whole \
+                             multiple of the temporal granule ({granule})",
+                            w.range,
+                        ),
+                    )
+                    .with_note(
+                        "past the Merge/Arbitrate boundary tuples arrive granule-aligned; \
+                         a fractional window drifts against that alignment and double- or \
+                         under-counts readings",
+                    ),
+                );
+            }
+        }
+        if let FromSource::Derived(sub) = &item.source {
+            check_windows(sub, granule, label, diags);
+        }
+    }
+    for e in stmt
+        .where_clause
+        .iter()
+        .chain(stmt.having.iter())
+        .chain(stmt.group_by.iter())
+        .chain(stmt.select.iter().map(|i| &i.expr))
+    {
+        for_each_subquery(e, &mut |sub| check_windows(sub, granule, label, diags));
+    }
+}
+
+fn for_each_subquery(expr: &Expr, f: &mut dyn FnMut(&SelectStmt)) {
+    match expr {
+        Expr::QuantifiedCmp { lhs, subquery, .. } => {
+            for_each_subquery(lhs, f);
+            f(subquery);
+        }
+        Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+            for_each_subquery(lhs, f);
+            for_each_subquery(rhs, f);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            for_each_subquery(a, f);
+            for_each_subquery(b, f);
+        }
+        Expr::Not(e) | Expr::Neg(e) => for_each_subquery(e, f),
+        Expr::Call { args, .. } => {
+            for a in args {
+                for_each_subquery(a, f);
+            }
+        }
+        Expr::Literal(_) | Expr::Field { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::deploy::DeploymentSpec;
+
+    fn spec(json: &str) -> DeploymentSpec {
+        DeploymentSpec::from_json(json).expect("spec parses")
+    }
+
+    fn codes(json: &str) -> Vec<&'static str> {
+        spec(json).analyze().into_iter().map(|d| d.code).collect()
+    }
+
+    const CLEAN: &str = r#"{
+        "temporal_granule": "5 sec",
+        "groups": [
+            { "granule": "shelf0", "receptor_type": "rfid", "members": [0] }
+        ],
+        "stages": [
+            { "point": { "expected_values": { "field": "tag_id", "allowed": ["a", "b"] } } }
+        ]
+    }"#;
+
+    #[test]
+    fn clean_spec_analyzes_clean() {
+        assert!(codes(CLEAN).is_empty(), "{:#?}", spec(CLEAN).analyze());
+    }
+
+    #[test]
+    fn empty_range_filter_is_dead() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [
+                    { "field": "temp", "min": 50.0, "max": 10.0 }
+                ] } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0601"]);
+    }
+
+    #[test]
+    fn mutually_exclusive_filters_are_dead() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [
+                    { "field": "temp", "min": 0.0, "max": 10.0 },
+                    { "field": "temp", "min": 20.0, "max": 30.0 }
+                ] } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0601"]);
+    }
+
+    #[test]
+    fn overlapping_filters_narrow_quietly() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [
+                    { "field": "temp", "min": 0.0, "max": 10.0 },
+                    { "field": "temp", "min": 5.0 }
+                ] } }
+            ]
+        }"#;
+        assert!(codes(json).is_empty());
+    }
+
+    #[test]
+    fn empty_allow_list_is_dead() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "point": { "expected_values": { "field": "tag_id", "allowed": [] } } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0601"]);
+    }
+
+    #[test]
+    fn range_filter_field_drift() {
+        // No rfid reading carries "temp": the filter drops everything.
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "shelf0", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [{ "field": "temp", "min": 0.0 }] } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0604"]);
+    }
+
+    #[test]
+    fn range_filter_over_string_field_drifts() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "shelf0", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [{ "field": "tag_id", "min": 0.0 }] } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0604"]);
+    }
+
+    #[test]
+    fn expected_values_over_numeric_field_drifts() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "point": { "expected_values": { "field": "temp", "allowed": ["hot"] } } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0604"]);
+    }
+
+    #[test]
+    fn mixed_fleet_suppresses_drift() {
+        // "temp" is a mote field; with a mote group present the same
+        // filter is plausible, so the analysis stays silent.
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [
+                { "granule": "shelf0", "receptor_type": "rfid", "members": [0] },
+                { "granule": "room0", "receptor_type": "mote", "members": [1] }
+            ],
+            "stages": [
+                { "point": { "range_filters": [{ "field": "temp", "min": 0.0 }] } }
+            ]
+        }"#;
+        assert!(codes(json).is_empty());
+    }
+
+    #[test]
+    fn smooth_value_field_drift() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "smooth_window": "5 sec",
+            "groups": [{ "granule": "shelf0", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "smooth": { "mode": "windowed_mean", "keys": ["receptor_id"],
+                  "value_field": "temp" } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0604"]);
+    }
+
+    #[test]
+    fn fractional_window_past_merge_boundary() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "declarative": { "scope": "per_group",
+                  "query": "SELECT avg(temp) FROM input [Range By '12 sec']" } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0605"]);
+    }
+
+    #[test]
+    fn whole_multiple_window_is_fine_and_per_receptor_is_exempt() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "declarative": { "scope": "global",
+                  "query": "SELECT avg(temp) FROM input [Range By '15 sec']" } }
+            ]
+        }"#;
+        assert!(codes(json).is_empty());
+        // Raw readings arrive at arbitrary timestamps per receptor, so a
+        // fractional window there has no boundary to drift against.
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "declarative": { "scope": "per_receptor",
+                  "query": "SELECT avg(temp) FROM input [Range By '12 sec']" } }
+            ]
+        }"#;
+        assert!(codes(json).is_empty());
+    }
+
+    #[test]
+    fn fractional_window_in_subquery_is_caught() {
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "declarative": { "scope": "global",
+                  "query": "SELECT granule FROM input [Range By '5 sec'] GROUP BY granule HAVING count(*) >= ALL(SELECT count(*) FROM input [Range By '7 sec'] GROUP BY granule)" } }
+            ]
+        }"#;
+        assert_eq!(codes(json), vec!["E0605"]);
+    }
+
+    #[test]
+    fn open_ended_receptor_types_stay_silent() {
+        // An unknown receptor type is E0304's job (validate); analyze
+        // must not guess at its schema.
+        let json = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "laser", "members": [0] }],
+            "stages": [
+                { "point": { "range_filters": [{ "field": "wavelength", "min": 0.0 }] } }
+            ]
+        }"#;
+        assert!(codes(json).is_empty());
+    }
+}

@@ -570,7 +570,7 @@ impl DeploymentSpec {
     }
 }
 
-fn parse_receptor_type(s: &str) -> Result<ReceptorType> {
+pub(crate) fn parse_receptor_type(s: &str) -> Result<ReceptorType> {
     Ok(match s.to_ascii_lowercase().as_str() {
         "rfid" => ReceptorType::Rfid,
         "mote" => ReceptorType::Mote,

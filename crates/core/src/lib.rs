@@ -70,7 +70,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface failures as typed errors, never panic mid-
+// cascade; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod absint;
 mod actuation;
 pub mod deploy;
 mod granule;

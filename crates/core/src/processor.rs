@@ -115,6 +115,7 @@ impl EspProcessor {
         receptors: Vec<ReceptorBinding>,
     ) -> Result<EspProcessor> {
         let mut diags = spec.validate();
+        diags.extend(spec.analyze());
         for binding in &receptors {
             let covered = spec
                 .groups

@@ -239,16 +239,20 @@ impl Stage for SmoothStage {
                         }
                     }
                 }
-                let sample = self.window.contents().next().expect("non-empty").clone();
+                let Some(sample) = self.window.contents().next().cloned() else {
+                    return Ok(Batch::new());
+                };
                 let schema = self.output_schema(&sample, &key_fields, "count", DataType::Int)?;
-                Ok(order
+                order
                     .into_iter()
                     .map(|k| {
-                        let (mut vals, n) = counts.remove(&k).expect("key present");
+                        let (mut vals, n) = counts.remove(&k).ok_or_else(|| {
+                            EspError::Stage("smooth: key missing from count map".into())
+                        })?;
                         vals.push(Value::Int(n));
-                        Tuple::new_unchecked(Arc::clone(&schema), epoch, vals)
+                        Ok(Tuple::new_unchecked(Arc::clone(&schema), epoch, vals))
                     })
-                    .collect())
+                    .collect()
             }
             SmoothMode::WindowedMean {
                 key_fields,
@@ -279,17 +283,24 @@ impl Stage for SmoothStage {
                 if order.is_empty() {
                     return Ok(Batch::new());
                 }
-                let sample = self.window.contents().next().expect("non-empty").clone();
+                let Some(sample) = self.window.contents().next().cloned() else {
+                    return Ok(Batch::new());
+                };
                 let schema =
                     self.output_schema(&sample, &key_fields, &value_field, DataType::Float)?;
-                Ok(order
+                order
                     .into_iter()
                     .map(|k| {
-                        let (mut vals, s) = stats.remove(&k).expect("key present");
-                        vals.push(Value::Float(s.mean().expect("pushed at least once")));
-                        Tuple::new_unchecked(Arc::clone(&schema), epoch, vals)
+                        let (mut vals, s) = stats.remove(&k).ok_or_else(|| {
+                            EspError::Stage("smooth: key missing from stats map".into())
+                        })?;
+                        let mean = s
+                            .mean()
+                            .ok_or_else(|| EspError::Stage("smooth: empty stats bucket".into()))?;
+                        vals.push(Value::Float(mean));
+                        Ok(Tuple::new_unchecked(Arc::clone(&schema), epoch, vals))
                     })
-                    .collect())
+                    .collect()
             }
             SmoothMode::EventPresence {
                 key_fields,
@@ -305,11 +316,10 @@ impl Stage for SmoothStage {
                 if matching.len() < *min_events {
                     return Ok(Batch::new());
                 }
-                let last = matching
-                    .last()
-                    .expect("min_events >= checked")
-                    .to_owned()
-                    .clone();
+                // `min_events` may be 0 with an empty window: no event.
+                let Some(last) = matching.last().map(|t| (*t).clone()) else {
+                    return Ok(Batch::new());
+                };
                 let (key_fields, value_field, on) =
                     (key_fields.clone(), value_field.clone(), on_value.clone());
                 let schema = self.output_schema(&last, &key_fields, &value_field, DataType::Any)?;

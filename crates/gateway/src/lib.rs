@@ -68,6 +68,7 @@
 
 mod client;
 pub mod convert;
+pub mod model;
 mod server;
 pub mod shard;
 pub mod stats;

@@ -484,7 +484,10 @@ impl Gateway {
                 .map_err(|_| EspError::Config("gateway reader thread panicked".into()))?;
         }
         // Every reading that will ever arrive is now in the shard queues;
-        // tell the coordinator to flush through the end of the data.
+        // tell the coordinator to flush through the end of the data. The
+        // Release store pairs with the coordinator's Acquire load: if it
+        // observes `drain`, the reader joins above (and every enqueue they
+        // performed) happen-before its final flush sweep.
         self.drain.store(true, Ordering::Release);
         self.coordinator
             .join()

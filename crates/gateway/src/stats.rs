@@ -4,6 +4,13 @@
 //!
 //! Shard-queue backpressure is tracked separately through the shared
 //! [`esp_stream::QueueStats`] the gateway reuses from the threaded runner.
+//!
+//! Ordering audit: every atomic here is `Relaxed`. All counters except
+//! `max_ts_ms` are monitoring-only — no control decision reads them, no
+//! data is published alongside an increment, so RMW atomicity is the only
+//! property needed. `max_ts_ms` *is* read for control (the coordinator's
+//! flush bound) — see [`GatewayStats::max_ts_ms`] for why `Relaxed` is
+//! still correct there.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +103,19 @@ impl GatewayStats {
     }
 
     /// Largest reading timestamp accepted so far (ms).
+    ///
+    /// The coordinator reads this as its flush bound: epoch `e` is only
+    /// flushed once some reading with `ts > e` exists, so an all-idle
+    /// gateway never fabricates empty epochs. `Relaxed` is sufficient for
+    /// that control use: `fetch_max` is an atomic RMW, so the value is
+    /// monotone regardless of ordering, and a stale (smaller) read can
+    /// only *defer* a flush to the next poll — never issue one early.
+    /// The safety property (a flush never overtakes the readings it
+    /// certifies) does not rest on this counter at all: it comes from
+    /// readings and flushes travelling the same FIFO shard channel,
+    /// whose send/recv pairs provide the happens-before edges (see
+    /// [`crate::watermark`] for the full ordering contract, and
+    /// [`crate::model`] for the checked protocol model).
     pub fn max_ts_ms(&self) -> u64 {
         self.inner.max_ts_ms.load(Ordering::Relaxed)
     }

@@ -27,16 +27,32 @@ pub struct ConnClock {
 
 impl ConnClock {
     /// Raise the watermark to `ms` (no-op if already past it).
+    ///
+    /// `Release`: the reader calls this *after* enqueuing the reading
+    /// that justifies it, so the coordinator's `Acquire` load in
+    /// [`current`](ConnClock::current) observing `ms` happens-after the
+    /// enqueue — the coordinator can never certify an epoch whose
+    /// readings are not already ahead of the flush in the FIFO queue.
+    /// `fetch_max` (not a store) keeps the clock monotone even when
+    /// in-contract out-of-order readings advance it with smaller values.
     pub fn advance(&self, ms: u64) {
         self.watermark_ms.fetch_max(ms, Ordering::Release);
     }
 
     /// Connection finished: no further readings will ever arrive.
+    ///
+    /// Same `Release` pairing as [`advance`](ConnClock::advance): called
+    /// only after the reader has enqueued its final reading, so the `∞`
+    /// promise is ordered after everything it promises about.
     pub fn close(&self) {
         self.watermark_ms.store(u64::MAX, Ordering::Release);
     }
 
     /// Current promise: every future reading has `ts >= current()`.
+    ///
+    /// `Acquire`, pairing with the reader's `Release` writes above: any
+    /// value observed here carries the guarantee that the readings
+    /// backing it are already in the shard queues.
     pub fn current(&self) -> u64 {
         self.watermark_ms.load(Ordering::Acquire)
     }

@@ -1,0 +1,279 @@
+//! Semantic (E06xx) checks over CQL: abstract interpretation of
+//! predicates and arithmetic under declared field ranges.
+//!
+//! Declared via `-- lint: range <stream>.<field> <lo>..<hi>` directives,
+//! field ranges let the linter *prove* dataflow facts the shape checks
+//! (E01xx/E02xx) cannot see:
+//!
+//! * `E0601` — a `WHERE`/`HAVING` predicate that can never hold: the
+//!   stage is dead and will emit nothing, ever.
+//! * `E0602` — a predicate that always holds: the filter is redundant
+//!   (or the declared ranges are wrong — either way worth a look).
+//! * `E0603` — a division (or modulo) whose divisor can be zero under
+//!   the declared ranges. The engine yields SQL `NULL` on a zero
+//!   divisor, which then silently fails every comparison it feeds.
+//!
+//! The abstract domain lives in [`esp_query::range`]; its soundness
+//! contract (concrete values never escape predicted intervals) is
+//! enforced by property tests in this crate's test suite. Everything
+//! undeclared stays [`Ranged::Unknown`], which decides nothing — the
+//! linter's zero-false-positive bar depends on that conservatism.
+
+use std::collections::HashMap;
+
+use esp_query::ast::{ArithOp, Expr};
+use esp_query::range::{range_of, AbstractBool, Interval, RangeEnv, Ranged};
+use esp_query::Catalog;
+use esp_types::{DataType, Diagnostic, Schema};
+
+use crate::cql::Binding;
+
+/// Declared ranges, keyed by `(stream, field)`.
+pub(crate) type RangeDecls = HashMap<(String, String), Interval>;
+
+/// Field-range environment for one query scope: resolves references the
+/// way the runtime does (qualifier first, then first schema in scope),
+/// then attaches the declared interval or a type-shaped default.
+pub(crate) struct ScopeEnv<'a> {
+    pub scope: &'a [Binding],
+    pub ranges: &'a RangeDecls,
+    pub catalog: &'a Catalog,
+    /// True when evaluating under a non-empty `GROUP BY`: every group
+    /// then holds at least one row, so `min`/`max`/`avg` cannot be NULL
+    /// and `count(*)` is at least 1.
+    pub grouped: bool,
+}
+
+impl ScopeEnv<'_> {
+    fn binding_range(&self, b: &Binding, field: &str) -> Ranged {
+        let Some(schema) = &b.schema else {
+            return Ranged::Unknown;
+        };
+        let Some(f) = schema.field(field) else {
+            return Ranged::Unknown;
+        };
+        if let Some(stream) = &b.stream {
+            if let Some(iv) = self.ranges.get(&(stream.clone(), field.to_string())) {
+                return Ranged::Num(*iv);
+            }
+        }
+        type_default(f.data_type)
+    }
+}
+
+/// When no range is declared, the schema's type still bounds the shape.
+fn type_default(dt: DataType) -> Ranged {
+    match dt {
+        DataType::Int | DataType::Float | DataType::Ts => Ranged::Num(Interval::TOP),
+        DataType::Str => Ranged::Str,
+        DataType::Bool => Ranged::Bool(AbstractBool::Maybe),
+        DataType::Any => Ranged::Unknown,
+    }
+}
+
+impl RangeEnv for ScopeEnv<'_> {
+    fn field_range(&self, qualifier: Option<&str>, name: &str) -> Ranged {
+        match qualifier {
+            Some(q) => match self.scope.iter().find(|b| b.name.as_deref() == Some(q)) {
+                Some(b) => self.binding_range(b, name),
+                None => Ranged::Unknown,
+            },
+            None => {
+                // First schema that carries the field wins (mirrors the
+                // resolution in `check_field` / the runtime); any binding
+                // with an unknown schema could supply it, so give up.
+                for b in self.scope {
+                    match &b.schema {
+                        None => return Ranged::Unknown,
+                        Some(s) => {
+                            if s.field(name).is_some() {
+                                return self.binding_range(b, name);
+                            }
+                        }
+                    }
+                }
+                Ranged::Unknown
+            }
+        }
+    }
+
+    fn call_range(&self, name: &str, args: &[Ranged], star: bool) -> Ranged {
+        if !self.catalog.is_aggregate(name) {
+            return Ranged::Unknown;
+        }
+        match name {
+            // count(*) over a non-empty group is at least 1; count(expr)
+            // counts non-NULL values, so 0 stays possible.
+            "count" => {
+                let lo = if star && self.grouped { 1.0 } else { 0.0 };
+                match Interval::new(lo, f64::INFINITY) {
+                    Some(iv) => Ranged::Num(iv),
+                    None => Ranged::Unknown,
+                }
+            }
+            // Selection aggregates stay inside their argument's range —
+            // but only a non-empty group guarantees a non-NULL result,
+            // and only a grouped query guarantees non-empty groups.
+            "min" | "max" | "avg" if self.grouped => match args.first() {
+                Some(Ranged::Num(iv)) => Ranged::Num(*iv),
+                _ => Ranged::Unknown,
+            },
+            _ => Ranged::Unknown,
+        }
+    }
+}
+
+/// Check one predicate clause (`WHERE` or `HAVING`) for dead/redundant
+/// truth under the environment.
+pub(crate) fn check_predicate(
+    expr: &Expr,
+    env: &ScopeEnv<'_>,
+    clause: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match range_of(expr, env).truth() {
+        AbstractBool::False => {
+            diags.push(
+                Diagnostic::error(
+                    "E0601",
+                    format!("{clause} predicate is always false under the declared field ranges"),
+                )
+                .with_span(expr.span())
+                .with_note(
+                    "no tuple can ever satisfy it — this stage is dead and will emit nothing",
+                ),
+            );
+        }
+        AbstractBool::True => {
+            diags.push(
+                Diagnostic::warning(
+                    "E0602",
+                    format!("{clause} predicate is always true under the declared field ranges"),
+                )
+                .with_span(expr.span())
+                .with_note(
+                    "every tuple satisfies it — drop the redundant filter or tighten the \
+                     declared ranges",
+                ),
+            );
+        }
+        AbstractBool::Maybe => {}
+    }
+}
+
+/// Walk an expression tree flagging divisions whose divisor can be zero
+/// under the declared ranges. Subqueries are *not* entered — they are
+/// checked in their own scope by `check_select`.
+pub(crate) fn check_div_hazards(expr: &Expr, env: &ScopeEnv<'_>, diags: &mut Vec<Diagnostic>) {
+    match expr {
+        Expr::Arith { lhs, op, rhs } => {
+            check_div_hazards(lhs, env, diags);
+            check_div_hazards(rhs, env, diags);
+            if !matches!(op, ArithOp::Div | ArithOp::Mod) {
+                return;
+            }
+            let Some(iv) = range_of(rhs, env).as_interval() else {
+                return;
+            };
+            let verb = match op {
+                ArithOp::Div => "division",
+                _ => "modulo",
+            };
+            if iv.is_point() && iv.contains(0.0) {
+                diags.push(
+                    Diagnostic::error("E0603", format!("{verb} by a divisor that is always zero"))
+                        .with_span(expr.span())
+                        .with_note(
+                            "the engine yields NULL on a zero divisor, so this expression \
+                             is always NULL",
+                        ),
+                );
+            } else if iv.contains(0.0) && !iv.is_top() {
+                diags.push(
+                    Diagnostic::warning(
+                        "E0603",
+                        format!("{verb} by a divisor whose declared range includes zero"),
+                    )
+                    .with_span(expr.span())
+                    .with_note(
+                        "a zero divisor yields NULL, which then fails every comparison \
+                         it feeds; exclude zero from the range or guard the division",
+                    ),
+                );
+            }
+        }
+        Expr::Cmp { lhs, rhs, .. } => {
+            check_div_hazards(lhs, env, diags);
+            check_div_hazards(rhs, env, diags);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            check_div_hazards(a, env, diags);
+            check_div_hazards(b, env, diags);
+        }
+        Expr::Not(e) | Expr::Neg(e) => check_div_hazards(e, env, diags),
+        Expr::Call { args, .. } => {
+            for a in args {
+                check_div_hazards(a, env, diags);
+            }
+        }
+        Expr::QuantifiedCmp { lhs, .. } => check_div_hazards(lhs, env, diags),
+        Expr::Literal(_) | Expr::Field { .. } => {}
+    }
+}
+
+/// Parse the payload of a `range` directive:
+/// `<stream>.<field> <lo>..<hi>` → `((stream, field), interval)`.
+pub(crate) fn parse_range_directive(spec: &str) -> Result<((String, String), Interval), String> {
+    let (target, bounds) = spec
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or("expected 'range <stream>.<field> <lo>..<hi>'")?;
+    let (stream, field) = target
+        .split_once('.')
+        .ok_or_else(|| format!("range target '{target}' must be <stream>.<field>"))?;
+    if stream.is_empty() || field.is_empty() {
+        return Err(format!("range target '{target}' must be <stream>.<field>"));
+    }
+    let (lo, hi) = bounds
+        .trim()
+        .split_once("..")
+        .ok_or_else(|| format!("range bounds '{}' must be <lo>..<hi>", bounds.trim()))?;
+    let parse = |s: &str| -> Result<f64, String> {
+        let v: f64 = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("'{}' is not a number", s.trim()))?;
+        if v.is_nan() {
+            return Err("range bound is NaN".into());
+        }
+        Ok(v)
+    };
+    let (lo, hi) = (parse(lo)?, parse(hi)?);
+    let iv = Interval::new(lo, hi).ok_or(format!("empty range: {lo} > {hi}"))?;
+    Ok(((stream.to_string(), field.to_string()), iv))
+}
+
+/// Validate one parsed range declaration against the declared streams;
+/// an error message when it names something that does not exist or is
+/// not numeric.
+pub(crate) fn validate_range_decl(
+    stream: &str,
+    field: &str,
+    streams: &HashMap<String, std::sync::Arc<Schema>>,
+) -> Result<(), String> {
+    let Some(schema) = streams.get(stream) else {
+        return Err(format!(
+            "range directive names undeclared stream '{stream}' \
+             (declare it with a 'stream' directive first)"
+        ));
+    };
+    let Some(f) = schema.field(field) else {
+        return Err(format!("stream '{stream}' has no field '{field}'"));
+    };
+    match f.data_type {
+        DataType::Int | DataType::Float | DataType::Ts => Ok(()),
+        other => Err(format!(
+            "range declared for non-numeric field '{stream}.{field}' ({other:?})"
+        )),
+    }
+}

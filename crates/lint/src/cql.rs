@@ -17,10 +17,13 @@
 //! `stream <name> <schema>` binds a stream name to either a well-known
 //! schema (`rfid`, `temp`, `temp_voltage`, `sound`, `motion`) or an inline
 //! field list. `epoch <span>` declares the scheduler epoch the window
-//! clauses are checked against. Without directives the linter still checks
-//! everything that needs no declaration (syntax, qualifier resolution,
-//! literal-only type errors); it never guesses a schema, so an undeclared
-//! stream silences the checks that would need one.
+//! clauses are checked against. `range <stream>.<field> <lo>..<hi>`
+//! declares the physical range of a numeric field, enabling the semantic
+//! E06xx checks (dead predicates, redundant filters, reachable division
+//! by zero — see [`crate::absint`]). Without directives the linter still
+//! checks everything that needs no declaration (syntax, qualifier
+//! resolution, literal-only type errors); it never guesses a schema, so
+//! an undeclared stream silences the checks that would need one.
 //!
 //! [`ContinuousQuery`]: esp_query::ContinuousQuery
 
@@ -30,6 +33,11 @@ use std::sync::Arc;
 use esp_query::ast::{ArithOp, Expr, FromItem, FromSource, SelectItem, SelectStmt};
 use esp_query::Catalog;
 use esp_types::{DataType, Diagnostic, EspError, Schema, Span, TimeDelta, Value};
+
+use crate::absint::{
+    check_div_hazards, check_predicate, parse_range_directive, validate_range_decl, RangeDecls,
+    ScopeEnv,
+};
 
 /// Lint one CQL source text (with optional `-- lint:` directives) and
 /// return every finding, sorted for presentation.
@@ -42,6 +50,7 @@ pub fn lint_cql(source: &str) -> Vec<Diagnostic> {
             let mut ctx = LintCtx {
                 catalog: &catalog,
                 streams: &directives.streams,
+                ranges: &directives.ranges,
                 epoch: directives.epoch,
                 diags: &mut diags,
             };
@@ -68,11 +77,16 @@ pub fn lint_cql(source: &str) -> Vec<Diagnostic> {
 /// Declarations recovered from `-- lint:` directive comments.
 struct Directives {
     streams: HashMap<String, Arc<Schema>>,
+    ranges: RangeDecls,
     epoch: Option<TimeDelta>,
 }
 
 fn parse_directives(source: &str, diags: &mut Vec<Diagnostic>) -> Directives {
     let mut streams = HashMap::new();
+    let mut ranges = RangeDecls::new();
+    // Range directives may precede the stream they constrain; validate
+    // them against the schemas once every directive has been read.
+    let mut pending_ranges: Vec<((String, String), Span)> = Vec::new();
     let mut epoch = None;
     let mut offset = 0;
     for line in source.split_inclusive('\n') {
@@ -92,6 +106,17 @@ fn parse_directives(source: &str, diags: &mut Vec<Diagnostic>) -> Directives {
             match parse_stream_directive(spec.trim()) {
                 Ok((name, schema)) => {
                     streams.insert(name, schema);
+                }
+                Err(msg) => diags.push(
+                    Diagnostic::error("E0002", format!("bad lint directive: {msg}"))
+                        .with_span(span),
+                ),
+            }
+        } else if let Some(spec) = rest.strip_prefix("range ") {
+            match parse_range_directive(spec) {
+                Ok((key, iv)) => {
+                    pending_ranges.push((key.clone(), span));
+                    ranges.insert(key, iv);
                 }
                 Err(msg) => diags.push(
                     Diagnostic::error("E0002", format!("bad lint directive: {msg}"))
@@ -119,7 +144,19 @@ fn parse_directives(source: &str, diags: &mut Vec<Diagnostic>) -> Directives {
             );
         }
     }
-    Directives { streams, epoch }
+    for ((stream, field), span) in pending_ranges {
+        if let Err(msg) = validate_range_decl(&stream, &field, &streams) {
+            diags.push(
+                Diagnostic::error("E0002", format!("bad lint directive: {msg}")).with_span(span),
+            );
+            ranges.remove(&(stream, field));
+        }
+    }
+    Directives {
+        streams,
+        ranges,
+        epoch,
+    }
 }
 
 fn parse_stream_directive(spec: &str) -> Result<(String, Arc<Schema>), String> {
@@ -174,14 +211,20 @@ fn well_known_schema(name: &str) -> Option<Arc<Schema>> {
 /// One name visible in a query scope: a `FROM` binding and (when the
 /// linter could determine it) its schema.
 #[derive(Clone)]
-struct Binding {
-    name: Option<String>,
-    schema: Option<Arc<Schema>>,
+pub(crate) struct Binding {
+    /// The name this item binds (alias or bare stream name).
+    pub(crate) name: Option<String>,
+    /// The schema, when determinable.
+    pub(crate) schema: Option<Arc<Schema>>,
+    /// The underlying declared stream (`None` for derived tables) —
+    /// the key under which `range` directives attach.
+    pub(crate) stream: Option<String>,
 }
 
 struct LintCtx<'a> {
     catalog: &'a Catalog,
     streams: &'a HashMap<String, Arc<Schema>>,
+    ranges: &'a RangeDecls,
     epoch: Option<TimeDelta>,
     diags: &'a mut Vec<Diagnostic>,
 }
@@ -208,7 +251,39 @@ impl LintCtx<'_> {
         {
             self.check_expr(e, &scope);
         }
+        self.check_semantics(stmt, &scope);
         self.output_schema(stmt, &scope)
+    }
+
+    /// The E06xx abstract-interpretation pass over one (sub)query's
+    /// clauses: dead/redundant predicates and reachable zero divisors.
+    fn check_semantics(&mut self, stmt: &SelectStmt, scope: &[Binding]) {
+        let env = ScopeEnv {
+            scope,
+            ranges: self.ranges,
+            catalog: self.catalog,
+            grouped: false,
+        };
+        for item in &stmt.select {
+            check_div_hazards(&item.expr, &env, self.diags);
+        }
+        for g in &stmt.group_by {
+            check_div_hazards(g, &env, self.diags);
+        }
+        if let Some(w) = &stmt.where_clause {
+            check_predicate(w, &env, "WHERE", self.diags);
+            check_div_hazards(w, &env, self.diags);
+        }
+        if let Some(h) = &stmt.having {
+            // HAVING sees per-group aggregates; a non-empty GROUP BY
+            // guarantees non-empty groups, which sharpens them.
+            let env = ScopeEnv {
+                grouped: !stmt.group_by.is_empty(),
+                ..env
+            };
+            check_predicate(h, &env, "HAVING", self.diags);
+            check_div_hazards(h, &env, self.diags);
+        }
     }
 
     fn check_from_item(&mut self, item: &FromItem, outer: &[Binding]) -> Binding {
@@ -266,6 +341,7 @@ impl LintCtx<'_> {
                 Binding {
                     name: item.binding().map(str::to_string),
                     schema,
+                    stream: Some(name.clone()),
                 }
             }
             FromSource::Derived(sub) => {
@@ -273,6 +349,7 @@ impl LintCtx<'_> {
                 Binding {
                     name: item.alias.clone(),
                     schema,
+                    stream: None,
                 }
             }
         }
@@ -738,5 +815,136 @@ mod tests {
                    SELECT spatial_granule, count(distinct tag_id) FROM s \
                    [Range By '5 sec'] GROUP BY spatial_granule";
         assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn dead_predicate_under_disjoint_ranges() {
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.temp 0..10\n\
+                   -- lint: range s.voltage 20..30\n\
+                   SELECT * FROM s WHERE temp > voltage";
+        assert_eq!(codes(src), vec!["E0601"], "{:?}", lint_cql(src));
+        // The span covers exactly the unsatisfiable predicate.
+        let src_str = src;
+        let d = lint_cql(src_str).remove(0);
+        let span = d.span.expect("E0601 carries a span");
+        assert_eq!(&src_str[span.start..span.end], "temp > voltage");
+    }
+
+    #[test]
+    fn redundant_predicate_under_ordered_ranges() {
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.temp 0..10\n\
+                   -- lint: range s.voltage 20..30\n\
+                   SELECT * FROM s WHERE temp < voltage";
+        assert_eq!(codes(src), vec!["E0602"], "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn overlapping_ranges_decide_nothing() {
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.temp 0..25\n\
+                   -- lint: range s.voltage 20..30\n\
+                   SELECT * FROM s WHERE temp > voltage";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn undeclared_fields_stay_undecided() {
+        // Without a range directive a Float field spans all of f64, so
+        // any literal comparison remains satisfiable both ways.
+        let src = "-- lint: stream s temp\n\
+                   SELECT * FROM s WHERE temp < 50";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn grouped_having_sharpens_aggregates() {
+        // Non-empty groups make count(*) >= 1 provable...
+        let src = "-- lint: stream s rfid\n\
+                   SELECT tag_id, count(*) FROM s [Range By '5 sec'] \
+                   GROUP BY tag_id HAVING count(*) >= 1";
+        assert_eq!(codes(src), vec!["E0602"], "{:?}", lint_cql(src));
+        // ...but an ungrouped aggregate may see an empty input.
+        let src = "-- lint: stream s rfid\n\
+                   SELECT count(*) FROM s [Range By '5 sec'] \
+                   HAVING count(*) >= 1";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+        // Grouped min() stays inside the declared argument range.
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.temp 0..10\n\
+                   SELECT receptor_id, min(temp) FROM s [Range By '5 sec'] \
+                   GROUP BY receptor_id HAVING min(temp) > 50";
+        assert_eq!(codes(src), vec!["E0601"], "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn division_hazards() {
+        // A divisor range straddling zero warns.
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.voltage -1..1\n\
+                   SELECT temp / voltage AS ratio FROM s";
+        assert_eq!(codes(src), vec!["E0603"], "{:?}", lint_cql(src));
+        // A divisor that is identically zero errors.
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.voltage 0..0\n\
+                   SELECT temp % voltage AS r FROM s";
+        let diags = lint_cql(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "E0603");
+        assert!(diags[0].message.contains("always zero"), "{diags:?}");
+        // A range excluding zero is quiet, as is no range at all.
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.voltage 3..5\n\
+                   SELECT temp / voltage AS ratio FROM s";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+        let src = "-- lint: stream s temp_voltage\n\
+                   SELECT temp / voltage AS ratio FROM s";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn ranges_do_not_flow_through_derived_tables() {
+        // The inner query exports `t` from a derived table; the declared
+        // range on s.temp must not follow it out (aliases/expressions can
+        // reshape values arbitrarily), so the outer filter stays Maybe.
+        let src = "-- lint: stream s temp_voltage\n\
+                   -- lint: range s.temp 0..10\n\
+                   SELECT t FROM (SELECT temp AS t FROM s) d WHERE t > 100";
+        assert!(codes(src).is_empty(), "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn bad_range_directives_are_reported() {
+        // Malformed payloads.
+        for bad in [
+            "-- lint: range nonsense\nSELECT 1 FROM s",
+            "-- lint: range s.temp 5..\nSELECT 1 FROM s",
+            "-- lint: range s.temp 9..1\nSELECT 1 FROM s",
+            "-- lint: range temp 0..1\nSELECT 1 FROM s",
+        ] {
+            assert_eq!(codes(bad), vec!["E0002"], "{bad}: {:?}", lint_cql(bad));
+        }
+        // Undeclared stream, unknown field, non-numeric field.
+        let src = "-- lint: range ghost.temp 0..1\nSELECT 1 FROM s";
+        assert_eq!(codes(src), vec!["E0002"], "{:?}", lint_cql(src));
+        let src = "-- lint: stream s temp\n\
+                   -- lint: range s.humidity 0..1\n\
+                   SELECT temp FROM s";
+        assert_eq!(codes(src), vec!["E0002"], "{:?}", lint_cql(src));
+        let src = "-- lint: stream s rfid\n\
+                   -- lint: range s.tag_id 0..1\n\
+                   SELECT tag_id FROM s";
+        assert_eq!(codes(src), vec!["E0002"], "{:?}", lint_cql(src));
+    }
+
+    #[test]
+    fn range_directive_order_is_irrelevant() {
+        // `range` before the `stream` it refines still validates.
+        let src = "-- lint: range s.temp 0..10\n\
+                   -- lint: stream s temp_voltage\n\
+                   -- lint: range s.voltage 20..30\n\
+                   SELECT * FROM s WHERE temp > voltage";
+        assert_eq!(codes(src), vec!["E0601"], "{:?}", lint_cql(src));
     }
 }

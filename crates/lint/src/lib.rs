@@ -20,6 +20,15 @@
 //! | E03xx | spatial granules | `E0301` ungrouped receptor, `E0303` duplicate granule |
 //! | E04xx | graph structure | `E0401` cycle, `E0405` fan-in mismatch |
 //! | E05xx | gateway | `E0501` lateness ≥ window, `E0502` global stage sharded |
+//! | E06xx | semantics (abstract interpretation) | `E0601` dead stage, `E0603` reachable zero divisor, `E0604` schema drift |
+//! | E07xx | concurrency (model checker) | `E0701` deadlock, `E0702` lost shutdown wakeup, `E0703` watermark regression |
+//!
+//! The `E06xx` pass interprets predicates and arithmetic over declared
+//! field ranges (`-- lint: range <stream>.<field> <lo>..<hi>`) and
+//! deployment documents; the `E07xx` codes are emitted by the
+//! deterministic schedule explorers in `esp-stream::model` and
+//! `esp-gateway::model`, which exhaust every interleaving of small
+//! runner/gateway configurations.
 //!
 //! Three surfaces expose the checks:
 //!
@@ -38,6 +47,7 @@
 // The linter must never panic on the inputs it exists to criticize.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod absint;
 pub mod cql;
 pub mod graphspec;
 
@@ -52,10 +62,17 @@ use esp_types::{Diagnostic, TimeDelta};
 ///
 /// A document that does not deserialize yields a single `E0001`; one
 /// that does is checked for temporal-granule consistency (E0201/E0203/
-/// E0204) and spatial-group defects (E0302/E0303/E0304).
+/// E0204), spatial-group defects (E0302/E0303/E0304), and the semantic
+/// `E06xx` pass ([`DeploymentSpec::analyze`] — dead Point filters,
+/// receptor schema drift, granule-unit mismatches).
 pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
     match DeploymentSpec::from_json(json) {
-        Ok(spec) => spec.validate(),
+        Ok(spec) => {
+            let mut diags = spec.validate();
+            diags.extend(spec.analyze());
+            esp_types::diag::sort_diagnostics(&mut diags);
+            diags
+        }
         Err(e) => vec![Diagnostic::error(
             "E0001",
             format!("deployment document does not parse: {e}"),

@@ -6,12 +6,19 @@
 //! esp-lint --example <name>          lint one embedded example pipeline
 //! esp-lint --all-examples            lint every embedded example
 //! esp-lint --list-examples           print the embedded example names
+//! esp-lint --format json ...         machine-readable findings on stdout
 //! ```
 //!
 //! Exit status is 0 when every input linted clean, 1 when any diagnostic
 //! (error *or* warning) was produced, 2 on usage or I/O errors — so CI
 //! can gate on "no findings at all" while scripts can still distinguish
 //! "dirty pipeline" from "couldn't read the file".
+//!
+//! With `--format json`, stdout carries a single JSON document
+//! (`{"inputs": N, "findings": [...]}`, one object per finding with
+//! `origin`/`code`/`severity`/`message`/`span`/`notes`) and the rendered
+//! human diagnostics are suppressed; exit codes are unchanged, so CI can
+//! both gate on the status and archive the document as an artifact.
 
 use std::process::ExitCode;
 
@@ -19,13 +26,27 @@ use esp_lint::{lint_cql, lint_deployment, ExampleKind, EXAMPLES};
 use esp_types::Diagnostic;
 
 const USAGE: &str = "\
-usage: esp-lint <file.cql|file.json>...
-       esp-lint --example <name>
-       esp-lint --all-examples
+usage: esp-lint [--format text|json] <file.cql|file.json>...
+       esp-lint [--format text|json] --example <name>
+       esp-lint [--format text|json] --all-examples
        esp-lint --list-examples
 
 Lints CQL query text (.cql) and JSON deployment documents (.json)
-statically. Exit 0: clean; 1: findings; 2: usage/I-O error.";
+statically. Exit 0: clean; 1: findings; 2: usage/I-O error.
+--format json prints one machine-readable document on stdout.";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Findings for one linted input, with the source kept for rendering.
+struct InputReport {
+    origin: String,
+    source: String,
+    diags: Vec<Diagnostic>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,14 +55,28 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut findings = 0usize;
-    let mut inputs = 0usize;
+    let mut format = Format::Text;
+    let mut reports: Vec<InputReport> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            "--format" => {
+                match iter.next().map(String::as_str) {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    Some(other) => {
+                        eprintln!("error: unknown format '{other}' (expected text or json)");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("error: --format needs a value (text or json)");
+                        return ExitCode::from(2);
+                    }
+                };
             }
             "--list-examples" => {
                 for ex in EXAMPLES {
@@ -50,8 +85,11 @@ fn main() -> ExitCode {
             }
             "--all-examples" => {
                 for ex in EXAMPLES {
-                    inputs += 1;
-                    findings += report(&lint_embedded(ex), &format!("example:{}", ex.name), ex);
+                    reports.push(InputReport {
+                        origin: format!("example:{}", ex.name),
+                        source: ex.source.to_string(),
+                        diags: lint_embedded(ex),
+                    });
                 }
             }
             "--example" => {
@@ -63,8 +101,11 @@ fn main() -> ExitCode {
                     eprintln!("error: unknown example '{name}' (try --list-examples)");
                     return ExitCode::from(2);
                 };
-                inputs += 1;
-                findings += report(&lint_embedded(ex), &format!("example:{}", ex.name), ex);
+                reports.push(InputReport {
+                    origin: format!("example:{}", ex.name),
+                    source: ex.source.to_string(),
+                    diags: lint_embedded(ex),
+                });
             }
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown flag '{flag}'\n{USAGE}");
@@ -86,20 +127,35 @@ fn main() -> ExitCode {
                     eprintln!("error: {path}: expected a .cql or .json file");
                     return ExitCode::from(2);
                 };
-                inputs += 1;
-                for d in &diags {
-                    eprintln!("{}", d.render(path, Some(&source)));
-                }
-                findings += diags.len();
+                reports.push(InputReport {
+                    origin: path.to_string(),
+                    source,
+                    diags,
+                });
             }
         }
     }
 
+    let inputs = reports.len();
+    let findings: usize = reports.iter().map(|r| r.diags.len()).sum();
+    match format {
+        Format::Text => {
+            for r in &reports {
+                for d in &r.diags {
+                    eprintln!("{}", d.render(&r.origin, Some(&r.source)));
+                }
+            }
+            if findings == 0 {
+                println!("esp-lint: {inputs} input(s), no findings");
+            } else {
+                eprintln!("esp-lint: {findings} finding(s) across {inputs} input(s)");
+            }
+        }
+        Format::Json => println!("{}", render_json(&reports)),
+    }
     if findings == 0 {
-        println!("esp-lint: {inputs} input(s), no findings");
         ExitCode::SUCCESS
     } else {
-        eprintln!("esp-lint: {findings} finding(s) across {inputs} input(s)");
         ExitCode::FAILURE
     }
 }
@@ -111,9 +167,62 @@ fn lint_embedded(ex: &esp_lint::Example) -> Vec<Diagnostic> {
     }
 }
 
-fn report(diags: &[Diagnostic], origin: &str, ex: &esp_lint::Example) -> usize {
-    for d in diags {
-        eprintln!("{}", d.render(origin, Some(ex.source)));
+/// Render every finding as one JSON document. Built by hand — the
+/// structure is flat and fixed, so a serializer dependency buys nothing.
+fn render_json(reports: &[InputReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"inputs\": {},\n", reports.len()));
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diags {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {");
+            out.push_str(&format!("\"origin\": \"{}\", ", json_escape(&r.origin)));
+            out.push_str(&format!("\"code\": \"{}\", ", json_escape(d.code)));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
+            out.push_str(&format!("\"message\": \"{}\", ", json_escape(&d.message)));
+            match d.span {
+                Some(s) => out.push_str(&format!(
+                    "\"span\": {{\"start\": {}, \"end\": {}}}, ",
+                    s.start, s.end
+                )),
+                None => out.push_str("\"span\": null, "),
+            }
+            out.push_str("\"notes\": [");
+            for (i, n) in d.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(n)));
+            }
+            out.push_str("]}");
+        }
     }
-    diags.len()
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal (RFC 8259:
+/// quote, backslash, and control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -1,0 +1,320 @@
+//! Soundness of the E06xx abstract interpretation, checked against the
+//! real query engine.
+//!
+//! The linter's semantic checks only hold weight if the abstract domain
+//! in `esp_query::range` is *sound*: whatever interval or truth value it
+//! predicts for an expression must cover every value the engine can
+//! actually produce for inputs inside the declared field ranges. These
+//! properties execute randomly generated predicates and arithmetic over
+//! randomly generated in-range tuples and assert exactly that:
+//!
+//! * a predicate the analysis calls **always false** filters out every
+//!   row (a dead stage really emits nothing);
+//! * a predicate the analysis calls **always true** keeps every row;
+//! * a projected expression's concrete value always falls inside the
+//!   predicted interval (and a predicted `NULL` really is `NULL`).
+//!
+//! A final set of tests pins the linter's zero-false-positive bar: no
+//! clean fixture and no embedded example may produce an E06xx/E07xx
+//! finding.
+
+use esp_lint::{lint_cql, lint_deployment, ExampleKind, EXAMPLES};
+use esp_query::range::Interval;
+use esp_query::range::{range_of, AbstractBool, Ranged};
+use esp_query::{parse, Engine};
+use esp_types::{well_known, Ts, TupleBuilder, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Randomly generated arithmetic over the two ranged fields.
+#[derive(Debug, Clone)]
+enum GenArith {
+    Temp,
+    Voltage,
+    Lit(i64),
+    Bin(&'static str, Box<GenArith>, Box<GenArith>),
+    Neg(Box<GenArith>),
+}
+
+impl GenArith {
+    fn sql(&self) -> String {
+        match self {
+            GenArith::Temp => "temp".into(),
+            GenArith::Voltage => "voltage".into(),
+            // Parenthesized so a negative literal after `-` or unary
+            // minus never lexes as a `--` comment.
+            GenArith::Lit(n) if *n < 0 => format!("({n})"),
+            GenArith::Lit(n) => format!("{n}"),
+            GenArith::Bin(op, a, b) => format!("({} {} {})", a.sql(), op, b.sql()),
+            GenArith::Neg(a) => format!("(- {})", a.sql()),
+        }
+    }
+}
+
+/// Randomly generated predicate over arithmetic comparisons.
+#[derive(Debug, Clone)]
+enum GenPred {
+    Cmp(&'static str, GenArith, GenArith),
+    And(Box<GenPred>, Box<GenPred>),
+    Or(Box<GenPred>, Box<GenPred>),
+    Not(Box<GenPred>),
+}
+
+impl GenPred {
+    fn sql(&self) -> String {
+        match self {
+            GenPred::Cmp(op, a, b) => format!("({} {} {})", a.sql(), op, b.sql()),
+            GenPred::And(a, b) => format!("({} AND {})", a.sql(), b.sql()),
+            GenPred::Or(a, b) => format!("({} OR {})", a.sql(), b.sql()),
+            GenPred::Not(a) => format!("(NOT {})", a.sql()),
+        }
+    }
+}
+
+fn arith_strategy() -> BoxedStrategy<GenArith> {
+    let leaf = prop_oneof![
+        Just(GenArith::Temp),
+        Just(GenArith::Voltage),
+        (-9i64..10).prop_map(GenArith::Lit),
+    ]
+    .boxed();
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone(),
+            (
+                prop_oneof![Just("+"), Just("-"), Just("*"), Just("/"), Just("%")],
+                inner.clone(),
+                inner.clone(),
+            )
+                .prop_map(|(op, a, b)| GenArith::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| GenArith::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn pred_strategy() -> BoxedStrategy<GenPred> {
+    let arith = arith_strategy();
+    let leaf = (
+        prop_oneof![
+            Just("<"),
+            Just("<="),
+            Just("="),
+            Just("<>"),
+            Just(">="),
+            Just(">")
+        ],
+        arith.clone(),
+        arith,
+    )
+        .prop_map(|(op, a, b)| GenPred::Cmp(op, a, b))
+        .boxed();
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone(),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenPred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenPred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| GenPred::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// An interval plus concrete in-range samples: `(lo, width, fractions)`.
+fn ranged_field() -> impl Strategy<Value = (Interval, Vec<f64>)> {
+    (-40.0f64..40.0, 0.0f64..25.0, vec(0.0f64..1.0, 6)).prop_map(|(lo, width, fracs)| {
+        let hi = lo + width;
+        let iv = Interval::new(lo, hi).unwrap_or_else(|| Interval::point(lo));
+        let samples = fracs
+            .into_iter()
+            .map(|f| (lo + f * (hi - lo)).clamp(lo, hi))
+            .collect();
+        (iv, samples)
+    })
+}
+
+/// Run `sql` over `rows` of in-range `(temp, voltage)` pairs.
+fn run_query(sql: &str, rows: &[(f64, f64)]) -> Vec<esp_types::Tuple> {
+    let engine = Engine::new();
+    let mut q = engine.compile(sql).expect("generated query must compile");
+    let schema = well_known::temp_voltage_schema();
+    let batch: Vec<_> = rows
+        .iter()
+        .map(|(t, v)| {
+            TupleBuilder::new(&schema, Ts::ZERO)
+                .set("receptor_id", 0i64)
+                .unwrap()
+                .set("temp", *t)
+                .unwrap()
+                .set("voltage", *v)
+                .unwrap()
+                .build()
+                .unwrap()
+        })
+        .collect();
+    q.push("readings", &batch).expect("push");
+    q.tick(Ts::ZERO).expect("generated query must execute")
+}
+
+/// The abstract environment declaring the two field ranges.
+fn env_for(temp: Interval, voltage: Interval) -> impl Fn(Option<&str>, &str) -> Ranged {
+    move |_qual, name| match name {
+        "temp" => Ranged::Num(temp),
+        "voltage" => Ranged::Num(voltage),
+        _ => Ranged::Unknown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The three-valued verdict on a predicate is sound: `False` means
+    /// the WHERE keeps nothing, `True` means it keeps everything.
+    #[test]
+    fn predicate_verdicts_match_concrete_filtering(
+        pred in pred_strategy(),
+        temp in ranged_field(),
+        voltage in ranged_field(),
+    ) {
+        let (t_iv, t_samples) = temp;
+        let (v_iv, v_samples) = voltage;
+        let rows: Vec<(f64, f64)> =
+            t_samples.into_iter().zip(v_samples).collect();
+
+        let sql = format!("SELECT temp AS x FROM readings WHERE {}", pred.sql());
+        let out = run_query(&sql, &rows);
+
+        let stmt = parse(&sql).expect("generated query must parse");
+        let where_expr = stmt.where_clause.expect("query has a WHERE");
+        let env = env_for(t_iv, v_iv);
+        match range_of(&where_expr, &env).truth() {
+            AbstractBool::False => prop_assert_eq!(
+                out.len(), 0,
+                "predicate judged always-false kept rows: {}", sql
+            ),
+            AbstractBool::True => prop_assert_eq!(
+                out.len(), rows.len(),
+                "predicate judged always-true dropped rows: {}", sql
+            ),
+            AbstractBool::Maybe => {}
+        }
+    }
+
+    /// Concrete values of projected expressions never escape the
+    /// predicted interval; a predicted `NULL` is concretely `NULL`.
+    #[test]
+    fn projected_values_stay_inside_predicted_intervals(
+        arith in arith_strategy(),
+        temp in ranged_field(),
+        voltage in ranged_field(),
+    ) {
+        let (t_iv, t_samples) = temp;
+        let (v_iv, v_samples) = voltage;
+        let rows: Vec<(f64, f64)> =
+            t_samples.into_iter().zip(v_samples).collect();
+
+        let sql = format!("SELECT {} AS x FROM readings", arith.sql());
+        let out = run_query(&sql, &rows);
+        prop_assert_eq!(out.len(), rows.len());
+
+        let stmt = parse(&sql).expect("generated query must parse");
+        let sel_expr = &stmt.select[0].expr;
+        let env = env_for(t_iv, v_iv);
+        let predicted = range_of(sel_expr, &env);
+        for row in &out {
+            let value = row.get("x").expect("projected column");
+            match predicted {
+                Ranged::Num(iv) => {
+                    let x = value.as_f64().unwrap_or_else(|| {
+                        panic!("predicted numeric, got {value:?} from {sql}")
+                    });
+                    prop_assert!(
+                        iv.contains(x),
+                        "{sql}: concrete {x} escapes predicted [{}, {}]",
+                        iv.lo(), iv.hi()
+                    );
+                }
+                Ranged::Null => prop_assert_eq!(
+                    value, &Value::Null,
+                    "predicted NULL, engine produced {:?} from {}", value, sql
+                ),
+                // Bool/Str impossible for arithmetic; Unknown decides
+                // nothing, which is its job.
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The shipped E0601 fixture is not just syntactically dead: executing
+/// its predicate over in-range data concretely emits zero tuples.
+#[test]
+fn dead_stage_fixture_emits_nothing_at_runtime() {
+    let source = include_str!("../fixtures/fail/e0601_dead_point.cql");
+    let diags = lint_cql(source);
+    assert!(
+        diags.iter().any(|d| d.code == "E0601"),
+        "fixture must trip E0601: {diags:#?}"
+    );
+
+    // temp in 0..10, voltage in 20..30, as the fixture declares.
+    let rows: Vec<(f64, f64)> = (0..20)
+        .map(|i| (f64::from(i % 10), 20.0 + f64::from(i % 10)))
+        .collect();
+    let out = run_query("SELECT * FROM readings WHERE temp > voltage", &rows);
+    assert!(
+        out.is_empty(),
+        "dead-flagged stage emitted {} tuples",
+        out.len()
+    );
+}
+
+/// Zero-false-positive bar: clean fixtures never gain a semantic
+/// (E06xx) or concurrency (E07xx) finding.
+#[test]
+fn clean_fixtures_gain_no_semantic_findings() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/clean");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("clean fixture dir") {
+        let path = entry.expect("dir entry").path();
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        let diags = match path.extension().and_then(|e| e.to_str()) {
+            Some("cql") => lint_cql(&source),
+            Some("json") => lint_deployment(&source),
+            _ => continue,
+        };
+        checked += 1;
+        let semantic: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code.starts_with("E06") || d.code.starts_with("E07"))
+            .collect();
+        assert!(
+            semantic.is_empty(),
+            "{} gained semantic findings: {semantic:#?}",
+            path.display()
+        );
+    }
+    assert!(
+        checked >= 7,
+        "expected the clean fixture set, saw {checked}"
+    );
+}
+
+/// Embedded examples stay clean under the semantic checks too.
+#[test]
+fn examples_gain_no_semantic_findings() {
+    for ex in EXAMPLES {
+        let diags = match ex.kind {
+            ExampleKind::Cql => lint_cql(ex.source),
+            ExampleKind::Deployment => lint_deployment(ex.source),
+        };
+        let semantic: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code.starts_with("E06") || d.code.starts_with("E07"))
+            .collect();
+        assert!(
+            semantic.is_empty(),
+            "example {} gained semantic findings: {semantic:#?}",
+            ex.name
+        );
+    }
+}

@@ -109,10 +109,9 @@ pub fn eval_select(
     } else if cs.select.is_empty() {
         eval_star(cs, &bindings, &surviving)
     } else {
-        let schema = cs
-            .output_schema
-            .clone()
-            .expect("explicit projection has schema");
+        let schema = cs.output_schema.clone().ok_or_else(|| {
+            EspError::Plan("explicit projection compiled without an output schema".into())
+        })?;
         let mut rows = Vec::with_capacity(surviving.len());
         for row in &surviving {
             let env = RowEnv {
@@ -217,10 +216,9 @@ fn eval_grouped(
         }
     }
 
-    let schema = cs
-        .output_schema
-        .clone()
-        .expect("aggregate select is never *");
+    let schema = cs.output_schema.clone().ok_or_else(|| {
+        EspError::Plan("aggregate select compiled without an output schema".into())
+    })?;
     let mut out_rows = Vec::with_capacity(order.len());
     for key in &order {
         let group = &groups[key];

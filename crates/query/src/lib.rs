@@ -28,6 +28,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The engine backs the static analyzers; it must return typed errors, not
+// panic, on the inputs they exist to criticize.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
 pub mod ast;
@@ -37,6 +40,7 @@ mod engine;
 pub mod exec;
 mod lexer;
 mod parser;
+pub mod range;
 
 pub use catalog::Catalog;
 pub use engine::{ContinuousQuery, Engine, QueryOperator};

@@ -1,0 +1,707 @@
+//! Value-interval abstract interpretation over CQL expressions.
+//!
+//! Sensor fields come with physical ranges — a thermometer reads −40..120
+//! °C, a voltage sits in 0..5 V — and the paper's Point stage exists
+//! precisely because deployments know those ranges up front. This module
+//! propagates such declared ranges through expression trees so a linter
+//! can prove facts about a query *before any tuple flows*: a predicate
+//! that can never hold (dead stage), one that always holds (redundant
+//! filter), a division whose divisor straddles zero.
+//!
+//! The abstract domain is deliberately simple and **sound** with respect
+//! to [`eval_expr`](crate::exec::eval_expr)'s concrete semantics:
+//!
+//! * numbers abstract to closed [`Interval`]s over `f64` (±∞ endpoints
+//!   encode one-sided and unbounded ranges);
+//! * booleans abstract to three-valued [`AbstractBool`]s;
+//! * SQL `NULL` is its own element ([`Ranged::Null`]) because the engine
+//!   collapses every comparison against `NULL` to `false` and every
+//!   arithmetic over it to `NULL`;
+//! * anything the analysis cannot bound is [`Ranged::Unknown`], which
+//!   poisons conservatively — the linter stays silent rather than guess.
+//!
+//! Soundness contract (enforced by property tests in `esp-lint`): if every
+//! input field holds a value inside its declared interval, then every
+//! numeric value the engine computes for the expression lies inside the
+//! predicted interval, and a predicate predicted [`AbstractBool::False`]
+//! never selects a row.
+
+use std::ops::Not;
+
+use esp_types::Value;
+
+use crate::ast::{ArithOp, CmpOp, Expr};
+
+/// A closed numeric interval `[lo, hi]` over `f64`; endpoints may be
+/// `±INFINITY`. Invariant: `lo <= hi` and neither endpoint is NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The unbounded interval `(-∞, +∞)`.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// `[lo, hi]`; `None` when `lo > hi` or either endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Option<Interval> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            None
+        } else {
+            Some(Interval { lo, hi })
+        }
+    }
+
+    /// The single point `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// True when the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when both endpoints are infinite (no information).
+    pub fn is_top(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Intersection; `None` when the intervals are disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Smallest interval covering both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `[-hi, -lo]`.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// `[|x| : x ∈ self]`.
+    pub fn abs(&self) -> Interval {
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval {
+                lo: 0.0,
+                hi: self.hi.max(-self.lo),
+            }
+        }
+    }
+
+    /// Endpoint-wise sum. f64 addition is monotone, so the concrete sum of
+    /// in-range operands cannot escape the endpoint sum.
+    pub fn add(&self, other: &Interval) -> Interval {
+        guard(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Endpoint-wise difference.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        guard(self.lo - other.hi, self.hi - other.lo)
+    }
+
+    /// Product: min/max over the four endpoint products.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let candidates = [
+            finite_mul(self.lo, other.lo),
+            finite_mul(self.lo, other.hi),
+            finite_mul(self.hi, other.lo),
+            finite_mul(self.hi, other.hi),
+        ];
+        let lo = candidates.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        guard(lo, hi)
+    }
+
+    /// Quotient, defined only when the divisor excludes zero (`None`
+    /// otherwise — the engine yields `NULL` on a zero divisor, which this
+    /// domain models as [`Ranged::Unknown`] at the call site).
+    pub fn div(&self, other: &Interval) -> Option<Interval> {
+        if other.contains(0.0) {
+            return None;
+        }
+        let candidates = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let lo = candidates.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(guard(lo, hi))
+    }
+
+    /// Remainder bound: `|a % b| <= max(|b endpoints|)` and the result
+    /// carries the dividend's sign (both Rust `%` semantics over ints and
+    /// floats). Defined only when the divisor excludes zero.
+    pub fn rem(&self, other: &Interval) -> Option<Interval> {
+        if other.contains(0.0) {
+            return None;
+        }
+        let m = other.lo.abs().max(other.hi.abs());
+        let lo = if self.lo < 0.0 { -m } else { 0.0 };
+        let hi = if self.hi > 0.0 { m } else { 0.0 };
+        // The remainder also never exceeds the dividend's own magnitude.
+        Some(guard(
+            lo.max(self.lo.min(0.0)).max(-m),
+            hi.min(self.hi.max(0.0)).min(m),
+        ))
+    }
+}
+
+/// Collapse a NaN-producing endpoint computation (∞ − ∞ and friends) to
+/// the sound answer: no information.
+fn guard(lo: f64, hi: f64) -> Interval {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        Interval::TOP
+    } else {
+        Interval { lo, hi }
+    }
+}
+
+/// `0 × ∞` arises when one operand's range is unbounded and the other's
+/// endpoint is zero. Concrete field values are finite, and any finite `x`
+/// has `x × 0 = 0`, so the sound endpoint candidate is `0`, not NaN.
+fn finite_mul(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() {
+        0.0
+    } else {
+        p
+    }
+}
+
+/// Three-valued truth: what the analysis knows about a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbstractBool {
+    /// Holds for every admissible input.
+    True,
+    /// Holds for no admissible input.
+    False,
+    /// Cannot be decided statically.
+    Maybe,
+}
+
+impl AbstractBool {
+    /// Three-valued conjunction.
+    pub fn and(self, other: AbstractBool) -> AbstractBool {
+        use AbstractBool::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Maybe,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: AbstractBool) -> AbstractBool {
+        use AbstractBool::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Maybe,
+        }
+    }
+
+    /// From a concrete boolean.
+    pub fn known(b: bool) -> AbstractBool {
+        if b {
+            AbstractBool::True
+        } else {
+            AbstractBool::False
+        }
+    }
+}
+
+/// Three-valued negation.
+impl std::ops::Not for AbstractBool {
+    type Output = AbstractBool;
+
+    fn not(self) -> AbstractBool {
+        match self {
+            AbstractBool::True => AbstractBool::False,
+            AbstractBool::False => AbstractBool::True,
+            AbstractBool::Maybe => AbstractBool::Maybe,
+        }
+    }
+}
+
+/// Abstract value of an expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ranged {
+    /// Definitely numeric (INT, FLOAT, or TS viewed as millis), within
+    /// the interval.
+    Num(Interval),
+    /// Definitely boolean, with three-valued truth.
+    Bool(AbstractBool),
+    /// Definitely a string (content unknown).
+    Str,
+    /// Definitely SQL `NULL`.
+    Null,
+    /// No information — could be any value including `NULL`.
+    Unknown,
+}
+
+impl Ranged {
+    /// The interval, when the value is known numeric.
+    pub fn as_interval(&self) -> Option<Interval> {
+        match self {
+            Ranged::Num(iv) => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// Truth of this value in predicate position, mirroring
+    /// `Value::truthy`: `NULL` is falsy; non-boolean, non-integer values
+    /// are falsy too, but the analysis only commits where it is certain.
+    pub fn truth(&self) -> AbstractBool {
+        match self {
+            Ranged::Bool(b) => *b,
+            Ranged::Null => AbstractBool::False,
+            // `truthy` is `i != 0` for INT but `false` for FLOAT; a `Num`
+            // does not distinguish the two, so stay undecided unless the
+            // interval excludes zero-or-not cleanly — which still depends
+            // on the runtime type. Be conservative.
+            Ranged::Num(_) => AbstractBool::Maybe,
+            Ranged::Str => AbstractBool::Maybe,
+            Ranged::Unknown => AbstractBool::Maybe,
+        }
+    }
+}
+
+/// How field references resolve to abstract values during evaluation.
+pub trait RangeEnv {
+    /// Abstract value of the (possibly qualified) field reference.
+    fn field_range(&self, qualifier: Option<&str>, name: &str) -> Ranged;
+
+    /// Abstract value of a call the core evaluator does not model
+    /// (aggregates, UDFs). Default: no information.
+    fn call_range(&self, _name: &str, _args: &[Ranged], _star: bool) -> Ranged {
+        Ranged::Unknown
+    }
+}
+
+/// A [`RangeEnv`] over a closure, for tests and simple callers.
+impl<F> RangeEnv for F
+where
+    F: Fn(Option<&str>, &str) -> Ranged,
+{
+    fn field_range(&self, qualifier: Option<&str>, name: &str) -> Ranged {
+        self(qualifier, name)
+    }
+}
+
+/// Abstractly evaluate `expr` under `env`.
+///
+/// Mirrors [`eval_expr`](crate::exec::eval_expr): integer-preserving
+/// arithmetic, float division, `NULL` propagation through arithmetic,
+/// comparisons against `NULL` collapsing to `false`, and `truthy`
+/// semantics for the logical connectives.
+pub fn range_of(expr: &Expr, env: &dyn RangeEnv) -> Ranged {
+    match expr {
+        Expr::Literal(v) => literal_range(v),
+        Expr::Field {
+            qualifier, name, ..
+        } => env.field_range(qualifier.as_deref(), name),
+        Expr::Call {
+            name, args, star, ..
+        } => {
+            let arg_ranges: Vec<Ranged> = args.iter().map(|a| range_of(a, env)).collect();
+            builtin_call_range(name, &arg_ranges)
+                .unwrap_or_else(|| env.call_range(name, &arg_ranges, *star))
+        }
+        Expr::Cmp { lhs, op, rhs } => {
+            let l = range_of(lhs, env);
+            let r = range_of(rhs, env);
+            Ranged::Bool(cmp_range(&l, *op, &r))
+        }
+        // The subquery's row set is beyond this domain; both quantifiers
+        // have data-dependent vacuous cases, so nothing is decidable.
+        Expr::QuantifiedCmp { .. } => Ranged::Bool(AbstractBool::Maybe),
+        Expr::Arith { lhs, op, rhs } => {
+            let l = range_of(lhs, env);
+            let r = range_of(rhs, env);
+            arith_range(&l, *op, &r)
+        }
+        Expr::And(a, b) => {
+            let ta = range_of(a, env).truth();
+            let tb = range_of(b, env).truth();
+            Ranged::Bool(ta.and(tb))
+        }
+        Expr::Or(a, b) => {
+            let ta = range_of(a, env).truth();
+            let tb = range_of(b, env).truth();
+            Ranged::Bool(ta.or(tb))
+        }
+        Expr::Not(e) => Ranged::Bool(range_of(e, env).truth().not()),
+        Expr::Neg(e) => match range_of(e, env) {
+            Ranged::Num(iv) => Ranged::Num(iv.neg()),
+            Ranged::Null => Ranged::Null,
+            _ => Ranged::Unknown,
+        },
+    }
+}
+
+fn literal_range(v: &Value) -> Ranged {
+    match v {
+        Value::Null => Ranged::Null,
+        Value::Bool(b) => Ranged::Bool(AbstractBool::known(*b)),
+        Value::Int(i) => Ranged::Num(Interval::point(*i as f64)),
+        Value::Float(f) if !f.is_nan() => Ranged::Num(Interval::point(*f)),
+        Value::Float(_) => Ranged::Unknown,
+        Value::Str(_) => Ranged::Str,
+        Value::Ts(t) => Ranged::Num(Interval::point(t.as_millis() as f64)),
+    }
+}
+
+/// Scalar builtins the engine always provides; `None` defers to the
+/// environment (aggregates, UDFs).
+fn builtin_call_range(name: &str, args: &[Ranged]) -> Option<Ranged> {
+    match name {
+        "abs" => Some(match args.first() {
+            Some(Ranged::Num(iv)) => Ranged::Num(iv.abs()),
+            Some(Ranged::Null) => Ranged::Null,
+            _ => Ranged::Unknown,
+        }),
+        // coalesce returns its first non-NULL argument: the hull of the
+        // numeric candidates when all arguments are numeric.
+        "coalesce" => {
+            let mut acc: Option<Interval> = None;
+            for a in args {
+                match a {
+                    Ranged::Null => continue,
+                    Ranged::Num(iv) => {
+                        acc = Some(match acc {
+                            Some(prev) => prev.hull(iv),
+                            None => *iv,
+                        });
+                    }
+                    _ => return Some(Ranged::Unknown),
+                }
+            }
+            Some(match acc {
+                Some(iv) => Ranged::Num(iv),
+                None => Ranged::Null,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Abstract comparison. Sound against `Value::sql_cmp` + `CmpOp::matches`:
+/// `NULL` on either side makes every comparison false; a definite type
+/// mismatch is left undecided (a separate type check owns that defect).
+pub fn cmp_range(l: &Ranged, op: CmpOp, r: &Ranged) -> AbstractBool {
+    use std::cmp::Ordering;
+    match (l, r) {
+        (Ranged::Null, _) | (_, Ranged::Null) => AbstractBool::False,
+        (Ranged::Num(a), Ranged::Num(b)) => {
+            // Which concrete orderings are possible between the intervals?
+            let mut truths = [false, false]; // [some-false, some-true]
+            let possible = [
+                (Ordering::Less, a.lo < b.hi),
+                (Ordering::Equal, a.intersect(b).is_some()),
+                (Ordering::Greater, a.hi > b.lo),
+            ];
+            for (ord, p) in possible {
+                if p {
+                    truths[usize::from(op.matches(ord))] = true;
+                }
+            }
+            match truths {
+                [false, true] => AbstractBool::True,
+                [true, false] => AbstractBool::False,
+                _ => AbstractBool::Maybe,
+            }
+        }
+        _ => AbstractBool::Maybe,
+    }
+}
+
+/// Abstract arithmetic. Sound against `eval_arith`: `NULL` propagates, a
+/// zero divisor yields `NULL` (so a divisor interval containing zero
+/// widens the result to [`Ranged::Unknown`]).
+pub fn arith_range(l: &Ranged, op: ArithOp, r: &Ranged) -> Ranged {
+    match (l, r) {
+        (Ranged::Null, _) | (_, Ranged::Null) => Ranged::Null,
+        (Ranged::Num(a), Ranged::Num(b)) => match op {
+            ArithOp::Add => Ranged::Num(a.add(b)),
+            ArithOp::Sub => Ranged::Num(a.sub(b)),
+            ArithOp::Mul => Ranged::Num(a.mul(b)),
+            ArithOp::Div => match a.div(b) {
+                Some(iv) => Ranged::Num(iv),
+                None => Ranged::Unknown, // divisor may be 0 → NULL
+            },
+            ArithOp::Mod => match a.rem(b) {
+                Some(iv) => Ranged::Num(iv),
+                None => Ranged::Unknown,
+            },
+        },
+        _ => Ranged::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_types::Span;
+
+    fn num(lo: f64, hi: f64) -> Ranged {
+        Ranged::Num(Interval::new(lo, hi).unwrap())
+    }
+
+    fn field(name: &str) -> Expr {
+        Expr::Field {
+            qualifier: None,
+            name: name.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    fn lit(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    struct Env;
+    impl RangeEnv for Env {
+        fn field_range(&self, _q: Option<&str>, name: &str) -> Ranged {
+            match name {
+                "temp" => num(0.0, 10.0),
+                "noise" => num(20.0, 30.0),
+                "volts" => num(-1.0, 1.0),
+                "label" => Ranged::Str,
+                _ => Ranged::Unknown,
+            }
+        }
+    }
+
+    #[test]
+    fn interval_ops() {
+        let a = Interval::new(1.0, 3.0).unwrap();
+        let b = Interval::new(-2.0, 2.0).unwrap();
+        assert_eq!(a.add(&b), Interval::new(-1.0, 5.0).unwrap());
+        assert_eq!(a.sub(&b), Interval::new(-1.0, 5.0).unwrap());
+        assert_eq!(a.mul(&b), Interval::new(-6.0, 6.0).unwrap());
+        assert_eq!(a.div(&b), None, "divisor contains 0");
+        let c = Interval::new(2.0, 4.0).unwrap();
+        assert_eq!(a.div(&c), Interval::new(0.25, 1.5));
+        assert_eq!(b.abs(), Interval::new(0.0, 2.0).unwrap());
+        assert_eq!(b.neg(), b);
+        assert!(Interval::new(3.0, 1.0).is_none());
+        assert!(Interval::new(f64::NAN, 1.0).is_none());
+        assert!(a.intersect(&c).is_some());
+        assert_eq!(Interval::point(5.0).intersect(&Interval::point(6.0)), None);
+        assert_eq!(a.hull(&c), Interval::new(1.0, 4.0).unwrap());
+        assert!(Interval::TOP.is_top());
+        assert!(!a.is_top());
+        assert!(Interval::point(2.0).is_point());
+    }
+
+    #[test]
+    fn unbounded_endpoints_guarded() {
+        let top = Interval::TOP;
+        let p = Interval::point(0.0);
+        // ∞ × 0 must not poison the result with NaN; any finite value
+        // times zero is exactly zero.
+        assert_eq!(top.mul(&p), Interval::point(0.0));
+        assert_eq!(top.mul(&Interval::new(-1.0, 1.0).unwrap()), Interval::TOP);
+        assert_eq!(top.add(&top), Interval::TOP);
+        assert_eq!(top.sub(&top), Interval::TOP);
+    }
+
+    #[test]
+    fn rem_bounds() {
+        let a = Interval::new(0.0, 100.0).unwrap();
+        let b = Interval::new(3.0, 7.0).unwrap();
+        let r = a.rem(&b).unwrap();
+        assert!(r.lo() >= 0.0 && r.hi() <= 7.0, "{r:?}");
+        let neg = Interval::new(-10.0, -1.0).unwrap();
+        let r = neg.rem(&b).unwrap();
+        assert!(r.lo() >= -7.0 && r.hi() <= 0.0, "{r:?}");
+        assert!(a.rem(&Interval::new(-1.0, 1.0).unwrap()).is_none());
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        use AbstractBool::*;
+        assert_eq!(True.and(Maybe), Maybe);
+        assert_eq!(False.and(Maybe), False);
+        assert_eq!(True.or(Maybe), True);
+        assert_eq!(False.or(Maybe), Maybe);
+        assert_eq!(Maybe.not(), Maybe);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn disjoint_intervals_decide_comparisons() {
+        // temp in [0,10], noise in [20,30]: temp > noise is always false.
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Gt,
+            rhs: Box::new(field("noise")),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::False);
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Lt,
+            rhs: Box::new(field("noise")),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::True);
+    }
+
+    #[test]
+    fn touching_intervals_stay_maybe() {
+        // temp in [0,10] vs literal 10: equality is possible.
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Lt,
+            rhs: Box::new(lit(10)),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::Maybe);
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Le,
+            rhs: Box::new(lit(10)),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::True);
+    }
+
+    #[test]
+    fn null_collapses_comparisons_and_poisons_arithmetic() {
+        let null = Expr::Literal(Value::Null);
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Eq,
+            rhs: Box::new(null.clone()),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::False);
+        let e = Expr::Arith {
+            lhs: Box::new(field("temp")),
+            op: ArithOp::Add,
+            rhs: Box::new(null),
+        };
+        assert_eq!(range_of(&e, &Env), Ranged::Null);
+    }
+
+    #[test]
+    fn division_by_zero_straddling_divisor_is_unknown() {
+        let e = Expr::Arith {
+            lhs: Box::new(field("temp")),
+            op: ArithOp::Div,
+            rhs: Box::new(field("volts")),
+        };
+        assert_eq!(range_of(&e, &Env), Ranged::Unknown);
+        let e = Expr::Arith {
+            lhs: Box::new(field("temp")),
+            op: ArithOp::Div,
+            rhs: Box::new(field("noise")),
+        };
+        let iv = range_of(&e, &Env).as_interval().unwrap();
+        assert!(iv.lo() >= 0.0 && iv.hi() <= 0.5, "{iv:?}");
+    }
+
+    #[test]
+    fn string_comparisons_stay_undecided() {
+        let e = Expr::Cmp {
+            lhs: Box::new(field("label")),
+            op: CmpOp::Eq,
+            rhs: Box::new(Expr::Literal(Value::str("ON"))),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::Maybe);
+        // Type mismatch (num vs str) is the type checker's finding, not ours.
+        let e = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Eq,
+            rhs: Box::new(field("label")),
+        };
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::Maybe);
+    }
+
+    #[test]
+    fn scalar_builtins() {
+        let e = Expr::Call {
+            name: "abs".into(),
+            distinct: false,
+            args: vec![field("volts")],
+            star: false,
+            span: Span::DUMMY,
+        };
+        assert_eq!(range_of(&e, &Env), num(0.0, 1.0));
+        let e = Expr::Call {
+            name: "coalesce".into(),
+            distinct: false,
+            args: vec![Expr::Literal(Value::Null), field("temp"), lit(50)],
+            star: false,
+            span: Span::DUMMY,
+        };
+        assert_eq!(range_of(&e, &Env), num(0.0, 50.0));
+    }
+
+    #[test]
+    fn logic_over_certain_operands() {
+        let dead = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Gt,
+            rhs: Box::new(field("noise")),
+        };
+        let open = Expr::Cmp {
+            lhs: Box::new(field("temp")),
+            op: CmpOp::Gt,
+            rhs: Box::new(lit(5)),
+        };
+        let e = Expr::And(Box::new(dead.clone()), Box::new(open.clone()));
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::False);
+        let e = Expr::Or(Box::new(dead.clone()), Box::new(open));
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::Maybe);
+        let e = Expr::Not(Box::new(dead));
+        assert_eq!(range_of(&e, &Env).truth(), AbstractBool::True);
+    }
+
+    #[test]
+    fn neg_and_literals() {
+        let e = Expr::Neg(Box::new(field("temp")));
+        assert_eq!(range_of(&e, &Env), num(-10.0, 0.0));
+        assert_eq!(range_of(&lit(3), &Env), num(3.0, 3.0));
+        assert_eq!(
+            range_of(&Expr::Literal(Value::Float(2.5)), &Env),
+            num(2.5, 2.5)
+        );
+        assert_eq!(range_of(&Expr::Literal(Value::Null), &Env), Ranged::Null);
+        assert_eq!(
+            range_of(&Expr::Literal(Value::Bool(true)), &Env).truth(),
+            AbstractBool::True
+        );
+    }
+}

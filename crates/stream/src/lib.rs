@@ -21,6 +21,10 @@
 //! * [`ops`] — generic building-block operators (filter, map, union, …).
 //! * [`stats`] — streaming mean/variance used by windowed aggregates and
 //!   the Merge stage's outlier test.
+//! * [`model`] — a deterministic model checker that exhaustively explores
+//!   interleavings of the threaded runner's punctuation/shutdown protocol
+//!   (`E0701`/`E0702`/`E0704` findings), driving the same
+//!   [`stager::EpochStager`] the runner executes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,8 +34,10 @@
 
 mod epoch;
 pub mod graph;
+pub mod model;
 mod operator;
 pub mod ops;
+pub mod stager;
 pub mod stats;
 mod threaded;
 mod window;

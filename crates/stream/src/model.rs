@@ -1,0 +1,485 @@
+//! Deterministic model checking of the threaded runner's shutdown and
+//! epoch-punctuation protocol.
+//!
+//! [`RunnerModel`] is a finite abstraction of
+//! [`ThreadedRunner`](crate::ThreadedRunner): one driver ticking epoch
+//! punctuations into bounded capacity-`c` queues, one logical thread per
+//! operator staging puncts with the *real* [`EpochStager`] (the same
+//! code the runner ships), a bounded tap channel, and a collector. Data
+//! batches are elided — the protocol moves punctuations, and it is the
+//! punctuation/shutdown handshake that can deadlock, not the payloads.
+//!
+//! [`RunnerModel::check`] exhaustively explores every interleaving via
+//! the breadth-first [`stateright::Checker`] and reports violations as
+//! [`Diagnostic`]s:
+//!
+//! * `E0701` — deadlock: a reachable state where no thread can step and
+//!   the run is not complete (e.g. every operator blocked on a full tap
+//!   channel nobody drains).
+//! * `E0702` — lost shutdown wakeup: threads parked on open-but-empty
+//!   queues that no sender will ever touch again (e.g. the driver never
+//!   dropped its channel clones).
+//! * `E0704` — epoch-order violation: a tap observed epochs out of
+//!   order, or a completed run collected fewer flushes than ticked.
+//!
+//! Two deliberately broken variants ([`Mutant`]) seed the bugs the
+//! production code avoids — the test suite asserts the checker finds
+//! both, which is the evidence the clean pass means something.
+
+use std::collections::VecDeque;
+
+use esp_types::{Diagnostic, Ts};
+use stateright::{always, Checker, Model, Property};
+
+use crate::stager::EpochStager;
+
+/// Which graph shape to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `driver → op0 → op1 → … → op(n-1)`, every op tapped.
+    Chain(usize),
+    /// `driver → {a, b} → sink`: the sink stages punctuations from two
+    /// input edges, exercising the fan-in flush condition.
+    Diamond,
+}
+
+/// A deliberately seeded protocol bug (test/validation only — the
+/// constructor is gated so shipping code cannot build one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// The collector drains taps only after every operator exits —
+    /// dropping the runner's "collect taps concurrently" rule. With a
+    /// bounded tap channel the operators block forever.
+    SequentialTapCollect,
+    /// The driver never drops its channel senders after the final tick —
+    /// operators wait on open-but-empty queues and never observe
+    /// shutdown.
+    RetainSenders,
+}
+
+/// Finite model of the threaded runner (see module docs).
+#[derive(Debug, Clone)]
+pub struct RunnerModel {
+    /// Ops the driver feeds directly (model of the source tick edges).
+    driver_out: Vec<usize>,
+    /// Downstream op ids per op.
+    op_out: Vec<Vec<usize>>,
+    /// Input-edge count per op (the stager's flush threshold).
+    n_in: Vec<usize>,
+    epochs: u8,
+    capacity: usize,
+    mutant: Option<Mutant>,
+}
+
+/// One outstanding blocking send of an operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Send {
+    /// `(tap_slot ≡ op id, epoch)` onto the shared tap channel.
+    Tap(u8),
+    /// `Punct(epoch)` into `op`'s inbound queue.
+    Down(usize, u8),
+}
+
+/// A full configuration of the modeled system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunnerState {
+    /// Epochs fully ticked so far.
+    driver_epoch: u8,
+    /// Driver ops still to receive the current epoch's punct (in order;
+    /// the real driver sends sequentially and blocks per send).
+    driver_pending: VecDeque<usize>,
+    driver_closed: bool,
+    /// Inbound punct queue per op (single channel per node, FIFO).
+    queues: Vec<VecDeque<u8>>,
+    /// Per-op epoch staging — the shipped `EpochStager`.
+    stagers: Vec<EpochStager<()>>,
+    /// Per-op outstanding sends, front first (tap, then downstream).
+    pending: Vec<VecDeque<Send>>,
+    done: Vec<bool>,
+    /// The shared bounded tap channel: `(op, epoch)`.
+    tap: VecDeque<(u8, u8)>,
+    /// Last epoch collected per op (epoch-order property).
+    collector_last: Vec<Option<u8>>,
+    collected: u8,
+    monotone_ok: bool,
+}
+
+/// One schedulable step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerAction {
+    /// Driver delivers the next pending source punct.
+    DriverSend,
+    /// Driver drops its channel senders (shutdown signal).
+    DriverClose,
+    /// Op pops one message from its inbound queue.
+    Recv(usize),
+    /// Op completes its front outstanding send.
+    Deliver(usize),
+    /// Op observes a closed, drained queue and exits.
+    Exit(usize),
+    /// Collector drains one tap message.
+    Collect,
+}
+
+impl RunnerModel {
+    /// A chain of `ops` operators ticked for `epochs` epochs over
+    /// capacity-`capacity` queues.
+    pub fn chain(ops: usize, epochs: u8, capacity: usize) -> RunnerModel {
+        assert!(ops >= 1 && capacity >= 1);
+        RunnerModel {
+            driver_out: vec![0],
+            op_out: (0..ops)
+                .map(|i| if i + 1 < ops { vec![i + 1] } else { vec![] })
+                .collect(),
+            n_in: vec![1; ops],
+            epochs,
+            capacity,
+            mutant: None,
+        }
+    }
+
+    /// A two-branch diamond: the sink waits for punctuations from both
+    /// branches before flushing an epoch.
+    pub fn diamond(epochs: u8, capacity: usize) -> RunnerModel {
+        assert!(capacity >= 1);
+        RunnerModel {
+            driver_out: vec![0, 1],
+            op_out: vec![vec![2], vec![2], vec![]],
+            n_in: vec![1, 1, 2],
+            epochs,
+            capacity,
+            mutant: None,
+        }
+    }
+
+    /// Seed a protocol bug. Only available to tests and the
+    /// `model-mutants` feature: shipping code cannot construct a broken
+    /// model.
+    #[cfg(any(test, feature = "model-mutants"))]
+    pub fn with_mutant(mut self, mutant: Mutant) -> RunnerModel {
+        self.mutant = Some(mutant);
+        self
+    }
+
+    fn n_ops(&self) -> usize {
+        self.op_out.len()
+    }
+
+    /// Ops feeding `op`'s inbound channel.
+    fn upstream(&self, op: usize) -> impl Iterator<Item = usize> + '_ {
+        self.op_out
+            .iter()
+            .enumerate()
+            .filter(move |(_, outs)| outs.contains(&op))
+            .map(|(i, _)| i)
+    }
+
+    /// Whether `op`'s inbound channel is closed: every sender (driver
+    /// clone and/or upstream operators) has hung up.
+    fn closed(&self, s: &RunnerState, op: usize) -> bool {
+        let driver_ok = !self.driver_out.contains(&op) || s.driver_closed;
+        driver_ok && self.upstream(op).all(|u| s.done[u])
+    }
+
+    fn run_complete(&self, s: &RunnerState) -> bool {
+        s.done.iter().all(|&d| d) && s.tap.is_empty()
+    }
+
+    /// Exhaustively explore every interleaving.
+    pub fn check(&self) -> ModelReport {
+        let report = Checker::new().max_states(2_000_000).check(self);
+        let mut diagnostics = Vec::new();
+        for v in &report.violations {
+            diagnostics.push(match v.property {
+                Checker::DEADLOCK => {
+                    // A deadlock where every queue is drained and some
+                    // thread still waits on an open channel is the
+                    // lost-wakeup shape; anything else is a cycle of
+                    // full queues.
+                    if self.is_lost_wakeup(&v.state) {
+                        Diagnostic::error(
+                            "E0702",
+                            format!(
+                                "lost shutdown wakeup after {} steps: operators wait on \
+                                 open-but-empty queues no sender will touch again",
+                                v.trace.len()
+                            ),
+                        )
+                        .with_note(trace_note(&v.trace))
+                    } else {
+                        Diagnostic::error(
+                            "E0701",
+                            format!(
+                                "deadlock after {} steps: no thread can make progress",
+                                v.trace.len()
+                            ),
+                        )
+                        .with_note(trace_note(&v.trace))
+                    }
+                }
+                name => Diagnostic::error(
+                    "E0704",
+                    format!(
+                        "epoch-order violation ({name}) after {} steps",
+                        v.trace.len()
+                    ),
+                )
+                .with_note(trace_note(&v.trace)),
+            });
+        }
+        ModelReport {
+            states_explored: report.states_explored,
+            complete: report.complete,
+            diagnostics,
+        }
+    }
+
+    fn is_lost_wakeup(&self, s: &RunnerState) -> bool {
+        let drained = s.queues.iter().all(VecDeque::is_empty)
+            && s.tap.is_empty()
+            && s.pending.iter().all(VecDeque::is_empty);
+        drained && (0..self.n_ops()).any(|i| !s.done[i] && !self.closed(s, i))
+    }
+}
+
+/// Outcome of a model-checking run, with violations as diagnostics.
+#[derive(Debug)]
+pub struct ModelReport {
+    /// Distinct system states visited.
+    pub states_explored: usize,
+    /// Whether the state space was exhausted (vs. hitting the bound).
+    pub complete: bool,
+    /// `E0701`/`E0702`/`E0704` findings; empty means the protocol is
+    /// deadlock-free over the whole explored space.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ModelReport {
+    /// Fully explored with zero findings.
+    pub fn passed(&self) -> bool {
+        self.complete && self.diagnostics.is_empty()
+    }
+}
+
+fn trace_note<A: std::fmt::Debug>(trace: &[A]) -> String {
+    format!("shortest failing schedule: {trace:?}")
+}
+
+fn ts_of(epoch: u8) -> Ts {
+    Ts::from_millis(u64::from(epoch))
+}
+
+impl Model for RunnerModel {
+    type State = RunnerState;
+    type Action = RunnerAction;
+
+    fn init_states(&self) -> Vec<RunnerState> {
+        let n = self.n_ops();
+        vec![RunnerState {
+            driver_epoch: 0,
+            driver_pending: self.driver_out.iter().copied().collect(),
+            driver_closed: false,
+            queues: vec![VecDeque::new(); n],
+            stagers: self.n_in.iter().map(|&e| EpochStager::new(e)).collect(),
+            pending: vec![VecDeque::new(); n],
+            done: vec![false; n],
+            tap: VecDeque::new(),
+            collector_last: vec![None; n],
+            collected: 0,
+            monotone_ok: true,
+        }]
+    }
+
+    fn actions(&self, s: &RunnerState, actions: &mut Vec<RunnerAction>) {
+        // Driver: sequential blocking sends, then close.
+        if let Some(&target) = s.driver_pending.front() {
+            if s.queues[target].len() < self.capacity {
+                actions.push(RunnerAction::DriverSend);
+            }
+        } else if s.driver_epoch >= self.epochs
+            && !s.driver_closed
+            && self.mutant != Some(Mutant::RetainSenders)
+        {
+            actions.push(RunnerAction::DriverClose);
+        }
+        for i in 0..self.n_ops() {
+            if s.done[i] {
+                continue;
+            }
+            if let Some(send) = s.pending[i].front() {
+                let room = match send {
+                    Send::Tap(_) => s.tap.len() < self.capacity,
+                    Send::Down(to, _) => s.queues[*to].len() < self.capacity,
+                };
+                if room {
+                    actions.push(RunnerAction::Deliver(i));
+                }
+                continue; // an op mid-send cannot receive or exit
+            }
+            if !s.queues[i].is_empty() {
+                actions.push(RunnerAction::Recv(i));
+            } else if self.closed(s, i) {
+                actions.push(RunnerAction::Exit(i));
+            }
+        }
+        if !s.tap.is_empty() {
+            let collector_runs = match self.mutant {
+                // The mutant collector only starts after every op exits.
+                Some(Mutant::SequentialTapCollect) => s.done.iter().all(|&d| d),
+                _ => true,
+            };
+            if collector_runs {
+                actions.push(RunnerAction::Collect);
+            }
+        }
+    }
+
+    fn next_state(&self, s: &RunnerState, action: RunnerAction) -> Option<RunnerState> {
+        let mut s = s.clone();
+        match action {
+            RunnerAction::DriverSend => {
+                let target = s.driver_pending.pop_front()?;
+                s.queues[target].push_back(s.driver_epoch);
+                if s.driver_pending.is_empty() {
+                    s.driver_epoch += 1;
+                    if s.driver_epoch < self.epochs {
+                        s.driver_pending = self.driver_out.iter().copied().collect();
+                    }
+                }
+            }
+            RunnerAction::DriverClose => {
+                s.driver_closed = true;
+            }
+            RunnerAction::Recv(i) => {
+                let epoch = s.queues[i].pop_front()?;
+                if s.stagers[i].punct(ts_of(epoch)).is_some() {
+                    // Flush: tap first, then one punct per out edge —
+                    // the exact delivery order of `deliver()`.
+                    s.pending[i].push_back(Send::Tap(epoch));
+                    for &to in &self.op_out[i] {
+                        s.pending[i].push_back(Send::Down(to, epoch));
+                    }
+                }
+            }
+            RunnerAction::Deliver(i) => match s.pending[i].pop_front()? {
+                Send::Tap(epoch) => s.tap.push_back((i as u8, epoch)),
+                Send::Down(to, epoch) => s.queues[to].push_back(epoch),
+            },
+            RunnerAction::Exit(i) => {
+                s.done[i] = true;
+            }
+            RunnerAction::Collect => {
+                let (op, epoch) = s.tap.pop_front()?;
+                let last = &mut s.collector_last[usize::from(op)];
+                if last.is_some_and(|l| l >= epoch) {
+                    s.monotone_ok = false;
+                }
+                *last = Some(epoch);
+                s.collected += 1;
+            }
+        }
+        Some(s)
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            always(
+                "epoch-monotone-taps",
+                |_m: &RunnerModel, s: &RunnerState| s.monotone_ok,
+            ),
+            always("complete-collection", |m: &RunnerModel, s: &RunnerState| {
+                // Evaluated as an invariant, binding only on completed
+                // runs: every op must have flushed every ticked epoch.
+                !m.run_complete(s) || usize::from(s.collected) == m.n_ops() * usize::from(m.epochs)
+            }),
+        ]
+    }
+
+    fn is_done(&self, s: &RunnerState) -> bool {
+        self.run_complete(s) && s.driver_closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_chain_passes_full_exploration() {
+        // The acceptance configuration: 2 operators, capacity-1 queues.
+        let report = RunnerModel::chain(2, 2, 1).check();
+        assert!(report.passed(), "{:#?}", report.diagnostics);
+        assert!(
+            report.states_explored > 50,
+            "suspiciously small schedule space: {}",
+            report.states_explored
+        );
+        // More epochs widen the space; it must still exhaust cleanly.
+        let report = RunnerModel::chain(2, 4, 1).check();
+        assert!(report.passed(), "{:#?}", report.diagnostics);
+    }
+
+    #[test]
+    fn clean_chain_of_three_passes() {
+        let report = RunnerModel::chain(3, 2, 1).check();
+        assert!(report.passed(), "{:#?}", report.diagnostics);
+    }
+
+    #[test]
+    fn clean_diamond_passes_fan_in_staging() {
+        let report = RunnerModel::diamond(2, 1).check();
+        assert!(report.passed(), "{:#?}", report.diagnostics);
+    }
+
+    #[test]
+    fn sequential_tap_collection_deadlocks() {
+        let report = RunnerModel::chain(2, 2, 1)
+            .with_mutant(Mutant::SequentialTapCollect)
+            .check();
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "E0701"),
+            "expected a deadlock finding, got {:#?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn retained_senders_lose_the_shutdown_wakeup() {
+        let report = RunnerModel::chain(2, 2, 1)
+            .with_mutant(Mutant::RetainSenders)
+            .check();
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "E0702"),
+            "expected a lost-wakeup finding, got {:#?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn mutants_are_found_in_the_diamond_too() {
+        for (mutant, code) in [
+            (Mutant::SequentialTapCollect, "E0701"),
+            (Mutant::RetainSenders, "E0702"),
+        ] {
+            let report = RunnerModel::diamond(2, 1).with_mutant(mutant).check();
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == code),
+                "{mutant:?}: expected {code}, got {:#?}",
+                report.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn violation_notes_carry_the_failing_schedule() {
+        let report = RunnerModel::chain(2, 1, 1)
+            .with_mutant(Mutant::SequentialTapCollect)
+            .check();
+        let d = report
+            .diagnostics
+            .first()
+            .expect("mutant produces a finding");
+        let note = d.notes.join("\n");
+        assert!(note.contains("schedule"), "{note}");
+    }
+}

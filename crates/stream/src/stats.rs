@@ -12,6 +12,14 @@ use std::sync::Arc;
 /// of them found the queue full (back-pressure events). Handles are cheap
 /// clones over shared atomics, so producers on many threads can feed one
 /// counter and a supervisor can read it live.
+///
+/// Ordering audit: every access is `Relaxed` **deliberately**. These are
+/// monitoring counters — nothing reads them to make a control decision,
+/// and no other memory is published "alongside" an increment, so there is
+/// no happens-before edge to establish. RMW atomicity alone guarantees no
+/// increment is lost; a live snapshot may be a step stale (fine for
+/// monitoring), and totals read after `join()`ing the producers are exact
+/// because thread join itself synchronizes-with everything the thread did.
 #[derive(Debug, Clone, Default)]
 pub struct QueueStats {
     sends: Arc<AtomicU64>,

@@ -9,13 +9,13 @@
 //! single-threaded [`EpochRunner`](crate::EpochRunner) produces — a property
 //! the test suite asserts.
 
-use std::collections::BTreeMap;
 use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use esp_types::{Batch, EspError, Result, TimeDelta, Ts};
 
 use crate::graph::{Dataflow, NodeKind};
+use crate::stager::EpochStager;
 use crate::stats::QueueStats;
 
 /// Message on an inter-node edge.
@@ -152,40 +152,30 @@ impl ThreadedRunner {
                 NodeKind::Operator { mut op, inputs } => {
                     let n_edges = inputs.len();
                     thread::spawn(move || -> Result<()> {
-                        // Per-epoch staging: batches per port + punct count.
-                        let mut staged: BTreeMap<Ts, (Vec<Batch>, usize)> = BTreeMap::new();
+                        // Per-epoch staging: batches per port + punct count
+                        // (the same state machine the model checker drives).
+                        let mut stager: EpochStager<esp_types::Tuple> = EpochStager::new(n_edges);
                         for msg in rx {
                             match msg {
                                 Msg::Batch { port, epoch, batch } => {
-                                    let entry = staged
-                                        .entry(epoch)
-                                        .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
-                                    entry.0[port].extend(batch);
+                                    stager.batch(epoch, port, batch);
                                 }
                                 Msg::Punct(epoch) => {
-                                    let entry = staged
-                                        .entry(epoch)
-                                        .or_insert_with(|| (vec![Batch::new(); n_edges], 0));
-                                    entry.1 += 1;
-                                    if entry.1 == n_edges {
-                                        // The entry was inserted just above,
-                                        // so remove always yields it.
-                                        if let Some((ports, _)) = staged.remove(&epoch) {
-                                            // Deliver in port order for
-                                            // determinism, then flush once.
-                                            for (port, batch) in ports.into_iter().enumerate() {
-                                                op.push(port, &batch)?;
-                                            }
-                                            let out = op.flush(epoch)?;
-                                            deliver(
-                                                &downstream,
-                                                &tap_tx,
-                                                &my_taps,
-                                                epoch,
-                                                out,
-                                                &stats,
-                                            )?;
+                                    if let Some(ports) = stager.punct(epoch) {
+                                        // Deliver in port order for
+                                        // determinism, then flush once.
+                                        for (port, batch) in ports.into_iter().enumerate() {
+                                            op.push(port, &batch)?;
                                         }
+                                        let out = op.flush(epoch)?;
+                                        deliver(
+                                            &downstream,
+                                            &tap_tx,
+                                            &my_taps,
+                                            epoch,
+                                            out,
+                                            &stats,
+                                        )?;
                                     }
                                 }
                             }

@@ -18,6 +18,14 @@ use crate::TimeDelta;
 ///
 /// Cloning shares the underlying cell; the receptor reads it on every
 /// sampling decision, so changes take effect at the next sample.
+///
+/// Ordering audit: the cell is accessed with `Relaxed` even though the
+/// receptor reads it for control. That is deliberate: the period is a
+/// self-contained value — no other memory is published alongside a
+/// `set_period`, so there is no happens-before edge to establish — and
+/// the only consequence of a stale read is that the *previous* period
+/// governs one more sampling decision, which is indistinguishable from
+/// the controller having acted a moment later.
 #[derive(Debug, Clone)]
 pub struct SampleRateHandle {
     period_ms: Arc<AtomicU64>,

@@ -102,7 +102,9 @@ impl fmt::Display for Severity {
 /// One static-analysis finding with a stable code.
 ///
 /// Codes are grouped by subsystem: `E01xx` schema/type, `E02xx` temporal
-/// granules, `E03xx` spatial granules, `E04xx` graph structure, `E05xx`
+/// granules, `E03xx` spatial granules, `E04xx` graph structure, `E06xx`
+/// semantics (abstract interpretation over declared field ranges),
+/// `E07xx` concurrency (deterministic model checking), `E05xx`
 /// gateway configuration. The catalog lives in `esp-lint` and DESIGN.md.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `stateright` model checker.
+//!
+//! Implements the subset this workspace uses: a [`Model`] trait over an
+//! explicit finite transition system, and a breadth-first [`Checker`]
+//! that exhaustively enumerates every reachable state, checking
+//! invariant [`Property`]s in each and reporting **deadlocks** (a state
+//! with no enabled actions that the model does not accept as terminal).
+//! Every violation carries the shortest action trace from an initial
+//! state, reconstructed from the BFS parent map.
+//!
+//! The design mirrors `stateright`'s `Model`/`Checker` API shape so the
+//! dependent code reads like ordinary stateright usage; the exploration
+//! is deterministic — same model, same report — which the workspace
+//! relies on for reproducible CI.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite transition system to explore.
+pub trait Model {
+    /// A system configuration. Equality/hashing dedupe the state graph.
+    type State: Clone + Eq + Hash + Debug;
+    /// One atomic step some component can take.
+    type Action: Clone + Debug;
+
+    /// The initial state(s).
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Push every action enabled in `state` onto `actions`. An empty
+    /// list means the state is terminal: accepting if
+    /// [`is_done`](Model::is_done), a deadlock otherwise.
+    fn actions(&self, state: &Self::State, actions: &mut Vec<Self::Action>);
+
+    /// The successor of `state` under `action`; `None` if the action
+    /// turns out to be disabled (treated as a no-op).
+    fn next_state(&self, state: &Self::State, action: Self::Action) -> Option<Self::State>;
+
+    /// Invariants checked in every reachable state.
+    fn properties(&self) -> Vec<Property<Self>>;
+
+    /// Whether a terminal (no enabled actions) state is an acceptable
+    /// end of the run. Non-accepting terminal states are deadlocks.
+    fn is_done(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// A named invariant: must hold in every reachable state.
+pub struct Property<M: Model + ?Sized> {
+    /// Name surfaced in violation reports.
+    pub name: &'static str,
+    /// The predicate; `false` in any reachable state is a violation.
+    pub check: fn(&M, &M::State) -> bool,
+}
+
+/// Shorthand for an always-invariant property.
+pub fn always<M: Model + ?Sized>(
+    name: &'static str,
+    check: fn(&M, &M::State) -> bool,
+) -> Property<M> {
+    Property { name, check }
+}
+
+/// One discovered violation with the shortest trace reaching it.
+#[derive(Debug, Clone)]
+pub struct Violation<M: Model> {
+    /// The violated property's name, or [`Checker::DEADLOCK`].
+    pub property: &'static str,
+    /// The violating state.
+    pub state: M::State,
+    /// Shortest action sequence from an initial state to `state`.
+    pub trace: Vec<M::Action>,
+}
+
+/// Result of an exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport<M: Model> {
+    /// Distinct states visited.
+    pub states_explored: usize,
+    /// Whether the whole reachable space fit under the state bound.
+    pub complete: bool,
+    /// Violations found, at most one per property name (each with the
+    /// shortest trace, by virtue of breadth-first order).
+    pub violations: Vec<Violation<M>>,
+}
+
+impl<M: Model> CheckReport<M> {
+    /// No violations and the space was fully explored.
+    pub fn passed(&self) -> bool {
+        self.complete && self.violations.is_empty()
+    }
+
+    /// The violation for `property`, if one was found.
+    pub fn violation(&self, property: &str) -> Option<&Violation<M>> {
+        self.violations.iter().find(|v| v.property == property)
+    }
+}
+
+/// Breadth-first exhaustive checker.
+pub struct Checker {
+    max_states: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker::new()
+    }
+}
+
+impl Checker {
+    /// Property name used for deadlock violations.
+    pub const DEADLOCK: &'static str = "deadlock";
+
+    /// A checker with a generous default state bound.
+    pub fn new() -> Checker {
+        Checker {
+            max_states: 1_000_000,
+        }
+    }
+
+    /// Cap the number of distinct states explored; exceeding it marks
+    /// the report incomplete instead of running unbounded.
+    pub fn max_states(mut self, max_states: usize) -> Checker {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Explore every state reachable in `model`, breadth-first.
+    ///
+    /// Each property records at most its first (shortest-trace)
+    /// violation; the search keeps going to find violations of *other*
+    /// properties, and only stops early once every property (plus
+    /// deadlock) has a recorded violation.
+    pub fn check<M: Model>(&self, model: &M) -> CheckReport<M> {
+        let properties = model.properties();
+        let mut violations: Vec<Violation<M>> = Vec::new();
+        // state -> index; arena holds (state, parent index, action from parent)
+        let mut index: HashMap<M::State, usize> = HashMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut arena: Vec<(M::State, Option<(usize, M::Action)>)> = Vec::new();
+        let mut frontier: std::collections::VecDeque<usize> = Default::default();
+        let mut complete = true;
+
+        for s in model.init_states() {
+            if index.contains_key(&s) {
+                continue;
+            }
+            index.insert(s.clone(), arena.len());
+            frontier.push_back(arena.len());
+            arena.push((s, None));
+        }
+
+        #[allow(clippy::type_complexity)]
+        let trace_of = |arena: &Vec<(M::State, Option<(usize, M::Action)>)>, mut i: usize| {
+            let mut trace = Vec::new();
+            while let Some((parent, action)) = &arena[i].1 {
+                trace.push(action.clone());
+                i = *parent;
+            }
+            trace.reverse();
+            trace
+        };
+
+        let mut actions = Vec::new();
+        while let Some(i) = frontier.pop_front() {
+            let state = arena[i].0.clone();
+
+            for p in &properties {
+                if violations.iter().any(|v| v.property == p.name) {
+                    continue;
+                }
+                if !(p.check)(model, &state) {
+                    violations.push(Violation {
+                        property: p.name,
+                        state: state.clone(),
+                        trace: trace_of(&arena, i),
+                    });
+                }
+            }
+
+            actions.clear();
+            model.actions(&state, &mut actions);
+            if actions.is_empty() {
+                if !model.is_done(&state)
+                    && !violations.iter().any(|v| v.property == Self::DEADLOCK)
+                {
+                    violations.push(Violation {
+                        property: Self::DEADLOCK,
+                        state: state.clone(),
+                        trace: trace_of(&arena, i),
+                    });
+                }
+                continue;
+            }
+            // Early exit only once nothing new could be learned.
+            if !violations.is_empty() && violations.len() == properties.len() + 1 {
+                break;
+            }
+            for a in actions.drain(..) {
+                let Some(next) = model.next_state(&state, a.clone()) else {
+                    continue;
+                };
+                if index.contains_key(&next) {
+                    continue;
+                }
+                if arena.len() >= self.max_states {
+                    complete = false;
+                    continue;
+                }
+                index.insert(next.clone(), arena.len());
+                frontier.push_back(arena.len());
+                arena.push((next, Some((i, a))));
+            }
+        }
+
+        CheckReport {
+            states_explored: arena.len(),
+            complete,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that steps 0→n; optionally wedges at `stuck_at`.
+    #[derive(Debug)]
+    struct Count {
+        n: u8,
+        stuck_at: Option<u8>,
+        bad_at: Option<u8>,
+    }
+
+    impl Model for Count {
+        type State = u8;
+        type Action = u8;
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, s: &u8, actions: &mut Vec<u8>) {
+            if Some(*s) == self.stuck_at {
+                return;
+            }
+            if *s < self.n {
+                actions.push(s + 1);
+            }
+        }
+
+        fn next_state(&self, _s: &u8, a: u8) -> Option<u8> {
+            Some(a)
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            vec![always("below-bad", |m: &Count, s: &u8| {
+                m.bad_at.is_none_or(|b| *s != b)
+            })]
+        }
+
+        fn is_done(&self, s: &u8) -> bool {
+            *s == self.n
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_and_is_complete() {
+        let report = Checker::new().check(&Count {
+            n: 5,
+            stuck_at: None,
+            bad_at: None,
+        });
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.states_explored, 6);
+    }
+
+    #[test]
+    fn wedged_state_is_a_deadlock_with_shortest_trace() {
+        let report = Checker::new().check(&Count {
+            n: 5,
+            stuck_at: Some(3),
+            bad_at: None,
+        });
+        assert!(!report.passed());
+        let v = report.violation(Checker::DEADLOCK).expect("deadlock found");
+        assert_eq!(v.state, 3);
+        assert_eq!(v.trace, vec![1, 2, 3], "shortest trace to the wedge");
+    }
+
+    #[test]
+    fn property_violation_is_reported_once() {
+        let report = Checker::new().check(&Count {
+            n: 5,
+            stuck_at: None,
+            bad_at: Some(4),
+        });
+        let v = report.violation("below-bad").expect("violation found");
+        assert_eq!(v.state, 4);
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn state_bound_marks_report_incomplete() {
+        let report = Checker::new().max_states(3).check(&Count {
+            n: 10,
+            stuck_at: None,
+            bad_at: None,
+        });
+        assert!(!report.complete);
+        assert!(!report.passed());
+        assert_eq!(report.states_explored, 3);
+    }
+}
