@@ -29,7 +29,8 @@ use serde::{value::Value as Json, DeError, Deserialize};
 
 use esp_query::Engine;
 use esp_types::{
-    Diagnostic, EspError, ReceptorId, ReceptorType, Result, SpatialGranule, TimeDelta, Value,
+    registry, well_known, DataType, Diagnostic, EspError, Field, ReceptorId, ReceptorType, Result,
+    Schema, SpatialGranule, TimeDelta, Value,
 };
 
 use crate::pipeline::{Pipeline, PipelineBuilder, StageCtx};
@@ -559,14 +560,49 @@ impl DeploymentSpec {
     }
 
     /// Build the pipeline. Declarative stages are compiled against
-    /// `engine`'s catalog (static relations, UDFs, UDAs).
+    /// `engine`'s catalog (static relations, UDFs, UDAs). When the
+    /// deployment pins down the entry schema (see
+    /// [`entry_schema`](Self::entry_schema)), the first stage's query is
+    /// additionally slot-resolved against it at deploy time, so unknown
+    /// or ambiguous field references fail here — with source spans — and
+    /// the stage executes on compiled slots from its very first epoch.
     pub fn build_pipeline(&self, engine: &Engine) -> Result<Pipeline> {
         let granule = self.granule()?;
+        let entry = self.entry_schema();
         let mut builder = Pipeline::builder();
-        for stage in &self.stages {
-            builder = add_stage(builder, stage, granule, engine)?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let declared = if i == 0 { entry.clone() } else { None };
+            builder = add_stage(builder, stage, granule, engine, declared)?;
         }
         Ok(builder.build())
+    }
+
+    /// The schema tuples carry into the first pipeline stage, when the
+    /// deployment determines it: every group uses the same receptor type,
+    /// that type has a single well-known raw layout, and the processor
+    /// appends `spatial_granule`. Mote deployments return `None` (motes
+    /// report several layouts: temperature, sound, temperature+voltage),
+    /// as do mixed-type deployments — those resolve lazily at runtime.
+    pub fn entry_schema(&self) -> Option<Arc<Schema>> {
+        let mut types = self
+            .groups
+            .iter()
+            .map(|g| parse_receptor_type(&g.receptor_type).ok());
+        let first = types.next()??;
+        for t in types {
+            if t? != first {
+                return None;
+            }
+        }
+        let raw = match first {
+            ReceptorType::Rfid => well_known::rfid_schema(),
+            ReceptorType::X10Motion => well_known::motion_schema(),
+            ReceptorType::Mote | ReceptorType::Other(_) => return None,
+        };
+        let extended = raw
+            .with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))
+            .ok()?;
+        Some(registry::intern(&extended))
     }
 }
 
@@ -584,6 +620,7 @@ fn add_stage(
     spec: &StageSpec,
     granule: TemporalGranule,
     engine: &Engine,
+    declared: Option<Arc<Schema>>,
 ) -> Result<PipelineBuilder> {
     Ok(match spec {
         StageSpec::Point(p) => {
@@ -646,15 +683,31 @@ fn add_stage(
         }
         StageSpec::Declarative(d) => {
             let label = d.label.clone().unwrap_or_else(|| "declarative".into());
-            // Compile eagerly once to validate the query text.
-            DeclarativeStage::new(label.clone(), engine.compile(&d.query)?)?;
+            // Compile eagerly once to validate the query text and learn
+            // its (single) input stream.
+            let probe = engine.compile(&d.query)?;
+            let entry_stream = probe.input_streams().first().cloned();
+            DeclarativeStage::new(label.clone(), probe)?;
+            // When the deployment determines the stage's input schema,
+            // slot-resolve the query against it now: unknown/ambiguous
+            // field references become deploy errors with spans, and the
+            // stage runs on compiled slots from its first epoch.
+            let declared = match (declared, entry_stream) {
+                (Some(schema), Some(stream)) => {
+                    engine.compile_with_schemas(&d.query, &[(&stream, Arc::clone(&schema))])?;
+                    Some((stream, schema))
+                }
+                _ => None,
+            };
             let engine = engine.clone();
             let query = d.query.clone();
             let factory = move |_ctx: &StageCtx| -> Result<Box<dyn Stage>> {
-                Ok(Box::new(DeclarativeStage::new(
-                    label.clone(),
-                    engine.compile(&query)?,
-                )?))
+                let compiled = match &declared {
+                    Some((stream, schema)) => engine
+                        .compile_with_schemas(&query, &[(stream.as_str(), Arc::clone(schema))])?,
+                    None => engine.compile(&query)?,
+                };
+                Ok(Box::new(DeclarativeStage::new(label.clone(), compiled)?))
             };
             match d.scope.as_str() {
                 "per_receptor" => builder.per_receptor("declarative", factory),
@@ -867,6 +920,86 @@ mod tests {
         let out = proc.run(Ts::ZERO, TimeDelta::from_secs(1), 3).unwrap();
         // The CQL smooth interpolates across all three epochs.
         assert!(out.trace.iter().all(|(_, b)| b.len() == 1));
+    }
+
+    #[test]
+    fn entry_field_typos_fail_at_deploy_time() {
+        // rfid deployments pin the first stage's input schema, so a typo'd
+        // field reference is a deploy error with a span — not a per-row
+        // runtime error on the first epoch.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "declarative": {
+                    "scope": "per_receptor",
+                    "query": "SELECT tag_idd FROM s [Range By '5 sec']"
+                } }
+            ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        let err = spec.build_pipeline(&Engine::new()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("tag_idd"), "{msg}");
+
+        // The injected spatial_granule column is part of the declared
+        // schema, so queries over it still deploy.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "rfid", "members": [0] }],
+            "stages": [
+                { "declarative": {
+                    "scope": "per_receptor",
+                    "query": "SELECT spatial_granule, tag_id FROM s [Range By '5 sec']"
+                } }
+            ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        assert!(spec.build_pipeline(&Engine::new()).is_ok());
+    }
+
+    #[test]
+    fn mote_and_mixed_deployments_resolve_lazily() {
+        // Motes report several tuple layouts, so the entry schema is
+        // undetermined and field references stay lazily resolved.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [{ "granule": "g", "receptor_type": "mote", "members": [0] }],
+            "stages": [
+                { "declarative": {
+                    "scope": "per_receptor",
+                    "query": "SELECT maybe_voltage FROM s [Range By '5 sec']"
+                } }
+            ]
+        }"#;
+        let spec = DeploymentSpec::from_json(doc).unwrap();
+        assert!(spec.entry_schema().is_none());
+        assert!(spec.build_pipeline(&Engine::new()).is_ok());
+
+        // Mixed receptor types likewise leave the entry schema open.
+        let doc = r#"{
+            "temporal_granule": "5 sec",
+            "groups": [
+                { "granule": "a", "receptor_type": "rfid", "members": [0] },
+                { "granule": "b", "receptor_type": "x10-motion", "members": [1] }
+            ],
+            "stages": []
+        }"#;
+        assert!(DeploymentSpec::from_json(doc)
+            .unwrap()
+            .entry_schema()
+            .is_none());
+    }
+
+    #[test]
+    fn entry_schema_is_interned_and_extended() {
+        let spec = DeploymentSpec::from_json(SHELF_DEPLOYMENT).unwrap();
+        let schema = spec.entry_schema().expect("rfid entry schema");
+        assert!(schema.index_of(well_known::SPATIAL_GRANULE).is_some());
+        assert!(schema.index_of("tag_id").is_some());
+        // Interned: asking again yields the very same allocation.
+        let again = spec.entry_schema().unwrap();
+        assert!(Arc::ptr_eq(&schema, &again));
     }
 
     #[test]

@@ -367,9 +367,13 @@ fn granule_injector(
             match hit {
                 Some(s) => s,
                 None => {
-                    let s = t
-                        .schema()
-                        .with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))?;
+                    // Intern the extended schema so every (receptor, group)
+                    // branch shares one `Arc` — downstream queries' slot
+                    // plans stay pointer-valid across branches and epochs.
+                    let s = esp_types::registry::intern(
+                        &t.schema()
+                            .with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))?,
+                    );
                     *cache.write() = Some((Arc::clone(t.schema()), Arc::clone(&s)));
                     s
                 }

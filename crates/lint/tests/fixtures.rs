@@ -134,6 +134,72 @@ fn clean_fixtures_and_examples_produce_zero_findings() {
     }
 }
 
+/// Byte-identical regression guard over the whole diagnostic surface.
+///
+/// The query engine now slot-compiles field references and caches
+/// per-schema plans (see `esp_query::plan`); the linter's shape checks
+/// (E01xx) and the abstract-interpretation pass (E06xx) analyze the same
+/// compiled tree. This test pins every fail fixture's *exact* output —
+/// code, byte-offset span, and full rustc-style rendering — to a
+/// checked-in snapshot, so any drift the compilation layers introduce in
+/// diagnostics shows up as a readable text diff, not a silent behavior
+/// change. Regenerate intentionally with `BLESS=1 cargo test -p esp-lint`.
+#[test]
+fn rendered_diagnostics_are_byte_identical_to_snapshots() {
+    let dir = fixtures_dir("snapshots");
+    let bless = std::env::var_os("BLESS").is_some();
+    if bless {
+        fs::create_dir_all(&dir).unwrap();
+    }
+    let mut expected_snaps = std::collections::BTreeSet::new();
+    for path in fail_fixtures() {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let diags = lint_file(&path, &source);
+        let mut rendered = String::new();
+        for d in &diags {
+            let span = match d.span {
+                Some(s) => format!("{}..{}", s.start, s.end),
+                None => "-".into(),
+            };
+            rendered.push_str(&format!("// span: {span}\n"));
+            rendered.push_str(&d.render(name, Some(&source)));
+            if !rendered.ends_with('\n') {
+                rendered.push('\n');
+            }
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let snap = dir.join(format!("{stem}.snap"));
+        expected_snaps.insert(snap.file_name().unwrap().to_os_string());
+        if bless {
+            fs::write(&snap, &rendered).unwrap();
+            continue;
+        }
+        let want = fs::read_to_string(&snap).unwrap_or_else(|_| {
+            panic!(
+                "missing snapshot {} — run `BLESS=1 cargo test -p esp-lint` and review the diff",
+                snap.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            want,
+            "{}: diagnostics drifted from snapshot {}",
+            path.display(),
+            snap.display()
+        );
+    }
+    // No orphaned snapshots for fixtures that no longer exist.
+    for entry in fs::read_dir(&dir).expect("fixtures/snapshots exists") {
+        let snap = entry.expect("readable entry").path();
+        assert!(
+            expected_snaps.contains(snap.file_name().unwrap()),
+            "orphaned snapshot {} has no matching fail fixture",
+            snap.display()
+        );
+    }
+}
+
 /// The diagnostics render in rustc style with a caret line locating the
 /// span in the original CQL.
 #[test]

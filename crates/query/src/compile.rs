@@ -14,11 +14,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use esp_stream::WindowBuffer;
-use esp_types::{DataType, EspError, Field, Result, Schema, TimeDelta, Value};
+use esp_types::diag::Span;
+use esp_types::{registry, DataType, EspError, Field, Result, Schema, TimeDelta, Value};
 
 use crate::aggregate::AggregateFactory;
 use crate::ast::{ArithOp, CmpOp, Expr, FromItem, FromSource, Quantifier, SelectItem, SelectStmt};
 use crate::catalog::{Catalog, ScalarFn};
+use crate::plan::{FieldSlot, ResolvedPlan};
 
 /// An executable (but stateful: windows) form of one `SELECT`.
 pub struct CompiledSelect {
@@ -37,8 +39,14 @@ pub struct CompiledSelect {
     /// Deduplicated aggregate calls referenced by [`CExpr::Agg`] indices.
     pub agg_calls: Vec<AggCall>,
     /// Output schema for explicit projections (`None` for `SELECT *`,
-    /// where the schema depends on runtime input schemas).
+    /// where the schema depends on runtime input schemas). Interned, so
+    /// identical projections across queries share one allocation.
     pub output_schema: Option<Arc<Schema>>,
+    /// Binding name of each FROM item (alias, or source name), precomputed
+    /// so evaluation never re-derives them per call.
+    pub bindings: Vec<Option<String>>,
+    /// Slot-resolution cache, populated by [`crate::plan::resolve_pass`].
+    pub(crate) plan: Option<ResolvedPlan>,
 }
 
 /// A compiled projection item with its resolved output column name.
@@ -93,12 +101,19 @@ pub struct AggCall {
 pub enum CExpr {
     /// Literal.
     Literal(Value),
-    /// Field reference (resolved against runtime schemas).
+    /// Field reference. `slot` is filled in by [`crate::plan::resolve_pass`]
+    /// when the reference is provably unique against known schemas; it is
+    /// an acceleration only — evaluation falls back to name resolution
+    /// whenever the slot's schema doesn't match the actual tuple.
     Field {
         /// Optional source qualifier.
         qualifier: Option<String>,
         /// Field name.
         name: String,
+        /// Source position, for deploy-time diagnostics.
+        span: Span,
+        /// Compiled slot, when statically resolvable.
+        slot: Option<FieldSlot>,
     },
     /// Reference to `agg_calls[idx]` of the enclosing select.
     Agg {
@@ -162,10 +177,12 @@ impl fmt::Display for CExpr {
             CExpr::Field {
                 qualifier: Some(q),
                 name,
+                ..
             } => write!(f, "{q}.{name}"),
             CExpr::Field {
                 qualifier: None,
                 name,
+                ..
             } => write!(f, "{name}"),
             CExpr::Agg { key, .. } => write!(f, "{key}"),
             CExpr::Scalar { name, args, .. } => {
@@ -224,20 +241,20 @@ impl CompiledSelect {
         }
         for item in &mut self.select {
             item.expr
-                .for_each_subquery(&mut |sub| sub.for_each_window(f));
+                .for_each_subquery_mut(&mut |sub| sub.for_each_window(f));
         }
         if let Some(w) = &mut self.where_clause {
-            w.for_each_subquery(&mut |sub| sub.for_each_window(f));
+            w.for_each_subquery_mut(&mut |sub| sub.for_each_window(f));
         }
         for g in &mut self.group_by {
-            g.for_each_subquery(&mut |sub| sub.for_each_window(f));
+            g.for_each_subquery_mut(&mut |sub| sub.for_each_window(f));
         }
         if let Some(h) = &mut self.having {
-            h.for_each_subquery(&mut |sub| sub.for_each_window(f));
+            h.for_each_subquery_mut(&mut |sub| sub.for_each_window(f));
         }
         for agg in &mut self.agg_calls {
             if let Some(arg) = &mut agg.arg {
-                arg.for_each_subquery(&mut |sub| sub.for_each_window(f));
+                arg.for_each_subquery_mut(&mut |sub| sub.for_each_window(f));
             }
         }
     }
@@ -256,27 +273,27 @@ impl CompiledSelect {
 
 impl CExpr {
     /// Visit every subquery nested in this expression.
-    fn for_each_subquery(&mut self, f: &mut impl FnMut(&mut CompiledSelect)) {
+    pub(crate) fn for_each_subquery_mut(&mut self, f: &mut impl FnMut(&mut CompiledSelect)) {
         match self {
             CExpr::Literal(_) | CExpr::Field { .. } | CExpr::Agg { .. } => {}
             CExpr::Scalar { args, .. } => {
                 for a in args {
-                    a.for_each_subquery(f);
+                    a.for_each_subquery_mut(f);
                 }
             }
             CExpr::Cmp { lhs, rhs, .. } | CExpr::Arith { lhs, rhs, .. } => {
-                lhs.for_each_subquery(f);
-                rhs.for_each_subquery(f);
+                lhs.for_each_subquery_mut(f);
+                rhs.for_each_subquery_mut(f);
             }
             CExpr::Quantified { lhs, subquery, .. } => {
-                lhs.for_each_subquery(f);
+                lhs.for_each_subquery_mut(f);
                 f(subquery);
             }
             CExpr::And(a, b) | CExpr::Or(a, b) => {
-                a.for_each_subquery(f);
-                b.for_each_subquery(f);
+                a.for_each_subquery_mut(f);
+                b.for_each_subquery_mut(f);
             }
-            CExpr::Not(e) | CExpr::Neg(e) => e.for_each_subquery(f),
+            CExpr::Not(e) | CExpr::Neg(e) => e.for_each_subquery_mut(f),
         }
     }
 }
@@ -356,8 +373,10 @@ pub fn compile(stmt: &SelectStmt, catalog: &Catalog) -> Result<CompiledSelect> {
             .iter()
             .map(|item| Field::new(item.name.clone(), infer_type(&item.expr, &agg_calls)))
             .collect();
-        Some(Schema::new(fields)?)
+        Some(registry::intern(&Schema::new(fields)?))
     };
+
+    let bindings: Vec<Option<String>> = from.iter().map(|i| i.binding.clone()).collect();
 
     Ok(CompiledSelect {
         select,
@@ -368,6 +387,8 @@ pub fn compile(stmt: &SelectStmt, catalog: &Catalog) -> Result<CompiledSelect> {
         is_aggregate,
         agg_calls,
         output_schema,
+        bindings,
+        plan: None,
     })
 }
 
@@ -413,10 +434,14 @@ impl ExprCompiler<'_> {
         Ok(match e {
             Expr::Literal(v) => CExpr::Literal(v.clone()),
             Expr::Field {
-                qualifier, name, ..
+                qualifier,
+                name,
+                span,
             } => CExpr::Field {
                 qualifier: qualifier.clone(),
                 name: name.clone(),
+                span: *span,
+                slot: None,
             },
             Expr::Call {
                 name,

@@ -11,6 +11,7 @@ use crate::catalog::Catalog;
 use crate::compile::{compile, CompiledSelect};
 use crate::exec::{eval_select, ExecCtx};
 use crate::parser::parse;
+use crate::plan::{clear_resolution, resolve_pass, Mode};
 
 /// Compiles CQL text into [`ContinuousQuery`] objects and hosts the shared
 /// [`Catalog`] (static relations, scalar UDFs, aggregate UDAs).
@@ -87,7 +88,36 @@ impl Engine {
             pending: HashMap::new(),
             streams,
             text: sql.to_string(),
+            reference_mode: false,
         })
+    }
+
+    /// Parse and compile `sql`, then resolve every field reference against
+    /// the declared stream schemas *now*, at deploy time. Unknown or
+    /// ambiguous references are rejected with span-carrying diagnostics
+    /// ([`EspError::Invalid`]) instead of surfacing as per-row runtime
+    /// errors on the first tick. Streams absent from `schemas` (and
+    /// relations/derived tables, whose shapes are always known) resolve
+    /// as usual; they are checked lazily at runtime.
+    ///
+    /// The declared schemas are interned, so tuples built from the
+    /// well-known singletons (or any interned schema) hit the resolved
+    /// slot path from the very first epoch.
+    pub fn compile_with_schemas(
+        &self,
+        sql: &str,
+        schemas: &[(&str, Arc<esp_types::Schema>)],
+    ) -> Result<ContinuousQuery> {
+        let mut query = self.compile(sql)?;
+        let declared: HashMap<String, Arc<esp_types::Schema>> = schemas
+            .iter()
+            .map(|(name, s)| (name.to_string(), esp_types::registry::intern(s)))
+            .collect();
+        let diags = resolve_pass(&mut query.root, &[], &self.catalog, Mode::Strict(&declared));
+        if diags.iter().any(|d| d.is_error()) {
+            return Err(EspError::Invalid(diags));
+        }
+        Ok(query)
     }
 }
 
@@ -109,6 +139,9 @@ pub struct ContinuousQuery {
     pending: HashMap<String, Batch>,
     streams: Vec<String>,
     text: String,
+    /// When set, slot resolution is skipped and annotations are cleared:
+    /// every tick runs the original name-resolving interpreter.
+    reference_mode: bool,
 }
 
 impl ContinuousQuery {
@@ -120,6 +153,19 @@ impl ContinuousQuery {
     /// The original query text.
     pub fn text(&self) -> &str {
         &self.text
+    }
+
+    /// Toggle *reference mode*: when on, the engine strips all slot
+    /// annotations and skips plan resolution, so every tick evaluates via
+    /// the original per-row name-resolving interpreter (string scope walk
+    /// plus nested-loop joins). Benchmarks use this to measure the
+    /// compiled path against the interpreter in one process; results are
+    /// identical by construction, only the speed differs.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+        if on {
+            clear_resolution(&mut self.root);
+        }
     }
 
     /// Stage a batch for `stream`, to be absorbed at the next tick.
@@ -157,6 +203,12 @@ impl ContinuousQuery {
             }
             w.advance_to(epoch);
         });
+        if !self.reference_mode {
+            // Annotate field slots / join keys against the current window
+            // schemas. Cached: with interned schemas this is a few pointer
+            // comparisons per tick after the first.
+            resolve_pass(&mut self.root, &[], &self.catalog, Mode::Lazy);
+        }
         let ctx = ExecCtx {
             catalog: &self.catalog,
             epoch,
@@ -339,6 +391,50 @@ mod tests {
         q.push("s", &[rfid(Ts::ZERO, "a")]).unwrap();
         let out = q.tick(Ts::from_secs(10)).unwrap();
         assert_eq!(out[0].get("count"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn reference_mode_matches_compiled_path() {
+        let sql = "SELECT l.tag_id, count(*) FROM s l [Range By '5 sec'], s2 r [Range By '5 sec'] \
+                   WHERE l.tag_id = r.tag_id GROUP BY l.tag_id";
+        let engine = Engine::new();
+        let mut compiled = engine.compile(sql).unwrap();
+        let mut reference = engine.compile(sql).unwrap();
+        reference.set_reference_mode(true);
+        for (epoch, tag) in [(0u64, "a"), (1, "b"), (2, "a"), (3, "c")] {
+            let batch = [rfid(Ts::from_secs(epoch), tag)];
+            for q in [&mut compiled, &mut reference] {
+                q.push("s", &batch).unwrap();
+                q.push("s2", &batch).unwrap();
+            }
+            let a = compiled.tick(Ts::from_secs(epoch)).unwrap();
+            let b = reference.tick(Ts::from_secs(epoch)).unwrap();
+            assert_eq!(a, b, "epoch {epoch} diverged");
+        }
+    }
+
+    #[test]
+    fn compile_with_schemas_rejects_unknown_field_at_deploy_time() {
+        let engine = Engine::new();
+        let Err(err) = engine.compile_with_schemas(
+            "SELECT bogus FROM s [Range By '5 sec']",
+            &[("s", well_known::rfid_schema())],
+        ) else {
+            panic!("expected deploy-time rejection");
+        };
+        let EspError::Invalid(diags) = err else {
+            panic!("expected Invalid, got {err}");
+        };
+        assert_eq!(diags[0].code, "E0101");
+        assert!(diags[0].message.contains("bogus"));
+        assert!(diags[0].span.is_some(), "diagnostic carries the span");
+        // The same query against a valid field deploys fine.
+        assert!(engine
+            .compile_with_schemas(
+                "SELECT tag_id FROM s [Range By '5 sec']",
+                &[("s", well_known::rfid_schema())],
+            )
+            .is_ok());
     }
 
     #[test]

@@ -3,22 +3,50 @@
 //! Each tick, the engine evaluates the compiled statement as a one-shot
 //! relational query over the current contents of every window (CQL's
 //! "relation at time t" semantics; the emitted rows are the `RSTREAM` of
-//! the windowed query at the epoch). Joins are nested-loop cross products
-//! filtered by `WHERE`; grouped queries fold the paper's aggregates per
-//! group; `HAVING` may contain correlated quantified subqueries
-//! (paper Query 3), which re-evaluate the subquery once per group with the
-//! group's representative row bound as the outer scope.
+//! the windowed query at the epoch). Grouped queries fold the paper's
+//! aggregates per group; `HAVING` may contain correlated quantified
+//! subqueries (paper Query 3), which re-evaluate the subquery once per
+//! group with the group's representative row bound as the outer scope.
+//!
+//! # Execution strategy
+//!
+//! FROM items are *borrowed*, not copied: stream windows expose their
+//! contents through [`esp_stream::WindowView`] and static relations are
+//! viewed in place, so the only tuples materialized per epoch are derived
+//! tables' outputs.
+//!
+//! Field references annotated with a [`FieldSlot`] by
+//! [`crate::plan::resolve_pass`] are fetched by `(scope, item, column)`
+//! index after a single `Arc::ptr_eq` schema check. The check fails — and
+//! evaluation falls back to the original name-resolving walk
+//! ([`resolve_field`]) — whenever the tuple at hand doesn't match the
+//! planned schema, or any scope on the way to the slot's is not *uniform*
+//! (some tuple differs from the planned shape, which could change name
+//! visibility or ambiguity). The fallback path is byte-for-byte the
+//! pre-slot interpreter, so every corner case (heterogeneous windows,
+//! correlated lookups, the NULL representative of an empty global group,
+//! ambiguity and unknown-field errors) behaves exactly as before.
+//!
+//! Joins run as hash joins when the planner extracted equi-key conjuncts
+//! (and the inputs are uniform): keyed items are hashed on their
+//! [`JoinKey`]s once, and the cross-product enumeration only visits
+//! combinations whose keys match, in the same lexicographic order the
+//! nested-loop scan would have produced. Residual predicates evaluate in
+//! their original conjunct order. Without an extracted plan the original
+//! odometer nested-loop scan runs unchanged.
 
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use esp_types::{EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
+use esp_stream::WindowView;
+use esp_types::{registry, EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
 
 use crate::ast::{ArithOp, Quantifier};
 use crate::catalog::Catalog;
 use crate::compile::{AggCall, CExpr, CFromItem, CSource, CompiledSelect};
+use crate::plan::{flatten_conjuncts, join_key, FieldSlot, JoinKey, JoinPlan, KeySpec};
 
 /// Evaluation context shared by a whole tick.
 pub struct ExecCtx<'a> {
@@ -41,6 +69,44 @@ pub struct RowEnv<'a> {
     aggs: Option<&'a [Value]>,
     /// Enclosing query scope, for correlated references.
     outer: Option<&'a RowEnv<'a>>,
+    /// Whether every input row of this scope matches the planned schemas
+    /// (pointer-equal). Slots may only be trusted through uniform scopes;
+    /// otherwise a tuple the planner never saw could shadow or
+    /// disambiguate differently than the plan assumed.
+    slots_valid: bool,
+}
+
+/// The rows of one FROM item this epoch: a borrowed view for windows and
+/// relations, owned tuples only for derived tables.
+enum Rows<'a> {
+    /// Borrowed window / relation contents.
+    View(WindowView<'a>),
+    /// Materialized derived-table output.
+    Owned(Vec<Tuple>),
+}
+
+impl Rows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Rows::View(v) => v.len(),
+            Rows::Owned(v) => v.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, i: usize) -> Option<&Tuple> {
+        match self {
+            Rows::View(v) => v.get(i),
+            Rows::Owned(v) => v.get(i),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        (0..self.len()).filter_map(move |i| self.get(i))
+    }
 }
 
 /// The result of evaluating a select: output schema plus rows.
@@ -58,46 +124,77 @@ pub fn eval_select(
     outer: Option<&RowEnv<'_>>,
     ctx: &ExecCtx<'_>,
 ) -> Result<SelectResult> {
-    // 1. Materialize each FROM item.
-    let mut inputs: Vec<Vec<Tuple>> = Vec::with_capacity(cs.from.len());
+    // 1. View each FROM item's rows (materializing only derived tables).
+    let mut inputs: Vec<Rows<'_>> = Vec::with_capacity(cs.from.len());
     for item in &cs.from {
         inputs.push(materialize_from(item, outer, ctx)?);
     }
-    let bindings: Vec<Option<String>> = cs.from.iter().map(|f| f.binding.clone()).collect();
+    let bindings = &cs.bindings;
+    // Slots are only trusted when every row of every item matches the
+    // planned schemas; a single stray tuple disables the fast path for
+    // the whole tick (correctness first — the name walk still works).
+    let uniform = plan_matches_inputs(cs, &inputs);
 
-    // 2. Cross product + WHERE.
+    // Fused single-input scan: when the plan is resolved and every row
+    // matches it, evaluate directly over the borrowed rows — no per-row
+    // `Vec<&Tuple>` allocation, no per-row group-key clone. The phase
+    // order (WHERE over all rows, then grouping, then aggregate folds,
+    // then HAVING/projection, all in row order) mirrors the generic path
+    // below exactly, so emission order and error surfacing are identical.
+    if uniform && inputs.len() == 1 {
+        return eval_fused_single(cs, bindings, &inputs[0], outer, ctx);
+    }
+
+    // 2. Join + WHERE.
     let mut surviving: Vec<Vec<&Tuple>> = Vec::new();
-    let mut odometer = vec![0usize; inputs.len()];
-    let any_empty = inputs.iter().any(Vec::is_empty);
+    let any_empty = inputs.iter().any(Rows::is_empty);
     if !any_empty && !inputs.is_empty() {
-        'outer: loop {
-            let row: Vec<&Tuple> = odometer
-                .iter()
-                .enumerate()
-                .map(|(i, &j)| &inputs[i][j])
-                .collect();
-            let env = RowEnv {
-                bindings: &bindings,
-                row: &row,
-                aggs: None,
-                outer,
-            };
-            let keep = match &cs.where_clause {
-                Some(w) => eval_expr(w, &env, ctx)?.truthy(),
-                None => true,
-            };
-            if keep {
-                surviving.push(row);
+        let join = cs
+            .plan
+            .as_ref()
+            .and_then(|p| p.join.as_ref())
+            .filter(|_| uniform);
+        match join {
+            Some(jp) => {
+                HashJoin::build(cs, jp, &inputs)?.run(outer, ctx, &mut surviving)?;
             }
-            // Advance odometer.
-            for i in (0..odometer.len()).rev() {
-                odometer[i] += 1;
-                if odometer[i] < inputs[i].len() {
-                    continue 'outer;
-                }
-                odometer[i] = 0;
-                if i == 0 {
-                    break 'outer;
+            None => {
+                // Nested-loop cross product (odometer): item 0 is the
+                // slowest-varying index, the last item the fastest.
+                let mut odometer = vec![0usize; inputs.len()];
+                'outer: loop {
+                    let mut row: Vec<&Tuple> = Vec::with_capacity(inputs.len());
+                    for (i, &j) in odometer.iter().enumerate() {
+                        match inputs[i].get(j) {
+                            Some(t) => row.push(t),
+                            None => break 'outer,
+                        }
+                    }
+                    let env = RowEnv {
+                        bindings,
+                        row: &row,
+                        aggs: None,
+                        outer,
+                        slots_valid: uniform,
+                    };
+                    let keep = match &cs.where_clause {
+                        Some(w) => eval_expr(w, &env, ctx)?.truthy(),
+                        None => true,
+                    };
+                    if keep {
+                        surviving.push(row);
+                    }
+                    // Advance odometer.
+                    for i in (0..odometer.len()).rev() {
+                        odometer[i] += 1;
+                        if odometer[i] < inputs[i].len() {
+                            continue 'outer;
+                        }
+                        odometer[i] = 0;
+                        if i == 0 {
+                            break 'outer;
+                        }
+                    }
                 }
             }
         }
@@ -105,9 +202,9 @@ pub fn eval_select(
 
     // 3. Project.
     if cs.is_aggregate {
-        eval_grouped(cs, &bindings, &surviving, outer, ctx)
+        eval_grouped(cs, bindings, &surviving, outer, uniform, ctx)
     } else if cs.select.is_empty() {
-        eval_star(cs, &bindings, &surviving)
+        eval_star(cs, bindings, &surviving)
     } else {
         let schema = cs.output_schema.clone().ok_or_else(|| {
             EspError::Plan("explicit projection compiled without an output schema".into())
@@ -115,10 +212,11 @@ pub fn eval_select(
         let mut rows = Vec::with_capacity(surviving.len());
         for row in &surviving {
             let env = RowEnv {
-                bindings: &bindings,
+                bindings,
                 row,
                 aggs: None,
                 outer,
+                slots_valid: uniform,
             };
             let mut out = Vec::with_capacity(cs.select.len());
             for item in &cs.select {
@@ -127,6 +225,165 @@ pub fn eval_select(
             rows.push(out);
         }
         Ok(SelectResult { schema, rows })
+    }
+}
+
+/// Whether every input row matches the planned depth-0 scope shape
+/// (pointer-equal schemas). `false` when no plan has been resolved.
+fn plan_matches_inputs(cs: &CompiledSelect, inputs: &[Rows<'_>]) -> bool {
+    let Some(plan) = &cs.plan else { return false };
+    let Some(shape) = plan.ctx.first() else {
+        return false;
+    };
+    if shape.items.len() != inputs.len() {
+        return false;
+    }
+    shape
+        .items
+        .iter()
+        .zip(inputs)
+        .all(|((_, schema), rows)| match schema {
+            Some(s) => rows.iter().all(|t| Arc::ptr_eq(t.schema(), s)),
+            None => rows.is_empty(),
+        })
+}
+
+/// Hash-join enumeration state: per-item hash tables over the extracted
+/// equi-keys, plus the residual predicate list.
+struct HashJoin<'q, 't> {
+    bindings: &'q [Option<String>],
+    keys: &'q [Vec<KeySpec>],
+    /// `Some(table)` for keyed items: join-key → row indices, in row order
+    /// (insertion order preserves the nested-loop emission order).
+    tables: Vec<Option<HashMap<Vec<JoinKey>, Vec<usize>>>>,
+    /// Non-extracted conjuncts, in original evaluation order.
+    residual: Vec<&'q CExpr>,
+    inputs: &'t [Rows<'t>],
+}
+
+impl<'q, 't> HashJoin<'q, 't> {
+    fn build(
+        cs: &'q CompiledSelect,
+        plan: &'q JoinPlan,
+        inputs: &'t [Rows<'t>],
+    ) -> Result<HashJoin<'q, 't>> {
+        let mut conjuncts = Vec::new();
+        if let Some(w) = &cs.where_clause {
+            flatten_conjuncts(w, &mut conjuncts);
+        }
+        let residual: Vec<&CExpr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !plan.extracted.contains(i))
+            .map(|(_, c)| *c)
+            .collect();
+
+        let mut tables = Vec::with_capacity(inputs.len());
+        for (i, rows) in inputs.iter().enumerate() {
+            if plan.keys.get(i).is_none_or(Vec::is_empty) {
+                tables.push(None);
+                continue;
+            }
+            let specs = &plan.keys[i];
+            let mut map: HashMap<Vec<JoinKey>, Vec<usize>> = HashMap::with_capacity(rows.len());
+            'rows: for (ri, t) in rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    match t.values().get(spec.build_col).and_then(join_key) {
+                        Some(k) => key.push(k),
+                        // NULL / NaN keys never compare equal: the row
+                        // cannot survive the extracted conjunct.
+                        None => continue 'rows,
+                    }
+                }
+                map.entry(key).or_default().push(ri);
+            }
+            tables.push(Some(map));
+        }
+        Ok(HashJoin {
+            bindings: &cs.bindings,
+            keys: &plan.keys,
+            tables,
+            residual,
+            inputs,
+        })
+    }
+
+    fn run(
+        &self,
+        outer: Option<&RowEnv<'_>>,
+        ctx: &ExecCtx<'_>,
+        surviving: &mut Vec<Vec<&'t Tuple>>,
+    ) -> Result<()> {
+        let mut fixed: Vec<&'t Tuple> = Vec::with_capacity(self.inputs.len());
+        self.descend(0, &mut fixed, outer, ctx, surviving)
+    }
+
+    /// Depth-first enumeration, item 0 outermost — the same lexicographic
+    /// order as the odometer scan, minus key-mismatched combinations.
+    fn descend(
+        &self,
+        item: usize,
+        fixed: &mut Vec<&'t Tuple>,
+        outer: Option<&RowEnv<'_>>,
+        ctx: &ExecCtx<'_>,
+        surviving: &mut Vec<Vec<&'t Tuple>>,
+    ) -> Result<()> {
+        if item == self.inputs.len() {
+            // Extracted keys already hold; evaluate the residual
+            // conjuncts in their original order (short-circuit on false,
+            // propagating errors exactly as the full scan would).
+            let env = RowEnv {
+                bindings: self.bindings,
+                row: fixed,
+                aggs: None,
+                outer,
+                // The hash path only runs when inputs are uniform.
+                slots_valid: true,
+            };
+            for c in &self.residual {
+                if !eval_expr(c, &env, ctx)?.truthy() {
+                    return Ok(());
+                }
+            }
+            surviving.push(fixed.clone());
+            return Ok(());
+        }
+        match &self.tables[item] {
+            None => {
+                for t in self.inputs[item].iter() {
+                    fixed.push(t);
+                    self.descend(item + 1, fixed, outer, ctx, surviving)?;
+                    fixed.pop();
+                }
+            }
+            Some(table) => {
+                let specs = &self.keys[item];
+                let mut key = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    let probe = fixed
+                        .get(spec.probe_item)
+                        .and_then(|t| t.values().get(spec.probe_col))
+                        .and_then(join_key);
+                    match probe {
+                        Some(k) => key.push(k),
+                        // NULL probe value: the equality can never hold.
+                        None => return Ok(()),
+                    }
+                }
+                if let Some(candidates) = table.get(&key) {
+                    for &ri in candidates {
+                        let Some(t) = self.inputs[item].get(ri) else {
+                            continue;
+                        };
+                        fixed.push(t);
+                        self.descend(item + 1, fixed, outer, ctx, surviving)?;
+                        fixed.pop();
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -145,11 +402,14 @@ fn eval_star(
         });
     };
     // Join the schemas of the first row, prefixing duplicates by binding.
+    // Interned so consumers see a stable schema pointer across epochs
+    // (keeping their own slot plans cached and valid).
     let mut schema: Arc<Schema> = Arc::clone(first[0].schema());
     for (i, t) in first.iter().enumerate().skip(1) {
         let prefix = bindings[i].as_deref().unwrap_or("right");
         schema = schema.join(t.schema(), Some(prefix))?;
     }
+    let schema = registry::intern(&schema);
     let _ = cs;
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
@@ -173,6 +433,7 @@ fn eval_grouped(
     bindings: &[Option<String>],
     rows: &[Vec<&Tuple>],
     outer: Option<&RowEnv<'_>>,
+    uniform: bool,
     ctx: &ExecCtx<'_>,
 ) -> Result<SelectResult> {
     // Group rows.
@@ -198,6 +459,7 @@ fn eval_grouped(
                 row,
                 aggs: None,
                 outer,
+                slots_valid: uniform,
             };
             let mut key = Vec::with_capacity(cs.group_by.len());
             for g in &cs.group_by {
@@ -231,6 +493,7 @@ fn eval_grouped(
                 rows,
                 &group.members,
                 outer,
+                uniform,
                 ctx,
             )?);
         }
@@ -241,6 +504,7 @@ fn eval_grouped(
             row: rep,
             aggs: Some(&agg_values),
             outer,
+            slots_valid: uniform,
         };
         if let Some(h) = &cs.having {
             if !eval_expr(h, &env, ctx)?.truthy() {
@@ -259,12 +523,248 @@ fn eval_grouped(
     })
 }
 
+/// Fetch row `i` of a single-item scan; the index was produced by the
+/// same scan, so absence means the view changed under us mid-tick.
+fn fetch<'a>(input: &'a Rows<'_>, i: u32) -> Result<&'a Tuple> {
+    input
+        .get(i as usize)
+        .ok_or_else(|| EspError::Plan("window row vanished mid-tick".into()))
+}
+
+/// The slot column of an expression that is exactly a depth-0, item-0
+/// field reference — the only shape a single-item scan can resolve.
+/// Under a uniform scan the column can be read straight off the tuple;
+/// `eval_expr` would produce the identical value through `slot_lookup`.
+fn direct_col(e: &CExpr) -> Option<usize> {
+    match e {
+        CExpr::Field { slot: Some(s), .. } if s.depth == 0 && s.from_idx == 0 => {
+            Some(s.col_idx as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Allocation-free evaluation of a single-FROM-item select over uniform,
+/// plan-matching rows. Observationally identical to the generic path in
+/// [`eval_select`]: same phase order, same row order, same short-circuits
+/// — only the per-row bookkeeping (join-row vectors, group-key clones)
+/// is gone. Reference mode never resolves a plan, so it never gets here.
+fn eval_fused_single(
+    cs: &CompiledSelect,
+    bindings: &[Option<String>],
+    input: &Rows<'_>,
+    outer: Option<&RowEnv<'_>>,
+    ctx: &ExecCtx<'_>,
+) -> Result<SelectResult> {
+    // Phase 1: WHERE over every row, in order.
+    let mut kept: Vec<u32> = Vec::with_capacity(input.len());
+    match &cs.where_clause {
+        Some(w) => {
+            for i in 0..input.len() {
+                let t = fetch(input, i as u32)?;
+                let row = [t];
+                let env = RowEnv {
+                    bindings,
+                    row: &row,
+                    aggs: None,
+                    outer,
+                    slots_valid: true,
+                };
+                if eval_expr(w, &env, ctx)?.truthy() {
+                    kept.push(i as u32);
+                }
+            }
+        }
+        None => kept.extend(0..input.len() as u32),
+    }
+
+    // Phase 2: grouped fold.
+    if cs.is_aggregate {
+        let schema = cs.output_schema.clone().ok_or_else(|| {
+            EspError::Plan("aggregate select compiled without an output schema".into())
+        })?;
+        // Group membership, keyed without cloning: lookups borrow the
+        // scratch key as a slice; only a group's first row allocates.
+        let mut order: Vec<Vec<ValueKey>> = Vec::new();
+        let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut reps: Vec<Option<u32>> = Vec::new();
+        if cs.group_by.is_empty() {
+            // Global group, present even over empty input.
+            order.push(Vec::new());
+            index.insert(Vec::new(), 0);
+            reps.push(kept.first().copied());
+            members.push(std::mem::take(&mut kept));
+        } else {
+            let key_cols: Vec<Option<usize>> = cs.group_by.iter().map(direct_col).collect();
+            let mut scratch: Vec<ValueKey> = Vec::with_capacity(cs.group_by.len());
+            for &i in &kept {
+                let t = fetch(input, i)?;
+                let row = [t];
+                let env = RowEnv {
+                    bindings,
+                    row: &row,
+                    aggs: None,
+                    outer,
+                    slots_valid: true,
+                };
+                scratch.clear();
+                for (g, kc) in cs.group_by.iter().zip(&key_cols) {
+                    // A depth-0 slot reads its column straight off the
+                    // tuple — same value `eval_expr` would produce, minus
+                    // the dispatch.
+                    let v = match kc.and_then(|c| t.values().get(c)) {
+                        Some(v) => v.clone(),
+                        None => eval_expr(g, &env, ctx)?,
+                    };
+                    scratch.push(v.group_key());
+                }
+                let gi = match index.get(scratch.as_slice()) {
+                    Some(&gi) => gi,
+                    None => {
+                        let gi = order.len();
+                        order.push(scratch.clone());
+                        index.insert(scratch.clone(), gi);
+                        members.push(Vec::new());
+                        reps.push(Some(i));
+                        gi
+                    }
+                };
+                members[gi].push(i);
+            }
+        }
+
+        let arg_cols: Vec<Option<usize>> = cs
+            .agg_calls
+            .iter()
+            .map(|c| c.arg.as_ref().and_then(direct_col))
+            .collect();
+        let mut out_rows = Vec::with_capacity(order.len());
+        for gi in 0..order.len() {
+            // Fold every aggregate over the group's members, in row order.
+            let mut agg_values = Vec::with_capacity(cs.agg_calls.len());
+            for (call, ac) in cs.agg_calls.iter().zip(&arg_cols) {
+                let mut state = call.factory.make();
+                let mut distinct_seen: HashSet<ValueKey> = HashSet::new();
+                for &ri in &members[gi] {
+                    // Slot-resolved args fold the borrowed value in place
+                    // (no clone, no per-member environment).
+                    if let Some(v) = ac.and_then(|c| fetch(input, ri).ok()?.values().get(c)) {
+                        if v.is_null() {
+                            continue; // SQL aggregates ignore NULLs.
+                        }
+                        if call.distinct && !distinct_seen.insert(v.clone().group_key()) {
+                            continue;
+                        }
+                        state.update(v)?;
+                        continue;
+                    }
+                    let v = match &call.arg {
+                        None => Value::Int(1), // count(*)
+                        Some(arg) => {
+                            let t = fetch(input, ri)?;
+                            let row = [t];
+                            let env = RowEnv {
+                                bindings,
+                                row: &row,
+                                aggs: None,
+                                outer,
+                                slots_valid: true,
+                            };
+                            eval_expr(arg, &env, ctx)?
+                        }
+                    };
+                    if call.arg.is_some() && v.is_null() {
+                        continue; // SQL aggregates ignore NULLs.
+                    }
+                    if call.distinct && !distinct_seen.insert(v.group_key()) {
+                        continue;
+                    }
+                    state.update(&v)?;
+                }
+                agg_values.push(state.finish());
+            }
+            let rep_store;
+            let rep: &[&Tuple] = match reps[gi] {
+                Some(ri) => {
+                    rep_store = [fetch(input, ri)?];
+                    &rep_store
+                }
+                None => &[],
+            };
+            let env = RowEnv {
+                bindings,
+                row: rep,
+                aggs: Some(&agg_values),
+                outer,
+                slots_valid: true,
+            };
+            if let Some(h) = &cs.having {
+                if !eval_expr(h, &env, ctx)?.truthy() {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(cs.select.len());
+            for item in &cs.select {
+                out.push(eval_expr(&item.expr, &env, ctx)?);
+            }
+            out_rows.push(out);
+        }
+        return Ok(SelectResult {
+            schema,
+            rows: out_rows,
+        });
+    }
+
+    // Phase 2': `SELECT *` over one item — the single-item case of
+    // [`eval_star`] (no schema join needed, same interning).
+    if cs.select.is_empty() {
+        let Some(&first) = kept.first() else {
+            return Ok(SelectResult {
+                schema: Schema::new(vec![])?,
+                rows: vec![],
+            });
+        };
+        let schema = registry::intern(fetch(input, first)?.schema());
+        let mut out = Vec::with_capacity(kept.len());
+        for &i in &kept {
+            out.push(fetch(input, i)?.values().to_vec());
+        }
+        return Ok(SelectResult { schema, rows: out });
+    }
+
+    // Phase 2'': explicit projection.
+    let schema = cs.output_schema.clone().ok_or_else(|| {
+        EspError::Plan("explicit projection compiled without an output schema".into())
+    })?;
+    let mut rows = Vec::with_capacity(kept.len());
+    for &i in &kept {
+        let t = fetch(input, i)?;
+        let row = [t];
+        let env = RowEnv {
+            bindings,
+            row: &row,
+            aggs: None,
+            outer,
+            slots_valid: true,
+        };
+        let mut out = Vec::with_capacity(cs.select.len());
+        for item in &cs.select {
+            out.push(eval_expr(&item.expr, &env, ctx)?);
+        }
+        rows.push(out);
+    }
+    Ok(SelectResult { schema, rows })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn fold_aggregate(
     call: &AggCall,
     bindings: &[Option<String>],
     rows: &[Vec<&Tuple>],
     members: &[usize],
     outer: Option<&RowEnv<'_>>,
+    uniform: bool,
     ctx: &ExecCtx<'_>,
 ) -> Result<Value> {
     let mut state = call.factory.make();
@@ -279,6 +779,7 @@ fn fold_aggregate(
                     row,
                     aggs: None,
                     outer,
+                    slots_valid: uniform,
                 };
                 eval_expr(arg, &env, ctx)?
             }
@@ -294,35 +795,72 @@ fn fold_aggregate(
     Ok(state.finish())
 }
 
-/// Materialize the rows of one FROM item.
-fn materialize_from(
-    item: &CFromItem,
+/// View (or, for derived tables, materialize) the rows of one FROM item.
+fn materialize_from<'q>(
+    item: &'q CFromItem,
     outer: Option<&RowEnv<'_>>,
-    ctx: &ExecCtx<'_>,
-) -> Result<Vec<Tuple>> {
+    ctx: &ExecCtx<'q>,
+) -> Result<Rows<'q>> {
     match &item.source {
-        CSource::Stream { window, .. } => Ok(window.to_vec()),
+        CSource::Stream { window, .. } => Ok(Rows::View(window.view())),
         CSource::Relation { name } => ctx
             .catalog
             .relation(name)
-            .map(|r| r.as_ref().clone())
+            .map(|r| Rows::View(WindowView::of_slice(&r[..])))
             .ok_or_else(|| EspError::UnknownSource(name.clone())),
         CSource::Derived(sub) => {
             let result = eval_select(sub, outer, ctx)?;
-            Ok(result
-                .rows
-                .into_iter()
-                .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), ctx.epoch, vals))
-                .collect())
+            Ok(Rows::Owned(
+                result
+                    .rows
+                    .into_iter()
+                    .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), ctx.epoch, vals))
+                    .collect(),
+            ))
         }
     }
+}
+
+/// Fetch a slot-resolved field, or `None` when the runtime environment
+/// doesn't match the plan and the name walk must run instead.
+fn slot_lookup(slot: &FieldSlot, env: &RowEnv<'_>) -> Option<Value> {
+    // Every scope on the way to (and including) the slot's must be
+    // uniform: a non-conforming tuple in an intermediate scope could
+    // shadow the name or make it ambiguous where the plan assumed not.
+    let mut target = env;
+    if !target.slots_valid {
+        return None;
+    }
+    for _ in 0..slot.depth {
+        target = target.outer?;
+        if !target.slots_valid {
+            return None;
+        }
+    }
+    let t = target.row.get(slot.from_idx as usize)?;
+    if !Arc::ptr_eq(t.schema(), &slot.schema) {
+        return None;
+    }
+    t.values().get(slot.col_idx as usize).cloned()
 }
 
 /// Evaluate one expression against a row environment.
 pub fn eval_expr(e: &CExpr, env: &RowEnv<'_>, ctx: &ExecCtx<'_>) -> Result<Value> {
     match e {
         CExpr::Literal(v) => Ok(v.clone()),
-        CExpr::Field { qualifier, name } => resolve_field(qualifier.as_deref(), name, env),
+        CExpr::Field {
+            qualifier,
+            name,
+            slot,
+            ..
+        } => {
+            if let Some(s) = slot {
+                if let Some(v) = slot_lookup(s, env) {
+                    return Ok(v);
+                }
+            }
+            resolve_field(qualifier.as_deref(), name, env)
+        }
         CExpr::Agg { idx, key } => match env.aggs {
             Some(aggs) => Ok(aggs[*idx].clone()),
             None => Err(EspError::Plan(format!(
@@ -433,8 +971,9 @@ fn eval_arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value> {
     Ok(Value::Float(v))
 }
 
-/// Resolve a (possibly qualified) field reference: current scope first,
-/// then enclosing scopes (correlation).
+/// Resolve a (possibly qualified) field reference by name: current scope
+/// first, then enclosing scopes (correlation). This is the slow path —
+/// and the reference semantics the slot fast path must agree with.
 fn resolve_field(qualifier: Option<&str>, name: &str, env: &RowEnv<'_>) -> Result<Value> {
     let mut scope: Option<&RowEnv<'_>> = Some(env);
     while let Some(s) = scope {
@@ -505,6 +1044,7 @@ mod tests {
     use super::*;
     use crate::compile::compile;
     use crate::parser::parse;
+    use crate::plan::{resolve_pass, Mode};
     use esp_types::{DataType, TupleBuilder};
 
     fn ctx(catalog: &Catalog) -> ExecCtx<'_> {
@@ -555,6 +1095,27 @@ mod tests {
         let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
         assert_eq!(r.rows, vec![vec![Value::str("a")]]);
         assert_eq!(r.schema.fields()[0].name, "tag_id");
+    }
+
+    #[test]
+    fn filter_projects_rows_with_slots() {
+        // Same query as `filter_projects_rows`, but resolved: the result
+        // must be identical through the slot fast path.
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT tag_id FROM s [Range By '5 sec'] WHERE tag_id != 'b'").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(
+            &mut cs,
+            "s",
+            &[reading(&schema, "a"), reading(&schema, "b")],
+        );
+        assert!(resolve_pass(&mut cs, &[], &catalog, Mode::Lazy).is_empty());
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::str("a")]]);
     }
 
     #[test]
@@ -649,6 +1210,62 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_matches_nested_loop() {
+        // Resolved plan → hash join; unresolved → odometer. Same rows,
+        // same order.
+        let sql = "SELECT l.tag_id, r.tag_id FROM a l [Range '5 sec'], b r [Range '5 sec'] \
+                   WHERE l.tag_id = r.tag_id";
+        let catalog = Catalog::new();
+        let schema = registry::intern(&tag_schema());
+        let batch_a = [
+            reading(&schema, "x"),
+            reading(&schema, "y"),
+            reading(&schema, "x"),
+        ];
+        let batch_b = [
+            reading(&schema, "x"),
+            reading(&schema, "z"),
+            reading(&schema, "x"),
+        ];
+        let run = |resolved: bool| {
+            let mut cs = compile(&parse(sql).unwrap(), &catalog).unwrap();
+            push_all(&mut cs, "a", &batch_a);
+            push_all(&mut cs, "b", &batch_b);
+            if resolved {
+                assert!(resolve_pass(&mut cs, &[], &catalog, Mode::Lazy).is_empty());
+                let plan = cs.plan.as_ref().unwrap();
+                assert!(plan.join.is_some(), "equi-join key extracted");
+            }
+            eval_select(&cs, None, &ctx(&catalog)).unwrap().rows
+        };
+        let hash = run(true);
+        let scan = run(false);
+        assert_eq!(hash, scan);
+        // x-rows pair up 2×2, in left-major order.
+        assert_eq!(hash.len(), 4);
+        assert_eq!(hash[0], vec![Value::str("x"), Value::str("x")]);
+    }
+
+    #[test]
+    fn hash_join_excludes_null_keys() {
+        let catalog = Catalog::new();
+        let schema =
+            registry::intern(&Schema::builder().field("k", DataType::Str).build().unwrap());
+        let null_row = |ts| Tuple::new_unchecked(Arc::clone(&schema), ts, vec![Value::Null]);
+        let mut cs = compile(
+            &parse("SELECT l.k FROM a l [Range '5 sec'], b r [Range '5 sec'] WHERE l.k = r.k")
+                .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        push_all(&mut cs, "a", &[null_row(Ts::from_secs(1))]);
+        push_all(&mut cs, "b", &[null_row(Ts::from_secs(1))]);
+        resolve_pass(&mut cs, &[], &catalog, Mode::Lazy);
+        let r = eval_select(&cs, None, &ctx(&catalog)).unwrap();
+        assert!(r.rows.is_empty(), "NULL = NULL is not a match");
+    }
+
+    #[test]
     fn arith_semantics() {
         // int preservation and float division
         assert_eq!(
@@ -685,6 +1302,25 @@ mod tests {
         let schema = tag_schema();
         push_all(&mut cs, "a", &[reading(&schema, "x")]);
         push_all(&mut cs, "b", &[reading(&schema, "y")]);
+        let err = eval_select(&cs, None, &ctx(&catalog)).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn ambiguous_reference_still_errors_after_resolve() {
+        // The resolver marks the reference ambiguous (slot = None); the
+        // runtime walk must reproduce the interpreter's error.
+        let catalog = Catalog::new();
+        let mut cs = compile(
+            &parse("SELECT tag_id FROM a [Range '5 sec'], b [Range '5 sec']").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let schema = tag_schema();
+        push_all(&mut cs, "a", &[reading(&schema, "x")]);
+        push_all(&mut cs, "b", &[reading(&schema, "y")]);
+        let diags = resolve_pass(&mut cs, &[], &catalog, Mode::Lazy);
+        assert!(diags.is_empty(), "lazy mode never diagnoses");
         let err = eval_select(&cs, None, &ctx(&catalog)).unwrap_err();
         assert!(err.to_string().contains("ambiguous"));
     }

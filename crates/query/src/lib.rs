@@ -40,6 +40,7 @@ mod engine;
 pub mod exec;
 mod lexer;
 mod parser;
+pub mod plan;
 pub mod range;
 
 pub use catalog::Catalog;

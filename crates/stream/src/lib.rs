@@ -47,4 +47,4 @@ pub use graph::{Dataflow, NodeId, TapId};
 pub use operator::{Operator, ScriptedSource, Source};
 pub use stats::QueueStats;
 pub use threaded::ThreadedRunner;
-pub use window::WindowBuffer;
+pub use window::{WindowBuffer, WindowView};

@@ -25,6 +25,10 @@ pub struct WindowBuffer {
     buf: VecDeque<Tuple>,
     /// High-water mark of timestamps seen, for the monotonicity debug check.
     hwm: Ts,
+    /// The logical time of the most recent [`WindowBuffer::advance_to`],
+    /// so a width change can re-establish the window invariant
+    /// immediately instead of waiting for the next advance.
+    now: Ts,
 }
 
 impl WindowBuffer {
@@ -35,6 +39,7 @@ impl WindowBuffer {
             width,
             buf: VecDeque::new(),
             hwm: Ts::ZERO,
+            now: Ts::ZERO,
         }
     }
 
@@ -44,9 +49,16 @@ impl WindowBuffer {
     }
 
     /// Change the window width (used by Smooth's window expansion,
-    /// paper §5.2.1). Retained tuples are re-evicted on the next advance.
+    /// paper §5.2.1).
+    ///
+    /// Shrinking re-evicts immediately against the last advanced-to time,
+    /// so the width invariant (`t.ts() >= now - width` for every retained
+    /// tuple) holds as soon as this returns — a narrower window never
+    /// leaks tuples that were only visible under the old width into an
+    /// evaluation that happens before the next [`WindowBuffer::advance_to`].
     pub fn set_width(&mut self, width: TimeDelta) {
         self.width = width;
+        self.evict(self.now.window_start(width));
     }
 
     /// Insert one tuple, keeping timestamp order. Cost is O(1) for in-order
@@ -74,7 +86,11 @@ impl WindowBuffer {
     /// Slide the window forward to logical time `now`, evicting tuples that
     /// fall out of `[now - width, now]`.
     pub fn advance_to(&mut self, now: Ts) {
-        let cutoff = now.window_start(self.width);
+        self.now = now;
+        self.evict(now.window_start(self.width));
+    }
+
+    fn evict(&mut self, cutoff: Ts) {
         while let Some(front) = self.buf.front() {
             if front.ts() < cutoff {
                 self.buf.pop_front();
@@ -92,6 +108,15 @@ impl WindowBuffer {
     /// The tuples currently in the window as a slice pair (no allocation).
     pub fn as_slices(&self) -> (&[Tuple], &[Tuple]) {
         self.buf.as_slices()
+    }
+
+    /// A borrowed, allocation-free view of the window contents (oldest
+    /// first). This is the hot-path alternative to [`WindowBuffer::to_vec`]:
+    /// windowed operators evaluate straight over the ring-buffer slices
+    /// instead of cloning every tuple per tick.
+    pub fn view(&self) -> WindowView<'_> {
+        let (head, tail) = self.buf.as_slices();
+        WindowView { head, tail }
     }
 
     /// Collect the window contents into a vector.
@@ -122,6 +147,58 @@ impl WindowBuffer {
     /// Drop all tuples.
     pub fn clear(&mut self) {
         self.buf.clear();
+    }
+}
+
+/// A borrowed view of a [`WindowBuffer`]'s contents.
+///
+/// The deque's storage is a ring buffer, so the contents are at most two
+/// contiguous runs; the view exposes them without copying. `Copy` so it can
+/// be passed around freely during one evaluation tick.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowView<'a> {
+    head: &'a [Tuple],
+    tail: &'a [Tuple],
+}
+
+impl<'a> WindowView<'a> {
+    /// A view over a plain slice (for operators whose input is already
+    /// contiguous, e.g. a relation batch).
+    pub fn of_slice(rows: &'a [Tuple]) -> WindowView<'a> {
+        WindowView {
+            head: rows,
+            tail: &[],
+        }
+    }
+
+    /// Number of tuples in the view.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// True when the view holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// The `i`-th tuple, oldest first.
+    pub fn get(&self, i: usize) -> Option<&'a Tuple> {
+        if i < self.head.len() {
+            self.head.get(i)
+        } else {
+            self.tail.get(i - self.head.len())
+        }
+    }
+
+    /// The oldest tuple.
+    pub fn first(&self) -> Option<&'a Tuple> {
+        self.head.first().or_else(|| self.tail.first())
+    }
+
+    /// Iterate oldest first. The items borrow from the underlying buffer,
+    /// not from the view, so they outlive the view itself.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> + '_ {
+        self.head.iter().chain(self.tail.iter())
     }
 }
 
@@ -173,16 +250,71 @@ mod tests {
     }
 
     #[test]
-    fn set_width_applies_on_next_advance() {
+    fn shrinking_width_evicts_immediately() {
         let mut w = WindowBuffer::new(TimeDelta::from_secs(30));
         for s in 0..10u64 {
             w.push(tup(s * 1_000, s as i64));
         }
         w.advance_to(Ts::from_secs(9));
         assert_eq!(w.len(), 10);
+        // The shrink itself restores the invariant — no advance needed.
         w.set_width(TimeDelta::from_secs(2));
+        assert_eq!(values(&w), vec![7, 8, 9]);
+        // Still identical after the (formerly load-bearing) re-advance.
         w.advance_to(Ts::from_secs(9));
         assert_eq!(values(&w), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn shrinking_to_now_window_keeps_only_current_epoch() {
+        let mut w = WindowBuffer::new(TimeDelta::from_secs(30));
+        for s in 0..5u64 {
+            w.push(tup(s * 1_000, s as i64));
+        }
+        w.advance_to(Ts::from_secs(4));
+        w.set_width(TimeDelta::ZERO);
+        assert_eq!(values(&w), vec![4]);
+    }
+
+    #[test]
+    fn set_width_before_any_advance_is_safe() {
+        let mut w = WindowBuffer::new(TimeDelta::from_secs(30));
+        w.push(tup(0, 0));
+        w.push(tup(1_000, 1));
+        // No advance yet: "now" is still the origin, so nothing can be
+        // ahead of the window and nothing is evicted.
+        w.set_width(TimeDelta::ZERO);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn growing_width_never_resurrects() {
+        let mut w = WindowBuffer::new(TimeDelta::from_secs(2));
+        for s in 0..10u64 {
+            w.push(tup(s * 1_000, s as i64));
+            w.advance_to(Ts::from_millis(s * 1_000));
+        }
+        assert_eq!(values(&w), vec![7, 8, 9]);
+        w.set_width(TimeDelta::from_secs(30));
+        // Evicted tuples are gone; widening only affects future evictions.
+        assert_eq!(values(&w), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn view_matches_contents_without_allocation() {
+        let mut w = WindowBuffer::new(TimeDelta::from_secs(5));
+        for s in 0..4u64 {
+            w.push(tup(s * 1_000, s as i64));
+        }
+        let v = w.view();
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.first().map(Tuple::ts), Some(Ts::ZERO));
+        assert_eq!(v.get(3).map(Tuple::ts), Some(Ts::from_secs(3)));
+        assert_eq!(v.get(4), None);
+        let from_view: Vec<_> = v.iter().map(Tuple::ts).collect();
+        let from_contents: Vec<_> = w.contents().map(Tuple::ts).collect();
+        assert_eq!(from_view, from_contents);
     }
 
     #[test]
@@ -247,6 +379,48 @@ mod tests {
                     .filter(|(e, _)| Ts::from_millis(e * 100) >= now.window_start(width))
                     .count();
                 prop_assert_eq!(w.len(), expected);
+            }
+
+            /// The width invariant holds *immediately* after `set_width` +
+            /// `advance_to` in either order, for any width including the
+            /// `TimeDelta::ZERO` now-window edge.
+            #[test]
+            fn width_invariant_holds_immediately_after_set_width(
+                initial_ms in 0u64..20_000,
+                new_ms in 0u64..20_000,
+                epochs in proptest::collection::vec(0u64..100u64, 1..100),
+                shrink_first in proptest::bool::ANY,
+            ) {
+                let mut w = WindowBuffer::new(TimeDelta::from_millis(initial_ms));
+                let mut epochs = epochs;
+                epochs.sort_unstable();
+                let mut now = Ts::ZERO;
+                for e in &epochs {
+                    now = Ts::from_millis(e * 100);
+                    w.push(tup(now.as_millis(), *e as i64));
+                    w.advance_to(now);
+                }
+                let new_width = TimeDelta::from_millis(new_ms);
+                if shrink_first {
+                    w.set_width(new_width);
+                } else {
+                    w.advance_to(now);
+                    w.set_width(new_width);
+                }
+                // Invariant restored by set_width alone — no advance since.
+                let cutoff = now.window_start(new_width);
+                for t in w.contents() {
+                    prop_assert!(
+                        t.ts() >= cutoff && t.ts() <= now,
+                        "stale tuple at {:?} outside [{:?}, {:?}]",
+                        t.ts(), cutoff, now
+                    );
+                }
+                // And it keeps holding after a subsequent advance.
+                w.advance_to(now);
+                for t in w.contents() {
+                    prop_assert!(t.ts() >= cutoff && t.ts() <= now);
+                }
             }
 
             /// Out-of-order intra-epoch pushes sort identically to pre-sorted

@@ -27,6 +27,7 @@ pub mod actuation;
 pub mod diag;
 mod error;
 mod ids;
+pub mod registry;
 mod schema;
 mod time;
 mod tuple;
@@ -37,6 +38,7 @@ pub use actuation::SampleRateHandle;
 pub use diag::{Diagnostic, Severity, Span};
 pub use error::{EspError, Result};
 pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
+pub use registry::SchemaRegistry;
 pub use schema::{DataType, Field, Schema, SchemaBuilder};
 pub use time::{TimeDelta, Ts};
 pub use tuple::{Batch, Tuple, TupleBuilder};

@@ -1,0 +1,147 @@
+//! Structural interning of [`Schema`]s.
+//!
+//! Slot-compiled query plans cache `(from_idx, col_idx)` indices that are
+//! only valid for a particular tuple layout, and they revalidate that
+//! assumption per row with a single `Arc::ptr_eq`. That check is sound but
+//! pessimistic when two structurally identical schemas live behind
+//! different allocations (one per shard, one per epoch, one per
+//! `well_known::*_schema()` call…). The registry collapses those: intern a
+//! schema and every structurally equal schema maps to the *same*
+//! `Arc<Schema>`, so on the hot path schema equality really is pointer
+//! equality.
+//!
+//! Interning is append-only for the process lifetime: schemas are tiny
+//! (a handful of name/type pairs), deployments create a bounded number of
+//! them, and never evicting is what makes handing out `&'static`-free
+//! canonical `Arc`s safe and lock-contention irrelevant (the lock is taken
+//! at compile/deploy time, never per row).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::Schema;
+
+/// Process-wide structural interner for [`Arc<Schema>`].
+///
+/// `Arc<Schema>` hashes and compares through to the underlying [`Schema`],
+/// so a `HashSet<Arc<Schema>>` keyed structurally gives us canonical
+/// representatives for free.
+#[derive(Debug, Default)]
+pub struct SchemaRegistry {
+    schemas: Mutex<HashSet<Arc<Schema>>>,
+}
+
+impl SchemaRegistry {
+    /// A fresh, empty registry (tests; production code wants [`global`]).
+    ///
+    /// [`global`]: SchemaRegistry::global
+    pub fn new() -> SchemaRegistry {
+        SchemaRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static SchemaRegistry {
+        static GLOBAL: OnceLock<SchemaRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SchemaRegistry::new)
+    }
+
+    /// Return the canonical `Arc` for `schema`, registering it if it is the
+    /// first of its structure. Idempotent: interning the canonical `Arc`
+    /// returns it unchanged.
+    pub fn intern(&self, schema: &Arc<Schema>) -> Arc<Schema> {
+        let mut set = match self.schemas.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match set.get(schema) {
+            Some(canon) => Arc::clone(canon),
+            None => {
+                set.insert(Arc::clone(schema));
+                Arc::clone(schema)
+            }
+        }
+    }
+
+    /// Number of distinct schema structures interned so far.
+    pub fn len(&self) -> usize {
+        match self.schemas.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Intern `schema` in the process-wide registry.
+///
+/// Shorthand for `SchemaRegistry::global().intern(schema)`.
+pub fn intern(schema: &Arc<Schema>) -> Arc<Schema> {
+    SchemaRegistry::global().intern(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    fn demo() -> Arc<Schema> {
+        Schema::builder()
+            .field("tag_id", DataType::Str)
+            .field("rssi", DataType::Float)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn structural_duplicates_collapse_to_one_arc() {
+        let reg = SchemaRegistry::new();
+        let a = reg.intern(&demo());
+        let b = reg.intern(&demo());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn interning_the_canonical_arc_is_identity() {
+        let reg = SchemaRegistry::new();
+        let a = reg.intern(&demo());
+        let again = reg.intern(&a);
+        assert!(Arc::ptr_eq(&a, &again));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_structures_stay_distinct() {
+        let reg = SchemaRegistry::new();
+        let a = reg.intern(&demo());
+        let other = Schema::builder()
+            .field("tag_id", DataType::Str)
+            .field("rssi", DataType::Int) // same name, different type
+            .build()
+            .unwrap();
+        let b = reg.intern(&other);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 2);
+
+        // Field order matters: (a, b) != (b, a).
+        let swapped = Schema::builder()
+            .field("rssi", DataType::Float)
+            .field("tag_id", DataType::Str)
+            .build()
+            .unwrap();
+        let c = reg.intern(&swapped);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn global_registry_unifies_across_call_sites() {
+        let a = intern(&demo());
+        let b = intern(&demo());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

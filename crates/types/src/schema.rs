@@ -54,7 +54,7 @@ impl fmt::Display for DataType {
 }
 
 /// One named, typed field of a [`Schema`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Field name (case-sensitive; ESP convention is `snake_case`).
     pub name: String,
@@ -76,7 +76,7 @@ impl Field {
 ///
 /// Schemas are created once per stream/operator and shared by every tuple,
 /// so per-tuple cost is one `Arc` bump.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Schema {
     fields: Vec<Field>,
 }
