@@ -337,6 +337,19 @@ impl EspProcessor {
     pub fn take_output(&mut self) -> Vec<(Ts, Batch)> {
         self.runner.take_tap(self.tap)
     }
+
+    /// Capture the cross-epoch state of every stage in the cascade (the
+    /// epoch-aligned checkpoint protocol — see `esp-durability`). Call
+    /// only between [`EspProcessor::step`]s.
+    pub fn snapshot_state(&self) -> Result<Vec<u8>> {
+        self.runner.snapshot_state()
+    }
+
+    /// Restore stage state captured by [`EspProcessor::snapshot_state`]
+    /// into a freshly built processor of the same configuration.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        self.runner.restore_state(bytes)
+    }
 }
 
 /// Build the `spatial_granule` injection function for one (receptor,

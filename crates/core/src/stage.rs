@@ -6,8 +6,8 @@
 //! and any hand-written `impl Stage` the third.
 
 use esp_query::ContinuousQuery;
-use esp_stream::Operator;
-use esp_types::{Batch, Result, Ts, Tuple};
+use esp_stream::{unexpected_state, Operator, StageState};
+use esp_types::{Batch, EspError, Result, Ts, Tuple};
 
 /// One processing stage of an ESP pipeline.
 ///
@@ -19,6 +19,23 @@ pub trait Stage: Send {
 
     /// Process one epoch.
     fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch>;
+
+    /// Capture cross-epoch state for a durability checkpoint (called at
+    /// epoch boundaries only). The default declares the stage stateless —
+    /// correct for per-tuple filters, wrong for anything windowed: a
+    /// stage holding a window buffer or running aggregate must override
+    /// this and [`Stage::restore`], or recovery silently resets it.
+    /// Built-in stages ([`SmoothStage`](crate::SmoothStage),
+    /// [`MergeStage`](crate::MergeStage), …) all do.
+    fn state(&self) -> Result<Option<StageState>> {
+        Ok(None)
+    }
+
+    /// Restore state captured by [`Stage::state`] into this freshly
+    /// built, identically configured stage.
+    fn restore(&mut self, _state: &StageState) -> Result<()> {
+        Err(unexpected_state(self.name()))
+    }
 }
 
 /// A stage defined by a declarative continuous query.
@@ -61,6 +78,19 @@ impl Stage for DeclarativeStage {
             self.query.push(&self.stream, &input)?;
         }
         self.query.tick(epoch)
+    }
+
+    fn state(&self) -> Result<Option<StageState>> {
+        // The compiled query's window state lives inside the engine and
+        // has no serial form yet. Failing the checkpoint is honest;
+        // pretending the stage is stateless would make recovery silently
+        // wrong. Deployments that need durability use the built-in
+        // stages, whose state round-trips exactly.
+        Err(EspError::Snapshot(format!(
+            "declarative stage '{}' cannot be checkpointed: compiled-query window state \
+             has no serialized form",
+            self.name
+        )))
     }
 }
 
@@ -154,6 +184,25 @@ impl Operator for StageOperator {
 
     fn flush(&mut self, epoch: Ts) -> Result<Batch> {
         self.stage.process(epoch, std::mem::take(&mut self.buf))
+    }
+
+    fn state(&self) -> Result<Option<StageState>> {
+        // `buf` only holds tuples mid-epoch; checkpoints happen at epoch
+        // boundaries where the last flush drained it. Guard anyway: a
+        // non-empty buffer here means the protocol was violated, and a
+        // snapshot that ignored it would lose data on recovery.
+        if !self.buf.is_empty() {
+            return Err(EspError::Snapshot(format!(
+                "stage '{}' checkpointed mid-epoch: {} undelivered tuple(s) in its input buffer",
+                self.stage.name(),
+                self.buf.len()
+            )));
+        }
+        self.stage.state()
+    }
+
+    fn restore(&mut self, state: &StageState) -> Result<()> {
+        self.stage.restore(state)
     }
 }
 

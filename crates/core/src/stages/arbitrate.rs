@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use esp_stream::StageState;
 use esp_types::{Batch, DataType, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
 
 use crate::stage::Stage;
@@ -157,6 +158,15 @@ impl Stage for ArbitrateStage {
             }
         }
         Ok(out)
+    }
+
+    // Arbitrate's candidate sets are rebuilt from each epoch's input —
+    // nothing survives an epoch boundary, so checkpoints record nothing
+    // and recovery rebuilds the stage from configuration. Stated
+    // explicitly (rather than inheriting the default) because it is a
+    // load-bearing property of the recovery invariant.
+    fn state(&self) -> Result<Option<StageState>> {
+        Ok(None)
     }
 }
 

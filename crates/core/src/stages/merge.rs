@@ -16,9 +16,9 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use esp_stream::stats::RunningStats;
-use esp_stream::WindowBuffer;
+use esp_stream::{StageState, WindowBuffer};
 use esp_types::{
-    Batch, DataType, Field, Result, Schema, SpatialGranule, Ts, Tuple, Value, ValueKey,
+    snap, Batch, DataType, Field, Result, Schema, SpatialGranule, Ts, Tuple, Value, ValueKey,
 };
 
 use crate::granule::TemporalGranule;
@@ -326,6 +326,22 @@ impl Stage for MergeStage {
                 )])
             }
         }
+    }
+
+    fn state(&self) -> Result<Option<StageState>> {
+        let mut out = Vec::new();
+        self.window.encode_into(&mut out);
+        snap::put_u64(&mut out, self.outliers_dropped);
+        Ok(Some(StageState(out)))
+    }
+
+    fn restore(&mut self, s: &StageState) -> Result<()> {
+        let mut cur = snap::Cursor::new(s.bytes());
+        self.window.restore_from(&mut cur)?;
+        self.outliers_dropped = cur.u64()?;
+        // `out_schema` is a pure function of the configuration; it is
+        // rebuilt lazily on the next emission.
+        cur.finish()
     }
 }
 

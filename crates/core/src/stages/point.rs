@@ -9,7 +9,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use esp_types::{Batch, Result, Ts, Tuple, Value};
+use esp_stream::StageState;
+use esp_types::{snap, Batch, Result, Ts, Tuple, Value};
 
 use crate::stage::{Stage, TupleMapFn};
 
@@ -141,6 +142,21 @@ impl Stage for PointStage {
             }
         }
         Ok(out)
+    }
+
+    // Point filters tuples one at a time; the only thing that crosses an
+    // epoch boundary is the dropped-readings counter, preserved so
+    // recovery does not reset the stage's statistics.
+    fn state(&self) -> Result<Option<StageState>> {
+        let mut out = Vec::new();
+        snap::put_u64(&mut out, self.dropped);
+        Ok(Some(StageState(out)))
+    }
+
+    fn restore(&mut self, s: &StageState) -> Result<()> {
+        let mut cur = snap::Cursor::new(s.bytes());
+        self.dropped = cur.u64()?;
+        cur.finish()
     }
 }
 

@@ -1,0 +1,319 @@
+//! Versioned per-shard checkpoint snapshots.
+//!
+//! A snapshot captures one shard's entire cross-epoch state at an epoch
+//! boundary: the pipeline's operator state plus any readings buffered but
+//! not yet flushed. The payload is opaque to this module — the gateway
+//! composes and interprets it — but the envelope is checksummed and
+//! written atomically (`tmp` + rename), so a crash mid-checkpoint leaves
+//! the previous snapshot intact and a corrupt file is skipped, never
+//! restored.
+//!
+//! File layout (big-endian), name `snap-{shard:04}-{epoch_ms:012}.snap`:
+//!
+//! ```text
+//! magic     u32   0x45535053 ("ESPS")
+//! version   u16   1
+//! shard     u32
+//! epoch     u64   epoch this state is aligned to (ms)
+//! wal_seq   u64   WAL seq of the flush record that closed that epoch
+//! len       u32   payload length
+//! payload   opaque shard state
+//! crc       u32   FNV-1a over everything before it
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use esp_types::{EspError, Result, Ts};
+
+const SNAP_MAGIC: u32 = 0x4553_5053; // "ESPS"
+const SNAP_VERSION: u16 = 1;
+const SNAP_HEADER_LEN: usize = 4 + 2 + 4 + 8 + 8 + 4;
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in bytes {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn snap_err(msg: impl Into<String>) -> EspError {
+    EspError::Snapshot(msg.into())
+}
+
+/// Identity of one snapshot: which shard, aligned to which epoch, and
+/// where the WAL replay suffix starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Shard index.
+    pub shard: usize,
+    /// Epoch boundary the state is aligned to.
+    pub epoch: Ts,
+    /// Sequence number of the WAL flush record that closed `epoch`;
+    /// recovery replays WAL records strictly after this.
+    pub wal_seq: u64,
+}
+
+/// Reads and writes snapshot files under one directory.
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Open (creating if needed) a snapshot directory.
+    pub fn open(dir: &Path) -> Result<SnapshotStore> {
+        fs::create_dir_all(dir)
+            .map_err(|e| snap_err(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, shard: usize, epoch: Ts) -> PathBuf {
+        self.dir
+            .join(format!("snap-{shard:04}-{:012}.snap", epoch.as_millis()))
+    }
+
+    /// List `(epoch, path)` for one shard, oldest first.
+    fn shard_files(&self, shard: usize) -> Result<Vec<(Ts, PathBuf)>> {
+        let prefix = format!("snap-{shard:04}-");
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| snap_err(format!("cannot list {}: {e}", self.dir.display())))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| snap_err(format!("cannot list {}: {e}", self.dir.display())))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(ms) = name
+                .strip_prefix(&prefix)
+                .and_then(|s| s.strip_suffix(".snap"))
+            else {
+                continue;
+            };
+            let Ok(ms) = ms.parse::<u64>() else { continue };
+            out.push((Ts::from_millis(ms), entry.path()));
+        }
+        out.sort_by_key(|(e, _)| *e);
+        Ok(out)
+    }
+
+    /// Write a snapshot atomically: the file appears under its final name
+    /// only after every byte (including the CRC) is on disk.
+    pub fn write(&self, meta: SnapshotMeta, payload: &[u8]) -> Result<PathBuf> {
+        let mut bytes = Vec::with_capacity(SNAP_HEADER_LEN + payload.len() + 4);
+        bytes.extend_from_slice(&SNAP_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&SNAP_VERSION.to_be_bytes());
+        bytes.extend_from_slice(&(meta.shard as u32).to_be_bytes());
+        bytes.extend_from_slice(&meta.epoch.as_millis().to_be_bytes());
+        bytes.extend_from_slice(&meta.wal_seq.to_be_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(payload);
+        let crc = fnv1a(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+
+        let path = self.path_for(meta.shard, meta.epoch);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &bytes)
+            .map_err(|e| snap_err(format!("cannot write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| snap_err(format!("cannot publish {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    fn load(path: &Path, shard: usize, epoch: Ts) -> Result<(SnapshotMeta, Vec<u8>)> {
+        let bytes =
+            fs::read(path).map_err(|e| snap_err(format!("cannot read {}: {e}", path.display())))?;
+        if bytes.len() < SNAP_HEADER_LEN + 4 {
+            return Err(snap_err("snapshot truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if fnv1a(body) != stored {
+            return Err(snap_err("snapshot CRC mismatch"));
+        }
+        let magic = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+        if magic != SNAP_MAGIC {
+            return Err(snap_err(format!("bad snapshot magic {magic:#010x}")));
+        }
+        let version = u16::from_be_bytes([body[4], body[5]]);
+        if version != SNAP_VERSION {
+            return Err(snap_err(format!("unsupported snapshot version {version}")));
+        }
+        let file_shard = u32::from_be_bytes([body[6], body[7], body[8], body[9]]) as usize;
+        let file_epoch = Ts::from_millis(u64::from_be_bytes([
+            body[10], body[11], body[12], body[13], body[14], body[15], body[16], body[17],
+        ]));
+        let wal_seq = u64::from_be_bytes([
+            body[18], body[19], body[20], body[21], body[22], body[23], body[24], body[25],
+        ]);
+        if file_shard != shard || file_epoch != epoch {
+            return Err(snap_err(format!(
+                "snapshot {} holds shard {file_shard} epoch {} (file name disagrees)",
+                path.display(),
+                file_epoch.as_millis()
+            )));
+        }
+        let len = u32::from_be_bytes([body[26], body[27], body[28], body[29]]) as usize;
+        let payload = &body[SNAP_HEADER_LEN..];
+        if payload.len() != len {
+            return Err(snap_err("snapshot payload length mismatch"));
+        }
+        Ok((
+            SnapshotMeta {
+                shard,
+                epoch,
+                wal_seq,
+            },
+            payload.to_vec(),
+        ))
+    }
+
+    /// The newest snapshot for `shard` that passes validation, falling
+    /// back past corrupt or torn files (a crash mid-write never blocks
+    /// recovery — at worst an older epoch is restored and more WAL is
+    /// replayed). Returns `None` when the shard has no usable snapshot.
+    pub fn latest_valid(&self, shard: usize) -> Result<Option<(SnapshotMeta, Vec<u8>)>> {
+        for (epoch, path) in self.shard_files(shard)?.into_iter().rev() {
+            match Self::load(&path, shard, epoch) {
+                Ok(loaded) => return Ok(Some(loaded)),
+                Err(_) => continue, // fall back to the previous snapshot
+            }
+        }
+        Ok(None)
+    }
+
+    /// Keep the newest `max_snapshots` snapshots for `shard`, deleting
+    /// older ones. Returns how many files were removed.
+    pub fn retain(&self, shard: usize, max_snapshots: usize) -> Result<usize> {
+        let files = self.shard_files(shard)?;
+        let excess = files.len().saturating_sub(max_snapshots.max(1));
+        let mut removed = 0;
+        for (_, path) in files.into_iter().take(excess) {
+            fs::remove_file(&path)
+                .map_err(|e| snap_err(format!("cannot remove {}: {e}", path.display())))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// The smallest `wal_seq` among every shard's newest valid snapshot,
+    /// or `None` if any of `0..shards` lacks one. WAL records strictly
+    /// below this are no longer needed for recovery.
+    pub fn min_covered_seq(&self, shards: usize) -> Result<Option<u64>> {
+        let mut min = None;
+        for shard in 0..shards {
+            match self.latest_valid(shard)? {
+                Some((meta, _)) => {
+                    min = Some(min.map_or(meta.wal_seq, |m: u64| m.min(meta.wal_seq)));
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(name: &str) -> SnapshotStore {
+        let d = std::env::temp_dir().join(format!("esp-snap-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        SnapshotStore::open(&d).unwrap()
+    }
+
+    fn meta(shard: usize, epoch_ms: u64, wal_seq: u64) -> SnapshotMeta {
+        SnapshotMeta {
+            shard,
+            epoch: Ts::from_millis(epoch_ms),
+            wal_seq,
+        }
+    }
+
+    #[test]
+    fn write_then_latest_round_trips() {
+        let s = store("rt");
+        s.write(meta(0, 500, 7), b"state-a").unwrap();
+        s.write(meta(0, 1000, 19), b"state-b").unwrap();
+        let (m, payload) = s.latest_valid(0).unwrap().unwrap();
+        assert_eq!(m, meta(0, 1000, 19));
+        assert_eq!(payload, b"state-b");
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let s = store("shards");
+        s.write(meta(0, 500, 1), b"zero").unwrap();
+        s.write(meta(1, 1500, 9), b"one").unwrap();
+        assert_eq!(s.latest_valid(0).unwrap().unwrap().1, b"zero");
+        assert_eq!(s.latest_valid(1).unwrap().unwrap().1, b"one");
+        assert!(s.latest_valid(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let s = store("fallback");
+        s.write(meta(0, 500, 7), b"good").unwrap();
+        let newest = s.write(meta(0, 1000, 19), b"bad-soon").unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let (m, payload) = s.latest_valid(0).unwrap().unwrap();
+        assert_eq!(m, meta(0, 500, 7));
+        assert_eq!(payload, b"good");
+    }
+
+    #[test]
+    fn every_snapshot_corrupt_means_none() {
+        let s = store("allbad");
+        let p = s.write(meta(0, 500, 7), b"x").unwrap();
+        fs::write(&p, b"not a snapshot").unwrap();
+        assert!(s.latest_valid(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_snapshot_is_skipped() {
+        let s = store("trunc");
+        s.write(meta(0, 500, 7), b"good").unwrap();
+        let newest = s.write(meta(0, 1000, 19), b"torn").unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(s.latest_valid(0).unwrap().unwrap().1, b"good");
+    }
+
+    #[test]
+    fn retain_keeps_only_newest() {
+        let s = store("retain");
+        for e in 1..=5u64 {
+            s.write(meta(0, e * 500, e), b"s").unwrap();
+        }
+        let removed = s.retain(0, 2).unwrap();
+        assert_eq!(removed, 3);
+        let (m, _) = s.latest_valid(0).unwrap().unwrap();
+        assert_eq!(m.epoch, Ts::from_millis(2500));
+    }
+
+    #[test]
+    fn min_covered_seq_requires_every_shard() {
+        let s = store("mincov");
+        s.write(meta(0, 500, 12), b"a").unwrap();
+        assert_eq!(s.min_covered_seq(2).unwrap(), None);
+        s.write(meta(1, 500, 5), b"b").unwrap();
+        assert_eq!(s.min_covered_seq(2).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn mismatched_name_is_rejected() {
+        let s = store("rename");
+        let p = s.write(meta(0, 500, 7), b"x").unwrap();
+        let renamed = p.parent().unwrap().join("snap-0000-000000000999.snap");
+        fs::rename(&p, &renamed).unwrap();
+        // The renamed file claims epoch 999 via its name but holds 500.
+        assert!(s.latest_valid(0).unwrap().is_none());
+    }
+}

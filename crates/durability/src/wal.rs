@@ -1,0 +1,790 @@
+//! Segmented write-ahead reading log.
+//!
+//! Every frame the gateway accepts is appended here *before* it is
+//! sharded, so a crashed worker (or a whole gateway restart) can replay
+//! exactly the input it lost. The log is an ordered sequence of records,
+//! each assigned a monotonically increasing **sequence number**; records
+//! are grouped into segment files so old input can be reclaimed by
+//! deleting whole segments once a checkpoint covers them.
+//!
+//! Segment layout (big-endian), file name `wal-{base_seq:016}.seg`:
+//!
+//! ```text
+//! magic     u32   0x45535057 ("ESPW")
+//! version   u16   1
+//! base_seq  u64   sequence number of the first record in this file
+//! record*         kind u8 | len u32 | payload | crc u32 (FNV-1a)
+//! ```
+//!
+//! Record kinds: `0` = an accepted reading, payload is the checksummed
+//! wire frame exactly as received (see [`esp_receptors::wire`]); `1` = an
+//! epoch flush marker, payload is the epoch as `u64` milliseconds. The
+//! per-record CRC covers kind, length, and payload, so a torn write or a
+//! flipped bit is detected rather than replayed. A **torn tail** — a
+//! partial record where the process died mid-append — is tolerated only
+//! at the end of the *final* segment; anywhere else it is corruption and
+//! reading fails loudly.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use esp_receptors::wire;
+use esp_types::{EspError, Result, Ts};
+
+const SEG_MAGIC: u32 = 0x4553_5057; // "ESPW"
+const SEG_VERSION: u16 = 1;
+const HEADER_LEN: usize = 4 + 2 + 8;
+/// kind + len prefix before the payload, and the CRC after it.
+const RECORD_OVERHEAD: usize = 1 + 4 + 4;
+/// Upper bound on a record payload; anything larger is corruption (the
+/// wire format caps frames far below this).
+const MAX_PAYLOAD: usize = 1 << 20;
+
+const KIND_READING: u8 = 0;
+const KIND_FLUSH: u8 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in bytes {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn wal_err(msg: impl Into<String>) -> EspError {
+    EspError::Wal(msg.into())
+}
+
+/// One logged entry, without its sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// An accepted reading, stored as its original wire frame.
+    Reading(Bytes),
+    /// An epoch flush marker broadcast to every shard.
+    Flush(Ts),
+}
+
+/// One logged entry with the sequence number it was assigned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Position in the global log order.
+    pub seq: u64,
+    /// The entry itself.
+    pub entry: WalEntry,
+}
+
+/// A reading record encoded and checksummed *outside* the writer lock.
+///
+/// Gateway readers serialize on one [`WalWriter`] mutex; preparing the
+/// record body and CRC off-lock shrinks the critical section to a
+/// buffered copy plus a sequence increment. The buffer is reusable —
+/// call [`PreparedRecord::encode`] per frame and append the same
+/// instance each time.
+#[derive(Debug)]
+pub struct PreparedRecord {
+    body: Vec<u8>,
+    crc: u32,
+    ts: Ts,
+}
+
+impl PreparedRecord {
+    /// An empty scratch record; [`encode`](Self::encode) before use.
+    pub fn new() -> Self {
+        Self {
+            body: Vec::new(),
+            crc: 0,
+            ts: Ts::ZERO,
+        }
+    }
+
+    /// Encode an accepted reading's wire frame in place, reusing the
+    /// allocation. `ts` is the reading's timestamp (tracked so a restart
+    /// can re-seed watermark state without re-decoding the whole log).
+    pub fn encode(&mut self, frame: &[u8], ts: Ts) {
+        self.body.clear();
+        self.body.push(KIND_READING);
+        self.body
+            .extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        self.body.extend_from_slice(frame);
+        self.crc = fnv1a(&self.body);
+        self.ts = ts;
+    }
+}
+
+impl Default for PreparedRecord {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn segment_path(dir: &Path, base_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{base_seq:016}.seg"))
+}
+
+/// Create a fresh segment file and write its header.
+fn open_segment(dir: &Path, base_seq: u64) -> Result<std::io::BufWriter<File>> {
+    let path = segment_path(dir, base_seq);
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)
+        .map_err(|e| wal_err(format!("cannot create {}: {e}", path.display())))?;
+    // The hot path appends ~tens of bytes per reading; a large buffer
+    // keeps syscalls (made while the ingestion lock is held) rare.
+    let mut out = std::io::BufWriter::with_capacity(128 * 1024, file);
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&SEG_MAGIC.to_be_bytes());
+    header.extend_from_slice(&SEG_VERSION.to_be_bytes());
+    header.extend_from_slice(&base_seq.to_be_bytes());
+    out.write_all(&header)
+        .map_err(|e| wal_err(format!("write failed: {e}")))?;
+    Ok(out)
+}
+
+fn segment_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(wal_err(format!("cannot list {}: {e}", dir.display()))),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| wal_err(format!("cannot list {}: {e}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(base) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        let base: u64 = base
+            .parse()
+            .map_err(|_| wal_err(format!("segment file '{name}' has a malformed base seq")))?;
+        out.push((base, entry.path()));
+    }
+    out.sort_by_key(|(base, _)| *base);
+    Ok(out)
+}
+
+/// Parse one segment's bytes. `final_segment` enables torn-tail
+/// tolerance: an incomplete trailing record is dropped instead of being
+/// an error, because the process may have died mid-append.
+fn parse_segment(
+    bytes: &[u8],
+    expect_base: u64,
+    final_segment: bool,
+    out: &mut Vec<WalRecord>,
+) -> Result<()> {
+    if bytes.len() < HEADER_LEN {
+        if final_segment {
+            // A crash (or a concurrent reader racing the writer's buffer
+            // flush) between file creation and the header hitting disk.
+            // The file holds no complete record either way.
+            return Ok(());
+        }
+        return Err(wal_err(format!(
+            "segment header truncated ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let magic = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if magic != SEG_MAGIC {
+        return Err(wal_err(format!("bad segment magic {magic:#010x}")));
+    }
+    let version = u16::from_be_bytes([bytes[4], bytes[5]]);
+    if version != SEG_VERSION {
+        return Err(wal_err(format!("unsupported segment version {version}")));
+    }
+    let base_seq = u64::from_be_bytes([
+        bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13],
+    ]);
+    if base_seq != expect_base {
+        return Err(wal_err(format!(
+            "segment claims base seq {base_seq} but {expect_base} was expected \
+             (missing or renamed segment?)"
+        )));
+    }
+
+    let mut pos = HEADER_LEN;
+    let mut seq = base_seq;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        let torn = |what: &str| {
+            if final_segment {
+                Ok(()) // tolerated: drop the partial tail
+            } else {
+                Err(wal_err(format!(
+                    "record {seq}: {what} inside a non-final segment"
+                )))
+            }
+        };
+        if remaining < 5 {
+            return torn("truncated record header");
+        }
+        let kind = bytes[pos];
+        let len = u32::from_be_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
+        if len > MAX_PAYLOAD {
+            // Either a flipped bit in the length or garbage; in the final
+            // segment we cannot distinguish it from a torn write, but
+            // either way the record is not replayed.
+            return torn("record length exceeds maximum");
+        }
+        if remaining < RECORD_OVERHEAD + len {
+            return torn("truncated record payload");
+        }
+        let body = &bytes[pos..pos + 5 + len];
+        let payload = &bytes[pos + 5..pos + 5 + len];
+        let crc_at = pos + 5 + len;
+        let stored = u32::from_be_bytes([
+            bytes[crc_at],
+            bytes[crc_at + 1],
+            bytes[crc_at + 2],
+            bytes[crc_at + 3],
+        ]);
+        if fnv1a(body) != stored {
+            // A complete record with a bad CRC is corruption everywhere —
+            // torn writes only ever shorten the file.
+            return Err(wal_err(format!("record {seq}: CRC mismatch")));
+        }
+        let entry = match kind {
+            KIND_READING => WalEntry::Reading(Bytes::from(payload.to_vec())),
+            KIND_FLUSH => {
+                if len != 8 {
+                    return Err(wal_err(format!(
+                        "record {seq}: flush marker with {len}-byte payload"
+                    )));
+                }
+                let ms = u64::from_be_bytes([
+                    payload[0], payload[1], payload[2], payload[3], payload[4], payload[5],
+                    payload[6], payload[7],
+                ]);
+                WalEntry::Flush(Ts::from_millis(ms))
+            }
+            k => return Err(wal_err(format!("record {seq}: unknown kind {k}"))),
+        };
+        out.push(WalRecord { seq, entry });
+        seq += 1;
+        pos = crc_at + 4;
+    }
+    Ok(())
+}
+
+/// Read every record in a WAL directory, in sequence order.
+///
+/// Verifies segment headers, per-record CRCs, and cross-segment sequence
+/// continuity. Tolerates a torn tail in the final segment only.
+pub fn read_wal_dir(dir: &Path) -> Result<Vec<WalRecord>> {
+    let files = segment_files(dir)?;
+    let mut out = Vec::new();
+    let last = files.len().saturating_sub(1);
+    let mut expect_base = None;
+    for (i, (base, path)) in files.iter().enumerate() {
+        let bytes =
+            fs::read(path).map_err(|e| wal_err(format!("cannot read {}: {e}", path.display())))?;
+        if let Some(expected) = expect_base {
+            if *base != expected {
+                return Err(wal_err(format!(
+                    "gap in WAL: segment {} follows seq {expected}",
+                    path.display()
+                )));
+            }
+        }
+        parse_segment(&bytes, *base, i == last, &mut out)?;
+        expect_base = Some(out.last().map_or(*base, |r| r.seq + 1));
+    }
+    Ok(out)
+}
+
+/// Appends records to segment files, rotating by size.
+///
+/// [`WalWriter::open`] resumes numbering from whatever the directory
+/// already holds (validating it in the process) and always starts a fresh
+/// segment, so a restart never appends to a possibly-torn file.
+pub struct WalWriter {
+    dir: PathBuf,
+    segment_bytes: u64,
+    out: std::io::BufWriter<File>,
+    seg_base: u64,
+    seg_written: u64,
+    next_seq: u64,
+    last_flush_epoch: Option<Ts>,
+    max_reading_ts: Option<Ts>,
+    records_appended: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) the log in `dir`, rotating segments at roughly
+    /// `segment_bytes` bytes. Existing records are validated and their
+    /// high-water marks recovered.
+    pub fn open(dir: &Path, segment_bytes: u64) -> Result<WalWriter> {
+        fs::create_dir_all(dir)
+            .map_err(|e| wal_err(format!("cannot create {}: {e}", dir.display())))?;
+        let existing = read_wal_dir(dir)?;
+        let next_seq = existing.last().map_or(0, |r| r.seq + 1);
+        let mut last_flush_epoch = None;
+        let mut max_reading_ts = None;
+        for rec in &existing {
+            match &rec.entry {
+                WalEntry::Flush(e) => last_flush_epoch = Some(*e),
+                WalEntry::Reading(frame) => {
+                    let ts = wire::decode(frame)
+                        .map_err(|e| wal_err(format!("record {}: bad frame: {e}", rec.seq)))?
+                        .ts();
+                    max_reading_ts = Some(max_reading_ts.map_or(ts, |m: Ts| m.max(ts)));
+                }
+            }
+        }
+        let out = open_segment(dir, next_seq)?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            segment_bytes: segment_bytes.max(1),
+            out,
+            seg_base: next_seq,
+            seg_written: HEADER_LEN as u64,
+            next_seq,
+            last_flush_epoch,
+            max_reading_ts,
+            records_appended: 0,
+        })
+    }
+
+    fn start_segment(&mut self) -> Result<()> {
+        self.out = open_segment(&self.dir, self.next_seq)?;
+        self.seg_base = self.next_seq;
+        self.seg_written = HEADER_LEN as u64;
+        Ok(())
+    }
+
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64> {
+        let mut body = Vec::with_capacity(5 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        body.extend_from_slice(payload);
+        let crc = fnv1a(&body);
+        self.append_body(&body, crc)
+    }
+
+    fn append_body(&mut self, body: &[u8], crc: u32) -> Result<u64> {
+        self.out
+            .write_all(body)
+            .and_then(|()| self.out.write_all(&crc.to_be_bytes()))
+            .map_err(|e| wal_err(format!("write failed: {e}")))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records_appended += 1;
+        self.seg_written += (body.len() + 4) as u64;
+        if self.seg_written >= self.segment_bytes {
+            self.sync()?;
+            self.start_segment()?;
+        }
+        Ok(seq)
+    }
+
+    /// Append a reading encoded off-lock via [`PreparedRecord::encode`];
+    /// returns its sequence number. Equivalent to
+    /// [`append_reading`](Self::append_reading) with the body build and
+    /// checksum already paid outside the critical section.
+    pub fn append_prepared(&mut self, rec: &PreparedRecord) -> Result<u64> {
+        self.max_reading_ts = Some(self.max_reading_ts.map_or(rec.ts, |m| m.max(rec.ts)));
+        self.append_body(&rec.body, rec.crc)
+    }
+
+    /// Append an accepted reading's wire frame; returns its sequence
+    /// number. `ts` is the reading's timestamp (tracked so a restart can
+    /// re-seed watermark state without re-decoding the whole log).
+    pub fn append_reading(&mut self, frame: &[u8], ts: Ts) -> Result<u64> {
+        self.max_reading_ts = Some(self.max_reading_ts.map_or(ts, |m| m.max(ts)));
+        self.append(KIND_READING, frame)
+    }
+
+    /// Append an epoch flush marker and flush buffered bytes to the OS —
+    /// an epoch boundary is the unit of recovery, so it must be on disk
+    /// before the flush is acted on.
+    pub fn append_flush(&mut self, epoch: Ts) -> Result<u64> {
+        self.last_flush_epoch = Some(epoch);
+        let seq = self.append(KIND_FLUSH, &epoch.as_millis().to_be_bytes())?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Flush buffered bytes to the OS so `read_wal_dir` sees everything
+    /// appended so far.
+    pub fn sync(&mut self) -> Result<()> {
+        self.out
+            .flush()
+            .map_err(|e| wal_err(format!("flush failed: {e}")))
+    }
+
+    /// The sequence number the next appended record will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Epoch of the most recent flush marker (including recovered ones).
+    pub fn last_flush_epoch(&self) -> Option<Ts> {
+        self.last_flush_epoch
+    }
+
+    /// Largest reading timestamp ever logged (including recovered ones).
+    pub fn max_reading_ts(&self) -> Option<Ts> {
+        self.max_reading_ts
+    }
+
+    /// Records appended by this process (not counting recovered ones).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Delete closed segments whose records all precede `min_seq`; the
+    /// active segment is never deleted. Returns how many files went.
+    pub fn truncate_below(&mut self, min_seq: u64) -> Result<usize> {
+        let files = segment_files(&self.dir)?;
+        let mut deleted = 0;
+        for pair in files.windows(2) {
+            let (base, ref path) = pair[0];
+            let (next_base, _) = pair[1];
+            if base != self.seg_base && next_base <= min_seq {
+                fs::remove_file(path)
+                    .map_err(|e| wal_err(format!("cannot remove {}: {e}", path.display())))?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_receptors::wire::Reading;
+    use esp_types::ReceptorId;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esp-wal-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_readings() -> Vec<Reading> {
+        vec![
+            Reading::Scalar {
+                receptor: ReceptorId(1),
+                ts: Ts::from_millis(120),
+                value: 21.5,
+            },
+            Reading::Tag {
+                receptor: ReceptorId(2),
+                ts: Ts::from_millis(340),
+                tag_id: "badge-7".into(),
+            },
+            Reading::Event {
+                receptor: ReceptorId(3),
+                ts: Ts::from_millis(460),
+                value: "ON".into(),
+            },
+            Reading::Dual {
+                receptor: ReceptorId(4),
+                ts: Ts::from_millis(580),
+                a: 20.0,
+                b: 2.9,
+            },
+        ]
+    }
+
+    /// Simulate a crash mid-append: a live writer is always appending to
+    /// its newest segment, so a freshly-rotated (still header-only)
+    /// trailing file would not exist at crash time. Removing it makes the
+    /// last *data* segment final, which is what torn-tail handling sees.
+    fn drop_empty_active_segment(dir: &Path) {
+        let files = segment_files(dir).unwrap();
+        if let Some((_, path)) = files.last() {
+            if fs::metadata(path).unwrap().len() <= HEADER_LEN as u64 {
+                fs::remove_file(path).unwrap();
+            }
+        }
+    }
+
+    fn write_sample(dir: &Path, segment_bytes: u64) -> Vec<WalRecord> {
+        let mut w = WalWriter::open(dir, segment_bytes).unwrap();
+        let mut expect = Vec::new();
+        for r in sample_readings() {
+            let frame = wire::encode(&r);
+            let seq = w.append_reading(&frame, r.ts()).unwrap();
+            expect.push(WalRecord {
+                seq,
+                entry: WalEntry::Reading(frame),
+            });
+        }
+        let seq = w.append_flush(Ts::from_millis(500)).unwrap();
+        expect.push(WalRecord {
+            seq,
+            entry: WalEntry::Flush(Ts::from_millis(500)),
+        });
+        w.sync().unwrap();
+        expect
+    }
+
+    #[test]
+    fn round_trips_every_reading_kind() {
+        let dir = tmp("rt");
+        let expect = write_sample(&dir, 1 << 20);
+        assert_eq!(read_wal_dir(&dir).unwrap(), expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The off-lock encode path ([`PreparedRecord`]) must be byte-for-
+    /// byte equivalent to `append_reading`, including the reusable-buffer
+    /// case and the high-water timestamp tracking.
+    #[test]
+    fn prepared_append_matches_direct_append() {
+        let direct = tmp("prep-direct");
+        let prepared = tmp("prep-scratch");
+        let expect = write_sample(&direct, 1 << 20);
+
+        let mut w = WalWriter::open(&prepared, 1 << 20).unwrap();
+        let mut rec = PreparedRecord::new();
+        for r in sample_readings() {
+            rec.encode(&wire::encode(&r), r.ts());
+            w.append_prepared(&rec).unwrap();
+        }
+        w.append_flush(Ts::from_millis(500)).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.max_reading_ts(), Some(Ts::from_millis(580)));
+        drop(w);
+
+        assert_eq!(read_wal_dir(&prepared).unwrap(), expect);
+        let _ = fs::remove_dir_all(&direct);
+        let _ = fs::remove_dir_all(&prepared);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_preserves_order() {
+        let dir = tmp("rot");
+        // Tiny segment budget: every record closes its segment.
+        let expect = write_sample(&dir, 8);
+        let files = segment_files(&dir).unwrap();
+        assert!(
+            files.len() >= expect.len(),
+            "expected one segment per record"
+        );
+        assert_eq!(read_wal_dir(&dir).unwrap(), expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_sequence_and_high_water_marks() {
+        let dir = tmp("reopen");
+        let expect = write_sample(&dir, 1 << 20);
+        let w = WalWriter::open(&dir, 1 << 20).unwrap();
+        assert_eq!(w.next_seq(), expect.len() as u64);
+        assert_eq!(w.last_flush_epoch(), Some(Ts::from_millis(500)));
+        assert_eq!(w.max_reading_ts(), Some(Ts::from_millis(580)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_below_reclaims_only_covered_segments() {
+        let dir = tmp("trunc");
+        let expect = write_sample(&dir, 8); // one record per segment
+        let mut w = WalWriter::open(&dir, 8).unwrap();
+        let deleted = w.truncate_below(3).unwrap();
+        assert!(deleted >= 2, "segments below seq 3 should be reclaimed");
+        // What survives must be an exact suffix of the original log that
+        // still covers seq 3.
+        let rest = read_wal_dir(&dir).unwrap();
+        assert!(!rest.is_empty());
+        let start = expect.len() - rest.len();
+        assert_eq!(rest, expect[start..].to_vec());
+        assert!(rest[0].seq <= 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_final_segment_is_dropped() {
+        let dir = tmp("torn");
+        let expect = write_sample(&dir, 1 << 20);
+        drop_empty_active_segment(&dir);
+        let files = segment_files(&dir).unwrap();
+        let (_, last) = files.last().unwrap();
+        let bytes = fs::read(last).unwrap();
+        fs::write(last, &bytes[..bytes.len() - 3]).unwrap();
+        let got = read_wal_dir(&dir).unwrap();
+        assert_eq!(got, expect[..expect.len() - 1].to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_closed_segment_is_an_error() {
+        let dir = tmp("torn-mid");
+        write_sample(&dir, 8); // many segments
+        let files = segment_files(&dir).unwrap();
+        let (_, first) = &files[0];
+        let bytes = fs::read(first).unwrap();
+        fs::write(first, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_wal_dir(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_corruption_is_an_error() {
+        let dir = tmp("crc");
+        write_sample(&dir, 1 << 20);
+        drop_empty_active_segment(&dir);
+        let files = segment_files(&dir).unwrap();
+        let (_, path) = files.last().unwrap();
+        let mut bytes = fs::read(path).unwrap();
+        let i = HEADER_LEN + 7; // somewhere inside the first record
+        bytes[i] ^= 0x01;
+        fs::write(path, &bytes).unwrap();
+        assert!(read_wal_dir(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_is_empty_log() {
+        let dir = tmp("empty");
+        assert!(read_wal_dir(&dir).unwrap().is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_entry() -> impl Strategy<Value = WalEntry> {
+            prop_oneof![
+                (0u32..64, 0u64..1_000_000, -1e6f64..1e6).prop_map(|(id, ms, v)| {
+                    WalEntry::Reading(wire::encode(&Reading::Scalar {
+                        receptor: ReceptorId(id),
+                        ts: Ts::from_millis(ms),
+                        value: v,
+                    }))
+                }),
+                (0u32..64, 0u64..1_000_000, "[a-z0-9-]{0,20}").prop_map(|(id, ms, tag)| {
+                    WalEntry::Reading(wire::encode(&Reading::Tag {
+                        receptor: ReceptorId(id),
+                        ts: Ts::from_millis(ms),
+                        tag_id: tag,
+                    }))
+                }),
+                (0u32..64, 0u64..1_000_000, "[A-Z]{1,8}").prop_map(|(id, ms, ev)| {
+                    WalEntry::Reading(wire::encode(&Reading::Event {
+                        receptor: ReceptorId(id),
+                        ts: Ts::from_millis(ms),
+                        value: ev,
+                    }))
+                }),
+                (0u32..64, 0u64..1_000_000, -1e6f64..1e6, -1e6f64..1e6).prop_map(
+                    |(id, ms, a, b)| {
+                        WalEntry::Reading(wire::encode(&Reading::Dual {
+                            receptor: ReceptorId(id),
+                            ts: Ts::from_millis(ms),
+                            a,
+                            b,
+                        }))
+                    }
+                ),
+                (0u64..1_000_000).prop_map(|ms| WalEntry::Flush(Ts::from_millis(ms))),
+            ]
+        }
+
+        fn write_entries(dir: &Path, entries: &[WalEntry], segment_bytes: u64) -> Vec<WalRecord> {
+            let mut w = WalWriter::open(dir, segment_bytes).unwrap();
+            let mut out = Vec::new();
+            for e in entries {
+                let seq = match e {
+                    WalEntry::Reading(frame) => {
+                        let ts = wire::decode(frame).unwrap().ts();
+                        w.append_reading(frame, ts).unwrap()
+                    }
+                    WalEntry::Flush(epoch) => w.append_flush(*epoch).unwrap(),
+                };
+                out.push(WalRecord {
+                    seq,
+                    entry: e.clone(),
+                });
+            }
+            w.sync().unwrap();
+            out
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn any_entry_sequence_round_trips(
+                entries in proptest::collection::vec(arb_entry(), 1..24),
+                seg in prop_oneof![Just(32u64), Just(256u64), Just(1u64 << 20)],
+            ) {
+                let dir = tmp("prop-rt");
+                let expect = write_entries(&dir, &entries, seg);
+                prop_assert_eq!(read_wal_dir(&dir).unwrap(), expect);
+                let _ = fs::remove_dir_all(&dir);
+            }
+
+            #[test]
+            fn truncated_tail_never_yields_wrong_records(
+                entries in proptest::collection::vec(arb_entry(), 1..12),
+                cut in 1usize..64,
+            ) {
+                let dir = tmp("prop-cut");
+                let expect = write_entries(&dir, &entries, 1 << 20);
+                drop_empty_active_segment(&dir);
+                let files = segment_files(&dir).unwrap();
+                let (_, last) = files.last().unwrap();
+                let bytes = fs::read(last).unwrap();
+                let keep = bytes.len().saturating_sub(cut % bytes.len().max(1));
+                fs::write(last, &bytes[..keep]).unwrap();
+                // Whatever survives must be an exact prefix of the log;
+                // outright rejection is always acceptable.
+                if let Ok(got) = read_wal_dir(&dir) {
+                    prop_assert_eq!(&got[..], &expect[..got.len()]);
+                }
+                let _ = fs::remove_dir_all(&dir);
+            }
+
+            #[test]
+            fn single_bit_flip_is_never_replayed(
+                entries in proptest::collection::vec(arb_entry(), 1..12),
+                pos in any::<u32>(),
+                bit in 0u8..8,
+            ) {
+                let dir = tmp("prop-flip");
+                let expect = write_entries(&dir, &entries, 1 << 20);
+                drop_empty_active_segment(&dir);
+                let files = segment_files(&dir).unwrap();
+                // Flip a bit in the record region (past the header) of the
+                // one data-bearing segment.
+                let (_, path) = &files[0];
+                let mut bytes = fs::read(path).unwrap();
+                // At least one entry was written, so the segment always
+                // has a record region to damage.
+                prop_assert!(bytes.len() > HEADER_LEN);
+                let idx = HEADER_LEN + (pos as usize % (bytes.len() - HEADER_LEN));
+                bytes[idx] ^= 1 << bit;
+                fs::write(path, &bytes).unwrap();
+                // A flip may at worst truncate the log at the damaged
+                // record — it must never alter or reorder a record.
+                if let Ok(got) = read_wal_dir(&dir) {
+                    prop_assert!(got.len() < expect.len());
+                    prop_assert_eq!(&got[..], &expect[..got.len()]);
+                }
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use esp_receptors::framing::FrameWriter;
 use esp_receptors::wire::Reading;
@@ -44,6 +45,32 @@ impl GatewayClient {
         Ok(GatewayClient {
             writer: FrameWriter::new(BufWriter::with_capacity(64 * 1024, stream)),
         })
+    }
+
+    /// Like [`GatewayClient::connect`], but retry with doubling backoff —
+    /// the reconnect path a receptor uses while its gateway is restarting
+    /// after a crash. Tries up to `attempts` times, sleeping
+    /// `initial_backoff`, then twice that, and so on, between failures;
+    /// returns the last error if every attempt fails.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        lateness: TimeDelta,
+        attempts: u32,
+        initial_backoff: Duration,
+    ) -> io::Result<GatewayClient> {
+        let mut backoff = initial_backoff;
+        let mut last_err = io::Error::new(io::ErrorKind::InvalidInput, "zero connect attempts");
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            match GatewayClient::connect(addr.clone(), lateness) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// Encode and send one reading.

@@ -68,6 +68,7 @@
 
 mod client;
 pub mod convert;
+mod durability;
 pub mod model;
 mod server;
 pub mod shard;
@@ -77,6 +78,9 @@ mod worker;
 
 pub use client::GatewayClient;
 pub use convert::ReadingSchemas;
+// Re-exported so gateway users can enable durability without naming the
+// esp-durability crate themselves.
+pub use esp_durability::DurabilityConfig;
 pub use server::{canonical_sort, EpochTrace, Gateway, GatewayConfig, GatewayGroup, GatewayOutput};
 pub use shard::{shard_of_granule, ShardRouter};
 pub use stats::{GatewaySnapshot, GatewayStats};

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -26,16 +26,18 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding, Scope};
+use esp_core::{Pipeline, Scope};
+use esp_durability::{DurabilityConfig, SnapshotMeta, SnapshotStore, WalWriter};
 use esp_receptors::framing::FrameReader;
 use esp_receptors::wire;
 use esp_stream::{QueueStats, ThreadedRunner};
 use esp_types::{Batch, Diagnostic, EspError, ReceptorId, ReceptorType, Result, TimeDelta, Ts};
 
+use crate::durability::DurabilityHooks;
 use crate::shard::{shard_of_granule, ShardRouter};
 use crate::stats::{GatewaySnapshot, GatewayStats};
 use crate::watermark::WatermarkClock;
-use crate::worker::{spawn_worker, QueueSource, ReadingBuffer, ShardMsg};
+use crate::worker::{spawn_worker, ShardMsg};
 
 /// Handshake magic: `"ESPG"` big-endian.
 pub(crate) const HELLO_MAGIC: u32 = 0x4553_5047;
@@ -84,6 +86,10 @@ pub struct GatewayConfig {
     pub max_lateness: Option<TimeDelta>,
     /// The proximity groups (and through them, the routable receptors).
     pub groups: Vec<GatewayGroup>,
+    /// Durability: a write-ahead reading log plus epoch-aligned
+    /// checkpoints under the given directory. `None` (the default) runs
+    /// the gateway as soft state, exactly as before.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl GatewayConfig {
@@ -100,6 +106,7 @@ impl GatewayConfig {
             min_connections: 1,
             max_lateness: None,
             groups,
+            durability: None,
         }
     }
 
@@ -118,6 +125,8 @@ impl GatewayConfig {
     /// * `E0303` — two groups sharing one spatial-granule name.
     /// * `E0503` — degenerate resources: zero shards, zero queue
     ///   capacity, a zero epoch period, or no groups at all.
+    /// * `E0801`/`E0802`/`E0803` — durability misconfiguration, when a
+    ///   durability section is present (see `esp_durability::config`).
     ///
     /// [`Gateway::spawn`] runs this (with `smooth_window = None`) plus a
     /// pipeline-scope check (`E0502`) and refuses to start when any
@@ -184,6 +193,9 @@ impl GatewayConfig {
                 );
             }
         }
+        if let Some(d) = &self.durability {
+            diags.extend(d.validate(self.period, self.max_lateness));
+        }
         esp_types::diag::sort_diagnostics(&mut diags);
         diags
     }
@@ -199,10 +211,13 @@ pub struct Gateway {
     local_addr: SocketAddr,
     stop_accept: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
     accept_handle: JoinHandle<()>,
     coordinator: JoinHandle<Result<()>>,
     reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    workers: Vec<JoinHandle<Result<EpochTrace>>>,
+    workers: Vec<JoinHandle<Result<()>>>,
+    traces: Vec<Arc<Mutex<EpochTrace>>>,
+    crash_countdowns: Vec<Arc<AtomicI64>>,
     stats: GatewayStats,
     queue_stats: QueueStats,
 }
@@ -290,65 +305,95 @@ impl Gateway {
         let queue_stats = QueueStats::new();
         let clock = WatermarkClock::new();
 
+        // Open durable state first: `WalWriter::open` recovers the log's
+        // high-water marks, which seed the coordinator (resume at the
+        // epoch after the last flushed one) and the stats max-timestamp
+        // (so the drain sweep re-covers every logged reading).
+        let mut coord_start = config.start;
+        let mut coord_last_flushed: Option<Ts> = None;
+        let durable = match &config.durability {
+            Some(dc) => {
+                let wal = WalWriter::open(&dc.wal_dir(), dc.segment_bytes)?;
+                if let Some(last) = wal.last_flush_epoch() {
+                    coord_last_flushed = Some(last);
+                    coord_start = last + config.period;
+                }
+                if let Some(max) = wal.max_reading_ts() {
+                    stats.seed_max_ts(max.as_millis());
+                }
+                let store = Arc::new(SnapshotStore::open(&dc.snapshot_dir())?);
+                let every = (dc.checkpoint_interval.as_millis() / config.period.as_millis()).max(1);
+                Some((dc.clone(), Arc::new(Mutex::new(wal)), store, every))
+            }
+            None => None,
+        };
+        let crash_countdowns: Vec<Arc<AtomicI64>> = (0..config.n_shards)
+            .map(|_| Arc::new(AtomicI64::new(-1)))
+            .collect();
+
         // Shard queues + workers.
         let mut txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(config.n_shards);
         let mut workers = Vec::with_capacity(config.n_shards);
-        for shard in 0..config.n_shards {
+        let mut traces: Vec<Arc<Mutex<EpochTrace>>> = Vec::with_capacity(config.n_shards);
+        for (shard, crash_countdown) in crash_countdowns.iter().enumerate() {
             let (tx, rx) = bounded(config.edge_capacity);
             txs.push(tx);
-            let shard_groups: Vec<&GatewayGroup> = config
+            let trace: Arc<Mutex<EpochTrace>> = Arc::new(Mutex::new(Vec::new()));
+            traces.push(Arc::clone(&trace));
+            let shard_groups: Vec<GatewayGroup> = config
                 .groups
                 .iter()
                 .filter(|g| shard_of_granule(&g.granule, config.n_shards) == shard)
+                .cloned()
                 .collect();
             if shard_groups.is_empty() {
                 // No granule hashed here: a sink that still acknowledges
-                // punctuation so flush-latency accounting stays exact.
+                // punctuation (exact flush-latency accounting) and, when
+                // durable, records empty checkpoints so WAL truncation is
+                // not held hostage by an idle shard.
                 let stats = stats.clone();
+                let sink_durability = durable
+                    .as_ref()
+                    .map(|(dc, _, store, every)| (Arc::clone(store), *every, dc.max_snapshots));
                 workers.push(
                     thread::Builder::new()
                         .name(format!("esp-gateway-shard-{shard}"))
                         .spawn(move || {
+                            let mut epochs = 0u64;
                             loop {
                                 match rx.recv() {
-                                    Ok(ShardMsg::Flush(e)) => stats.note_flush_done(e.as_millis()),
-                                    Ok(ShardMsg::Reading(_)) => {}
+                                    Ok(ShardMsg::Flush { seq, epoch }) => {
+                                        stats.note_flush_done(epoch.as_millis());
+                                        if let Some((store, every, keep)) = &sink_durability {
+                                            epochs += 1;
+                                            if epochs >= *every {
+                                                let t0 = crate::stats::CpuTimer::start();
+                                                store.write(
+                                                    SnapshotMeta {
+                                                        shard,
+                                                        epoch,
+                                                        wal_seq: seq,
+                                                    },
+                                                    &[],
+                                                )?;
+                                                store.retain(shard, *keep)?;
+                                                stats.note_checkpoint();
+                                                stats.note_checkpoint_time(t0.elapsed_nanos());
+                                                epochs = 0;
+                                            }
+                                        }
+                                    }
+                                    Ok(ShardMsg::Reading { .. }) => {}
                                     Ok(ShardMsg::Shutdown) | Err(_) => break,
                                 }
                             }
-                            Ok(Vec::new())
+                            Ok(())
                         })
                         .map_err(|e| EspError::Config(format!("spawn shard sink thread: {e}")))?,
                 );
                 continue;
             }
 
-            let mut pg = ProximityGroups::new();
-            let mut rtype_of: HashMap<ReceptorId, ReceptorType> = HashMap::new();
-            for g in &shard_groups {
-                pg.add_group(
-                    g.receptor_type,
-                    g.granule.clone(),
-                    g.members.iter().copied(),
-                );
-                for &m in &g.members {
-                    rtype_of.entry(m).or_insert(g.receptor_type);
-                }
-            }
-            let mut members: Vec<ReceptorId> = rtype_of.keys().copied().collect();
-            members.sort_by_key(|r| r.0);
-
-            let mut buffers: HashMap<ReceptorId, ReadingBuffer> = HashMap::new();
-            let mut bindings = Vec::with_capacity(members.len());
-            for id in members {
-                let buf: ReadingBuffer = Arc::new(Mutex::new(Vec::new()));
-                buffers.insert(id, Arc::clone(&buf));
-                bindings.push(ReceptorBinding::new(
-                    id,
-                    rtype_of[&id],
-                    Box::new(QueueSource::new(id, buf)),
-                ));
-            }
             let pipeline = pipeline_factory(shard);
             if live_shards > 1 {
                 if let Some(slot) = pipeline.slots().iter().find(|s| s.scope == Scope::Global) {
@@ -366,8 +411,26 @@ impl Gateway {
                     )]));
                 }
             }
-            let processor = EspProcessor::build(pg, &pipeline, bindings)?;
-            workers.push(spawn_worker(shard, rx, processor, buffers, stats.clone())?);
+            let hooks = durable
+                .as_ref()
+                .map(|(dc, wal, store, every)| DurabilityHooks {
+                    config: dc.clone(),
+                    store: Arc::clone(store),
+                    wal: Arc::clone(wal),
+                    router: Arc::clone(&router),
+                    n_shards: config.n_shards,
+                    checkpoint_every: *every,
+                    crash_countdown: Arc::clone(crash_countdown),
+                });
+            workers.push(spawn_worker(
+                shard,
+                rx,
+                shard_groups,
+                pipeline,
+                Arc::clone(&trace),
+                stats.clone(),
+                hooks,
+            )?);
         }
 
         // Listener + accept loop.
@@ -391,6 +454,7 @@ impl Gateway {
             let stats = stats.clone();
             let queue_stats = queue_stats.clone();
             let clock = clock.clone();
+            let wal = durable.as_ref().map(|(_, w, _, _)| Arc::clone(w));
             thread::Builder::new()
                 .name("esp-gateway-accept".into())
                 .spawn(move || {
@@ -402,6 +466,7 @@ impl Gateway {
                                 let conn_stats = stats.clone();
                                 let queue_stats = queue_stats.clone();
                                 let clock = clock.clone();
+                                let wal = wal.clone();
                                 let spawned = thread::Builder::new()
                                     .name("esp-gateway-conn".into())
                                     .spawn(move || {
@@ -411,6 +476,7 @@ impl Gateway {
                                             &router,
                                             &txs,
                                             &clock,
+                                            wal.as_deref(),
                                             &conn_stats,
                                             &queue_stats,
                                         )
@@ -435,15 +501,32 @@ impl Gateway {
 
         // Epoch coordinator.
         let drain = Arc::new(AtomicBool::new(false));
+        let killed = Arc::new(AtomicBool::new(false));
         let coordinator = {
             let drain = Arc::clone(&drain);
+            let killed = Arc::clone(&killed);
             let stats = stats.clone();
             let txs = txs.clone();
             let clock = clock.clone();
-            let (start, period, min_conns) = (config.start, config.period, config.min_connections);
+            let wal = durable.as_ref().map(|(_, w, _, _)| Arc::clone(w));
+            let (start, period, min_conns) = (coord_start, config.period, config.min_connections);
+            let last = coord_last_flushed;
             thread::Builder::new()
                 .name("esp-gateway-coordinator".into())
-                .spawn(move || coordinate(&clock, &stats, &txs, &drain, start, period, min_conns))
+                .spawn(move || {
+                    coordinate(
+                        &clock,
+                        &stats,
+                        &txs,
+                        &drain,
+                        &killed,
+                        wal.as_deref(),
+                        start,
+                        last,
+                        period,
+                        min_conns,
+                    )
+                })
                 .map_err(|e| EspError::Config(format!("spawn coordinator thread: {e}")))?
         };
 
@@ -451,10 +534,13 @@ impl Gateway {
             local_addr,
             stop_accept,
             drain,
+            killed,
             accept_handle,
             coordinator,
             reader_handles,
             workers,
+            traces,
+            crash_countdowns,
             stats,
             queue_stats,
         })
@@ -489,39 +575,115 @@ impl Gateway {
         // observes `drain`, the reader joins above (and every enqueue they
         // performed) happen-before its final flush sweep.
         self.drain.store(true, Ordering::Release);
-        self.coordinator
+        // A worker that died early also makes the coordinator fail (its
+        // channel disconnects); join everything before reporting so the
+        // root-cause worker error wins over the coordinator's symptom.
+        let coord = self
+            .coordinator
             .join()
-            .map_err(|_| EspError::Config("gateway coordinator panicked".into()))??;
-        let mut shard_traces = Vec::with_capacity(self.workers.len());
+            .map_err(|_| EspError::Config("gateway coordinator panicked".into()))?;
+        let mut first_err = None;
         for w in self.workers {
-            let trace = w
+            let joined = w
                 .join()
-                .map_err(|_| EspError::Config("gateway worker panicked".into()))??;
-            shard_traces.push(trace);
+                .map_err(|_| EspError::Config("gateway worker panicked".into()))?;
+            if let Err(e) = joined {
+                first_err.get_or_insert(e);
+            }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        coord?;
+        let shard_traces = self
+            .traces
+            .iter()
+            .map(|t| std::mem::take(&mut *t.lock()))
+            .collect();
         let stats = self.stats.snapshot(&self.queue_stats);
         Ok(GatewayOutput {
             shard_traces,
             stats,
         })
     }
+
+    /// Simulate a whole-process crash as faithfully as an in-process
+    /// gateway can: stop accepting, let open connections wind down, then
+    /// stop the coordinator *without* the final drain sweep and discard
+    /// every worker's in-memory output. Durable state (WAL + snapshots)
+    /// is left exactly as the crash would leave it; a gateway re-spawned
+    /// on the same durability directory recovers from it.
+    pub fn kill(self) -> Result<()> {
+        self.stop_accept.store(true, Ordering::Release);
+        self.accept_handle
+            .join()
+            .map_err(|_| EspError::Config("gateway accept thread panicked".into()))?;
+        let readers = std::mem::take(&mut *self.reader_handles.lock());
+        for h in readers {
+            h.join()
+                .map_err(|_| EspError::Config("gateway reader thread panicked".into()))?;
+        }
+        self.killed.store(true, Ordering::Release);
+        let coord = self
+            .coordinator
+            .join()
+            .map_err(|_| EspError::Config("gateway coordinator panicked".into()))?;
+        // Dropping the coordinator's senders disconnects the shard
+        // queues; workers drain what was in flight and exit. As in
+        // `finish`, a worker's own error outranks the coordinator's
+        // disconnect symptom.
+        let mut first_err = None;
+        for w in self.workers {
+            let joined = w
+                .join()
+                .map_err(|_| EspError::Config("gateway worker panicked".into()))?;
+            if let Err(e) = joined {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        coord
+    }
+
+    /// Arm the fault injector: `shard`'s worker simulates a crash after
+    /// processing `after_flushes` more flush messages (0 = on the next
+    /// one), abandoning its processor and buffered readings and coming
+    /// back through the snapshot + WAL-replay recovery path. Only honored
+    /// when durability is configured; without it the countdown is never
+    /// read.
+    pub fn inject_crash(&self, shard: usize, after_flushes: u64) {
+        if let Some(c) = self.crash_countdowns.get(shard) {
+            c.store(after_flushes as i64, Ordering::Release);
+        }
+    }
 }
 
 /// The coordinator loop: poll the watermark, broadcast due epochs, and on
 /// drain flush everything up to the last reading before shutting workers
-/// down.
+/// down. On a restart `start`/`last_flushed` come from the recovered WAL,
+/// so the epoch sequence continues where the previous process left off.
+#[allow(clippy::too_many_arguments)]
 fn coordinate(
     clock: &WatermarkClock,
     stats: &GatewayStats,
     txs: &[Sender<ShardMsg>],
     drain: &AtomicBool,
+    killed: &AtomicBool,
+    wal: Option<&Mutex<WalWriter>>,
     start: Ts,
+    mut last_flushed: Option<Ts>,
     period: TimeDelta,
     min_connections: usize,
 ) -> Result<()> {
     let mut next = start;
-    let mut last_flushed: Option<Ts> = None;
     loop {
+        if killed.load(Ordering::Acquire) {
+            // Simulated hard crash: no final flush sweep, no Shutdown —
+            // exactly what the workers would (not) see on a power cut.
+            return Ok(());
+        }
         let draining = drain.load(Ordering::Acquire);
         // Once draining, every reader has exited: all data is enqueued and
         // the watermark argument is moot — flush everything.
@@ -539,10 +701,7 @@ fn coordinate(
             // stops an all-closed watermark of ∞ from spinning forever).
             while next.as_millis() < wm && last_flushed.is_none_or(|e| e.as_millis() < max_ts) {
                 stats.note_flush_issued(next.as_millis());
-                for tx in txs {
-                    tx.send(ShardMsg::Flush(next))
-                        .map_err(|_| EspError::Config("gateway shard worker hung up".into()))?;
-                }
+                broadcast_flush(txs, wal, next, stats)?;
                 last_flushed = Some(next);
                 next += period;
             }
@@ -557,13 +716,45 @@ fn coordinate(
     }
 }
 
+/// Log the flush marker (when durable) and broadcast it to every shard,
+/// holding the WAL lock across append + enqueue so per-shard queue order
+/// equals WAL order — the invariant recovery's skip rule relies on.
+fn broadcast_flush(
+    txs: &[Sender<ShardMsg>],
+    wal: Option<&Mutex<WalWriter>>,
+    epoch: Ts,
+    stats: &GatewayStats,
+) -> Result<()> {
+    let hung = || EspError::Config("gateway shard worker hung up".into());
+    match wal {
+        Some(w) => {
+            let mut w = w.lock();
+            let seq = w.append_flush(epoch)?;
+            stats.note_wal_record();
+            for tx in txs {
+                tx.send(ShardMsg::Flush { seq, epoch })
+                    .map_err(|_| hung())?;
+            }
+        }
+        None => {
+            for tx in txs {
+                tx.send(ShardMsg::Flush { seq: 0, epoch })
+                    .map_err(|_| hung())?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One connection: handshake, then a frame-decode-route loop until EOF.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
     max_lateness: Option<TimeDelta>,
     router: &ShardRouter,
     txs: &[Sender<ShardMsg>],
     clock: &WatermarkClock,
+    wal: Option<&Mutex<WalWriter>>,
     stats: &GatewayStats,
     queue_stats: &QueueStats,
 ) {
@@ -576,7 +767,16 @@ fn serve_connection(
     };
     stats.note_connection();
     let conn = clock.register();
-    if let Err(_e) = read_frames(stream, lateness_ms, router, txs, &conn, stats, queue_stats) {
+    if let Err(_e) = read_frames(
+        stream,
+        lateness_ms,
+        router,
+        txs,
+        &conn,
+        wal,
+        stats,
+        queue_stats,
+    ) {
         stats.note_io_error();
     }
     // Whatever happened, release the watermark so one dead connection
@@ -624,10 +824,13 @@ fn read_frames(
     router: &ShardRouter,
     txs: &[Sender<ShardMsg>],
     conn: &crate::watermark::ConnClock,
+    wal: Option<&Mutex<WalWriter>>,
     stats: &GatewayStats,
     queue_stats: &QueueStats,
 ) -> Result<()> {
     let mut reader = FrameReader::new(BufReader::with_capacity(64 * 1024, stream));
+    // Scratch WAL record, encoded + checksummed before taking the lock.
+    let mut prepared = esp_durability::PreparedRecord::new();
     while let Some(frame) = reader
         .read_frame()
         .map_err(|e| EspError::Wire(format!("frame read: {e}")))?
@@ -644,8 +847,40 @@ fn read_frames(
             continue;
         };
         let ts_ms = reading.ts().as_millis();
-        for &shard in dests {
-            send_counted(&txs[shard], ShardMsg::Reading(reading.clone()), queue_stats)?;
+        match wal {
+            Some(w) => {
+                // Hold the WAL lock across append + enqueue so per-shard
+                // queue order equals WAL order. Blocking on a full queue
+                // while holding the lock is deliberate — recovery never
+                // takes this lock (see `crate::durability`), so it cannot
+                // deadlock against a recovering worker.
+                prepared.encode(&frame, reading.ts());
+                let mut w = w.lock();
+                let seq = w.append_prepared(&prepared)?;
+                stats.note_wal_record();
+                for &shard in dests {
+                    send_counted(
+                        &txs[shard],
+                        ShardMsg::Reading {
+                            seq,
+                            reading: reading.clone(),
+                        },
+                        queue_stats,
+                    )?;
+                }
+            }
+            None => {
+                for &shard in dests {
+                    send_counted(
+                        &txs[shard],
+                        ShardMsg::Reading {
+                            seq: 0,
+                            reading: reading.clone(),
+                        },
+                        queue_stats,
+                    )?;
+                }
+            }
         }
         stats.note_reading(ts_ms, dests);
         // Advance AFTER enqueuing: the flush this advance may trigger

@@ -31,6 +31,11 @@ struct Inner {
     unroutable: AtomicU64,
     io_errors: AtomicU64,
     max_ts_ms: AtomicU64,
+    wal_records: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_nanos: AtomicU64,
+    crashes: AtomicU64,
+    recoveries: AtomicU64,
     shard_readings: Vec<AtomicU64>,
     flush: Mutex<FlushTracker>,
 }
@@ -102,6 +107,45 @@ impl GatewayStats {
         self.inner.io_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A record (reading or flush marker) was appended to the WAL.
+    pub fn note_wal_record(&self) {
+        self.inner.wal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A shard wrote a checkpoint snapshot.
+    pub fn note_checkpoint(&self) {
+        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Time a shard spent inside the checkpoint path (serialize, write,
+    /// retain), as measured by [`CpuTimer`]. Summed across shards, this
+    /// is the direct cost of the checkpoint protocol — the number the
+    /// durability bench gates on, because on small machines it is far
+    /// more stable than comparing two whole runs.
+    pub fn note_checkpoint_time(&self, nanos: u64) {
+        self.inner
+            .checkpoint_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A shard worker crashed (fault injection).
+    pub fn note_crash(&self) {
+        self.inner.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A shard worker completed snapshot + WAL-replay recovery (startup
+    /// recovery on a durable gateway counts too).
+    pub fn note_recovery(&self) {
+        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seed the max-timestamp watermark from recovered durable state, so
+    /// a restarted coordinator's drain sweep re-covers every logged
+    /// reading even before any new connection arrives.
+    pub fn seed_max_ts(&self, ts_ms: u64) {
+        self.inner.max_ts_ms.fetch_max(ts_ms, Ordering::Relaxed);
+    }
+
     /// Largest reading timestamp accepted so far (ms).
     ///
     /// The coordinator reads this as its flush bound: epoch `e` is only
@@ -160,6 +204,11 @@ impl GatewayStats {
             readings: self.inner.readings.load(Ordering::Relaxed),
             unroutable: self.inner.unroutable.load(Ordering::Relaxed),
             io_errors: self.inner.io_errors.load(Ordering::Relaxed),
+            wal_records: self.inner.wal_records.load(Ordering::Relaxed),
+            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            checkpoint_nanos: self.inner.checkpoint_nanos.load(Ordering::Relaxed),
+            crashes: self.inner.crashes.load(Ordering::Relaxed),
+            recoveries: self.inner.recoveries.load(Ordering::Relaxed),
             shard_readings: self
                 .inner
                 .shard_readings
@@ -173,6 +222,41 @@ impl GatewayStats {
             queue_blocked: queue.blocked(),
         }
     }
+}
+
+/// Times a code section by the calling thread's on-CPU nanoseconds
+/// (`/proc/thread-self/schedstat`, scheduler accounting), so a
+/// checkpoint preempted on a small machine is not billed for the other
+/// threads that ran in between — wall clock would be, inflating the
+/// measured cost past 100% of process CPU under oversubscription. Falls
+/// back to wall clock where the kernel does not export schedstats.
+#[derive(Debug)]
+pub(crate) struct CpuTimer {
+    cpu_start: Option<u64>,
+    wall_start: Instant,
+}
+
+impl CpuTimer {
+    pub(crate) fn start() -> CpuTimer {
+        CpuTimer {
+            cpu_start: thread_cpu_nanos(),
+            wall_start: Instant::now(),
+        }
+    }
+
+    pub(crate) fn elapsed_nanos(&self) -> u64 {
+        match (self.cpu_start, thread_cpu_nanos()) {
+            (Some(start), Some(end)) if end >= start => end - start,
+            _ => self.wall_start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Cumulative on-CPU time of the calling thread, in nanoseconds.
+fn thread_cpu_nanos() -> Option<u64> {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next().and_then(|f| f.parse().ok()))
 }
 
 /// Point-in-time copy of the gateway counters.
@@ -190,6 +274,17 @@ pub struct GatewaySnapshot {
     pub unroutable: u64,
     /// Connections that died with a transport error.
     pub io_errors: u64,
+    /// Records (readings + flush markers) appended to the WAL.
+    pub wal_records: u64,
+    /// Checkpoint snapshots written across all shards.
+    pub checkpoints: u64,
+    /// Total time spent inside the checkpoint path, nanoseconds.
+    pub checkpoint_nanos: u64,
+    /// Injected shard-worker crashes.
+    pub crashes: u64,
+    /// Completed recoveries (startup recovery on a durable gateway
+    /// counts once per live shard).
+    pub recoveries: u64,
     /// Readings enqueued per shard (a fan-out reading counts on each).
     pub shard_readings: Vec<u64>,
     /// Epochs fully stepped by every shard.
@@ -224,6 +319,11 @@ impl GatewaySnapshot {
             .scalar("readings", self.readings as f64)
             .scalar("unroutable", self.unroutable as f64)
             .scalar("io_errors", self.io_errors as f64)
+            .scalar("wal_records", self.wal_records as f64)
+            .scalar("checkpoints", self.checkpoints as f64)
+            .scalar("checkpoint_ms", self.checkpoint_nanos as f64 / 1e6)
+            .scalar("crashes", self.crashes as f64)
+            .scalar("recoveries", self.recoveries as f64)
             .scalar("epochs_flushed", self.epochs_flushed as f64)
             .scalar("flush_latency_mean_ms", self.flush_latency_mean_ms)
             .scalar("flush_latency_max_ms", self.flush_latency_max_ms)
@@ -261,6 +361,27 @@ mod tests {
         assert_eq!(snap.shard_readings, vec![0, 1]);
         assert_eq!(s.max_ts_ms(), 500);
         assert_eq!(snap.queue_sends, 1);
+    }
+
+    #[test]
+    fn durability_counters_accumulate_and_seed() {
+        let s = GatewayStats::new(1);
+        s.note_wal_record();
+        s.note_wal_record();
+        s.note_checkpoint();
+        s.note_crash();
+        s.note_recovery();
+        s.seed_max_ts(900);
+        s.note_reading(500, &[0]); // later seed must not regress max_ts
+        let snap = s.snapshot(&QueueStats::new());
+        assert_eq!(snap.wal_records, 2);
+        assert_eq!(snap.checkpoints, 1);
+        assert_eq!(snap.crashes, 1);
+        assert_eq!(snap.recoveries, 1);
+        assert_eq!(s.max_ts_ms(), 900);
+        let r = snap.report("gw");
+        assert_eq!(r.get_scalar("wal_records"), Some(2.0));
+        assert_eq!(r.get_scalar("recoveries"), Some(1.0));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Per-shard pipeline workers.
+//! Per-shard pipeline workers and their crash-recovery supervisor.
 //!
 //! Each shard owns a full [`EspProcessor`] cleaning cascade over the
 //! proximity groups hashed to it. Readings and epoch punctuation arrive on
@@ -6,31 +6,55 @@
 //! `Flush(e)` after the watermark certifies `e`, every reading with
 //! `ts <= e` is already ahead of the flush in the queue, and the step is
 //! deterministic.
+//!
+//! With durability enabled the worker thread is a **supervisor**: the
+//! processor and its buffers are the crashable part, and on a (injected)
+//! crash the supervisor rebuilds them from the latest valid snapshot,
+//! replays the WAL suffix past the snapshot's sequence number, and resumes
+//! the live queue — skipping queued messages the replay already covered.
+//! Output is published into a supervisor-owned shared trace epoch by
+//! epoch, with re-publication of already-delivered epochs suppressed, so
+//! the merged gateway trace after a crash is byte-identical to an
+//! uninterrupted run.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
-use esp_core::EspProcessor;
-use esp_receptors::wire::Reading;
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_durability::{read_wal_dir, SnapshotMeta, WalEntry};
+use esp_receptors::wire::{self, Reading};
 use esp_stream::Source;
-use esp_types::{Batch, ReceptorId, Result, Ts, Tuple};
+use esp_types::{Batch, EspError, ReceptorId, ReceptorType, Result, Ts, Tuple};
 
 use crate::convert::ReadingSchemas;
-use crate::server::EpochTrace;
+use crate::durability::{compose_payload, restore_payload, DurabilityHooks};
+use crate::server::{EpochTrace, GatewayGroup};
 use crate::stats::GatewayStats;
 
-/// Message on a shard's ingest queue.
+/// Message on a shard's ingest queue. `seq` is the message's WAL
+/// sequence number (0 when durability is off — then it is never read).
 pub(crate) enum ShardMsg {
     /// A decoded reading routed to this shard.
-    Reading(Reading),
+    Reading {
+        /// WAL sequence number.
+        seq: u64,
+        /// The reading itself.
+        reading: Reading,
+    },
     /// Punctuation: all readings with `ts <= epoch` are upstream of this
     /// message — step the pipeline.
-    Flush(Ts),
-    /// Drain and exit; the worker returns its output trace.
+    Flush {
+        /// WAL sequence number of the flush record.
+        seq: u64,
+        /// The certified epoch.
+        epoch: Ts,
+    },
+    /// Drain and exit.
     Shutdown,
 }
 
@@ -77,22 +101,212 @@ impl Source for QueueSource {
     }
 }
 
-/// Spawn one shard worker. It owns the processor; on `Shutdown` (or a
-/// disconnected channel) it returns the accumulated output trace.
+/// Build one shard's crashable half: the processor and the per-receptor
+/// pending buffers its sources drain. Recovery calls this again to get a
+/// fresh pair (a [`Pipeline`] holds stage *factories*, so it can build
+/// any number of processors).
+pub(crate) fn build_shard(
+    groups: &[GatewayGroup],
+    pipeline: &Pipeline,
+) -> Result<(EspProcessor, HashMap<ReceptorId, ReadingBuffer>)> {
+    let mut pg = ProximityGroups::new();
+    let mut rtype_of: HashMap<ReceptorId, ReceptorType> = HashMap::new();
+    for g in groups {
+        pg.add_group(
+            g.receptor_type,
+            g.granule.clone(),
+            g.members.iter().copied(),
+        );
+        for &m in &g.members {
+            rtype_of.entry(m).or_insert(g.receptor_type);
+        }
+    }
+    let mut members: Vec<ReceptorId> = rtype_of.keys().copied().collect();
+    members.sort_by_key(|r| r.0);
+
+    let mut buffers: HashMap<ReceptorId, ReadingBuffer> = HashMap::new();
+    let mut bindings = Vec::with_capacity(members.len());
+    for id in members {
+        let buf: ReadingBuffer = Arc::new(Mutex::new(Vec::new()));
+        buffers.insert(id, Arc::clone(&buf));
+        bindings.push(ReceptorBinding::new(
+            id,
+            rtype_of[&id],
+            Box::new(QueueSource::new(id, buf)),
+        ));
+    }
+    let processor = EspProcessor::build(pg, pipeline, bindings)?;
+    Ok((processor, buffers))
+}
+
+/// Append freshly drained output to the shared trace, suppressing epochs
+/// at or below `published_through` (already delivered before a crash),
+/// then advance the high-water mark to `epoch`.
+fn publish(
+    out: Vec<(Ts, Batch)>,
+    trace: &Mutex<EpochTrace>,
+    published_through: &mut Option<Ts>,
+    epoch: Ts,
+) {
+    let mut t = trace.lock();
+    for (ts, batch) in out {
+        if published_through.is_none_or(|p| ts > p) {
+            t.push((ts, batch));
+        }
+    }
+    drop(t);
+    *published_through = Some(published_through.map_or(epoch, |p| p.max(epoch)));
+}
+
+/// Rebuild a shard from its latest valid snapshot plus the WAL suffix.
+///
+/// Returns the fresh `(processor, buffers)` and the **skip boundary**:
+/// the highest WAL sequence number the replay covered. Queued messages at
+/// or below it must be dropped — the replay already applied them. Reads
+/// the WAL without the writer lock (see `crate::durability` for why any
+/// observed prefix is consistent).
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn recover(
+    shard: usize,
+    d: &DurabilityHooks,
+    groups: &[GatewayGroup],
+    pipeline: &Pipeline,
+    schemas: &ReadingSchemas,
+    trace: &Mutex<EpochTrace>,
+    published_through: &mut Option<Ts>,
+    stats: &GatewayStats,
+) -> Result<(
+    EspProcessor,
+    HashMap<ReceptorId, ReadingBuffer>,
+    Option<u64>,
+)> {
+    let (mut processor, buffers) = build_shard(groups, pipeline)?;
+    let mut replay_after: Option<u64> = None;
+    if let Some((meta, payload)) = d.store.latest_valid(shard)? {
+        restore_payload(&payload, &mut processor, &buffers)?;
+        replay_after = Some(meta.wal_seq);
+    }
+    let records = read_wal_dir(&d.config.wal_dir())?;
+    let skip_through = records.last().map(|r| r.seq);
+    for rec in records {
+        if replay_after.is_some_and(|s| rec.seq <= s) {
+            continue;
+        }
+        match rec.entry {
+            WalEntry::Reading(frame) => {
+                let reading = wire::decode(&frame).map_err(|e| {
+                    EspError::Wal(format!("WAL record {}: undecodable frame: {e}", rec.seq))
+                })?;
+                let mine = d
+                    .router
+                    .shards_of(reading.receptor())
+                    .is_some_and(|dests| dests.contains(&shard));
+                if mine {
+                    if let Some(buf) = buffers.get(&reading.receptor()) {
+                        buf.lock().push(schemas.to_tuple(&reading));
+                    }
+                }
+            }
+            WalEntry::Flush(epoch) => {
+                // Re-step the epoch. Flush-latency accounting is skipped
+                // during replay: the coordinator's pending entry for a
+                // crashed-through epoch was either already closed or
+                // belongs to a previous process.
+                processor.step(epoch)?;
+                publish(processor.take_output(), trace, published_through, epoch);
+            }
+        }
+    }
+    stats.note_recovery();
+    Ok((processor, buffers, skip_through))
+}
+
+/// Take a checkpoint: snapshot this shard's state keyed to the epoch just
+/// flushed, prune old snapshots, and opportunistically truncate the WAL
+/// below what every shard's newest snapshot covers.
+fn checkpoint(
+    shard: usize,
+    d: &DurabilityHooks,
+    processor: &EspProcessor,
+    buffers: &HashMap<ReceptorId, ReadingBuffer>,
+    epoch: Ts,
+    flush_seq: u64,
+    stats: &GatewayStats,
+) -> Result<()> {
+    let t0 = crate::stats::CpuTimer::start();
+    let payload = compose_payload(processor, buffers)?;
+    d.store.write(
+        SnapshotMeta {
+            shard,
+            epoch,
+            wal_seq: flush_seq,
+        },
+        &payload,
+    )?;
+    d.store.retain(shard, d.config.max_snapshots)?;
+    stats.note_checkpoint();
+    stats.note_checkpoint_time(t0.elapsed_nanos());
+    // Reclaim log segments no shard needs any more. `try_lock`, never a
+    // blocking acquire: a reader blocked on a full shard queue may be
+    // holding the WAL lock, and blocking here instead of draining would
+    // deadlock. The retention horizon delays reclamation so the log
+    // always spans at least the permitted reading lateness (E0802).
+    if epoch.as_millis() >= d.config.wal_retention.as_millis() {
+        if let Some(min) = d.store.min_covered_seq(d.n_shards)? {
+            if let Some(mut wal) = d.wal.try_lock() {
+                wal.truncate_below(min)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Spawn one shard worker/supervisor. Owns its pipeline (for rebuilds)
+/// and publishes output into `trace`; the thread returns only a status.
 pub(crate) fn spawn_worker(
     shard: usize,
     rx: Receiver<ShardMsg>,
-    mut processor: EspProcessor,
-    buffers: HashMap<ReceptorId, ReadingBuffer>,
+    groups: Vec<GatewayGroup>,
+    pipeline: Pipeline,
+    trace: Arc<Mutex<EpochTrace>>,
     stats: GatewayStats,
-) -> Result<JoinHandle<Result<EpochTrace>>> {
+    durability: Option<DurabilityHooks>,
+) -> Result<JoinHandle<Result<()>>> {
     let schemas = ReadingSchemas::new();
     thread::Builder::new()
         .name(format!("esp-gateway-shard-{shard}"))
         .spawn(move || {
+            let mut published_through: Option<Ts> = None;
+            let mut skip_through: Option<u64> = None;
+            let mut epochs_since_checkpoint: u64 = 0;
+
+            // Startup: a durable worker always goes through recovery. On
+            // a fresh directory it is a no-op build; on a restart it
+            // restores the snapshot and replays the WAL suffix.
+            let (mut processor, mut buffers) = match &durability {
+                Some(d) => {
+                    let (p, b, skip) = recover(
+                        shard,
+                        d,
+                        &groups,
+                        &pipeline,
+                        &schemas,
+                        &trace,
+                        &mut published_through,
+                        &stats,
+                    )?;
+                    skip_through = skip;
+                    (p, b)
+                }
+                None => build_shard(&groups, &pipeline)?,
+            };
+
             loop {
                 match rx.recv() {
-                    Ok(ShardMsg::Reading(reading)) => {
+                    Ok(ShardMsg::Reading { seq, reading }) => {
+                        if skip_through.is_some_and(|s| seq <= s) {
+                            continue; // replay already buffered it
+                        }
                         // Router guarantees membership, but a dynamic
                         // group edit could race a reading in flight;
                         // dropping here matches the processor, which
@@ -101,14 +315,63 @@ pub(crate) fn spawn_worker(
                             buf.lock().push(schemas.to_tuple(&reading));
                         }
                     }
-                    Ok(ShardMsg::Flush(epoch)) => {
+                    Ok(ShardMsg::Flush { seq, epoch }) => {
+                        if skip_through.is_some_and(|s| seq <= s) {
+                            continue; // replay already stepped it
+                        }
+                        if let Some(d) = &durability {
+                            let armed = d.crash_countdown.load(Ordering::Acquire);
+                            if armed == 0 {
+                                // Injected crash: abandon the processor and
+                                // every buffered reading, then come back
+                                // through the recovery path. The flush we
+                                // were about to act on is in the WAL, so
+                                // the replay performs it and the skip rule
+                                // swallows this (now stale) message.
+                                d.crash_countdown.store(-1, Ordering::Release);
+                                stats.note_crash();
+                                drop(processor);
+                                let (p, b, skip) = recover(
+                                    shard,
+                                    d,
+                                    &groups,
+                                    &pipeline,
+                                    &schemas,
+                                    &trace,
+                                    &mut published_through,
+                                    &stats,
+                                )?;
+                                processor = p;
+                                buffers = b;
+                                skip_through = skip;
+                                epochs_since_checkpoint = 0;
+                                if skip_through.is_some_and(|s| seq <= s) {
+                                    continue;
+                                }
+                            } else if armed > 0 {
+                                d.crash_countdown.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
                         processor.step(epoch)?;
+                        publish(
+                            processor.take_output(),
+                            &trace,
+                            &mut published_through,
+                            epoch,
+                        );
                         stats.note_flush_done(epoch.as_millis());
+                        if let Some(d) = &durability {
+                            epochs_since_checkpoint += 1;
+                            if epochs_since_checkpoint >= d.checkpoint_every {
+                                checkpoint(shard, d, &processor, &buffers, epoch, seq, &stats)?;
+                                epochs_since_checkpoint = 0;
+                            }
+                        }
                     }
                     Ok(ShardMsg::Shutdown) | Err(_) => break,
                 }
             }
-            Ok(processor.take_output())
+            Ok(())
         })
-        .map_err(|e| esp_types::EspError::Config(format!("spawn shard worker thread: {e}")))
+        .map_err(|e| EspError::Config(format!("spawn shard worker thread: {e}")))
 }

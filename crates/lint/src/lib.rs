@@ -22,6 +22,7 @@
 //! | E05xx | gateway | `E0501` lateness ≥ window, `E0502` global stage sharded |
 //! | E06xx | semantics (abstract interpretation) | `E0601` dead stage, `E0603` reachable zero divisor, `E0604` schema drift |
 //! | E07xx | concurrency (model checker) | `E0701` deadlock, `E0702` lost shutdown wakeup, `E0703` watermark regression |
+//! | E08xx | durability | `E0801` unaligned checkpoint interval, `E0802` WAL retention below lateness, `E0803` zero snapshot retention |
 //!
 //! The `E06xx` pass interprets predicates and arithmetic over declared
 //! field ranges (`-- lint: range <stream>.<field> <lo>..<hi>`) and
@@ -55,6 +56,7 @@ pub use cql::lint_cql;
 pub use graphspec::{GraphEdge, GraphNode, GraphSpec, NodeKind};
 
 use esp_core::DeploymentSpec;
+use esp_durability::DurabilitySpec;
 use esp_gateway::GatewayConfig;
 use esp_types::{Diagnostic, TimeDelta};
 
@@ -77,6 +79,40 @@ pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
             "E0001",
             format!("deployment document does not parse: {e}"),
         )],
+    }
+}
+
+/// Lint a JSON durability document (the [`DurabilitySpec`] wire form:
+/// the persistence knobs plus the epoch period and lateness they must
+/// agree with).
+///
+/// A document that does not deserialize yields a single `E0001`; one
+/// that does is checked for unparseable time spans (`E0204`) and the
+/// durability invariants: `E0801` (checkpoint interval not a positive
+/// multiple of the epoch period), `E0802` (WAL retention shorter than
+/// the permitted lateness), `E0803` (zero snapshot retention).
+pub fn lint_durability(json: &str) -> Vec<Diagnostic> {
+    match DurabilitySpec::from_json(json) {
+        Ok(spec) => spec.lint(),
+        Err(e) => vec![Diagnostic::error(
+            "E0001",
+            format!("durability document does not parse: {e}"),
+        )],
+    }
+}
+
+/// Route a JSON document to the linter its shape calls for: a top-level
+/// `durability` key marks a durability document ([`lint_durability`]),
+/// anything else is a deployment ([`lint_deployment`]). The CLI and the
+/// fixture suite both dispatch `.json` inputs through here.
+pub fn lint_json(json: &str) -> Vec<Diagnostic> {
+    let is_durability = serde_json::from_str::<serde::value::Value>(json)
+        .map(|v| v.get("durability").is_some())
+        .unwrap_or(false);
+    if is_durability {
+        lint_durability(json)
+    } else {
+        lint_deployment(json)
     }
 }
 
@@ -189,6 +225,33 @@ mod tests {
         let diags = lint_deployment("{ not json");
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, "E0001");
+    }
+
+    #[test]
+    fn undeserializable_durability_document_is_e0001() {
+        let diags = lint_durability(r#"{"durability": {}}"#);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E0001");
+    }
+
+    #[test]
+    fn json_router_picks_linter_by_top_level_key() {
+        // Durability shape → durability codes.
+        let durability = r#"{
+            "durability": {
+                "dir": "/tmp/esp",
+                "checkpoint_interval": "300 ms",
+                "wal_retention": "1 min",
+                "max_snapshots": 0
+            },
+            "epoch_period": "200 ms"
+        }"#;
+        let diags = lint_json(durability);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E0801", "E0803"], "{diags:#?}");
+        // Anything else → the deployment linter.
+        let diags = lint_json("{}");
+        assert!(diags.iter().all(|d| d.code == "E0001"), "{diags:#?}");
     }
 
     #[test]

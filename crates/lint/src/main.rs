@@ -1,5 +1,5 @@
-//! `esp-lint` — lint CQL queries and JSON deployment documents from the
-//! command line, before anything runs.
+//! `esp-lint` — lint CQL queries and JSON deployment or durability
+//! documents from the command line, before anything runs.
 //!
 //! ```text
 //! esp-lint <file.cql|file.json>...   lint files (kind chosen by extension)
@@ -22,7 +22,7 @@
 
 use std::process::ExitCode;
 
-use esp_lint::{lint_cql, lint_deployment, ExampleKind, EXAMPLES};
+use esp_lint::{lint_cql, lint_deployment, lint_json, ExampleKind, EXAMPLES};
 use esp_types::Diagnostic;
 
 const USAGE: &str = "\
@@ -31,8 +31,10 @@ usage: esp-lint [--format text|json] <file.cql|file.json>...
        esp-lint [--format text|json] --all-examples
        esp-lint --list-examples
 
-Lints CQL query text (.cql) and JSON deployment documents (.json)
-statically. Exit 0: clean; 1: findings; 2: usage/I-O error.
+Lints CQL query text (.cql) and JSON deployment or durability
+documents (.json; a top-level \"durability\" key selects the
+durability linter) statically.
+Exit 0: clean; 1: findings; 2: usage/I-O error.
 --format json prints one machine-readable document on stdout.";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -120,7 +122,7 @@ fn main() -> ExitCode {
                     }
                 };
                 let diags = if path.ends_with(".json") {
-                    lint_deployment(&source)
+                    lint_json(&source)
                 } else if path.ends_with(".cql") || path.ends_with(".sql") {
                     lint_cql(&source)
                 } else {

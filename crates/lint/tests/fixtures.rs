@@ -10,7 +10,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use esp_lint::{lint_cql, lint_deployment};
+use esp_lint::{lint_cql, lint_json};
 use esp_types::Diagnostic;
 
 fn fixtures_dir(sub: &str) -> PathBuf {
@@ -22,7 +22,7 @@ fn fixtures_dir(sub: &str) -> PathBuf {
 fn lint_file(path: &Path, source: &str) -> Vec<Diagnostic> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("cql") => lint_cql(source),
-        Some("json") => lint_deployment(source),
+        Some("json") => lint_json(source),
         other => panic!(
             "unexpected fixture extension {other:?} for {}",
             path.display()

@@ -91,6 +91,75 @@ impl EpochRunner {
     pub fn tap(&self, tap: TapId) -> &[(Ts, Batch)] {
         &self.collected[tap.0]
     }
+
+    /// Capture the cross-epoch state of every operator in the dataflow —
+    /// the runner half of the epoch-aligned checkpoint protocol.
+    ///
+    /// Must be called at an epoch boundary (between [`EpochRunner::step`]
+    /// calls), when no batch is in flight. Node ids are topological and
+    /// stable for a given pipeline configuration, so the (node index,
+    /// blob) pairs recorded here re-apply cleanly to a freshly rebuilt
+    /// runner of the same shape; the node count is recorded and checked
+    /// so a snapshot from a different configuration is rejected outright.
+    /// Sources are not captured — replaying the write-ahead log restores
+    /// their pending input instead.
+    pub fn snapshot_state(&self) -> Result<Vec<u8>> {
+        use esp_types::snap;
+        let mut entries: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (i, node) in self.df.nodes.iter().enumerate() {
+            if let NodeKind::Operator { op, .. } = &node.kind {
+                if let Some(state) = op.state()? {
+                    entries.push((i as u32, state.0));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        snap::put_u32(&mut out, self.df.nodes.len() as u32);
+        snap::put_u32(&mut out, entries.len() as u32);
+        for (idx, blob) in entries {
+            snap::put_u32(&mut out, idx);
+            snap::put_u32(&mut out, blob.len() as u32);
+            out.extend_from_slice(&blob);
+        }
+        Ok(out)
+    }
+
+    /// Restore operator state captured by [`EpochRunner::snapshot_state`]
+    /// into this freshly built runner. Rejects a snapshot whose node
+    /// count, node indices, or per-operator blobs do not match the
+    /// current dataflow shape.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        use crate::state::StageState;
+        use esp_types::{snap, EspError};
+        let mut cur = snap::Cursor::new(bytes);
+        let n_nodes = cur.u32()? as usize;
+        if n_nodes != self.df.nodes.len() {
+            return Err(EspError::Snapshot(format!(
+                "snapshot covers a dataflow of {n_nodes} node(s) but this pipeline has {}",
+                self.df.nodes.len()
+            )));
+        }
+        let n_entries = cur.u32()? as usize;
+        for _ in 0..n_entries {
+            let idx = cur.u32()? as usize;
+            let len = cur.u32()? as usize;
+            let blob = cur.bytes(len)?.to_vec();
+            if idx >= self.df.nodes.len() {
+                return Err(EspError::Snapshot(format!(
+                    "snapshot entry for node {idx} out of range"
+                )));
+            }
+            match &mut self.df.nodes[idx].kind {
+                NodeKind::Operator { op, .. } => op.restore(&StageState(blob))?,
+                NodeKind::Source(_) => {
+                    return Err(EspError::Snapshot(format!(
+                        "snapshot holds operator state for node {idx}, which is a source here"
+                    )))
+                }
+            }
+        }
+        cur.finish()
+    }
 }
 
 #[cfg(test)]

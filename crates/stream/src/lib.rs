@@ -19,6 +19,9 @@
 //!   crossbeam channels as inter-operator queues) that produces the same
 //!   per-epoch outputs; useful when receptor simulation is expensive.
 //! * [`ops`] — generic building-block operators (filter, map, union, …).
+//! * [`StageState`] / [`Checkpointable`] — epoch-boundary capture and
+//!   restore of operator state, the substrate of `esp-durability`'s
+//!   epoch-aligned checkpoint protocol.
 //! * [`stats`] — streaming mean/variance used by windowed aggregates and
 //!   the Merge stage's outlier test.
 //! * [`model`] — a deterministic model checker that exhaustively explores
@@ -38,6 +41,7 @@ pub mod model;
 mod operator;
 pub mod ops;
 pub mod stager;
+mod state;
 pub mod stats;
 mod threaded;
 mod window;
@@ -45,6 +49,7 @@ mod window;
 pub use epoch::EpochRunner;
 pub use graph::{Dataflow, NodeId, TapId};
 pub use operator::{Operator, ScriptedSource, Source};
+pub use state::{unexpected_state, Checkpointable, StageState};
 pub use stats::QueueStats;
 pub use threaded::ThreadedRunner;
 pub use window::{WindowBuffer, WindowView};

@@ -2,6 +2,8 @@
 
 use esp_types::{Batch, Result, Ts, Tuple};
 
+use crate::state::{unexpected_state, StageState};
+
 /// A stream source: the boundary between the physical world (or a
 /// simulator) and the dataflow.
 ///
@@ -45,6 +47,24 @@ pub trait Operator: Send {
     /// Epoch boundary: all input for `epoch` has been delivered. Emit the
     /// operator's output for this epoch.
     fn flush(&mut self, epoch: Ts) -> Result<Batch>;
+
+    /// Capture cross-epoch state for a durability checkpoint. Called only
+    /// at epoch boundaries (after `flush`, before the next `push`). The
+    /// default declares the operator stateless: nothing survives across
+    /// epochs, so recovery rebuilds it from configuration alone. Windowed
+    /// or aggregating operators must override both this and
+    /// [`Operator::restore`].
+    fn state(&self) -> Result<Option<StageState>> {
+        Ok(None)
+    }
+
+    /// Restore state captured by [`Operator::state`] into this freshly
+    /// built, identically configured operator. The default (stateless)
+    /// implementation rejects any blob: receiving one means the snapshot
+    /// was taken under a different pipeline configuration.
+    fn restore(&mut self, _state: &StageState) -> Result<()> {
+        Err(unexpected_state(self.name()))
+    }
 }
 
 /// Blanket helper: a source backed by a pre-recorded script of batches.

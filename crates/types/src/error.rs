@@ -39,6 +39,10 @@ pub enum EspError {
     Stage(String),
     /// Malformed bytes on the simulated receptor wire transport.
     Wire(String),
+    /// A checkpoint snapshot could not be captured, written, or restored.
+    Snapshot(String),
+    /// A write-ahead log segment could not be appended, read, or verified.
+    Wal(String),
     /// Static validation rejected a pipeline, graph, or plan before any
     /// tuple flowed. Carries the full diagnostic list so callers can render
     /// every finding, not just the first.
@@ -89,6 +93,8 @@ impl fmt::Display for EspError {
             EspError::Config(m) => write!(f, "configuration error: {m}"),
             EspError::Stage(m) => write!(f, "stage error: {m}"),
             EspError::Wire(m) => write!(f, "wire format error: {m}"),
+            EspError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            EspError::Wal(m) => write!(f, "write-ahead log error: {m}"),
             EspError::Invalid(diags) => {
                 let errors = diags.iter().filter(|d| d.is_error()).count();
                 write!(
@@ -140,6 +146,8 @@ mod tests {
             EspError::Config("x".into()),
             EspError::Stage("x".into()),
             EspError::Wire("x".into()),
+            EspError::Snapshot("x".into()),
+            EspError::Wal("x".into()),
         ]
         .iter()
         .map(|e| e.to_string())

@@ -29,6 +29,7 @@ mod error;
 mod ids;
 pub mod registry;
 mod schema;
+pub mod snap;
 mod time;
 mod tuple;
 mod value;

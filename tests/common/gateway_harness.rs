@@ -1,0 +1,144 @@
+//! Shared harness for gateway end-to-end tests: deterministic synthetic
+//! receptor streams, the reference single-process run, and client driving.
+
+use std::thread;
+
+use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
+use esp_gateway::{canonical_sort, Gateway, GatewayClient, GatewayGroup, ReadingSchemas};
+use esp_receptors::wire::Reading;
+use esp_stream::ScriptedSource;
+use esp_types::{Batch, ReceptorId, ReceptorType, TimeDelta, Ts};
+
+/// Deterministic synthetic streams: two RFID readers on two shelves and
+/// one mote in a room, 100 ms sample period over 2 s, with adjacent pairs
+/// swapped on the wire to exercise the bounded-lateness watermark.
+pub fn receptor_readings(receptor: u32) -> Vec<Reading> {
+    let mut out = Vec::new();
+    for i in 0..20u64 {
+        let ts = Ts::from_millis(i * 100);
+        let r = match receptor {
+            0 | 1 => Reading::Tag {
+                receptor: ReceptorId(receptor),
+                ts,
+                tag_id: format!("tag-{receptor}-{}", i % 3),
+            },
+            _ => Reading::Scalar {
+                receptor: ReceptorId(receptor),
+                ts,
+                value: 20.0 + (i as f64) * 0.25,
+            },
+        };
+        out.push(r);
+    }
+    // Swap each (odd, even) pair: the stream arrives 100 ms out of order,
+    // within the declared lateness bound.
+    for p in out.chunks_mut(2) {
+        p.swap(0, 1);
+    }
+    out
+}
+
+/// The standing three-group scenario the gateway tests share.
+pub fn groups() -> Vec<GatewayGroup> {
+    vec![
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: "shelf0".into(),
+            members: vec![ReceptorId(0)],
+        },
+        GatewayGroup {
+            receptor_type: ReceptorType::Rfid,
+            granule: "shelf1".into(),
+            members: vec![ReceptorId(1)],
+        },
+        GatewayGroup {
+            receptor_type: ReceptorType::Mote,
+            granule: "room".into(),
+            members: vec![ReceptorId(2)],
+        },
+    ]
+}
+
+/// Run the same readings through a single-process processor: one
+/// `ScriptedSource` per receptor (timestamp order), identical pipeline,
+/// identical epoch schedule.
+pub fn single_process_trace(
+    pipeline: &Pipeline,
+    receptors: &[u32],
+    start: Ts,
+    period: TimeDelta,
+    n_epochs: u64,
+) -> Vec<(Ts, Batch)> {
+    let schemas = ReadingSchemas::new();
+    let mut pg = ProximityGroups::new();
+    for g in groups() {
+        pg.add_group(
+            g.receptor_type,
+            g.granule.clone(),
+            g.members.iter().copied(),
+        );
+    }
+    let bindings = receptors
+        .iter()
+        .map(|&r| {
+            let mut readings = receptor_readings(r);
+            readings.sort_by_key(|x| x.ts());
+            let script: Vec<(Ts, Batch)> = readings
+                .iter()
+                .map(|x| (x.ts(), vec![schemas.to_tuple(x)]))
+                .collect();
+            ReceptorBinding::new(
+                ReceptorId(r),
+                if r < 2 {
+                    ReceptorType::Rfid
+                } else {
+                    ReceptorType::Mote
+                },
+                Box::new(ScriptedSource::new(format!("gateway-receptor#{r}"), script)) as _,
+            )
+        })
+        .collect();
+    let proc = EspProcessor::build(pg, pipeline, bindings).unwrap();
+    let mut trace = proc.run(start, period, n_epochs).unwrap().trace;
+    for (_, batch) in &mut trace {
+        canonical_sort(batch);
+    }
+    trace
+}
+
+/// Render a trace as comparable data (schema arcs differ between runs, so
+/// compare timestamps and values).
+pub fn rendered(trace: &[(Ts, Batch)]) -> Vec<(u64, Vec<String>)> {
+    trace
+        .iter()
+        .map(|(ts, b)| {
+            (
+                ts.as_millis(),
+                b.iter()
+                    .map(|t| format!("{:?} {:?}", t.ts(), t.values()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// One client thread per receptor, each streaming its full script then
+/// closing (EOF is the connection's final punctuation).
+pub fn run_gateway_clients(gateway: &Gateway, receptors: &[u32], lateness: TimeDelta) {
+    let addr = gateway.local_addr();
+    let handles: Vec<_> = receptors
+        .iter()
+        .map(|&r| {
+            thread::spawn(move || {
+                let mut client = GatewayClient::connect(addr, lateness).unwrap();
+                for reading in receptor_readings(r) {
+                    client.send(&reading).unwrap();
+                }
+                client.finish().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

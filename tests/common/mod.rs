@@ -1,5 +1,7 @@
 //! Shared helpers for ESP integration tests.
 
+pub mod gateway_harness;
+
 use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
 use esp_receptors::GroupSpec;
 use esp_stream::Source;

@@ -1,0 +1,152 @@
+//! Crash-recovery end-to-end: the durability contract is *byte-identical
+//! replay*. Whether a single shard worker dies mid-epoch (fault
+//! injection) or the whole gateway process is killed and restarted on the
+//! same durability directory, the recovered output must equal the
+//! uninterrupted single-process run — not approximately, exactly.
+
+use std::path::PathBuf;
+
+use esp_core::{Pipeline, SmoothStage};
+use esp_gateway::{DurabilityConfig, Gateway, GatewayConfig, GatewayOutput};
+use esp_integration_tests::gateway_harness::{
+    groups, rendered, run_gateway_clients, single_process_trace,
+};
+use esp_types::{TimeDelta, Ts};
+
+// RFID receptors only: the smoothing stage below keys on `tag_id`, which
+// scalar mote readings don't carry (same scope as the stateful e2e test).
+const RECEPTORS: [u32; 2] = [0, 1];
+/// Epochs 0, 500, …, first boundary covering max ts (1900 ms) ⇒ 5.
+const N_EPOCHS: u64 = 5;
+
+fn period() -> TimeDelta {
+    TimeDelta::from_millis(500)
+}
+
+fn lateness() -> TimeDelta {
+    TimeDelta::from_millis(100)
+}
+
+/// The stateful cascade both runs share: smoothing state must survive the
+/// crash for the outputs to match.
+fn pipeline() -> Pipeline {
+    Pipeline::builder()
+        .per_receptor("smooth", |_| {
+            Ok(Box::new(SmoothStage::count_by_key(
+                "smooth",
+                TimeDelta::from_secs(5),
+                ["spatial_granule", "tag_id"],
+            )))
+        })
+        .build()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esp-recovery-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path, checkpoint: TimeDelta) -> GatewayConfig {
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 2;
+    config.period = period();
+    config.min_connections = RECEPTORS.len();
+    config.durability = Some(DurabilityConfig::new(dir).checkpoint_every(checkpoint));
+    config
+}
+
+fn assert_byte_identical(output: &GatewayOutput) {
+    let merged = output.merged_trace();
+    let expected = single_process_trace(&pipeline(), &RECEPTORS, Ts::ZERO, period(), N_EPOCHS);
+    assert_eq!(rendered(&merged), rendered(&expected));
+    assert!(
+        merged.iter().map(|(_, b)| b.len()).sum::<usize>() > 0,
+        "trace carries data"
+    );
+}
+
+#[test]
+fn durable_gateway_without_faults_matches_single_process_run() {
+    let dir = fresh_dir("baseline");
+    let gateway = Gateway::spawn(durable_config(&dir, period()), |_| pipeline()).unwrap();
+    run_gateway_clients(&gateway, &RECEPTORS, lateness());
+    let output = gateway.finish().unwrap();
+
+    assert_byte_identical(&output);
+    assert_eq!(output.stats.crashes, 0);
+    // 40 readings + one flush marker per issued epoch, all logged.
+    assert!(output.stats.wal_records > 40, "{:?}", output.stats);
+    assert!(output.stats.checkpoints > 0, "{:?}", output.stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_crash_mid_epoch_recovers_byte_identical() {
+    let dir = fresh_dir("worker-crash");
+    // Checkpoint every epoch so the crash lands past a snapshot and the
+    // recovery genuinely composes snapshot + WAL suffix.
+    let gateway = Gateway::spawn(durable_config(&dir, period()), |_| pipeline()).unwrap();
+    // Arm every shard: each live worker dies right after its second flush,
+    // mid-stream, with readings still arriving and epochs still open.
+    for shard in 0..2 {
+        gateway.inject_crash(shard, 2);
+    }
+    run_gateway_clients(&gateway, &RECEPTORS, lateness());
+    let output = gateway.finish().unwrap();
+
+    assert_byte_identical(&output);
+    assert!(output.stats.crashes >= 1, "{:?}", output.stats);
+    // Every live shard recovers once at startup (empty log) and once per
+    // injected crash.
+    assert!(
+        output.stats.recoveries > output.stats.crashes,
+        "{:?}",
+        output.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_gateway_restarts_from_wal_byte_identical() {
+    let dir = fresh_dir("restart");
+    // Checkpoint interval far beyond the run: recovery must work from the
+    // WAL alone (the restarted workers replay every record).
+    let config = durable_config(&dir, TimeDelta::from_secs(3600));
+
+    let gateway = Gateway::spawn(config.clone(), |_| pipeline()).unwrap();
+    run_gateway_clients(&gateway, &RECEPTORS, lateness());
+    // Hard stop: no drain sweep, all in-memory worker output discarded.
+    gateway.kill().unwrap();
+
+    // Second process on the same directory: no clients this time — every
+    // reading must come back from the log.
+    let revived = Gateway::spawn(config, |_| pipeline()).unwrap();
+    let output = revived.finish().unwrap();
+
+    assert_byte_identical(&output);
+    assert_eq!(output.stats.readings, 0, "no live ingest after restart");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_loop_three_restarts_converges_byte_identical() {
+    let dir = fresh_dir("crash-loop");
+    let config = durable_config(&dir, TimeDelta::from_secs(3600));
+
+    let gateway = Gateway::spawn(config.clone(), |_| pipeline()).unwrap();
+    run_gateway_clients(&gateway, &RECEPTORS, lateness());
+    gateway.kill().unwrap();
+
+    // Two more kill/restart rounds: each replays the log, then dies again
+    // before draining. The log must come through untouched.
+    for _ in 0..2 {
+        let g = Gateway::spawn(config.clone(), |_| pipeline()).unwrap();
+        g.kill().unwrap();
+    }
+
+    let survivor = Gateway::spawn(config, |_| pipeline()).unwrap();
+    let output = survivor.finish().unwrap();
+    assert_byte_identical(&output);
+    let _ = std::fs::remove_dir_all(&dir);
+}
