@@ -338,6 +338,15 @@ impl EspProcessor {
         self.runner.take_tap(self.tap)
     }
 
+    /// Names of stages in this cascade that can never be checkpointed
+    /// ([`Stage::checkpointable`](crate::Stage::checkpointable) is
+    /// `false`). A durable gateway refuses to spawn over a non-empty
+    /// answer (`E0804`) — otherwise it would run fine until its first
+    /// checkpoint and only then fail at runtime.
+    pub fn non_checkpointable_stages(&self) -> Vec<String> {
+        self.runner.non_checkpointable()
+    }
+
     /// Capture the cross-epoch state of every stage in the cascade (the
     /// epoch-aligned checkpoint protocol — see `esp-durability`). Call
     /// only between [`EspProcessor::step`]s.

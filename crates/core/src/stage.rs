@@ -36,6 +36,16 @@ pub trait Stage: Send {
     fn restore(&mut self, _state: &StageState) -> Result<()> {
         Err(unexpected_state(self.name()))
     }
+
+    /// Whether this stage can be checkpointed at all — the static
+    /// question, as opposed to [`Stage::state`]'s "capture it now". A
+    /// stage whose cross-epoch state has no serialized form (e.g.
+    /// [`DeclarativeStage`]) returns `false`, and a durable gateway
+    /// rejects the pipeline up front (`E0804`) rather than running until
+    /// its first checkpoint and dying there.
+    fn checkpointable(&self) -> bool {
+        true
+    }
 }
 
 /// A stage defined by a declarative continuous query.
@@ -85,12 +95,19 @@ impl Stage for DeclarativeStage {
         // has no serial form yet. Failing the checkpoint is honest;
         // pretending the stage is stateless would make recovery silently
         // wrong. Deployments that need durability use the built-in
-        // stages, whose state round-trips exactly.
+        // stages, whose state round-trips exactly. `checkpointable()`
+        // below reports this statically, so a durable gateway never gets
+        // here (E0804 rejects it at spawn); this error is the backstop
+        // for anyone driving checkpoints by hand.
         Err(EspError::Snapshot(format!(
             "declarative stage '{}' cannot be checkpointed: compiled-query window state \
              has no serialized form",
             self.name
         )))
+    }
+
+    fn checkpointable(&self) -> bool {
+        false
     }
 }
 
@@ -204,6 +221,10 @@ impl Operator for StageOperator {
     fn restore(&mut self, state: &StageState) -> Result<()> {
         self.stage.restore(state)
     }
+
+    fn checkpointable(&self) -> bool {
+        self.stage.checkpointable()
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +300,24 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn declarative_stage_is_not_checkpointable() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id FROM s [Range By '5 sec']")
+            .unwrap();
+        let stage = DeclarativeStage::new("q", q).unwrap();
+        assert!(!stage.checkpointable());
+        assert!(stage.state().is_err(), "runtime backstop still errors");
+        // The static flag survives the operator adapter, which is what the
+        // gateway's spawn-time E0804 probe actually consults.
+        let op = StageOperator::new(Box::new(stage));
+        assert!(!op.checkpointable());
+        // Ordinary stages stay checkpointable by default.
+        let plain = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
+        assert!(plain.checkpointable());
     }
 
     #[test]

@@ -8,6 +8,18 @@
 //! the previous snapshot intact and a corrupt file is skipped, never
 //! restored.
 //!
+//! **Durability is amortized, not per-write.** [`SnapshotStore::write`]
+//! does not fsync: a snapshot lost or torn by power loss merely makes
+//! recovery fall back to an older one and replay more WAL. The one
+//! moment a snapshot *must* be on the device is when the WAL is
+//! truncated based on it — replay can no longer substitute for it.
+//! [`SnapshotStore::pin_durable_basis`] fsyncs each shard's newest
+//! snapshot (file, then directory) right before such a truncation, and
+//! [`SnapshotStore::retain`] never deletes a pinned snapshot, so every
+//! shard always has a durable snapshot at or above the WAL's truncation
+//! bound. Checkpoints stay off the fsync path entirely; the cost lands
+//! on the rare segment-reclamation event instead.
+//!
 //! File layout (big-endian), name `snap-{shard:04}-{epoch_ms:012}.snap`:
 //!
 //! ```text
@@ -21,8 +33,10 @@
 //! crc       u32   FNV-1a over everything before it
 //! ```
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use esp_types::{EspError, Result, Ts};
 
@@ -43,6 +57,15 @@ fn snap_err(msg: impl Into<String>) -> EspError {
     EspError::Snapshot(msg.into())
 }
 
+/// Fsync a directory so a just-renamed snapshot's entry survives an OS
+/// crash, not only a process one.
+fn fsync_dir(dir: &Path) -> Result<()> {
+    let d =
+        fs::File::open(dir).map_err(|e| snap_err(format!("cannot open {}: {e}", dir.display())))?;
+    d.sync_all()
+        .map_err(|e| snap_err(format!("cannot fsync {}: {e}", dir.display())))
+}
+
 /// Identity of one snapshot: which shard, aligned to which epoch, and
 /// where the WAL replay suffix starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +82,11 @@ pub struct SnapshotMeta {
 /// Reads and writes snapshot files under one directory.
 pub struct SnapshotStore {
     dir: PathBuf,
+    /// Per shard, the epoch of the snapshot most recently fsynced as a
+    /// WAL-truncation basis (see [`SnapshotStore::pin_durable_basis`]).
+    /// [`SnapshotStore::retain`] keeps these regardless of age. In-memory
+    /// only: a restart re-pins before its next truncation.
+    pinned: Mutex<HashMap<usize, Ts>>,
 }
 
 impl SnapshotStore {
@@ -68,7 +96,17 @@ impl SnapshotStore {
             .map_err(|e| snap_err(format!("cannot create {}: {e}", dir.display())))?;
         Ok(SnapshotStore {
             dir: dir.to_path_buf(),
+            pinned: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The pin map, recovered from a poisoned lock if a panicking thread
+    /// held it: the map only ever grows toward durable state, so any
+    /// value it held at the panic is still valid.
+    fn pin_map(&self) -> std::sync::MutexGuard<'_, HashMap<usize, Ts>> {
+        self.pinned
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn path_for(&self, shard: usize, epoch: Ts) -> PathBuf {
@@ -100,8 +138,12 @@ impl SnapshotStore {
         Ok(out)
     }
 
-    /// Write a snapshot atomically: the file appears under its final name
-    /// only after every byte (including the CRC) is on disk.
+    /// Write a snapshot atomically: tmp file + rename, so a crash
+    /// mid-write never clobbers the previous snapshot. Deliberately no
+    /// fsync — a snapshot torn or lost by power loss fails its CRC at
+    /// recovery and an older one (plus more WAL replay) stands in. The
+    /// fsync happens in [`SnapshotStore::pin_durable_basis`], only when
+    /// WAL truncation is about to rely on this snapshot.
     pub fn write(&self, meta: SnapshotMeta, payload: &[u8]) -> Result<PathBuf> {
         let mut bytes = Vec::with_capacity(SNAP_HEADER_LEN + payload.len() + 4);
         bytes.extend_from_slice(&SNAP_MAGIC.to_be_bytes());
@@ -116,8 +158,11 @@ impl SnapshotStore {
 
         let path = self.path_for(meta.shard, meta.epoch);
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, &bytes)
+        let mut file = fs::File::create(&tmp)
             .map_err(|e| snap_err(format!("cannot write {}: {e}", tmp.display())))?;
+        std::io::Write::write_all(&mut file, &bytes)
+            .map_err(|e| snap_err(format!("cannot write {}: {e}", tmp.display())))?;
+        drop(file);
         fs::rename(&tmp, &path)
             .map_err(|e| snap_err(format!("cannot publish {}: {e}", path.display())))?;
         Ok(path)
@@ -186,17 +231,60 @@ impl SnapshotStore {
     }
 
     /// Keep the newest `max_snapshots` snapshots for `shard`, deleting
-    /// older ones. Returns how many files were removed.
+    /// older ones — except the shard's pinned durable basis (see
+    /// [`SnapshotStore::pin_durable_basis`]), which survives regardless
+    /// of age: it is the one snapshot the truncated WAL can no longer
+    /// rebuild. Returns how many files were removed.
     pub fn retain(&self, shard: usize, max_snapshots: usize) -> Result<usize> {
+        let pinned = self.pin_map().get(&shard).copied();
         let files = self.shard_files(shard)?;
         let excess = files.len().saturating_sub(max_snapshots.max(1));
         let mut removed = 0;
-        for (_, path) in files.into_iter().take(excess) {
+        for (epoch, path) in files.into_iter().take(excess) {
+            if Some(epoch) == pinned {
+                continue;
+            }
             fs::remove_file(&path)
                 .map_err(|e| snap_err(format!("cannot remove {}: {e}", path.display())))?;
             removed += 1;
         }
         Ok(removed)
+    }
+
+    /// Make every shard's newest valid snapshot durable and return the
+    /// smallest `wal_seq` among them, or `None` if any of `0..shards`
+    /// lacks one. Called right before the WAL is truncated below the
+    /// returned sequence: each basis file is fsynced, the directory is
+    /// fsynced once if anything changed, and the basis epochs are pinned
+    /// so [`SnapshotStore::retain`] cannot delete them until a newer
+    /// basis (itself durable by then) replaces them. This is the entire
+    /// fsync cost of the snapshot subsystem, paid per segment
+    /// reclamation instead of per checkpoint.
+    pub fn pin_durable_basis(&self, shards: usize) -> Result<Option<u64>> {
+        let mut basis: Vec<(usize, Ts, u64)> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            match self.latest_valid(shard)? {
+                Some((meta, _)) => basis.push((shard, meta.epoch, meta.wal_seq)),
+                None => return Ok(None),
+            }
+        }
+        let mut pinned = self.pin_map();
+        let mut dirty = false;
+        for (shard, epoch, _) in &basis {
+            if pinned.get(shard) == Some(epoch) {
+                continue; // already durable from an earlier pin
+            }
+            let path = self.path_for(*shard, *epoch);
+            fs::File::open(&path)
+                .and_then(|f| f.sync_all())
+                .map_err(|e| snap_err(format!("cannot fsync {}: {e}", path.display())))?;
+            pinned.insert(*shard, *epoch);
+            dirty = true;
+        }
+        if dirty {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(basis.into_iter().map(|(_, _, seq)| seq).min())
     }
 
     /// The smallest `wal_seq` among every shard's newest valid snapshot,
@@ -296,6 +384,38 @@ mod tests {
         assert_eq!(removed, 3);
         let (m, _) = s.latest_valid(0).unwrap().unwrap();
         assert_eq!(m.epoch, Ts::from_millis(2500));
+    }
+
+    #[test]
+    fn retain_never_deletes_the_pinned_basis() {
+        let s = store("pin");
+        let mut basis_path = PathBuf::new();
+        for e in 1..=5u64 {
+            let p = s.write(meta(0, e * 500, e), b"s").unwrap();
+            if e == 5 {
+                basis_path = p;
+            }
+        }
+        assert_eq!(s.pin_durable_basis(1).unwrap(), Some(5));
+        for e in 6..=9u64 {
+            s.write(meta(0, e * 500, e), b"s").unwrap();
+        }
+        let removed = s.retain(0, 2).unwrap();
+        assert_eq!(removed, 6, "everything but the newest 2 and the pin");
+        assert!(basis_path.exists(), "pinned basis survived retention");
+        // A newer pin releases the old basis to the next retention pass.
+        assert_eq!(s.pin_durable_basis(1).unwrap(), Some(9));
+        assert_eq!(s.retain(0, 2).unwrap(), 1);
+        assert!(!basis_path.exists());
+    }
+
+    #[test]
+    fn pin_durable_basis_requires_every_shard() {
+        let s = store("pinall");
+        s.write(meta(0, 500, 3), b"a").unwrap();
+        assert_eq!(s.pin_durable_basis(2).unwrap(), None);
+        s.write(meta(1, 500, 8), b"b").unwrap();
+        assert_eq!(s.pin_durable_basis(2).unwrap(), Some(3));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! with `seq <= S`) makes any such prefix consistent — records it did not
 //! see are still in its queue. Taking the lock instead could deadlock: a
 //! reader blocked on this worker's full queue would be holding it.
+//!
+//! The lock-free read can also race another shard's checkpoint reclaiming
+//! old segments; `read_wal_dir` handles that by retrying its directory
+//! listing when a listed segment vanishes before it is read. Reclaimed
+//! segments only ever drop records below every shard's newest snapshot,
+//! so the surviving suffix still contains everything this shard's replay
+//! needs.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicI64;

@@ -249,12 +249,32 @@ fn checkpoint(
     // Reclaim log segments no shard needs any more. `try_lock`, never a
     // blocking acquire: a reader blocked on a full shard queue may be
     // holding the WAL lock, and blocking here instead of draining would
-    // deadlock. The retention horizon delays reclamation so the log
-    // always spans at least the permitted reading lateness (E0802).
-    if epoch.as_millis() >= d.config.wal_retention.as_millis() {
-        if let Some(min) = d.store.min_covered_seq(d.n_shards)? {
-            if let Some(mut wal) = d.wal.try_lock() {
-                wal.truncate_below(min)?;
+    // deadlock. Two bounds compose: every shard's newest snapshot must
+    // cover a record before it is reclaimable, AND the record must belong
+    // to an epoch older than `epoch - wal_retention`, so the log always
+    // spans at least the permitted reading lateness of event time (E0802)
+    // no matter where the epoch clock started. When a segment would
+    // actually go, the snapshots the truncation relies on are first made
+    // durable (`pin_durable_basis`) — the WAL can rebuild a lost
+    // snapshot, but only while it still holds the records.
+    if let Some(min) = d.store.min_covered_seq(d.n_shards)? {
+        if let Some(mut wal) = d.wal.try_lock() {
+            let horizon = Ts::from_millis(
+                epoch
+                    .as_millis()
+                    .saturating_sub(d.config.wal_retention.as_millis()),
+            );
+            if let Some(aged) = wal.reclaimable_through(horizon) {
+                // `truncate_below` keeps any segment holding `min_seq`
+                // itself, so reclaiming records `<= aged` passes `aged+1`.
+                let bound = min.min(aged + 1);
+                if wal.would_reclaim(bound)? {
+                    // Re-derive the bound from the *fsynced* basis: it can
+                    // only be newer than the pre-check's, never older.
+                    if let Some(durable_min) = d.store.pin_durable_basis(d.n_shards)? {
+                        wal.truncate_below(durable_min.min(aged + 1))?;
+                    }
+                }
             }
         }
     }

@@ -22,7 +22,7 @@
 //! | E05xx | gateway | `E0501` lateness ≥ window, `E0502` global stage sharded |
 //! | E06xx | semantics (abstract interpretation) | `E0601` dead stage, `E0603` reachable zero divisor, `E0604` schema drift |
 //! | E07xx | concurrency (model checker) | `E0701` deadlock, `E0702` lost shutdown wakeup, `E0703` watermark regression |
-//! | E08xx | durability | `E0801` unaligned checkpoint interval, `E0802` WAL retention below lateness, `E0803` zero snapshot retention |
+//! | E08xx | durability | `E0801` unaligned checkpoint interval, `E0802` WAL retention below lateness, `E0803` zero snapshot retention, `E0804` non-checkpointable stage |
 //!
 //! The `E06xx` pass interprets predicates and arithmetic over declared
 //! field ranges (`-- lint: range <stream>.<field> <lo>..<hi>`) and
@@ -90,7 +90,9 @@ pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
 /// that does is checked for unparseable time spans (`E0204`) and the
 /// durability invariants: `E0801` (checkpoint interval not a positive
 /// multiple of the epoch period), `E0802` (WAL retention shorter than
-/// the permitted lateness), `E0803` (zero snapshot retention).
+/// the permitted lateness), `E0803` (zero snapshot retention), `E0804`
+/// (a declared stage kind — the optional `stages` list — has no
+/// serialized state form and so cannot be checkpointed).
 pub fn lint_durability(json: &str) -> Vec<Diagnostic> {
     match DurabilitySpec::from_json(json) {
         Ok(spec) => spec.lint(),

@@ -92,6 +92,23 @@ impl EpochRunner {
         &self.collected[tap.0]
     }
 
+    /// Names of operators that can never be checkpointed
+    /// ([`crate::Operator::checkpointable`] is `false`) — the static half
+    /// of the durability contract. An empty list means a snapshot of this
+    /// dataflow can always be taken at an epoch boundary.
+    pub fn non_checkpointable(&self) -> Vec<String> {
+        self.df
+            .nodes
+            .iter()
+            .filter_map(|node| match &node.kind {
+                NodeKind::Operator { op, .. } if !op.checkpointable() => {
+                    Some(op.name().to_string())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Capture the cross-epoch state of every operator in the dataflow —
     /// the runner half of the epoch-aligned checkpoint protocol.
     ///

@@ -65,6 +65,17 @@ pub trait Operator: Send {
     fn restore(&mut self, _state: &StageState) -> Result<()> {
         Err(unexpected_state(self.name()))
     }
+
+    /// Whether this operator can participate in a checkpoint at all.
+    /// [`Operator::state`] answers "what is the state right now"; this
+    /// answers the static question "does a serialized form exist".
+    /// Operators whose cross-epoch state has no serialized form (e.g.
+    /// stages wrapping compiled queries) return `false`, so a durable
+    /// deployment is rejected before any tuple flows (`E0804`) instead of
+    /// failing at its first checkpoint.
+    fn checkpointable(&self) -> bool {
+        true
+    }
 }
 
 /// Blanket helper: a source backed by a pre-recorded script of batches.
