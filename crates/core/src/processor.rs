@@ -347,6 +347,17 @@ impl EspProcessor {
         self.runner.non_checkpointable()
     }
 
+    /// Names and causes of stages in this cascade whose replay is not
+    /// reproducible ([`Stage::determinism`](crate::Stage::determinism)
+    /// reports taint) — the replay half of the durability contract,
+    /// companion to [`EspProcessor::non_checkpointable_stages`]. A
+    /// durable gateway refuses to spawn over a non-empty answer
+    /// (`E0903`): recovery replays the WAL, and a tainted stage would
+    /// recover to different bytes.
+    pub fn nondeterministic_stages(&self) -> Vec<(String, String)> {
+        self.runner.nondeterministic()
+    }
+
     /// Capture the cross-epoch state of every stage in the cascade (the
     /// epoch-aligned checkpoint protocol — see `esp-durability`). Call
     /// only between [`EspProcessor::step`]s.

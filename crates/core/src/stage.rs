@@ -7,7 +7,7 @@
 
 use esp_query::ContinuousQuery;
 use esp_stream::{unexpected_state, Operator, StageState};
-use esp_types::{Batch, EspError, Result, Ts, Tuple};
+use esp_types::{Batch, Determinism, EspError, FieldEffects, Result, Ts, Tuple};
 
 /// One processing stage of an ESP pipeline.
 ///
@@ -45,6 +45,26 @@ pub trait Stage: Send {
     /// its first checkpoint and dying there.
     fn checkpointable(&self) -> bool {
         true
+    }
+
+    /// Whether replaying this stage over identical input epochs reproduces
+    /// identical output — the replay half of the durability contract,
+    /// companion to [`Stage::checkpointable`]. Stages that read the wall
+    /// clock or otherwise depend on anything besides their input must
+    /// report taint; a durable gateway rejects tainted stages at spawn
+    /// time (`E0903`) instead of recovering to different bytes.
+    fn determinism(&self) -> Determinism {
+        Determinism::Deterministic
+    }
+
+    /// Static field-effect summary for the whole-pipeline dataflow
+    /// analyses (`esp-lint` E0901/E0902): which input columns the stage
+    /// reads, which output columns it writes (`None` = passthrough), and
+    /// whether it counts rows. The default is fully opaque — reads and
+    /// writes everything — which is always sound and merely disables
+    /// liveness-based findings for this stage.
+    fn field_effects(&self) -> FieldEffects {
+        FieldEffects::opaque()
     }
 }
 
@@ -109,6 +129,14 @@ impl Stage for DeclarativeStage {
     fn checkpointable(&self) -> bool {
         false
     }
+
+    fn determinism(&self) -> Determinism {
+        self.query.determinism()
+    }
+
+    fn field_effects(&self) -> FieldEffects {
+        self.query.field_effects()
+    }
 }
 
 /// A boxed per-tuple transform: maps a tuple to a replacement (`None`
@@ -120,6 +148,7 @@ pub type TupleMapFn = Box<dyn FnMut(&Tuple) -> Result<Option<Tuple>> + Send>;
 pub struct FnStage {
     name: String,
     kind: FnKind,
+    determinism: Determinism,
 }
 
 enum FnKind {
@@ -136,6 +165,7 @@ impl FnStage {
         FnStage {
             name: name.into(),
             kind: FnKind::PerTuple(Box::new(f)),
+            determinism: Determinism::Deterministic,
         }
     }
 
@@ -147,7 +177,19 @@ impl FnStage {
         FnStage {
             name: name.into(),
             kind: FnKind::PerEpoch(Box::new(f)),
+            determinism: Determinism::Deterministic,
         }
+    }
+
+    /// Declare that the wrapped function is **not** a pure function of its
+    /// input (it reads the wall clock, draws randomness, consults external
+    /// state, …). A durable gateway then rejects the pipeline at spawn
+    /// time (`E0903`) rather than recovering to different bytes. User code
+    /// is opaque, so honesty here is the contract: the default assumes
+    /// determinism.
+    pub fn nondeterministic(mut self, reason: impl Into<String>) -> FnStage {
+        self.determinism = Determinism::nondeterministic(reason);
+        self
     }
 }
 
@@ -169,6 +211,10 @@ impl Stage for FnStage {
             }
             FnKind::PerEpoch(f) => f(epoch, input),
         }
+    }
+
+    fn determinism(&self) -> Determinism {
+        self.determinism.clone()
     }
 }
 
@@ -224,6 +270,10 @@ impl Operator for StageOperator {
 
     fn checkpointable(&self) -> bool {
         self.stage.checkpointable()
+    }
+
+    fn determinism(&self) -> Determinism {
+        self.stage.determinism()
     }
 }
 
@@ -318,6 +368,47 @@ mod tests {
         // Ordinary stages stay checkpointable by default.
         let plain = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
         assert!(plain.checkpointable());
+    }
+
+    #[test]
+    fn determinism_survives_the_operator_adapter() {
+        // A query calling now() taints its declarative stage; the taint —
+        // reason included — survives StageOperator, which is what the
+        // gateway's spawn-time E0903 probe actually consults.
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, now() FROM s [Range By 'NOW']")
+            .unwrap();
+        let stage = DeclarativeStage::new("stamp", q).unwrap();
+        assert!(!stage.determinism().is_deterministic());
+        let op = StageOperator::new(Box::new(stage));
+        let Determinism::Nondeterministic { reason } = op.determinism() else {
+            panic!("taint lost through the adapter");
+        };
+        assert!(reason.contains("now"), "{reason}");
+        // Plain stages stay deterministic by default; the marker opts out.
+        let plain = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
+        assert!(plain.determinism().is_deterministic());
+        let tainted = FnStage::per_tuple("roll", |t| Ok(Some(t.clone())))
+            .nondeterministic("draws randomness");
+        let op = StageOperator::new(Box::new(tainted));
+        assert!(!op.determinism().is_deterministic());
+    }
+
+    #[test]
+    fn field_effects_survive_the_stage_layer() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id")
+            .unwrap();
+        let stage = DeclarativeStage::new("smooth", q).unwrap();
+        let fe = stage.field_effects();
+        assert!(!fe.opaque);
+        assert!(fe.reads.contains("tag_id"));
+        assert!(fe.counts_rows);
+        // User code stays opaque unless it says otherwise.
+        let plain = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
+        assert!(plain.field_effects().opaque);
     }
 
     #[test]

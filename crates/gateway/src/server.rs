@@ -419,6 +419,30 @@ impl Gateway {
                          state; use the built-in stages or run without durability",
                     )]));
                 }
+                // The replay half of the same contract: recovery replays
+                // the WAL, so a stage whose output is not a pure function
+                // of its input would recover to different bytes. Rejected
+                // here, at spawn, for the same reason E0804 is — failing
+                // at the first recovery would be far worse.
+                let tainted = probe.nondeterministic_stages();
+                if !tainted.is_empty() {
+                    let detail = tainted
+                        .iter()
+                        .map(|(name, reason)| format!("'{name}' ({reason})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    return Err(EspError::Invalid(vec![Diagnostic::error(
+                        "E0903",
+                        format!(
+                            "durable gateway pipeline contains nondeterministic stage(s): \
+                             {detail}"
+                        ),
+                    )
+                    .with_note(
+                        "WAL replay cannot reproduce wall-clock reads or other volatile \
+                         effects; make the stage deterministic or run without durability",
+                    )]));
+                }
             }
             if live_shards > 1 {
                 if let Some(slot) = pipeline.slots().iter().find(|s| s.scope == Scope::Global) {
@@ -1060,6 +1084,51 @@ mod tests {
             Err(other) => panic!("expected Invalid, got {other}"),
             Ok(_) => panic!("expected Invalid, got a running gateway"),
         }
+    }
+
+    #[test]
+    fn spawn_rejects_durable_nondeterministic_stage_with_e0903() {
+        let dir = std::env::temp_dir().join(format!("esp-e0903-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = GatewayConfig::new(vec![group("g", &[0])]);
+        config.durability = Some(DurabilityConfig::new(&dir));
+        let result = Gateway::spawn(config, |_| {
+            esp_core::Pipeline::builder()
+                .per_receptor("stamp", |_| {
+                    Ok(Box::new(
+                        esp_core::FnStage::per_tuple("stamp", |t| Ok(Some(t.clone())))
+                            .nondeterministic("stamps tuples with the wall clock"),
+                    ))
+                })
+                .build()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        match result {
+            Err(EspError::Invalid(diags)) => {
+                let d = diags
+                    .iter()
+                    .find(|d| d.code == "E0903" && d.is_error())
+                    .unwrap_or_else(|| panic!("{diags:?}"));
+                assert!(d.message.contains("wall clock"), "{}", d.message);
+            }
+            Err(other) => panic!("expected Invalid, got {other}"),
+            Ok(_) => panic!("expected Invalid, got a running gateway"),
+        }
+        // Without durability the same pipeline spawns fine: determinism is
+        // only load-bearing for WAL replay.
+        let config = GatewayConfig::new(vec![group("g", &[0])]);
+        let gateway = Gateway::spawn(config, |_| {
+            esp_core::Pipeline::builder()
+                .per_receptor("stamp", |_| {
+                    Ok(Box::new(
+                        esp_core::FnStage::per_tuple("stamp", |t| Ok(Some(t.clone())))
+                            .nondeterministic("stamps tuples with the wall clock"),
+                    ))
+                })
+                .build()
+        })
+        .unwrap();
+        gateway.finish().unwrap();
     }
 
     #[test]

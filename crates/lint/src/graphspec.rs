@@ -232,6 +232,46 @@ impl GraphSpec {
             );
         }
 
+        // Transitively dead regions: the direct E0402 check sees one hop;
+        // a backward reachability fixpoint over the valid edges finds
+        // nodes whose output *is* consumed, but only by chains that never
+        // reach a tap — the whole sub-graph computes tuples nobody sees.
+        if self.taps.iter().any(|&t| t < n) {
+            let mut graph = crate::flow::FlowGraph::new(n);
+            let mut feeds = vec![false; n];
+            for e in &edges_ok {
+                graph.add_edge(e.from, e.to);
+                feeds[e.from] = true;
+            }
+            let mut is_tap = vec![false; n];
+            for &t in self.taps.iter().filter(|&&t| t < n) {
+                is_tap[t] = true;
+            }
+            let facts = crate::flow::fixpoint(
+                &graph,
+                crate::flow::Direction::Backward,
+                &false,
+                |i, reaches: &bool| *reaches || is_tap[i],
+            );
+            for (i, node) in self.nodes.iter().enumerate() {
+                if feeds[i] && !facts.exit[i] {
+                    diags.push(
+                        Diagnostic::warning(
+                            "E0902",
+                            format!(
+                                "output of '{}' is consumed, but never reaches any tap",
+                                node.name
+                            ),
+                        )
+                        .with_note(
+                            "every downstream path from this node ends in an unobserved \
+                             operator; tap one of them or remove the branch",
+                        ),
+                    );
+                }
+            }
+        }
+
         esp_types::diag::sort_diagnostics(&mut diags);
         diags
     }
@@ -366,6 +406,42 @@ mod tests {
         assert!(codes.contains(&"E0402"));
         assert!(codes.contains(&"E0403"));
         assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+
+    #[test]
+    fn consumed_branch_that_never_reaches_a_tap_is_e0902() {
+        // in → point → smooth(tap), plus a side branch in → fork → sink
+        // where sink is unobserved: fork's output is consumed (by sink),
+        // but nothing on that branch reaches the tap.
+        let spec = GraphSpec {
+            nodes: vec![
+                src("in"),
+                op("point", 1),
+                op("smooth", 1),
+                op("fork", 1),
+                op("sink", 1),
+            ],
+            edges: vec![edge(0, 1, 0), edge(1, 2, 0), edge(0, 3, 0), edge(3, 4, 0)],
+            taps: vec![2],
+            queue_capacity: None,
+        };
+        let diags = spec.validate();
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == "E0902")
+            .map(|d| d.message.clone())
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:#?}");
+        assert!(dead[0].contains("'fork'"), "{dead:?}");
+        // The chain end itself is the one-hop E0402, not E0902.
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "E0402" && d.message.contains("'sink'")),
+            "{diags:#?}"
+        );
+        // `in` feeds both branches; the tapped one keeps it alive.
+        assert!(!dead[0].contains("'in'"));
     }
 
     #[test]

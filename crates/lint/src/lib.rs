@@ -23,13 +23,19 @@
 //! | E06xx | semantics (abstract interpretation) | `E0601` dead stage, `E0603` reachable zero divisor, `E0604` schema drift |
 //! | E07xx | concurrency (model checker) | `E0701` deadlock, `E0702` lost shutdown wakeup, `E0703` watermark regression |
 //! | E08xx | durability | `E0801` unaligned checkpoint interval, `E0802` WAL retention below lateness, `E0803` zero snapshot retention, `E0804` non-checkpointable stage |
+//! | E09xx | whole-pipeline dataflow (fixpoint engine) | `E0901` dead computed column, `E0902` receptor stream reaching no output, `E0903` nondeterministic stage under durability, `E0904` lateness exceeds window depth, `E0905` unbounded retained state |
 //!
 //! The `E06xx` pass interprets predicates and arithmetic over declared
 //! field ranges (`-- lint: range <stream>.<field> <lo>..<hi>`) and
 //! deployment documents; the `E07xx` codes are emitted by the
 //! deterministic schedule explorers in `esp-stream::model` and
 //! `esp-gateway::model`, which exhaust every interleaving of small
-//! runner/gateway configurations.
+//! runner/gateway configurations. The `E09xx` family is computed by the
+//! [`flow`] module's generic monotone-framework fixpoint engine over the
+//! whole stage cascade (backward field liveness, forward determinism
+//! taint, lateness and state-bound budget propagation); pipeline
+//! documents — a deployment plus the gateway knobs it runs under — are
+//! linted end to end by [`flow::lint_pipeline`].
 //!
 //! Three surfaces expose the checks:
 //!
@@ -50,9 +56,11 @@
 
 mod absint;
 pub mod cql;
+pub mod flow;
 pub mod graphspec;
 
 pub use cql::lint_cql;
+pub use flow::{fixpoint, lint_pipeline, Direction, Facts, FlowGraph, Lattice, PipelineSpec};
 pub use graphspec::{GraphEdge, GraphNode, GraphSpec, NodeKind};
 
 use esp_core::DeploymentSpec;
@@ -60,25 +68,36 @@ use esp_durability::DurabilitySpec;
 use esp_gateway::GatewayConfig;
 use esp_types::{Diagnostic, TimeDelta};
 
+/// The single `E0001` every JSON linter emits for a document that fails
+/// to deserialize, so the failure shape stays uniform across deployment,
+/// durability, and pipeline inputs.
+pub(crate) fn parse_failure(kind: &str, err: &dyn std::fmt::Display) -> Vec<Diagnostic> {
+    vec![Diagnostic::error(
+        "E0001",
+        format!("{kind} document does not parse: {err}"),
+    )]
+}
+
 /// Lint a JSON deployment document (the [`DeploymentSpec`] wire form).
 ///
 /// A document that does not deserialize yields a single `E0001`; one
 /// that does is checked for temporal-granule consistency (E0201/E0203/
-/// E0204), spatial-group defects (E0302/E0303/E0304), and the semantic
+/// E0204), spatial-group defects (E0302/E0303/E0304), the semantic
 /// `E06xx` pass ([`DeploymentSpec::analyze`] — dead Point filters,
-/// receptor schema drift, granule-unit mismatches).
+/// receptor schema drift, granule-unit mismatches), and the backward
+/// field-liveness pass (E0901 dead computed column, E0902 receptor
+/// stream whose fields are never read).
 pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
     match DeploymentSpec::from_json(json) {
         Ok(spec) => {
             let mut diags = spec.validate();
             diags.extend(spec.analyze());
+            let engine = esp_query::Engine::new();
+            diags.extend(flow::liveness_pass(&spec, json, &engine));
             esp_types::diag::sort_diagnostics(&mut diags);
             diags
         }
-        Err(e) => vec![Diagnostic::error(
-            "E0001",
-            format!("deployment document does not parse: {e}"),
-        )],
+        Err(e) => parse_failure("deployment", &e),
     }
 }
 
@@ -96,23 +115,23 @@ pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
 pub fn lint_durability(json: &str) -> Vec<Diagnostic> {
     match DurabilitySpec::from_json(json) {
         Ok(spec) => spec.lint(),
-        Err(e) => vec![Diagnostic::error(
-            "E0001",
-            format!("durability document does not parse: {e}"),
-        )],
+        Err(e) => parse_failure("durability", &e),
     }
 }
 
 /// Route a JSON document to the linter its shape calls for: a top-level
 /// `durability` key marks a durability document ([`lint_durability`]),
-/// anything else is a deployment ([`lint_deployment`]). The CLI and the
-/// fixture suite both dispatch `.json` inputs through here.
+/// a top-level `gateway` key marks a pipeline document
+/// ([`flow::lint_pipeline`]), anything else is a deployment
+/// ([`lint_deployment`]). The CLI and the fixture suite both dispatch
+/// `.json` inputs through here.
 pub fn lint_json(json: &str) -> Vec<Diagnostic> {
-    let is_durability = serde_json::from_str::<serde::value::Value>(json)
-        .map(|v| v.get("durability").is_some())
-        .unwrap_or(false);
-    if is_durability {
+    let doc = serde_json::from_str::<serde::value::Value>(json).ok();
+    let has = |key: &str| doc.as_ref().map(|v| v.get(key).is_some()).unwrap_or(false);
+    if has("durability") {
         lint_durability(json)
+    } else if has("gateway") {
+        flow::lint_pipeline(json)
     } else {
         lint_deployment(json)
     }
@@ -136,6 +155,8 @@ pub enum ExampleKind {
     Cql,
     /// JSON deployment document.
     Deployment,
+    /// JSON pipeline document (deployment + gateway knobs).
+    Pipeline,
 }
 
 /// A named, embedded example pipeline the CLI can lint without touching
@@ -189,6 +210,11 @@ pub const EXAMPLES: &[Example] = &[
         kind: ExampleKind::Deployment,
         source: include_str!("../fixtures/clean/rfid_shelf_deployment.json"),
     },
+    Example {
+        name: "durable-shelf-pipeline",
+        kind: ExampleKind::Pipeline,
+        source: include_str!("../fixtures/clean/durable_shelf_pipeline.json"),
+    },
 ];
 
 /// Lint one embedded example by name; `None` for an unknown name.
@@ -197,6 +223,7 @@ pub fn lint_example(name: &str) -> Option<Vec<Diagnostic>> {
     Some(match ex.kind {
         ExampleKind::Cql => lint_cql(ex.source),
         ExampleKind::Deployment => lint_deployment(ex.source),
+        ExampleKind::Pipeline => flow::lint_pipeline(ex.source),
     })
 }
 
@@ -251,6 +278,14 @@ mod tests {
         let diags = lint_json(durability);
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
         assert_eq!(codes, vec!["E0801", "E0803"], "{diags:#?}");
+        // Gateway shape → the pipeline linter (E0001 mentions "pipeline").
+        let diags = lint_json(r#"{"gateway": {}}"#);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.code == "E0001" && d.message.contains("pipeline")),
+            "{diags:#?}"
+        );
         // Anything else → the deployment linter.
         let diags = lint_json("{}");
         assert!(diags.iter().all(|d| d.code == "E0001"), "{diags:#?}");

@@ -19,6 +19,12 @@
 //! `origin`/`code`/`severity`/`message`/`span`/`notes`) and the rendered
 //! human diagnostics are suppressed; exit codes are unchanged, so CI can
 //! both gate on the status and archive the document as an artifact.
+//!
+//! With `--format sarif`, stdout carries a minimal SARIF 2.1.0 log
+//! (one run, one result per finding, byte spans converted to 1-based
+//! line/column regions) so code-scanning UIs can ingest the findings
+//! directly. Hand-rolled like the JSON form — the subset is small and
+//! fixed.
 
 use std::process::ExitCode;
 
@@ -26,21 +32,24 @@ use esp_lint::{lint_cql, lint_deployment, lint_json, ExampleKind, EXAMPLES};
 use esp_types::Diagnostic;
 
 const USAGE: &str = "\
-usage: esp-lint [--format text|json] <file.cql|file.json>...
-       esp-lint [--format text|json] --example <name>
-       esp-lint [--format text|json] --all-examples
+usage: esp-lint [--format text|json|sarif] <file.cql|file.json>...
+       esp-lint [--format text|json|sarif] --example <name>
+       esp-lint [--format text|json|sarif] --all-examples
        esp-lint --list-examples
 
-Lints CQL query text (.cql) and JSON deployment or durability
-documents (.json; a top-level \"durability\" key selects the
-durability linter) statically.
+Lints CQL query text (.cql) and JSON deployment, durability, or
+pipeline documents (.json; a top-level \"durability\" key selects the
+durability linter, a top-level \"gateway\" key the whole-pipeline
+dataflow linter) statically.
 Exit 0: clean; 1: findings; 2: usage/I-O error.
---format json prints one machine-readable document on stdout.";
+--format json prints one machine-readable document on stdout;
+--format sarif prints a SARIF 2.1.0 log for code-scanning uploads.";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 /// Findings for one linted input, with the source kept for rendering.
@@ -70,12 +79,15 @@ fn main() -> ExitCode {
                 match iter.next().map(String::as_str) {
                     Some("text") => format = Format::Text,
                     Some("json") => format = Format::Json,
+                    Some("sarif") => format = Format::Sarif,
                     Some(other) => {
-                        eprintln!("error: unknown format '{other}' (expected text or json)");
+                        eprintln!(
+                            "error: unknown format '{other}' (expected text, json, or sarif)"
+                        );
                         return ExitCode::from(2);
                     }
                     None => {
-                        eprintln!("error: --format needs a value (text or json)");
+                        eprintln!("error: --format needs a value (text, json, or sarif)");
                         return ExitCode::from(2);
                     }
                 };
@@ -154,6 +166,7 @@ fn main() -> ExitCode {
             }
         }
         Format::Json => println!("{}", render_json(&reports)),
+        Format::Sarif => println!("{}", render_sarif(&reports)),
     }
     if findings == 0 {
         ExitCode::SUCCESS
@@ -166,6 +179,7 @@ fn lint_embedded(ex: &esp_lint::Example) -> Vec<Diagnostic> {
     match ex.kind {
         ExampleKind::Cql => lint_cql(ex.source),
         ExampleKind::Deployment => lint_deployment(ex.source),
+        ExampleKind::Pipeline => esp_lint::lint_pipeline(ex.source),
     }
 }
 
@@ -208,6 +222,67 @@ fn render_json(reports: &[InputReport]) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}");
+    out
+}
+
+/// 1-based line/column of a byte offset in `source` (SARIF regions are
+/// line-oriented; our spans are byte offsets into the original text).
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(source.len());
+    let before = &source[..clamped];
+    let line = before.matches('\n').count() + 1;
+    let col = before
+        .rfind('\n')
+        .map(|p| clamped - p)
+        .unwrap_or(clamped + 1);
+    (line, col)
+}
+
+/// Render every finding as a minimal SARIF 2.1.0 log: one tool run,
+/// one `result` per diagnostic, spans mapped to 1-based single-file
+/// regions. Only the subset code-scanning ingestion requires.
+fn render_sarif(reports: &[InputReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"esp-lint\"}},\n");
+    out.push_str("    \"results\": [");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diags {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = if d.is_error() { "error" } else { "warning" };
+            out.push_str("\n      {");
+            out.push_str(&format!("\"ruleId\": \"{}\", ", json_escape(d.code)));
+            out.push_str(&format!("\"level\": \"{level}\", "));
+            out.push_str(&format!(
+                "\"message\": {{\"text\": \"{}\"}}, ",
+                json_escape(&d.message)
+            ));
+            out.push_str("\"locations\": [{\"physicalLocation\": {");
+            out.push_str(&format!(
+                "\"artifactLocation\": {{\"uri\": \"{}\"}}",
+                json_escape(&r.origin)
+            ));
+            if let Some(s) = d.span {
+                let (sl, sc) = line_col(&r.source, s.start);
+                let (el, ec) = line_col(&r.source, s.end);
+                out.push_str(&format!(
+                    ", \"region\": {{\"startLine\": {sl}, \"startColumn\": {sc}, \
+                     \"endLine\": {el}, \"endColumn\": {ec}}}"
+                ));
+            }
+            out.push_str("}}]}");
+        }
+    }
+    if !first {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}");
     out
 }
 

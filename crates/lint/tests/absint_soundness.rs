@@ -306,6 +306,7 @@ fn examples_gain_no_semantic_findings() {
         let diags = match ex.kind {
             ExampleKind::Cql => lint_cql(ex.source),
             ExampleKind::Deployment => lint_deployment(ex.source),
+            ExampleKind::Pipeline => esp_lint::lint_pipeline(ex.source),
         };
         let semantic: Vec<_> = diags
             .iter()

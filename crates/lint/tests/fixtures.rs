@@ -36,11 +36,20 @@ fn expected_code(path: &Path) -> String {
     stem.split('_').next().unwrap().to_ascii_uppercase()
 }
 
-/// The `-- expect: <text>` annotation, when present.
+/// The `-- expect: <text>` annotation, when present. CQL fixtures carry
+/// it as a comment line; JSON fixtures (which have no comments) carry it
+/// as a trailing extra key, `"-- expect: <text>": true`, placed at the
+/// *bottom* of the document so the linter's first-occurrence span search
+/// hits the real token, not the annotation.
 fn expected_slice(source: &str) -> Option<&str> {
-    source
-        .lines()
-        .find_map(|l| l.trim().strip_prefix("-- expect: "))
+    source.lines().find_map(|l| {
+        let t = l.trim();
+        if let Some(rest) = t.strip_prefix("-- expect: ") {
+            return Some(rest);
+        }
+        t.strip_prefix("\"-- expect: ")
+            .and_then(|rest| rest.split("\":").next())
+    })
 }
 
 fn fail_fixtures() -> Vec<PathBuf> {

@@ -1,0 +1,210 @@
+//! Property tests for the monotone-framework fixpoint engine.
+//!
+//! The engine promises three things the E09xx analyses lean on:
+//!
+//! 1. **Termination** on *any* graph — including cycles and transfers
+//!    that never stabilize — via the iteration cap.
+//! 2. **Monotonicity**: a larger boundary fact can only enlarge the
+//!    solution (no analysis can lose information by knowing more).
+//! 3. **Precision**: on DAGs with distributive transfers, the computed
+//!    MFP solution equals the meet-over-all-paths answer — checked here
+//!    against a brute-force enumeration of every path.
+//!
+//! Facts are 32-bit bitsets (a gen/kill problem: `out = (in & keep) |
+//! gen`), which is distributive, so MFP = MOP is the textbook theorem
+//! the engine must reproduce exactly.
+//!
+//! The vendored proptest stand-in has no `prop_flat_map`, so graphs are
+//! derived in-body from raw generated pairs: arbitrary graphs keep the
+//! pairs as-is (out-of-range endpoints exercise the ignore contract),
+//! DAGs fold each pair into a forward edge `from < to`.
+
+use proptest::prelude::*;
+
+use esp_lint::{fixpoint, Direction, Facts, FlowGraph, Lattice};
+
+/// A 32-element powerset lattice; join is union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bits(u32);
+
+impl Lattice for Bits {
+    fn bottom() -> Self {
+        Bits(0)
+    }
+    fn join(&mut self, other: &Self) {
+        self.0 |= other.0;
+    }
+}
+
+/// One node's distributive transfer: `out = (in & keep) | gen`.
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    keep: u32,
+    gen: u32,
+}
+
+impl Transfer {
+    fn apply(&self, fact: u32) -> u32 {
+        (fact & self.keep) | self.gen
+    }
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> FlowGraph {
+    let mut g = FlowGraph::new(n);
+    for &(from, to) in edges {
+        g.add_edge(from, to);
+    }
+    g
+}
+
+/// Fold raw pairs into DAG edges over `n >= 2` nodes: always `from < to`.
+fn dag_edges(n: usize, raw: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = raw
+        .iter()
+        .map(|&(a, b)| {
+            let from = a % (n - 1);
+            let to = from + 1 + b % (n - 1 - from);
+            (from, to)
+        })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn transfers(n: usize, keeps: &[u32], gens: &[u32]) -> Vec<Transfer> {
+    (0..n)
+        .map(|i| Transfer {
+            keep: keeps[i],
+            gen: gens[i],
+        })
+        .collect()
+}
+
+fn run_forward(g: &FlowGraph, t: &[Transfer], boundary: u32) -> Facts<Bits> {
+    fixpoint(g, Direction::Forward, &Bits(boundary), |i, inc: &Bits| {
+        Bits(t[i].apply(inc.0))
+    })
+}
+
+/// Brute-force meet-over-all-paths *exit* fact of `node`: join of the
+/// transfer composition along every entry path, where entry nodes (no
+/// predecessors) start from `boundary`. DAG-only (finite paths).
+fn mop_exit(
+    n: usize,
+    edges: &[(usize, usize)],
+    transfers: &[Transfer],
+    boundary: u32,
+    node: usize,
+) -> u32 {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        preds[to].push(from);
+    }
+    fn walk(node: usize, preds: &[Vec<usize>], transfers: &[Transfer], boundary: u32) -> Vec<u32> {
+        if preds[node].is_empty() {
+            return vec![transfers[node].apply(boundary)];
+        }
+        let mut out = Vec::new();
+        for &p in &preds[node] {
+            for fact in walk(p, preds, transfers, boundary) {
+                out.push(transfers[node].apply(fact));
+            }
+        }
+        out
+    }
+    walk(node, &preds, transfers, boundary)
+        .into_iter()
+        .fold(0, |acc, f| acc | f)
+}
+
+proptest! {
+    /// The engine returns on arbitrary graphs — cycles, self-loops,
+    /// dangling edges — even with a transfer that never stabilizes.
+    #[test]
+    fn terminates_on_arbitrary_graphs(
+        n in 1..=8usize,
+        raw_edges in proptest::collection::vec((0..12usize, 0..12usize), 0..=64),
+        seeds in proptest::collection::vec(any::<u32>(), 8..=8),
+    ) {
+        let g = build(n, &raw_edges);
+        let facts = fixpoint(&g, Direction::Forward, &Bits(u32::MAX), |i, inc: &Bits| {
+            // Rotate-and-xor keeps some cycles churning forever without
+            // the iteration cap.
+            Bits(inc.0.rotate_left(1) ^ seeds[i])
+        });
+        prop_assert_eq!(facts.exit.len(), n);
+        prop_assert_eq!(facts.entry.len(), n);
+    }
+
+    /// Enlarging the boundary can only enlarge every fact (monotonicity
+    /// of the whole solution in the boundary, given monotone transfers).
+    #[test]
+    fn solution_is_monotone_in_the_boundary(
+        n in 1..=8usize,
+        raw_edges in proptest::collection::vec((0..8usize, 0..8usize), 0..=48),
+        keeps in proptest::collection::vec(any::<u32>(), 8..=8),
+        gens in proptest::collection::vec(any::<u32>(), 8..=8),
+        small in any::<u32>(),
+        extra in any::<u32>(),
+    ) {
+        let g = build(n, &raw_edges);
+        let t = transfers(n, &keeps, &gens);
+        let lo = run_forward(&g, &t, small);
+        let hi = run_forward(&g, &t, small | extra);
+        for i in 0..n {
+            prop_assert_eq!(lo.exit[i].0 & hi.exit[i].0, lo.exit[i].0,
+                "exit[{}] shrank when the boundary grew", i);
+            prop_assert_eq!(lo.entry[i].0 & hi.entry[i].0, lo.entry[i].0,
+                "entry[{}] shrank when the boundary grew", i);
+        }
+    }
+
+    /// On DAGs with distributive transfers, the fixpoint (MFP) equals
+    /// the brute-force join over every path (MOP) at every node.
+    #[test]
+    fn mfp_equals_meet_over_all_paths_on_dags(
+        n in 2..=7usize,
+        raw_edges in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..=32),
+        boundary in any::<u32>(),
+        keeps in proptest::collection::vec(any::<u32>(), 7..=7),
+        gens in proptest::collection::vec(any::<u32>(), 7..=7),
+    ) {
+        let edges = dag_edges(n, &raw_edges);
+        let t = transfers(n, &keeps, &gens);
+        let g = build(n, &edges);
+        let facts = run_forward(&g, &t, boundary);
+        for node in 0..n {
+            let want = mop_exit(n, &edges, &t, boundary, node);
+            prop_assert_eq!(facts.exit[node].0, want,
+                "MFP != MOP at node {} of {:?}", node, &edges);
+        }
+    }
+
+    /// A backward problem is the forward problem on the reversed graph:
+    /// running Backward on G must equal running Forward on Gᵀ.
+    #[test]
+    fn backward_is_forward_on_the_transposed_graph(
+        n in 2..=7usize,
+        raw_edges in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..=32),
+        boundary in any::<u32>(),
+        keeps in proptest::collection::vec(any::<u32>(), 7..=7),
+        gens in proptest::collection::vec(any::<u32>(), 7..=7),
+    ) {
+        let edges = dag_edges(n, &raw_edges);
+        let t = transfers(n, &keeps, &gens);
+        let g = build(n, &edges);
+        let backward = fixpoint(&g, Direction::Backward, &Bits(boundary), |i, inc: &Bits| {
+            Bits(t[i].apply(inc.0))
+        });
+        let mut gt = FlowGraph::new(n);
+        for &(from, to) in &edges {
+            gt.add_edge(to, from);
+        }
+        let forward = run_forward(&gt, &t, boundary);
+        for i in 0..n {
+            prop_assert_eq!(backward.exit[i].0, forward.exit[i].0);
+            prop_assert_eq!(backward.entry[i].0, forward.entry[i].0);
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! The catalog: static relations, scalar UDFs, and aggregate UDAs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use esp_types::{Batch, EspError, Result, Value};
+use esp_types::{Batch, EspError, Result, Ts, Value};
 
 use crate::aggregate::{
     AggregateFactory, AvgFactory, CountFactory, ExtremeFactory, StdevFactory, SumFactory,
@@ -27,16 +27,23 @@ pub struct Catalog {
     relations: HashMap<String, Arc<Batch>>,
     scalars: HashMap<String, Arc<ScalarFn>>,
     aggregates: HashMap<String, Arc<dyn AggregateFactory>>,
+    /// Scalars whose result is not a pure function of their arguments
+    /// (wall-clock reads and the like). Queries calling one are tainted
+    /// nondeterministic: replaying them over identical inputs may produce
+    /// different bytes, which voids the durability recovery contract
+    /// (`E0903`).
+    volatile: HashSet<String>,
 }
 
 impl Catalog {
     /// A catalog with the built-in aggregates and scalar functions
-    /// (`abs`, `coalesce`) registered.
+    /// (`abs`, `coalesce`, and the volatile `now`) registered.
     pub fn new() -> Catalog {
         let mut c = Catalog {
             relations: HashMap::new(),
             scalars: HashMap::new(),
             aggregates: HashMap::new(),
+            volatile: HashSet::new(),
         };
         c.register_aggregate("count", Arc::new(CountFactory));
         c.register_aggregate("sum", Arc::new(SumFactory));
@@ -62,6 +69,19 @@ impl Catalog {
                 .cloned()
                 .unwrap_or(Value::Null))
         });
+        // Wall-clock time. Useful for ingest-latency probes, but a replay
+        // cannot reproduce it — hence volatile, and E0903 bans it from
+        // durable cascades.
+        c.register_volatile_scalar("now", |args| {
+            if !args.is_empty() {
+                return Err(EspError::Type("now() takes no arguments".into()));
+            }
+            let ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            Ok(Value::Ts(Ts::from_millis(ms)))
+        });
         c
     }
 
@@ -76,13 +96,36 @@ impl Catalog {
     }
 
     /// Register (or replace) a scalar UDF under `name` (lower-cased).
+    /// Registration through this entry point asserts the function is pure;
+    /// replacing a volatile scalar clears its taint.
     pub fn register_scalar(
         &mut self,
         name: impl Into<String>,
         f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
     ) {
-        self.scalars
-            .insert(name.into().to_ascii_lowercase(), Arc::new(f));
+        let lname = name.into().to_ascii_lowercase();
+        self.volatile.remove(&lname);
+        self.scalars.insert(lname, Arc::new(f));
+    }
+
+    /// Register (or replace) a scalar UDF that is **not** a pure function
+    /// of its arguments — wall-clock reads, random draws, and the like.
+    /// Queries calling it are reported nondeterministic by
+    /// [`crate::ContinuousQuery::determinism`], which a durable gateway
+    /// rejects at spawn time (`E0903`).
+    pub fn register_volatile_scalar(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        let lname = name.into().to_ascii_lowercase();
+        self.scalars.insert(lname.clone(), Arc::new(f));
+        self.volatile.insert(lname);
+    }
+
+    /// True when `name` resolves to a scalar registered as volatile.
+    pub fn is_volatile_scalar(&self, name: &str) -> bool {
+        self.volatile.contains(&name.to_ascii_lowercase())
     }
 
     /// Look up a scalar UDF.
@@ -166,5 +209,25 @@ mod tests {
         let mut c = Catalog::new();
         c.register_aggregate("MyAgg", Arc::new(CountFactory));
         assert!(c.is_aggregate("myagg"));
+    }
+
+    #[test]
+    fn now_is_a_volatile_builtin() {
+        let c = Catalog::new();
+        assert!(c.is_volatile_scalar("now"));
+        assert!(c.is_volatile_scalar("NOW"));
+        assert!(!c.is_volatile_scalar("abs"));
+        let now = c.scalar("now").unwrap();
+        assert!(matches!(now(&[]).unwrap(), Value::Ts(_)));
+        assert!(now(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn reregistering_a_volatile_scalar_as_pure_clears_taint() {
+        let mut c = Catalog::new();
+        c.register_volatile_scalar("jitter", |_| Ok(Value::Int(4)));
+        assert!(c.is_volatile_scalar("jitter"));
+        c.register_scalar("Jitter", |_| Ok(Value::Int(4)));
+        assert!(!c.is_volatile_scalar("jitter"));
     }
 }

@@ -269,9 +269,122 @@ impl CompiledSelect {
         });
         names
     }
+
+    /// Visit every compiled expression in this select, recursing into
+    /// derived tables and quantified subqueries. The immutable companion
+    /// of [`CompiledSelect::for_each_window`], used by the effect
+    /// summaries (column read sets, determinism taint) that the E09xx
+    /// dataflow analyses and column pruning consume.
+    pub(crate) fn for_each_expr(&self, f: &mut dyn FnMut(&CExpr)) {
+        for item in &self.select {
+            item.expr.walk(f);
+        }
+        if let Some(w) = &self.where_clause {
+            w.walk(f);
+        }
+        for g in &self.group_by {
+            g.walk(f);
+        }
+        if let Some(h) = &self.having {
+            h.walk(f);
+        }
+        for agg in &self.agg_calls {
+            if let Some(arg) = &agg.arg {
+                arg.walk(f);
+            }
+        }
+        for item in &self.from {
+            if let CSource::Derived(sub) = &item.source {
+                sub.for_each_expr(f);
+            }
+        }
+    }
+
+    /// Whether this select — or any nested derived table — is a
+    /// `SELECT *`, whose output columns depend on runtime input schemas.
+    pub(crate) fn has_star(&self) -> bool {
+        self.select.is_empty()
+            || self.from.iter().any(|item| match &item.source {
+                CSource::Derived(sub) => sub.has_star(),
+                _ => false,
+            })
+    }
+
+    /// Every field name referenced anywhere in the query (projections,
+    /// predicates, keys, aggregate arguments, subqueries). An
+    /// over-approximation of the input columns the query can read:
+    /// derived-table output names are included alongside raw input
+    /// columns, which only ever *keeps* more columns alive.
+    pub(crate) fn read_column_names(&self, out: &mut std::collections::BTreeSet<String>) {
+        self.for_each_expr(&mut |e| {
+            if let CExpr::Field { name, .. } = e {
+                out.insert(name.clone());
+            }
+        });
+    }
+
+    /// Names of scalar calls whose result is not a pure function of the
+    /// arguments (wall-clock reads and other volatile UDFs), anywhere in
+    /// the query.
+    pub(crate) fn volatile_calls(&self, catalog: &Catalog) -> Vec<String> {
+        let mut names = Vec::new();
+        self.for_each_expr(&mut |e| {
+            if let CExpr::Scalar { name, .. } = e {
+                if catalog.is_volatile_scalar(name) && !names.contains(name) {
+                    names.push(name.clone());
+                }
+            }
+        });
+        names
+    }
+
+    /// True when any aggregate call is the `count(*)` form, making the
+    /// output sensitive to input row counts even where no column is read.
+    pub(crate) fn counts_rows(&self) -> bool {
+        let mut found = self.agg_calls.iter().any(|c| c.star);
+        if !found {
+            self.for_each_expr(&mut |e| {
+                if let CExpr::Quantified { subquery, .. } = e {
+                    found |= subquery.counts_rows();
+                }
+            });
+            found |= self.from.iter().any(|item| match &item.source {
+                CSource::Derived(sub) => sub.counts_rows(),
+                _ => false,
+            });
+        }
+        found
+    }
 }
 
 impl CExpr {
+    /// Visit this expression and every sub-expression, descending into
+    /// quantified subqueries (via their full select walk).
+    pub(crate) fn walk(&self, f: &mut dyn FnMut(&CExpr)) {
+        f(self);
+        match self {
+            CExpr::Literal(_) | CExpr::Field { .. } | CExpr::Agg { .. } => {}
+            CExpr::Scalar { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            CExpr::Cmp { lhs, rhs, .. } | CExpr::Arith { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            CExpr::Quantified { lhs, subquery, .. } => {
+                lhs.walk(f);
+                subquery.for_each_expr(f);
+            }
+            CExpr::And(a, b) | CExpr::Or(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            CExpr::Not(e) | CExpr::Neg(e) => e.walk(f),
+        }
+    }
+
     /// Visit every subquery nested in this expression.
     pub(crate) fn for_each_subquery_mut(&mut self, f: &mut impl FnMut(&mut CompiledSelect)) {
         match self {

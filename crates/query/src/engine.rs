@@ -1,14 +1,14 @@
 //! The engine: compiles query text and drives per-epoch execution.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use esp_stream::Operator;
-use esp_types::{Batch, EspError, Result, Ts, Tuple, Value};
+use esp_types::{Batch, Determinism, EspError, FieldEffects, Result, TimeDelta, Ts, Tuple, Value};
 
 use crate::aggregate::AggregateFactory;
 use crate::catalog::Catalog;
-use crate::compile::{compile, CompiledSelect};
+use crate::compile::{compile, CExpr, CompiledSelect};
 use crate::exec::{eval_select, ExecCtx};
 use crate::parser::parse;
 use crate::plan::{clear_resolution, resolve_pass, Mode};
@@ -63,6 +63,18 @@ impl Engine {
         Arc::make_mut(&mut self.catalog).register_scalar(name, f);
     }
 
+    /// Register a scalar UDF whose result is **not** a pure function of
+    /// its arguments (wall-clock reads and the like). Queries calling it
+    /// report [`Determinism::Nondeterministic`], and a durable gateway
+    /// rejects stages built from them at spawn time (`E0903`).
+    pub fn register_volatile_scalar(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        Arc::make_mut(&mut self.catalog).register_volatile_scalar(name, f);
+    }
+
     /// Register a user-defined aggregate.
     pub fn register_aggregate(
         &mut self,
@@ -89,6 +101,7 @@ impl Engine {
             streams,
             text: sql.to_string(),
             reference_mode: false,
+            prune: None,
         })
     }
 
@@ -142,6 +155,11 @@ pub struct ContinuousQuery {
     /// When set, slot resolution is skipped and annotations are cleared:
     /// every tick runs the original name-resolving interpreter.
     reference_mode: bool,
+    /// When set (see [`ContinuousQuery::enable_column_pruning`]), every
+    /// tuple entering a window is pruned to the query's live columns:
+    /// values of columns the query provably never reads are replaced with
+    /// `Null`, schema and slot layout untouched.
+    prune: Option<crate::exec::ColumnPruner>,
 }
 
 impl ContinuousQuery {
@@ -168,6 +186,116 @@ impl ContinuousQuery {
         }
     }
 
+    /// The set of column names this query can read anywhere (projections,
+    /// predicates, keys, aggregate arguments, subqueries), or `None` when
+    /// a `SELECT *` makes the read set depend on runtime input schemas.
+    /// An over-approximation: pruning input columns outside this set can
+    /// never change the query's output.
+    pub fn read_columns(&self) -> Option<BTreeSet<String>> {
+        if self.root.has_star() {
+            return None;
+        }
+        let mut out = BTreeSet::new();
+        self.root.read_column_names(&mut out);
+        Some(out)
+    }
+
+    /// The output column names, or `None` when a `SELECT *` leaves the
+    /// output shape to runtime input schemas.
+    pub fn output_columns(&self) -> Option<Vec<String>> {
+        self.root
+            .output_schema
+            .as_ref()
+            .map(|s| s.fields().iter().map(|f| f.name.clone()).collect())
+    }
+
+    /// True when the query computes `count(*)` anywhere: its output then
+    /// depends on input row counts even where no column is read.
+    pub fn counts_rows(&self) -> bool {
+        self.root.counts_rows()
+    }
+
+    /// The top-level `GROUP BY` keys that are bare column references
+    /// (computed key expressions are omitted). The state-boundedness
+    /// analysis (`E0905`) bounds retained per-group state by the product
+    /// of these columns' value cardinalities.
+    pub fn group_by_columns(&self) -> Vec<String> {
+        self.root
+            .group_by
+            .iter()
+            .filter_map(|e| match e {
+                CExpr::Field { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The widest window clause anywhere in the query (now-windows count
+    /// as zero width) — the query's contribution to a pipeline's lateness
+    /// budget (`E0904`).
+    pub fn max_window_width(&mut self) -> TimeDelta {
+        let mut max = TimeDelta::ZERO;
+        self.root.for_each_window(&mut |_, w| {
+            if w.width() > max {
+                max = w.width();
+            }
+        });
+        max
+    }
+
+    /// Whether replaying this query over identical input epochs reproduces
+    /// identical output. Tainted when the query calls a volatile scalar
+    /// (e.g. the built-in `now()`); a durable gateway rejects tainted
+    /// stages at spawn time (`E0903`).
+    pub fn determinism(&self) -> Determinism {
+        let calls = self.root.volatile_calls(&self.catalog);
+        match calls.first() {
+            None => Determinism::Deterministic,
+            Some(name) => {
+                Determinism::nondeterministic(format!("calls volatile scalar '{name}()'"))
+            }
+        }
+    }
+
+    /// Static field-effect summary for the E09xx dataflow analyses: what
+    /// this query reads, what it writes, and whether it counts rows.
+    /// Queries with `SELECT *` summarize as opaque (reads and writes
+    /// everything).
+    pub fn field_effects(&self) -> FieldEffects {
+        let fe = match (self.read_columns(), self.output_columns()) {
+            (Some(reads), Some(writes)) => FieldEffects::projection(reads, writes),
+            _ => FieldEffects::opaque(),
+        };
+        if self.counts_rows() {
+            fe.with_row_counting()
+        } else {
+            fe
+        }
+    }
+
+    /// Opt in to liveness-driven column pruning: every tuple entering a
+    /// window has the values of columns this query provably never reads
+    /// replaced with `Null`. Schema and slot layout are untouched, so the
+    /// compiled zero-copy path is unaffected and output is byte-identical;
+    /// wide tuples just stop retaining unread payloads in window state.
+    ///
+    /// Returns `false` (and stays off) when the query contains `SELECT *`,
+    /// whose read set cannot be bounded statically.
+    pub fn enable_column_pruning(&mut self) -> bool {
+        match self.read_columns() {
+            Some(cols) => {
+                self.prune = Some(crate::exec::ColumnPruner::new(cols));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when [`ContinuousQuery::enable_column_pruning`] is in effect.
+    pub fn column_pruning_enabled(&self) -> bool {
+        self.prune.is_some()
+    }
+
     /// Stage a batch for `stream`, to be absorbed at the next tick.
     /// Unknown stream names are rejected.
     pub fn push(&mut self, stream: &str, batch: &[Tuple]) -> Result<()> {
@@ -187,6 +315,7 @@ impl ContinuousQuery {
     /// return the result rows stamped at `epoch`.
     pub fn tick(&mut self, epoch: Ts) -> Result<Batch> {
         let pending = std::mem::take(&mut self.pending);
+        let prune = &mut self.prune;
         self.root.for_each_window(&mut |name, w| {
             if let Some(batch) = pending.get(name) {
                 // Tuples enter the window stamped at the epoch so that
@@ -197,6 +326,10 @@ impl ContinuousQuery {
                         t.clone()
                     } else {
                         t.restamped(epoch)
+                    };
+                    let t = match prune.as_mut() {
+                        Some(pruner) => pruner.prune(&t),
+                        None => t,
                     };
                     w.push(t);
                 }
@@ -435,6 +568,71 @@ mod tests {
                 &[("s", well_known::rfid_schema())],
             )
             .is_ok());
+    }
+
+    #[test]
+    fn effect_accessors_summarize_the_query() {
+        let engine = Engine::new();
+        let mut q = engine
+            .compile(
+                "SELECT tag_id, count(*) FROM s [Range By '5 sec'] \
+                 WHERE receptor_id > 0 GROUP BY tag_id",
+            )
+            .unwrap();
+        let reads = q.read_columns().unwrap();
+        assert!(reads.contains("tag_id") && reads.contains("receptor_id"));
+        assert_eq!(
+            q.output_columns().unwrap(),
+            vec!["tag_id".to_string(), "count".to_string()]
+        );
+        assert!(q.counts_rows());
+        assert_eq!(q.max_window_width(), TimeDelta::from_secs(5));
+        assert!(q.determinism().is_deterministic());
+        let fe = q.field_effects();
+        assert!(fe.counts_rows && !fe.opaque);
+        // SELECT * defeats static summaries.
+        let star = engine.compile("SELECT * FROM s [Range By 'NOW']").unwrap();
+        assert!(star.read_columns().is_none());
+        assert!(star.field_effects().opaque);
+    }
+
+    #[test]
+    fn volatile_call_taints_determinism() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, now() FROM s [Range By 'NOW']")
+            .unwrap();
+        let Determinism::Nondeterministic { reason } = q.determinism() else {
+            panic!("now() should taint the query");
+        };
+        assert!(reason.contains("now"), "{reason}");
+        assert!(engine
+            .compile("SELECT tag_id FROM s [Range By 'NOW']")
+            .unwrap()
+            .determinism()
+            .is_deterministic());
+    }
+
+    #[test]
+    fn column_pruning_preserves_output_bytes() {
+        let sql = "SELECT tag_id, count(*) FROM s [Range By '5 sec'] GROUP BY tag_id";
+        let engine = Engine::new();
+        let mut plain = engine.compile(sql).unwrap();
+        let mut pruned = engine.compile(sql).unwrap();
+        assert!(pruned.enable_column_pruning());
+        assert!(pruned.column_pruning_enabled());
+        for (epoch, tag) in [(0u64, "a"), (1, "b"), (2, "a")] {
+            let batch = [rfid(Ts::from_secs(epoch), tag)];
+            plain.push("s", &batch).unwrap();
+            pruned.push("s", &batch).unwrap();
+            let a = plain.tick(Ts::from_secs(epoch)).unwrap();
+            let b = pruned.tick(Ts::from_secs(epoch)).unwrap();
+            assert_eq!(a, b, "epoch {epoch} diverged under pruning");
+        }
+        // SELECT * refuses to prune.
+        let mut star = engine.compile("SELECT * FROM s [Range By 'NOW']").unwrap();
+        assert!(!star.enable_column_pruning());
+        assert!(!star.column_pruning_enabled());
     }
 
     #[test]

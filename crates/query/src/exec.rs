@@ -48,6 +48,66 @@ use crate::catalog::Catalog;
 use crate::compile::{AggCall, CExpr, CFromItem, CSource, CompiledSelect};
 use crate::plan::{flatten_conjuncts, join_key, FieldSlot, JoinKey, JoinPlan, KeySpec};
 
+/// Opt-in column pruning ([`crate::ContinuousQuery::enable_column_pruning`]):
+/// nulls out every value whose column is outside the query's live set,
+/// preserving the schema `Arc` (and therefore the interned-schema identity
+/// the slot path keys on) and the timestamp, so unread payloads stop being
+/// retained in window state without perturbing layout.
+///
+/// The name-to-liveness decision is made once per distinct input schema
+/// and cached as a slot-indexed mask keyed on `Arc` pointer identity
+/// (schemas are interned, so identity is stable across batches); the
+/// per-tuple path does no string lookups.
+pub(crate) struct ColumnPruner {
+    keep: std::collections::BTreeSet<String>,
+    /// `(schema identity, keep-mask)`; a `None` mask means every column
+    /// is live and tuples pass through as plain clones.
+    masks: Vec<(usize, Option<Arc<[bool]>>)>,
+}
+
+impl ColumnPruner {
+    pub(crate) fn new(keep: std::collections::BTreeSet<String>) -> ColumnPruner {
+        ColumnPruner {
+            keep,
+            masks: Vec::new(),
+        }
+    }
+
+    fn mask_for(&mut self, schema: &Arc<Schema>) -> Option<Arc<[bool]>> {
+        let key = Arc::as_ptr(schema) as usize;
+        if let Some((_, mask)) = self.masks.iter().find(|(k, _)| *k == key) {
+            return mask.clone();
+        }
+        let live: Vec<bool> = schema
+            .fields()
+            .iter()
+            .map(|f| self.keep.contains(&f.name))
+            .collect();
+        let mask: Option<Arc<[bool]>> = if live.iter().all(|&l| l) {
+            None
+        } else {
+            Some(live.into())
+        };
+        self.masks.push((key, mask.clone()));
+        mask
+    }
+
+    pub(crate) fn prune(&mut self, t: &Tuple) -> Tuple {
+        let schema = Arc::clone(t.schema());
+        match self.mask_for(&schema) {
+            None => t.clone(),
+            Some(mask) => {
+                let vals: Vec<Value> = mask
+                    .iter()
+                    .zip(t.values())
+                    .map(|(&live, v)| if live { v.clone() } else { Value::Null })
+                    .collect();
+                Tuple::new_unchecked(schema, t.ts(), vals)
+            }
+        }
+    }
+}
+
 /// Evaluation context shared by a whole tick.
 pub struct ExecCtx<'a> {
     /// The catalog (static relations, UDFs).

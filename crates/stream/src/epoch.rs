@@ -109,6 +109,27 @@ impl EpochRunner {
             .collect()
     }
 
+    /// Names and causes of operators whose replay is not reproducible
+    /// ([`crate::Operator::determinism`] reports taint) — the replay half
+    /// of the durability contract, companion to
+    /// [`EpochRunner::non_checkpointable`]. An empty list means recovery
+    /// by WAL replay reproduces this dataflow's output byte for byte.
+    pub fn nondeterministic(&self) -> Vec<(String, String)> {
+        self.df
+            .nodes
+            .iter()
+            .filter_map(|node| match &node.kind {
+                NodeKind::Operator { op, .. } => match op.determinism() {
+                    esp_types::Determinism::Deterministic => None,
+                    esp_types::Determinism::Nondeterministic { reason } => {
+                        Some((op.name().to_string(), reason))
+                    }
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Capture the cross-epoch state of every operator in the dataflow —
     /// the runner half of the epoch-aligned checkpoint protocol.
     ///

@@ -76,6 +76,17 @@ pub trait Operator: Send {
     fn checkpointable(&self) -> bool {
         true
     }
+
+    /// Whether replaying this operator over identical input epochs
+    /// reproduces identical output — the replay half of the durability
+    /// contract, answered statically just like
+    /// [`Operator::checkpointable`]. Operators that read the wall clock,
+    /// iterate hash maps in observable order, or wrap opaque user code
+    /// must override this; a durable gateway rejects any tainted stage
+    /// at spawn time (`E0903`) instead of recovering to different bytes.
+    fn determinism(&self) -> esp_types::Determinism {
+        esp_types::Determinism::Deterministic
+    }
 }
 
 /// Blanket helper: a source backed by a pre-recorded script of batches.

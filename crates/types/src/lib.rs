@@ -15,6 +15,8 @@
 //!   the paper's CQL window clauses.
 //! * Identifier newtypes: [`ReceptorId`], [`SpatialGranule`],
 //!   [`ProximityGroupId`], and [`ReceptorType`].
+//! * [`FieldEffects`] / [`Determinism`] — static effect summaries the
+//!   whole-pipeline dataflow analyses (`esp-lint` E09xx) run on.
 //! * [`EspError`] — the shared error type.
 //!
 //! The crate is dependency-light by design; everything heavier (windows,
@@ -25,6 +27,7 @@
 
 pub mod actuation;
 pub mod diag;
+pub mod effect;
 mod error;
 mod ids;
 pub mod registry;
@@ -37,6 +40,7 @@ pub mod well_known;
 
 pub use actuation::SampleRateHandle;
 pub use diag::{Diagnostic, Severity, Span};
+pub use effect::{Determinism, FieldEffects};
 pub use error::{EspError, Result};
 pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
 pub use registry::SchemaRegistry;

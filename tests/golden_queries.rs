@@ -141,6 +141,31 @@ fn run_query(
     trace
 }
 
+/// Like [`run_query`], but with liveness-driven column pruning enabled
+/// (the live-column set comes from the same backward dataflow analysis
+/// `esp-lint` uses for E0901).
+fn run_query_pruned(
+    engine: &Engine,
+    sql: &str,
+    steps: Vec<(u64, Vec<(&str, Batch)>)>,
+) -> Vec<(Ts, Batch)> {
+    let mut q = engine.compile(sql).expect("query compiles");
+    assert!(
+        q.enable_column_pruning(),
+        "query has a finite live-column set, pruning must engage"
+    );
+    let mut trace = Vec::new();
+    for (epoch_ms, feeds) in steps {
+        let epoch = Ts::from_millis(epoch_ms);
+        for (stream, batch) in feeds {
+            q.push(stream, &batch).expect("push batch");
+        }
+        let out = q.tick(epoch).expect("tick");
+        trace.push((epoch, out));
+    }
+    trace
+}
+
 // ---------------------------------------------------------------------------
 // Query scenarios (paper Queries 1-6 + semantics the stages rely on)
 // ---------------------------------------------------------------------------
@@ -640,5 +665,65 @@ fn engine_output_matches_golden_fixtures() {
         let trace = run();
         check_golden(name, &render_trace(&trace), &mut failures);
     }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// Column pruning must be observationally invisible: the same query over
+/// inputs that carry an extra never-read column (the receiver signal
+/// strength a shelf reader reports but Query 1 ignores) renders a
+/// byte-identical trace with pruning on and off, and that trace is pinned
+/// to its own golden fixture.
+#[test]
+fn column_pruning_leaves_golden_traces_byte_identical() {
+    let s = schema(&[
+        ("shelf", DataType::Int),
+        ("tag_id", DataType::Str),
+        ("rssi", DataType::Float),
+    ]);
+    let mk = |ts: u64, shelf: i64, tag: &str, rssi: f64| {
+        row(
+            &s,
+            Ts::from_millis(ts),
+            &[
+                ("shelf", Value::Int(shelf)),
+                ("tag_id", Value::str(tag)),
+                ("rssi", Value::Float(rssi)),
+            ],
+        )
+    };
+    let sql = "SELECT shelf, count(distinct tag_id)
+               FROM rfid_data [Range By '5 sec']
+               GROUP BY shelf";
+    let steps = || {
+        vec![
+            (
+                0,
+                vec![(
+                    "rfid_data",
+                    vec![
+                        mk(0, 0, "a", -41.5),
+                        mk(0, 0, "a", -47.25),
+                        mk(0, 0, "b", -60.0),
+                        mk(0, 1, "c", -39.0),
+                    ],
+                )],
+            ),
+            (1_000, vec![("rfid_data", vec![mk(1_000, 1, "a", -55.5)])]),
+            (2_000, vec![]),
+            (
+                6_000,
+                vec![(
+                    "rfid_data",
+                    vec![mk(6_000, 0, "b", -44.0), mk(6_000, 2, "d", -70.125)],
+                )],
+            ),
+            (12_000, vec![]),
+        ]
+    };
+    let plain = render_trace(&run_query(&Engine::new(), sql, steps()));
+    let pruned = render_trace(&run_query_pruned(&Engine::new(), sql, steps()));
+    assert_eq!(plain, pruned, "pruning changed the observable trace");
+    let mut failures = Vec::new();
+    check_golden("pruned_shelf_counts", &pruned, &mut failures);
     assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
