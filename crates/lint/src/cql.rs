@@ -32,7 +32,9 @@ use std::sync::Arc;
 
 use esp_query::ast::{ArithOp, Expr, FromItem, FromSource, SelectItem, SelectStmt};
 use esp_query::Catalog;
-use esp_types::{DataType, Diagnostic, EspError, Schema, Span, TimeDelta, Value};
+use esp_types::{
+    Applicability, DataType, Diagnostic, EspError, Schema, Span, Suggestion, TimeDelta, Value,
+};
 
 use crate::absint::{
     check_div_hazards, check_predicate, parse_range_directive, validate_range_decl, RangeDecls,
@@ -70,18 +72,19 @@ pub fn lint_cql(source: &str) -> Vec<Diagnostic> {
             ));
         }
     }
+    crate::fix::attach_cql_suggestions(source, &mut diags);
     esp_types::diag::sort_diagnostics(&mut diags);
     diags
 }
 
 /// Declarations recovered from `-- lint:` directive comments.
-struct Directives {
-    streams: HashMap<String, Arc<Schema>>,
-    ranges: RangeDecls,
-    epoch: Option<TimeDelta>,
+pub(crate) struct Directives {
+    pub(crate) streams: HashMap<String, Arc<Schema>>,
+    pub(crate) ranges: RangeDecls,
+    pub(crate) epoch: Option<TimeDelta>,
 }
 
-fn parse_directives(source: &str, diags: &mut Vec<Diagnostic>) -> Directives {
+pub(crate) fn parse_directives(source: &str, diags: &mut Vec<Diagnostic>) -> Directives {
     let mut streams = HashMap::new();
     let mut ranges = RangeDecls::new();
     // Range directives may precede the stream they constrain; validate
@@ -305,7 +308,13 @@ impl LintCtx<'_> {
                             .with_note(
                                 "tuples from earlier epochs are evicted before the next \
                                  tick ever sees them",
-                            ),
+                            )
+                            .with_suggestion(Suggestion::new(
+                                format!("widen the window to the epoch ({epoch})"),
+                                w.span,
+                                format!("[Range By '{epoch}']"),
+                                Applicability::MachineApplicable,
+                            )),
                         );
                     } else if epoch.as_millis() > 0 && w.range.as_millis() % epoch.as_millis() != 0
                     {
@@ -322,7 +331,8 @@ impl LintCtx<'_> {
                             .with_note(
                                 "eviction would cut through an epoch's tuples; use an \
                                  integer multiple of the epoch",
-                            ),
+                            )
+                            .with_suggestion(aligned_window_suggestion(w.range, epoch, w.span)),
                         );
                     }
                 }
@@ -613,6 +623,20 @@ impl LintCtx<'_> {
             Expr::Neg(e) => self.peek_type(e, scope),
         }
     }
+}
+
+/// The forced repair for an unaligned window (`E0202`): round the range
+/// up to the next whole multiple of the epoch.
+fn aligned_window_suggestion(range: TimeDelta, epoch: TimeDelta, span: Span) -> Suggestion {
+    let e = epoch.as_millis().max(1);
+    let k = range.as_millis().div_ceil(e).max(1);
+    let aligned = TimeDelta::from_millis(k * e);
+    Suggestion::new(
+        format!("round the window up to the next epoch multiple ({aligned})"),
+        span,
+        format!("[Range By '{aligned}']"),
+        Applicability::MachineApplicable,
+    )
 }
 
 fn literal_type(v: &Value) -> Option<DataType> {

@@ -365,6 +365,11 @@ pub(crate) fn liveness_pass(
             if let Some(s) = span {
                 d = d.with_span(s);
             }
+            if let StageSpec::Declarative(ds) = &spec.stages[i] {
+                if let Some(sugg) = crate::fix::drop_column_suggestion(source, &ds.query, col) {
+                    d = d.with_suggestion(sugg);
+                }
+            }
             diags.push(d);
         }
     }
@@ -592,6 +597,9 @@ fn determinism_pass(spec: &PipelineSpec, source: &str, engine: &Engine) -> Vec<D
         );
         if let Some(s) = span {
             d = d.with_span(s);
+        }
+        if let Some(sugg) = crate::fix::durable_false_suggestion(source) {
+            d = d.with_suggestion(sugg);
         }
         diags.push(d);
     }

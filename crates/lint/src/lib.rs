@@ -55,13 +55,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod absint;
+pub mod codes;
 pub mod cql;
+pub mod fix;
 pub mod flow;
 pub mod graphspec;
+pub mod witness;
 
+pub use codes::{explain, CodeInfo, CODES};
 pub use cql::lint_cql;
+pub use fix::{apply_fixes, FixOutcome};
 pub use flow::{fixpoint, lint_pipeline, Direction, Facts, FlowGraph, Lattice, PipelineSpec};
 pub use graphspec::{GraphEdge, GraphNode, GraphSpec, NodeKind};
+pub use witness::{synthesize_witnesses, Witness, WitnessOutcome};
 
 use esp_core::DeploymentSpec;
 use esp_durability::DurabilitySpec;
@@ -114,7 +120,25 @@ pub fn lint_deployment(json: &str) -> Vec<Diagnostic> {
 /// serialized state form and so cannot be checkpointed).
 pub fn lint_durability(json: &str) -> Vec<Diagnostic> {
     match DurabilitySpec::from_json(json) {
-        Ok(spec) => spec.lint(),
+        Ok(spec) => {
+            let mut diags = spec.lint();
+            // E0804 is emitted by the durability crate without document
+            // context; attach the span of the offending stage entry and
+            // a (human-confirmed) removal suggestion here, where the
+            // source text is in hand.
+            for d in diags.iter_mut().filter(|d| d.code == "E0804") {
+                if d.span.is_none() {
+                    if let Some(off) = json.find("\"declarative\"") {
+                        d.span = Some(esp_types::Span::new(off, off + "\"declarative\"".len()));
+                    }
+                }
+                if let Some(sugg) = fix::declarative_stage_suggestion(json) {
+                    d.suggestions.push(sugg);
+                }
+            }
+            esp_types::diag::sort_diagnostics(&mut diags);
+            diags
+        }
         Err(e) => parse_failure("durability", &e),
     }
 }

@@ -6,36 +6,59 @@
 //! esp-lint --example <name>          lint one embedded example pipeline
 //! esp-lint --all-examples            lint every embedded example
 //! esp-lint --list-examples           print the embedded example names
+//! esp-lint --explain E0602           print the catalog entry for a code
+//! esp-lint --fix <file>...           apply machine-applicable fixes in place
+//! esp-lint --fix-dry-run <file>...   print the patched document, write nothing
+//! esp-lint --witness ...             synthesize + engine-validate counterexamples
 //! esp-lint --format json ...         machine-readable findings on stdout
 //! ```
 //!
 //! Exit status is 0 when every input linted clean, 1 when any diagnostic
 //! (error *or* warning) was produced, 2 on usage or I/O errors — so CI
 //! can gate on "no findings at all" while scripts can still distinguish
-//! "dirty pipeline" from "couldn't read the file".
+//! "dirty pipeline" from "couldn't read the file". With `--fix`, the
+//! status reflects the findings that *remain after* patching.
 //!
 //! With `--format json`, stdout carries a single JSON document
 //! (`{"inputs": N, "findings": [...]}`, one object per finding with
-//! `origin`/`code`/`severity`/`message`/`span`/`notes`) and the rendered
-//! human diagnostics are suppressed; exit codes are unchanged, so CI can
-//! both gate on the status and archive the document as an artifact.
+//! `origin`/`code`/`severity`/`message`/`span`/`notes`/`suggestions`,
+//! plus a top-level `witnesses` array under `--witness`) and the
+//! rendered human diagnostics are suppressed; exit codes are unchanged,
+//! so CI can both gate on the status and archive the document as an
+//! artifact.
 //!
 //! With `--format sarif`, stdout carries a minimal SARIF 2.1.0 log
 //! (one run, one result per finding, byte spans converted to 1-based
-//! line/column regions) so code-scanning UIs can ingest the findings
-//! directly. Hand-rolled like the JSON form — the subset is small and
-//! fixed.
+//! line/column regions, machine-applicable suggestions as `fixes`,
+//! every suggestion span as a `relatedLocation`) so code-scanning UIs
+//! can ingest the findings — and surface the repairs — directly.
+//! Hand-rolled like the JSON form — the subset is small and fixed.
 
 use std::process::ExitCode;
 
-use esp_lint::{lint_cql, lint_deployment, lint_json, ExampleKind, EXAMPLES};
+use esp_lint::{
+    apply_fixes, explain, lint_cql, lint_deployment, lint_json, synthesize_witnesses, ExampleKind,
+    Witness, WitnessOutcome, EXAMPLES,
+};
+use esp_types::diag::floor_char_boundary;
 use esp_types::Diagnostic;
 
 const USAGE: &str = "\
-usage: esp-lint [--format text|json|sarif] <file.cql|file.json>...
-       esp-lint [--format text|json|sarif] --example <name>
-       esp-lint [--format text|json|sarif] --all-examples
+usage: esp-lint [options] <file.cql|file.json>...
+       esp-lint [options] --example <name>
+       esp-lint [options] --all-examples
        esp-lint --list-examples
+       esp-lint --explain <code>
+
+options:
+  --format text|json|sarif  output form (default text)
+  --fix                     apply machine-applicable fixes to files in place,
+                            then report what remains
+  --fix-dry-run             compute fixes and print the patched document to
+                            stdout without writing anything
+  --witness                 synthesize counterexample inputs for value-domain
+                            findings and validate them through the engine;
+                            refuted findings are downgraded to warnings
 
 Lints CQL query text (.cql) and JSON deployment, durability, or
 pipeline documents (.json; a top-level \"durability\" key selects the
@@ -43,7 +66,7 @@ durability linter, a top-level \"gateway\" key the whole-pipeline
 dataflow linter) statically.
 Exit 0: clean; 1: findings; 2: usage/I-O error.
 --format json prints one machine-readable document on stdout;
---format sarif prints a SARIF 2.1.0 log for code-scanning uploads.";
+--format sarif prints a SARIF 2.1.0 log (with fixes) for code-scanning.";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -52,11 +75,32 @@ enum Format {
     Sarif,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FixMode {
+    Off,
+    Apply,
+    DryRun,
+}
+
+/// What one fix pass did to an input.
+struct FixSummary {
+    applied: usize,
+    skipped_overlapping: usize,
+    wrote: bool,
+}
+
 /// Findings for one linted input, with the source kept for rendering.
 struct InputReport {
     origin: String,
     source: String,
     diags: Vec<Diagnostic>,
+    witnesses: Vec<Witness>,
+    fix: Option<FixSummary>,
+}
+
+enum Input {
+    Path(String),
+    Example(&'static esp_lint::Example),
 }
 
 fn main() -> ExitCode {
@@ -67,12 +111,29 @@ fn main() -> ExitCode {
     }
 
     let mut format = Format::Text;
-    let mut reports: Vec<InputReport> = Vec::new();
+    let mut fix_mode = FixMode::Off;
+    let mut witness = false;
+    let mut inputs: Vec<Input> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(code) = iter.next() else {
+                    eprintln!("error: --explain needs a diagnostic code (e.g. E0602)");
+                    return ExitCode::from(2);
+                };
+                let normalized = code.to_ascii_uppercase();
+                let Some(info) = explain(&normalized) else {
+                    eprintln!("error: unknown diagnostic code '{code}'");
+                    return ExitCode::from(2);
+                };
+                println!("{}: {}", info.code, info.title);
+                println!();
+                println!("{}", info.explanation);
                 return ExitCode::SUCCESS;
             }
             "--format" => {
@@ -92,20 +153,15 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--fix" => fix_mode = FixMode::Apply,
+            "--fix-dry-run" => fix_mode = FixMode::DryRun,
+            "--witness" => witness = true,
             "--list-examples" => {
                 for ex in EXAMPLES {
                     println!("{}", ex.name);
                 }
             }
-            "--all-examples" => {
-                for ex in EXAMPLES {
-                    reports.push(InputReport {
-                        origin: format!("example:{}", ex.name),
-                        source: ex.source.to_string(),
-                        diags: lint_embedded(ex),
-                    });
-                }
-            }
+            "--all-examples" => inputs.extend(EXAMPLES.iter().map(Input::Example)),
             "--example" => {
                 let Some(name) = iter.next() else {
                     eprintln!("error: --example needs a name (try --list-examples)");
@@ -115,17 +171,32 @@ fn main() -> ExitCode {
                     eprintln!("error: unknown example '{name}' (try --list-examples)");
                     return ExitCode::from(2);
                 };
-                reports.push(InputReport {
-                    origin: format!("example:{}", ex.name),
-                    source: ex.source.to_string(),
-                    diags: lint_embedded(ex),
-                });
+                inputs.push(Input::Example(ex));
             }
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown flag '{flag}'\n{USAGE}");
                 return ExitCode::from(2);
             }
-            path => {
+            path => inputs.push(Input::Path(path.to_string())),
+        }
+    }
+
+    if fix_mode == FixMode::Apply && inputs.iter().any(|i| matches!(i, Input::Example(_))) {
+        eprintln!("error: --fix cannot write back to embedded examples (use --fix-dry-run)");
+        return ExitCode::from(2);
+    }
+
+    let mut reports: Vec<InputReport> = Vec::new();
+    for input in inputs {
+        let (origin, source, kind) = match &input {
+            Input::Example(ex) => (format!("example:{}", ex.name), ex.source.to_string(), {
+                match ex.kind {
+                    ExampleKind::Cql => Kind::Cql,
+                    ExampleKind::Deployment => Kind::Deployment,
+                    ExampleKind::Pipeline => Kind::Pipeline,
+                }
+            }),
+            Input::Path(path) => {
                 let source = match std::fs::read_to_string(path) {
                     Ok(s) => s,
                     Err(e) => {
@@ -133,21 +204,64 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
-                let diags = if path.ends_with(".json") {
-                    lint_json(&source)
+                let kind = if path.ends_with(".json") {
+                    Kind::Json
                 } else if path.ends_with(".cql") || path.ends_with(".sql") {
-                    lint_cql(&source)
+                    Kind::Cql
                 } else {
                     eprintln!("error: {path}: expected a .cql or .json file");
                     return ExitCode::from(2);
                 };
-                reports.push(InputReport {
-                    origin: path.to_string(),
-                    source,
-                    diags,
+                (path.to_string(), source, kind)
+            }
+        };
+
+        let mut source = source;
+        let mut diags = lint_kind(kind, &source);
+        let mut fix = None;
+        if fix_mode != FixMode::Off {
+            if let Some(out) = apply_fixes(&source, &diags) {
+                let wrote = match (&input, fix_mode) {
+                    (Input::Path(path), FixMode::Apply) => {
+                        if let Err(e) = std::fs::write(path, &out.fixed) {
+                            eprintln!("error: cannot write {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                        true
+                    }
+                    _ => {
+                        if format == Format::Text {
+                            print!("{}", out.fixed);
+                            if !out.fixed.ends_with('\n') {
+                                println!();
+                            }
+                        }
+                        false
+                    }
+                };
+                fix = Some(FixSummary {
+                    applied: out.applied,
+                    skipped_overlapping: out.skipped_overlapping,
+                    wrote,
                 });
+                // Report against the patched document: what remains is
+                // what the user still has to look at.
+                source = out.fixed;
+                diags = lint_kind(kind, &source);
             }
         }
+        let witnesses = if witness {
+            synthesize_witnesses(&source, &mut diags)
+        } else {
+            Vec::new()
+        };
+        reports.push(InputReport {
+            origin,
+            source,
+            diags,
+            witnesses,
+            fix,
+        });
     }
 
     let inputs = reports.len();
@@ -157,6 +271,21 @@ fn main() -> ExitCode {
             for r in &reports {
                 for d in &r.diags {
                     eprintln!("{}", d.render(&r.origin, Some(&r.source)));
+                }
+                for w in &r.witnesses {
+                    print!("{}", w.render());
+                }
+                if let Some(f) = &r.fix {
+                    let verb = if f.wrote { "applied" } else { "would apply" };
+                    let mut line =
+                        format!("esp-lint: {verb} {} fix(es) to {}", f.applied, r.origin);
+                    if f.skipped_overlapping > 0 {
+                        line.push_str(&format!(
+                            " ({} overlapping fix(es) skipped)",
+                            f.skipped_overlapping
+                        ));
+                    }
+                    eprintln!("{line}");
                 }
             }
             if findings == 0 {
@@ -175,11 +304,20 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint_embedded(ex: &esp_lint::Example) -> Vec<Diagnostic> {
-    match ex.kind {
-        ExampleKind::Cql => lint_cql(ex.source),
-        ExampleKind::Deployment => lint_deployment(ex.source),
-        ExampleKind::Pipeline => esp_lint::lint_pipeline(ex.source),
+#[derive(Clone, Copy)]
+enum Kind {
+    Cql,
+    Json,
+    Deployment,
+    Pipeline,
+}
+
+fn lint_kind(kind: Kind, source: &str) -> Vec<Diagnostic> {
+    match kind {
+        Kind::Cql => lint_cql(source),
+        Kind::Json => lint_json(source),
+        Kind::Deployment => lint_deployment(source),
+        Kind::Pipeline => esp_lint::lint_pipeline(source),
     }
 }
 
@@ -215,7 +353,62 @@ fn render_json(reports: &[InputReport]) -> String {
                 }
                 out.push_str(&format!("\"{}\"", json_escape(n)));
             }
+            out.push_str("], \"suggestions\": [");
+            for (i, s) in d.suggestions.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"message\": \"{}\", \"span\": {{\"start\": {}, \"end\": {}}}, \
+                     \"replacement\": \"{}\", \"applicability\": \"{}\"}}",
+                    json_escape(&s.message),
+                    s.span.start,
+                    s.span.end,
+                    json_escape(&s.replacement),
+                    s.applicability
+                ));
+            }
             out.push_str("]}");
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"witnesses\": [");
+    let mut first = true;
+    for r in reports {
+        for w in &r.witnesses {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (verdict, detail) = match &w.outcome {
+                WitnessOutcome::Confirmed { evidence } => ("confirmed", evidence.as_str()),
+                WitnessOutcome::Refuted { observed } => ("refuted", observed.as_str()),
+                WitnessOutcome::NotAttempted { reason } => ("not_attempted", reason.as_str()),
+            };
+            out.push_str("\n    {");
+            out.push_str(&format!("\"origin\": \"{}\", ", json_escape(&r.origin)));
+            out.push_str(&format!("\"code\": \"{}\", ", json_escape(w.code)));
+            match w.span {
+                Some(s) => out.push_str(&format!(
+                    "\"span\": {{\"start\": {}, \"end\": {}}}, ",
+                    s.start, s.end
+                )),
+                None => out.push_str("\"span\": null, "),
+            }
+            out.push_str(&format!("\"claim\": \"{}\", ", json_escape(&w.claim)));
+            out.push_str("\"inputs\": [");
+            for (i, line) in w.inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(line)));
+            }
+            out.push_str(&format!(
+                "], \"verdict\": \"{verdict}\", \"detail\": \"{}\"}}",
+                json_escape(detail)
+            ));
         }
     }
     if !first {
@@ -225,22 +418,32 @@ fn render_json(reports: &[InputReport]) -> String {
     out
 }
 
-/// 1-based line/column of a byte offset in `source` (SARIF regions are
-/// line-oriented; our spans are byte offsets into the original text).
+/// 1-based line and **character** column of a byte offset in `source`
+/// (SARIF regions are line/column-oriented; our spans are byte offsets
+/// into the original text, which disagree on multi-byte lines).
 fn line_col(source: &str, offset: usize) -> (usize, usize) {
-    let clamped = offset.min(source.len());
+    let clamped = floor_char_boundary(source, offset.min(source.len()));
     let before = &source[..clamped];
     let line = before.matches('\n').count() + 1;
-    let col = before
-        .rfind('\n')
-        .map(|p| clamped - p)
-        .unwrap_or(clamped + 1);
+    let line_start = before.rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let col = before[line_start..].chars().count() + 1;
     (line, col)
+}
+
+fn sarif_region(source: &str, span: esp_types::Span) -> String {
+    let (sl, sc) = line_col(source, span.start);
+    let (el, ec) = line_col(source, span.end);
+    format!(
+        "\"region\": {{\"startLine\": {sl}, \"startColumn\": {sc}, \
+         \"endLine\": {el}, \"endColumn\": {ec}}}"
+    )
 }
 
 /// Render every finding as a minimal SARIF 2.1.0 log: one tool run,
 /// one `result` per diagnostic, spans mapped to 1-based single-file
-/// regions. Only the subset code-scanning ingestion requires.
+/// regions, machine-applicable suggestions as `fixes`, and every
+/// suggestion span as a `relatedLocation`. Only the subset
+/// code-scanning ingestion requires.
 fn render_sarif(reports: &[InputReport]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"version\": \"2.1.0\",\n");
@@ -269,14 +472,55 @@ fn render_sarif(reports: &[InputReport]) -> String {
                 json_escape(&r.origin)
             ));
             if let Some(s) = d.span {
-                let (sl, sc) = line_col(&r.source, s.start);
-                let (el, ec) = line_col(&r.source, s.end);
-                out.push_str(&format!(
-                    ", \"region\": {{\"startLine\": {sl}, \"startColumn\": {sc}, \
-                     \"endLine\": {el}, \"endColumn\": {ec}}}"
-                ));
+                out.push_str(", ");
+                out.push_str(&sarif_region(&r.source, s));
             }
-            out.push_str("}}]}");
+            out.push_str("}}]");
+            if !d.suggestions.is_empty() {
+                out.push_str(", \"relatedLocations\": [");
+                for (i, s) in d.suggestions.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str("{\"physicalLocation\": {");
+                    out.push_str(&format!(
+                        "\"artifactLocation\": {{\"uri\": \"{}\"}}, ",
+                        json_escape(&r.origin)
+                    ));
+                    out.push_str(&sarif_region(&r.source, s.span));
+                    out.push_str(&format!(
+                        "}}, \"message\": {{\"text\": \"{}\"}}}}",
+                        json_escape(&s.message)
+                    ));
+                }
+                out.push(']');
+            }
+            let fixes: Vec<_> = d
+                .suggestions
+                .iter()
+                .filter(|s| s.is_machine_applicable())
+                .collect();
+            if !fixes.is_empty() {
+                out.push_str(", \"fixes\": [");
+                for (i, s) in fixes.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"description\": {{\"text\": \"{}\"}}, \"artifactChanges\": \
+                         [{{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"replacements\": \
+                         [{{\"deletedRegion\": {{\"charOffset\": {}, \"charLength\": {}}}, \
+                         \"insertedContent\": {{\"text\": \"{}\"}}}}]}}]}}",
+                        json_escape(&s.message),
+                        json_escape(&r.origin),
+                        s.span.start,
+                        s.span.end.saturating_sub(s.span.start),
+                        json_escape(&s.replacement)
+                    ));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
     }
     if !first {

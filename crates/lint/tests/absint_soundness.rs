@@ -18,7 +18,9 @@
 //! clean fixture and no embedded example may produce an E06xx/E07xx
 //! finding.
 
-use esp_lint::{lint_cql, lint_deployment, ExampleKind, EXAMPLES};
+use esp_lint::{
+    lint_cql, lint_deployment, synthesize_witnesses, ExampleKind, WitnessOutcome, EXAMPLES,
+};
 use esp_query::range::Interval;
 use esp_query::range::{range_of, AbstractBool, Ranged};
 use esp_query::{parse, Engine};
@@ -241,6 +243,64 @@ proptest! {
                 // nothing, which is its job.
                 _ => {}
             }
+        }
+    }
+}
+
+/// Pull the numeric value of `field` out of a rendered witness input
+/// line like `readings(receptor_id=Int(0), temp=Float(2.5), ...)`.
+fn witness_field_value(line: &str, field: &str) -> Option<f64> {
+    let rest = line.split(&format!("{field}=")).nth(1)?;
+    let inner = rest.split('(').nth(1)?.split(')').next()?;
+    inner.parse().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Witness synthesis inverts the interval facts *faithfully*: every
+    /// tuple it feeds the engine stays inside the declared field ranges,
+    /// and a witness run never refutes a finding the (sound) abstract
+    /// interpretation produced.
+    #[test]
+    fn witness_values_lie_within_declared_intervals(
+        pred in pred_strategy(),
+        temp in ranged_field(),
+        voltage in ranged_field(),
+    ) {
+        let (t_iv, _) = temp;
+        let (v_iv, _) = voltage;
+        let source = format!(
+            "-- lint: stream readings temp_voltage\n\
+             -- lint: range readings.temp {}..{}\n\
+             -- lint: range readings.voltage {}..{}\n\
+             SELECT * FROM readings WHERE {}\n",
+            t_iv.lo(), t_iv.hi(), v_iv.lo(), v_iv.hi(), pred.sql()
+        );
+        let mut diags = lint_cql(&source);
+        let witnesses = synthesize_witnesses(&source, &mut diags);
+        for w in &witnesses {
+            for line in &w.inputs {
+                if let Some(t) = witness_field_value(line, "temp") {
+                    prop_assert!(
+                        t_iv.contains(t),
+                        "witness temp {t} escapes [{}, {}] in {line}",
+                        t_iv.lo(), t_iv.hi()
+                    );
+                }
+                if let Some(v) = witness_field_value(line, "voltage") {
+                    prop_assert!(
+                        v_iv.contains(v),
+                        "witness voltage {v} escapes [{}, {}] in {line}",
+                        v_iv.lo(), v_iv.hi()
+                    );
+                }
+            }
+            prop_assert!(
+                !matches!(w.outcome, WitnessOutcome::Refuted { .. }),
+                "engine refuted a sound finding:\n{}\nsource:\n{source}",
+                w.render()
+            );
         }
     }
 }

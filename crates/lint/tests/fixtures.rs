@@ -209,6 +209,52 @@ fn rendered_diagnostics_are_byte_identical_to_snapshots() {
     }
 }
 
+/// Diagnostic order is part of the snapshot contract: every linter
+/// entry point must emit in the canonical order (span start, then code,
+/// then severity) so snapshots, `--fix` patch order, and CI diffs are
+/// reproducible run to run. Re-sorting must be a no-op.
+#[test]
+fn diagnostics_are_emitted_in_canonical_order() {
+    for path in fail_fixtures() {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let diags = lint_file(&path, &source);
+        let mut resorted = diags.clone();
+        esp_types::diag::sort_diagnostics(&mut resorted);
+        let order = |ds: &[Diagnostic]| -> Vec<(Option<usize>, String)> {
+            ds.iter()
+                .map(|d| (d.span.map(|s| s.start), d.code.to_string()))
+                .collect()
+        };
+        assert_eq!(
+            order(&diags),
+            order(&resorted),
+            "{}: diagnostics not emitted in canonical order",
+            path.display()
+        );
+    }
+}
+
+/// Every code the fixture corpus (and the embedded examples) can emit
+/// has an entry in the `--explain` catalog — the catalog cannot lag the
+/// emitters.
+#[test]
+fn every_emitted_code_is_in_the_explain_catalog() {
+    let mut emitted = std::collections::BTreeSet::new();
+    for path in fail_fixtures() {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        for d in lint_file(&path, &source) {
+            emitted.insert(d.code);
+        }
+    }
+    assert!(!emitted.is_empty());
+    for code in emitted {
+        assert!(
+            esp_lint::explain(code).is_some(),
+            "{code} is emitted but has no --explain catalog entry"
+        );
+    }
+}
+
 /// The diagnostics render in rustc style with a caret line locating the
 /// span in the original CQL.
 #[test]

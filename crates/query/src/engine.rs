@@ -132,6 +132,28 @@ impl Engine {
         }
         Ok(query)
     }
+
+    /// One-shot evidence harness: compile `sql` against the declared
+    /// `schemas`, push each stream's rows, tick a single epoch at `at`,
+    /// and return the emitted batch.
+    ///
+    /// This is the entry the linter's witness synthesizer uses to replay
+    /// a synthesized counterexample through the *shipped* engine — the
+    /// exact compile/push/tick path a deployment exercises, not a model
+    /// of it — so a validated witness is evidence about the real system.
+    pub fn run_once(
+        &self,
+        sql: &str,
+        schemas: &[(&str, Arc<esp_types::Schema>)],
+        inputs: &[(&str, Vec<Tuple>)],
+        at: Ts,
+    ) -> Result<Batch> {
+        let mut query = self.compile_with_schemas(sql, schemas)?;
+        for (stream, rows) in inputs {
+            query.push(stream, rows)?;
+        }
+        query.tick(at)
+    }
 }
 
 impl Default for Engine {

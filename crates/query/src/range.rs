@@ -179,6 +179,47 @@ impl Interval {
             hi.min(self.hi.max(0.0)).min(m),
         ))
     }
+
+    /// Representative finite members of the interval, for witness
+    /// synthesis: the finite endpoints, zero when the interval straddles
+    /// it, the midpoint of a bounded interval, and a clamped stand-in for
+    /// each unbounded side. Every returned value satisfies
+    /// [`Interval::contains`]; the list is deduplicated and may be empty
+    /// only for degenerate intervals with no finite member (e.g.
+    /// `[+∞, +∞]`).
+    ///
+    /// This is the inversion hook of the abstract domain: the analysis
+    /// proves facts *forward* from declared ranges, and the witness
+    /// synthesizer walks *backward* by picking concrete members that
+    /// realize the endpoints the proof hinged on.
+    pub fn sample_points(&self) -> Vec<f64> {
+        const CLAMP: f64 = 1.0e6;
+        let mut pts: Vec<f64> = Vec::with_capacity(4);
+        let push = |x: f64, pts: &mut Vec<f64>| {
+            if x.is_finite() && self.contains(x) && !pts.contains(&x) {
+                pts.push(x);
+            }
+        };
+        push(self.lo, &mut pts);
+        push(self.hi, &mut pts);
+        push(0.0, &mut pts);
+        if self.lo.is_finite() && self.hi.is_finite() {
+            push((self.lo + self.hi) / 2.0, &mut pts);
+        } else {
+            // Unbounded sides get a finite stand-in well inside sensor
+            // scale, clamped back into the interval.
+            push((-CLAMP).clamp(self.lo, self.hi), &mut pts);
+            push(CLAMP.clamp(self.lo, self.hi), &mut pts);
+        }
+        pts
+    }
+
+    /// One finite representative member (the first of
+    /// [`Interval::sample_points`]), or `None` when the interval has no
+    /// finite member.
+    pub fn sample(&self) -> Option<f64> {
+        self.sample_points().into_iter().next()
+    }
 }
 
 /// Collapse a NaN-producing endpoint computation (∞ − ∞ and friends) to
@@ -687,6 +728,36 @@ mod tests {
         assert_eq!(range_of(&e, &Env).truth(), AbstractBool::Maybe);
         let e = Expr::Not(Box::new(dead));
         assert_eq!(range_of(&e, &Env).truth(), AbstractBool::True);
+    }
+
+    #[test]
+    fn sample_points_are_members() {
+        for iv in [
+            Interval::new(0.0, 10.0),
+            Interval::new(-40.0, 120.0),
+            Interval::new(-1.0, 1.0),
+            Interval::new(5.0, f64::INFINITY),
+            Interval::new(f64::NEG_INFINITY, -3.0),
+            Some(Interval::TOP),
+            Some(Interval::point(7.5)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let pts = iv.sample_points();
+            assert!(!pts.is_empty(), "{iv:?} produced no samples");
+            for p in &pts {
+                assert!(p.is_finite() && iv.contains(*p), "{p} ∉ {iv:?}");
+            }
+            assert!(iv.sample().is_some());
+        }
+        // Endpoints and a zero crossing are all represented.
+        let pts = Interval::point(0.0).sample_points();
+        assert_eq!(pts, vec![0.0]);
+        let pts = Interval::new(-1.0, 1.0).map(|i| i.sample_points());
+        assert_eq!(pts, Some(vec![-1.0, 1.0, 0.0]));
+        // No finite member: the degenerate infinite point.
+        assert_eq!(Interval::point(f64::INFINITY).sample(), None);
     }
 
     #[test]

@@ -99,6 +99,74 @@ impl fmt::Display for Severity {
     }
 }
 
+/// How confident a tool may be that a [`Suggestion`] is correct.
+///
+/// Mirrors rustc's applicability ladder, trimmed to the two levels the
+/// linter actually distinguishes: fixes it may apply unattended, and
+/// repairs that need a human.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Applicability {
+    /// The fix is forced by the analysis: applying it removes the finding
+    /// without changing observable pipeline behaviour. `esp-lint --fix`
+    /// applies these automatically.
+    MachineApplicable,
+    /// A plausible repair whose intent a human must confirm (e.g. the
+    /// finding may indicate a deeper misdeclaration). Shown, never
+    /// auto-applied.
+    MaybeIncorrect,
+}
+
+impl fmt::Display for Applicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+        })
+    }
+}
+
+/// A concrete textual replacement attached to a [`Diagnostic`].
+///
+/// The span addresses the *original* linted document (CQL text or JSON
+/// configuration); `replacement` is the bytes to substitute, possibly
+/// empty for a pure deletion. The fix engine in `esp-lint` applies all
+/// [`Applicability::MachineApplicable`] suggestions in one pass, rejecting
+/// overlapping spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// What applying the replacement achieves, e.g.
+    /// `"remove the always-true conjunct"`.
+    pub message: String,
+    /// Byte range of the original document to replace.
+    pub span: Span,
+    /// Replacement text; empty for a deletion.
+    pub replacement: String,
+    /// Whether `--fix` may apply this without human review.
+    pub applicability: Applicability,
+}
+
+impl Suggestion {
+    /// Construct a suggestion replacing `span` with `replacement`.
+    pub fn new(
+        message: impl Into<String>,
+        span: Span,
+        replacement: impl Into<String>,
+        applicability: Applicability,
+    ) -> Suggestion {
+        Suggestion {
+            message: message.into(),
+            span,
+            replacement: replacement.into(),
+            applicability,
+        }
+    }
+
+    /// Whether `--fix` may apply this suggestion unattended.
+    pub fn is_machine_applicable(&self) -> bool {
+        self.applicability == Applicability::MachineApplicable
+    }
+}
+
 /// One static-analysis finding with a stable code.
 ///
 /// Codes are grouped by subsystem: `E01xx` schema/type, `E02xx` temporal
@@ -119,6 +187,9 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Additional context lines rendered as `= note: …`.
     pub notes: Vec<String>,
+    /// Concrete replacements that would address the finding; rendered as
+    /// `= help: …` lines and consumed by `esp-lint --fix`.
+    pub suggestions: Vec<Suggestion>,
 }
 
 impl Diagnostic {
@@ -130,6 +201,7 @@ impl Diagnostic {
             message: message.into(),
             span: None,
             notes: Vec::new(),
+            suggestions: Vec::new(),
         }
     }
 
@@ -156,6 +228,20 @@ impl Diagnostic {
         self
     }
 
+    /// Attach a [`Suggestion`] (a concrete replacement for a span of the
+    /// linted document).
+    pub fn with_suggestion(mut self, suggestion: Suggestion) -> Diagnostic {
+        self.suggestions.push(suggestion);
+        self
+    }
+
+    /// Whether any attached suggestion is safe for `--fix` to apply.
+    pub fn has_machine_applicable_fix(&self) -> bool {
+        self.suggestions
+            .iter()
+            .any(Suggestion::is_machine_applicable)
+    }
+
     /// Whether this diagnostic is fatal.
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
@@ -179,13 +265,18 @@ impl Diagnostic {
         let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
         match (self.span, source) {
             (Some(span), Some(src)) => {
-                let (line_no, col, line_text) = locate(src, span.start);
+                let start = floor_char_boundary(src, span.start);
+                let (line_no, col, line_start, line_text) = locate(src, start);
                 out.push_str(&format!("  --> {origin}:{line_no}:{col}\n"));
                 let gutter = line_no.to_string().len();
                 out.push_str(&format!("{:width$} |\n", "", width = gutter));
                 out.push_str(&format!("{line_no} | {line_text}\n"));
-                let span_len = span.end.saturating_sub(span.start).max(1);
-                let underline_len = span_len.min(line_text.len().saturating_sub(col - 1).max(1));
+                // Underline the covered bytes of this line, measured in
+                // characters so multi-byte text stays aligned with the pad.
+                let line_end = line_start + line_text.len();
+                let covered_from = start.min(line_end);
+                let covered_to = floor_char_boundary(src, span.end).clamp(covered_from, line_end);
+                let underline_len = src[covered_from..covered_to].chars().count().max(1);
                 out.push_str(&format!(
                     "{:gutter$} | {:pad$}{}\n",
                     "",
@@ -204,6 +295,19 @@ impl Diagnostic {
         for note in &self.notes {
             out.push_str(&format!("   = note: {note}\n"));
         }
+        for s in &self.suggestions {
+            if s.replacement.is_empty() {
+                out.push_str(&format!(
+                    "   = help: {} ({} fix: delete {})\n",
+                    s.message, s.applicability, s.span
+                ));
+            } else {
+                out.push_str(&format!(
+                    "   = help: {} ({} fix: replace {} with `{}`)\n",
+                    s.message, s.applicability, s.span, s.replacement
+                ));
+            }
+        }
         out
     }
 }
@@ -214,10 +318,25 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// 1-based line number, 1-based column (in bytes), and the line's text for
-/// a byte offset into `src`. Offsets past the end clamp to the last line.
-fn locate(src: &str, offset: usize) -> (usize, usize, &str) {
-    let offset = offset.min(src.len());
+/// Largest char boundary at or before `offset`, clamped to `src.len()`.
+///
+/// Spans come from many producers (parser offsets, `find`-based token
+/// searches, external tools); a span landing mid-way through a multi-byte
+/// character must not panic the renderer or the patcher.
+pub fn floor_char_boundary(src: &str, offset: usize) -> usize {
+    let mut off = offset.min(src.len());
+    while off > 0 && !src.is_char_boundary(off) {
+        off -= 1;
+    }
+    off
+}
+
+/// 1-based line number, 1-based column (in characters), the line's byte
+/// start, and the line's text for a char-boundary byte offset into `src`.
+/// Offsets past the end clamp to the last line; a trailing `\r` (CRLF
+/// sources) is excluded from the returned line text.
+fn locate(src: &str, offset: usize) -> (usize, usize, usize, &str) {
+    let offset = floor_char_boundary(src, offset);
     let before = &src[..offset];
     let line_no = before.bytes().filter(|&b| b == b'\n').count() + 1;
     let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
@@ -225,21 +344,32 @@ fn locate(src: &str, offset: usize) -> (usize, usize, &str) {
         .find('\n')
         .map(|i| line_start + i)
         .unwrap_or(src.len());
-    (line_no, offset - line_start + 1, &src[line_start..line_end])
+    let line_text = src[line_start..line_end]
+        .strip_suffix('\r')
+        .unwrap_or(&src[line_start..line_end]);
+    let col = src[line_start..offset].chars().count() + 1;
+    (line_no, col, line_start, line_text)
 }
 
-/// Sort diagnostics for stable presentation: errors before warnings, then
-/// by code, then by span start.
+/// Sort diagnostics into the one presentation/patching order: by span
+/// start (unspanned findings last), then code, then errors before
+/// warnings, then span end, then message. The order is a total,
+/// deterministic function of the diagnostic contents, so rendered output,
+/// `--fix` patch application, and CI snapshot diffs are stable regardless
+/// of router or hash-map iteration order.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
+        let sa = a.span.map(|s| s.start).unwrap_or(usize::MAX);
+        let sb = b.span.map(|s| s.start).unwrap_or(usize::MAX);
+        sa.cmp(&sb)
             .then_with(|| a.code.cmp(b.code))
+            .then_with(|| b.severity.cmp(&a.severity))
             .then_with(|| {
-                let sa = a.span.map(|s| s.start).unwrap_or(usize::MAX);
-                let sb = b.span.map(|s| s.start).unwrap_or(usize::MAX);
-                sa.cmp(&sb)
+                let ea = a.span.map(|s| s.end).unwrap_or(usize::MAX);
+                let eb = b.span.map(|s| s.end).unwrap_or(usize::MAX);
+                ea.cmp(&eb)
             })
+            .then_with(|| a.message.cmp(&b.message))
     });
 }
 
@@ -293,14 +423,114 @@ mod tests {
     }
 
     #[test]
-    fn sort_orders_errors_first() {
+    fn sort_orders_by_span_start_then_code() {
         let mut diags = vec![
             Diagnostic::warning("E0402", "w"),
             Diagnostic::error("E0201", "e2").with_span(Span::new(9, 10)),
             Diagnostic::error("E0101", "e1"),
+            Diagnostic::warning("E0601", "early").with_span(Span::new(2, 5)),
         ];
         sort_diagnostics(&mut diags);
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
-        assert_eq!(codes, vec!["E0101", "E0201", "E0402"]);
+        // Spanned findings in document order first, unspanned last by code.
+        assert_eq!(codes, vec!["E0601", "E0201", "E0101", "E0402"]);
+    }
+
+    #[test]
+    fn sort_breaks_same_position_ties_by_severity() {
+        let mut diags = vec![
+            Diagnostic::warning("E0601", "w").with_span(Span::new(4, 8)),
+            Diagnostic::error("E0601", "e").with_span(Span::new(4, 8)),
+        ];
+        sort_diagnostics(&mut diags);
+        assert!(diags[0].is_error());
+    }
+
+    #[test]
+    fn locate_clamps_to_char_boundary_and_eof() {
+        // "µ" is two bytes; an offset into its middle must not panic.
+        let src = "SELECT temp -- µV readings\nFROM x";
+        let mid_mu = src.find('µ').map(|i| i + 1).unwrap_or(0);
+        let d = Diagnostic::error("E0101", "m").with_span(Span::new(mid_mu, mid_mu + 1));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("--> q.cql:1:"), "{rendered}");
+        // EOF span (start == end == len) clamps to the last line.
+        let d = Diagnostic::error("E0101", "m").with_span(Span::new(src.len(), src.len()));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("--> q.cql:2:7"), "{rendered}");
+        assert!(rendered.contains("2 | FROM x"), "{rendered}");
+    }
+
+    #[test]
+    fn locate_reports_char_columns_for_multibyte_lines() {
+        // 'µ' (2 bytes) precedes the span: column must count characters,
+        // and the caret pad must line up with the rendered line.
+        let src = "-- µ sensor\nSELECT temp FROM x";
+        let pos = src.find("temp").unwrap_or(0);
+        let d = Diagnostic::error("E0101", "m").with_span(Span::new(pos, pos + 4));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("--> q.cql:2:8"), "{rendered}");
+        assert!(rendered.contains("  |        ^^^^"), "{rendered}");
+        // Span on the first line, after the multi-byte char: byte column
+        // would be 7, char column is 6.
+        let mu_pos = src.find('µ').unwrap_or(0);
+        let d2 = Diagnostic::error("E0101", "m").with_span(Span::new(mu_pos + 2, mu_pos + 8));
+        let rendered2 = d2.render("q.cql", Some(src));
+        assert!(rendered2.contains("--> q.cql:1:5"), "{rendered2}");
+    }
+
+    #[test]
+    fn locate_strips_crlf_line_endings() {
+        let src = "SELECT temp\r\nFROM x\r\n";
+        let d = Diagnostic::error("E0101", "m").with_span(Span::new(7, 11));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("1 | SELECT temp\n"), "{rendered:?}");
+        assert!(!rendered.contains('\r'), "{rendered:?}");
+    }
+
+    #[test]
+    fn underline_is_measured_in_chars() {
+        let src = "SELECT µµµµ FROM x";
+        let pos = src.find('µ').unwrap_or(0);
+        // Four 2-byte chars: underline must be 4 carets, not 8.
+        let d = Diagnostic::error("E0101", "m").with_span(Span::new(pos, pos + 8));
+        let rendered = d.render("q.cql", Some(src));
+        assert!(rendered.contains("^^^^\n"), "{rendered}");
+        assert!(!rendered.contains("^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn suggestions_render_as_help_lines() {
+        let d = Diagnostic::warning("E0602", "predicate is always true")
+            .with_span(Span::new(10, 20))
+            .with_suggestion(Suggestion::new(
+                "remove the always-true conjunct",
+                Span::new(4, 20),
+                "",
+                Applicability::MachineApplicable,
+            ));
+        assert!(d.has_machine_applicable_fix());
+        let rendered = d.render("q.cql", Some("SELECT temp FROM x WHERE temp < 10"));
+        assert!(
+            rendered.contains(
+                "= help: remove the always-true conjunct (machine-applicable fix: delete 4..20)"
+            ),
+            "{rendered}"
+        );
+        let d2 =
+            Diagnostic::warning("E0201", "window below epoch").with_suggestion(Suggestion::new(
+                "align the window",
+                Span::new(1, 3),
+                "'5 sec'",
+                Applicability::MaybeIncorrect,
+            ));
+        assert!(!d2.has_machine_applicable_fix());
+        let rendered2 = d2.render("q.cql", None);
+        assert!(
+            rendered2.contains(
+                "= help: align the window (maybe-incorrect fix: replace 1..3 with `'5 sec'`)"
+            ),
+            "{rendered2}"
+        );
     }
 }

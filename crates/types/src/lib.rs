@@ -39,7 +39,7 @@ mod value;
 pub mod well_known;
 
 pub use actuation::SampleRateHandle;
-pub use diag::{Diagnostic, Severity, Span};
+pub use diag::{Applicability, Diagnostic, Severity, Span, Suggestion};
 pub use effect::{Determinism, FieldEffects};
 pub use error::{EspError, Result};
 pub use ids::{ProximityGroupId, ReceptorId, ReceptorType, SpatialGranule};
