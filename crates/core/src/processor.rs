@@ -21,7 +21,7 @@ use parking_lot::RwLock;
 
 use esp_stream::ops::{MapOp, UnionOp};
 use esp_stream::{Dataflow, EpochRunner, NodeId, Source, TapId};
-use esp_types::{well_known, DataType};
+use esp_types::{well_known, Chunk, DataType};
 use esp_types::{
     Batch, EspError, Field, ProximityGroupId, ReceptorId, ReceptorType, Result, Schema,
     SpatialGranule, TimeDelta, Ts, Tuple, Value,
@@ -205,8 +205,11 @@ impl EspProcessor {
             for group in memberships {
                 let granule = groups.read().granule(group)?.clone();
                 let inject = granule_injector(Arc::clone(&groups), receptor, group);
+                let inject_chunk = granule_chunk_injector(Arc::clone(&groups), receptor, group);
                 let node = df.add_operator(
-                    Box::new(MapOp::new(format!("inject:{granule}"), inject)),
+                    Box::new(
+                        MapOp::new(format!("inject:{granule}"), inject).with_chunk_fn(inject_chunk),
+                    ),
                     &[src],
                 )?;
                 streams.push(StreamHandle {
@@ -384,36 +387,66 @@ fn granule_injector(
     // Single-entry schema cache: receptors emit one schema per stream.
     let cache: RwLock<Option<(Arc<Schema>, Arc<Schema>)>> = RwLock::new(None);
     move |t: &Tuple| {
-        let registry = groups.read();
-        let entry = registry.group(group)?;
-        if !entry.members.contains(&receptor) {
+        let Some(granule) = current_granule(&groups, receptor, group)? else {
             return Ok(None);
-        }
-        let granule = Value::Str(Arc::clone(&entry.granule.0));
-        drop(registry);
-        let extended = {
-            let hit = cache
-                .read()
-                .as_ref()
-                .filter(|(input, _)| Arc::ptr_eq(input, t.schema()))
-                .map(|(_, out)| Arc::clone(out));
-            match hit {
-                Some(s) => s,
-                None => {
-                    // Intern the extended schema so every (receptor, group)
-                    // branch shares one `Arc` — downstream queries' slot
-                    // plans stay pointer-valid across branches and epochs.
-                    let s = esp_types::registry::intern(
-                        &t.schema()
-                            .with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))?,
-                    );
-                    *cache.write() = Some((Arc::clone(t.schema()), Arc::clone(&s)));
-                    s
-                }
-            }
         };
+        let extended = extended_schema(&cache, t.schema())?;
         Ok(Some(t.with_appended(&extended, granule)?))
     }
+}
+
+/// The chunk-path twin of [`granule_injector`]: one membership check and
+/// one appended constant column per *chunk* instead of per tuple.
+fn granule_chunk_injector(
+    groups: Arc<RwLock<ProximityGroups>>,
+    receptor: ReceptorId,
+    group: ProximityGroupId,
+) -> impl Fn(&Chunk) -> Result<Option<Chunk>> + Send {
+    let cache: RwLock<Option<(Arc<Schema>, Arc<Schema>)>> = RwLock::new(None);
+    move |chunk: &Chunk| {
+        let Some(granule) = current_granule(&groups, receptor, group)? else {
+            return Ok(None);
+        };
+        let extended = extended_schema(&cache, chunk.schema())?;
+        Ok(Some(chunk.with_appended(&extended, granule)?))
+    }
+}
+
+/// Consult the live registry: the granule value to inject, or `None` when
+/// the receptor has left the group (its readings are dropped).
+fn current_granule(
+    groups: &RwLock<ProximityGroups>,
+    receptor: ReceptorId,
+    group: ProximityGroupId,
+) -> Result<Option<Value>> {
+    let registry = groups.read();
+    let entry = registry.group(group)?;
+    if !entry.members.contains(&receptor) {
+        return Ok(None);
+    }
+    Ok(Some(Value::Str(Arc::clone(&entry.granule.0))))
+}
+
+/// Cached `input + spatial_granule` schema extension. Interned so every
+/// (receptor, group) branch shares one `Arc` — downstream queries' slot
+/// plans stay pointer-valid across branches and epochs.
+fn extended_schema(
+    cache: &RwLock<Option<(Arc<Schema>, Arc<Schema>)>>,
+    input: &Arc<Schema>,
+) -> Result<Arc<Schema>> {
+    let hit = cache
+        .read()
+        .as_ref()
+        .filter(|(i, _)| Arc::ptr_eq(i, input))
+        .map(|(_, out)| Arc::clone(out));
+    if let Some(s) = hit {
+        return Ok(s);
+    }
+    let s = esp_types::registry::intern(
+        &input.with_field(Field::new(well_known::SPATIAL_GRANULE, DataType::Str))?,
+    );
+    *cache.write() = Some((Arc::clone(input), Arc::clone(&s)));
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -615,6 +648,70 @@ mod tests {
             })
             .collect();
         assert_eq!(counts, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn chunk_fed_processor_matches_row_fed_trace() {
+        use esp_stream::ScriptedChunkSource;
+        // Same readings, once as row batches and once as columnar chunks,
+        // through a smoothing pipeline: the traces must be identical.
+        let script: Vec<(Ts, Batch)> = (0..4u64)
+            .map(|i| {
+                let ts = Ts::from_secs(i);
+                (ts, vec![rfid(ts, 0, "a"), rfid(ts, 0, "b")])
+            })
+            .collect();
+        let chunk_script: Vec<(Ts, Chunk)> = script
+            .iter()
+            .map(|(ts, batch)| {
+                (
+                    *ts,
+                    Chunk::from_tuples(&well_known::rfid_schema(), batch).unwrap(),
+                )
+            })
+            .collect();
+        let pipeline = || {
+            Pipeline::builder()
+                .per_receptor("smooth", |_| {
+                    Ok(Box::new(SmoothStage::count_by_key(
+                        "smooth",
+                        TimeDelta::from_secs(5),
+                        ["spatial_granule", "tag_id"],
+                    )))
+                })
+                .build()
+        };
+        let groups = || {
+            let mut pg = ProximityGroups::new();
+            pg.add_group(ReceptorType::Rfid, "shelf0", [ReceptorId(0)]);
+            pg
+        };
+        let row_proc = EspProcessor::build(
+            groups(),
+            &pipeline(),
+            vec![ReceptorBinding::new(
+                ReceptorId(0),
+                ReceptorType::Rfid,
+                Box::new(ScriptedSource::new("r0", script)),
+            )],
+        )
+        .unwrap();
+        let chunk_proc = EspProcessor::build(
+            groups(),
+            &pipeline(),
+            vec![ReceptorBinding::new(
+                ReceptorId(0),
+                ReceptorType::Rfid,
+                Box::new(ScriptedChunkSource::new("r0", chunk_script)),
+            )],
+        )
+        .unwrap();
+        let rows = row_proc.run(Ts::ZERO, TimeDelta::from_secs(1), 4).unwrap();
+        let chunks = chunk_proc
+            .run(Ts::ZERO, TimeDelta::from_secs(1), 4)
+            .unwrap();
+        assert_eq!(rows.trace, chunks.trace);
+        assert!(rows.trace.iter().any(|(_, b)| !b.is_empty()));
     }
 
     #[test]

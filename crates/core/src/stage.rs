@@ -6,8 +6,8 @@
 //! and any hand-written `impl Stage` the third.
 
 use esp_query::ContinuousQuery;
-use esp_stream::{unexpected_state, Operator, StageState};
-use esp_types::{Batch, Determinism, EspError, FieldEffects, Result, Ts, Tuple};
+use esp_stream::{ops::SegBuf, unexpected_state, Operator, Payload, StageState};
+use esp_types::{Batch, Chunk, Determinism, EspError, FieldEffects, Result, Ts, Tuple};
 
 /// One processing stage of an ESP pipeline.
 ///
@@ -19,6 +19,24 @@ pub trait Stage: Send {
 
     /// Process one epoch.
     fn process(&mut self, epoch: Ts, input: Vec<Tuple>) -> Result<Batch>;
+
+    /// Whether this stage consumes and produces columnar chunks natively.
+    /// Purely informational — [`Stage::process_chunks`] is always safe to
+    /// call — but lets adapters and diagnostics report where the columnar
+    /// data path demotes to rows.
+    fn accepts_chunks(&self) -> bool {
+        false
+    }
+
+    /// Process one epoch whose input arrived as columnar chunks. The
+    /// default materializes the rows and delegates to [`Stage::process`],
+    /// so every row-at-a-time stage (UDFs, arbitrary code) works
+    /// unmodified; chunk-native stages ([`DeclarativeStage`]) override it
+    /// to keep the columns intact end-to-end.
+    fn process_chunks(&mut self, epoch: Ts, chunks: Vec<Chunk>) -> Result<Payload> {
+        let rows: Vec<Tuple> = chunks.iter().flat_map(Chunk::to_tuples).collect();
+        self.process(epoch, rows).map(Payload::Rows)
+    }
 
     /// Capture cross-epoch state for a durability checkpoint (called at
     /// epoch boundaries only). The default declares the stage stateless —
@@ -108,6 +126,17 @@ impl Stage for DeclarativeStage {
             self.query.push(&self.stream, &input)?;
         }
         self.query.tick(epoch)
+    }
+
+    fn accepts_chunks(&self) -> bool {
+        true
+    }
+
+    fn process_chunks(&mut self, epoch: Ts, chunks: Vec<Chunk>) -> Result<Payload> {
+        for chunk in chunks {
+            self.query.push_chunk(&self.stream, chunk)?;
+        }
+        Ok(Payload::Chunks(vec![self.query.tick_chunk(epoch)?]))
     }
 
     fn state(&self) -> Result<Option<StageState>> {
@@ -219,10 +248,12 @@ impl Stage for FnStage {
 }
 
 /// Adapter running any [`Stage`] as an [`esp_stream::Operator`] so the ESP
-/// processor can place it in a dataflow.
+/// processor can place it in a dataflow. Chunk arrivals stay columnar when
+/// the whole epoch arrived as chunks; mixed epochs are processed as rows
+/// in arrival order.
 pub struct StageOperator {
     stage: Box<dyn Stage>,
-    buf: Batch,
+    buf: SegBuf,
 }
 
 impl StageOperator {
@@ -230,7 +261,14 @@ impl StageOperator {
     pub fn new(stage: Box<dyn Stage>) -> StageOperator {
         StageOperator {
             stage,
-            buf: Batch::new(),
+            buf: SegBuf::default(),
+        }
+    }
+
+    fn run_epoch(&mut self, epoch: Ts) -> Result<Payload> {
+        match self.buf.take() {
+            Payload::Chunks(chunks) => self.stage.process_chunks(epoch, chunks),
+            Payload::Rows(rows) => self.stage.process(epoch, rows).map(Payload::Rows),
         }
     }
 }
@@ -241,12 +279,21 @@ impl Operator for StageOperator {
     }
 
     fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
-        self.buf.extend_from_slice(batch);
+        self.buf.push_rows(batch);
+        Ok(())
+    }
+
+    fn push_chunk(&mut self, _port: usize, chunk: &Chunk) -> Result<()> {
+        self.buf.push_chunk(chunk);
         Ok(())
     }
 
     fn flush(&mut self, epoch: Ts) -> Result<Batch> {
-        self.stage.process(epoch, std::mem::take(&mut self.buf))
+        self.run_epoch(epoch).map(Payload::into_rows)
+    }
+
+    fn flush_payload(&mut self, epoch: Ts) -> Result<Payload> {
+        self.run_epoch(epoch)
     }
 
     fn state(&self) -> Result<Option<StageState>> {
@@ -409,6 +456,79 @@ mod tests {
         // User code stays opaque unless it says otherwise.
         let plain = FnStage::per_tuple("id", |t| Ok(Some(t.clone())));
         assert!(plain.field_effects().opaque);
+    }
+
+    #[test]
+    fn declarative_stage_keeps_chunks_columnar() {
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id")
+            .unwrap();
+        let mut stage = DeclarativeStage::new("smooth", q).unwrap();
+        assert!(stage.accepts_chunks());
+        let chunk = Chunk::from_tuples(
+            &esp_types::well_known::rfid_schema(),
+            &[rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")],
+        )
+        .unwrap();
+        let out = stage.process_chunks(Ts::ZERO, vec![chunk]).unwrap();
+        let Payload::Chunks(chunks) = out else {
+            panic!("declarative stage demoted to rows");
+        };
+        assert_eq!(chunks.iter().map(Chunk::len).sum::<usize>(), 2);
+        // Row twin produces the same tuples.
+        let engine = Engine::new();
+        let q = engine
+            .compile("SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] GROUP BY tag_id")
+            .unwrap();
+        let mut twin = DeclarativeStage::new("smooth", q).unwrap();
+        let row_out = twin
+            .process(Ts::ZERO, vec![rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")])
+            .unwrap();
+        let chunk_rows: Vec<Tuple> = chunks.iter().flat_map(Chunk::to_tuples).collect();
+        assert_eq!(chunk_rows, row_out);
+    }
+
+    #[test]
+    fn row_stage_receives_chunk_input_through_the_shim() {
+        let stage = FnStage::per_tuple("drop-b", |t| {
+            Ok((t.get("tag_id") != Some(&Value::str("b"))).then(|| t.clone()))
+        });
+        assert!(!stage.accepts_chunks());
+        let mut op = StageOperator::new(Box::new(stage));
+        let chunk = Chunk::from_tuples(
+            &esp_types::well_known::rfid_schema(),
+            &[rfid(Ts::ZERO, "a"), rfid(Ts::ZERO, "b")],
+        )
+        .unwrap();
+        op.push_chunk(0, &chunk).unwrap();
+        let out = op.flush(Ts::ZERO).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("tag_id"), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn mixed_row_and_chunk_epoch_preserves_arrival_order() {
+        let stage = FnStage::per_epoch("id", |_, input| Ok(input));
+        let mut op = StageOperator::new(Box::new(stage));
+        op.push(0, &[rfid(Ts::ZERO, "r1")]).unwrap();
+        let chunk = Chunk::from_tuples(
+            &esp_types::well_known::rfid_schema(),
+            &[rfid(Ts::ZERO, "c1")],
+        )
+        .unwrap();
+        op.push_chunk(0, &chunk).unwrap();
+        op.push(0, &[rfid(Ts::ZERO, "r2")]).unwrap();
+        let out = op.flush(Ts::ZERO).unwrap();
+        let tags: Vec<_> = out.iter().map(|t| t.get("tag_id").cloned()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                Some(Value::str("r1")),
+                Some(Value::str("c1")),
+                Some(Value::str("r2"))
+            ]
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use esp_receptors::wire::Reading;
-use esp_types::{well_known, Schema, Tuple, Value};
+use esp_types::{well_known, Chunk, Result, Schema, Tuple, Value};
 
 /// Cached per-kind schemas. The spatial-granule injector in `esp-core`
 /// caches by schema pointer identity, so all tuples of one kind must share
@@ -86,6 +86,57 @@ impl ReadingSchemas {
             ),
         }
     }
+
+    /// The schema a reading's kind maps to (the canonical interned `Arc`,
+    /// so chunk builders can compare by pointer).
+    pub fn schema_for(&self, reading: &Reading) -> &Arc<Schema> {
+        match reading {
+            Reading::Scalar { .. } => &self.scalar,
+            Reading::Tag { .. } => &self.tag,
+            Reading::Event { .. } => &self.event,
+            Reading::Dual { .. } => &self.dual,
+        }
+    }
+
+    /// Append a decoded reading's row directly to a columnar chunk of its
+    /// kind schema — the chunk-path twin of [`ReadingSchemas::to_tuple`],
+    /// with no per-reading tuple allocation.
+    pub fn append_to_chunk(&self, reading: &Reading, chunk: &mut Chunk) -> Result<()> {
+        match reading {
+            Reading::Scalar {
+                receptor,
+                ts,
+                value,
+            } => chunk.push_row_owned(
+                *ts,
+                vec![Value::Int(i64::from(receptor.0)), Value::Float(*value)],
+            ),
+            Reading::Tag {
+                receptor,
+                ts,
+                tag_id,
+            } => chunk.push_row_owned(
+                *ts,
+                vec![Value::Int(i64::from(receptor.0)), Value::str(tag_id)],
+            ),
+            Reading::Event {
+                receptor,
+                ts,
+                value,
+            } => chunk.push_row_owned(
+                *ts,
+                vec![Value::Int(i64::from(receptor.0)), Value::str(value)],
+            ),
+            Reading::Dual { receptor, ts, a, b } => chunk.push_row_owned(
+                *ts,
+                vec![
+                    Value::Int(i64::from(receptor.0)),
+                    Value::Float(*a),
+                    Value::Float(*b),
+                ],
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +195,40 @@ mod tests {
                 t.get(well_known::RECEPTOR_ID),
                 Some(&Value::Int(i64::from(reading.receptor().0)))
             );
+        }
+    }
+
+    #[test]
+    fn append_to_chunk_matches_to_tuple() {
+        let s = ReadingSchemas::new();
+        let readings = vec![
+            Reading::Scalar {
+                receptor: ReceptorId(1),
+                ts: Ts::from_secs(1),
+                value: 20.5,
+            },
+            Reading::Tag {
+                receptor: ReceptorId(2),
+                ts: Ts::from_secs(2),
+                tag_id: "t".into(),
+            },
+            Reading::Event {
+                receptor: ReceptorId(3),
+                ts: Ts::from_secs(3),
+                value: "ON".into(),
+            },
+            Reading::Dual {
+                receptor: ReceptorId(4),
+                ts: Ts::from_secs(4),
+                a: 20.0,
+                b: 2.9,
+            },
+        ];
+        for r in &readings {
+            let mut chunk = Chunk::new(s.schema_for(r));
+            s.append_to_chunk(r, &mut chunk).unwrap();
+            assert_eq!(chunk.to_tuples(), vec![s.to_tuple(r)]);
+            assert!(Arc::ptr_eq(chunk.schema(), s.schema_for(r)));
         }
     }
 

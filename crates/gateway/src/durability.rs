@@ -74,8 +74,10 @@ pub(crate) fn compose_payload(
     snap::put_u32(&mut out, ids.len() as u32);
     for id in ids {
         snap::put_u32(&mut out, id.0);
-        let buf = buffers[&id].lock();
-        snap::encode_batch(&mut out, &buf);
+        // Materialize the columnar buffer: the snapshot encoding stays
+        // byte-identical to the original row-backed buffer's.
+        let rows = buffers[&id].lock().to_tuples();
+        snap::encode_batch(&mut out, &rows);
     }
     Ok(out)
 }
@@ -101,7 +103,7 @@ pub(crate) fn restore_payload(
                  bound to this shard (group configuration changed since the checkpoint?)"
             )));
         };
-        *buf.lock() = pending;
+        buf.lock().set_rows(&pending);
     }
     cur.finish()
 }

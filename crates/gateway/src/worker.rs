@@ -28,8 +28,8 @@ use parking_lot::Mutex;
 use esp_core::{EspProcessor, Pipeline, ProximityGroups, ReceptorBinding};
 use esp_durability::{read_wal_dir, SnapshotMeta, WalEntry};
 use esp_receptors::wire::{self, Reading};
-use esp_stream::Source;
-use esp_types::{Batch, EspError, ReceptorId, ReceptorType, Result, Ts, Tuple};
+use esp_stream::{Payload, Source};
+use esp_types::{chunk_batch, Batch, Chunk, EspError, ReceptorId, ReceptorType, Result, Ts, Tuple};
 
 use crate::convert::ReadingSchemas;
 use crate::durability::{compose_payload, restore_payload, DurabilityHooks};
@@ -58,14 +58,91 @@ pub(crate) enum ShardMsg {
     Shutdown,
 }
 
+/// One receptor's pending readings, kept **columnar**: consecutive
+/// readings of one wire kind share a chunk, so ingest never materializes
+/// per-reading tuples. Rows materialize only at the checkpoint boundary
+/// ([`ChunkBuffer::to_tuples`] — byte-compatible with the row-backed
+/// encoding) and on the row-compat poll path.
+#[derive(Default)]
+pub(crate) struct ChunkBuffer {
+    segs: Vec<Chunk>,
+}
+
+impl ChunkBuffer {
+    /// Append a decoded reading straight into the trailing chunk of its
+    /// kind (or start a new one on a kind switch).
+    pub(crate) fn push_reading(
+        &mut self,
+        schemas: &ReadingSchemas,
+        reading: &Reading,
+    ) -> Result<()> {
+        let schema = schemas.schema_for(reading);
+        if !self
+            .segs
+            .last()
+            .is_some_and(|c| Arc::ptr_eq(c.schema(), schema))
+        {
+            self.segs.push(Chunk::new(schema));
+        }
+        match self.segs.last_mut() {
+            Some(chunk) => schemas.append_to_chunk(reading, chunk),
+            None => unreachable!("a chunk was just pushed"),
+        }
+    }
+
+    /// Rebuild from a row batch (snapshot restore).
+    pub(crate) fn set_rows(&mut self, rows: &[Tuple]) {
+        self.segs = chunk_batch(rows);
+    }
+
+    /// Materialize every pending reading in arrival order (checkpoint
+    /// composition — byte-identical to encoding a row-backed buffer).
+    pub(crate) fn to_tuples(&self) -> Vec<Tuple> {
+        self.segs.iter().flat_map(Chunk::to_tuples).collect()
+    }
+
+    /// Release every reading stamped `<= epoch` as chunks, preserving
+    /// relative arrival order; later readings stay for the next epoch.
+    pub(crate) fn drain_upto(&mut self, epoch: Ts) -> Result<Vec<Chunk>> {
+        let mut out = Vec::new();
+        let mut keep = Vec::new();
+        for seg in self.segs.drain(..) {
+            if seg.ts().iter().all(|t| *t <= epoch) {
+                out.push(seg);
+            } else if seg.ts().iter().all(|t| *t > epoch) {
+                keep.push(seg);
+            } else {
+                // Mixed segment: split row by row, order preserved.
+                let mut take = Chunk::new(seg.schema());
+                let mut stay = Chunk::new(seg.schema());
+                for i in 0..seg.len() {
+                    let ts = seg.ts()[i];
+                    let values = seg.row_values(i).unwrap_or_default();
+                    let dst = if ts <= epoch { &mut take } else { &mut stay };
+                    dst.push_row_owned(ts, values)?;
+                }
+                if !take.is_empty() {
+                    out.push(take);
+                }
+                if !stay.is_empty() {
+                    keep.push(stay);
+                }
+            }
+        }
+        self.segs = keep;
+        Ok(out)
+    }
+}
+
 /// Shared mailbox between a shard worker (producer) and one of its
 /// processor's sources (consumer). Both run on the worker thread, so the
 /// mutex is uncontended.
-pub(crate) type ReadingBuffer = Arc<Mutex<Vec<Tuple>>>;
+pub(crate) type ReadingBuffer = Arc<Mutex<ChunkBuffer>>;
 
-/// A [`Source`] that drains a [`ReadingBuffer`]: `poll(epoch)` releases
-/// exactly the tuples stamped `<= epoch`, preserving arrival order, and
-/// keeps later tuples for the next epoch.
+/// A [`Source`] that drains a [`ReadingBuffer`]: polling at `epoch`
+/// releases exactly the readings stamped `<= epoch`, preserving arrival
+/// order, and keeps later readings for the next epoch. The payload poll
+/// hands the buffered chunks downstream untouched.
 pub(crate) struct QueueSource {
     name: String,
     buf: ReadingBuffer,
@@ -86,18 +163,17 @@ impl Source for QueueSource {
     }
 
     fn poll(&mut self, epoch: Ts) -> Result<Batch> {
-        let mut buf = self.buf.lock();
-        let mut out = Batch::new();
-        let mut keep = Vec::new();
-        for t in buf.drain(..) {
-            if t.ts() <= epoch {
-                out.push(t);
-            } else {
-                keep.push(t);
-            }
-        }
-        *buf = keep;
-        Ok(out)
+        Ok(self
+            .buf
+            .lock()
+            .drain_upto(epoch)?
+            .iter()
+            .flat_map(Chunk::to_tuples)
+            .collect())
+    }
+
+    fn poll_payload(&mut self, epoch: Ts) -> Result<Payload> {
+        Ok(Payload::Chunks(self.buf.lock().drain_upto(epoch)?))
     }
 }
 
@@ -127,7 +203,7 @@ pub(crate) fn build_shard(
     let mut buffers: HashMap<ReceptorId, ReadingBuffer> = HashMap::new();
     let mut bindings = Vec::with_capacity(members.len());
     for id in members {
-        let buf: ReadingBuffer = Arc::new(Mutex::new(Vec::new()));
+        let buf: ReadingBuffer = Arc::new(Mutex::new(ChunkBuffer::default()));
         buffers.insert(id, Arc::clone(&buf));
         bindings.push(ReceptorBinding::new(
             id,
@@ -203,7 +279,7 @@ fn recover(
                     .is_some_and(|dests| dests.contains(&shard));
                 if mine {
                     if let Some(buf) = buffers.get(&reading.receptor()) {
-                        buf.lock().push(schemas.to_tuple(&reading));
+                        buf.lock().push_reading(schemas, &reading)?;
                     }
                 }
             }
@@ -332,7 +408,7 @@ pub(crate) fn spawn_worker(
                         // dropping here matches the processor, which
                         // drops tuples from departed members.
                         if let Some(buf) = buffers.get(&reading.receptor()) {
-                            buf.lock().push(schemas.to_tuple(&reading));
+                            buf.lock().push_reading(&schemas, &reading)?;
                         }
                     }
                     Ok(ShardMsg::Flush { seq, epoch }) => {
@@ -394,4 +470,96 @@ pub(crate) fn spawn_worker(
             Ok(())
         })
         .map_err(|e| EspError::Config(format!("spawn shard worker thread: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(receptor: u32, secs: u64, value: f64) -> Reading {
+        Reading::Scalar {
+            receptor: ReceptorId(receptor),
+            ts: Ts::from_secs(secs),
+            value,
+        }
+    }
+
+    fn tag(receptor: u32, secs: u64, tag_id: &str) -> Reading {
+        Reading::Tag {
+            receptor: ReceptorId(receptor),
+            ts: Ts::from_secs(secs),
+            tag_id: tag_id.into(),
+        }
+    }
+
+    #[test]
+    fn chunk_buffer_segments_by_kind_and_round_trips() {
+        let schemas = ReadingSchemas::new();
+        let mut buf = ChunkBuffer::default();
+        let readings = vec![
+            scalar(1, 0, 1.0),
+            scalar(1, 1, 2.0),
+            tag(1, 2, "a"),
+            scalar(1, 3, 3.0),
+        ];
+        for r in &readings {
+            buf.push_reading(&schemas, r).unwrap();
+        }
+        // Three runs: scalar x2, tag x1, scalar x1.
+        assert_eq!(buf.segs.len(), 3);
+        let by_tuple: Vec<Tuple> = readings.iter().map(|r| schemas.to_tuple(r)).collect();
+        assert_eq!(buf.to_tuples(), by_tuple);
+    }
+
+    #[test]
+    fn drain_upto_splits_mixed_segments_in_order() {
+        let schemas = ReadingSchemas::new();
+        let mut buf = ChunkBuffer::default();
+        // One segment with interleaved early/late stamps.
+        for r in [
+            scalar(1, 1, 1.0),
+            scalar(1, 9, 9.0),
+            scalar(1, 2, 2.0),
+            scalar(1, 8, 8.0),
+        ] {
+            buf.push_reading(&schemas, &r).unwrap();
+        }
+        let out = buf.drain_upto(Ts::from_secs(5)).unwrap();
+        let released: Vec<u64> = out
+            .iter()
+            .flat_map(Chunk::to_tuples)
+            .map(|t| t.ts().as_millis() / 1000)
+            .collect();
+        assert_eq!(released, vec![1, 2]);
+        let kept: Vec<u64> = buf
+            .to_tuples()
+            .iter()
+            .map(|t| t.ts().as_millis() / 1000)
+            .collect();
+        assert_eq!(kept, vec![9, 8]);
+        // A later drain releases the rest.
+        let rest = buf.drain_upto(Ts::from_secs(10)).unwrap();
+        assert_eq!(rest.iter().map(Chunk::len).sum::<usize>(), 2);
+        assert!(buf.to_tuples().is_empty());
+    }
+
+    #[test]
+    fn queue_source_row_and_payload_polls_agree() {
+        let schemas = ReadingSchemas::new();
+        let mk = || {
+            let buf: ReadingBuffer = Arc::new(Mutex::new(ChunkBuffer::default()));
+            for r in [scalar(1, 1, 1.0), tag(1, 2, "a"), scalar(1, 7, 7.0)] {
+                buf.lock().push_reading(&schemas, &r).unwrap();
+            }
+            QueueSource::new(ReceptorId(1), buf)
+        };
+        let rows = mk().poll(Ts::from_secs(5)).unwrap();
+        let payload = mk().poll_payload(Ts::from_secs(5)).unwrap();
+        assert_eq!(payload.to_rows(), rows);
+        assert_eq!(rows.len(), 2);
+        let Payload::Chunks(chunks) = payload else {
+            panic!("gateway source must stay columnar");
+        };
+        assert_eq!(chunks.len(), 2, "one chunk per kind run");
+    }
 }

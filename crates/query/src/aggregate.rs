@@ -16,6 +16,17 @@ pub trait AggregateState: Send {
     /// executor (SQL aggregates ignore NULLs).
     fn update(&mut self, v: &Value) -> Result<()>;
 
+    /// Fold the same value `n` times. The executor uses this for
+    /// `count(*)`, where every member contributes the same `Int(1)`;
+    /// states whose fold is value-independent can override it to run in
+    /// constant time. The default loops, so UDAs are unaffected.
+    fn update_repeat(&mut self, v: &Value, n: usize) -> Result<()> {
+        for _ in 0..n {
+            self.update(v)?;
+        }
+        Ok(())
+    }
+
     /// Produce the aggregate result for the group.
     fn finish(&self) -> Value;
 }
@@ -79,6 +90,10 @@ impl AggregateFactory for CountFactory {
 impl AggregateState for CountState {
     fn update(&mut self, _v: &Value) -> Result<()> {
         self.0 += 1;
+        Ok(())
+    }
+    fn update_repeat(&mut self, _v: &Value, n: usize) -> Result<()> {
+        self.0 += n as i64;
         Ok(())
     }
     fn finish(&self) -> Value {

@@ -4,7 +4,9 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use esp_stream::Operator;
-use esp_types::{Batch, Determinism, EspError, FieldEffects, Result, TimeDelta, Ts, Tuple, Value};
+use esp_types::{
+    Batch, Chunk, Determinism, EspError, FieldEffects, Result, TimeDelta, Ts, Tuple, Value,
+};
 
 use crate::aggregate::AggregateFactory;
 use crate::catalog::Catalog;
@@ -98,6 +100,7 @@ impl Engine {
             root,
             catalog: Arc::clone(&self.catalog),
             pending: HashMap::new(),
+            pending_chunks: HashMap::new(),
             streams,
             text: sql.to_string(),
             reference_mode: false,
@@ -172,6 +175,7 @@ pub struct ContinuousQuery {
     root: CompiledSelect,
     catalog: Arc<Catalog>,
     pending: HashMap<String, Batch>,
+    pending_chunks: HashMap<String, Vec<Chunk>>,
     streams: Vec<String>,
     text: String,
     /// When set, slot resolution is skipped and annotations are cleared:
@@ -333,12 +337,61 @@ impl ContinuousQuery {
         Ok(())
     }
 
+    /// Stage a columnar chunk for `stream`, to be absorbed at the next
+    /// tick. The chunk feeds the window's columnar ring directly — no
+    /// per-row `Tuple` is materialized on ingest. Unknown stream names are
+    /// rejected. Within one epoch, row pushes land in the window before
+    /// chunk pushes.
+    pub fn push_chunk(&mut self, stream: &str, chunk: Chunk) -> Result<()> {
+        if !self.streams.iter().any(|s| s == stream) {
+            return Err(EspError::UnknownSource(format!(
+                "stream '{stream}' is not read by this query"
+            )));
+        }
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        self.pending_chunks
+            .entry(stream.to_string())
+            .or_default()
+            .push(chunk);
+        Ok(())
+    }
+
     /// Absorb staged batches, slide every window to `epoch`, evaluate, and
     /// return the result rows stamped at `epoch`.
     pub fn tick(&mut self, epoch: Ts) -> Result<Batch> {
+        let result = self.tick_result(epoch)?;
+        Ok(result.into_batch(epoch))
+    }
+
+    /// Like [`ContinuousQuery::tick`], but the emitted rows come back as a
+    /// single columnar chunk stamped at `epoch` — the chunk-path egress the
+    /// stage cascade forwards between declarative stages.
+    pub fn tick_chunk(&mut self, epoch: Ts) -> Result<Chunk> {
+        let result = self.tick_result(epoch)?;
+        result.into_chunk(epoch)
+    }
+
+    fn tick_result(&mut self, epoch: Ts) -> Result<crate::exec::SelectResult> {
         let pending = std::mem::take(&mut self.pending);
+        let mut pending_chunks = std::mem::take(&mut self.pending_chunks);
+        // One stream can feed several FROM items; count the windows per
+        // stream so the *last* visit can take the staged chunks by value
+        // (the visits before it clone).
+        let mut visits_left: HashMap<String, usize> = HashMap::new();
+        if !pending_chunks.is_empty() {
+            self.root.for_each_window(&mut |name, _| {
+                *visits_left.entry(name.to_string()).or_default() += 1;
+            });
+        }
         let prune = &mut self.prune;
         self.root.for_each_window(&mut |name, w| {
+            // Slide first: everything ingested below is (re)stamped at
+            // `epoch`, at or above any eviction cutoff, so sliding cannot
+            // touch it — and now-windows are drained before the push,
+            // letting a sorted chunk be adopted wholesale.
+            w.advance_to(epoch);
             if let Some(batch) = pending.get(name) {
                 // Tuples enter the window stamped at the epoch so that
                 // now-windows ([Range By 'NOW']) retain exactly this
@@ -356,7 +409,32 @@ impl ContinuousQuery {
                     w.push(t);
                 }
             }
-            w.advance_to(epoch);
+            let last_visit = match visits_left.get_mut(name) {
+                Some(n) => {
+                    *n -= 1;
+                    *n == 0
+                }
+                None => true,
+            };
+            let staged = if last_visit {
+                pending_chunks.remove(name)
+            } else {
+                pending_chunks.get(name).cloned()
+            };
+            if let Some(chunks) = staged {
+                for mut c in chunks {
+                    // Restamped to the epoch (same now-window semantics
+                    // as the row path) and, under pruning, columns
+                    // outside the live set are dropped physically.
+                    if c.ts().iter().any(|t| *t != epoch) {
+                        c.restamp(epoch);
+                    }
+                    if let Some(pruner) = prune.as_mut() {
+                        pruner.prune_chunk(&mut c);
+                    }
+                    w.push_chunk_owned(c);
+                }
+            }
         });
         if !self.reference_mode {
             // Annotate field slots / join keys against the current window
@@ -368,12 +446,7 @@ impl ContinuousQuery {
             catalog: &self.catalog,
             epoch,
         };
-        let result = eval_select(&self.root, None, &ctx)?;
-        Ok(result
-            .rows
-            .into_iter()
-            .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), epoch, vals))
-            .collect())
+        eval_select(&self.root, None, &ctx)
     }
 }
 
@@ -444,8 +517,26 @@ impl Operator for QueryOperator {
         self.query.push(&stream, batch)
     }
 
+    fn push_chunk(&mut self, port: usize, chunk: &esp_types::Chunk) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let stream = self
+            .ports
+            .get(port)
+            .ok_or_else(|| EspError::Config(format!("no stream mapped to input port {port}")))?;
+        let stream = stream.clone();
+        self.query.push_chunk(&stream, chunk.clone())
+    }
+
     fn flush(&mut self, epoch: Ts) -> Result<Batch> {
         self.query.tick(epoch)
+    }
+
+    fn flush_payload(&mut self, epoch: Ts) -> Result<esp_stream::Payload> {
+        Ok(esp_stream::Payload::Chunks(vec![self
+            .query
+            .tick_chunk(epoch)?]))
     }
 }
 

@@ -38,10 +38,12 @@
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use esp_stream::WindowView;
-use esp_types::{registry, EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey};
+use esp_types::{
+    registry, Chunk, ChunkView, EspError, Field, Result, Schema, Ts, Tuple, Value, ValueKey,
+};
 
 use crate::ast::{ArithOp, Quantifier};
 use crate::catalog::Catalog;
@@ -106,6 +108,21 @@ impl ColumnPruner {
             }
         }
     }
+
+    /// Chunk-path pruning: drop dead columns *physically* — the column's
+    /// storage is replaced by [`esp_types::ColumnVec::Pruned`], which holds
+    /// no values and reads back NULL for every row. The schema `Arc` and
+    /// column indices are untouched, so slot plans stay valid and output is
+    /// byte-identical to the row pruner's null-out.
+    pub(crate) fn prune_chunk(&mut self, chunk: &mut Chunk) {
+        if let Some(mask) = self.mask_for(chunk.schema()) {
+            for (c, &live) in mask.iter().enumerate() {
+                if !live {
+                    chunk.drop_column(c);
+                }
+            }
+        }
+    }
 }
 
 /// Evaluation context shared by a whole tick.
@@ -143,13 +160,32 @@ enum Rows<'a> {
     View(WindowView<'a>),
     /// Materialized derived-table output.
     Owned(Vec<Tuple>),
+    /// Borrowed columnar window contents. Column reads
+    /// ([`Rows::col_value`]) go straight to the `ColumnVec`s; the arena
+    /// materializes a row's `Tuple` at most once per tick, and only when a
+    /// caller actually needs the row form (UDF args, name-walk fallback,
+    /// join emission, group representatives). The arena itself is lazy
+    /// too: a tick that stays fully columnar never allocates the
+    /// one-`OnceLock`-per-row vector at all.
+    Chunk {
+        view: ChunkView<'a>,
+        arena: OnceLock<Vec<OnceLock<Tuple>>>,
+    },
 }
 
 impl Rows<'_> {
+    fn from_chunk(view: ChunkView<'_>) -> Rows<'_> {
+        Rows::Chunk {
+            view,
+            arena: OnceLock::new(),
+        }
+    }
+
     fn len(&self) -> usize {
         match self {
             Rows::View(v) => v.len(),
             Rows::Owned(v) => v.len(),
+            Rows::Chunk { view, .. } => view.len(),
         }
     }
 
@@ -161,6 +197,33 @@ impl Rows<'_> {
         match self {
             Rows::View(v) => v.get(i),
             Rows::Owned(v) => v.get(i),
+            Rows::Chunk { view, arena } => {
+                if i >= view.len() {
+                    return None;
+                }
+                let arena = arena.get_or_init(|| {
+                    std::iter::repeat_with(OnceLock::new)
+                        .take(view.len())
+                        .collect()
+                });
+                let slot = arena.get(i)?;
+                if slot.get().is_none() {
+                    let _ = slot.set(view.tuple_at(i)?);
+                }
+                slot.get()
+            }
+        }
+    }
+
+    /// Read column `col` of row `ri` without materializing the row. For
+    /// the chunk arm this is the in-place `ColumnVec` read the slot
+    /// compiler targets; for row arms it is the tuple's slot value. `None`
+    /// when the row or column doesn't exist (callers fall back to the
+    /// name-resolving walk, which reproduces reference semantics).
+    fn col_value(&self, ri: usize, col: usize) -> Option<Value> {
+        match self {
+            Rows::Chunk { view, .. } => view.value_at(ri, col),
+            _ => self.get(ri)?.values().get(col).cloned(),
         }
     }
 
@@ -176,6 +239,29 @@ pub struct SelectResult {
     pub schema: Arc<Schema>,
     /// Row values (aligned with `schema`).
     pub rows: Vec<Vec<Value>>,
+}
+
+impl SelectResult {
+    /// Materialize the result rows as tuples stamped with `epoch` — the
+    /// single tuple-materialization path shared by derived tables and the
+    /// engine's per-tick emission.
+    pub fn into_batch(self, epoch: Ts) -> Vec<Tuple> {
+        let schema = self.schema;
+        self.rows
+            .into_iter()
+            .map(|vals| Tuple::new_unchecked(Arc::clone(&schema), epoch, vals))
+            .collect()
+    }
+
+    /// Materialize the result as one columnar chunk stamped with `epoch`.
+    pub fn into_chunk(self, epoch: Ts) -> Result<Chunk> {
+        let schema = registry::intern(&self.schema);
+        let mut chunk = Chunk::with_capacity(&schema, self.rows.len());
+        for vals in self.rows {
+            chunk.push_row_owned(epoch, vals)?;
+        }
+        Ok(chunk)
+    }
 }
 
 /// Evaluate `cs` over its current window contents.
@@ -303,7 +389,12 @@ fn plan_matches_inputs(cs: &CompiledSelect, inputs: &[Rows<'_>]) -> bool {
         .iter()
         .zip(inputs)
         .all(|((_, schema), rows)| match schema {
-            Some(s) => rows.iter().all(|t| Arc::ptr_eq(t.schema(), s)),
+            // A chunk is schema-uniform by construction: one pointer
+            // compare covers every row, with nothing materialized.
+            Some(s) => match rows {
+                Rows::Chunk { view, .. } => view.is_empty() || Arc::ptr_eq(view.schema(), s),
+                _ => rows.iter().all(|t| Arc::ptr_eq(t.schema(), s)),
+            },
             None => rows.is_empty(),
         })
 }
@@ -346,10 +437,17 @@ impl<'q, 't> HashJoin<'q, 't> {
             }
             let specs = &plan.keys[i];
             let mut map: HashMap<Vec<JoinKey>, Vec<usize>> = HashMap::with_capacity(rows.len());
-            'rows: for (ri, t) in rows.iter().enumerate() {
+            // Keys are read by column index (straight off the `ColumnVec`
+            // for chunk-backed inputs): the build side materializes no
+            // tuples — only rows that actually match a probe key are ever
+            // materialized, at emission.
+            'rows: for ri in 0..rows.len() {
                 let mut key = Vec::with_capacity(specs.len());
                 for spec in specs {
-                    match t.values().get(spec.build_col).and_then(join_key) {
+                    match rows
+                        .col_value(ri, spec.build_col)
+                        .and_then(|v| join_key(&v))
+                    {
                         Some(k) => key.push(k),
                         // NULL / NaN keys never compare equal: the row
                         // cannot survive the extracted conjunct.
@@ -604,6 +702,217 @@ fn direct_col(e: &CExpr) -> Option<usize> {
     }
 }
 
+/// Whether `e` can evaluate entirely from a chunk's columns: literals,
+/// depth-0 item-0 slots bound to this exact schema, and the pure scalar
+/// operators. Anything touching an environment — UDFs, aggregates,
+/// subqueries, unresolved names — needs row form and falls back.
+fn col_supported(e: &CExpr, schema: &Arc<Schema>) -> bool {
+    match e {
+        CExpr::Literal(_) => true,
+        CExpr::Field { slot, .. } => slot.as_ref().is_some_and(|s| {
+            s.depth == 0
+                && s.from_idx == 0
+                && Arc::ptr_eq(&s.schema, schema)
+                && (s.col_idx as usize) < schema.len()
+        }),
+        CExpr::Cmp { lhs, rhs, .. } | CExpr::Arith { lhs, rhs, .. } => {
+            col_supported(lhs, schema) && col_supported(rhs, schema)
+        }
+        CExpr::And(a, b) | CExpr::Or(a, b) => col_supported(a, schema) && col_supported(b, schema),
+        CExpr::Not(x) | CExpr::Neg(x) => col_supported(x, schema),
+        _ => false,
+    }
+}
+
+/// Evaluate a [`col_supported`] expression over row `ri` of a chunk view,
+/// reading slots from the `ColumnVec`s in place — no `Tuple` is built.
+/// Operator semantics (short-circuits, SQL comparison, arithmetic, error
+/// surfacing) are shared with [`eval_expr`], so results are identical.
+fn eval_col(e: &CExpr, view: &ChunkView<'_>, ri: usize) -> Result<Value> {
+    match e {
+        CExpr::Literal(v) => Ok(v.clone()),
+        CExpr::Field { slot, .. } => {
+            // `col_supported` guarantees the slot is resolved.
+            let s = slot
+                .as_ref()
+                .ok_or_else(|| EspError::Plan("unresolved slot on the columnar path".into()))?;
+            view.value_at(ri, s.col_idx as usize)
+                .ok_or_else(|| EspError::Plan("window row vanished mid-tick".into()))
+        }
+        CExpr::Cmp { lhs, op, rhs } => {
+            let l = eval_col(lhs, view, ri)?;
+            let r = eval_col(rhs, view, ri)?;
+            Ok(Value::Bool(
+                l.sql_cmp(&r).map(|o| op.matches(o)).unwrap_or(false),
+            ))
+        }
+        CExpr::Arith { lhs, op, rhs } => {
+            let l = eval_col(lhs, view, ri)?;
+            let r = eval_col(rhs, view, ri)?;
+            eval_arith(&l, *op, &r)
+        }
+        CExpr::And(a, b) => {
+            if !eval_col(a, view, ri)?.truthy() {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(eval_col(b, view, ri)?.truthy()))
+        }
+        CExpr::Or(a, b) => {
+            if eval_col(a, view, ri)?.truthy() {
+                return Ok(Value::Bool(true));
+            }
+            Ok(Value::Bool(eval_col(b, view, ri)?.truthy()))
+        }
+        CExpr::Not(x) => Ok(Value::Bool(!eval_col(x, view, ri)?.truthy())),
+        CExpr::Neg(x) => match eval_col(x, view, ri)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Null => Ok(Value::Null),
+            other => Err(EspError::Type(format!("cannot negate {other}"))),
+        },
+        // Unreachable: col_supported rejects these shapes.
+        CExpr::Agg { .. } | CExpr::Scalar { .. } | CExpr::Quantified { .. } => Err(EspError::Plan(
+            "environment-dependent expression on the columnar path".into(),
+        )),
+    }
+}
+
+/// FNV-1a. The per-tick group maps hash short keys (a tag string, an
+/// integer id) hundreds of thousands of times per epoch; the DoS-hardened
+/// default hasher's per-lookup finalization dominates at that size. These
+/// maps are built and dropped within one tick over data the operator
+/// already holds, so hash-flooding hardening buys nothing here.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<Fnv>>;
+
+/// Start a new group; returns its index.
+fn new_group(members: &mut Vec<Vec<u32>>, reps: &mut Vec<Option<u32>>, first: u32) -> usize {
+    members.push(Vec::new());
+    reps.push(Some(first));
+    members.len() - 1
+}
+
+/// Group the kept rows of a chunk by a single bare-column key, hashing
+/// the packed column data in place — no `Value` boxing, no `Arc` bump,
+/// no `ValueKey` allocation per row. Group identity matches the generic
+/// `Value::group_key` fold exactly: rows group by value content, in
+/// first-seen order, with every `NULL` key collecting into one group.
+/// Returns `false` (leaving `members`/`reps` untouched) for column
+/// representations without a packed path; the caller then runs the
+/// generic fold.
+fn chunk_group_index(
+    view: &ChunkView<'_>,
+    col: usize,
+    kept: &[u32],
+    members: &mut Vec<Vec<u32>>,
+    reps: &mut Vec<Option<u32>>,
+) -> bool {
+    let off = view.offset();
+    let Some(column) = view.col(col) else {
+        return false;
+    };
+    let mut null_group: Option<usize> = None;
+    if let Some((data, nulls)) = column.str_data() {
+        let mut index: FnvMap<&str, usize> = FnvMap::default();
+        for &i in kept {
+            let ri = off + i as usize;
+            let gi = if nulls.get(ri) {
+                *null_group.get_or_insert_with(|| new_group(members, reps, i))
+            } else {
+                match index.entry(data[ri].as_ref()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => *e.insert(new_group(members, reps, i)),
+                }
+            };
+            members[gi].push(i);
+        }
+        return true;
+    }
+    if let Some((data, nulls)) = column.int_data() {
+        let mut index: FnvMap<i64, usize> = FnvMap::default();
+        for &i in kept {
+            let ri = off + i as usize;
+            let gi = if nulls.get(ri) {
+                *null_group.get_or_insert_with(|| new_group(members, reps, i))
+            } else {
+                match index.entry(data[ri]) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => *e.insert(new_group(members, reps, i)),
+                }
+            };
+            members[gi].push(i);
+        }
+        return true;
+    }
+    false
+}
+
+/// Fold every member row into `state` straight off a packed column,
+/// hoisting the per-row type dispatch of `col_value` out of the loop.
+/// Returns `false` when the representation has no packed path (the caller
+/// falls back to the generic per-row read). `DISTINCT` folds never get
+/// here — they need `ValueKey` dedup.
+fn fold_packed(
+    state: &mut dyn crate::aggregate::AggregateState,
+    col: &esp_types::ColumnVec,
+    off: usize,
+    members: &[u32],
+) -> Result<bool> {
+    if let Some((data, nulls)) = col.float_data() {
+        if nulls.any() {
+            for &ri in members {
+                let r = off + ri as usize;
+                if !nulls.get(r) {
+                    state.update(&Value::Float(data[r]))?;
+                }
+            }
+        } else {
+            for &ri in members {
+                state.update(&Value::Float(data[off + ri as usize]))?;
+            }
+        }
+        return Ok(true);
+    }
+    if let Some((data, nulls)) = col.int_data() {
+        if nulls.any() {
+            for &ri in members {
+                let r = off + ri as usize;
+                if !nulls.get(r) {
+                    state.update(&Value::Int(data[r]))?;
+                }
+            }
+        } else {
+            for &ri in members {
+                state.update(&Value::Int(data[off + ri as usize]))?;
+            }
+        }
+        return Ok(true);
+    }
+    Ok(false)
+}
+
 /// Allocation-free evaluation of a single-FROM-item select over uniform,
 /// plan-matching rows. Observationally identical to the generic path in
 /// [`eval_select`]: same phase order, same row order, same short-circuits
@@ -616,21 +925,34 @@ fn eval_fused_single(
     outer: Option<&RowEnv<'_>>,
     ctx: &ExecCtx<'_>,
 ) -> Result<SelectResult> {
-    // Phase 1: WHERE over every row, in order.
+    // Phase 1: WHERE over every row, in order. A predicate that is fully
+    // column-resolvable evaluates straight over the chunk's `ColumnVec`s;
+    // otherwise each row materializes (once, via the arena) and the
+    // environment walk runs as before.
     let mut kept: Vec<u32> = Vec::with_capacity(input.len());
     match &cs.where_clause {
         Some(w) => {
+            let columnar = match input {
+                Rows::Chunk { view, .. } if col_supported(w, view.schema()) => Some(*view),
+                _ => None,
+            };
             for i in 0..input.len() {
-                let t = fetch(input, i as u32)?;
-                let row = [t];
-                let env = RowEnv {
-                    bindings,
-                    row: &row,
-                    aggs: None,
-                    outer,
-                    slots_valid: true,
+                let keep = match &columnar {
+                    Some(view) => eval_col(w, view, i)?.truthy(),
+                    None => {
+                        let t = fetch(input, i as u32)?;
+                        let row = [t];
+                        let env = RowEnv {
+                            bindings,
+                            row: &row,
+                            aggs: None,
+                            outer,
+                            slots_valid: true,
+                        };
+                        eval_expr(w, &env, ctx)?.truthy()
+                    }
                 };
-                if eval_expr(w, &env, ctx)?.truthy() {
+                if keep {
                     kept.push(i as u32);
                 }
             }
@@ -643,54 +965,63 @@ fn eval_fused_single(
         let schema = cs.output_schema.clone().ok_or_else(|| {
             EspError::Plan("aggregate select compiled without an output schema".into())
         })?;
-        // Group membership, keyed without cloning: lookups borrow the
-        // scratch key as a slice; only a group's first row allocates.
-        let mut order: Vec<Vec<ValueKey>> = Vec::new();
-        let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+        // Group membership, in first-seen order.
         let mut members: Vec<Vec<u32>> = Vec::new();
         let mut reps: Vec<Option<u32>> = Vec::new();
         if cs.group_by.is_empty() {
             // Global group, present even over empty input.
-            order.push(Vec::new());
-            index.insert(Vec::new(), 0);
             reps.push(kept.first().copied());
             members.push(std::mem::take(&mut kept));
         } else {
             let key_cols: Vec<Option<usize>> = cs.group_by.iter().map(direct_col).collect();
-            let mut scratch: Vec<ValueKey> = Vec::with_capacity(cs.group_by.len());
-            for &i in &kept {
-                let t = fetch(input, i)?;
-                let row = [t];
-                let env = RowEnv {
-                    bindings,
-                    row: &row,
-                    aggs: None,
-                    outer,
-                    slots_valid: true,
-                };
-                scratch.clear();
-                for (g, kc) in cs.group_by.iter().zip(&key_cols) {
-                    // A depth-0 slot reads its column straight off the
-                    // tuple — same value `eval_expr` would produce, minus
-                    // the dispatch.
-                    let v = match kc.and_then(|c| t.values().get(c)) {
-                        Some(v) => v.clone(),
-                        None => eval_expr(g, &env, ctx)?,
-                    };
-                    scratch.push(v.group_key());
+            // A single bare-column key over a chunk groups straight off
+            // the packed column data.
+            let specialized = match (input, key_cols.as_slice()) {
+                (Rows::Chunk { view, .. }, &[Some(c)]) => {
+                    chunk_group_index(view, c, &kept, &mut members, &mut reps)
                 }
-                let gi = match index.get(scratch.as_slice()) {
-                    Some(&gi) => gi,
-                    None => {
-                        let gi = order.len();
-                        order.push(scratch.clone());
-                        index.insert(scratch.clone(), gi);
-                        members.push(Vec::new());
-                        reps.push(Some(i));
-                        gi
+                _ => false,
+            };
+            // Generic fold, keyed without cloning: lookups borrow the
+            // scratch key as a slice; only a group's first row allocates.
+            if !specialized {
+                let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+                let mut scratch: Vec<ValueKey> = Vec::with_capacity(cs.group_by.len());
+                for &i in &kept {
+                    scratch.clear();
+                    for (g, kc) in cs.group_by.iter().zip(&key_cols) {
+                        // A depth-0 slot reads its column straight off the
+                        // input (in place for chunks, off the tuple for rows)
+                        // — same value `eval_expr` would produce, minus the
+                        // dispatch. Only a non-slot key expression needs the
+                        // row form.
+                        let v = match kc.and_then(|c| input.col_value(i as usize, c)) {
+                            Some(v) => v,
+                            None => {
+                                let t = fetch(input, i)?;
+                                let row = [t];
+                                let env = RowEnv {
+                                    bindings,
+                                    row: &row,
+                                    aggs: None,
+                                    outer,
+                                    slots_valid: true,
+                                };
+                                eval_expr(g, &env, ctx)?
+                            }
+                        };
+                        scratch.push(v.group_key());
                     }
-                };
-                members[gi].push(i);
+                    let gi = match index.get(scratch.as_slice()) {
+                        Some(&gi) => gi,
+                        None => {
+                            let gi = new_group(&mut members, &mut reps, i);
+                            index.insert(scratch.clone(), gi);
+                            gi
+                        }
+                    };
+                    members[gi].push(i);
+                }
             }
         }
 
@@ -699,24 +1030,42 @@ fn eval_fused_single(
             .iter()
             .map(|c| c.arg.as_ref().and_then(direct_col))
             .collect();
-        let mut out_rows = Vec::with_capacity(order.len());
-        for gi in 0..order.len() {
+        let mut out_rows = Vec::with_capacity(members.len());
+        for gi in 0..members.len() {
             // Fold every aggregate over the group's members, in row order.
             let mut agg_values = Vec::with_capacity(cs.agg_calls.len());
             for (call, ac) in cs.agg_calls.iter().zip(&arg_cols) {
                 let mut state = call.factory.make();
+                // count(*) depends only on the member count — one bulk
+                // update instead of a walk.
+                if call.arg.is_none() && !call.distinct {
+                    state.update_repeat(&Value::Int(1), members[gi].len())?;
+                    agg_values.push(state.finish());
+                    continue;
+                }
+                // A slot-resolved, non-distinct arg over a packed chunk
+                // column folds straight over the column data.
+                if let (Rows::Chunk { view, .. }, Some(c), false) = (input, *ac, call.distinct) {
+                    if let Some(col) = view.col(c) {
+                        if fold_packed(state.as_mut(), col, view.offset(), &members[gi])? {
+                            agg_values.push(state.finish());
+                            continue;
+                        }
+                    }
+                }
                 let mut distinct_seen: HashSet<ValueKey> = HashSet::new();
                 for &ri in &members[gi] {
-                    // Slot-resolved args fold the borrowed value in place
-                    // (no clone, no per-member environment).
-                    if let Some(v) = ac.and_then(|c| fetch(input, ri).ok()?.values().get(c)) {
+                    // Slot-resolved args read their column in place (off
+                    // the `ColumnVec` for chunks — no row is built, no
+                    // per-member environment).
+                    if let Some(v) = ac.and_then(|c| input.col_value(ri as usize, c)) {
                         if v.is_null() {
                             continue; // SQL aggregates ignore NULLs.
                         }
                         if call.distinct && !distinct_seen.insert(v.clone().group_key()) {
                             continue;
                         }
-                        state.update(v)?;
+                        state.update(&v)?;
                         continue;
                     }
                     let v = match &call.arg {
@@ -744,10 +1093,22 @@ fn eval_fused_single(
                 }
                 agg_values.push(state.finish());
             }
+            let rep_owned;
             let rep_store;
             let rep: &[&Tuple] = match reps[gi] {
+                // For chunk inputs materialize the one representative on
+                // the stack rather than through the lazy arena: the fast
+                // paths above touch no other rows, so this keeps the
+                // whole tick arena-free.
                 Some(ri) => {
-                    rep_store = [fetch(input, ri)?];
+                    if let Rows::Chunk { view, .. } = input {
+                        rep_owned = view
+                            .tuple_at(ri as usize)
+                            .ok_or_else(|| EspError::Plan("window row vanished mid-tick".into()))?;
+                        rep_store = [&rep_owned];
+                    } else {
+                        rep_store = [fetch(input, ri)?];
+                    }
                     &rep_store
                 }
                 None => &[],
@@ -777,7 +1138,8 @@ fn eval_fused_single(
     }
 
     // Phase 2': `SELECT *` over one item — the single-item case of
-    // [`eval_star`] (no schema join needed, same interning).
+    // [`eval_star`] (no schema join needed, same interning). Chunk-backed
+    // inputs copy values straight out of the columns.
     if cs.select.is_empty() {
         let Some(&first) = kept.first() else {
             return Ok(SelectResult {
@@ -785,6 +1147,17 @@ fn eval_fused_single(
                 rows: vec![],
             });
         };
+        if let Rows::Chunk { view, .. } = input {
+            let schema = registry::intern(view.schema());
+            let mut out = Vec::with_capacity(kept.len());
+            for &i in &kept {
+                out.push(
+                    view.row_values(i as usize)
+                        .ok_or_else(|| EspError::Plan("window row vanished mid-tick".into()))?,
+                );
+            }
+            return Ok(SelectResult { schema, rows: out });
+        }
         let schema = registry::intern(fetch(input, first)?.schema());
         let mut out = Vec::with_capacity(kept.len());
         for &i in &kept {
@@ -793,24 +1166,45 @@ fn eval_fused_single(
         return Ok(SelectResult { schema, rows: out });
     }
 
-    // Phase 2'': explicit projection.
+    // Phase 2'': explicit projection. When every select expression is
+    // column-resolvable, project straight from the chunk.
     let schema = cs.output_schema.clone().ok_or_else(|| {
         EspError::Plan("explicit projection compiled without an output schema".into())
     })?;
+    let columnar = match input {
+        Rows::Chunk { view, .. }
+            if cs
+                .select
+                .iter()
+                .all(|item| col_supported(&item.expr, view.schema())) =>
+        {
+            Some(*view)
+        }
+        _ => None,
+    };
     let mut rows = Vec::with_capacity(kept.len());
     for &i in &kept {
-        let t = fetch(input, i)?;
-        let row = [t];
-        let env = RowEnv {
-            bindings,
-            row: &row,
-            aggs: None,
-            outer,
-            slots_valid: true,
-        };
         let mut out = Vec::with_capacity(cs.select.len());
-        for item in &cs.select {
-            out.push(eval_expr(&item.expr, &env, ctx)?);
+        match &columnar {
+            Some(view) => {
+                for item in &cs.select {
+                    out.push(eval_col(&item.expr, view, i as usize)?);
+                }
+            }
+            None => {
+                let t = fetch(input, i)?;
+                let row = [t];
+                let env = RowEnv {
+                    bindings,
+                    row: &row,
+                    aggs: None,
+                    outer,
+                    slots_valid: true,
+                };
+                for item in &cs.select {
+                    out.push(eval_expr(&item.expr, &env, ctx)?);
+                }
+            }
         }
         rows.push(out);
     }
@@ -862,7 +1256,10 @@ fn materialize_from<'q>(
     ctx: &ExecCtx<'q>,
 ) -> Result<Rows<'q>> {
     match &item.source {
-        CSource::Stream { window, .. } => Ok(Rows::View(window.view())),
+        CSource::Stream { window, .. } => Ok(match window.chunk_view() {
+            Some(view) => Rows::from_chunk(view),
+            None => Rows::View(window.view()),
+        }),
         CSource::Relation { name } => ctx
             .catalog
             .relation(name)
@@ -870,13 +1267,7 @@ fn materialize_from<'q>(
             .ok_or_else(|| EspError::UnknownSource(name.clone())),
         CSource::Derived(sub) => {
             let result = eval_select(sub, outer, ctx)?;
-            Ok(Rows::Owned(
-                result
-                    .rows
-                    .into_iter()
-                    .map(|vals| Tuple::new_unchecked(Arc::clone(&result.schema), ctx.epoch, vals))
-                    .collect(),
-            ))
+            Ok(Rows::Owned(result.into_batch(ctx.epoch)))
         }
     }
 }

@@ -356,14 +356,12 @@ fn scope_shape(from: &[CFromItem], catalog: &Catalog, mode: Mode<'_>) -> ScopeSh
         .iter()
         .map(|item| {
             let schema = match &item.source {
-                CSource::Stream { name, window } => window
-                    .view()
-                    .first()
-                    .map(|t| Arc::clone(t.schema()))
-                    .or_else(|| match mode {
+                CSource::Stream { name, window } => {
+                    window.sample_schema().cloned().or_else(|| match mode {
                         Mode::Strict(declared) => declared.get(name).cloned(),
                         Mode::Lazy => None,
-                    }),
+                    })
+                }
                 CSource::Relation { name } => catalog
                     .relation(name)
                     .and_then(|r| r.first())

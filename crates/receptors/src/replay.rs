@@ -234,7 +234,11 @@ fn tuple_from_json(j: &Json) -> Result<Tuple> {
         schema_fields.push(Field::new(name, dt));
         values.push(value_from_json(&f["value"])?);
     }
-    Tuple::new(Schema::new(schema_fields)?, ts, values)
+    // Intern: without this every replayed tuple carries a fresh
+    // `Arc<Schema>`, defeating the pointer-identity caches downstream
+    // (granule injector, chunk builders, slot-compiled plans).
+    let schema = esp_types::registry::intern(&Schema::new(schema_fields)?);
+    Tuple::new(schema, ts, values)
 }
 
 #[cfg(test)]
@@ -282,6 +286,27 @@ mod tests {
         let parsed = RecordedTrace::from_json(&json).unwrap();
         assert_eq!(parsed, trace);
         assert!(!parsed.is_empty());
+    }
+
+    #[test]
+    fn replayed_tuples_share_one_interned_schema() {
+        let scenario = ShelfScenario::paper(7);
+        let recorder = Recorder::new();
+        let (_, src) = scenario.sources().remove(0);
+        let mut wrapped = recorder.wrap(src);
+        for i in 0..10u64 {
+            wrapped.poll(Ts::from_millis(i * 200)).unwrap();
+        }
+        let json = recorder.snapshot().to_json();
+        let parsed = RecordedTrace::from_json(&json).unwrap();
+        let tuples: Vec<&Tuple> = parsed.entries.iter().flat_map(|(_, b)| b.iter()).collect();
+        assert!(tuples.len() > 1);
+        for t in &tuples {
+            assert!(
+                std::sync::Arc::ptr_eq(t.schema(), tuples[0].schema()),
+                "decoded tuples must share the interned schema Arc"
+            );
+        }
     }
 
     #[test]

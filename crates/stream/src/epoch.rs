@@ -3,6 +3,7 @@
 use esp_types::{Batch, Result, TimeDelta, Ts};
 
 use crate::graph::{Dataflow, NodeKind, TapId};
+use crate::operator::Payload;
 
 /// Drives a [`Dataflow`] epoch by epoch.
 ///
@@ -37,29 +38,45 @@ impl EpochRunner {
     }
 
     /// Execute one epoch at logical time `epoch`.
+    ///
+    /// Data moves between nodes as [`Payload`]s: chunk-emitting nodes hand
+    /// columnar batches straight to chunk-aware consumers, while row-only
+    /// operators receive rows through the [`crate::Operator::push_chunk`]
+    /// compat shim. Tap traces stay row-form, so recorded output is
+    /// byte-identical whichever representation flowed underneath.
     pub fn step(&mut self, epoch: Ts) -> Result<()> {
         let n = self.df.nodes.len();
         // Output of each node this epoch, filled in topological order.
-        let mut outputs: Vec<Option<Batch>> = vec![None; n];
+        let mut outputs: Vec<Option<Payload>> = vec![None; n];
         for i in 0..n {
             let out = match &mut self.df.nodes[i].kind {
-                NodeKind::Source(src) => src.poll(epoch)?,
+                NodeKind::Source(src) => src.poll_payload(epoch)?,
                 NodeKind::Operator { op, inputs } => {
                     for (port, input) in inputs.iter().enumerate() {
                         // Inputs precede consumers (append-only graph), so
                         // the upstream output is always computed; an empty
                         // default keeps this hot path panic-free.
-                        let batch = outputs[input.0].as_deref().unwrap_or(&[]);
-                        op.push(port, batch)?;
+                        match &outputs[input.0] {
+                            Some(Payload::Rows(batch)) => op.push(port, batch)?,
+                            Some(Payload::Chunks(chunks)) => {
+                                for c in chunks {
+                                    op.push_chunk(port, c)?;
+                                }
+                            }
+                            None => op.push(port, &[])?,
+                        }
                     }
-                    op.flush(epoch)?
+                    op.flush_payload(epoch)?
                 }
             };
             outputs[i] = Some(out);
         }
         for (tap_idx, node) in self.df.taps.iter().enumerate() {
             // Every node's output was filled in the loop above.
-            let batch = outputs[node.0].clone().unwrap_or_default();
+            let batch = outputs[node.0]
+                .as_ref()
+                .map(Payload::to_rows)
+                .unwrap_or_default();
             self.collected[tap_idx].push((epoch, batch));
         }
         self.epochs_run += 1;

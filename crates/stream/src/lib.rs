@@ -48,7 +48,7 @@ mod window;
 
 pub use epoch::EpochRunner;
 pub use graph::{Dataflow, NodeId, TapId};
-pub use operator::{Operator, ScriptedSource, Source};
+pub use operator::{Operator, Payload, ScriptedChunkSource, ScriptedSource, Source};
 pub use state::{unexpected_state, Checkpointable, StageState};
 pub use stats::QueueStats;
 pub use threaded::ThreadedRunner;

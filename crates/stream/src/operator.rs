@@ -1,8 +1,61 @@
 //! The push-based operator protocol.
 
-use esp_types::{Batch, Result, Ts, Tuple};
+use esp_types::{Batch, Chunk, Result, Ts, Tuple};
 
 use crate::state::{unexpected_state, StageState};
+
+/// One epoch's data in transit between dataflow nodes: either plain rows
+/// (the original representation, still used by UDF/arbitrary-code stages)
+/// or schema-uniform columnar chunks (the hot path).
+///
+/// The two forms are interchangeable — [`Payload::into_rows`] is lossless —
+/// so every consumer can handle either; chunk-aware operators keep the
+/// columnar form end-to-end and row-only operators transparently receive
+/// rows through the [`Operator::push_chunk`] compat shim.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Row-at-a-time batch.
+    Rows(Batch),
+    /// Columnar batches, in stream order.
+    Chunks(Vec<Chunk>),
+}
+
+impl Payload {
+    /// An empty row payload.
+    pub fn empty() -> Payload {
+        Payload::Rows(Batch::new())
+    }
+
+    /// Number of tuples carried.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Rows(b) => b.len(),
+            Payload::Chunks(cs) => cs.iter().map(Chunk::len).sum(),
+        }
+    }
+
+    /// True when no tuples are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize as rows (identity for `Rows`; lossless chunk-to-tuple
+    /// conversion otherwise, preserving stream order).
+    pub fn into_rows(self) -> Batch {
+        match self {
+            Payload::Rows(b) => b,
+            Payload::Chunks(cs) => cs.iter().flat_map(Chunk::to_tuples).collect(),
+        }
+    }
+
+    /// Materialize as rows without consuming.
+    pub fn to_rows(&self) -> Batch {
+        match self {
+            Payload::Rows(b) => b.clone(),
+            Payload::Chunks(cs) => cs.iter().flat_map(Chunk::to_tuples).collect(),
+        }
+    }
+}
 
 /// A stream source: the boundary between the physical world (or a
 /// simulator) and the dataflow.
@@ -19,6 +72,14 @@ pub trait Source: Send {
     /// Produce this epoch's readings. Tuples should be stamped with
     /// timestamps `<= epoch`.
     fn poll(&mut self, epoch: Ts) -> Result<Batch>;
+
+    /// Produce this epoch's readings in payload form. The default wraps
+    /// [`Source::poll`] in rows; chunk-building sources (e.g. the gateway's
+    /// ingest queues) override it to emit columnar chunks without ever
+    /// materializing per-reading tuples.
+    fn poll_payload(&mut self, epoch: Ts) -> Result<Payload> {
+        Ok(Payload::Rows(self.poll(epoch)?))
+    }
 }
 
 /// A push-based stream operator.
@@ -44,9 +105,25 @@ pub trait Operator: Send {
     /// Deliver one batch on input port `port` (0-based).
     fn push(&mut self, port: usize, batch: &[Tuple]) -> Result<()>;
 
+    /// Deliver one columnar chunk on input port `port`. The default is the
+    /// row-compat shim — it materializes the chunk and delivers it through
+    /// [`Operator::push`], so every existing operator (UDF stages,
+    /// arbitrary code) keeps working unmodified. Chunk-aware operators
+    /// override this to consume the columns in place.
+    fn push_chunk(&mut self, port: usize, chunk: &Chunk) -> Result<()> {
+        self.push(port, &chunk.to_tuples())
+    }
+
     /// Epoch boundary: all input for `epoch` has been delivered. Emit the
     /// operator's output for this epoch.
     fn flush(&mut self, epoch: Ts) -> Result<Batch>;
+
+    /// Epoch boundary, payload form: the default wraps [`Operator::flush`]
+    /// in rows. Chunk-forwarding operators override it to hand columnar
+    /// batches downstream without materializing.
+    fn flush_payload(&mut self, epoch: Ts) -> Result<Payload> {
+        Ok(Payload::Rows(self.flush(epoch)?))
+    }
 
     /// Capture cross-epoch state for a durability checkpoint. Called only
     /// at epoch boundaries (after `flush`, before the next `push`). The
@@ -121,6 +198,51 @@ impl Source for ScriptedSource {
             }
         }
         Ok(out)
+    }
+}
+
+/// A source backed by a pre-recorded script of columnar chunks — the
+/// chunk-path twin of [`ScriptedSource`]. Polled through
+/// [`Source::poll_payload`] it emits chunks; polled through the row API it
+/// materializes them, so either runner sees the same tuples.
+pub struct ScriptedChunkSource {
+    name: String,
+    batches: std::collections::VecDeque<(Ts, Chunk)>,
+}
+
+impl ScriptedChunkSource {
+    /// Create a source that emits `batches[i].1` at the first epoch
+    /// `>= batches[i].0`. Batches must be in timestamp order.
+    pub fn new(name: impl Into<String>, batches: Vec<(Ts, Chunk)>) -> ScriptedChunkSource {
+        debug_assert!(batches.windows(2).all(|w| w[0].0 <= w[1].0));
+        ScriptedChunkSource {
+            name: name.into(),
+            batches: batches.into(),
+        }
+    }
+
+    fn take(&mut self, epoch: Ts) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        while self.batches.front().is_some_and(|(ts, _)| *ts <= epoch) {
+            if let Some((_, chunk)) = self.batches.pop_front() {
+                out.push(chunk);
+            }
+        }
+        out
+    }
+}
+
+impl Source for ScriptedChunkSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, epoch: Ts) -> Result<Batch> {
+        Ok(self.take(epoch).iter().flat_map(Chunk::to_tuples).collect())
+    }
+
+    fn poll_payload(&mut self, epoch: Ts) -> Result<Payload> {
+        Ok(Payload::Chunks(self.take(epoch)))
     }
 }
 

@@ -3,20 +3,104 @@
 //! These are language-agnostic dataflow pieces; the query engine and the ESP
 //! stages compose or specialize them.
 
-use esp_types::{Batch, Result, Ts, Tuple};
+use esp_types::{Batch, Chunk, Result, Ts, Tuple};
 
-use crate::operator::Operator;
+use crate::operator::{Operator, Payload};
+
+/// One buffered arrival: a run of rows or one columnar chunk, kept in
+/// arrival order so a forwarding operator can re-emit exactly what it saw.
+#[derive(Debug)]
+enum Seg {
+    Rows(Batch),
+    Chunk(Chunk),
+}
+
+/// Order-preserving buffer of mixed row/chunk arrivals. The epoch's output
+/// stays columnar when *every* arrival was a chunk; any row arrival
+/// demotes the whole epoch to rows (order is the contract, and
+/// interleaving rows between chunks has no columnar form).
+///
+/// This is the standard input buffer for chunk-aware forwarding operators
+/// ([`PassThrough`], [`UnionOp`], [`MapOp`], the ESP stage adapter).
+#[derive(Debug, Default)]
+pub struct SegBuf {
+    segs: Vec<Seg>,
+}
+
+impl SegBuf {
+    /// Number of tuples buffered across all segments.
+    pub fn len(&self) -> usize {
+        self.segs
+            .iter()
+            .map(|s| match s {
+                Seg::Rows(b) => b.len(),
+                Seg::Chunk(c) => c.len(),
+            })
+            .sum()
+    }
+
+    /// True when no tuples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Append a run of rows (merged into a trailing row segment).
+    pub fn push_rows(&mut self, batch: &[Tuple]) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(Seg::Rows(b)) = self.segs.last_mut() {
+            b.extend_from_slice(batch);
+        } else {
+            self.segs.push(Seg::Rows(batch.to_vec()));
+        }
+    }
+
+    /// Append one columnar chunk as its own segment.
+    pub fn push_chunk(&mut self, chunk: &Chunk) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.segs.push(Seg::Chunk(chunk.clone()));
+    }
+
+    /// Drain the buffer into a payload: columnar iff every arrival was a
+    /// chunk, otherwise rows in arrival order.
+    pub fn take(&mut self) -> Payload {
+        let segs = std::mem::take(&mut self.segs);
+        if !segs.is_empty() && segs.iter().all(|s| matches!(s, Seg::Chunk(_))) {
+            return Payload::Chunks(
+                segs.into_iter()
+                    .map(|s| match s {
+                        Seg::Chunk(c) => c,
+                        Seg::Rows(_) => unreachable!("all segments are chunks"),
+                    })
+                    .collect(),
+            );
+        }
+        let mut out = Batch::new();
+        for seg in segs {
+            match seg {
+                Seg::Rows(b) => out.extend(b),
+                Seg::Chunk(c) => out.extend(c.to_tuples()),
+            }
+        }
+        Payload::Rows(out)
+    }
+}
 
 /// Forwards its input unchanged. Useful as a named junction point and in
-/// tests.
+/// tests. Chunk arrivals are forwarded columnar.
 pub struct PassThrough {
-    buf: Batch,
+    buf: SegBuf,
 }
 
 impl PassThrough {
     /// Create a pass-through operator.
     pub fn new() -> PassThrough {
-        PassThrough { buf: Batch::new() }
+        PassThrough {
+            buf: SegBuf::default(),
+        }
     }
 }
 
@@ -32,12 +116,21 @@ impl Operator for PassThrough {
     }
 
     fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
-        self.buf.extend_from_slice(batch);
+        self.buf.push_rows(batch);
+        Ok(())
+    }
+
+    fn push_chunk(&mut self, _port: usize, chunk: &Chunk) -> Result<()> {
+        self.buf.push_chunk(chunk);
         Ok(())
     }
 
     fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
-        Ok(std::mem::take(&mut self.buf))
+        Ok(self.buf.take().into_rows())
+    }
+
+    fn flush_payload(&mut self, _epoch: Ts) -> Result<Payload> {
+        Ok(self.buf.take())
     }
 }
 
@@ -77,10 +170,17 @@ impl<F: Fn(&Tuple) -> bool + Send> Operator for FilterOp<F> {
 
 /// Per-tuple transform driven by a closure. Returning `None` drops the
 /// tuple (filter-map semantics); returning an error aborts the epoch.
+///
+/// An optional whole-chunk transform ([`MapOp::with_chunk_fn`]) lets the
+/// operator consume and emit columnar batches without materializing rows;
+/// without one, chunk arrivals fall back to the per-tuple closure through
+/// the row-compat shim.
 pub struct MapOp<F> {
     name: String,
     f: F,
-    buf: Batch,
+    #[allow(clippy::type_complexity)]
+    chunk_f: Option<Box<dyn Fn(&Chunk) -> Result<Option<Chunk>> + Send>>,
+    buf: SegBuf,
 }
 
 impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> MapOp<F> {
@@ -89,8 +189,20 @@ impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> MapOp<F> {
         MapOp {
             name: name.into(),
             f,
-            buf: Batch::new(),
+            chunk_f: None,
+            buf: SegBuf::default(),
         }
+    }
+
+    /// Attach a whole-chunk transform, used for chunk arrivals instead of
+    /// the per-tuple closure. The two must agree semantically (same rows
+    /// out for the same rows in); returning `None` drops the whole chunk.
+    pub fn with_chunk_fn(
+        mut self,
+        cf: impl Fn(&Chunk) -> Result<Option<Chunk>> + Send + 'static,
+    ) -> MapOp<F> {
+        self.chunk_f = Some(Box::new(cf));
+        self
     }
 }
 
@@ -102,22 +214,39 @@ impl<F: Fn(&Tuple) -> Result<Option<Tuple>> + Send> Operator for MapOp<F> {
     fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
         for t in batch {
             if let Some(out) = (self.f)(t)? {
-                self.buf.push(out);
+                self.buf.push_rows(std::slice::from_ref(&out));
             }
         }
         Ok(())
     }
 
+    fn push_chunk(&mut self, port: usize, chunk: &Chunk) -> Result<()> {
+        match &self.chunk_f {
+            Some(cf) => {
+                if let Some(out) = cf(chunk)? {
+                    self.buf.push_chunk(&out);
+                }
+                Ok(())
+            }
+            None => self.push(port, &chunk.to_tuples()),
+        }
+    }
+
     fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
-        Ok(std::mem::take(&mut self.buf))
+        Ok(self.buf.take().into_rows())
+    }
+
+    fn flush_payload(&mut self, _epoch: Ts) -> Result<Payload> {
+        Ok(self.buf.take())
     }
 }
 
 /// N-way stream union. The paper's Arbitrate stage runs over "the union of
-/// the streams produced by Query 2" — this is that union.
+/// the streams produced by Query 2" — this is that union. Chunk arrivals
+/// are forwarded columnar (in arrival order, matching the row semantics).
 pub struct UnionOp {
     n_inputs: usize,
-    buf: Batch,
+    buf: SegBuf,
 }
 
 impl UnionOp {
@@ -125,7 +254,7 @@ impl UnionOp {
     pub fn new(n_inputs: usize) -> UnionOp {
         UnionOp {
             n_inputs,
-            buf: Batch::new(),
+            buf: SegBuf::default(),
         }
     }
 }
@@ -140,12 +269,21 @@ impl Operator for UnionOp {
     }
 
     fn push(&mut self, _port: usize, batch: &[Tuple]) -> Result<()> {
-        self.buf.extend_from_slice(batch);
+        self.buf.push_rows(batch);
+        Ok(())
+    }
+
+    fn push_chunk(&mut self, _port: usize, chunk: &Chunk) -> Result<()> {
+        self.buf.push_chunk(chunk);
         Ok(())
     }
 
     fn flush(&mut self, _epoch: Ts) -> Result<Batch> {
-        Ok(std::mem::take(&mut self.buf))
+        Ok(self.buf.take().into_rows())
+    }
+
+    fn flush_payload(&mut self, _epoch: Ts) -> Result<Payload> {
+        Ok(self.buf.take())
     }
 }
 

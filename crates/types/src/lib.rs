@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod actuation;
+pub mod chunk;
 pub mod diag;
 pub mod effect;
 mod error;
@@ -39,6 +40,7 @@ mod value;
 pub mod well_known;
 
 pub use actuation::SampleRateHandle;
+pub use chunk::{chunk_batch, Chunk, ChunkView, ColumnVec, NullMask};
 pub use diag::{Applicability, Diagnostic, Severity, Span, Suggestion};
 pub use effect::{Determinism, FieldEffects};
 pub use error::{EspError, Result};
