@@ -11,13 +11,24 @@
 //! and the full loss/corruption/backpressure accounting, then writes
 //! `results/BENCH_gateway.json`.
 //!
-//! Usage: `gateway-loadgen [total_readings]` (default 400 000).
+//! Usage:
+//!
+//! ```text
+//! gateway-loadgen [total_readings]                    default 400 000
+//! gateway-loadgen obs-overhead [total] [rounds]       instrumentation cost
+//! ```
+//!
+//! The `obs-overhead` arm runs the identical workload (same channel
+//! seeds, same fleet) with the optional instrumentation layers enabled
+//! and disabled ([`esp_obs::set_enabled`]), interleaved and best-of-N per
+//! arm, and gates the throughput regression at 5% — the observability
+//! layer's admission bill. Writes `results/BENCH_obs.json`.
 
 use std::thread;
 use std::time::Instant;
 
 use esp_core::{Pipeline, PointStage};
-use esp_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayGroup};
+use esp_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayGroup, GatewaySnapshot};
 use esp_receptors::channel::{BernoulliChannel, Channel, Delivery, GilbertElliottChannel};
 use esp_receptors::wire::{self, Reading};
 use esp_types::{ReceptorId, ReceptorType, TimeDelta, Ts};
@@ -115,12 +126,21 @@ struct ClientTotals {
     corrupted: u64,
 }
 
-fn main() {
-    let total: u64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("total_readings must be a number"))
-        .unwrap_or(400_000);
+/// One complete loadgen run, every number the report needs.
+struct RunResult {
+    sent: u64,
+    lost: u64,
+    corrupted: u64,
+    wall_secs: f64,
+    throughput: f64,
+    output_tuples: usize,
+    stats: GatewaySnapshot,
+}
 
+/// Drive the full fleet once. Channel seeds are fixed, so every call
+/// sends the byte-identical frame stream — two runs differ only in what
+/// the process does with them.
+fn run_once(total: u64) -> RunResult {
     let (groups, receptors) = fleet();
     let n_receptors = receptors.len() as u64;
     let ticks = total.div_ceil(n_receptors);
@@ -207,9 +227,28 @@ fn main() {
     }
     let output = gateway.finish().expect("drain gateway");
     let wall = t0.elapsed().as_secs_f64();
+    let throughput = output.stats.readings as f64 / wall;
+    RunResult {
+        sent,
+        lost,
+        corrupted,
+        wall_secs: wall,
+        throughput,
+        output_tuples: output.total_tuples(),
+        stats: output.stats,
+    }
+}
 
-    let s = &output.stats;
-    let throughput = s.readings as f64 / wall;
+fn run_default(total: u64) {
+    let RunResult {
+        sent,
+        lost,
+        corrupted,
+        wall_secs: wall,
+        throughput,
+        output_tuples,
+        stats: s,
+    } = run_once(total);
     let mut report = s.report("gateway-loadgen: TCP ingestion into 4-shard ESP pipeline");
     report
         .scalar("client_sent", sent as f64)
@@ -217,7 +256,7 @@ fn main() {
         .scalar("client_corrupted", corrupted as f64)
         .scalar("wall_secs", wall)
         .scalar("throughput_readings_per_sec", throughput)
-        .scalar("output_tuples", output.total_tuples() as f64);
+        .scalar("output_tuples", output_tuples as f64);
     println!("{}", report.render_text());
     println!(
         "throughput: {:.0} readings/s over TCP into {} shards ({} delivered of {} sent, \
@@ -244,4 +283,85 @@ fn main() {
         .write_json(std::path::Path::new("results"), "BENCH_gateway")
         .expect("write results/BENCH_gateway.json");
     println!("wrote results/BENCH_gateway.json");
+}
+
+/// Throughput cost of the observability layer: the same workload with the
+/// optional instrumentation on vs. off, interleaved (round ordering
+/// alternates so neither arm always pays the warmup), best-of-`rounds`
+/// per arm. The gate is a ≤5% regression of the *enabled* arm against the
+/// *disabled* arm.
+fn obs_overhead(total: u64, rounds: u32) {
+    const GATE_PCT: f64 = 5.0;
+    let mut best_on = f64::NEG_INFINITY;
+    let mut best_off = f64::NEG_INFINITY;
+    for round in 0..rounds.max(1) {
+        // Alternate which arm runs first each round.
+        let order = if round % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for enabled in order {
+            esp_obs::set_enabled(enabled);
+            let r = run_once(total);
+            assert_eq!(
+                r.sent,
+                r.stats.readings + r.lost + r.stats.corrupt_frames,
+                "accounting must close in both arms"
+            );
+            let best = if enabled { &mut best_on } else { &mut best_off };
+            *best = best.max(r.throughput);
+            println!(
+                "round {round} obs={}: {:.0} readings/s",
+                if enabled { "on " } else { "off" },
+                r.throughput
+            );
+        }
+    }
+    esp_obs::set_enabled(true);
+
+    let overhead_pct = (best_off - best_on) / best_off * 100.0;
+    let met = overhead_pct <= GATE_PCT;
+    let mut report = esp_metrics::Report::new(
+        "obs-overhead: instrumentation cost of the observability layer under gateway load",
+    );
+    report
+        .scalar("total_readings", total as f64)
+        .scalar("rounds", f64::from(rounds))
+        .scalar("enabled_best_readings_per_sec", best_on)
+        .scalar("disabled_best_readings_per_sec", best_off)
+        .scalar("overhead_pct", overhead_pct)
+        .scalar("gate_pct", GATE_PCT)
+        .scalar("met", if met { 1.0 } else { 0.0 });
+    println!("{}", report.render_text());
+    println!(
+        "obs overhead: {overhead_pct:.2}% (enabled best {best_on:.0}/s vs disabled best \
+         {best_off:.0}/s) — target ≤{GATE_PCT}%: {}",
+        if met { "MET" } else { "MISSED" },
+    );
+    report
+        .write_json(std::path::Path::new("results"), "BENCH_obs")
+        .expect("write results/BENCH_obs.json");
+    println!("wrote results/BENCH_obs.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "obs-overhead") {
+        let total: u64 = args
+            .get(1)
+            .map(|a| a.parse().expect("total_readings must be a number"))
+            .unwrap_or(200_000);
+        let rounds: u32 = args
+            .get(2)
+            .map(|a| a.parse().expect("rounds must be a number"))
+            .unwrap_or(3);
+        obs_overhead(total, rounds);
+        return;
+    }
+    let total: u64 = args
+        .first()
+        .map(|a| a.parse().expect("total_readings must be a number"))
+        .unwrap_or(400_000);
+    run_default(total);
 }

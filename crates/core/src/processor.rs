@@ -322,6 +322,15 @@ impl EspProcessor {
         Arc::clone(&self.groups)
     }
 
+    /// Register per-stage flush spans and the per-epoch step span in
+    /// `registry` (names `esp_stream_node_flush_nanos{node,…}` and
+    /// `esp_stream_epoch_step_nanos`), tagging every series with
+    /// `labels`. Delegates to
+    /// [`EpochRunner::attach_obs`](esp_stream::EpochRunner::attach_obs).
+    pub fn attach_obs(&mut self, registry: &esp_obs::Registry, labels: &[(&str, &str)]) {
+        self.runner.attach_obs(registry, labels);
+    }
+
     /// Execute one epoch.
     pub fn step(&mut self, epoch: Ts) -> Result<()> {
         self.runner.step(epoch)

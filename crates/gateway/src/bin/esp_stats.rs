@@ -1,0 +1,67 @@
+//! `esp-stats`: scrape a running gateway's metrics over the wire
+//! protocol's `STATS` frame and print them.
+//!
+//! ```text
+//! esp-stats <addr>          Prometheus text exposition to stdout
+//! esp-stats <addr> --json   the same metrics as one JSON document
+//! ```
+//!
+//! The scrape rides an ordinary gateway connection, and like any open
+//! connection it holds the global watermark back until it closes — so
+//! this tool connects, scrapes once, and disconnects immediately rather
+//! than staying attached between scrapes.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use esp_gateway::GatewayClient;
+use esp_types::TimeDelta;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let addr = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(a) => a.clone(),
+        None => {
+            eprintln!("usage: esp-stats <addr> [--json]");
+            return ExitCode::from(2);
+        }
+    };
+    // A scrape-only connection never sends readings, so its lateness
+    // promise is irrelevant; zero keeps it from loosening the gateway's
+    // watermark either way.
+    let mut client = match GatewayClient::connect(&addr, TimeDelta::ZERO) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("esp-stats: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = if json {
+        client.scrape_json()
+    } else {
+        client.scrape()
+    };
+    match doc {
+        Ok(mut body) => {
+            if !body.ends_with('\n') {
+                body.push('\n');
+            }
+            // Write explicitly rather than via `print!`: a downstream
+            // `head` closing the pipe is a normal way to consume a
+            // scrape, and must not panic on EPIPE.
+            match std::io::stdout().lock().write_all(body.as_bytes()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("esp-stats: write: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("esp-stats: scrape: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

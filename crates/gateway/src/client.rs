@@ -1,15 +1,18 @@
 //! The receptor side of the gateway protocol: connect, handshake, stream
 //! frames. Used by simulated receptors, the load generator, and tests.
 
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use esp_receptors::framing::FrameWriter;
+use esp_receptors::framing::{FrameReader, FrameWriter};
 use esp_receptors::wire::Reading;
 use esp_types::TimeDelta;
 
-use crate::server::{ACK_OK, HELLO_MAGIC, PROTOCOL_VERSION};
+use crate::server::{
+    ACK_OK, HELLO_MAGIC, PROTOCOL_VERSION, STATS_FINAL, STATS_JSON_REQUEST, STATS_MORE,
+    STATS_TEXT_REQUEST,
+};
 
 /// A connected receptor uplink.
 ///
@@ -22,6 +25,8 @@ use crate::server::{ACK_OK, HELLO_MAGIC, PROTOCOL_VERSION};
 #[derive(Debug)]
 pub struct GatewayClient {
     writer: FrameWriter<BufWriter<TcpStream>>,
+    /// Read half of the same socket, for `STATS` scrape responses.
+    reader: FrameReader<BufReader<TcpStream>>,
 }
 
 impl GatewayClient {
@@ -42,8 +47,10 @@ impl GatewayClient {
                 format!("gateway rejected handshake (ack {:#04x})", ack[0]),
             ));
         }
+        let read_half = stream.try_clone()?;
         Ok(GatewayClient {
             writer: FrameWriter::new(BufWriter::with_capacity(64 * 1024, stream)),
+            reader: FrameReader::new(BufReader::with_capacity(64 * 1024, read_half)),
         })
     }
 
@@ -87,6 +94,48 @@ impl GatewayClient {
     /// Push buffered frames onto the wire without closing.
     pub fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
+    }
+
+    /// Scrape the gateway's metrics as a Prometheus text exposition
+    /// document. Safe to interleave with [`GatewayClient::send`]: the
+    /// request rides the same connection and the response is the only
+    /// server→client traffic after the handshake ack.
+    pub fn scrape(&mut self) -> io::Result<String> {
+        self.scrape_with(STATS_TEXT_REQUEST)
+    }
+
+    /// [`GatewayClient::scrape`], but as one JSON document.
+    pub fn scrape_json(&mut self) -> io::Result<String> {
+        self.scrape_with(STATS_JSON_REQUEST)
+    }
+
+    fn scrape_with(&mut self, request: &[u8]) -> io::Result<String> {
+        self.writer.write_raw(request)?;
+        self.writer.flush()?;
+        // The document arrives as marker-prefixed frames; concatenate
+        // chunks until the final marker.
+        let mut body = Vec::new();
+        loop {
+            let frame = self.reader.read_frame()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "gateway closed mid-scrape")
+            })?;
+            let (&marker, chunk) = frame.split_first().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "empty stats response frame")
+            })?;
+            body.extend_from_slice(chunk);
+            match marker {
+                STATS_FINAL => break,
+                STATS_MORE => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad stats response marker {other:#04x}"),
+                    ))
+                }
+            }
+        }
+        String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 stats document"))
     }
 
     /// Flush and close the connection (the gateway treats the EOF as this

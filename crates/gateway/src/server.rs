@@ -16,19 +16,19 @@
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use esp_core::{Pipeline, Scope};
 use esp_durability::{DurabilityConfig, SnapshotMeta, SnapshotStore, WalWriter};
-use esp_receptors::framing::FrameReader;
+use esp_receptors::framing::{FrameReader, FrameWriter, MAX_FRAME_LEN};
 use esp_receptors::wire;
 use esp_stream::{QueueStats, ThreadedRunner};
 use esp_types::{Batch, Diagnostic, EspError, ReceptorId, ReceptorType, Result, TimeDelta, Ts};
@@ -45,6 +45,20 @@ pub(crate) const HELLO_MAGIC: u32 = 0x4553_5047;
 pub(crate) const PROTOCOL_VERSION: u16 = 1;
 /// Server's accept byte, sent after a valid hello.
 pub(crate) const ACK_OK: u8 = 0x01;
+
+/// Frame payload requesting a Prometheus-text metrics scrape on an
+/// ingest connection. Never a valid `wire::encode` frame (wrong magic),
+/// so a data frame can never be mistaken for a scrape request.
+pub(crate) const STATS_TEXT_REQUEST: &[u8] = b"ESPSTATS";
+/// Frame payload requesting the same scrape as one JSON document.
+pub(crate) const STATS_JSON_REQUEST: &[u8] = b"ESPSTATJ";
+/// Response-frame marker: more chunks of this document follow.
+pub(crate) const STATS_MORE: u8 = 0x00;
+/// Response-frame marker: this chunk completes the document.
+pub(crate) const STATS_FINAL: u8 = 0x01;
+/// Max document bytes per response frame (1 marker byte + chunk must
+/// stay under [`MAX_FRAME_LEN`]; headroom kept for round numbers).
+const STATS_CHUNK: usize = MAX_FRAME_LEN - 4096;
 
 /// One proximity group as the gateway needs it: type, granule, members.
 /// (Mirrors `esp_receptors::GroupSpec` plus the receptor type that
@@ -302,7 +316,7 @@ impl Gateway {
             shards.len()
         };
         let stats = GatewayStats::new(config.n_shards);
-        let queue_stats = QueueStats::new();
+        let queue_stats = QueueStats::registered(&stats.registry());
         let clock = WatermarkClock::new();
 
         // Open durable state first: `WalWriter::open` recovers the log's
@@ -362,7 +376,10 @@ impl Gateway {
                             let mut epochs = 0u64;
                             loop {
                                 match rx.recv() {
-                                    Ok(ShardMsg::Flush { seq, epoch }) => {
+                                    Ok(ShardMsg::Flush { seq, epoch, sent }) => {
+                                        if esp_obs::enabled() {
+                                            stats.note_queue_wait(sent.elapsed().as_nanos() as u64);
+                                        }
                                         stats.note_flush_done(epoch.as_millis());
                                         if let Some((store, every, keep)) = &sink_durability {
                                             epochs += 1;
@@ -605,6 +622,24 @@ impl Gateway {
         self.stats.snapshot(&self.queue_stats)
     }
 
+    /// The observability registry every gateway counter, span, and
+    /// histogram lives in (per-gateway; safe to scrape while running).
+    pub fn registry(&self) -> esp_obs::Registry {
+        self.stats.registry()
+    }
+
+    /// Prometheus text exposition of this gateway's registry merged with
+    /// the process-global one — the same document the `STATS` wire frame
+    /// serves.
+    pub fn render_text(&self) -> String {
+        self.stats.render_text()
+    }
+
+    /// [`Gateway::render_text`], but as one JSON document.
+    pub fn render_json(&self) -> String {
+        self.stats.render_json()
+    }
+
     /// Graceful shutdown: stop accepting, wait for every open connection
     /// to finish (clients must close their sockets), flush the final
     /// epochs, join all workers, and return the collected output.
@@ -778,17 +813,29 @@ fn broadcast_flush(
     match wal {
         Some(w) => {
             let mut w = w.lock();
+            let t0 = esp_obs::enabled().then(Instant::now);
             let seq = w.append_flush(epoch)?;
+            if let Some(t0) = t0 {
+                stats.note_wal_flush(t0.elapsed().as_nanos() as u64);
+            }
             stats.note_wal_record();
             for tx in txs {
-                tx.send(ShardMsg::Flush { seq, epoch })
-                    .map_err(|_| hung())?;
+                tx.send(ShardMsg::Flush {
+                    seq,
+                    epoch,
+                    sent: Instant::now(),
+                })
+                .map_err(|_| hung())?;
             }
         }
         None => {
             for tx in txs {
-                tx.send(ShardMsg::Flush { seq: 0, epoch })
-                    .map_err(|_| hung())?;
+                tx.send(ShardMsg::Flush {
+                    seq: 0,
+                    epoch,
+                    sent: Instant::now(),
+                })
+                .map_err(|_| hung())?;
             }
         }
     }
@@ -877,6 +924,13 @@ fn read_frames(
     stats: &GatewayStats,
     queue_stats: &QueueStats,
 ) -> Result<()> {
+    // Write half for `STATS` scrape responses — the only server→client
+    // traffic after the handshake ack, so an ingest-only client that
+    // never scrapes sees the exact pre-existing protocol.
+    let responder = stream
+        .try_clone()
+        .map_err(|e| EspError::Wire(format!("clone stream for stats responses: {e}")))?;
+    let mut responder = FrameWriter::new(BufWriter::with_capacity(64 * 1024, responder));
     let mut reader = FrameReader::new(BufReader::with_capacity(64 * 1024, stream));
     // Scratch WAL record, encoded + checksummed before taking the lock.
     let mut prepared = esp_durability::PreparedRecord::new();
@@ -884,6 +938,20 @@ fn read_frames(
         .read_frame()
         .map_err(|e| EspError::Wire(format!("frame read: {e}")))?
     {
+        if frame.as_ref() == STATS_TEXT_REQUEST || frame.as_ref() == STATS_JSON_REQUEST {
+            // Scrape request: counted on its own (never as a data frame,
+            // so frame-conservation invariants are scrape-invariant) and
+            // answered inline on this connection.
+            stats.note_stats_request();
+            let body = if frame.as_ref() == STATS_JSON_REQUEST {
+                stats.render_json()
+            } else {
+                stats.render_text()
+            };
+            write_stats_response(&mut responder, body.as_bytes())
+                .map_err(|e| EspError::Wire(format!("stats response: {e}")))?;
+            continue;
+        }
         stats.note_frame();
         let Ok(reading) = wire::decode(&frame) else {
             // Paper §4: Point functionality out of the box — checksum
@@ -937,6 +1005,28 @@ fn read_frames(
         conn.advance(ts_ms.saturating_sub(lateness_ms));
     }
     Ok(())
+}
+
+/// Write one scrape document as a sequence of marker-prefixed frames:
+/// `[STATS_MORE | STATS_FINAL][chunk]`. Chunked because an exposition
+/// can exceed [`MAX_FRAME_LEN`]; the in-band marker byte (rather than an
+/// empty terminator frame, which the framing layer forbids) tells the
+/// client where the document ends.
+fn write_stats_response<W: Write>(w: &mut FrameWriter<W>, body: &[u8]) -> std::io::Result<()> {
+    let chunks: Vec<&[u8]> = if body.is_empty() {
+        vec![&[][..]]
+    } else {
+        body.chunks(STATS_CHUNK).collect()
+    };
+    let last = chunks.len() - 1;
+    let mut frame = Vec::new();
+    for (i, c) in chunks.iter().enumerate() {
+        frame.clear();
+        frame.push(if i == last { STATS_FINAL } else { STATS_MORE });
+        frame.extend_from_slice(c);
+        w.write_raw(&frame)?;
+    }
+    w.flush()
 }
 
 /// Send on a bounded shard queue, recording whether it was full (the

@@ -2,41 +2,65 @@
 //! totals, and epoch flush latency (coordinator issues a flush → the last
 //! shard finishes stepping it).
 //!
-//! Shard-queue backpressure is tracked separately through the shared
-//! [`esp_stream::QueueStats`] the gateway reuses from the threaded runner.
+//! Every counter lives in an [`esp_obs::Registry`] owned by the gateway
+//! (one registry per gateway, so tests running many gateways in one
+//! process stay isolated); [`GatewayStats`] is a thin typed view over the
+//! registered handles, and [`GatewaySnapshot`] reads back exactly the
+//! same fields it always did. The registry is what the `STATS` wire
+//! frame scrapes, merged with the process-global registry (query-engine
+//! and window-path counters) into one exposition document.
 //!
-//! Ordering audit: every atomic here is `Relaxed`. All counters except
-//! `max_ts_ms` are monitoring-only — no control decision reads them, no
-//! data is published alongside an increment, so RMW atomicity is the only
+//! Shard-queue backpressure is tracked through the shared
+//! [`esp_stream::QueueStats`] the gateway reuses from the threaded
+//! runner, registered in the same registry via
+//! [`QueueStats::registered`](esp_stream::QueueStats::registered).
+//!
+//! Ordering audit: every atomic here is `Relaxed` (see the `esp_obs`
+//! crate docs for the blanket audit). All counters except `max_ts_ms`
+//! are monitoring-only — no control decision reads them, no data is
+//! published alongside an increment, so RMW atomicity is the only
 //! property needed. `max_ts_ms` *is* read for control (the coordinator's
 //! flush bound) — see [`GatewayStats::max_ts_ms`] for why `Relaxed` is
 //! still correct there.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use esp_metrics::Report;
+use esp_obs::{Counter, Gauge, Histogram, Registry};
 use esp_stream::QueueStats;
 
-#[derive(Debug, Default)]
+pub(crate) use esp_obs::CpuTimer;
+
+#[derive(Debug)]
 struct Inner {
-    connections: AtomicU64,
-    frames: AtomicU64,
-    corrupt_frames: AtomicU64,
-    readings: AtomicU64,
-    unroutable: AtomicU64,
-    io_errors: AtomicU64,
-    max_ts_ms: AtomicU64,
-    wal_records: AtomicU64,
-    checkpoints: AtomicU64,
-    checkpoint_nanos: AtomicU64,
-    crashes: AtomicU64,
-    recoveries: AtomicU64,
-    shard_readings: Vec<AtomicU64>,
+    registry: Registry,
+    connections: Counter,
+    frames: Counter,
+    stats_requests: Counter,
+    corrupt_frames: Counter,
+    readings: Counter,
+    unroutable: Counter,
+    io_errors: Counter,
+    max_ts_ms: Gauge,
+    wal_records: Counter,
+    checkpoints: Counter,
+    checkpoint_nanos: Counter,
+    crashes: Counter,
+    recoveries: Counter,
+    shard_readings: Vec<Counter>,
+    /// Closed flush measurements, µs. Exact sum and count (the mean the
+    /// snapshot reports is exact; only the quantiles are bucketed).
+    flush_latency_us: Histogram,
+    /// Worst flush ever, µs — `fetch_max` gauge, exact.
+    flush_latency_max_us: Gauge,
+    /// Coordinator sent a flush → shard worker dequeued it.
+    queue_wait_nanos: Histogram,
+    /// Time inside `Wal::append_flush` (the durability fsync point).
+    wal_flush_nanos: Histogram,
     flush: Mutex<FlushTracker>,
 }
 
@@ -45,76 +69,134 @@ struct FlushTracker {
     n_shards: usize,
     /// Epochs issued but not yet stepped by every shard.
     pending: HashMap<u64, (Instant, usize)>,
-    latencies_us: Vec<u64>,
 }
 
 /// Cheap-to-clone handle over the gateway's shared counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GatewayStats {
     inner: Arc<Inner>,
 }
 
+impl Default for GatewayStats {
+    fn default() -> GatewayStats {
+        GatewayStats::new(0)
+    }
+}
+
 impl GatewayStats {
-    /// Counters at zero, sized for `n_shards` workers.
+    /// Counters at zero, registered in a fresh per-gateway registry,
+    /// sized for `n_shards` workers.
     pub fn new(n_shards: usize) -> GatewayStats {
+        let r = Registry::new();
+        let c = |name: &str| r.counter(name, &[]);
         let inner = Inner {
-            shard_readings: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            connections: c("esp_gateway_connections_total"),
+            frames: c("esp_gateway_frames_total"),
+            stats_requests: c("esp_gateway_stats_requests_total"),
+            corrupt_frames: c("esp_gateway_corrupt_frames_total"),
+            readings: c("esp_gateway_readings_total"),
+            unroutable: c("esp_gateway_unroutable_total"),
+            io_errors: c("esp_gateway_io_errors_total"),
+            max_ts_ms: r.gauge("esp_gateway_max_ts_ms", &[]),
+            wal_records: c("esp_gateway_wal_records_total"),
+            checkpoints: c("esp_gateway_checkpoints_total"),
+            checkpoint_nanos: c("esp_gateway_checkpoint_nanos_total"),
+            crashes: c("esp_gateway_crashes_total"),
+            recoveries: c("esp_gateway_recoveries_total"),
+            shard_readings: (0..n_shards)
+                .map(|s| {
+                    r.counter(
+                        "esp_gateway_shard_readings_total",
+                        &[("shard", &s.to_string())],
+                    )
+                })
+                .collect(),
+            flush_latency_us: r.histogram("esp_gateway_flush_latency_us", &[]),
+            flush_latency_max_us: r.gauge("esp_gateway_flush_latency_max_us", &[]),
+            queue_wait_nanos: r.histogram("esp_gateway_queue_wait_nanos", &[]),
+            wal_flush_nanos: r.histogram("esp_gateway_wal_flush_nanos", &[]),
             flush: Mutex::new(FlushTracker {
                 n_shards,
                 ..FlushTracker::default()
             }),
-            ..Inner::default()
+            registry: r,
         };
         GatewayStats {
             inner: Arc::new(inner),
         }
     }
 
-    /// A connection completed its handshake.
-    pub fn note_connection(&self) {
-        self.inner.connections.fetch_add(1, Ordering::Relaxed);
+    /// The registry behind every counter. Shard workers register their
+    /// per-stage spans here; the `STATS` frame renders it.
+    pub fn registry(&self) -> Registry {
+        self.inner.registry.clone()
     }
 
-    /// A frame arrived (whether or not it decodes).
+    /// Render this gateway's registry, merged with the process-global
+    /// registry (query/window counters), as Prometheus text exposition.
+    pub fn render_text(&self) -> String {
+        self.inner.registry.render_text_with(&[esp_obs::global()])
+    }
+
+    /// [`GatewayStats::render_text`], but as one JSON document.
+    pub fn render_json(&self) -> String {
+        self.inner.registry.render_json_with(&[esp_obs::global()])
+    }
+
+    /// A connection completed its handshake.
+    pub fn note_connection(&self) {
+        self.inner.connections.inc();
+    }
+
+    /// A data frame arrived (whether or not it decodes). `STATS` scrape
+    /// requests are *not* counted here — see
+    /// [`GatewayStats::note_stats_request`] — so the frame-conservation
+    /// law (`frames == readings + corrupt + unroutable`) is unaffected
+    /// by how often the gateway is scraped.
     pub fn note_frame(&self) {
-        self.inner.frames.fetch_add(1, Ordering::Relaxed);
+        self.inner.frames.inc();
+    }
+
+    /// A `STATS` scrape request arrived on an ingest connection.
+    pub fn note_stats_request(&self) {
+        self.inner.stats_requests.inc();
     }
 
     /// A frame failed checksum/decoding and was dropped at the edge.
     pub fn note_corrupt(&self) {
-        self.inner.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        self.inner.corrupt_frames.inc();
     }
 
     /// A decoded reading was accepted and routed; `shards` are its
     /// destinations.
     pub fn note_reading(&self, ts_ms: u64, shards: &[usize]) {
-        self.inner.readings.fetch_add(1, Ordering::Relaxed);
-        self.inner.max_ts_ms.fetch_max(ts_ms, Ordering::Relaxed);
+        self.inner.readings.inc();
+        self.inner.max_ts_ms.fetch_max(ts_ms);
         for &s in shards {
             if let Some(c) = self.inner.shard_readings.get(s) {
-                c.fetch_add(1, Ordering::Relaxed);
+                c.inc();
             }
         }
     }
 
     /// A decoded reading named a receptor outside every registered group.
     pub fn note_unroutable(&self) {
-        self.inner.unroutable.fetch_add(1, Ordering::Relaxed);
+        self.inner.unroutable.inc();
     }
 
     /// A connection died with a transport error (counted, not fatal).
     pub fn note_io_error(&self) {
-        self.inner.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.inner.io_errors.inc();
     }
 
     /// A record (reading or flush marker) was appended to the WAL.
     pub fn note_wal_record(&self) {
-        self.inner.wal_records.fetch_add(1, Ordering::Relaxed);
+        self.inner.wal_records.inc();
     }
 
     /// A shard wrote a checkpoint snapshot.
     pub fn note_checkpoint(&self) {
-        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.inner.checkpoints.inc();
     }
 
     /// Time a shard spent inside the checkpoint path (serialize, write,
@@ -123,27 +205,37 @@ impl GatewayStats {
     /// durability bench gates on, because on small machines it is far
     /// more stable than comparing two whole runs.
     pub fn note_checkpoint_time(&self, nanos: u64) {
-        self.inner
-            .checkpoint_nanos
-            .fetch_add(nanos, Ordering::Relaxed);
+        self.inner.checkpoint_nanos.add(nanos);
+    }
+
+    /// Time the coordinator's flush broadcast spent inside the WAL
+    /// append (the fsync point under `fsync_on_flush`).
+    pub fn note_wal_flush(&self, nanos: u64) {
+        self.inner.wal_flush_nanos.record(nanos);
+    }
+
+    /// A flush message sat `nanos` in a shard queue before the worker
+    /// dequeued it (coordinator send → worker receive).
+    pub fn note_queue_wait(&self, nanos: u64) {
+        self.inner.queue_wait_nanos.record(nanos);
     }
 
     /// A shard worker crashed (fault injection).
     pub fn note_crash(&self) {
-        self.inner.crashes.fetch_add(1, Ordering::Relaxed);
+        self.inner.crashes.inc();
     }
 
     /// A shard worker completed snapshot + WAL-replay recovery (startup
     /// recovery on a durable gateway counts too).
     pub fn note_recovery(&self) {
-        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.inner.recoveries.inc();
     }
 
     /// Seed the max-timestamp watermark from recovered durable state, so
     /// a restarted coordinator's drain sweep re-covers every logged
     /// reading even before any new connection arrives.
     pub fn seed_max_ts(&self, ts_ms: u64) {
-        self.inner.max_ts_ms.fetch_max(ts_ms, Ordering::Relaxed);
+        self.inner.max_ts_ms.fetch_max(ts_ms);
     }
 
     /// Largest reading timestamp accepted so far (ms).
@@ -161,7 +253,7 @@ impl GatewayStats {
     /// [`crate::watermark`] for the full ordering contract, and
     /// [`crate::model`] for the checked protocol model).
     pub fn max_ts_ms(&self) -> u64 {
-        self.inner.max_ts_ms.load(Ordering::Relaxed)
+        self.inner.max_ts_ms.get()
     }
 
     /// Coordinator is about to broadcast a flush for `epoch_ms`.
@@ -180,7 +272,9 @@ impl GatewayStats {
             if *remaining == 0 {
                 let us = issued.elapsed().as_micros() as u64;
                 f.pending.remove(&epoch_ms);
-                f.latencies_us.push(us);
+                drop(f);
+                self.inner.flush_latency_us.record(us);
+                self.inner.flush_latency_max_us.fetch_max(us);
             }
         }
     }
@@ -188,75 +282,38 @@ impl GatewayStats {
     /// Snapshot every counter. `queue` is the shard-queue backpressure
     /// tracker the snapshot folds in.
     pub fn snapshot(&self, queue: &QueueStats) -> GatewaySnapshot {
-        let f = self.inner.flush.lock();
-        let lat = &f.latencies_us;
-        let (mean_ms, max_ms) = if lat.is_empty() {
+        let lat = self.inner.flush_latency_us.snapshot();
+        let (mean_ms, max_ms) = if lat.count() == 0 {
             (0.0, 0.0)
         } else {
-            let sum: u64 = lat.iter().sum();
-            let max = lat.iter().max().copied().unwrap_or(0);
-            (sum as f64 / lat.len() as f64 / 1000.0, max as f64 / 1000.0)
+            // The histogram keeps an exact sum, so the mean is exact —
+            // identical to the Vec-of-latencies the tracker used to keep.
+            let max_us = self.inner.flush_latency_max_us.get();
+            (
+                lat.sum() as f64 / lat.count() as f64 / 1000.0,
+                max_us as f64 / 1000.0,
+            )
         };
         GatewaySnapshot {
-            connections: self.inner.connections.load(Ordering::Relaxed),
-            frames: self.inner.frames.load(Ordering::Relaxed),
-            corrupt_frames: self.inner.corrupt_frames.load(Ordering::Relaxed),
-            readings: self.inner.readings.load(Ordering::Relaxed),
-            unroutable: self.inner.unroutable.load(Ordering::Relaxed),
-            io_errors: self.inner.io_errors.load(Ordering::Relaxed),
-            wal_records: self.inner.wal_records.load(Ordering::Relaxed),
-            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
-            checkpoint_nanos: self.inner.checkpoint_nanos.load(Ordering::Relaxed),
-            crashes: self.inner.crashes.load(Ordering::Relaxed),
-            recoveries: self.inner.recoveries.load(Ordering::Relaxed),
-            shard_readings: self
-                .inner
-                .shard_readings
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            epochs_flushed: lat.len() as u64,
+            connections: self.inner.connections.get(),
+            frames: self.inner.frames.get(),
+            corrupt_frames: self.inner.corrupt_frames.get(),
+            readings: self.inner.readings.get(),
+            unroutable: self.inner.unroutable.get(),
+            io_errors: self.inner.io_errors.get(),
+            wal_records: self.inner.wal_records.get(),
+            checkpoints: self.inner.checkpoints.get(),
+            checkpoint_nanos: self.inner.checkpoint_nanos.get(),
+            crashes: self.inner.crashes.get(),
+            recoveries: self.inner.recoveries.get(),
+            shard_readings: self.inner.shard_readings.iter().map(Counter::get).collect(),
+            epochs_flushed: lat.count(),
             flush_latency_mean_ms: mean_ms,
             flush_latency_max_ms: max_ms,
             queue_sends: queue.sends(),
             queue_blocked: queue.blocked(),
         }
     }
-}
-
-/// Times a code section by the calling thread's on-CPU nanoseconds
-/// (`/proc/thread-self/schedstat`, scheduler accounting), so a
-/// checkpoint preempted on a small machine is not billed for the other
-/// threads that ran in between — wall clock would be, inflating the
-/// measured cost past 100% of process CPU under oversubscription. Falls
-/// back to wall clock where the kernel does not export schedstats.
-#[derive(Debug)]
-pub(crate) struct CpuTimer {
-    cpu_start: Option<u64>,
-    wall_start: Instant,
-}
-
-impl CpuTimer {
-    pub(crate) fn start() -> CpuTimer {
-        CpuTimer {
-            cpu_start: thread_cpu_nanos(),
-            wall_start: Instant::now(),
-        }
-    }
-
-    pub(crate) fn elapsed_nanos(&self) -> u64 {
-        match (self.cpu_start, thread_cpu_nanos()) {
-            (Some(start), Some(end)) if end >= start => end - start,
-            _ => self.wall_start.elapsed().as_nanos() as u64,
-        }
-    }
-}
-
-/// Cumulative on-CPU time of the calling thread, in nanoseconds.
-fn thread_cpu_nanos() -> Option<u64> {
-    std::fs::read_to_string("/proc/thread-self/schedstat")
-        .ok()
-        .and_then(|s| s.split_whitespace().next().and_then(|f| f.parse().ok()))
 }
 
 /// Point-in-time copy of the gateway counters.
@@ -405,5 +462,90 @@ mod tests {
         assert_eq!(r.get_scalar("readings"), Some(1.0));
         assert_eq!(r.get_scalar("shard0_readings"), Some(1.0));
         assert_eq!(r.get_scalar("queue_blocked_fraction"), Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_fields_are_views_over_the_registry() {
+        // Satellite: the legacy snapshot and the registry must be two
+        // reads of the same counters, not parallel bookkeeping.
+        let s = GatewayStats::new(2);
+        s.note_frame();
+        s.note_reading(42, &[0, 1]);
+        let r = s.registry();
+        let snap = s.snapshot(&QueueStats::new());
+        assert_eq!(
+            r.counter_value("esp_gateway_frames_total", &[]),
+            Some(snap.frames)
+        );
+        assert_eq!(
+            r.counter_value("esp_gateway_readings_total", &[]),
+            Some(snap.readings)
+        );
+        assert_eq!(
+            r.gauge_value("esp_gateway_max_ts_ms", &[]),
+            Some(s.max_ts_ms())
+        );
+        for (i, n) in snap.shard_readings.iter().enumerate() {
+            assert_eq!(
+                r.counter_value(
+                    "esp_gateway_shard_readings_total",
+                    &[("shard", &i.to_string())]
+                ),
+                Some(*n)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_requests_do_not_perturb_frames() {
+        let s = GatewayStats::new(1);
+        s.note_frame();
+        s.note_stats_request();
+        s.note_stats_request();
+        let snap = s.snapshot(&QueueStats::new());
+        assert_eq!(snap.frames, 1, "scrapes are not data frames");
+        assert_eq!(
+            s.registry()
+                .counter_value("esp_gateway_stats_requests_total", &[]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn flush_mean_is_exact_from_histogram_sum() {
+        let s = GatewayStats::new(1);
+        for epoch in [100, 200, 300] {
+            s.note_flush_issued(epoch);
+            s.note_flush_done(epoch);
+        }
+        let snap = s.snapshot(&QueueStats::new());
+        assert_eq!(snap.epochs_flushed, 3);
+        let hist = s
+            .registry()
+            .histogram_snapshot("esp_gateway_flush_latency_us", &[])
+            .expect("flush histogram registered");
+        let mean_ms = hist.sum() as f64 / hist.count() as f64 / 1000.0;
+        assert!((snap.flush_latency_mean_ms - mean_ms).abs() < 1e-12);
+        let max_us = s
+            .registry()
+            .gauge_value("esp_gateway_flush_latency_max_us", &[])
+            .expect("max gauge registered");
+        assert!((snap.flush_latency_max_ms - max_us as f64 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_merges_gateway_and_global_registries() {
+        let s = GatewayStats::new(1);
+        s.note_frame();
+        // Touch a process-global counter so the merge has something from
+        // the other side.
+        esp_obs::global()
+            .counter("esp_test_global_total", &[])
+            .inc();
+        let text = s.render_text();
+        assert!(text.contains("esp_gateway_frames_total 1"));
+        assert!(text.contains("esp_test_global_total"));
+        let json = s.render_json();
+        assert!(json.contains("\"name\":\"esp_gateway_frames_total\""));
     }
 }

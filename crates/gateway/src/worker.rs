@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
@@ -53,6 +54,9 @@ pub(crate) enum ShardMsg {
         seq: u64,
         /// The certified epoch.
         epoch: Ts,
+        /// When the coordinator enqueued this message — the worker's
+        /// dequeue-time delta is the flush's queue-wait observation.
+        sent: Instant,
     },
     /// Drain and exit.
     Shutdown,
@@ -396,6 +400,11 @@ pub(crate) fn spawn_worker(
                 }
                 None => build_shard(&groups, &pipeline)?,
             };
+            // Per-stage/per-epoch spans, attached *after* recovery so WAL
+            // replay steps are not billed as live epochs (the scrape-side
+            // conservation law counts one step span per flushed epoch).
+            let shard_label = shard.to_string();
+            processor.attach_obs(&stats.registry(), &[("shard", &shard_label)]);
 
             loop {
                 match rx.recv() {
@@ -411,7 +420,10 @@ pub(crate) fn spawn_worker(
                             buf.lock().push_reading(&schemas, &reading)?;
                         }
                     }
-                    Ok(ShardMsg::Flush { seq, epoch }) => {
+                    Ok(ShardMsg::Flush { seq, epoch, sent }) => {
+                        if esp_obs::enabled() {
+                            stats.note_queue_wait(sent.elapsed().as_nanos() as u64);
+                        }
                         if skip_through.is_some_and(|s| seq <= s) {
                             continue; // replay already stepped it
                         }
@@ -441,6 +453,9 @@ pub(crate) fn spawn_worker(
                                 buffers = b;
                                 skip_through = skip;
                                 epochs_since_checkpoint = 0;
+                                // Rebuilt processor: re-derive the same
+                                // registered span handles.
+                                processor.attach_obs(&stats.registry(), &[("shard", &shard_label)]);
                                 if skip_through.is_some_and(|s| seq <= s) {
                                     continue;
                                 }

@@ -62,20 +62,35 @@ impl Series {
 
 /// Render a series as a fixed-size ASCII plot (rows top-down, `*` marks),
 /// for experiment binaries that "draw" the paper's figures in a terminal.
+///
+/// Non-finite points (NaN/∞ from degenerate experiments) cannot be
+/// placed on a finite grid and are skipped — left in, a NaN span would
+/// collapse every row index to zero and an infinite one would panic in
+/// the row arithmetic. A series with no finite points renders empty,
+/// like an empty series.
 pub fn ascii_plot(series: &Series, width: usize, height: usize) -> String {
     let mut out = String::new();
-    if series.points.is_empty() || width == 0 || height == 0 {
+    if width == 0 || height == 0 {
         return out;
     }
-    let (x_lo, x_hi) = (
-        series.points.first().expect("non-empty").0,
-        series.points.last().expect("non-empty").0,
-    );
-    let (y_lo, y_hi) = series.y_range().expect("non-empty");
+    let finite: Vec<(f64, f64)> = series
+        .points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let (Some(&(x_lo, _)), Some(&(x_hi, _))) = (finite.first(), finite.last()) else {
+        return out;
+    };
+    let (y_lo, y_hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
     let x_span = (x_hi - x_lo).max(f64::EPSILON);
     let y_span = (y_hi - y_lo).max(f64::EPSILON);
     let mut grid = vec![vec![b' '; width]; height];
-    for &(x, y) in &series.points {
+    for &(x, y) in &finite {
         let col = (((x - x_lo) / x_span) * (width - 1) as f64).round() as usize;
         let row = (((y - y_lo) / y_span) * (height - 1) as f64).round() as usize;
         grid[height - 1 - row][col.min(width - 1)] = b'*';
@@ -212,6 +227,58 @@ mod tests {
     #[test]
     fn ascii_plot_empty_is_empty() {
         assert!(ascii_plot(&Series::new("e"), 10, 5).is_empty());
+        // Degenerate grid dimensions render nothing rather than dividing
+        // by a zero-width span.
+        let s = Series::from_points("s", [(0.0, 1.0)]);
+        assert!(ascii_plot(&s, 0, 5).is_empty());
+        assert!(ascii_plot(&s, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn ascii_plot_single_point() {
+        let s = Series::from_points("one", [(3.0, 7.0)]);
+        let plot = ascii_plot(&s, 10, 4);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 rows");
+        assert!(lines[0].contains("7.00..7.00"));
+        assert_eq!(
+            plot.matches('*').count(),
+            1,
+            "exactly one mark for one point"
+        );
+    }
+
+    #[test]
+    fn ascii_plot_skips_non_finite_points() {
+        let s = Series::from_points(
+            "mixed",
+            [
+                (0.0, 1.0),
+                (1.0, f64::NAN),
+                (2.0, f64::INFINITY),
+                (f64::NAN, 5.0),
+                (3.0, 2.0),
+            ],
+        );
+        let plot = ascii_plot(&s, 20, 5);
+        assert!(!plot.is_empty());
+        // Ranges come from the finite points only.
+        assert!(plot.contains("y: 1.00..2.00"), "{plot}");
+        assert!(plot.contains("x: 0.0..3.0"), "{plot}");
+        assert_eq!(plot.matches('*').count(), 2, "two finite points plotted");
+        // All-non-finite series renders empty, like an empty series.
+        let nan = Series::from_points("nan", [(f64::NAN, f64::NAN)]);
+        assert!(ascii_plot(&nan, 10, 5).is_empty());
+    }
+
+    #[test]
+    fn report_renders_with_no_scalars_or_points() {
+        let mut r = Report::new("empty");
+        r.add_series(Series::new("hollow"));
+        let text = r.render_text();
+        assert!(text.contains("== empty =="));
+        assert!(text.contains("'hollow': 0 points"));
+        assert_eq!(r.get_scalar("anything"), None);
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! A fixed-bucket log-linear latency histogram.
+//!
+//! The bucket layout is HdrHistogram-style: exact below 32, then eight
+//! linear sub-buckets per power-of-two octave, which bounds the relative
+//! error of any recorded value at `1/8 = 12.5%` while covering the whole
+//! `u64` range in [`N_BUCKETS`] = 504 buckets. Recording is one atomic
+//! increment plus one atomic add (the exact sum) — no locks, no allocation
+//! — so shards can feed one histogram concurrently and a scraper can
+//! snapshot it live. Snapshots merge element-wise, which is what makes
+//! per-shard histograms foldable into a fleet view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Values below this cutoff get an exact bucket each.
+const LINEAR_CUTOFF: u64 = 32;
+/// Sub-buckets per octave above the cutoff (2^3 = 8).
+const SUB_BITS: u32 = 3;
+/// Total bucket count: 32 exact + 8 per octave for octaves 5..=63.
+pub const N_BUCKETS: usize = 504;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        // v >= 32 so the leading one is at bit m >= 5.
+        let m = 63 - v.leading_zeros();
+        let sub = ((v >> (m - SUB_BITS)) & 7) as usize;
+        LINEAR_CUTOFF as usize + ((m - 5) as usize) * 8 + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        idx as u64
+    } else {
+        let m = ((idx - 32) / 8 + 5) as u32;
+        let sub = ((idx - 32) % 8) as u64;
+        (8 + sub) << (m - SUB_BITS)
+    }
+}
+
+/// Inclusive upper bound of bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        idx as u64
+    } else {
+        let m = ((idx - 32) / 8 + 5) as u32;
+        bucket_lower(idx) + ((1u64 << (m - SUB_BITS)) - 1)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    /// Exact sum of recorded values (saturating), so the mean carries no
+    /// bucketing error — the gateway's flush-latency mean relies on this.
+    sum: AtomicU64,
+}
+
+/// A concurrent log-linear histogram. Handles are cheap clones over one
+/// shared bucket array; see the module docs for the layout and cost.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram, not registered anywhere.
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // Saturate rather than wrap: a scrape after ~580 years of nanos
+        // should read "huge", not a small lie.
+        let mut cur = self.inner.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.inner.sum.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of observations so far (live read).
+    pub fn count(&self) -> u64 {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Point-in-time copy of the buckets, for merging and quantiles.
+    ///
+    /// Concurrent recorders may land between bucket reads; the snapshot is
+    /// some interleaving-consistent state, which is all monitoring needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; N_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact (saturating) sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum as f64 / n as f64)
+    }
+
+    /// Fold another snapshot into this one (element-wise add — the merge
+    /// is associative and commutative, so per-shard snapshots fold into a
+    /// fleet view in any order).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), reported as the inclusive upper
+    /// bound of the bucket holding that rank — within one bucket width of
+    /// the exact quantile, i.e. ≤ 12.5% relative error. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(idx));
+            }
+        }
+        // Unreachable: seen reaches n == count() by construction.
+        Some(bucket_upper(N_BUCKETS - 1))
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`
+    /// pairs in ascending order — exactly the rows a Prometheus
+    /// `_bucket{le=…}` exposition needs (the `+Inf` row is the total).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v, "lower({idx}) > {v}");
+            assert!(v <= bucket_upper(idx), "upper({idx}) < {v}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every bucket starts right after the previous one ends.
+        for idx in 1..N_BUCKETS {
+            assert_eq!(
+                bucket_lower(idx),
+                bucket_upper(idx - 1) + 1,
+                "gap/overlap at bucket {idx}"
+            );
+        }
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 32);
+        assert_eq!(s.sum(), (0..32).sum::<u64>());
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(31));
+        // Median of 0..=31: rank 16 → value 15, exact below the cutoff.
+        assert_eq!(s.quantile(0.5), Some(15));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new();
+        h.record(1_000_000);
+        let est = h.snapshot().quantile(0.5).unwrap();
+        assert!(est >= 1_000_000);
+        assert!((est as f64 - 1e6) / 1e6 <= 0.125, "est {est}");
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let whole = Histogram::new();
+        for v in [3, 47, 900, 12_345] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0, 47, 1_000_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total() {
+        let h = Histogram::new();
+        for v in [1, 1, 5, 70, 70, 70] {
+            h.record(v);
+        }
+        let rows = h.snapshot().cumulative_buckets();
+        assert_eq!(rows.last().map(|&(_, c)| c), Some(6));
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_quantiles() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn recorded_values_never_escape_bucket_bounds(v in proptest::prelude::any::<u64>()) {
+                let idx = bucket_index(v);
+                prop_assert!(idx < N_BUCKETS);
+                prop_assert!(bucket_lower(idx) <= v);
+                prop_assert!(v <= bucket_upper(idx));
+            }
+
+            #[test]
+            fn merge_is_commutative(
+                xs in proptest::collection::vec(0u64..1_000_000, 0..100),
+                ys in proptest::collection::vec(0u64..1_000_000, 0..100),
+            ) {
+                let (a, b) = (Histogram::new(), Histogram::new());
+                for &v in &xs { a.record(v); }
+                for &v in &ys { b.record(v); }
+                let mut ab = a.snapshot();
+                ab.merge(&b.snapshot());
+                let mut ba = b.snapshot();
+                ba.merge(&a.snapshot());
+                prop_assert_eq!(ab, ba);
+            }
+
+            #[test]
+            fn merge_is_associative(
+                xs in proptest::collection::vec(0u64..1_000_000, 0..60),
+                ys in proptest::collection::vec(0u64..1_000_000, 0..60),
+                zs in proptest::collection::vec(0u64..1_000_000, 0..60),
+            ) {
+                let mk = |vs: &[u64]| {
+                    let h = Histogram::new();
+                    for &v in vs { h.record(v); }
+                    h.snapshot()
+                };
+                let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+                let mut left = a.clone();
+                left.merge(&b);
+                left.merge(&c);
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut right = a;
+                right.merge(&bc);
+                prop_assert_eq!(left, right);
+            }
+
+            #[test]
+            fn quantile_within_one_bucket_width_of_exact(
+                mut xs in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+                q in 0.0f64..1.0,
+            ) {
+                let h = Histogram::new();
+                for &v in &xs { h.record(v); }
+                xs.sort_unstable();
+                let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+                let exact = xs[rank - 1];
+                let est = h.snapshot().quantile(q).unwrap();
+                // The estimate is the upper bound of the bucket holding
+                // the exact rank value, so it can only overshoot, by less
+                // than that bucket's width.
+                let idx = bucket_index(exact);
+                prop_assert!(est >= exact);
+                prop_assert!(est - exact <= bucket_upper(idx) - bucket_lower(idx));
+            }
+
+            #[test]
+            fn sum_and_count_are_exact(xs in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+                let h = Histogram::new();
+                for &v in &xs { h.record(v); }
+                let s = h.snapshot();
+                prop_assert_eq!(s.count(), xs.len() as u64);
+                prop_assert_eq!(s.sum(), xs.iter().sum::<u64>());
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # esp-obs
+//!
+//! Runtime observability for the ESP pipeline: the answer to "where does
+//! an epoch spend its time?" while the system serves traffic, instead of
+//! post-hoc counter dumps.
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars, cheap-to-clone
+//!   handles over shared state.
+//! * [`Histogram`] — a fixed-bucket log-linear latency histogram
+//!   (HdrHistogram-style): lock-free recording, mergeable snapshots,
+//!   p50/p95/p99 queries with bounded relative error (≤ 12.5%).
+//! * [`CpuTimer`] / [`span`] — section timers. `CpuTimer` bills on-CPU
+//!   nanoseconds via `/proc/thread-self/schedstat` (wall-clock fallback);
+//!   [`span`] is a drop-guard that records wall time into a histogram.
+//! * [`Registry`] — a named metric directory with hand-rolled
+//!   Prometheus-compatible text exposition and a JSON rendering, served by
+//!   the gateway over its `STATS` wire frame.
+//!
+//! Instrumentation cost is controlled two ways: handles are plain
+//! `Relaxed` atomics (an increment is one RMW, no fence), and the *extra*
+//! instrumentation layers (per-stage spans, hot-path hit counters) gate on
+//! the process-wide [`enabled`] flag, so a deployment can run dark and a
+//! benchmark can measure both arms in one binary.
+//!
+//! Ordering audit: every atomic in this crate is `Relaxed`. Metrics are
+//! monitoring-only — no control decision reads them and no data is
+//! published alongside an increment, so RMW atomicity is the only property
+//! needed. The one metric a caller *does* read for control (the gateway's
+//! flush bound) is a monotone `fetch_max` gauge, where a stale read can
+//! only defer an action, never invent one — see
+//! `esp_gateway::stats::GatewayStats::max_ts_ms` for that argument.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Library code must never panic mid-pipeline; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod histogram;
+mod metric;
+mod registry;
+mod timer;
+
+pub use histogram::{Histogram, HistogramSnapshot, N_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use timer::{span, CpuTimer, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide switch for the *optional* instrumentation layers (span
+/// timers, hot-path hit counters). Always-on accounting counters — the
+/// ones whose totals tests and protocols rely on — ignore this flag;
+/// callers of the optional layers check [`enabled`] before recording.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turn the optional instrumentation layers on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the optional instrumentation layers are on (default: yes).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global registry, for layers with no per-instance registry
+/// to hand a metric to (the query engine's tick path, the window buffer's
+/// chunk-vs-row counters). Components with a natural owner — the gateway —
+/// carry their own [`Registry`] instead, so tests can run many instances
+/// in one process without cross-talk.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_flag_round_trips() {
+        // Other tests rely on the default, so restore it.
+        assert!(enabled(), "instrumentation defaults to on");
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("esp_obs_test_global_total", &[]);
+        c.inc();
+        let again = global().counter("esp_obs_test_global_total", &[]);
+        assert!(again.get() >= 1, "same underlying counter");
+    }
+}

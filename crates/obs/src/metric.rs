@@ -1,0 +1,117 @@
+//! Atomic scalar metrics: monotone counters and last-value gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone counter. Handles are cheap clones over one shared atomic, so
+/// producers on many threads feed the same total and a scraper reads it
+/// live. All accesses are `Relaxed` — see the crate-level ordering audit.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero, not registered anywhere.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same underlying counter.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.value, &other.value)
+    }
+}
+
+/// A last-value gauge with a monotone-maximum update mode. Same sharing
+/// and ordering story as [`Counter`]; `fetch_max` keeps the value monotone
+/// under concurrent updates regardless of interleaving.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero, not registered anywhere.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (atomic RMW, monotone).
+    pub fn fetch_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_clones_share() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6);
+        assert!(c.same_as(&clone));
+        assert!(!c.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_set_and_fetch_max() {
+        let g = Gauge::new();
+        g.set(10);
+        g.fetch_max(5);
+        assert_eq!(g.get(), 10, "fetch_max never regresses");
+        g.fetch_max(25);
+        assert_eq!(g.get(), 25);
+        g.set(1);
+        assert_eq!(g.get(), 1, "set overwrites");
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Counter::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

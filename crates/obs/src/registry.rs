@@ -1,0 +1,414 @@
+//! The metric directory: named handles, Prometheus text exposition, JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::{Counter, Gauge, Histogram};
+
+type Labels = Vec<(String, String)>;
+type MetricKey = (String, Labels);
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A directory of named metrics. Handles are get-or-create: asking twice
+/// for the same `(name, labels)` returns clones of one shared metric, so
+/// any layer can cheaply re-derive its handles. The registry lock guards
+/// only the directory — recording through a handle never takes it.
+///
+/// Asking for an existing name with a *different* metric kind is a
+/// programming error; rather than panic mid-pipeline, the call returns a
+/// fresh unregistered handle (records vanish from scrapes, the registered
+/// metric is untouched).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<MetricKey, Metric>>>,
+}
+
+fn owned(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<MetricKey, Metric>> {
+        // A panicking holder can only have been inside the directory map;
+        // metrics themselves are lock-free, so the map stays usable.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut map = self.lock();
+        match map
+            .entry((name.to_string(), owned(labels)))
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut map = self.lock();
+        match map
+            .entry((name.to_string(), owned(labels)))
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut map = self.lock();
+        match map
+            .entry((name.to_string(), owned(labels)))
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Read a registered counter's value without creating it.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lock().get(&(name.to_string(), owned(labels)))? {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Read a registered gauge's value without creating it.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lock().get(&(name.to_string(), owned(labels)))? {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot a registered histogram without creating it.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<crate::HistogramSnapshot> {
+        match self.lock().get(&(name.to_string(), owned(labels)))? {
+            Metric::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot this registry's directory plus `others` into one ordered
+    /// map. On a name+label collision the earlier registry wins (the
+    /// expected use merges registries with disjoint name sets, e.g. a
+    /// gateway's own registry plus the process-global one).
+    fn merged(&self, others: &[&Registry]) -> BTreeMap<MetricKey, Metric> {
+        let mut all: BTreeMap<MetricKey, Metric> = self.lock().clone();
+        for r in others {
+            for (k, v) in r.lock().iter() {
+                all.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+        all
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` header per metric name, one sample
+    /// line per label set, histograms as cumulative `_bucket{le=…}` rows
+    /// (non-empty buckets plus `+Inf`) with `_sum` and `_count`.
+    pub fn render_text(&self) -> String {
+        self.render_text_with(&[])
+    }
+
+    /// [`Registry::render_text`] over this registry merged with `others`
+    /// — one coherent exposition document across several directories.
+    pub fn render_text_with(&self, others: &[&Registry]) -> String {
+        let map = self.merged(others);
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), metric) in map.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+                last_name = Some(name.as_str());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", label_block(labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", label_block(labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (le, cum) in snap.cumulative_buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_block(labels, Some(&le.to_string()))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {}",
+                        label_block(labels, Some("+Inf")),
+                        snap.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        label_block(labels, None),
+                        snap.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        label_block(labels, None),
+                        snap.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render every metric as one JSON object:
+    /// `{"metrics": [{"name", "labels", "kind", …value fields}]}`.
+    /// Histograms carry `count`, `sum`, and `p50`/`p95`/`p99` (0 when
+    /// empty). Hand-rolled — this crate deliberately has no dependencies.
+    pub fn render_json(&self) -> String {
+        self.render_json_with(&[])
+    }
+
+    /// [`Registry::render_json`] over this registry merged with `others`.
+    pub fn render_json_with(&self, others: &[&Registry]) -> String {
+        let map = self.merged(others);
+        let mut out = String::from("{\"metrics\":[");
+        for (i, ((name, labels), metric)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":{}", json_str(name));
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+            }
+            out.push('}');
+            let _ = write!(out, ",\"kind\":\"{}\"", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, ",\"value\":{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let q = |p: f64| snap.quantile(p).unwrap_or(0);
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
+                        snap.count(),
+                        snap.sum(),
+                        q(0.5),
+                        q(0.95),
+                        q(0.99)
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a `{k="v",…}` label block, optionally with a trailing `le`
+/// label (histogram buckets). Empty block renders as nothing unless `le`
+/// is present.
+fn label_block(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Minimal JSON string literal (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("shard", "0")]);
+        let b = r.counter("x_total", &[("shard", "0")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(a.same_as(&b));
+        // Different labels: a different counter.
+        let c = r.counter("x_total", &[("shard", "1")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_unregistered_handle() {
+        let r = Registry::new();
+        let c = r.counter("m", &[]);
+        c.inc();
+        let g = r.gauge("m", &[]);
+        g.set(99);
+        assert_eq!(r.counter_value("m", &[]), Some(1), "registered m intact");
+        assert_eq!(r.gauge_value("m", &[]), None, "m is not a gauge");
+        assert!(!r.render_text().contains("99"));
+    }
+
+    #[test]
+    fn text_exposition_has_types_samples_and_buckets() {
+        let r = Registry::new();
+        r.counter("esp_frames_total", &[]).add(7);
+        r.gauge("esp_max_ts_ms", &[]).set(400);
+        let h = r.histogram("esp_lat_nanos", &[("shard", "2")]);
+        h.record(10);
+        h.record(100);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE esp_frames_total counter"));
+        assert!(text.contains("esp_frames_total 7"));
+        assert!(text.contains("# TYPE esp_max_ts_ms gauge"));
+        assert!(text.contains("esp_max_ts_ms 400"));
+        assert!(text.contains("# TYPE esp_lat_nanos histogram"));
+        assert!(text.contains("esp_lat_nanos_bucket{shard=\"2\",le=\"10\"} 1"));
+        assert!(text.contains("esp_lat_nanos_bucket{shard=\"2\",le=\"+Inf\"} 2"));
+        assert!(text.contains("esp_lat_nanos_sum{shard=\"2\"} 110"));
+        assert!(text.contains("esp_lat_nanos_count{shard=\"2\"} 2"));
+    }
+
+    #[test]
+    fn type_header_appears_once_per_name() {
+        let r = Registry::new();
+        r.counter("multi_total", &[("shard", "0")]).inc();
+        r.counter("multi_total", &[("shard", "1")]).inc();
+        let text = r.render_text();
+        assert_eq!(text.matches("# TYPE multi_total").count(), 1);
+        assert_eq!(text.matches("multi_total{shard=").count(), 2);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", &[("node", "a\"b\\c")]).inc();
+        let text = r.render_text();
+        assert!(text.contains(r#"node="a\"b\\c""#), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_valid_shape() {
+        let r = Registry::new();
+        r.counter("c_total", &[("k", "v")]).add(3);
+        r.histogram("h_nanos", &[]).record(50);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"name\":\"c_total\""));
+        assert!(json.contains("\"labels\":{\"k\":\"v\"}"));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn merged_render_covers_both_registries_without_duplicate_types() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("a_total", &[]).inc();
+        b.counter("b_total", &[]).add(2);
+        let text = a.render_text_with(&[&b]);
+        assert!(text.contains("a_total 1"));
+        assert!(text.contains("b_total 2"));
+        assert_eq!(text.matches("# TYPE a_total").count(), 1);
+        let json = a.render_json_with(&[&b]);
+        assert!(json.contains("\"name\":\"a_total\""));
+        assert!(json.contains("\"name\":\"b_total\""));
+        // Merging a registry with itself must not deadlock or duplicate.
+        let text = a.render_text_with(&[&a]);
+        assert_eq!(text.matches("a_total 1").count(), 1);
+    }
+
+    #[test]
+    fn reader_helpers_do_not_create() {
+        let r = Registry::new();
+        assert_eq!(r.counter_value("absent", &[]), None);
+        assert_eq!(r.gauge_value("absent", &[]), None);
+        assert!(r.histogram_snapshot("absent", &[]).is_none());
+        assert!(r.render_text().is_empty());
+    }
+}

@@ -15,6 +15,29 @@ use crate::exec::{eval_select, ExecCtx};
 use crate::parser::parse;
 use crate::plan::{clear_resolution, resolve_pass, Mode};
 
+/// Process-wide engine instrumentation handles, resolved once from
+/// [`esp_obs::global`]. Recording is gated on [`esp_obs::enabled`] at
+/// every site so a disabled process pays one atomic load per tick.
+struct QueryObs {
+    tick_nanos: esp_obs::Histogram,
+    row_ticks: esp_obs::Counter,
+    chunk_ticks: esp_obs::Counter,
+    groups: esp_obs::Gauge,
+}
+
+fn query_obs() -> &'static QueryObs {
+    static OBS: std::sync::OnceLock<QueryObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = esp_obs::global();
+        QueryObs {
+            tick_nanos: registry.histogram("esp_query_tick_nanos", &[]),
+            row_ticks: registry.counter("esp_query_row_ticks_total", &[]),
+            chunk_ticks: registry.counter("esp_query_chunk_ticks_total", &[]),
+            groups: registry.gauge("esp_query_groups", &[]),
+        }
+    })
+}
+
 /// Compiles CQL text into [`ContinuousQuery`] objects and hosts the shared
 /// [`Catalog`] (static relations, scalar UDFs, aggregate UDAs).
 ///
@@ -361,6 +384,9 @@ impl ContinuousQuery {
     /// Absorb staged batches, slide every window to `epoch`, evaluate, and
     /// return the result rows stamped at `epoch`.
     pub fn tick(&mut self, epoch: Ts) -> Result<Batch> {
+        if esp_obs::enabled() {
+            query_obs().row_ticks.inc();
+        }
         let result = self.tick_result(epoch)?;
         Ok(result.into_batch(epoch))
     }
@@ -369,11 +395,16 @@ impl ContinuousQuery {
     /// single columnar chunk stamped at `epoch` — the chunk-path egress the
     /// stage cascade forwards between declarative stages.
     pub fn tick_chunk(&mut self, epoch: Ts) -> Result<Chunk> {
+        if esp_obs::enabled() {
+            query_obs().chunk_ticks.inc();
+        }
         let result = self.tick_result(epoch)?;
         result.into_chunk(epoch)
     }
 
     fn tick_result(&mut self, epoch: Ts) -> Result<crate::exec::SelectResult> {
+        let obs = esp_obs::enabled().then(query_obs);
+        let started = obs.map(|_| std::time::Instant::now());
         let pending = std::mem::take(&mut self.pending);
         let mut pending_chunks = std::mem::take(&mut self.pending_chunks);
         // One stream can feed several FROM items; count the windows per
@@ -446,7 +477,17 @@ impl ContinuousQuery {
             catalog: &self.catalog,
             epoch,
         };
-        eval_select(&self.root, None, &ctx)
+        let result = eval_select(&self.root, None, &ctx);
+        if let (Some(o), Some(t0)) = (obs, started) {
+            o.tick_nanos.record(t0.elapsed().as_nanos() as u64);
+            if let Ok(r) = &result {
+                if !self.root.group_by.is_empty() {
+                    // One output row per live group in a grouped query.
+                    o.groups.set(r.rows.len() as u64);
+                }
+            }
+        }
+        result
     }
 }
 

@@ -1,9 +1,18 @@
 //! The deterministic, single-threaded epoch scheduler.
 
+use std::time::Instant;
+
 use esp_types::{Batch, Result, TimeDelta, Ts};
 
 use crate::graph::{Dataflow, NodeKind, TapId};
 use crate::operator::Payload;
+
+/// Span histograms attached by [`EpochRunner::attach_obs`]: one per node
+/// (indexed like `df.nodes`) plus the whole-epoch total.
+struct EpochObs {
+    node_spans: Vec<esp_obs::Histogram>,
+    step: esp_obs::Histogram,
+}
 
 /// Drives a [`Dataflow`] epoch by epoch.
 ///
@@ -24,6 +33,7 @@ pub struct EpochRunner {
     /// batches so traces have one entry per epoch.
     collected: Vec<Vec<(Ts, Batch)>>,
     epochs_run: u64,
+    obs: Option<EpochObs>,
 }
 
 impl EpochRunner {
@@ -34,7 +44,30 @@ impl EpochRunner {
             df,
             collected: vec![Vec::new(); n_taps],
             epochs_run: 0,
+            obs: None,
         }
+    }
+
+    /// Attach span instrumentation: every subsequent [`EpochRunner::step`]
+    /// records each node's flush time into
+    /// `esp_stream_node_flush_nanos{node=…}` and the whole epoch into
+    /// `esp_stream_epoch_step_nanos`, each carrying the extra `labels`
+    /// (the gateway adds `shard`). Recording is skipped entirely — one
+    /// relaxed load per step — while [`esp_obs::enabled`] is off.
+    pub fn attach_obs(&mut self, registry: &esp_obs::Registry, labels: &[(&str, &str)]) {
+        let node_spans = self
+            .df
+            .node_ids()
+            .map(|id| {
+                let mut with_node: Vec<(&str, &str)> = vec![("node", self.df.node_name(id))];
+                with_node.extend_from_slice(labels);
+                registry.histogram("esp_stream_node_flush_nanos", &with_node)
+            })
+            .collect();
+        self.obs = Some(EpochObs {
+            node_spans,
+            step: registry.histogram("esp_stream_epoch_step_nanos", labels),
+        });
     }
 
     /// Execute one epoch at logical time `epoch`.
@@ -46,9 +79,14 @@ impl EpochRunner {
     /// byte-identical whichever representation flowed underneath.
     pub fn step(&mut self, epoch: Ts) -> Result<()> {
         let n = self.df.nodes.len();
+        // Per-epoch (not per-tuple) spans keep the instrumented cost at
+        // two `Instant` reads per node; `None` while disabled or detached.
+        let obs = self.obs.as_ref().filter(|_| esp_obs::enabled());
+        let step_start = obs.map(|_| Instant::now());
         // Output of each node this epoch, filled in topological order.
         let mut outputs: Vec<Option<Payload>> = vec![None; n];
         for i in 0..n {
+            let node_start = obs.map(|_| Instant::now());
             let out = match &mut self.df.nodes[i].kind {
                 NodeKind::Source(src) => src.poll_payload(epoch)?,
                 NodeKind::Operator { op, inputs } => {
@@ -69,6 +107,11 @@ impl EpochRunner {
                     op.flush_payload(epoch)?
                 }
             };
+            if let (Some(o), Some(t0)) = (obs, node_start) {
+                if let Some(h) = o.node_spans.get(i) {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
             outputs[i] = Some(out);
         }
         for (tap_idx, node) in self.df.taps.iter().enumerate() {
@@ -78,6 +121,9 @@ impl EpochRunner {
                 .map(Payload::to_rows)
                 .unwrap_or_default();
             self.collected[tap_idx].push((epoch, batch));
+        }
+        if let (Some(o), Some(t0)) = (obs, step_start) {
+            o.step.record(t0.elapsed().as_nanos() as u64);
         }
         self.epochs_run += 1;
         Ok(())
@@ -257,6 +303,36 @@ mod tests {
             .collect();
         assert_eq!(vals, vec![1, 3]);
         assert_eq!(runner.epochs_run(), 5);
+    }
+
+    #[test]
+    fn attach_obs_records_per_node_and_per_epoch_spans() {
+        let mut df = Dataflow::new();
+        let src = df.add_source(Box::new(ScriptedSource::new(
+            "s",
+            vec![(Ts::ZERO, vec![tup(Ts::ZERO, 1)])],
+        )));
+        let f = df
+            .add_operator(Box::new(FilterOp::new("keep", |_: &Tuple| true)), &[src])
+            .unwrap();
+        df.add_tap(f).unwrap();
+        let registry = esp_obs::Registry::new();
+        let mut runner = EpochRunner::new(df);
+        runner.attach_obs(&registry, &[("shard", "0")]);
+        runner.run(Ts::ZERO, TimeDelta::from_secs(1), 3).unwrap();
+        let step = registry
+            .histogram_snapshot("esp_stream_epoch_step_nanos", &[("shard", "0")])
+            .unwrap();
+        assert_eq!(step.count(), 3, "one span per epoch");
+        for node in ["s", "keep"] {
+            let h = registry
+                .histogram_snapshot(
+                    "esp_stream_node_flush_nanos",
+                    &[("node", node), ("shard", "0")],
+                )
+                .unwrap();
+            assert_eq!(h.count(), 3, "node {node} timed each epoch");
+        }
     }
 
     #[test]

@@ -5,53 +5,66 @@
 //! stable mean/variance over window contents. [`RunningStats`] implements
 //! Welford's online algorithm: one pass, no catastrophic cancellation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use esp_obs::{Counter, Registry};
 
 /// Shared counters for a set of bounded queues: total sends and how many
-/// of them found the queue full (back-pressure events). Handles are cheap
-/// clones over shared atomics, so producers on many threads can feed one
-/// counter and a supervisor can read it live.
-///
-/// Ordering audit: every access is `Relaxed` **deliberately**. These are
-/// monitoring counters — nothing reads them to make a control decision,
-/// and no other memory is published "alongside" an increment, so there is
-/// no happens-before edge to establish. RMW atomicity alone guarantees no
-/// increment is lost; a live snapshot may be a step stale (fine for
-/// monitoring), and totals read after `join()`ing the producers are exact
-/// because thread join itself synchronizes-with everything the thread did.
+/// of them found the queue full (back-pressure events). A thin view over
+/// two [`esp_obs::Counter`]s — handles are cheap clones over the shared
+/// atomics, so producers on many threads can feed one counter and a
+/// supervisor can read it live. (The `Relaxed`-ordering audit for these
+/// monitoring counters lives in the `esp_obs` crate docs; totals read
+/// after `join()`ing the producers are exact because thread join itself
+/// synchronizes-with everything the thread did.)
 #[derive(Debug, Clone, Default)]
 pub struct QueueStats {
-    sends: Arc<AtomicU64>,
-    blocked: Arc<AtomicU64>,
+    sends: Counter,
+    blocked: Counter,
 }
 
+/// Registry name of the total-sends counter [`QueueStats::registered`]
+/// binds to.
+pub const QUEUE_SENDS_METRIC: &str = "esp_stream_queue_sends_total";
+/// Registry name of the blocked-sends counter [`QueueStats::registered`]
+/// binds to.
+pub const QUEUE_BLOCKED_METRIC: &str = "esp_stream_queue_blocked_total";
+
 impl QueueStats {
-    /// Fresh counters at zero.
+    /// Fresh counters at zero, not registered anywhere (the standalone
+    /// threaded runner's default).
     pub fn new() -> QueueStats {
         QueueStats::default()
     }
 
+    /// Counters registered in (or shared with) `registry` under
+    /// [`QUEUE_SENDS_METRIC`] / [`QUEUE_BLOCKED_METRIC`], so queue
+    /// backpressure shows up in the registry's scrape output.
+    pub fn registered(registry: &Registry) -> QueueStats {
+        QueueStats {
+            sends: registry.counter(QUEUE_SENDS_METRIC, &[]),
+            blocked: registry.counter(QUEUE_BLOCKED_METRIC, &[]),
+        }
+    }
+
     /// Record a send that found queue space immediately.
     pub fn record_send(&self) {
-        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.sends.inc();
     }
 
     /// Record a send that found the queue full and had to block.
     /// (Counts as a send too — callers record exactly one of the two.)
     pub fn record_blocked(&self) {
-        self.sends.fetch_add(1, Ordering::Relaxed);
-        self.blocked.fetch_add(1, Ordering::Relaxed);
+        self.sends.inc();
+        self.blocked.inc();
     }
 
     /// Total sends observed.
     pub fn sends(&self) -> u64 {
-        self.sends.load(Ordering::Relaxed)
+        self.sends.get()
     }
 
     /// Sends that hit a full queue.
     pub fn blocked(&self) -> u64 {
-        self.blocked.load(Ordering::Relaxed)
+        self.blocked.get()
     }
 
     /// Fraction of sends that hit a full queue (0 when idle).
@@ -215,6 +228,23 @@ mod tests {
         }
         assert_eq!(q.sends(), 4 * 1001);
         assert_eq!(q.blocked(), 4);
+    }
+
+    #[test]
+    fn registered_queue_stats_share_registry_counters() {
+        let registry = esp_obs::Registry::new();
+        let q = QueueStats::registered(&registry);
+        q.record_send();
+        q.record_blocked();
+        // The registry reads the very same counters the view records into…
+        assert_eq!(registry.counter_value(QUEUE_SENDS_METRIC, &[]), Some(2));
+        assert_eq!(registry.counter_value(QUEUE_BLOCKED_METRIC, &[]), Some(1));
+        // …and a second view over the same registry shares them.
+        let again = QueueStats::registered(&registry);
+        again.record_send();
+        assert_eq!(q.sends(), 3);
+        // Old snapshot semantics are untouched: blocked counts as a send.
+        assert!((q.blocked_fraction() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -56,6 +56,26 @@ impl ColRing {
     }
 }
 
+/// Process-wide chunk-vs-row path hit counters, registered once in
+/// [`esp_obs::global`]. Window buffers are plentiful and short-lived
+/// handles would churn the registry lock, so the counters are resolved
+/// once per process and shared by every buffer.
+struct WindowObs {
+    row_pushes: esp_obs::Counter,
+    chunk_pushes: esp_obs::Counter,
+}
+
+fn window_obs() -> &'static WindowObs {
+    static OBS: OnceLock<WindowObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = esp_obs::global();
+        WindowObs {
+            row_pushes: registry.counter("esp_stream_window_row_pushes_total", &[]),
+            chunk_pushes: registry.counter("esp_stream_window_chunk_pushes_total", &[]),
+        }
+    })
+}
+
 /// Storage behind a [`WindowBuffer`].
 #[derive(Debug, Clone)]
 enum Store {
@@ -75,7 +95,7 @@ enum Store {
 /// * After [`WindowBuffer::advance_to`]`(now)`, every retained tuple `t`
 ///   satisfies `t.ts() >= now - width` (inclusive lower bound) and
 ///   `t.ts() <= now`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WindowBuffer {
     width: TimeDelta,
     store: Store,
@@ -85,7 +105,42 @@ pub struct WindowBuffer {
     /// so a width change can re-establish the window invariant
     /// immediately instead of waiting for the next advance.
     now: Ts,
+    /// Row pushes not yet published to the process-wide hit counter.
+    /// Window pushes are the hottest instrumented path in the system, and
+    /// every shard worker shares the one global counter — per-tuple RMWs
+    /// on that cache line are a measurable throughput tax (the
+    /// `obs-overhead` bench gates it). Batching keeps the hot path on
+    /// this buffer-local integer; blocks of [`ROW_PUSH_BATCH`] go to the
+    /// shared atomic, and the remainder is flushed on drop, so totals are
+    /// exact once buffers retire and lag by < one batch while live.
+    pending_rows: u32,
 }
+
+impl Clone for WindowBuffer {
+    fn clone(&self) -> WindowBuffer {
+        WindowBuffer {
+            width: self.width,
+            store: self.store.clone(),
+            hwm: self.hwm,
+            now: self.now,
+            // Unpublished accounting stays with the original; the clone
+            // starts a fresh batch so no push is published twice.
+            pending_rows: 0,
+        }
+    }
+}
+
+impl Drop for WindowBuffer {
+    fn drop(&mut self) {
+        if self.pending_rows > 0 {
+            window_obs().row_pushes.add(u64::from(self.pending_rows));
+        }
+    }
+}
+
+/// How many row pushes accumulate buffer-locally before one shared-atomic
+/// publication.
+const ROW_PUSH_BATCH: u32 = 64;
 
 impl WindowBuffer {
     /// Create a buffer of the given temporal width. `TimeDelta::ZERO`
@@ -96,6 +151,7 @@ impl WindowBuffer {
             store: Store::Rows(VecDeque::new()),
             hwm: Ts::ZERO,
             now: Ts::ZERO,
+            pending_rows: 0,
         }
     }
 
@@ -126,6 +182,20 @@ impl WindowBuffer {
     /// the ring's interned schema `Arc`); any other schema demotes the
     /// ring to rows first.
     pub fn push(&mut self, t: Tuple) {
+        if esp_obs::enabled() {
+            self.pending_rows += 1;
+            if self.pending_rows == ROW_PUSH_BATCH {
+                window_obs().row_pushes.add(u64::from(ROW_PUSH_BATCH));
+                self.pending_rows = 0;
+            }
+        }
+        self.push_inner(t);
+    }
+
+    /// [`WindowBuffer::push`] minus the hit-rate accounting — the target
+    /// of internal recursion (schema-demote re-push) so one arrival is
+    /// never counted twice.
+    fn push_inner(&mut self, t: Tuple) {
         self.hwm = self.hwm.max(t.ts());
         match &mut self.store {
             Store::Rows(buf) => {
@@ -143,7 +213,7 @@ impl WindowBuffer {
                 });
                 if !matches {
                     self.demote_to_rows();
-                    self.push(t);
+                    self.push_inner(t);
                     return;
                 }
                 ring.invalidate();
@@ -204,6 +274,9 @@ impl WindowBuffer {
                     }
                     return;
                 }
+                if esp_obs::enabled() {
+                    window_obs().chunk_pushes.inc();
+                }
                 ring.invalidate();
                 let ring_chunk = ring.chunk.get_or_insert_with(|| Chunk::new(chunk.schema()));
                 self.hwm = self
@@ -247,6 +320,9 @@ impl WindowBuffer {
         };
         let sorted = chunk.ts().windows(2).all(|w| w[0] <= w[1]);
         if empty && sorted {
+            if esp_obs::enabled() {
+                window_obs().chunk_pushes.inc();
+            }
             self.hwm = self.hwm.max(chunk.last_ts().unwrap_or(Ts::ZERO));
             self.store = Store::Col(ColRing {
                 chunk: Some(chunk),

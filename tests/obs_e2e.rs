@@ -1,0 +1,220 @@
+//! Observability end-to-end: scrape a live sharded gateway over the
+//! `STATS` wire frame and check the *conservation laws* that tie the
+//! registry's counters together:
+//!
+//! 1. `frames == readings + corrupt_frames + unroutable` — every data
+//!    frame is accounted exactly once at the edge, and scrape requests
+//!    never perturb the balance.
+//! 2. `readings == Σ_s shard_readings{shard=s}` — with single-membership
+//!    groups, routing neither drops nor duplicates.
+//! 3. `Σ_s count(esp_stream_epoch_step_nanos{shard=s})
+//!        == live_shards × epochs_flushed` — every flushed epoch is
+//!    stepped by every live shard exactly once (WAL replay, were it
+//!    billed, would break this).
+
+use esp_core::Pipeline;
+use esp_gateway::{Gateway, GatewayClient, GatewayConfig};
+use esp_integration_tests::gateway_harness::{groups, run_gateway_clients};
+use esp_receptors::wire::{self, Reading};
+use esp_types::{ReceptorId, TimeDelta, Ts};
+
+/// Value of the exact sample `name` (including its label block, e.g.
+/// `esp_gateway_shard_readings_total{shard="1"}`) in a text exposition.
+fn sample(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let (n, v) = line.rsplit_once(' ')?;
+        if n == name {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Sum of every labelled sample of `name` (`name{...} v` lines).
+fn labelled_sum(text: &str, name: &str) -> u64 {
+    let prefix = format!("{name}{{");
+    text.lines()
+        .filter_map(|line| {
+            let (n, v) = line.rsplit_once(' ')?;
+            if n.starts_with(&prefix) {
+                v.parse::<u64>().ok()
+            } else {
+                None
+            }
+        })
+        .sum()
+}
+
+/// Frame/reading/routing conservation, asserted from a document scraped
+/// over the wire *while the gateway is still running*. The scrape rides
+/// the same connection as the data frames, so per-connection FIFO order
+/// guarantees every previously sent frame is already counted — no sleeps,
+/// no races.
+#[test]
+fn scraped_registry_obeys_frame_and_routing_conservation() {
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 4;
+    config.min_connections = 1;
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+
+    let mut client = GatewayClient::connect(gateway.local_addr(), TimeDelta::ZERO).unwrap();
+    let (mut good, mut corrupt, mut unroutable) = (0u64, 0u64, 0u64);
+    for i in 0..40u64 {
+        let reading = match i % 4 {
+            // Rotate over the three registered receptors…
+            0..=2 => Reading::Scalar {
+                receptor: ReceptorId((i % 3) as u32),
+                ts: Ts::from_millis(i * 10),
+                value: i as f64,
+            },
+            // …plus one receptor no group claims (unroutable).
+            _ => Reading::Scalar {
+                receptor: ReceptorId(99),
+                ts: Ts::from_millis(i * 10),
+                value: i as f64,
+            },
+        };
+        if i % 5 == 0 {
+            // Damage the frame mid-flight: the framing layer delivers it,
+            // the checksum rejects it at the edge.
+            let mut bad = wire::encode(&reading).to_vec();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0xff;
+            client.send_raw(&bad).unwrap();
+            corrupt += 1;
+        } else if i % 4 == 3 {
+            client.send(&reading).unwrap();
+            unroutable += 1;
+        } else {
+            client.send(&reading).unwrap();
+            good += 1;
+        }
+    }
+
+    let text = client.scrape().unwrap();
+
+    // Law 1: every frame lands in exactly one bucket, and the scrape
+    // request itself is counted separately from data frames.
+    let frames = sample(&text, "esp_gateway_frames_total").unwrap();
+    let readings = sample(&text, "esp_gateway_readings_total").unwrap();
+    let corrupt_frames = sample(&text, "esp_gateway_corrupt_frames_total").unwrap();
+    let unroutable_frames = sample(&text, "esp_gateway_unroutable_total").unwrap();
+    assert_eq!(frames, good + corrupt + unroutable, "all data frames seen");
+    assert_eq!(frames, readings + corrupt_frames + unroutable_frames);
+    assert_eq!((readings, corrupt_frames), (good, corrupt));
+    assert_eq!(unroutable_frames, unroutable);
+    assert_eq!(
+        sample(&text, "esp_gateway_stats_requests_total"),
+        Some(1),
+        "the in-flight scrape is already counted, as a scrape — not a frame"
+    );
+
+    // Law 2: single-membership groups route each reading to exactly one
+    // shard.
+    assert_eq!(
+        labelled_sum(&text, "esp_gateway_shard_readings_total"),
+        readings
+    );
+
+    // The JSON rendering serves the same registry.
+    let json = client.scrape_json().unwrap();
+    for name in [
+        "esp_gateway_frames_total",
+        "esp_gateway_shard_readings_total",
+        "esp_stream_queue_sends_total",
+    ] {
+        assert!(json.contains(name), "JSON document lists {name}");
+    }
+
+    // CI archives the scraped documents as a review artifact.
+    if let Ok(dir) = std::env::var("OBS_SNAPSHOT_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("registry.prom"), &text).unwrap();
+        std::fs::write(dir.join("registry.json"), &json).unwrap();
+    }
+
+    client.finish().unwrap();
+    let output = gateway.finish().unwrap();
+
+    // The mid-run scrape and the final snapshot are two reads of the same
+    // counters; nothing was sent after the scrape, so they agree.
+    assert_eq!(output.stats.frames, frames);
+    assert_eq!(output.stats.readings, readings);
+    assert_eq!(output.stats.corrupt_frames, corrupt_frames);
+    assert_eq!(output.stats.unroutable, unroutable_frames);
+    assert_eq!(output.stats.shard_readings.iter().sum::<u64>(), readings);
+}
+
+/// Epoch-step span conservation under sharding: after a full run, each
+/// live shard recorded exactly one `esp_stream_epoch_step_nanos` span per
+/// flushed epoch, empty shards recorded none, and the totals balance.
+/// The registry handle is cloned before `finish()` (it shares state), so
+/// the assertion runs after every worker has joined — race-free.
+#[test]
+fn epoch_step_spans_balance_flushed_epochs_across_live_shards() {
+    let receptors = [0u32, 1, 2];
+    let mut config = GatewayConfig::new(groups());
+    config.n_shards = 4;
+    config.period = TimeDelta::from_millis(500);
+    config.min_connections = receptors.len();
+
+    let gateway = Gateway::spawn(config, |_| Pipeline::raw()).unwrap();
+    let registry = gateway.registry();
+    run_gateway_clients(&gateway, &receptors, TimeDelta::from_millis(100));
+    let output = gateway.finish().unwrap();
+    let text = registry.render_text();
+
+    let epochs = output.stats.epochs_flushed;
+    assert!(epochs > 0, "the run flushed at least one epoch");
+
+    // Live shards are the ones routing assigned granules to (workers are
+    // only spawned for non-empty shards, and every granule here has
+    // traffic).
+    let live: Vec<usize> = output
+        .stats
+        .shard_readings
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(s, _)| s)
+        .collect();
+    assert!(!live.is_empty());
+
+    for shard in 0..output.stats.shard_readings.len() {
+        let count = sample(
+            &text,
+            &format!("esp_stream_epoch_step_nanos_count{{shard=\"{shard}\"}}"),
+        );
+        if live.contains(&shard) {
+            assert_eq!(
+                count,
+                Some(epochs),
+                "live shard {shard} steps every flushed epoch exactly once"
+            );
+        } else {
+            assert_eq!(count, None, "empty shard {shard} has no worker, no spans");
+        }
+    }
+
+    // Law 3, stated as the balance the per-shard checks imply.
+    assert_eq!(
+        labelled_sum(&text, "esp_stream_epoch_step_nanos_count"),
+        live.len() as u64 * epochs
+    );
+
+    // Per-node spans exist for live shards and share the same cadence:
+    // each node records once per stepped epoch, so the per-shard node
+    // totals are a multiple of the epoch count.
+    let node_spans = labelled_sum(&text, "esp_stream_node_flush_nanos_count");
+    assert!(node_spans > 0, "per-node spans recorded");
+    assert_eq!(node_spans % epochs, 0, "each node steps once per epoch");
+
+    // The queue counters the snapshot reports are views over the same
+    // registry the scrape serves.
+    assert_eq!(
+        sample(&text, "esp_stream_queue_sends_total"),
+        Some(output.stats.queue_sends)
+    );
+}
